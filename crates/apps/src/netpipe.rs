@@ -1,0 +1,229 @@
+//! NetPIPE ported to EbbRT (§4.1.3, Figure 4).
+//!
+//! "NetPIPE is a popular ping-pong benchmark where the client sends a
+//! fixed-size message to the server which is echoed back after being
+//! completely received." Small messages measure latency, large messages
+//! stress throughput. As in the paper, the same system runs on both
+//! ends — the experiment parameterizes the environment profile.
+//!
+//! The application obeys the EbbRT buffering contract: each side tracks
+//! how much of the current message it has sent, pushes as much as the
+//! advertised window allows, and continues from `on_window_open`.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use ebbrt_core::clock::Ns;
+use ebbrt_core::cpu::CoreId;
+use ebbrt_core::iobuf::{Chain, IoBuf};
+use ebbrt_net::netif::{ConnHandler, NetIf, TcpConn};
+use ebbrt_net::types::Ipv4Addr;
+use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
+
+use crate::spawn_with;
+
+/// NetPIPE service port.
+pub const NETPIPE_PORT: u16 = 5002;
+
+/// Result of one message-size point.
+#[derive(Clone, Copy, Debug)]
+pub struct PipeSample {
+    /// Message size in bytes.
+    pub message_bytes: usize,
+    /// One-way latency (round trip / 2) in microseconds.
+    pub one_way_us: f64,
+    /// Goodput in megabits per second.
+    pub goodput_mbps: f64,
+}
+
+/// A ping-pong endpoint: accumulates a full message, then sends one of
+/// its own (echo on the server; next iteration on the client).
+struct PipeEnd {
+    message_bytes: usize,
+    received: Cell<usize>,
+    /// Bytes of the current outgoing message still unsent.
+    to_send: Cell<usize>,
+    /// Completed round trips (client side).
+    rounds: Cell<u32>,
+    target_rounds: u32,
+    is_client: bool,
+    started_at: Cell<Ns>,
+    finished_at: Cell<Ns>,
+    payload: RefCell<Option<IoBuf>>,
+}
+
+impl PipeEnd {
+    fn new(message_bytes: usize, target_rounds: u32, is_client: bool) -> Rc<PipeEnd> {
+        Rc::new(PipeEnd {
+            message_bytes,
+            received: Cell::new(0),
+            to_send: Cell::new(0),
+            rounds: Cell::new(0),
+            target_rounds,
+            is_client,
+            started_at: Cell::new(0),
+            finished_at: Cell::new(0),
+            payload: RefCell::new(Some(IoBuf::copy_from(&vec![0xAB; message_bytes]))),
+        })
+    }
+
+    /// Pushes as much of the outstanding message as the window allows.
+    fn push(&self, conn: &TcpConn) {
+        while self.to_send.get() > 0 {
+            let window = conn.send_window();
+            if window == 0 {
+                return;
+            }
+            let take = window.min(self.to_send.get());
+            let offset = self.message_bytes - self.to_send.get();
+            let payload = self.payload.borrow();
+            let buf = payload.as_ref().expect("payload present");
+            let chunk = buf.slice(offset, take);
+            drop(payload);
+            if conn.send(Chain::single(chunk)).is_err() {
+                return;
+            }
+            self.to_send.set(self.to_send.get() - take);
+        }
+    }
+
+    fn on_message_complete(&self, conn: &TcpConn) {
+        if self.is_client {
+            let r = self.rounds.get() + 1;
+            self.rounds.set(r);
+            if r >= self.target_rounds {
+                self.finished_at
+                    .set(ebbrt_core::runtime::with_current(|rt| rt.now_ns()));
+                conn.close();
+                return;
+            }
+        }
+        // Fire the next message (echo, or next iteration).
+        self.to_send.set(self.message_bytes);
+        self.push(conn);
+    }
+}
+
+impl ConnHandler for PipeEnd {
+    fn on_connected(&self, conn: &TcpConn) {
+        if self.is_client {
+            self.started_at
+                .set(ebbrt_core::runtime::with_current(|rt| rt.now_ns()));
+            self.to_send.set(self.message_bytes);
+            self.push(conn);
+        }
+    }
+
+    fn on_receive(&self, conn: &TcpConn, data: Chain<IoBuf>) {
+        let mut got = self.received.get() + data.len();
+        while got >= self.message_bytes {
+            got -= self.message_bytes;
+            self.received.set(got);
+            self.on_message_complete(conn);
+        }
+        self.received.set(got);
+    }
+
+    fn on_window_open(&self, conn: &TcpConn) {
+        self.push(conn);
+    }
+}
+
+/// Runs one NetPIPE point: `rounds` ping-pongs of `message_bytes`, both
+/// ends on `profile`. Returns one-way latency and goodput.
+pub fn run(profile: &CostProfile, message_bytes: usize, rounds: u32) -> PipeSample {
+    let w = SimWorld::new();
+    let sw = Switch::new(&w);
+    let server = SimMachine::create(&w, "np-server", 1, profile.clone(), [0xAA, 0, 0, 0, 0, 2]);
+    let client = SimMachine::create(&w, "np-client", 1, profile.clone(), [0xBB, 0, 0, 0, 0, 2]);
+    sw.attach(server.nic(), LinkParams::default());
+    sw.attach(client.nic(), LinkParams::default());
+    let mask = Ipv4Addr::new(255, 255, 255, 0);
+    let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 1, 1), mask);
+    let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 1, 2), mask);
+    w.run_to_idle();
+    server.start_scheduler_ticks(&w);
+    client.start_scheduler_ticks(&w);
+
+    s_if.listen(NETPIPE_PORT, move |_conn| {
+        PipeEnd::new(message_bytes, 0, false) as Rc<dyn ConnHandler>
+    });
+
+    let client_end = PipeEnd::new(message_bytes, rounds, true);
+    let ce = Rc::clone(&client_end);
+    spawn_with(&client, CoreId(0), c_if, move |c_if| {
+        c_if.connect(
+            Ipv4Addr::new(10, 0, 1, 1),
+            NETPIPE_PORT,
+            ce as Rc<dyn ConnHandler>,
+        );
+    });
+    // Bound the run: generous virtual-time budget, then stop ticks.
+    w.run_until(60_000_000_000);
+    server.stop_scheduler_ticks();
+    client.stop_scheduler_ticks();
+
+    let start = client_end.started_at.get();
+    let finish = client_end.finished_at.get();
+    assert!(
+        finish > start && client_end.rounds.get() >= rounds,
+        "NetPIPE did not complete: {} rounds of {} bytes",
+        client_end.rounds.get(),
+        message_bytes
+    );
+    let elapsed = finish - start;
+    let rtt = elapsed as f64 / rounds as f64;
+    let one_way_us = rtt / 2.0 / 1000.0;
+    // Goodput: application bytes moved one way per unit one-way time.
+    let goodput_mbps = (message_bytes as f64 * 8.0) / (rtt / 2.0) * 1000.0;
+    PipeSample {
+        message_bytes,
+        one_way_us,
+        goodput_mbps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_message_latency_orders_correctly() {
+        let ebbrt = run(&CostProfile::ebbrt_vm(), 64, 20);
+        let linux = run(&CostProfile::linux_vm(), 64, 20);
+        assert!(
+            ebbrt.one_way_us < linux.one_way_us,
+            "EbbRT {:.1}µs must beat Linux {:.1}µs at 64 B",
+            ebbrt.one_way_us,
+            linux.one_way_us
+        );
+        // Sanity: single-digit-to-low-double-digit µs, as in Figure 4.
+        assert!(ebbrt.one_way_us > 2.0 && ebbrt.one_way_us < 25.0);
+        assert!(linux.one_way_us < 40.0);
+    }
+
+    #[test]
+    fn large_messages_approach_wire_speed() {
+        let s = run(&CostProfile::ebbrt_vm(), 256 * 1024, 4);
+        // 10 GbE wire: goodput must be within the right ballpark and
+        // below line rate.
+        assert!(
+            s.goodput_mbps > 3000.0 && s.goodput_mbps < 10_000.0,
+            "unexpected goodput {:.0} Mbps",
+            s.goodput_mbps
+        );
+    }
+
+    #[test]
+    fn ebbrt_reaches_high_goodput_at_smaller_messages_than_linux() {
+        let size = 64 * 1024;
+        let e = run(&CostProfile::ebbrt_vm(), size, 4);
+        let l = run(&CostProfile::linux_vm(), size, 4);
+        assert!(
+            e.goodput_mbps > l.goodput_mbps,
+            "EbbRT {:.0} vs Linux {:.0} Mbps at 64 KiB",
+            e.goodput_mbps,
+            l.goodput_mbps
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion companion to Figure 3: single-core allocator latency
+//! (the multi-core scaling sweep lives in `repro_fig3`).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebbrt_core::clock::ManualClock;
+use ebbrt_core::cpu::CoreId;
+use ebbrt_core::runtime::{self, Runtime};
+use ebbrt_mem::baseline::{GlibcModel, JemallocModel};
+use ebbrt_mem::gp::{self, EbbrtMalloc};
+use ebbrt_mem::{MallocLike, Topology};
+
+fn bench_alloc(c: &mut Criterion) {
+    let rt = Runtime::new(1, Arc::new(ManualClock::new()));
+    let _g = runtime::enter(rt, CoreId(0));
+    let ebbrt = EbbrtMalloc::new(gp::setup(Topology::flat(1), 14));
+    let glibc = GlibcModel::new(4);
+    let jemalloc = JemallocModel::new(4);
+
+    let mut g = c.benchmark_group("alloc_free_8B_x10");
+    g.bench_function("ebbrt", |b| {
+        b.iter(|| {
+            for _ in 0..10 {
+                let a = ebbrt.alloc(8);
+                ebbrt.free(a, 8);
+            }
+        })
+    });
+    g.bench_function("glibc_model", |b| {
+        b.iter(|| {
+            for _ in 0..10 {
+                let a = glibc.alloc(8);
+                glibc.free(a, 8);
+            }
+        })
+    });
+    g.bench_function("jemalloc_model", |b| {
+        b.iter(|| {
+            for _ in 0..10 {
+                let a = jemalloc.alloc(8);
+                jemalloc.free(a, 8);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

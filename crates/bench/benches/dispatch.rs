@@ -1,0 +1,102 @@
+//! Criterion companion to Table 1: object dispatch variants.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ebbrt_core::clock::ManualClock;
+use ebbrt_core::cpu::CoreId;
+use ebbrt_core::ebb::{EbbRef, MulticoreEbb};
+use ebbrt_core::runtime::{self, Runtime};
+use ebbrt_hosted::table::HostedEbbTable;
+
+struct Obj {
+    calls: std::cell::Cell<u64>,
+}
+
+impl Obj {
+    #[inline(always)]
+    fn call_inline(&self) {
+        self.calls.set(self.calls.get().wrapping_add(1));
+    }
+    #[inline(never)]
+    fn call_no_inline(&self) {
+        self.calls.set(self.calls.get().wrapping_add(1));
+    }
+}
+
+trait Callable {
+    fn call_virtual(&self);
+}
+impl Callable for Obj {
+    fn call_virtual(&self) {
+        self.calls.set(self.calls.get().wrapping_add(1));
+    }
+}
+
+impl MulticoreEbb for Obj {
+    type Root = ();
+    fn create_rep(_: &Arc<()>, _: CoreId) -> Self {
+        Obj {
+            calls: std::cell::Cell::new(0),
+        }
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let rt = Runtime::new(1, Arc::new(ManualClock::new()));
+    let _g = runtime::enter(rt, CoreId(0));
+    let obj = Obj {
+        calls: std::cell::Cell::new(0),
+    };
+    let dyn_obj: &dyn Callable = &obj;
+    let ebb = EbbRef::<Obj>::create(());
+    ebb.with(|o| o.call_inline());
+    let hosted = HostedEbbTable::new(1);
+    hosted.install(
+        ebb.id(),
+        Obj {
+            calls: std::cell::Cell::new(0),
+        },
+    );
+
+    let mut g = c.benchmark_group("dispatch_1000_invocations");
+    g.bench_function("inline", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(&obj).call_inline();
+            }
+        })
+    });
+    g.bench_function("no_inline", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(&obj).call_no_inline();
+            }
+        })
+    });
+    g.bench_function("virtual", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(dyn_obj).call_virtual();
+            }
+        })
+    });
+    g.bench_function("ebb", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                black_box(ebb).with(|o| o.call_inline());
+            }
+        })
+    });
+    g.bench_function("hosted_ebb", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                hosted.with_rep::<Obj, _>(black_box(ebb.id()), |o| o.call_inline());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

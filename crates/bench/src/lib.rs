@@ -1,0 +1,20 @@
+//! # ebbrt-bench — the benchmark harness
+//!
+//! One `repro_*` binary per table/figure of the paper (see
+//! EXPERIMENTS.md) plus Criterion microbenchmarks. The library itself
+//! only hosts shared output helpers.
+
+/// Writes a CSV under `target/repro/`, creating the directory.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target/repro");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut contents = String::from(header);
+    contents.push('\n');
+    for r in rows {
+        contents.push_str(r);
+        contents.push('\n');
+    }
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}

@@ -1,0 +1,113 @@
+//! Time sources.
+//!
+//! The runtime reads time through the [`Clock`] trait so the same code
+//! runs against wall-clock time (threaded backend) or a virtual
+//! nanosecond clock advanced by the discrete-event scheduler (simulated
+//! backend). All times are nanoseconds since an arbitrary per-instance
+//! epoch.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Nanoseconds since a clock-specific epoch.
+pub type Ns = u64;
+
+/// A monotonic nanosecond time source.
+pub trait Clock: Send + Sync + 'static {
+    /// Current time in nanoseconds since this clock's epoch.
+    fn now_ns(&self) -> Ns;
+}
+
+/// Wall-clock time relative to clock creation.
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// Creates a clock whose epoch is "now".
+    pub fn new() -> Self {
+        RealClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now_ns(&self) -> Ns {
+        self.epoch.elapsed().as_nanos() as Ns
+    }
+}
+
+/// A manually-advanced clock, used by tests and by the discrete-event
+/// scheduler (which advances it to each event's timestamp).
+pub struct ManualClock {
+    now: std::sync::atomic::AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a clock reading zero.
+    pub fn new() -> Self {
+        ManualClock {
+            now: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the current time. `t` must be monotonically non-decreasing
+    /// across calls; this is debug-asserted.
+    pub fn set(&self, t: Ns) {
+        let prev = self.now.swap(t, std::sync::atomic::Ordering::Relaxed);
+        debug_assert!(t >= prev, "ManualClock moved backwards: {prev} -> {t}");
+    }
+
+    /// Advances the clock by `dt` nanoseconds, returning the new time.
+    pub fn advance(&self, dt: Ns) -> Ns {
+        self.now.fetch_add(dt, std::sync::atomic::Ordering::Relaxed) + dt
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> Ns {
+        self.now.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Clock for Arc<ManualClock> {
+    fn now_ns(&self) -> Ns {
+        (**self).now_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_monotonic() {
+        let c = RealClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_set_and_advance() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.set(100);
+        assert_eq!(c.now_ns(), 100);
+        assert_eq!(c.advance(50), 150);
+        assert_eq!(c.now_ns(), 150);
+    }
+}

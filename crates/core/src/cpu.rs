@@ -1,0 +1,262 @@
+//! Core (CPU) identity and per-core ownership primitives.
+//!
+//! EbbRT's execution model binds every event, Ebb representative and
+//! per-core data structure to exactly one core. On real hardware that
+//! binding is physical; here a *core* is a logical execution context that
+//! is either backed by a dedicated OS thread (the threaded backend) or
+//! multiplexed onto a discrete-event-scheduler thread (the simulated
+//! backend). In both cases the invariant is the same: **at any instant at
+//! most one thread executes on behalf of a given core**, and that thread
+//! has the core's identity installed in thread-local storage.
+//!
+//! [`CoreLocal`] exploits this invariant to hand out `&mut` access to
+//! per-core state without atomic read-modify-write operations, mirroring
+//! the paper's claim (§3.2) that non-preemptive per-core execution lets
+//! components "use non-atomic operations to access per-core data
+//! structures".
+
+use core::cell::{Cell, UnsafeCell};
+use core::fmt;
+
+/// Identifier of a logical core within one EbbRT instance (machine).
+///
+/// Core ids are dense: a machine with `n` cores uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CoreId(pub u32);
+
+impl CoreId {
+    /// Returns the id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+thread_local! {
+    static CURRENT_CORE: Cell<Option<CoreId>> = const { Cell::new(None) };
+}
+
+/// Returns the core the calling thread is currently executing on behalf
+/// of, or `None` if the thread is not bound to any core (e.g. a plain
+/// test thread or a hosted-environment thread outside the event loop).
+#[inline]
+pub fn try_current() -> Option<CoreId> {
+    CURRENT_CORE.with(|c| c.get())
+}
+
+/// Returns the current core.
+///
+/// # Panics
+///
+/// Panics if the calling thread is not bound to a core. Use
+/// [`try_current`] for a fallible variant.
+#[inline]
+pub fn current() -> CoreId {
+    try_current().expect("thread is not bound to an EbbRT core")
+}
+
+/// Binds the calling thread to `core` for the duration of the returned
+/// guard. Used by the threaded backend when a core thread starts, and by
+/// the simulated backend around each delivered event.
+///
+/// Bindings nest: the guard restores the previous binding on drop.
+pub fn bind(core: CoreId) -> CoreBinding {
+    let prev = CURRENT_CORE.with(|c| c.replace(Some(core)));
+    CoreBinding { prev }
+}
+
+/// Guard returned by [`bind`]; restores the previous core binding on drop.
+pub struct CoreBinding {
+    prev: Option<CoreId>,
+}
+
+impl Drop for CoreBinding {
+    fn drop(&mut self) {
+        CURRENT_CORE.with(|c| c.set(self.prev));
+    }
+}
+
+/// A fixed array of per-core values, each accessible mutably only from
+/// its owning core.
+///
+/// This is the Rust rendering of EbbRT's per-core data structures: access
+/// is checked dynamically (the calling thread must be bound to the slot's
+/// core, and access must not re-enter), after which no synchronization is
+/// performed. The check is two thread-local reads and two `Cell`
+/// operations — no atomic read-modify-write, in the spirit of the paper.
+pub struct CoreLocal<T> {
+    slots: Box<[CoreSlot<T>]>,
+}
+
+struct CoreSlot<T> {
+    value: UnsafeCell<T>,
+    /// Re-entrancy flag: set while a `with` borrow is live.
+    borrowed: Cell<bool>,
+}
+
+// SAFETY: `CoreSlot` values are only ever accessed by the thread that is
+// currently bound to the slot's core (checked in `CoreLocal::with`), and
+// the `borrowed` flag prevents re-entrant aliasing on that thread. The
+// runtime guarantees at most one thread is bound to a core at a time.
+unsafe impl<T: Send> Sync for CoreLocal<T> {}
+// SAFETY: Sending the whole table moves all values; per-value access rules
+// are unchanged.
+unsafe impl<T: Send> Send for CoreLocal<T> {}
+
+impl<T> CoreLocal<T> {
+    /// Creates a table with one value per core, produced by `init`.
+    pub fn new(ncores: usize, mut init: impl FnMut(CoreId) -> T) -> Self {
+        let slots = (0..ncores)
+            .map(|i| CoreSlot {
+                value: UnsafeCell::new(init(CoreId(i as u32))),
+                borrowed: Cell::new(false),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        CoreLocal { slots }
+    }
+
+    /// Number of cores covered by this table.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the table covers zero cores.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Runs `f` with mutable access to the calling core's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread is not bound to a core covered by this
+    /// table, or if the calling core's value is already borrowed (i.e. the
+    /// call re-enters through `f`).
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.with_on(current(), f)
+    }
+
+    /// Runs `f` with mutable access to `core`'s value.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the calling thread is currently bound to `core`, or
+    /// on re-entrant access.
+    #[inline]
+    pub fn with_on<R>(&self, core: CoreId, f: impl FnOnce(&mut T) -> R) -> R {
+        assert_eq!(
+            try_current(),
+            Some(core),
+            "CoreLocal accessed from a thread not bound to {core}",
+        );
+        let slot = &self.slots[core.index()];
+        assert!(!slot.borrowed.get(), "re-entrant CoreLocal access on {core}");
+        slot.borrowed.set(true);
+        // Ensure the flag is cleared even if `f` panics.
+        struct Reset<'a>(&'a Cell<bool>);
+        impl Drop for Reset<'_> {
+            fn drop(&mut self) {
+                self.0.set(false);
+            }
+        }
+        let _reset = Reset(&slot.borrowed);
+        // SAFETY: the thread is bound to `core` (asserted above) and the
+        // runtime guarantees only one thread is bound to a core at a time;
+        // the `borrowed` flag excludes re-entrant aliasing on this thread.
+        let value = unsafe { &mut *slot.value.get() };
+        f(value)
+    }
+
+    /// Consumes the table, returning all per-core values in core order.
+    pub fn into_values(self) -> Vec<T> {
+        self.slots
+            .into_vec()
+            .into_iter()
+            .map(|s| s.value.into_inner())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bind_nests_and_restores() {
+        assert_eq!(try_current(), None);
+        {
+            let _b0 = bind(CoreId(0));
+            assert_eq!(current(), CoreId(0));
+            {
+                let _b1 = bind(CoreId(1));
+                assert_eq!(current(), CoreId(1));
+            }
+            assert_eq!(current(), CoreId(0));
+        }
+        assert_eq!(try_current(), None);
+    }
+
+    #[test]
+    fn core_local_per_core_values() {
+        let cl = CoreLocal::new(4, |c| c.0 * 10);
+        for i in 0..4u32 {
+            let _b = bind(CoreId(i));
+            cl.with(|v| *v += 1);
+            cl.with(|v| assert_eq!(*v, i * 10 + 1));
+        }
+        assert_eq!(cl.into_values(), vec![1, 11, 21, 31]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn core_local_unbound_panics() {
+        let cl = CoreLocal::new(1, |_| 0u32);
+        cl.with(|_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrant")]
+    fn core_local_reentry_panics() {
+        let cl = CoreLocal::new(1, |_| 0u32);
+        let _b = bind(CoreId(0));
+        cl.with(|_| cl.with(|_| ()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound to core1")]
+    fn core_local_wrong_core_panics() {
+        let cl = CoreLocal::new(2, |_| 0u32);
+        let _b = bind(CoreId(0));
+        cl.with_on(CoreId(1), |_| ());
+    }
+
+    #[test]
+    fn core_local_cross_thread() {
+        let cl = Arc::new(CoreLocal::new(2, |_| 0u64));
+        let handles: Vec<_> = (0..2u32)
+            .map(|i| {
+                let cl = Arc::clone(&cl);
+                std::thread::spawn(move || {
+                    let _b = bind(CoreId(i));
+                    for _ in 0..1000 {
+                        cl.with(|v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let _b = bind(CoreId(0));
+        cl.with(|v| assert_eq!(*v, 1000));
+    }
+}

@@ -1,0 +1,516 @@
+//! Elastic Building Blocks (§3.3 of the paper).
+//!
+//! An *Ebb* is a distributed, multi-core fragmented object: a single
+//! [`EbbId`] names the object system-wide, while each core that invokes
+//! it holds its own *representative* (rep). Invocation resolves the id
+//! through a per-core translation table:
+//!
+//! * **Fast path** — one table load and one null check more than a plain
+//!   method call (Table 1 of the paper measures this at ~0.4 cycles per
+//!   call over an inlined C++ call). Reps are found via
+//!   `translation[core][id]`; the call is statically dispatched on the
+//!   rep type, so the compiler can inline through it.
+//! * **Miss path** — a type-specific fault handler constructs the rep on
+//!   demand from the Ebb's registered *root* (shared state), installs it
+//!   in the calling core's slot, and retries. Short-lived Ebbs touched on
+//!   one core therefore never pay for representatives elsewhere.
+//!
+//! The paper backs the per-core table with distinct per-core physical
+//! pages mapped at one virtual address; in this reproduction the table is
+//! an explicit two-dimensional array indexed by the current core (from
+//! [`crate::cpu`]), which preserves both the cost profile (indexed load)
+//! and the semantics.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::cpu::{self, CoreId};
+use crate::spinlock::SpinLock;
+
+/// System-wide unique identifier of an Ebb instance (32 bits, as in the
+/// paper's implementation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EbbId(pub u32);
+
+impl fmt::Debug for EbbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EbbId({})", self.0)
+    }
+}
+
+/// First id handed out by the dynamic allocator; ids below this are
+/// reserved for well-known system Ebbs (memory allocator, event manager,
+/// network manager, ...), mirroring EbbRT's static id range.
+pub const FIRST_DYNAMIC_ID: u32 = 64;
+
+/// A multi-core Ebb: describes how to build a per-core representative
+/// from the instance's shared root state.
+///
+/// The root is the Ebb's cross-core anchor (configuration, shared tables,
+/// cross-rep coordination state); reps typically hold a reference to it.
+pub trait MulticoreEbb: Sized + 'static {
+    /// Shared (cross-core) state of one Ebb instance.
+    type Root: Send + Sync + 'static;
+
+    /// Constructs this core's representative. Called at most once per
+    /// (instance, core), on the faulting core, from the miss path.
+    fn create_rep(root: &Arc<Self::Root>, core: CoreId) -> Self;
+}
+
+/// Per-machine Ebb state: the translation tables, id allocator and root
+/// registry. One per [`crate::runtime::Runtime`].
+pub struct EbbManager {
+    ncores: usize,
+    capacity: usize,
+    /// `ncores * capacity` slots; slot `core * capacity + id` holds the
+    /// rep pointer for (core, id), or null.
+    slots: Box<[AtomicPtr<()>]>,
+    next_id: AtomicU32,
+    roots: SpinLock<HashMap<u32, RootEntry>>,
+    /// Installed reps, recorded so `Drop` can free them with the correct
+    /// type: (slot index, dropper).
+    installed: SpinLock<Vec<(usize, unsafe fn(*mut ()))>>,
+}
+
+struct RootEntry {
+    root: Arc<dyn Any + Send + Sync>,
+    type_id: TypeId,
+    type_name: &'static str,
+}
+
+impl EbbManager {
+    /// Creates a manager for `ncores` cores with room for `capacity`
+    /// distinct Ebb ids.
+    pub fn new(ncores: usize, capacity: usize) -> Self {
+        assert!(capacity as u64 >= FIRST_DYNAMIC_ID as u64);
+        let slots = (0..ncores * capacity)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EbbManager {
+            ncores,
+            capacity,
+            slots,
+            next_id: AtomicU32::new(FIRST_DYNAMIC_ID),
+            roots: SpinLock::new(HashMap::new()),
+            installed: SpinLock::new(Vec::new()),
+        }
+    }
+
+    /// Number of cores this manager serves.
+    pub fn ncores(&self) -> usize {
+        self.ncores
+    }
+
+    /// Allocates a fresh machine-local [`EbbId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id space (`capacity`) is exhausted.
+    pub fn allocate_id(&self) -> EbbId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            (id as usize) < self.capacity,
+            "EbbId space exhausted (capacity {})",
+            self.capacity
+        );
+        EbbId(id)
+    }
+
+    /// Registers the shared root for Ebb `id` of rep type `T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a root is already registered for `id`.
+    pub fn register_root<T: MulticoreEbb>(&self, id: EbbId, root: T::Root) {
+        self.register_root_arc::<T>(id, Arc::new(root));
+    }
+
+    /// Like [`Self::register_root`] but accepts an existing `Arc`.
+    pub fn register_root_arc<T: MulticoreEbb>(&self, id: EbbId, root: Arc<T::Root>) {
+        let mut roots = self.roots.lock();
+        let prev = roots.insert(
+            id.0,
+            RootEntry {
+                root,
+                type_id: TypeId::of::<T>(),
+                type_name: std::any::type_name::<T>(),
+            },
+        );
+        assert!(prev.is_none(), "root already registered for {id:?}");
+    }
+
+    /// Returns the registered root for `id`, if any.
+    pub fn root<T: MulticoreEbb>(&self, id: EbbId) -> Option<Arc<T::Root>> {
+        let roots = self.roots.lock();
+        let entry = roots.get(&id.0)?;
+        Arc::downcast::<T::Root>(Arc::clone(&entry.root)).ok()
+    }
+
+    #[inline]
+    fn slot_index(&self, core: CoreId, id: EbbId) -> usize {
+        debug_assert!((id.0 as usize) < self.capacity, "EbbId out of range");
+        core.index() * self.capacity + id.0 as usize
+    }
+
+    /// Invokes `f` on the calling core's representative for `id`,
+    /// constructing it from the registered root on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread is not bound to a core, if no root is
+    /// registered on a miss, or (in debug builds) on a rep type mismatch.
+    #[inline]
+    pub fn with_rep<T: MulticoreEbb, R>(&self, id: EbbId, f: impl FnOnce(&T) -> R) -> R {
+        self.with_rep_on(cpu::current(), id, f)
+    }
+
+    /// As [`Self::with_rep`] with the core supplied by the caller (the
+    /// runtime fast path already knows it).
+    #[inline]
+    pub fn with_rep_on<T: MulticoreEbb, R>(
+        &self,
+        core: CoreId,
+        id: EbbId,
+        f: impl FnOnce(&T) -> R,
+    ) -> R {
+        debug_assert_eq!(cpu::try_current(), Some(core));
+        let idx = self.slot_index(core, id);
+        let p = self.slots[idx].load(Ordering::Acquire);
+        if p.is_null() {
+            return self.miss::<T, R>(id, core, f);
+        }
+        self.debug_check_type::<T>(id);
+        // SAFETY: the slot for (core, id) is written exactly once (from
+        // this core, in `install_raw`) with a `Box<T>` whose type was
+        // checked against the registered root's rep type, and is never
+        // cleared while the manager lives. Only the owning core reads the
+        // slot through this path, and reps outlive the call because they
+        // are freed only in `Drop` (when no calls can be live).
+        let rep = unsafe { &*(p as *const T) };
+        f(rep)
+    }
+
+    /// Miss path: build the rep from the root and install it.
+    #[cold]
+    fn miss<T: MulticoreEbb, R>(&self, id: EbbId, core: CoreId, f: impl FnOnce(&T) -> R) -> R {
+        let root = {
+            let roots = self.roots.lock();
+            let entry = roots
+                .get(&id.0)
+                .unwrap_or_else(|| panic!("Ebb miss on {id:?}: no root registered"));
+            assert_eq!(
+                entry.type_id,
+                TypeId::of::<T>(),
+                "Ebb {id:?} registered as {} but invoked as {}",
+                entry.type_name,
+                std::any::type_name::<T>()
+            );
+            Arc::downcast::<T::Root>(Arc::clone(&entry.root))
+                .expect("root type mismatch despite rep type match")
+        };
+        let rep = T::create_rep(&root, core);
+        self.install_rep(id, core, rep);
+        self.with_rep(id, f)
+    }
+
+    /// Installs `rep` as (core, id)'s representative directly, bypassing
+    /// the root-based miss path (used for hand-placed reps and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling thread is not bound to `core`, or if the
+    /// slot is already occupied.
+    pub fn install_rep<T: 'static>(&self, id: EbbId, core: CoreId, rep: T) {
+        assert_eq!(
+            cpu::try_current(),
+            Some(core),
+            "reps must be installed from their owning core"
+        );
+        let idx = self.slot_index(core, id);
+        let p = Box::into_raw(Box::new(rep)) as *mut ();
+        let prev = self.slots[idx].compare_exchange(
+            std::ptr::null_mut(),
+            p,
+            Ordering::Release,
+            Ordering::Relaxed,
+        );
+        if prev.is_err() {
+            // SAFETY: `p` came from `Box::into_raw` above and was not
+            // published.
+            drop(unsafe { Box::from_raw(p as *mut T) });
+            panic!("rep already installed for ({core}, {id:?})");
+        }
+        /// Reconstructs and drops the `Box<T>` behind an installed rep.
+        ///
+        /// # Safety
+        ///
+        /// `p` must be the pointer produced by `Box::into_raw` for a `T`.
+        unsafe fn drop_rep<T>(p: *mut ()) {
+            // SAFETY: guaranteed by this function's contract; called only
+            // from `EbbManager::drop` with the recorded pointer.
+            drop(unsafe { Box::from_raw(p as *mut T) });
+        }
+        self.installed.lock().push((idx, drop_rep::<T>));
+    }
+
+    /// Returns whether (core, id) currently has an installed rep.
+    pub fn has_rep(&self, id: EbbId, core: CoreId) -> bool {
+        !self.slots[self.slot_index(core, id)]
+            .load(Ordering::Acquire)
+            .is_null()
+    }
+
+    #[inline]
+    fn debug_check_type<T: MulticoreEbb>(&self, id: EbbId) {
+        if cfg!(debug_assertions) {
+            let roots = self.roots.lock();
+            if let Some(entry) = roots.get(&id.0) {
+                assert_eq!(
+                    entry.type_id,
+                    TypeId::of::<T>(),
+                    "Ebb {id:?} registered as {} but invoked as {}",
+                    entry.type_name,
+                    std::any::type_name::<T>()
+                );
+            }
+        }
+    }
+}
+
+impl Drop for EbbManager {
+    fn drop(&mut self) {
+        for (idx, dropper) in self.installed.get_mut().drain(..) {
+            let p = self.slots[idx].load(Ordering::Acquire);
+            debug_assert!(!p.is_null());
+            // SAFETY: `installed` records exactly the pointers published
+            // by `install_rep`, each with its matching typed dropper, and
+            // nothing can call into the manager during `drop`.
+            unsafe { dropper(p) };
+        }
+    }
+}
+
+/// A typed, copyable reference to an Ebb instance — the unit passed
+/// around application code. Dereference cost is the translation-table
+/// load described in the module docs.
+///
+/// `EbbRef` resolves through the *current runtime* (see
+/// [`crate::runtime`]), so the same ref works on any core of the machine.
+pub struct EbbRef<T: MulticoreEbb> {
+    id: EbbId,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: MulticoreEbb> Clone for EbbRef<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: MulticoreEbb> Copy for EbbRef<T> {}
+
+impl<T: MulticoreEbb> fmt::Debug for EbbRef<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EbbRef<{}>({})", std::any::type_name::<T>(), self.id.0)
+    }
+}
+
+impl<T: MulticoreEbb> EbbRef<T> {
+    /// Creates a new Ebb instance in the current runtime: allocates an
+    /// id, registers `root`, and returns the reference.
+    pub fn create(root: T::Root) -> Self {
+        crate::runtime::with_current(|rt| {
+            let id = rt.ebbs().allocate_id();
+            rt.ebbs().register_root::<T>(id, root);
+            EbbRef {
+                id,
+                _marker: PhantomData,
+            }
+        })
+    }
+
+    /// Wraps an existing id (for well-known/static Ebbs and for ids
+    /// transported between machines).
+    pub fn from_id(id: EbbId) -> Self {
+        EbbRef {
+            id,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The underlying id.
+    pub fn id(&self) -> EbbId {
+        self.id
+    }
+
+    /// Invokes `f` on the calling core's representative, constructing it
+    /// on first use (the Ebb call itself). One thread-local read, one
+    /// slot load, one null check — the paper's fast path.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        crate::runtime::with_current_on(|rt, core| rt.ebbs().with_rep_on(core, self.id, f))
+    }
+
+    /// Returns this Ebb's root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no root is registered (e.g. a hand-installed Ebb).
+    pub fn root(&self) -> Arc<T::Root> {
+        crate::runtime::with_current(|rt| {
+            rt.ebbs()
+                .root::<T>(self.id)
+                .unwrap_or_else(|| panic!("no root registered for {:?}", self.id))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct CounterEbb {
+        core: CoreId,
+        local: std::cell::Cell<usize>,
+        _root: Arc<CounterRoot>,
+    }
+
+    #[derive(Default)]
+    struct CounterRoot {
+        reps_created: AtomicUsize,
+    }
+
+    impl MulticoreEbb for CounterEbb {
+        type Root = CounterRoot;
+        fn create_rep(root: &Arc<CounterRoot>, core: CoreId) -> Self {
+            root.reps_created.fetch_add(1, Ordering::SeqCst);
+            CounterEbb {
+                core,
+                local: std::cell::Cell::new(0),
+                _root: Arc::clone(root),
+            }
+        }
+    }
+
+    impl CounterEbb {
+        fn bump(&self) -> usize {
+            self.local.set(self.local.get() + 1);
+            self.local.get()
+        }
+    }
+
+    #[test]
+    fn lazy_rep_construction_per_core() {
+        let mgr = EbbManager::new(2, 128);
+        let id = mgr.allocate_id();
+        mgr.register_root::<CounterEbb>(id, CounterRoot::default());
+
+        {
+            let _b = cpu::bind(CoreId(0));
+            assert!(!mgr.has_rep(id, CoreId(0)));
+            assert_eq!(mgr.with_rep::<CounterEbb, _>(id, |r| r.bump()), 1);
+            assert!(mgr.has_rep(id, CoreId(0)));
+            assert_eq!(mgr.with_rep::<CounterEbb, _>(id, |r| r.bump()), 2);
+            assert_eq!(mgr.with_rep::<CounterEbb, _>(id, |r| r.core), CoreId(0));
+        }
+        {
+            let _b = cpu::bind(CoreId(1));
+            // Fresh rep, independent counter.
+            assert_eq!(mgr.with_rep::<CounterEbb, _>(id, |r| r.bump()), 1);
+        }
+        let root = mgr.root::<CounterEbb>(id).unwrap();
+        assert_eq!(root.reps_created.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn ids_are_unique_and_dynamic() {
+        let mgr = EbbManager::new(1, 128);
+        let a = mgr.allocate_id();
+        let b = mgr.allocate_id();
+        assert_ne!(a, b);
+        assert!(a.0 >= FIRST_DYNAMIC_ID);
+    }
+
+    #[test]
+    #[should_panic(expected = "no root registered")]
+    fn miss_without_root_panics() {
+        let mgr = EbbManager::new(1, 128);
+        let _b = cpu::bind(CoreId(0));
+        mgr.with_rep::<CounterEbb, _>(EbbId(70), |r| r.bump());
+    }
+
+    #[test]
+    #[should_panic(expected = "root already registered")]
+    fn double_root_registration_panics() {
+        let mgr = EbbManager::new(1, 128);
+        let id = mgr.allocate_id();
+        mgr.register_root::<CounterEbb>(id, CounterRoot::default());
+        mgr.register_root::<CounterEbb>(id, CounterRoot::default());
+    }
+
+    struct OtherEbb;
+    impl MulticoreEbb for OtherEbb {
+        type Root = ();
+        fn create_rep(_: &Arc<()>, _: CoreId) -> Self {
+            OtherEbb
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invoked as")]
+    fn type_mismatch_panics() {
+        let mgr = EbbManager::new(1, 128);
+        let id = mgr.allocate_id();
+        mgr.register_root::<CounterEbb>(id, CounterRoot::default());
+        let _b = cpu::bind(CoreId(0));
+        mgr.with_rep::<OtherEbb, _>(id, |_| ());
+    }
+
+    #[test]
+    fn install_rep_bypasses_root() {
+        let mgr = EbbManager::new(1, 128);
+        let id = mgr.allocate_id();
+        let _b = cpu::bind(CoreId(0));
+        mgr.install_rep(
+            id,
+            CoreId(0),
+            CounterEbb {
+                core: CoreId(0),
+                local: std::cell::Cell::new(41),
+                _root: Arc::new(CounterRoot::default()),
+            },
+        );
+        assert_eq!(mgr.with_rep::<CounterEbb, _>(id, |r| r.bump()), 42);
+    }
+
+    #[test]
+    fn reps_are_dropped_with_manager() {
+        struct DropTracker(Arc<AtomicUsize>);
+        impl Drop for DropTracker {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        impl MulticoreEbb for DropTracker {
+            type Root = Arc<AtomicUsize>;
+            fn create_rep(root: &Arc<Arc<AtomicUsize>>, _: CoreId) -> Self {
+                DropTracker(Arc::clone(root))
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let mgr = EbbManager::new(1, 128);
+            let id = mgr.allocate_id();
+            mgr.register_root::<DropTracker>(id, Arc::clone(&drops));
+            let _b = cpu::bind(CoreId(0));
+            mgr.with_rep::<DropTracker, _>(id, |_| ());
+            assert_eq!(drops.load(Ordering::SeqCst), 0);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,947 @@
+//! Non-preemptive event-driven execution (§3.2 of the paper).
+//!
+//! Each core runs one event loop. Handlers run to completion — never
+//! preempted, never migrated — which is what lets per-core data
+//! structures be accessed without synchronization throughout the system.
+//!
+//! The dispatch algorithm reproduces the paper's starvation-avoidance
+//! loop. After an event completes the manager:
+//!
+//! 1. handles any pending hardware interrupts (and expired timers),
+//! 2. dispatches *one* synthetic (spawned) event, if any,
+//! 3. invokes all registered idle handlers,
+//! 4. halts (parks) — unless any of the above ran a handler, in which
+//!    case it starts again at 1.
+//!
+//! Hardware interrupts and synthetic events therefore get priority over
+//! repeatedly-invoked idle handlers, while idle handlers (the mechanism
+//! behind adaptive device polling) still run whenever the core would
+//! otherwise idle.
+//!
+//! Cooperative blocking (§3.2 "save and restore event state"): an event
+//! may [`EventManager::save_context`], which suspends its stack, hands
+//! the event loop to a successor thread, and resumes when another event
+//! [`EventContext::activate`]s it. [`block_on`] packages this into
+//! blocking semantics over [`crate::future::Future`].
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::rcu::CoreEpoch;
+
+use crossbeam::queue::SegQueue;
+use parking_lot::{Condvar, Mutex};
+
+use crate::clock::{Clock, Ns};
+use crate::cpu::{self, CoreId};
+use crate::future::{FutResult, Future};
+
+/// A one-shot event handler, local to a core.
+pub type EventHandler = Box<dyn FnOnce() + 'static>;
+/// A one-shot event handler that may cross cores.
+pub type SendEventHandler = Box<dyn FnOnce() + Send + 'static>;
+
+/// An interrupt vector number allocated from an [`EventManager`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct InterruptVector(pub u32);
+
+/// Token identifying a registered idle handler.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IdleToken(u64);
+
+/// Token identifying a pending timer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimerToken(u64);
+
+/// What a single dispatch pass accomplished.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Progress {
+    /// Hardware interrupts (and expired timers) handled.
+    pub interrupts: usize,
+    /// Whether a synthetic event was dispatched.
+    pub synthetic: bool,
+    /// Idle handlers that reported doing useful work.
+    pub idle_work: usize,
+    /// Idle handlers invoked.
+    pub idle_invoked: usize,
+}
+
+impl Progress {
+    /// Whether any handler was invoked at all.
+    pub fn any(&self) -> bool {
+        self.interrupts > 0 || self.synthetic || self.idle_invoked > 0
+    }
+
+    /// Whether any non-idle handler ran (interrupts get priority; the
+    /// run loop restarts its pass when this is true).
+    pub fn any_priority(&self) -> bool {
+        self.interrupts > 0 || self.synthetic
+    }
+}
+
+/// Cumulative dispatch statistics, readable from any thread.
+#[derive(Default)]
+pub struct EventStats {
+    /// Hardware interrupt handlers invoked.
+    pub interrupts: AtomicU64,
+    /// Synthetic events dispatched.
+    pub synthetic: AtomicU64,
+    /// Timer handlers fired.
+    pub timers: AtomicU64,
+    /// Idle handler invocations.
+    pub idle: AtomicU64,
+}
+
+struct TimerEntry {
+    deadline: Ns,
+    seq: u64,
+    token: u64,
+    handler: EventHandler,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// State shared between the owning core and remote producers.
+pub(crate) struct EmShared {
+    core: CoreId,
+    remote: SegQueue<SendEventHandler>,
+    interrupts: SegQueue<u32>,
+    waker: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+    successor: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+    /// Quiescence state shared with the machine's RCU domain: bumped at
+    /// every event boundary, flagged during handler execution.
+    epoch: Arc<CoreEpoch>,
+    exit: AtomicBool,
+}
+
+impl EmShared {
+    fn wake(&self) {
+        let waker = self.waker.lock().clone();
+        if let Some(w) = waker {
+            w();
+        }
+    }
+
+    fn push_remote(&self, f: SendEventHandler) {
+        self.remote.push(f);
+        self.wake();
+    }
+}
+
+/// Owner-only state: touched exclusively by the thread currently bound
+/// to this manager's core.
+struct EmOwned {
+    local: VecDeque<EventHandler>,
+    vectors: Vec<Option<Rc<dyn Fn()>>>,
+    free_vectors: Vec<u32>,
+    idle: Vec<(u64, Rc<dyn Fn() -> bool>)>,
+    next_idle_token: u64,
+    timers: BinaryHeap<TimerEntry>,
+    cancelled_timers: HashSet<u64>,
+    next_timer_token: u64,
+    timer_seq: u64,
+    pending_handoff: Option<EventContext>,
+}
+
+/// Cell holding owner-only state with a dynamic single-core ownership
+/// check (see [`crate::cpu::CoreLocal`] for the access rules).
+struct OwnedByCore<T> {
+    core: CoreId,
+    value: UnsafeCell<T>,
+    borrowed: Cell<bool>,
+}
+
+// SAFETY: the contents are deliberately non-Send (Rc handlers, local
+// closures) yet move between loop-runner threads across cooperative-
+// blocking handoffs. This is sound because the handoff protocol
+// guarantees (a) at most one thread is dispatching for the core at any
+// instant, so no two threads ever touch the value concurrently, and (b)
+// every transfer of the dispatching role synchronizes through
+// EventContext's mutex (successor spawn / signal), establishing
+// happens-before between the old and new runner's accesses. Access is
+// additionally gated on the calling thread being bound to `core`, and
+// the `borrowed` flag excludes re-entrant aliasing.
+unsafe impl<T> Sync for OwnedByCore<T> {}
+// SAFETY: as above — transfers are synchronized by the handoff protocol.
+unsafe impl<T> Send for OwnedByCore<T> {}
+
+impl<T> OwnedByCore<T> {
+    fn new(core: CoreId, value: T) -> Self {
+        OwnedByCore {
+            core,
+            value: UnsafeCell::new(value),
+            borrowed: Cell::new(false),
+        }
+    }
+
+    #[inline]
+    fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        assert_eq!(
+            cpu::try_current(),
+            Some(self.core),
+            "EventManager owner state accessed off-core"
+        );
+        assert!(!self.borrowed.get(), "re-entrant EventManager access");
+        self.borrowed.set(true);
+        struct Reset<'a>(&'a Cell<bool>);
+        impl Drop for Reset<'_> {
+            fn drop(&mut self) {
+                self.0.set(false);
+            }
+        }
+        let _r = Reset(&self.borrowed);
+        // SAFETY: see the `Sync` impl above; checks just performed.
+        let v = unsafe { &mut *self.value.get() };
+        f(v)
+    }
+}
+
+/// Per-core event manager: dispatch loop state, interrupt vectors,
+/// synthetic event queues, timers and idle handlers.
+pub struct EventManager {
+    clock: Arc<dyn Clock>,
+    shared: Arc<EmShared>,
+    owned: OwnedByCore<EmOwned>,
+    /// Dispatch statistics.
+    pub stats: EventStats,
+}
+
+impl EventManager {
+    /// Creates the manager for `core`, reading time from `clock` and
+    /// reporting event boundaries to `epoch` (the core's slice of the
+    /// machine's RCU domain).
+    pub fn new(core: CoreId, clock: Arc<dyn Clock>, epoch: Arc<CoreEpoch>) -> Self {
+        EventManager {
+            clock,
+            shared: Arc::new(EmShared {
+                core,
+                remote: SegQueue::new(),
+                interrupts: SegQueue::new(),
+                waker: Mutex::new(None),
+                successor: Mutex::new(None),
+                epoch,
+                exit: AtomicBool::new(false),
+            }),
+            owned: OwnedByCore::new(
+                core,
+                EmOwned {
+                    local: VecDeque::new(),
+                    vectors: Vec::new(),
+                    free_vectors: Vec::new(),
+                    idle: Vec::new(),
+                    next_idle_token: 0,
+                    timers: BinaryHeap::new(),
+                    cancelled_timers: HashSet::new(),
+                    next_timer_token: 0,
+                    timer_seq: 0,
+                    pending_handoff: None,
+                },
+            ),
+            stats: EventStats::default(),
+        }
+    }
+
+    /// The core this manager serves.
+    pub fn core(&self) -> CoreId {
+        self.shared.core
+    }
+
+    /// Current time according to this manager's clock.
+    pub fn now_ns(&self) -> Ns {
+        self.clock.now_ns()
+    }
+
+    // --- Spawning ------------------------------------------------------
+
+    /// Queues a synthetic event on this core from the owning core itself
+    /// (non-`Send` handlers allowed). Spawned events run exactly once.
+    pub fn spawn_local(&self, f: impl FnOnce() + 'static) {
+        self.owned.with(|o| o.local.push_back(Box::new(f)));
+    }
+
+    /// Queues a synthetic event on this core from any thread.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        if cpu::try_current() == Some(self.shared.core) {
+            self.spawn_local(f);
+        } else {
+            self.shared.push_remote(Box::new(f));
+        }
+    }
+
+    /// Handle for cross-thread spawning without holding `&EventManager`.
+    pub fn spawner(&self) -> Spawner {
+        Spawner {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    // --- Interrupts ----------------------------------------------------
+
+    /// Allocates an interrupt vector and binds `handler` to it (the
+    /// paper's `EventManager` device-interrupt registration). Owner-core
+    /// only.
+    pub fn allocate_vector(&self, handler: impl Fn() + 'static) -> InterruptVector {
+        self.owned.with(|o| {
+            let h: Rc<dyn Fn()> = Rc::new(handler);
+            if let Some(v) = o.free_vectors.pop() {
+                o.vectors[v as usize] = Some(h);
+                InterruptVector(v)
+            } else {
+                o.vectors.push(Some(h));
+                InterruptVector((o.vectors.len() - 1) as u32)
+            }
+        })
+    }
+
+    /// Unbinds `vector`, allowing its number to be reused.
+    pub fn free_vector(&self, vector: InterruptVector) {
+        self.owned.with(|o| {
+            o.vectors[vector.0 as usize] = None;
+            o.free_vectors.push(vector.0);
+        });
+    }
+
+    /// Returns a cross-thread handle that raises `vector` on this core —
+    /// what a (simulated) device holds.
+    pub fn interrupt_line(&self, vector: InterruptVector) -> InterruptLine {
+        InterruptLine {
+            shared: Arc::clone(&self.shared),
+            vector,
+        }
+    }
+
+    // --- Idle handlers --------------------------------------------------
+
+    /// Registers a handler invoked whenever the core would otherwise
+    /// idle; it returns whether it performed useful work. This is the
+    /// polling primitive behind the adaptive NIC driver.
+    pub fn add_idle_handler(&self, f: impl Fn() -> bool + 'static) -> IdleToken {
+        self.owned.with(|o| {
+            let token = o.next_idle_token;
+            o.next_idle_token += 1;
+            o.idle.push((token, Rc::new(f)));
+            IdleToken(token)
+        })
+    }
+
+    /// Removes a previously registered idle handler.
+    pub fn remove_idle_handler(&self, token: IdleToken) {
+        self.owned.with(|o| {
+            o.idle.retain(|(t, _)| *t != token.0);
+        });
+    }
+
+    /// Whether any idle handlers are installed (a polling core must spin
+    /// rather than halt).
+    pub fn has_idle_handlers(&self) -> bool {
+        self.owned.with(|o| !o.idle.is_empty())
+    }
+
+    // --- Timers ---------------------------------------------------------
+
+    /// Arms a one-shot timer `delay_ns` from now.
+    pub fn set_timer(&self, delay_ns: Ns, f: impl FnOnce() + 'static) -> TimerToken {
+        let deadline = self.clock.now_ns() + delay_ns;
+        self.owned.with(|o| {
+            let token = o.next_timer_token;
+            o.next_timer_token += 1;
+            let seq = o.timer_seq;
+            o.timer_seq += 1;
+            o.timers.push(TimerEntry {
+                deadline,
+                seq,
+                token,
+                handler: Box::new(f),
+            });
+            TimerToken(token)
+        })
+    }
+
+    /// Cancels a pending timer; a timer that already fired is a no-op.
+    pub fn cancel_timer(&self, token: TimerToken) {
+        self.owned.with(|o| {
+            o.cancelled_timers.insert(token.0);
+        });
+    }
+
+    /// Earliest pending timer deadline, if any.
+    pub fn next_timer_deadline(&self) -> Option<Ns> {
+        self.owned.with(|o| {
+            // Skip cancelled entries without firing them.
+            while let Some(top) = o.timers.peek() {
+                if o.cancelled_timers.remove(&top.token) {
+                    o.timers.pop();
+                } else {
+                    return Some(top.deadline);
+                }
+            }
+            None
+        })
+    }
+
+    // --- Dispatch --------------------------------------------------------
+
+    /// Runs one pass of the dispatch algorithm (steps 1–3 of the module
+    /// docs). The caller loops while [`Progress::any`] and halts/parks
+    /// otherwise.
+    pub fn run_once(&self) -> Progress {
+        let mut progress = Progress::default();
+        progress.interrupts = self.dispatch_interrupts();
+        progress.interrupts += self.dispatch_expired_timers();
+        progress.synthetic = self.dispatch_one_synthetic();
+        if !progress.any_priority() {
+            let (invoked, worked) = self.dispatch_idle();
+            progress.idle_invoked = invoked;
+            progress.idle_work = worked;
+        }
+        progress
+    }
+
+    /// Drains every immediately runnable event (interrupts, timers,
+    /// synthetic). Used by tests and the simulated backend to reach
+    /// quiescence after an injection. Returns handlers run.
+    pub fn drain(&self) -> usize {
+        let mut total = 0;
+        loop {
+            let mut ran = self.dispatch_interrupts();
+            ran += self.dispatch_expired_timers();
+            if self.dispatch_one_synthetic() {
+                ran += 1;
+            }
+            if ran == 0 {
+                return total;
+            }
+            total += ran;
+        }
+    }
+
+    fn dispatch_interrupts(&self) -> usize {
+        let mut n = 0;
+        while let Some(v) = self.shared.interrupts.pop() {
+            let handler = self
+                .owned
+                .with(|o| o.vectors.get(v as usize).and_then(|h| h.clone()));
+            if let Some(h) = handler {
+                self.invoke(|| h());
+                self.stats.interrupts.fetch_add(1, Ordering::Relaxed);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    fn dispatch_expired_timers(&self) -> usize {
+        let now = self.clock.now_ns();
+        let mut n = 0;
+        loop {
+            let entry = self.owned.with(|o| {
+                match o.timers.peek() {
+                    Some(top) if top.deadline <= now => {}
+                    _ => return None,
+                }
+                let e = o.timers.pop().expect("peeked entry vanished");
+                if o.cancelled_timers.remove(&e.token) {
+                    Some(None)
+                } else {
+                    Some(Some(e.handler))
+                }
+            });
+            match entry {
+                None => return n,
+                Some(None) => continue,
+                Some(Some(h)) => {
+                    self.invoke(h);
+                    self.stats.timers.fetch_add(1, Ordering::Relaxed);
+                    n += 1;
+                }
+            }
+        }
+    }
+
+    fn dispatch_one_synthetic(&self) -> bool {
+        // Local (same-core) events first, then remote arrivals.
+        let ev = self
+            .owned
+            .with(|o| o.local.pop_front())
+            .map(|f| f as EventHandler)
+            .or_else(|| self.shared.remote.pop().map(|f| f as EventHandler));
+        match ev {
+            Some(f) => {
+                self.invoke(f);
+                self.stats.synthetic.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn dispatch_idle(&self) -> (usize, usize) {
+        let handlers = self.owned.with(|o| o.idle.clone());
+        let mut worked = 0;
+        for (_, h) in &handlers {
+            let did = {
+                let mut result = false;
+                self.invoke(|| result = h());
+                result
+            };
+            if did {
+                worked += 1;
+            }
+            self.stats.idle.fetch_add(1, Ordering::Relaxed);
+        }
+        (handlers.len(), worked)
+    }
+
+    /// Runs one handler with event bookkeeping (in-event flag for RCU,
+    /// quiescence bump at the boundary).
+    fn invoke(&self, f: impl FnOnce()) {
+        self.shared.epoch.enter();
+        f();
+        // Event boundary: quiescent state for RCU.
+        self.shared.epoch.exit_quiescent();
+    }
+
+    // --- Loop control ----------------------------------------------------
+
+    /// Installs the callback used to wake a halted core (threaded
+    /// backend: unpark; simulated backend: schedule a poll event).
+    pub fn register_waker(&self, waker: Arc<dyn Fn() + Send + Sync>) {
+        *self.shared.waker.lock() = Some(waker);
+    }
+
+    /// Installs the callback that spawns a successor loop runner,
+    /// enabling [`Self::save_context`]. Only the threaded backend sets
+    /// this.
+    pub fn register_successor_spawner(&self, spawner: Arc<dyn Fn() + Send + Sync>) {
+        *self.shared.successor.lock() = Some(spawner);
+    }
+
+    /// Requests loop exit (machine shutdown) and wakes the core.
+    pub fn request_exit(&self) {
+        self.shared.exit.store(true, Ordering::Release);
+        self.shared.wake();
+    }
+
+    /// Whether exit has been requested.
+    pub fn exit_requested(&self) -> bool {
+        self.shared.exit.load(Ordering::Acquire)
+    }
+
+    /// Whether any immediately runnable work is queued. Cross-core
+    /// callers see only the shared queues (interrupts, remote spawns);
+    /// the owning core additionally sees local events and due timers.
+    pub fn pending_work(&self) -> bool {
+        if !self.shared.interrupts.is_empty() || !self.shared.remote.is_empty() {
+            return true;
+        }
+        if cpu::try_current() != Some(self.shared.core) {
+            return false;
+        }
+        let timer_due = self
+            .next_timer_deadline()
+            .is_some_and(|d| d <= self.clock.now_ns());
+        timer_due || self.owned.with(|o| !o.local.is_empty())
+    }
+
+    /// Event-boundary counter (used by RCU grace-period detection).
+    pub fn quiescent_count(&self) -> u64 {
+        self.shared.epoch.count()
+    }
+
+    /// Whether a handler is currently executing on this core.
+    pub fn in_event(&self) -> bool {
+        self.shared.epoch.in_event()
+    }
+
+    // --- Cooperative blocking (save/restore event state) -----------------
+
+    /// Suspends the current event, handing the loop to a successor
+    /// thread. `setup` receives the [`EventContext`] and must arrange for
+    /// [`EventContext::activate`] to be called eventually; `save_context`
+    /// returns when that happens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called off the owning core or on a backend without a
+    /// successor spawner (the simulated backend — use futures there).
+    pub fn save_context(&self, setup: impl FnOnce(EventContext)) {
+        assert_eq!(
+            cpu::try_current(),
+            Some(self.shared.core),
+            "save_context off-core"
+        );
+        let spawner = self
+            .shared
+            .successor
+            .lock()
+            .clone()
+            .expect("save_context requires the threaded backend (no successor spawner installed)");
+        let ctx = EventContext {
+            inner: Arc::new(CtxInner {
+                resumed: Mutex::new(false),
+                cv: Condvar::new(),
+            }),
+            shared: Arc::clone(&self.shared),
+        };
+        setup(ctx.clone());
+        // Hand the loop to a successor; this thread stops dispatching
+        // until resumed.
+        spawner();
+        ctx.wait();
+    }
+
+    /// Called (on the owning core) by the resume event to transfer the
+    /// loop back to a saved context after the current pass.
+    fn set_pending_handoff(&self, ctx: EventContext) {
+        self.owned.with(|o| {
+            assert!(o.pending_handoff.is_none(), "double handoff");
+            o.pending_handoff = Some(ctx);
+        });
+    }
+
+    /// Takes a pending handoff, if any; the loop runner signals it and
+    /// stops dispatching.
+    pub fn take_handoff(&self) -> Option<EventContext> {
+        self.owned.with(|o| o.pending_handoff.take())
+    }
+}
+
+/// Cross-thread handle for queueing synthetic events on a core.
+#[derive(Clone)]
+pub struct Spawner {
+    shared: Arc<EmShared>,
+}
+
+impl Spawner {
+    /// Queues `f` on the target core.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.shared.push_remote(Box::new(f));
+    }
+
+    /// The core this spawner targets.
+    pub fn core(&self) -> CoreId {
+        self.shared.core
+    }
+}
+
+/// Cross-thread handle a device uses to raise an interrupt on a core.
+#[derive(Clone)]
+pub struct InterruptLine {
+    shared: Arc<EmShared>,
+    vector: InterruptVector,
+}
+
+impl InterruptLine {
+    /// Raises the interrupt: queues the vector and wakes the core.
+    pub fn raise(&self) {
+        self.shared.interrupts.push(self.vector.0);
+        self.shared.wake();
+    }
+
+    /// The vector this line raises.
+    pub fn vector(&self) -> InterruptVector {
+        self.vector
+    }
+}
+
+struct CtxInner {
+    resumed: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// A saved event context: the suspended state of an event that called
+/// [`EventManager::save_context`].
+#[derive(Clone)]
+pub struct EventContext {
+    inner: Arc<CtxInner>,
+    shared: Arc<EmShared>,
+}
+
+impl EventContext {
+    /// Schedules the saved event to resume on its owning core. May be
+    /// called from any thread; the suspended stack continues executing
+    /// once the core's current dispatch pass completes.
+    pub fn activate(self) {
+        let core = self.shared.core;
+        let shared = Arc::clone(&self.shared);
+        shared.push_remote(Box::new(move || {
+            crate::runtime::with_current(|rt| {
+                rt.event_manager(core).set_pending_handoff(self.clone());
+            });
+        }));
+    }
+
+    /// Signals the suspended thread to continue (runner side).
+    pub fn signal(&self) {
+        let mut resumed = self.inner.resumed.lock();
+        *resumed = true;
+        self.inner.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut resumed = self.inner.resumed.lock();
+        while !*resumed {
+            self.inner.cv.wait(&mut resumed);
+        }
+    }
+}
+
+/// Blocks the current *event* (not the thread) until `fut` completes,
+/// using context save/restore; outside an event loop it falls back to
+/// thread blocking. This provides the Go-like concurrency model the
+/// paper layers over events.
+pub fn block_on<T: Send + 'static>(fut: Future<T>) -> FutResult<T> {
+    // Fast path: already complete.
+    let fut = match fut.try_take() {
+        Ok(r) => return r,
+        Err(f) => f,
+    };
+    let on_core = cpu::try_current().is_some() && crate::runtime::is_entered();
+    if !on_core {
+        return fut.block();
+    }
+    let result: Arc<Mutex<Option<FutResult<T>>>> = Arc::new(Mutex::new(None));
+    let result2 = Arc::clone(&result);
+    crate::runtime::with_current(|rt| {
+        let em = rt.event_manager(cpu::current());
+        em.save_context(move |ctx| {
+            fut.then(move |ff| {
+                *result2.lock() = Some(ff.get());
+                ctx.activate();
+                Ok(())
+            });
+        });
+    });
+    let r = result.lock().take();
+    r.expect("context resumed without a result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use std::sync::atomic::AtomicUsize;
+
+    fn em() -> (EventManager, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let epoch = Arc::new(CoreEpoch::new());
+        (EventManager::new(CoreId(0), clock.clone(), epoch), clock)
+    }
+
+    #[test]
+    fn spawned_events_run_once_fifo() {
+        let (em, _) = em();
+        let _b = cpu::bind(CoreId(0));
+        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let log = Rc::clone(&log);
+            em.spawn_local(move || log.borrow_mut().push(i));
+        }
+        // One synthetic per pass.
+        assert!(em.run_once().synthetic);
+        assert_eq!(*log.borrow(), vec![0]);
+        em.drain();
+        assert_eq!(*log.borrow(), vec![0, 1, 2]);
+        assert_eq!(em.drain(), 0);
+    }
+
+    #[test]
+    fn interrupts_preempt_synthetic_in_pass_order() {
+        let (em, _) = em();
+        let _b = cpu::bind(CoreId(0));
+        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let l2 = Rc::clone(&log);
+        let vec = em.allocate_vector(move || l2.borrow_mut().push("irq"));
+        let l3 = Rc::clone(&log);
+        em.spawn_local(move || l3.borrow_mut().push("synth"));
+        em.interrupt_line(vec).raise();
+        em.run_once();
+        // The interrupt ran before the synthetic event in the same pass.
+        assert_eq!(*log.borrow(), vec!["irq", "synth"]);
+    }
+
+    #[test]
+    fn idle_handlers_only_when_nothing_else() {
+        let (em, _) = em();
+        let _b = cpu::bind(CoreId(0));
+        let idles = Rc::new(Cell::new(0));
+        let i2 = Rc::clone(&idles);
+        em.add_idle_handler(move || {
+            i2.set(i2.get() + 1);
+            false
+        });
+        em.spawn_local(|| ());
+        let p = em.run_once();
+        assert!(p.synthetic);
+        assert_eq!(p.idle_invoked, 0, "idle must not run when events pending");
+        let p = em.run_once();
+        assert!(!p.synthetic);
+        assert_eq!(p.idle_invoked, 1);
+        assert_eq!(idles.get(), 1);
+    }
+
+    #[test]
+    fn idle_handler_remove() {
+        let (em, _) = em();
+        let _b = cpu::bind(CoreId(0));
+        let token = em.add_idle_handler(|| false);
+        assert!(em.has_idle_handlers());
+        em.remove_idle_handler(token);
+        assert!(!em.has_idle_handlers());
+        assert_eq!(em.run_once().idle_invoked, 0);
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let (em, clock) = em();
+        let _b = cpu::bind(CoreId(0));
+        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let (l1, l2) = (Rc::clone(&log), Rc::clone(&log));
+        em.set_timer(200, move || l1.borrow_mut().push("late"));
+        em.set_timer(100, move || l2.borrow_mut().push("early"));
+        assert_eq!(em.next_timer_deadline(), Some(100));
+        em.run_once();
+        assert!(log.borrow().is_empty());
+        clock.set(150);
+        em.run_once();
+        assert_eq!(*log.borrow(), vec!["early"]);
+        clock.set(250);
+        em.run_once();
+        assert_eq!(*log.borrow(), vec!["early", "late"]);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let (em, clock) = em();
+        let _b = cpu::bind(CoreId(0));
+        let fired = Rc::new(Cell::new(false));
+        let f2 = Rc::clone(&fired);
+        let t = em.set_timer(100, move || f2.set(true));
+        em.cancel_timer(t);
+        clock.set(200);
+        em.run_once();
+        assert!(!fired.get());
+        assert_eq!(em.next_timer_deadline(), None);
+    }
+
+    #[test]
+    fn quiescent_counter_bumps_per_event() {
+        let (em, _) = em();
+        let _b = cpu::bind(CoreId(0));
+        let q0 = em.quiescent_count();
+        em.spawn_local(|| ());
+        em.spawn_local(|| ());
+        em.drain();
+        assert_eq!(em.quiescent_count(), q0 + 2);
+    }
+
+    #[test]
+    fn remote_spawn_crosses_threads() {
+        let (em, _) = em();
+        let spawner = em.spawner();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        std::thread::spawn(move || {
+            spawner.spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+        })
+        .join()
+        .unwrap();
+        let _b = cpu::bind(CoreId(0));
+        em.drain();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn interrupt_line_from_device_thread() {
+        let (em, _) = em();
+        let _b = cpu::bind(CoreId(0));
+        let hits = Rc::new(Cell::new(0));
+        let h2 = Rc::clone(&hits);
+        let v = em.allocate_vector(move || h2.set(h2.get() + 1));
+        let line = em.interrupt_line(v);
+        std::thread::spawn(move || {
+            line.raise();
+            line.raise();
+        })
+        .join()
+        .unwrap();
+        em.drain();
+        assert_eq!(hits.get(), 2);
+    }
+
+    #[test]
+    fn freed_vector_is_reused_and_unbound() {
+        let (em, _) = em();
+        let _b = cpu::bind(CoreId(0));
+        let v1 = em.allocate_vector(|| ());
+        em.free_vector(v1);
+        let line = em.interrupt_line(v1);
+        line.raise();
+        // No handler bound: raising is harmless and dispatches nothing.
+        assert_eq!(em.run_once().interrupts, 0);
+        let v2 = em.allocate_vector(|| ());
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn nested_spawn_from_handler() {
+        let (em, _) = em();
+        let _b = cpu::bind(CoreId(0));
+        let done = Arc::new(AtomicBool::new(false));
+        let d = Arc::clone(&done);
+        let spawner = em.spawner();
+        em.spawn_local(move || {
+            let d = Arc::clone(&d);
+            spawner.spawn(move || d.store(true, Ordering::SeqCst));
+        });
+        em.drain();
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn pending_work_reflects_queues_and_timers() {
+        let (em, clock) = em();
+        let _b = cpu::bind(CoreId(0));
+        assert!(!em.pending_work());
+        em.spawn_local(|| ());
+        assert!(em.pending_work());
+        em.drain();
+        assert!(!em.pending_work());
+        em.set_timer(100, || ());
+        assert!(!em.pending_work());
+        clock.set(100);
+        assert!(em.pending_work());
+    }
+
+    #[test]
+    fn exit_flag() {
+        let (em, _) = em();
+        assert!(!em.exit_requested());
+        em.request_exit();
+        assert!(em.exit_requested());
+    }
+}

@@ -1,0 +1,686 @@
+//! IOBuf: the zero-copy buffer descriptor (§3.6 of the paper).
+//!
+//! An IOBuf *descriptor* manages ownership of a region of memory plus a
+//! view (window) onto a portion of it. Data moves through the system by
+//! moving descriptors, never by copying bytes:
+//!
+//! * A device driver fills a [`MutIoBuf`] and passes it up the stack.
+//! * Each protocol layer *advances* the view past its header.
+//! * On transmit, layers *prepend* headers into headroom reserved in
+//!   front of the payload, so adding an Ethernet/IP/TCP header never
+//!   reallocates or copies the payload.
+//! * [`IoBuf`] is the frozen, shareable form (`Arc`-backed): TCP keeps a
+//!   clone in its retransmit queue while the device reads another — one
+//!   region, two descriptors, zero copies.
+//! * [`Chain`] strings segments together for scatter/gather I/O, and
+//!   [`Cursor`] parses across segment boundaries.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Read access to a buffer segment's visible bytes.
+pub trait Buf {
+    /// The bytes currently inside the view window.
+    fn bytes(&self) -> &[u8];
+
+    /// Length of the view window.
+    fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Whether the view window is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A uniquely-owned, writable buffer segment with headroom and tailroom.
+///
+/// Layout: `[ headroom | view window | tailroom ]` over one allocation.
+/// `prepend`/`append` grow the window into head/tailroom; `advance`/
+/// `trim_end` shrink it.
+pub struct MutIoBuf {
+    storage: Box<[u8]>,
+    /// Offset of the view window within `storage`.
+    off: usize,
+    /// Length of the view window.
+    len: usize,
+}
+
+impl MutIoBuf {
+    /// Default headroom reserved by [`MutIoBuf::for_payload`]: enough for
+    /// Ethernet (14) + IPv4 (20) + TCP (up to 60) headers, rounded up.
+    pub const DEFAULT_HEADROOM: usize = 128;
+
+    /// Creates a buffer of `capacity` bytes with an empty view at offset 0
+    /// (all capacity is tailroom).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MutIoBuf {
+            storage: vec![0u8; capacity].into_boxed_slice(),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Creates a buffer whose view starts after `headroom` bytes and is
+    /// initially empty; total capacity is `headroom + payload_capacity`.
+    pub fn with_headroom(payload_capacity: usize, headroom: usize) -> Self {
+        MutIoBuf {
+            storage: vec![0u8; headroom + payload_capacity].into_boxed_slice(),
+            off: headroom,
+            len: 0,
+        }
+    }
+
+    /// Creates a buffer holding a copy of `payload`, with
+    /// [`Self::DEFAULT_HEADROOM`] bytes of headroom for protocol headers.
+    pub fn for_payload(payload: &[u8]) -> Self {
+        let mut b = Self::with_headroom(payload.len(), Self::DEFAULT_HEADROOM);
+        b.append_slice(payload);
+        b
+    }
+
+    /// Wraps an owned vector; the view covers the whole vector.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        let len = v.len();
+        MutIoBuf {
+            storage: v.into_boxed_slice(),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Bytes available in front of the view window.
+    pub fn headroom(&self) -> usize {
+        self.off
+    }
+
+    /// Bytes available behind the view window.
+    pub fn tailroom(&self) -> usize {
+        self.storage.len() - self.off - self.len
+    }
+
+    /// Total capacity of the underlying region.
+    pub fn capacity(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Mutable access to the view window.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.storage[self.off..self.off + self.len]
+    }
+
+    /// Extends the window forward (into headroom) by `n` bytes and
+    /// returns the newly exposed prefix for the caller to fill — this is
+    /// how protocol layers add headers without copying the payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the available headroom.
+    pub fn prepend(&mut self, n: usize) -> &mut [u8] {
+        assert!(n <= self.off, "prepend({n}) exceeds headroom {}", self.off);
+        self.off -= n;
+        self.len += n;
+        &mut self.storage[self.off..self.off + n]
+    }
+
+    /// Extends the window backward (into tailroom) by `n` bytes and
+    /// returns the newly exposed suffix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the available tailroom.
+    pub fn append(&mut self, n: usize) -> &mut [u8] {
+        assert!(
+            n <= self.tailroom(),
+            "append({n}) exceeds tailroom {}",
+            self.tailroom()
+        );
+        let start = self.off + self.len;
+        self.len += n;
+        &mut self.storage[start..start + n]
+    }
+
+    /// Appends a copy of `src` into tailroom.
+    pub fn append_slice(&mut self, src: &[u8]) {
+        self.append(src.len()).copy_from_slice(src);
+    }
+
+    /// Shrinks the window from the front by `n` bytes (consumed bytes
+    /// become headroom) — used to strip parsed headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len, "advance({n}) exceeds length {}", self.len);
+        self.off += n;
+        self.len -= n;
+    }
+
+    /// Shrinks the window from the back by `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn trim_end(&mut self, n: usize) {
+        assert!(n <= self.len, "trim_end({n}) exceeds length {}", self.len);
+        self.len -= n;
+    }
+
+    /// Freezes into a shareable, immutable [`IoBuf`] without copying.
+    pub fn freeze(self) -> IoBuf {
+        IoBuf {
+            storage: Arc::from(self.storage),
+            off: self.off,
+            len: self.len,
+        }
+    }
+}
+
+impl Buf for MutIoBuf {
+    fn bytes(&self) -> &[u8] {
+        &self.storage[self.off..self.off + self.len]
+    }
+}
+
+impl fmt::Debug for MutIoBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MutIoBuf")
+            .field("headroom", &self.headroom())
+            .field("len", &self.len)
+            .field("tailroom", &self.tailroom())
+            .finish()
+    }
+}
+
+/// An immutable, reference-counted buffer segment.
+///
+/// Clones share the underlying region; each clone has an independent
+/// view window, so slicing is free.
+#[derive(Clone)]
+pub struct IoBuf {
+    storage: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
+
+impl IoBuf {
+    /// Creates a buffer holding a copy of `data`.
+    pub fn copy_from(data: &[u8]) -> Self {
+        MutIoBuf::from_vec(data.to_vec()).freeze()
+    }
+
+    /// An empty buffer.
+    pub fn empty() -> Self {
+        IoBuf {
+            storage: Arc::from(Vec::new().into_boxed_slice()),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Returns a new descriptor viewing `range` of this view, sharing the
+    /// same storage (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the current view.
+    pub fn slice(&self, start: usize, len: usize) -> IoBuf {
+        assert!(
+            start + len <= self.len,
+            "slice({start}, {len}) exceeds view length {}",
+            self.len
+        );
+        IoBuf {
+            storage: Arc::clone(&self.storage),
+            off: self.off + start,
+            len,
+        }
+    }
+
+    /// Shrinks the view from the front by `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len, "advance({n}) exceeds length {}", self.len);
+        self.off += n;
+        self.len -= n;
+    }
+
+    /// Shrinks the view from the back by `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn trim_end(&mut self, n: usize) {
+        assert!(n <= self.len, "trim_end({n}) exceeds length {}", self.len);
+        self.len -= n;
+    }
+
+    /// Number of descriptors sharing this storage (diagnostic; used by
+    /// tests to assert zero-copy behaviour).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.storage)
+    }
+}
+
+impl Buf for IoBuf {
+    fn bytes(&self) -> &[u8] {
+        &self.storage[self.off..self.off + self.len]
+    }
+}
+
+impl fmt::Debug for IoBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IoBuf")
+            .field("off", &self.off)
+            .field("len", &self.len)
+            .field("refs", &self.ref_count())
+            .finish()
+    }
+}
+
+impl From<MutIoBuf> for IoBuf {
+    fn from(b: MutIoBuf) -> Self {
+        b.freeze()
+    }
+}
+
+/// A chain of buffer segments presented as one logical byte sequence —
+/// the scatter/gather unit accepted by the network stack's send path and
+/// produced by its receive path.
+pub struct Chain<B: Buf> {
+    segments: Vec<B>,
+    total: usize,
+}
+
+impl<B: Buf + Clone> Clone for Chain<B> {
+    /// Clones the descriptor chain; for [`IoBuf`] segments this shares
+    /// the underlying storage (no bytes are copied).
+    fn clone(&self) -> Self {
+        Chain {
+            segments: self.segments.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<B: Buf> Default for Chain<B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: Buf> Chain<B> {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Chain {
+            segments: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// A chain with a single segment.
+    pub fn single(seg: B) -> Self {
+        let total = seg.len();
+        Chain {
+            segments: vec![seg],
+            total,
+        }
+    }
+
+    /// Appends a segment to the back.
+    pub fn push_back(&mut self, seg: B) {
+        self.total += seg.len();
+        self.segments.push(seg);
+    }
+
+    /// Prepends a segment to the front.
+    pub fn push_front(&mut self, seg: B) {
+        self.total += seg.len();
+        self.segments.insert(0, seg);
+    }
+
+    /// Appends all segments of `other`.
+    pub fn append_chain(&mut self, other: Chain<B>) {
+        self.total += other.total;
+        self.segments.extend(other.segments);
+    }
+
+    /// Total logical length across all segments.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the chain holds zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segments, in order.
+    pub fn segments(&self) -> &[B] {
+        &self.segments
+    }
+
+    /// Consumes the chain, yielding its segments.
+    pub fn into_segments(self) -> Vec<B> {
+        self.segments
+    }
+
+    /// Copies the entire logical contents into one `Vec` (explicitly *not*
+    /// zero-copy; used at simulation edges and in tests).
+    pub fn copy_to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total);
+        for s in &self.segments {
+            out.extend_from_slice(s.bytes());
+        }
+        out
+    }
+
+    /// A parsing cursor positioned at the logical start.
+    pub fn cursor(&self) -> Cursor<'_, B> {
+        Cursor {
+            chain: self,
+            seg: 0,
+            off: 0,
+            consumed: 0,
+        }
+    }
+}
+
+impl Chain<IoBuf> {
+    /// Drops `n` bytes from the logical front, discarding exhausted
+    /// segments and advancing into partial ones (no data copied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn advance(&mut self, mut n: usize) {
+        assert!(n <= self.total, "advance({n}) exceeds chain length");
+        self.total -= n;
+        while n > 0 {
+            let first_len = self.segments[0].len();
+            if n >= first_len {
+                self.segments.remove(0);
+                n -= first_len;
+            } else {
+                self.segments[0].advance(n);
+                n = 0;
+            }
+        }
+    }
+
+    /// Splits off the first `n` logical bytes into a new chain, sharing
+    /// storage with this one (segments are sliced, not copied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn split_to(&mut self, n: usize) -> Chain<IoBuf> {
+        assert!(n <= self.total, "split_to({n}) exceeds chain length");
+        let mut out = Chain::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let first_len = self.segments[0].len();
+            if remaining >= first_len {
+                let seg = self.segments.remove(0);
+                remaining -= first_len;
+                out.push_back(seg);
+            } else {
+                let head = self.segments[0].slice(0, remaining);
+                self.segments[0].advance(remaining);
+                out.push_back(head);
+                remaining = 0;
+            }
+        }
+        self.total -= n;
+        out
+    }
+}
+
+/// Converts a chain of mutable segments into a shareable immutable chain.
+impl From<Chain<MutIoBuf>> for Chain<IoBuf> {
+    fn from(chain: Chain<MutIoBuf>) -> Self {
+        let mut out = Chain::new();
+        for seg in chain.into_segments() {
+            out.push_back(seg.freeze());
+        }
+        out
+    }
+}
+
+/// A read cursor over a [`Chain`], crossing segment boundaries
+/// transparently — the analogue of EbbRT's `DataPointer`.
+pub struct Cursor<'a, B: Buf> {
+    chain: &'a Chain<B>,
+    seg: usize,
+    off: usize,
+    consumed: usize,
+}
+
+impl<'a, B: Buf> Cursor<'a, B> {
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.chain.len() - self.consumed
+    }
+
+    /// Bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self) -> Option<u8> {
+        let mut b = [0u8; 1];
+        self.read_exact(&mut b)?;
+        Some(b[0])
+    }
+
+    /// Reads a big-endian u16 (network order).
+    pub fn read_u16_be(&mut self) -> Option<u16> {
+        let mut b = [0u8; 2];
+        self.read_exact(&mut b)?;
+        Some(u16::from_be_bytes(b))
+    }
+
+    /// Reads a big-endian u32 (network order).
+    pub fn read_u32_be(&mut self) -> Option<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b)?;
+        Some(u32::from_be_bytes(b))
+    }
+
+    /// Reads a big-endian u64 (network order).
+    pub fn read_u64_be(&mut self) -> Option<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b)?;
+        Some(u64::from_be_bytes(b))
+    }
+
+    /// Fills `dst` from the cursor position, crossing segments as needed.
+    /// Returns `None` (consuming nothing) if fewer than `dst.len()` bytes
+    /// remain.
+    pub fn read_exact(&mut self, dst: &mut [u8]) -> Option<()> {
+        if self.remaining() < dst.len() {
+            return None;
+        }
+        let mut written = 0;
+        while written < dst.len() {
+            let seg = &self.chain.segments()[self.seg];
+            let avail = &seg.bytes()[self.off..];
+            let take = avail.len().min(dst.len() - written);
+            dst[written..written + take].copy_from_slice(&avail[..take]);
+            written += take;
+            self.off += take;
+            self.consumed += take;
+            if self.off == seg.len() && self.seg + 1 < self.chain.segment_count() {
+                self.seg += 1;
+                self.off = 0;
+            }
+        }
+        Some(())
+    }
+
+    /// Skips `n` bytes.
+    ///
+    /// Returns `None` (consuming nothing) if fewer than `n` bytes remain.
+    pub fn skip(&mut self, n: usize) -> Option<()> {
+        if self.remaining() < n {
+            return None;
+        }
+        let mut left = n;
+        while left > 0 {
+            let seg_len = self.chain.segments()[self.seg].len();
+            let avail = seg_len - self.off;
+            let take = avail.min(left);
+            self.off += take;
+            self.consumed += take;
+            left -= take;
+            if self.off == seg_len && self.seg + 1 < self.chain.segment_count() {
+                self.seg += 1;
+                self.off = 0;
+            }
+        }
+        Some(())
+    }
+
+    /// Reads `n` bytes into a fresh vector.
+    pub fn read_vec(&mut self, n: usize) -> Option<Vec<u8>> {
+        let mut v = vec![0u8; n];
+        self.read_exact(&mut v)?;
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mut_iobuf_headroom_prepend() {
+        let mut b = MutIoBuf::with_headroom(100, 64);
+        assert_eq!(b.headroom(), 64);
+        assert_eq!(b.len(), 0);
+        b.append_slice(b"payload");
+        assert_eq!(b.bytes(), b"payload");
+        b.prepend(4).copy_from_slice(b"HDR:");
+        assert_eq!(b.bytes(), b"HDR:payload");
+        assert_eq!(b.headroom(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds headroom")]
+    fn prepend_past_headroom_panics() {
+        let mut b = MutIoBuf::with_headroom(10, 2);
+        b.prepend(3);
+    }
+
+    #[test]
+    fn advance_and_trim() {
+        let mut b = MutIoBuf::from_vec(b"ethipv4payload".to_vec());
+        b.advance(3);
+        assert_eq!(b.bytes(), b"ipv4payload");
+        b.advance(4);
+        assert_eq!(b.bytes(), b"payload");
+        b.trim_end(3);
+        assert_eq!(b.bytes(), b"payl");
+        // Consumed header space became headroom again.
+        assert_eq!(b.headroom(), 7);
+    }
+
+    #[test]
+    fn freeze_shares_storage() {
+        let b = MutIoBuf::from_vec(vec![1, 2, 3, 4]).freeze();
+        let c = b.clone();
+        assert_eq!(b.ref_count(), 2);
+        let s = c.slice(1, 2);
+        assert_eq!(s.bytes(), &[2, 3]);
+        assert_eq!(b.ref_count(), 3);
+        assert_eq!(b.bytes(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn chain_accounting() {
+        let mut chain: Chain<IoBuf> = Chain::new();
+        assert!(chain.is_empty());
+        chain.push_back(IoBuf::copy_from(b"hello "));
+        chain.push_back(IoBuf::copy_from(b"world"));
+        chain.push_front(IoBuf::copy_from(b">> "));
+        assert_eq!(chain.len(), 14);
+        assert_eq!(chain.segment_count(), 3);
+        assert_eq!(chain.copy_to_vec(), b">> hello world");
+    }
+
+    #[test]
+    fn chain_advance_across_segments() {
+        let mut chain: Chain<IoBuf> = Chain::new();
+        chain.push_back(IoBuf::copy_from(b"abc"));
+        chain.push_back(IoBuf::copy_from(b"defg"));
+        chain.advance(4);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.copy_to_vec(), b"efg");
+        assert_eq!(chain.segment_count(), 1);
+    }
+
+    #[test]
+    fn chain_split_to_shares_storage() {
+        let base = IoBuf::copy_from(b"0123456789");
+        let mut chain = Chain::single(base.clone());
+        let head = chain.split_to(4);
+        assert_eq!(head.copy_to_vec(), b"0123");
+        assert_eq!(chain.copy_to_vec(), b"456789");
+        // Same storage: base + head segment + chain remainder.
+        assert_eq!(base.ref_count(), 3);
+    }
+
+    #[test]
+    fn cursor_reads_across_boundaries() {
+        let mut chain: Chain<IoBuf> = Chain::new();
+        chain.push_back(IoBuf::copy_from(&[0x12]));
+        chain.push_back(IoBuf::copy_from(&[0x34, 0xAB]));
+        chain.push_back(IoBuf::copy_from(&[0xCD, 0xEF, 0x01, 0x02, 0x03]));
+        let mut cur = chain.cursor();
+        assert_eq!(cur.read_u16_be(), Some(0x1234));
+        assert_eq!(cur.read_u32_be(), Some(0xABCD_EF01));
+        assert_eq!(cur.remaining(), 2);
+        cur.skip(1).unwrap();
+        assert_eq!(cur.read_u8(), Some(0x03));
+        assert_eq!(cur.read_u8(), None);
+    }
+
+    #[test]
+    fn cursor_read_exact_insufficient_consumes_nothing() {
+        let chain = Chain::single(IoBuf::copy_from(b"ab"));
+        let mut cur = chain.cursor();
+        let mut buf = [0u8; 3];
+        assert!(cur.read_exact(&mut buf).is_none());
+        assert_eq!(cur.consumed(), 0);
+        assert_eq!(cur.read_u16_be(), Some(u16::from_be_bytes(*b"ab")));
+    }
+
+    #[test]
+    fn mut_chain_freezes_into_shared_chain() {
+        let mut chain: Chain<MutIoBuf> = Chain::new();
+        let mut a = MutIoBuf::with_headroom(8, 16);
+        a.append_slice(b"data");
+        a.prepend(2).copy_from_slice(b"h:");
+        chain.push_back(a);
+        let frozen: Chain<IoBuf> = chain.into();
+        assert_eq!(frozen.copy_to_vec(), b"h:data");
+    }
+
+    #[test]
+    fn for_payload_has_default_headroom() {
+        let b = MutIoBuf::for_payload(b"x");
+        assert_eq!(b.headroom(), MutIoBuf::DEFAULT_HEADROOM);
+        assert_eq!(b.bytes(), b"x");
+    }
+}

@@ -1,0 +1,340 @@
+//! Read-Copy-Update tied to event-loop quiescence (§3.6 of the paper).
+//!
+//! Because EbbRT events are non-preemptive, *every event boundary is a
+//! quiescent state*: a reader cannot hold an RCU-protected pointer across
+//! events, so once every core has passed an event boundary (or is idle),
+//! retired memory is unreachable. Entering and exiting a read-side
+//! critical section therefore costs nothing inside an event — the paper's
+//! "entering and exiting RCU critical sections have no cost".
+//!
+//! Mechanics: each core has a [`CoreEpoch`] whose counter the event
+//! manager bumps after every handler, plus an `in_event` flag. Retiring
+//! memory snapshots all counters; the garbage is freed once every core
+//! has either advanced past its snapshot or is outside any event.
+//! (A core outside an event holds no RCU references, and new events
+//! cannot reach memory that was unlinked before it was retired.)
+//!
+//! Code running outside an event loop (hosted threads, tests) brackets
+//! its reads with [`RcuDomain::read_guard`], which sets the same
+//! `in_event` flag.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::cpu::CoreId;
+use crate::future::{self, Future};
+use crate::spinlock::SpinLock;
+
+/// Per-core quiescence state. The owning core's event loop bumps
+/// `count` at each event boundary; `in_event` brackets handler (or
+/// read-guard) execution.
+pub struct CoreEpoch {
+    count: AtomicU64,
+    in_event: AtomicBool,
+}
+
+impl CoreEpoch {
+    /// Creates an idle epoch.
+    pub fn new() -> Self {
+        CoreEpoch {
+            count: AtomicU64::new(0),
+            in_event: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the start of an event / read-side critical section.
+    #[inline]
+    pub fn enter(&self) {
+        self.in_event.store(true, Ordering::Release);
+    }
+
+    /// Marks the end of an event: clears `in_event` and passes a
+    /// quiescent state.
+    #[inline]
+    pub fn exit_quiescent(&self) {
+        self.in_event.store(false, Ordering::Release);
+        // Only the owning core writes the counter; load+store avoids an
+        // atomic RMW on the fast path.
+        let c = self.count.load(Ordering::Relaxed);
+        self.count.store(c + 1, Ordering::Release);
+    }
+
+    /// Current boundary count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Whether a handler / read guard is live on this core.
+    pub fn in_event(&self) -> bool {
+        self.in_event.load(Ordering::Acquire)
+    }
+}
+
+impl Default for CoreEpoch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Deferred-destruction item: dropped when its grace period elapses.
+type Garbage = Box<dyn Send>;
+
+struct Retired {
+    /// Counter snapshot per core at retire time.
+    snapshot: Box<[u64]>,
+    /// Held only for its destructor, which runs at reclaim time.
+    _garbage: Garbage,
+}
+
+/// An RCU domain: the epochs of one machine's cores plus the pending
+/// garbage list.
+pub struct RcuDomain {
+    epochs: Box<[Arc<CoreEpoch>]>,
+    pending: SpinLock<Vec<Retired>>,
+}
+
+impl RcuDomain {
+    /// Creates a domain covering `ncores` cores.
+    pub fn new(ncores: usize) -> Self {
+        RcuDomain {
+            epochs: (0..ncores)
+                .map(|_| Arc::new(CoreEpoch::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            pending: SpinLock::new(Vec::new()),
+        }
+    }
+
+    /// The epoch for `core` (shared with that core's event manager).
+    pub fn epoch(&self, core: CoreId) -> Arc<CoreEpoch> {
+        Arc::clone(&self.epochs[core.index()])
+    }
+
+    /// Number of cores covered.
+    pub fn ncores(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Brackets a read-side critical section for code running outside an
+    /// event loop (hosted threads, tests). Inside events this is
+    /// unnecessary — the event itself is the critical section.
+    pub fn read_guard(&self, core: CoreId) -> ReadGuard<'_> {
+        let epoch = &self.epochs[core.index()];
+        let was_in_event = epoch.in_event();
+        epoch.enter();
+        ReadGuard {
+            epoch,
+            was_in_event,
+        }
+    }
+
+    /// Defers destruction of `garbage` until all current readers are
+    /// done. The caller must already have unlinked it from any shared
+    /// structure (publish the unlink *before* retiring).
+    pub fn retire(&self, garbage: impl Send + 'static) {
+        let snapshot = self
+            .epochs
+            .iter()
+            .map(|e| e.count())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        self.pending.lock().push(Retired {
+            snapshot,
+            _garbage: Box::new(garbage),
+        });
+    }
+
+    /// Schedules `f` to run after a grace period (the classic
+    /// `call_rcu`). Runs from whichever thread performs the reclaim.
+    pub fn call_rcu(&self, f: impl FnOnce() + Send + 'static) {
+        struct CallOnDrop(Option<Box<dyn FnOnce() + Send>>);
+        impl Drop for CallOnDrop {
+            fn drop(&mut self) {
+                if let Some(f) = self.0.take() {
+                    f();
+                }
+            }
+        }
+        self.retire(CallOnDrop(Some(Box::new(f))));
+    }
+
+    /// Returns a future fulfilled after a grace period elapses (requires
+    /// someone to drive [`Self::try_reclaim`], which the event loops do).
+    pub fn synchronize(&self) -> Future<()> {
+        let (p, f) = future::promise();
+        self.call_rcu(move || p.set_value(()));
+        f
+    }
+
+    /// Frees all retired garbage whose grace period has elapsed;
+    /// returns how many items were reclaimed. Cheap when nothing is
+    /// pending. Called periodically by event loops and explicitly by
+    /// tests.
+    pub fn try_reclaim(&self) -> usize {
+        let mut pending = match self.pending.try_lock() {
+            Some(p) => p,
+            None => return 0,
+        };
+        if pending.is_empty() {
+            return 0;
+        }
+        let mut freed = Vec::new();
+        let mut i = 0;
+        while i < pending.len() {
+            if self.grace_elapsed(&pending[i].snapshot) {
+                freed.push(pending.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        drop(pending);
+        let n = freed.len();
+        // Drop garbage outside the lock: destructors may retire more.
+        drop(freed);
+        n
+    }
+
+    /// Number of retired items awaiting a grace period.
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    fn grace_elapsed(&self, snapshot: &[u64]) -> bool {
+        self.epochs.iter().zip(snapshot.iter()).all(|(e, &snap)| {
+            // The core passed a boundary since the snapshot, or holds no
+            // references right now (outside any event, and new events
+            // cannot reach already-unlinked memory).
+            e.count() != snap || !e.in_event()
+        })
+    }
+}
+
+impl Drop for RcuDomain {
+    fn drop(&mut self) {
+        // All readers are gone when the domain is dropped; release
+        // everything.
+        self.pending.get_mut().clear();
+    }
+}
+
+/// RAII read-side critical section for non-event threads.
+pub struct ReadGuard<'a> {
+    epoch: &'a CoreEpoch,
+    was_in_event: bool,
+}
+
+impl Drop for ReadGuard<'_> {
+    fn drop(&mut self) {
+        if !self.was_in_event {
+            self.epoch.exit_quiescent();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn reclaim_immediate_when_all_idle() {
+        let domain = RcuDomain::new(2);
+        let drops = Arc::new(AtomicUsize::new(0));
+        domain.retire(DropCounter(Arc::clone(&drops)));
+        assert_eq!(domain.pending_count(), 1);
+        // No core is in an event: grace period is trivially over.
+        assert_eq!(domain.try_reclaim(), 1);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn reader_blocks_grace_period() {
+        let domain = RcuDomain::new(2);
+        let drops = Arc::new(AtomicUsize::new(0));
+        let guard = domain.read_guard(CoreId(1));
+        domain.retire(DropCounter(Arc::clone(&drops)));
+        assert_eq!(domain.try_reclaim(), 0, "live reader must block reclaim");
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(guard);
+        assert_eq!(domain.try_reclaim(), 1);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn counter_advance_ends_grace_period() {
+        let domain = RcuDomain::new(1);
+        let epoch = domain.epoch(CoreId(0));
+        let drops = Arc::new(AtomicUsize::new(0));
+        // Simulate an event loop: retire happens mid-event, then the
+        // event completes (boundary) and a new event begins.
+        epoch.enter();
+        domain.retire(DropCounter(Arc::clone(&drops)));
+        assert_eq!(domain.try_reclaim(), 0);
+        epoch.exit_quiescent();
+        epoch.enter();
+        // Even though the core is in a (new) event, the boundary passed.
+        assert_eq!(domain.try_reclaim(), 1);
+        epoch.exit_quiescent();
+    }
+
+    #[test]
+    fn call_rcu_runs_after_grace() {
+        let domain = RcuDomain::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&ran);
+        let guard = domain.read_guard(CoreId(0));
+        domain.call_rcu(move || {
+            r2.fetch_add(1, Ordering::SeqCst);
+        });
+        domain.try_reclaim();
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        drop(guard);
+        domain.try_reclaim();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn synchronize_future_completes() {
+        let domain = RcuDomain::new(1);
+        let f = domain.synchronize();
+        assert!(!f.is_ready());
+        domain.try_reclaim();
+        assert!(f.is_ready());
+        f.block().unwrap();
+    }
+
+    #[test]
+    fn nested_read_guards() {
+        let domain = RcuDomain::new(1);
+        let g1 = domain.read_guard(CoreId(0));
+        let g2 = domain.read_guard(CoreId(0));
+        drop(g2);
+        // Outer guard still live: still in a critical section.
+        assert!(domain.epoch(CoreId(0)).in_event());
+        drop(g1);
+        assert!(!domain.epoch(CoreId(0)).in_event());
+    }
+
+    #[test]
+    fn multi_retire_mixed_grace() {
+        let domain = RcuDomain::new(2);
+        let drops = Arc::new(AtomicUsize::new(0));
+        domain.retire(DropCounter(Arc::clone(&drops)));
+        let guard = domain.read_guard(CoreId(0));
+        domain.retire(DropCounter(Arc::clone(&drops)));
+        // First item retired before the guard; its snapshot still sees
+        // core 0 in-event *now*, but core 0's count has not changed and
+        // it IS in an event, so both wait.
+        assert_eq!(domain.try_reclaim(), 0);
+        drop(guard);
+        assert_eq!(domain.try_reclaim(), 2);
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,496 @@
+//! An RCU hash map (§3.6 of the paper).
+//!
+//! The EbbRT network stack "stores connection state in an RCU hash table
+//! which allows common connection lookup operations to proceed without
+//! any atomic operations", and the memcached port keeps its key-value
+//! pairs in the same structure. This module provides that map:
+//!
+//! * **Readers** ([`RcuHashMap::get`], [`RcuHashMap::for_each`]) walk
+//!   bucket chains with plain acquire loads — no locks, no atomic RMW.
+//! * **Writers** serialize on an internal spinlock; removal unlinks the
+//!   node and *retires* it to the machine's [`RcuDomain`], so readers
+//!   that already hold the node keep a valid reference until the grace
+//!   period ends.
+//! * **Resize** builds a fresh table (cloning the `Arc`ed entries) and
+//!   swaps it in; the old table and nodes are retired wholesale.
+//!
+//! # Read-side contract
+//!
+//! Callers of the read operations must be inside an event (the event
+//! loop itself brackets the critical section) or hold a
+//! [`crate::rcu::RcuDomain::read_guard`] for a core of the same domain.
+//! References must not be retained after the closure returns — the
+//! closure-based API makes escape impossible for borrows.
+
+use std::borrow::Borrow;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::rcu::RcuDomain;
+use crate::spinlock::SpinLock;
+
+struct Node<K, V> {
+    hash: u64,
+    data: Arc<(K, V)>,
+    next: AtomicPtr<Node<K, V>>,
+}
+
+struct Table<K, V> {
+    mask: usize,
+    buckets: Box<[AtomicPtr<Node<K, V>>]>,
+}
+
+impl<K, V> Table<K, V> {
+    fn new(capacity: usize) -> Self {
+        debug_assert!(capacity.is_power_of_two());
+        Table {
+            mask: capacity - 1,
+            buckets: (0..capacity)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    fn bucket(&self, hash: u64) -> &AtomicPtr<Node<K, V>> {
+        &self.buckets[(hash as usize) & self.mask]
+    }
+}
+
+/// Deferred destructor for an unlinked node.
+struct NodeGarbage<K, V>(*mut Node<K, V>);
+
+// SAFETY: the node is unlinked and owned solely by the garbage wrapper;
+// K and V are Send, and the Arc<(K, V)> inside is dropped on one thread.
+unsafe impl<K: Send, V: Send> Send for NodeGarbage<K, V> {}
+
+impl<K, V> Drop for NodeGarbage<K, V> {
+    fn drop(&mut self) {
+        // SAFETY: `0` came from `Box::into_raw` and was unlinked from the
+        // table before being retired; the grace period has elapsed.
+        drop(unsafe { Box::from_raw(self.0) });
+    }
+}
+
+/// Deferred destructor for a replaced table *and all its nodes* (the
+/// resize path clones entries into the new table, so old nodes are
+/// exclusively owned by the old table).
+struct TableGarbage<K, V>(*mut Table<K, V>);
+
+// SAFETY: as for NodeGarbage; the table and its chain are exclusively
+// owned once unlinked.
+unsafe impl<K: Send, V: Send> Send for TableGarbage<K, V> {}
+
+impl<K, V> Drop for TableGarbage<K, V> {
+    fn drop(&mut self) {
+        // SAFETY: the table pointer came from `Box::into_raw`, was
+        // replaced in the map before retirement, and its nodes were
+        // cloned (not moved) into the successor table.
+        let table = unsafe { Box::from_raw(self.0) };
+        for bucket in table.buckets.iter() {
+            let mut p = bucket.load(Ordering::Relaxed);
+            while !p.is_null() {
+                // SAFETY: chain nodes of the retired table are owned by
+                // it exclusively.
+                let node = unsafe { Box::from_raw(p) };
+                p = node.next.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A concurrent hash map with lock-free readers and RCU-deferred
+/// reclamation. See the module docs for the read-side contract.
+pub struct RcuHashMap<K, V> {
+    domain: Arc<RcuDomain>,
+    table: AtomicPtr<Table<K, V>>,
+    writer: SpinLock<()>,
+    len: AtomicUsize,
+}
+
+// SAFETY: readers use acquire loads on shared pointers; writers are
+// serialized by `writer`; reclamation is deferred through `domain`.
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for RcuHashMap<K, V> {}
+unsafe impl<K: Send, V: Send> Send for RcuHashMap<K, V> {}
+
+impl<K, V> RcuHashMap<K, V>
+where
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    /// Default initial bucket count.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// Creates an empty map whose reclamation is governed by `domain`.
+    pub fn new(domain: Arc<RcuDomain>) -> Self {
+        Self::with_capacity(domain, Self::DEFAULT_CAPACITY)
+    }
+
+    /// As [`Self::new`] with an explicit initial bucket count (rounded up
+    /// to a power of two).
+    pub fn with_capacity(domain: Arc<RcuDomain>, capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(4);
+        RcuHashMap {
+            domain,
+            table: AtomicPtr::new(Box::into_raw(Box::new(Table::new(capacity)))),
+            writer: SpinLock::new(()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn hash_of<Q: Hash + ?Sized>(key: &Q) -> u64 {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `key` and applies `f` to the value, without locks or
+    /// atomic read-modify-write operations.
+    pub fn get<Q, R>(&self, key: &Q, f: impl FnOnce(&V) -> R) -> Option<R>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let hash = Self::hash_of(key);
+        // SAFETY: the table pointer is valid — replaced tables are only
+        // freed after a grace period, and the caller is inside a
+        // read-side critical section (module contract).
+        let table = unsafe { &*self.table.load(Ordering::Acquire) };
+        let mut p = table.bucket(hash).load(Ordering::Acquire);
+        while !p.is_null() {
+            // SAFETY: nodes reachable from a live table are either still
+            // linked or retired-but-not-reclaimed; both outlive this
+            // critical section.
+            let node = unsafe { &*p };
+            if node.hash == hash && node.data.0.borrow() == key {
+                return Some(f(&node.data.1));
+            }
+            p = node.next.load(Ordering::Acquire);
+        }
+        None
+    }
+
+    /// Returns a clone of the entry `Arc` for `key`, allowing the caller
+    /// to hold the pair beyond the critical section.
+    pub fn get_entry<Q>(&self, key: &Q) -> Option<Arc<(K, V)>>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let hash = Self::hash_of(key);
+        // SAFETY: as in `get`.
+        let table = unsafe { &*self.table.load(Ordering::Acquire) };
+        let mut p = table.bucket(hash).load(Ordering::Acquire);
+        while !p.is_null() {
+            // SAFETY: as in `get`.
+            let node = unsafe { &*p };
+            if node.hash == hash && node.data.0.borrow() == key {
+                return Some(Arc::clone(&node.data));
+            }
+            p = node.next.load(Ordering::Acquire);
+        }
+        None
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.get(key, |_| ()).is_some()
+    }
+
+    /// Inserts or replaces; returns `true` if an existing entry was
+    /// replaced. Readers observe either the old or the new value, never
+    /// neither (the new node is published before the old is unlinked).
+    pub fn insert(&self, key: K, value: V) -> bool {
+        let hash = Self::hash_of(&key);
+        let _w = self.writer.lock();
+        // SAFETY: the writer lock excludes concurrent table replacement.
+        let table = unsafe { &*self.table.load(Ordering::Acquire) };
+        let bucket = table.bucket(hash);
+
+        // Publish the new node at the bucket head.
+        let head = bucket.load(Ordering::Acquire);
+        let new = Box::into_raw(Box::new(Node {
+            hash,
+            data: Arc::new((key, value)),
+            next: AtomicPtr::new(head),
+        }));
+        bucket.store(new, Ordering::Release);
+
+        // Unlink any previous entry for the key (now shadowed by `new`).
+        // SAFETY: `new` was just created by us and is valid.
+        let new_ref = unsafe { &*new };
+        let key_ref = &new_ref.data.0;
+        let mut prev: &AtomicPtr<Node<K, V>> = &new_ref.next;
+        let mut p = prev.load(Ordering::Acquire);
+        let mut replaced = false;
+        while !p.is_null() {
+            // SAFETY: chain traversal under the writer lock.
+            let node = unsafe { &*p };
+            if node.hash == hash && node.data.0 == *key_ref {
+                prev.store(node.next.load(Ordering::Acquire), Ordering::Release);
+                self.domain.retire(NodeGarbage(p));
+                replaced = true;
+                break;
+            }
+            prev = &node.next;
+            p = node.next.load(Ordering::Acquire);
+        }
+
+        if !replaced {
+            let len = self.len.fetch_add(1, Ordering::AcqRel) + 1;
+            if len > table.buckets.len() {
+                self.resize(table.buckets.len() * 2);
+            }
+        }
+        replaced
+    }
+
+    /// Removes `key`, returning the entry if present. The node is
+    /// retired, so concurrent readers finish safely.
+    pub fn remove<Q>(&self, key: &Q) -> Option<Arc<(K, V)>>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let hash = Self::hash_of(key);
+        let _w = self.writer.lock();
+        // SAFETY: writer lock held.
+        let table = unsafe { &*self.table.load(Ordering::Acquire) };
+        let bucket = table.bucket(hash);
+        let mut prev: &AtomicPtr<Node<K, V>> = bucket;
+        let mut p = prev.load(Ordering::Acquire);
+        while !p.is_null() {
+            // SAFETY: chain traversal under the writer lock.
+            let node = unsafe { &*p };
+            if node.hash == hash && node.data.0.borrow() == key {
+                let data = Arc::clone(&node.data);
+                prev.store(node.next.load(Ordering::Acquire), Ordering::Release);
+                self.domain.retire(NodeGarbage(p));
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                return Some(data);
+            }
+            prev = &node.next;
+            p = node.next.load(Ordering::Acquire);
+        }
+        None
+    }
+
+    /// Applies `f` to every entry (reader-side; sees a consistent chain
+    /// per bucket but concurrent writers may add/remove around it).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        // SAFETY: as in `get`.
+        let table = unsafe { &*self.table.load(Ordering::Acquire) };
+        for bucket in table.buckets.iter() {
+            let mut p = bucket.load(Ordering::Acquire);
+            while !p.is_null() {
+                // SAFETY: as in `get`.
+                let node = unsafe { &*p };
+                f(&node.data.0, &node.data.1);
+                p = node.next.load(Ordering::Acquire);
+            }
+        }
+    }
+
+    /// Current bucket count (diagnostic).
+    pub fn capacity(&self) -> usize {
+        // SAFETY: as in `get`.
+        unsafe { &*self.table.load(Ordering::Acquire) }.buckets.len()
+    }
+
+    /// Grows the table to `new_capacity` buckets. Caller holds the
+    /// writer lock.
+    fn resize(&self, new_capacity: usize) {
+        let old_ptr = self.table.load(Ordering::Acquire);
+        // SAFETY: writer lock held; table valid.
+        let old = unsafe { &*old_ptr };
+        let new = Box::new(Table::new(new_capacity));
+        for bucket in old.buckets.iter() {
+            let mut p = bucket.load(Ordering::Acquire);
+            while !p.is_null() {
+                // SAFETY: chain traversal under the writer lock.
+                let node = unsafe { &*p };
+                let nb = new.bucket(node.hash);
+                let head = nb.load(Ordering::Relaxed);
+                let copy = Box::into_raw(Box::new(Node {
+                    hash: node.hash,
+                    data: Arc::clone(&node.data),
+                    next: AtomicPtr::new(head),
+                }));
+                nb.store(copy, Ordering::Release);
+                p = node.next.load(Ordering::Acquire);
+            }
+        }
+        self.table.store(Box::into_raw(new), Ordering::Release);
+        self.domain.retire(TableGarbage(old_ptr));
+    }
+}
+
+impl<K, V> Drop for RcuHashMap<K, V> {
+    fn drop(&mut self) {
+        // `&mut self`: no readers can exist; free the table directly.
+        let p = *self.table.get_mut();
+        drop(TableGarbage(p));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CoreId;
+
+    fn map() -> (Arc<RcuDomain>, RcuHashMap<String, u64>) {
+        let domain = Arc::new(RcuDomain::new(2));
+        let map = RcuHashMap::new(Arc::clone(&domain));
+        (domain, map)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let (domain, map) = map();
+        let _g = domain.read_guard(CoreId(0));
+        assert!(!map.insert("a".into(), 1));
+        assert!(!map.insert("b".into(), 2));
+        assert_eq!(map.get("a", |v| *v), Some(1));
+        assert_eq!(map.get("b", |v| *v), Some(2));
+        assert_eq!(map.get("c", |v| *v), None);
+        assert_eq!(map.len(), 2);
+        let removed = map.remove("a").unwrap();
+        assert_eq!(removed.1, 1);
+        assert_eq!(map.get("a", |v| *v), None);
+        assert_eq!(map.len(), 1);
+        assert!(map.remove("a").is_none());
+    }
+
+    #[test]
+    fn replace_keeps_key_visible() {
+        let (domain, map) = map();
+        let _g = domain.read_guard(CoreId(0));
+        map.insert("k".into(), 1);
+        assert!(map.insert("k".into(), 2));
+        assert_eq!(map.get("k", |v| *v), Some(2));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn resize_preserves_entries() {
+        let (domain, map) = map();
+        let _g = domain.read_guard(CoreId(0));
+        let initial_cap = map.capacity();
+        for i in 0..500u64 {
+            map.insert(format!("key{i}"), i);
+        }
+        assert!(map.capacity() > initial_cap, "map should have resized");
+        assert_eq!(map.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(map.get(format!("key{i}").as_str(), |v| *v), Some(i));
+        }
+    }
+
+    #[test]
+    fn retired_nodes_reclaimed_after_grace() {
+        let (domain, map) = map();
+        {
+            let _g = domain.read_guard(CoreId(0));
+            map.insert("x".into(), 1);
+            map.remove("x");
+            assert!(domain.pending_count() > 0);
+            assert_eq!(domain.try_reclaim(), 0, "reader still live");
+        }
+        assert!(domain.try_reclaim() > 0);
+        assert_eq!(domain.pending_count(), 0);
+    }
+
+    #[test]
+    fn get_entry_outlives_critical_section() {
+        let (domain, map) = map();
+        let entry = {
+            let _g = domain.read_guard(CoreId(0));
+            map.insert("x".into(), 42);
+            map.get_entry("x").unwrap()
+        };
+        map.remove("x");
+        domain.try_reclaim();
+        // The Arc keeps the data alive even after reclaim.
+        assert_eq!(entry.1, 42);
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let (domain, map) = map();
+        let _g = domain.read_guard(CoreId(0));
+        for i in 0..20u64 {
+            map.insert(format!("k{i}"), i);
+        }
+        let mut sum = 0;
+        map.for_each(|_, v| sum += *v);
+        assert_eq!(sum, (0..20).sum::<u64>());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let domain = Arc::new(RcuDomain::new(4));
+        let map = Arc::new(RcuHashMap::<u64, u64>::new(Arc::clone(&domain)));
+        // Pre-populate stable keys.
+        {
+            let _g = domain.read_guard(CoreId(0));
+            for i in 0..100 {
+                map.insert(i, i * 2);
+            }
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (1..4u32)
+            .map(|c| {
+                let map = Arc::clone(&map);
+                let domain = Arc::clone(&domain);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut hits = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let _g = domain.read_guard(CoreId(c));
+                        for i in 0..100 {
+                            if let Some(v) = map.get(&i, |v| *v) {
+                                assert_eq!(v % 2, 0, "value must be a valid doubling");
+                                hits += 1;
+                            }
+                        }
+                    }
+                    hits
+                })
+            })
+            .collect();
+        // Writer churns: replaces values and removes/reinserts keys.
+        for round in 1..50u64 {
+            for i in 0..100 {
+                map.insert(i, i * 2 + round * 2);
+            }
+            for i in (0..100).step_by(7) {
+                map.remove(&i);
+                map.insert(i, i * 2);
+            }
+            domain.try_reclaim();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        // All readers gone: everything reclaims.
+        domain.try_reclaim();
+        assert_eq!(domain.pending_count(), 0);
+    }
+}

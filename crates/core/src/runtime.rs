@@ -1,0 +1,254 @@
+//! Per-machine runtime instance.
+//!
+//! A [`Runtime`] bundles everything one EbbRT machine (native library OS
+//! instance or hosted process) owns: the Ebb translation state, one
+//! [`EventManager`] per core, the clock, and the RCU domain. Threads
+//! *enter* a runtime on behalf of a core ([`enter`]); while entered,
+//! [`crate::ebb::EbbRef`] calls and event APIs resolve against it.
+//!
+//! Multiple runtimes may coexist in one process — that is how the
+//! simulated backend hosts a whole cluster (several native instances
+//! plus a hosted instance) inside one deterministic simulation.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::clock::{Clock, Ns};
+use crate::cpu::{self, CoreBinding, CoreId};
+use crate::ebb::EbbManager;
+use crate::event::EventManager;
+use crate::rcu::RcuDomain;
+
+/// Default Ebb id capacity per machine.
+pub const DEFAULT_EBB_CAPACITY: usize = 4096;
+
+/// One EbbRT machine instance.
+pub struct Runtime {
+    ncores: usize,
+    clock: Arc<dyn Clock>,
+    ebbs: EbbManager,
+    events: Box<[EventManager]>,
+    rcu: Arc<RcuDomain>,
+}
+
+impl Runtime {
+    /// Creates a runtime with `ncores` cores reading time from `clock`.
+    pub fn new(ncores: usize, clock: Arc<dyn Clock>) -> Arc<Self> {
+        Self::with_capacity(ncores, clock, DEFAULT_EBB_CAPACITY)
+    }
+
+    /// As [`Runtime::new`] with an explicit Ebb id capacity.
+    pub fn with_capacity(ncores: usize, clock: Arc<dyn Clock>, capacity: usize) -> Arc<Self> {
+        assert!(ncores > 0, "a machine needs at least one core");
+        let rcu = Arc::new(RcuDomain::new(ncores));
+        let events = (0..ncores)
+            .map(|i| {
+                let core = CoreId(i as u32);
+                EventManager::new(core, Arc::clone(&clock), rcu.epoch(core))
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Arc::new(Runtime {
+            ncores,
+            clock,
+            ebbs: EbbManager::new(ncores, capacity),
+            events,
+            rcu,
+        })
+    }
+
+    /// Number of cores.
+    pub fn ncores(&self) -> usize {
+        self.ncores
+    }
+
+    /// The machine's clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Current time in nanoseconds.
+    pub fn now_ns(&self) -> Ns {
+        self.clock.now_ns()
+    }
+
+    /// The Ebb translation state.
+    pub fn ebbs(&self) -> &EbbManager {
+        &self.ebbs
+    }
+
+    /// The event manager for `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn event_manager(&self, core: CoreId) -> &EventManager {
+        &self.events[core.index()]
+    }
+
+    /// The event manager for the calling core.
+    pub fn local_event_manager(&self) -> &EventManager {
+        self.event_manager(cpu::current())
+    }
+
+    /// All event managers, in core order.
+    pub fn event_managers(&self) -> &[EventManager] {
+        &self.events
+    }
+
+    /// The RCU domain (shared: `RcuHashMap`s hold a clone).
+    pub fn rcu(&self) -> &Arc<RcuDomain> {
+        &self.rcu
+    }
+
+    /// Queues `f` on `core`'s event loop from any thread.
+    pub fn spawn(&self, core: CoreId, f: impl FnOnce() + Send + 'static) {
+        self.event_manager(core).spawn(f);
+    }
+
+    /// Requests every core's loop to exit (machine shutdown).
+    pub fn request_exit_all(&self) {
+        for em in self.events.iter() {
+            em.request_exit();
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<(Arc<Runtime>, CoreId)>> = const { RefCell::new(Vec::new()) };
+    /// Fast mirror of the stack top: (runtime pointer, core id). Null
+    /// when no runtime is entered. Lets the Ebb-dispatch fast path do a
+    /// single thread-local read with no RefCell accounting.
+    static CURRENT_FAST: std::cell::Cell<(*const Runtime, u32)> =
+        const { std::cell::Cell::new((std::ptr::null(), 0)) };
+}
+
+fn refresh_fast() {
+    CURRENT.with(|c| {
+        let stack = c.borrow();
+        let top = match stack.last() {
+            Some((rt, core)) => (Arc::as_ptr(rt), core.0),
+            None => (std::ptr::null(), 0),
+        };
+        CURRENT_FAST.with(|f| f.set(top));
+    });
+}
+
+/// Guard for an entered runtime; leaving restores the previous one.
+pub struct EnterGuard {
+    _core: CoreBinding,
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+        refresh_fast();
+    }
+}
+
+/// Enters `rt` on behalf of `core`: binds the calling thread's core
+/// identity and makes `rt` the target of [`with_current`] until the
+/// guard drops. Entries nest (the simulated backend switches machines
+/// per delivered event).
+pub fn enter(rt: Arc<Runtime>, core: CoreId) -> EnterGuard {
+    assert!(
+        core.index() < rt.ncores(),
+        "core {core} out of range for {}-core machine",
+        rt.ncores()
+    );
+    CURRENT.with(|c| c.borrow_mut().push((rt, core)));
+    refresh_fast();
+    EnterGuard {
+        _core: cpu::bind(core),
+    }
+}
+
+/// Whether the calling thread has entered a runtime.
+pub fn is_entered() -> bool {
+    CURRENT.with(|c| !c.borrow().is_empty())
+}
+
+/// Runs `f` against the current runtime.
+///
+/// # Panics
+///
+/// Panics if the thread has not [`enter`]ed a runtime.
+#[inline]
+pub fn with_current<R>(f: impl FnOnce(&Runtime) -> R) -> R {
+    with_current_on(|rt, _core| f(rt))
+}
+
+/// Runs `f` with the current runtime *and* core in one thread-local
+/// read — the Ebb invocation fast path.
+///
+/// # Panics
+///
+/// Panics if the thread has not [`enter`]ed a runtime.
+#[inline]
+pub fn with_current_on<R>(f: impl FnOnce(&Runtime, CoreId) -> R) -> R {
+    let (p, core) = CURRENT_FAST.with(|c| c.get());
+    assert!(!p.is_null(), "thread has not entered an EbbRT runtime");
+    // SAFETY: `p` mirrors the top of the entry stack, whose Arc keeps
+    // the runtime alive; it is cleared/retargeted whenever a guard is
+    // created or dropped on this thread.
+    let rt = unsafe { &*p };
+    f(rt, CoreId(core))
+}
+
+/// Returns a handle to the current runtime.
+///
+/// # Panics
+///
+/// Panics if the thread has not [`enter`]ed a runtime.
+pub fn current() -> Arc<Runtime> {
+    CURRENT.with(|c| {
+        c.borrow()
+            .last()
+            .map(|(rt, _)| Arc::clone(rt))
+            .expect("thread has not entered an EbbRT runtime")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn enter_nests_and_restores() {
+        let clock = Arc::new(ManualClock::new());
+        let rt1 = Runtime::new(1, clock.clone());
+        let rt2 = Runtime::new(2, clock);
+        assert!(!is_entered());
+        {
+            let _g1 = enter(Arc::clone(&rt1), CoreId(0));
+            assert!(is_entered());
+            assert_eq!(with_current(|rt| rt.ncores()), 1);
+            {
+                let _g2 = enter(Arc::clone(&rt2), CoreId(1));
+                assert_eq!(with_current(|rt| rt.ncores()), 2);
+                assert_eq!(cpu::current(), CoreId(1));
+            }
+            assert_eq!(with_current(|rt| rt.ncores()), 1);
+            assert_eq!(cpu::current(), CoreId(0));
+        }
+        assert!(!is_entered());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn enter_bad_core_panics() {
+        let rt = Runtime::new(1, Arc::new(ManualClock::new()));
+        let _g = enter(rt, CoreId(3));
+    }
+
+    #[test]
+    fn spawn_routes_to_core_queue() {
+        let rt = Runtime::new(2, Arc::new(ManualClock::new()));
+        rt.spawn(CoreId(1), || ());
+        assert!(rt.event_manager(CoreId(1)).pending_work());
+        assert!(!rt.event_manager(CoreId(0)).pending_work());
+    }
+}

@@ -1,0 +1,205 @@
+//! Spin-based synchronization primitives.
+//!
+//! Most per-core state in EbbRT needs no locking at all (see
+//! [`crate::cpu::CoreLocal`]); these primitives cover the residual
+//! cross-core structures — shared Ebb root state, cross-core queues'
+//! metadata — where the critical sections are a handful of instructions
+//! and events must not block.
+
+use core::cell::UnsafeCell;
+use core::ops::{Deref, DerefMut};
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A test-and-test-and-set spinlock.
+///
+/// Events are non-preemptive, so a holder is never descheduled mid
+/// critical section on its own core; spinning is therefore bounded by the
+/// other cores' (short) critical sections.
+pub struct SpinLock<T: ?Sized> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides exclusive access to the value.
+unsafe impl<T: ?Sized + Send> Sync for SpinLock<T> {}
+// SAFETY: moving the lock moves the value; no references can be live.
+unsafe impl<T: ?Sized + Send> Send for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// Creates a new unlocked spinlock.
+    pub const fn new(value: T) -> Self {
+        SpinLock {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+impl<T: ?Sized> SpinLock<T> {
+    /// Acquires the lock, spinning until it is available.
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        loop {
+            if let Some(g) = self.try_lock() {
+                return g;
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                core::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock without spinning.
+    pub fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(SpinGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Returns mutable access without locking; safe because `&mut self`
+    /// proves unique ownership.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}
+
+/// RAII guard for [`SpinLock`].
+pub struct SpinGuard<'a, T: ?Sized> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T: ?Sized> Deref for SpinGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the lock exclusively.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+/// A reusable spinning barrier for `n` participants.
+///
+/// Used by multi-core microbenchmarks to start all cores simultaneously.
+pub struct SpinBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `n` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        SpinBarrier {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks (spinning) until all `n` participants have called `wait`.
+    /// Returns `true` on exactly one participant per generation (the
+    /// "leader"), mirroring `std::sync::Barrier`.
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        let order = self.arrived.fetch_add(1, Ordering::AcqRel);
+        if order + 1 == self.n {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.store(gen + 1, Ordering::Release);
+            true
+        } else {
+            while self.generation.load(Ordering::Acquire) == gen {
+                core::hint::spin_loop();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_excludes() {
+        let lock = Arc::new(SpinLock::new(0u64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        *lock.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), 40_000);
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let lock = SpinLock::new(());
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn barrier_releases_all_and_reuses() {
+        let barrier = Arc::new(SpinBarrier::new(3));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let mut leads = 0;
+                    for round in 0..5 {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        if barrier.wait() {
+                            leads += 1;
+                            // All three increments of this round must be
+                            // visible to the leader.
+                            assert!(counter.load(Ordering::SeqCst) >= (round + 1) * 3);
+                        }
+                    }
+                    leads
+                })
+            })
+            .collect();
+        let total_leads: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(total_leads, 5);
+        assert_eq!(counter.load(Ordering::SeqCst), 15);
+    }
+}

@@ -1,0 +1,348 @@
+//! The FileSystem Ebb: function offload from native to hosted (§4.3).
+//!
+//! "Rather than implement a file system and hard disk driver within the
+//! EbbRT library OS, the Ebb offloaded calls to a representative
+//! running in a Linux process. Our implementation of the FileSystem Ebb
+//! is naïve, sending messages and incurring round trip costs for every
+//! access rather than caching data on local representatives."
+//!
+//! [`FsServer`] is the hosted representative: an in-memory filesystem
+//! served over the messenger. [`FsClient`] is the native
+//! representative: every `read`/`write`/`stat` is one RPC round trip.
+//! [`CachingFsClient`] adds the read cache the paper names as the
+//! obvious future optimization, so the benefit can be measured (the
+//! offload ablation bench).
+//!
+//! Wire format: `op:u8 | path_len:u16 | path | args…`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ebbrt_core::ebb::EbbId;
+use ebbrt_core::iobuf::{Buf, Chain, IoBuf};
+use ebbrt_net::types::Ipv4Addr;
+
+use crate::messenger::Messenger;
+
+/// Well-known Ebb id for the filesystem service.
+pub const FS_EBB_ID: EbbId = EbbId(2);
+
+const OP_READ: u8 = 1;
+const OP_WRITE: u8 = 2;
+const OP_STAT: u8 = 3;
+
+/// The hosted-side representative: serves the in-memory filesystem.
+pub struct FsServer {
+    files: RefCell<HashMap<String, Vec<u8>>>,
+    /// Requests served (diagnostic).
+    pub requests: Cell<u64>,
+}
+
+impl FsServer {
+    /// Starts serving over `messenger`.
+    pub fn start(messenger: &Rc<Messenger>) -> Rc<FsServer> {
+        let server = Rc::new(FsServer {
+            files: RefCell::new(HashMap::new()),
+            requests: Cell::new(0),
+        });
+        let s = Rc::clone(&server);
+        let m = Rc::clone(messenger);
+        messenger.register(FS_EBB_ID, move |src, rpc_id, payload| {
+            let resp = s.handle(&payload);
+            m.respond(src, FS_EBB_ID, rpc_id, &resp);
+        });
+        server
+    }
+
+    /// Pre-populates a file (test/setup convenience).
+    pub fn put(&self, path: &str, data: Vec<u8>) {
+        self.files.borrow_mut().insert(path.to_string(), data);
+    }
+
+    fn handle(&self, payload: &Chain<IoBuf>) -> Vec<u8> {
+        self.requests.set(self.requests.get() + 1);
+        let bytes = payload.copy_to_vec();
+        if bytes.len() < 3 {
+            return vec![0];
+        }
+        let op = bytes[0];
+        let path_len = u16::from_be_bytes([bytes[1], bytes[2]]) as usize;
+        if bytes.len() < 3 + path_len {
+            return vec![0];
+        }
+        let path = String::from_utf8_lossy(&bytes[3..3 + path_len]).into_owned();
+        let rest = &bytes[3 + path_len..];
+        match op {
+            OP_READ => match self.files.borrow().get(&path) {
+                Some(data) => {
+                    let mut out = vec![1];
+                    out.extend_from_slice(data);
+                    out
+                }
+                None => vec![0],
+            },
+            OP_WRITE => {
+                self.files.borrow_mut().insert(path, rest.to_vec());
+                vec![1]
+            }
+            OP_STAT => match self.files.borrow().get(&path) {
+                Some(data) => {
+                    let mut out = vec![1];
+                    out.extend_from_slice(&(data.len() as u64).to_be_bytes());
+                    out
+                }
+                None => vec![0],
+            },
+            _ => vec![0],
+        }
+    }
+}
+
+fn encode_request(op: u8, path: &str, extra: &[u8]) -> Vec<u8> {
+    let mut req = Vec::with_capacity(3 + path.len() + extra.len());
+    req.push(op);
+    req.extend_from_slice(&(path.len() as u16).to_be_bytes());
+    req.extend_from_slice(path.as_bytes());
+    req.extend_from_slice(extra);
+    req
+}
+
+/// The native-side representative: every operation is one messenger
+/// round trip to the hosted machine.
+pub struct FsClient {
+    messenger: Rc<Messenger>,
+    server: Ipv4Addr,
+    /// RPCs issued (diagnostic; the caching client issues fewer).
+    pub rpcs: Cell<u64>,
+}
+
+impl FsClient {
+    /// Creates a client forwarding to the server at `server`.
+    pub fn new(messenger: &Rc<Messenger>, server: Ipv4Addr) -> Rc<FsClient> {
+        Rc::new(FsClient {
+            messenger: Rc::clone(messenger),
+            server,
+            rpcs: Cell::new(0),
+        })
+    }
+
+    /// Reads a file; `done(None)` on missing files.
+    pub fn read(&self, path: &str, done: impl FnOnce(Option<Vec<u8>>) + 'static) {
+        self.rpcs.set(self.rpcs.get() + 1);
+        self.messenger.call(
+            self.server,
+            FS_EBB_ID,
+            &encode_request(OP_READ, path, &[]),
+            move |resp| done(decode_read(&resp)),
+        );
+    }
+
+    /// Writes a file; `done` runs on acknowledgment.
+    pub fn write(&self, path: &str, data: &[u8], done: impl FnOnce(bool) + 'static) {
+        self.rpcs.set(self.rpcs.get() + 1);
+        self.messenger.call(
+            self.server,
+            FS_EBB_ID,
+            &encode_request(OP_WRITE, path, data),
+            move |resp| {
+                let ok = resp.cursor().read_u8() == Some(1);
+                done(ok);
+            },
+        );
+    }
+
+    /// Returns the file size, or `None` if missing.
+    pub fn stat(&self, path: &str, done: impl FnOnce(Option<u64>) + 'static) {
+        self.rpcs.set(self.rpcs.get() + 1);
+        self.messenger.call(
+            self.server,
+            FS_EBB_ID,
+            &encode_request(OP_STAT, path, &[]),
+            move |resp| {
+                let mut cur = resp.cursor();
+                match cur.read_u8() {
+                    Some(1) => done(cur.read_u64_be()),
+                    _ => done(None),
+                }
+            },
+        );
+    }
+}
+
+fn decode_read(resp: &Chain<IoBuf>) -> Option<Vec<u8>> {
+    let segments = resp.segments();
+    let first = segments.first()?;
+    let bytes = first.bytes();
+    if bytes.first() != Some(&1) {
+        return None;
+    }
+    let mut out = bytes[1..].to_vec();
+    for s in &segments[1..] {
+        out.extend_from_slice(s.bytes());
+    }
+    Some(out)
+}
+
+/// A read-caching native representative — the optimization the paper's
+/// naïve port leaves on the table. Reads hit the local cache after
+/// first access; writes invalidate and write through.
+pub struct CachingFsClient {
+    inner: Rc<FsClient>,
+    cache: RefCell<HashMap<String, Vec<u8>>>,
+    /// Cache hits (diagnostic).
+    pub hits: Cell<u64>,
+}
+
+impl CachingFsClient {
+    /// Wraps a plain client.
+    pub fn new(inner: Rc<FsClient>) -> Rc<CachingFsClient> {
+        Rc::new(CachingFsClient {
+            inner,
+            cache: RefCell::new(HashMap::new()),
+            hits: Cell::new(0),
+        })
+    }
+
+    /// Reads through the cache.
+    pub fn read(self: &Rc<Self>, path: &str, done: impl FnOnce(Option<Vec<u8>>) + 'static) {
+        if let Some(data) = self.cache.borrow().get(path) {
+            self.hits.set(self.hits.get() + 1);
+            done(Some(data.clone()));
+            return;
+        }
+        let me = Rc::clone(self);
+        let key = path.to_string();
+        self.inner.read(path, move |result| {
+            if let Some(data) = &result {
+                me.cache.borrow_mut().insert(key, data.clone());
+            }
+            done(result);
+        });
+    }
+
+    /// Write-through with invalidation.
+    pub fn write(self: &Rc<Self>, path: &str, data: &[u8], done: impl FnOnce(bool) + 'static) {
+        self.cache.borrow_mut().remove(path);
+        self.inner.write(path, data, done);
+    }
+
+    /// RPCs issued by the underlying client.
+    pub fn rpcs(&self) -> u64 {
+        self.inner.rpcs.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbrt_core::cpu::CoreId;
+    use ebbrt_net::netif::NetIf;
+    use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
+
+    struct SendCell<T>(T);
+    // SAFETY: single-threaded simulation.
+    unsafe impl<T> Send for SendCell<T> {}
+
+    fn on_core0<T: 'static>(m: &Rc<SimMachine>, v: T, f: impl FnOnce(T) + 'static) {
+        let cell = SendCell((v, f));
+        m.spawn_on(CoreId(0), move || {
+            let cell = cell;
+            (cell.0 .1)(cell.0 .0);
+        });
+    }
+
+    fn setup() -> (
+        Rc<SimWorld>,
+        Rc<Switch>,
+        Rc<SimMachine>,
+        Rc<FsServer>,
+        Rc<FsClient>,
+    ) {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let hosted = SimMachine::create(&w, "hosted", 1, CostProfile::linux_vm(), [0x01; 6]);
+        let native = SimMachine::create(&w, "native", 1, CostProfile::ebbrt_vm(), [0x02; 6]);
+        sw.attach(hosted.nic(), LinkParams::default());
+        sw.attach(native.nic(), LinkParams::default());
+        let mask = Ipv4Addr::new(255, 255, 255, 0);
+        let h_if = NetIf::attach(&hosted, Ipv4Addr::new(10, 0, 0, 1), mask);
+        let n_if = NetIf::attach(&native, Ipv4Addr::new(10, 0, 0, 2), mask);
+        w.run_to_idle();
+        let h_msgr = Messenger::start(&h_if);
+        let n_msgr = Messenger::start(&n_if);
+        let server = FsServer::start(&h_msgr);
+        let client = FsClient::new(&n_msgr, Ipv4Addr::new(10, 0, 0, 1));
+        (w, sw, native, server, client)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (w, _sw, native, server, client) = setup();
+        let got = Rc::new(RefCell::new(None));
+        let g2 = Rc::clone(&got);
+        on_core0(&native, client, move |client| {
+            let c2 = Rc::clone(&client);
+            client.write("/etc/config", b"key=value", move |ok| {
+                assert!(ok);
+                c2.read("/etc/config", move |data| {
+                    *g2.borrow_mut() = data;
+                });
+            });
+        });
+        w.run_to_idle();
+        assert_eq!(got.borrow().as_deref(), Some(b"key=value".as_slice()));
+        assert_eq!(server.requests.get(), 2, "one write + one read RPC");
+    }
+
+    #[test]
+    fn stat_and_missing_file() {
+        let (w, _sw, native, server, client) = setup();
+        server.put("/data/blob", vec![7; 1234]);
+        let size = Rc::new(Cell::new(None));
+        let missing = Rc::new(Cell::new(false));
+        let (s2, m2) = (Rc::clone(&size), Rc::clone(&missing));
+        on_core0(&native, client, move |client| {
+            let c2 = Rc::clone(&client);
+            client.stat("/data/blob", move |s| s2.set(s));
+            c2.read("/nope", move |d| m2.set(d.is_none()));
+        });
+        w.run_to_idle();
+        assert_eq!(size.get(), Some(1234));
+        assert!(missing.get());
+    }
+
+    #[test]
+    fn caching_client_avoids_round_trips() {
+        let (w, _sw, native, server, client) = setup();
+        server.put("/lib/startup.js", b"console.log('hi')".to_vec());
+        let caching = CachingFsClient::new(client);
+        let reads = Rc::new(Cell::new(0));
+        let r2 = Rc::clone(&reads);
+        on_core0(&native, Rc::clone(&caching), move |caching| {
+            // Three reads of the same path, chained sequentially so the
+            // cache is populated before the repeats.
+            let c1 = Rc::clone(&caching);
+            let r1 = Rc::clone(&r2);
+            caching.read("/lib/startup.js", move |d| {
+                assert!(d.is_some());
+                r1.set(r1.get() + 1);
+                let c2 = Rc::clone(&c1);
+                let r2 = Rc::clone(&r1);
+                c1.read("/lib/startup.js", move |d| {
+                    assert!(d.is_some());
+                    r2.set(r2.get() + 1);
+                    let r3 = Rc::clone(&r2);
+                    c2.read("/lib/startup.js", move |d| {
+                        assert!(d.is_some());
+                        r3.set(r3.get() + 1);
+                    });
+                });
+            });
+        });
+        w.run_to_idle();
+        assert_eq!(reads.get(), 3);
+        assert_eq!(server.requests.get(), 1, "only the first read goes remote");
+        assert_eq!(caching.hits.get(), 2);
+    }
+}

@@ -1,0 +1,302 @@
+//! The GlobalIdMap: system-wide Ebb naming (§2.2, §3.3).
+//!
+//! "The namespace of Ebbs are shared across all machines in the system
+//! (hosted and native)." The hosted instance acts as the naming
+//! authority (the paper's facilities for "distributed data storage,
+//! messaging, naming and location services"): it hands out
+//! machine-unique id ranges, and stores per-id metadata — typically the
+//! owner machine's address — that remote representatives fetch when
+//! they miss.
+//!
+//! Protocol (over the messenger, addressed to [`GLOBAL_MAP_EBB_ID`]):
+//! `op:u8 …` with op 1 = allocate range, 2 = put(id, data), 3 =
+//! get(id).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ebbrt_core::ebb::EbbId;
+use ebbrt_net::types::Ipv4Addr;
+
+use crate::messenger::Messenger;
+
+/// Well-known Ebb id of the naming service itself.
+pub const GLOBAL_MAP_EBB_ID: EbbId = EbbId(3);
+
+/// Ids handed out per allocation request.
+pub const RANGE_SIZE: u32 = 1024;
+
+const OP_ALLOC_RANGE: u8 = 1;
+const OP_PUT: u8 = 2;
+const OP_GET: u8 = 3;
+
+/// The authoritative naming service (runs on the hosted instance).
+pub struct GlobalIdMapServer {
+    next_range: Cell<u32>,
+    entries: RefCell<HashMap<u32, Vec<u8>>>,
+    /// Requests served (diagnostic).
+    pub requests: Cell<u64>,
+}
+
+impl GlobalIdMapServer {
+    /// Starts the service over `messenger`. Global ids begin above the
+    /// machine-local dynamic range.
+    pub fn start(messenger: &Rc<Messenger>) -> Rc<GlobalIdMapServer> {
+        let server = Rc::new(GlobalIdMapServer {
+            next_range: Cell::new(1 << 20),
+            entries: RefCell::new(HashMap::new()),
+            requests: Cell::new(0),
+        });
+        let s = Rc::clone(&server);
+        let m = Rc::clone(messenger);
+        messenger.register(GLOBAL_MAP_EBB_ID, move |src, rpc_id, payload| {
+            let resp = s.handle(&payload.copy_to_vec());
+            m.respond(src, GLOBAL_MAP_EBB_ID, rpc_id, &resp);
+        });
+        server
+    }
+
+    fn handle(&self, req: &[u8]) -> Vec<u8> {
+        self.requests.set(self.requests.get() + 1);
+        match req.first() {
+            Some(&OP_ALLOC_RANGE) => {
+                let base = self.next_range.get();
+                self.next_range.set(base + RANGE_SIZE);
+                let mut out = vec![1];
+                out.extend_from_slice(&base.to_be_bytes());
+                out.extend_from_slice(&RANGE_SIZE.to_be_bytes());
+                out
+            }
+            Some(&OP_PUT) if req.len() >= 5 => {
+                let id = u32::from_be_bytes([req[1], req[2], req[3], req[4]]);
+                self.entries.borrow_mut().insert(id, req[5..].to_vec());
+                vec![1]
+            }
+            Some(&OP_GET) if req.len() >= 5 => {
+                let id = u32::from_be_bytes([req[1], req[2], req[3], req[4]]);
+                match self.entries.borrow().get(&id) {
+                    Some(data) => {
+                        let mut out = vec![1];
+                        out.extend_from_slice(data);
+                        out
+                    }
+                    None => vec![0],
+                }
+            }
+            _ => vec![0],
+        }
+    }
+
+    /// Entries currently stored (diagnostic).
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+}
+
+/// Client handle used by any instance (hosted or native) to allocate
+/// global ids and resolve id metadata.
+pub struct GlobalIdMap {
+    messenger: Rc<Messenger>,
+    server: Ipv4Addr,
+    /// Locally cached range: (next, end).
+    range: Cell<(u32, u32)>,
+    /// Read cache (immutable entries: ids are never re-bound).
+    cache: RefCell<HashMap<u32, Vec<u8>>>,
+}
+
+impl GlobalIdMap {
+    /// Creates a client of the naming service at `server`.
+    pub fn new(messenger: &Rc<Messenger>, server: Ipv4Addr) -> Rc<GlobalIdMap> {
+        Rc::new(GlobalIdMap {
+            messenger: Rc::clone(messenger),
+            server,
+            range: Cell::new((0, 0)),
+            cache: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// Allocates a globally unique [`EbbId`], fetching a fresh range
+    /// from the server when the local one is exhausted. `done` receives
+    /// the id (synchronously when the cached range suffices).
+    pub fn allocate(self: &Rc<Self>, done: impl FnOnce(EbbId) + 'static) {
+        let (next, end) = self.range.get();
+        if next < end {
+            self.range.set((next + 1, end));
+            done(EbbId(next));
+            return;
+        }
+        let me = Rc::clone(self);
+        self.messenger
+            .call(self.server, GLOBAL_MAP_EBB_ID, &[OP_ALLOC_RANGE], move |resp| {
+                let bytes = resp.copy_to_vec();
+                assert_eq!(bytes.first(), Some(&1), "range allocation failed");
+                let base = u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+                let size = u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
+                me.range.set((base + 1, base + size));
+                done(EbbId(base));
+            });
+    }
+
+    /// Publishes metadata for `id` (e.g. the owner machine's address).
+    pub fn put(self: &Rc<Self>, id: EbbId, data: &[u8], done: impl FnOnce(bool) + 'static) {
+        let mut req = vec![OP_PUT];
+        req.extend_from_slice(&id.0.to_be_bytes());
+        req.extend_from_slice(data);
+        self.messenger
+            .call(self.server, GLOBAL_MAP_EBB_ID, &req, move |resp| {
+                done(resp.copy_to_vec().first() == Some(&1));
+            });
+    }
+
+    /// Resolves metadata for `id`; cached after first fetch (entries
+    /// are immutable once published).
+    pub fn get(self: &Rc<Self>, id: EbbId, done: impl FnOnce(Option<Vec<u8>>) + 'static) {
+        if let Some(v) = self.cache.borrow().get(&id.0) {
+            done(Some(v.clone()));
+            return;
+        }
+        let mut req = vec![OP_GET];
+        req.extend_from_slice(&id.0.to_be_bytes());
+        let me = Rc::clone(self);
+        self.messenger
+            .call(self.server, GLOBAL_MAP_EBB_ID, &req, move |resp| {
+                let bytes = resp.copy_to_vec();
+                if bytes.first() == Some(&1) {
+                    let data = bytes[1..].to_vec();
+                    me.cache.borrow_mut().insert(id.0, data.clone());
+                    done(Some(data));
+                } else {
+                    done(None);
+                }
+            });
+    }
+}
+
+/// Convenience: encode/decode an owner address record.
+pub fn encode_owner(ip: Ipv4Addr) -> Vec<u8> {
+    ip.0.to_vec()
+}
+
+/// Decodes an owner address record.
+pub fn decode_owner(data: &[u8]) -> Option<Ipv4Addr> {
+    if data.len() == 4 {
+        Some(Ipv4Addr([data[0], data[1], data[2], data[3]]))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbrt_core::cpu::CoreId;
+    use ebbrt_net::netif::NetIf;
+    use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
+
+    struct SendCell<T>(T);
+    // SAFETY: single-threaded simulation.
+    unsafe impl<T> Send for SendCell<T> {}
+
+    fn on_core0<T: 'static>(m: &Rc<SimMachine>, v: T, f: impl FnOnce(T) + 'static) {
+        let cell = SendCell((v, f));
+        m.spawn_on(CoreId(0), move || {
+            let cell = cell;
+            (cell.0 .1)(cell.0 .0);
+        });
+    }
+
+    #[test]
+    fn allocate_put_get_across_machines() {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let hosted = SimMachine::create(&w, "hosted", 1, CostProfile::linux_vm(), [0x01; 6]);
+        let native1 = SimMachine::create(&w, "n1", 1, CostProfile::ebbrt_vm(), [0x02; 6]);
+        let native2 = SimMachine::create(&w, "n2", 1, CostProfile::ebbrt_vm(), [0x03; 6]);
+        sw.attach(hosted.nic(), LinkParams::default());
+        sw.attach(native1.nic(), LinkParams::default());
+        sw.attach(native2.nic(), LinkParams::default());
+        let mask = Ipv4Addr::new(255, 255, 255, 0);
+        let h_if = NetIf::attach(&hosted, Ipv4Addr::new(10, 0, 0, 1), mask);
+        let n1_if = NetIf::attach(&native1, Ipv4Addr::new(10, 0, 0, 2), mask);
+        let n2_if = NetIf::attach(&native2, Ipv4Addr::new(10, 0, 0, 3), mask);
+        w.run_to_idle();
+
+        let h_msgr = Messenger::start(&h_if);
+        let n1_msgr = Messenger::start(&n1_if);
+        let n2_msgr = Messenger::start(&n2_if);
+        let server = GlobalIdMapServer::start(&h_msgr);
+        let map1 = GlobalIdMap::new(&n1_msgr, Ipv4Addr::new(10, 0, 0, 1));
+        let map2 = GlobalIdMap::new(&n2_msgr, Ipv4Addr::new(10, 0, 0, 1));
+
+        // native1 allocates a global id and publishes itself as owner.
+        let published = Rc::new(Cell::new(None));
+        let p2 = Rc::clone(&published);
+        on_core0(&native1, Rc::clone(&map1), move |map| {
+            let m2 = Rc::clone(&map);
+            map.allocate(move |id| {
+                m2.put(id, &encode_owner(Ipv4Addr::new(10, 0, 0, 2)), move |ok| {
+                    assert!(ok);
+                });
+                p2.set(Some(id));
+            });
+        });
+        w.run_to_idle();
+        let id = published.get().expect("allocation completed");
+        assert!(id.0 >= 1 << 20, "global ids live above the local range");
+
+        // native2 resolves the owner.
+        let owner = Rc::new(Cell::new(None));
+        let o2 = Rc::clone(&owner);
+        on_core0(&native2, Rc::clone(&map2), move |map| {
+            map.get(id, move |data| {
+                o2.set(decode_owner(&data.unwrap()));
+            });
+        });
+        w.run_to_idle();
+        assert_eq!(owner.get(), Some(Ipv4Addr::new(10, 0, 0, 2)));
+        assert_eq!(server.len(), 1);
+
+        // Second allocation on native1 is served from the cached range:
+        // no extra server round trip.
+        let before = server.requests.get();
+        let second = Rc::new(Cell::new(None));
+        let s2 = Rc::clone(&second);
+        on_core0(&native1, map1, move |map| {
+            map.allocate(move |id| s2.set(Some(id)));
+        });
+        w.run_to_idle();
+        assert_eq!(second.get(), Some(EbbId(id.0 + 1)));
+        assert_eq!(server.requests.get(), before, "range must be cached locally");
+    }
+
+    #[test]
+    fn get_missing_id_is_none() {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let hosted = SimMachine::create(&w, "hosted", 1, CostProfile::linux_vm(), [0x01; 6]);
+        let native = SimMachine::create(&w, "n", 1, CostProfile::ebbrt_vm(), [0x02; 6]);
+        sw.attach(hosted.nic(), LinkParams::default());
+        sw.attach(native.nic(), LinkParams::default());
+        let mask = Ipv4Addr::new(255, 255, 255, 0);
+        let h_if = NetIf::attach(&hosted, Ipv4Addr::new(10, 0, 0, 1), mask);
+        let n_if = NetIf::attach(&native, Ipv4Addr::new(10, 0, 0, 2), mask);
+        w.run_to_idle();
+        let h_msgr = Messenger::start(&h_if);
+        let n_msgr = Messenger::start(&n_if);
+        let _server = GlobalIdMapServer::start(&h_msgr);
+        let map = GlobalIdMap::new(&n_msgr, Ipv4Addr::new(10, 0, 0, 1));
+        let missing = Rc::new(Cell::new(false));
+        let m2 = Rc::clone(&missing);
+        on_core0(&native, map, move |map| {
+            map.get(EbbId(999_999), move |d| m2.set(d.is_none()));
+        });
+        w.run_to_idle();
+        assert!(missing.get());
+    }
+}

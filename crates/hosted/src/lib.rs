@@ -1,0 +1,31 @@
+//! # ebbrt-hosted — the hosted environment and function offload
+//!
+//! The paper's deployments pair native library-OS instances with a
+//! *hosted* process inside a general-purpose OS (§2.1): the hosted side
+//! provides legacy functionality (filesystem, process management,
+//! logging) that the native side offloads over the network, keeping the
+//! native environment light. "The most maintainable software is that
+//! which was not written."
+//!
+//! * [`messenger`] — length-prefixed messaging between machines over
+//!   the TCP stack, with an RPC layer (request/response correlation)
+//!   used by offloaded Ebbs.
+//! * [`fs`] — the FileSystem Ebb of §4.3: the native representative
+//!   function-ships every call to the hosted representative, which
+//!   serves an in-memory filesystem. Deliberately naïve (one round trip
+//!   per access), exactly as the paper describes its own port — plus an
+//!   optional caching representative demonstrating the optimization the
+//!   paper leaves as future work.
+//! * [`global_map`] — the system-wide Ebb naming service (§2.2's
+//!   shared namespace): machine-unique id ranges plus id→owner
+//!   resolution, served by the hosted instance over the messenger.
+//! * [`table`] — hosted Ebb dispatch through per-core *hash tables*
+//!   instead of the native translation array (Linux userspace lacks
+//!   per-core virtual memory regions, §3.3). This is the mechanism
+//!   behind the paper's "roughly 19 times the cost" hosted-dispatch
+//!   measurement, reproduced in the Table 1 benchmark.
+
+pub mod fs;
+pub mod global_map;
+pub mod messenger;
+pub mod table;

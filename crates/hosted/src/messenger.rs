@@ -1,0 +1,297 @@
+//! Inter-machine messaging and RPC.
+//!
+//! Every EbbRT instance (hosted or native) runs a [`Messenger`]
+//! listening on a well-known TCP port. Messages are addressed to an
+//! [`EbbId`]: the receiving side dispatches to the handler registered
+//! for that id — this is how an Ebb's representatives on different
+//! machines talk to each other while hiding the distribution from
+//! their callers (§3.3).
+//!
+//! Wire format per message: `len:u32 | ebb_id:u32 | kind:u8 |
+//! rpc_id:u64 | payload…` (kind 0 = one-way/request, 1 = response).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ebbrt_core::ebb::EbbId;
+use ebbrt_core::iobuf::{Chain, IoBuf, MutIoBuf};
+use ebbrt_net::netif::{ConnHandler, NetIf, TcpConn};
+use ebbrt_net::types::Ipv4Addr;
+
+/// The well-known messenger port.
+pub const MESSENGER_PORT: u16 = 9000;
+
+/// Message kinds.
+const KIND_SEND: u8 = 0;
+const KIND_RESPONSE: u8 = 1;
+
+/// Handler for messages addressed to one Ebb id:
+/// `(src, rpc_id, payload, messenger)`. To reply, call
+/// [`Messenger::respond`] with the given `rpc_id`.
+pub type MsgHandler = Rc<dyn Fn(Ipv4Addr, u64, Chain<IoBuf>)>;
+
+struct PeerConn {
+    conn: TcpConn,
+    established: bool,
+    /// Messages queued until the connection establishes.
+    pending: Vec<Vec<u8>>,
+    /// Reassembly buffer for inbound stream framing.
+    rx: Vec<u8>,
+}
+
+/// The per-machine messenger.
+pub struct Messenger {
+    netif: Rc<NetIf>,
+    peers: RefCell<HashMap<Ipv4Addr, Rc<RefCell<PeerConn>>>>,
+    handlers: RefCell<HashMap<u32, MsgHandler>>,
+    rpc_waiters: RefCell<HashMap<u64, Box<dyn FnOnce(Chain<IoBuf>)>>>,
+    next_rpc: Cell<u64>,
+    /// Messages dispatched (diagnostic).
+    pub dispatched: Cell<u64>,
+}
+
+impl Messenger {
+    /// Starts the messenger on `netif` (binds the listener).
+    pub fn start(netif: &Rc<NetIf>) -> Rc<Messenger> {
+        let m = Rc::new(Messenger {
+            netif: Rc::clone(netif),
+            peers: RefCell::new(HashMap::new()),
+            handlers: RefCell::new(HashMap::new()),
+            rpc_waiters: RefCell::new(HashMap::new()),
+            next_rpc: Cell::new(1),
+            dispatched: Cell::new(0),
+        });
+        let me = Rc::clone(&m);
+        netif.listen(MESSENGER_PORT, move |conn| {
+            let peer = Rc::new(RefCell::new(PeerConn {
+                conn: conn.clone(),
+                established: true,
+                pending: Vec::new(),
+                rx: Vec::new(),
+            }));
+            // Learn the peer so responses reuse this connection.
+            if let Some(t) = conn.tuple() {
+                me.peers.borrow_mut().insert(t.remote.0, Rc::clone(&peer));
+            }
+            // The handler holds a strong reference: a live connection
+            // keeps its messenger alive (the resulting reference cycle
+            // lasts for the simulation's lifetime, which is fine).
+            Rc::new(MessengerConn {
+                messenger: Rc::clone(&me),
+                peer,
+            }) as Rc<dyn ConnHandler>
+        });
+        m
+    }
+
+    /// Registers the handler for messages addressed to `id`.
+    pub fn register(&self, id: EbbId, handler: impl Fn(Ipv4Addr, u64, Chain<IoBuf>) + 'static) {
+        self.handlers.borrow_mut().insert(id.0, Rc::new(handler));
+    }
+
+    /// Sends a one-way message to Ebb `id` on the machine at `dst`.
+    pub fn send(self: &Rc<Self>, dst: Ipv4Addr, id: EbbId, payload: &[u8]) {
+        self.send_raw(dst, id, KIND_SEND, 0, payload);
+    }
+
+    /// Issues an RPC to Ebb `id` on `dst`; `reply` runs with the
+    /// response payload.
+    pub fn call(
+        self: &Rc<Self>,
+        dst: Ipv4Addr,
+        id: EbbId,
+        payload: &[u8],
+        reply: impl FnOnce(Chain<IoBuf>) + 'static,
+    ) {
+        let rpc_id = self.next_rpc.get();
+        self.next_rpc.set(rpc_id + 1);
+        self.rpc_waiters
+            .borrow_mut()
+            .insert(rpc_id, Box::new(reply));
+        self.send_raw(dst, id, KIND_SEND, rpc_id, payload);
+    }
+
+    /// Sends the response for `rpc_id` back to `dst` (from a message
+    /// handler).
+    pub fn respond(self: &Rc<Self>, dst: Ipv4Addr, id: EbbId, rpc_id: u64, payload: &[u8]) {
+        self.send_raw(dst, id, KIND_RESPONSE, rpc_id, payload);
+    }
+
+    fn send_raw(self: &Rc<Self>, dst: Ipv4Addr, id: EbbId, kind: u8, rpc_id: u64, payload: &[u8]) {
+        let mut msg = Vec::with_capacity(17 + payload.len());
+        let body_len = (4 + 1 + 8 + payload.len()) as u32;
+        msg.extend_from_slice(&body_len.to_be_bytes());
+        msg.extend_from_slice(&id.0.to_be_bytes());
+        msg.push(kind);
+        msg.extend_from_slice(&rpc_id.to_be_bytes());
+        msg.extend_from_slice(payload);
+        let peer = self.peer_for(dst);
+        let mut p = peer.borrow_mut();
+        if p.established {
+            let chain = Chain::single(MutIoBuf::from_vec(msg).freeze());
+            p.conn.send(chain).expect("messenger send exceeded window");
+        } else {
+            p.pending.push(msg);
+        }
+    }
+
+    fn peer_for(self: &Rc<Self>, dst: Ipv4Addr) -> Rc<RefCell<PeerConn>> {
+        if let Some(p) = self.peers.borrow().get(&dst) {
+            return Rc::clone(p);
+        }
+        // Open a connection lazily.
+        let peer = Rc::new(RefCell::new(PeerConn {
+            // Placeholder; replaced right after connect() returns.
+            conn: TcpConn::dangling(),
+            established: false,
+            pending: Vec::new(),
+            rx: Vec::new(),
+        }));
+        let handler = Rc::new(MessengerConn {
+            messenger: Rc::clone(self),
+            peer: Rc::clone(&peer),
+        });
+        let conn = self.netif.connect(dst, MESSENGER_PORT, handler);
+        peer.borrow_mut().conn = conn;
+        self.peers.borrow_mut().insert(dst, Rc::clone(&peer));
+        peer
+    }
+
+    /// Feeds inbound bytes from one peer connection, dispatching every
+    /// complete message.
+    fn on_bytes(self: &Rc<Self>, src: Ipv4Addr, peer: &Rc<RefCell<PeerConn>>, data: Chain<IoBuf>) {
+        {
+            let mut p = peer.borrow_mut();
+            p.rx.extend(data.copy_to_vec());
+        }
+        loop {
+            let msg = {
+                let mut p = peer.borrow_mut();
+                if p.rx.len() < 4 {
+                    break;
+                }
+                let body_len =
+                    u32::from_be_bytes([p.rx[0], p.rx[1], p.rx[2], p.rx[3]]) as usize;
+                if p.rx.len() < 4 + body_len {
+                    break;
+                }
+                let msg: Vec<u8> = p.rx.drain(..4 + body_len).collect();
+                msg
+            };
+            let id = u32::from_be_bytes([msg[4], msg[5], msg[6], msg[7]]);
+            let kind = msg[8];
+            let rpc_id = u64::from_be_bytes([
+                msg[9], msg[10], msg[11], msg[12], msg[13], msg[14], msg[15], msg[16],
+            ]);
+            let payload = Chain::single(IoBuf::copy_from(&msg[17..]));
+            self.dispatched.set(self.dispatched.get() + 1);
+            match kind {
+                KIND_RESPONSE => {
+                    let waiter = self.rpc_waiters.borrow_mut().remove(&rpc_id);
+                    if let Some(w) = waiter {
+                        w(payload);
+                    }
+                }
+                _ => {
+                    let handler = self.handlers.borrow().get(&id).cloned();
+                    if let Some(h) = handler {
+                        h(src, rpc_id, payload);
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct MessengerConn {
+    messenger: Rc<Messenger>,
+    peer: Rc<RefCell<PeerConn>>,
+}
+
+impl ConnHandler for MessengerConn {
+    fn on_connected(&self, conn: &TcpConn) {
+        let pending = {
+            let mut p = self.peer.borrow_mut();
+            p.established = true;
+            std::mem::take(&mut p.pending)
+        };
+        for msg in pending {
+            let chain = Chain::single(MutIoBuf::from_vec(msg).freeze());
+            conn.send(chain).expect("messenger flush exceeded window");
+        }
+    }
+
+    fn on_receive(&self, conn: &TcpConn, data: Chain<IoBuf>) {
+        let src = match conn.tuple() {
+            Some(t) => t.remote.0,
+            None => return,
+        };
+        self.messenger.on_bytes(src, &self.peer, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbrt_core::cpu::CoreId;
+    use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
+
+    struct SendCell<T>(T);
+    // SAFETY: single-threaded simulation.
+    unsafe impl<T> Send for SendCell<T> {}
+
+    fn on_core0<T: 'static>(m: &Rc<SimMachine>, v: T, f: impl FnOnce(T) + 'static) {
+        let cell = SendCell((v, f));
+        m.spawn_on(CoreId(0), move || {
+            let cell = cell;
+            (cell.0 .1)(cell.0 .0);
+        });
+    }
+
+    #[test]
+    fn one_way_message_and_rpc() {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let hosted = SimMachine::create(&w, "hosted", 1, CostProfile::linux_vm(), [0x01; 6]);
+        let native = SimMachine::create(&w, "native", 1, CostProfile::ebbrt_vm(), [0x02; 6]);
+        sw.attach(hosted.nic(), LinkParams::default());
+        sw.attach(native.nic(), LinkParams::default());
+        let h_if = NetIf::attach(&hosted, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(255, 255, 255, 0));
+        let n_if = NetIf::attach(&native, Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(255, 255, 255, 0));
+        w.run_to_idle();
+
+        let h_msgr = Messenger::start(&h_if);
+        let n_msgr = Messenger::start(&n_if);
+
+        // Hosted side: an "adder" Ebb handler that doubles the payload
+        // length and responds.
+        let fs_id = EbbId(100);
+        let got_oneway = Rc::new(Cell::new(false));
+        let g2 = Rc::clone(&got_oneway);
+        let h2 = Rc::clone(&h_msgr);
+        h_msgr.register(fs_id, move |src, rpc_id, payload| {
+            if rpc_id == 0 {
+                g2.set(true);
+            } else {
+                let n = payload.len() as u32 * 2;
+                h2.respond(src, fs_id, rpc_id, &n.to_be_bytes());
+            }
+        });
+
+        let reply = Rc::new(Cell::new(0u32));
+        let r2 = Rc::clone(&reply);
+        on_core0(&native, Rc::clone(&n_msgr), move |msgr| {
+            msgr.send(Ipv4Addr::new(10, 0, 0, 1), fs_id, b"hello");
+            msgr.call(Ipv4Addr::new(10, 0, 0, 1), fs_id, &[0u8; 21], move |resp| {
+                let v = resp.cursor().read_u32_be().unwrap();
+                r2.set(v);
+            });
+        });
+        w.run_to_idle();
+        assert!(got_oneway.get(), "one-way message must arrive");
+        assert_eq!(reply.get(), 42, "rpc response must round-trip");
+        assert!(h_msgr.dispatched.get() >= 2);
+        assert!(n_msgr.dispatched.get() >= 1, "response dispatch");
+    }
+}

@@ -1,0 +1,128 @@
+//! Hosted Ebb dispatch via per-core hash tables.
+//!
+//! "Due to the lack of per-core virtual memory regions available in
+//! Linux userspace, our hosted implementation relies on per-core
+//! hash-tables to store representative pointers" (§3.3). The paper
+//! measures this at roughly 19× the native dispatch cost — acceptable
+//! because the hosted environment exists for compatibility, not
+//! performance. The Table 1 benchmark reproduces the comparison.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ebbrt_core::cpu;
+use ebbrt_core::ebb::EbbId;
+
+/// A hosted-environment Ebb translation table: one hash map per core.
+pub struct HostedEbbTable {
+    maps: Vec<RefCell<HashMap<u32, Rc<dyn Any>>>>,
+}
+
+impl HostedEbbTable {
+    /// Creates a table for `ncores` cores.
+    pub fn new(ncores: usize) -> Self {
+        HostedEbbTable {
+            maps: (0..ncores).map(|_| RefCell::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Installs a representative for (current core, `id`).
+    pub fn install<T: 'static>(&self, id: EbbId, rep: T) {
+        let core = cpu::current();
+        self.maps[core.index()]
+            .borrow_mut()
+            .insert(id.0, Rc::new(rep));
+    }
+
+    /// Whether the calling core has a rep for `id`.
+    pub fn has_rep(&self, id: EbbId) -> bool {
+        self.maps[cpu::current().index()].borrow().contains_key(&id.0)
+    }
+
+    /// Invokes `f` on the calling core's representative — the hosted
+    /// dispatch path: hash-map lookup plus dynamic downcast, per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a missing rep or a type mismatch.
+    #[inline]
+    pub fn with_rep<T: 'static, R>(&self, id: EbbId, f: impl FnOnce(&T) -> R) -> R {
+        let core = cpu::current();
+        let rep = {
+            let map = self.maps[core.index()].borrow();
+            let any = map
+                .get(&id.0)
+                .unwrap_or_else(|| panic!("no hosted rep for {id:?} on {core}"));
+            Rc::clone(any)
+        };
+        let typed = rep
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("hosted rep type mismatch for {id:?}"));
+        f(&typed)
+    }
+
+    /// Removes the calling core's rep for `id`.
+    pub fn remove(&self, id: EbbId) {
+        self.maps[cpu::current().index()].borrow_mut().remove(&id.0);
+    }
+}
+
+/// Convenience: a table sized for one core, pre-bound (tests).
+impl Default for HostedEbbTable {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbrt_core::cpu::CoreId;
+
+    struct Counter(std::cell::Cell<u32>);
+
+    #[test]
+    fn install_and_dispatch() {
+        let table = HostedEbbTable::new(2);
+        {
+            let _b = cpu::bind(CoreId(0));
+            table.install(EbbId(5), Counter(std::cell::Cell::new(0)));
+            assert!(table.has_rep(EbbId(5)));
+            table.with_rep::<Counter, _>(EbbId(5), |c| c.0.set(c.0.get() + 1));
+            assert_eq!(table.with_rep::<Counter, _>(EbbId(5), |c| c.0.get()), 1);
+        }
+        {
+            // Reps are per core.
+            let _b = cpu::bind(CoreId(1));
+            assert!(!table.has_rep(EbbId(5)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no hosted rep")]
+    fn missing_rep_panics() {
+        let table = HostedEbbTable::new(1);
+        let _b = cpu::bind(CoreId(0));
+        table.with_rep::<Counter, _>(EbbId(9), |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let table = HostedEbbTable::new(1);
+        let _b = cpu::bind(CoreId(0));
+        table.install(EbbId(5), Counter(std::cell::Cell::new(0)));
+        table.with_rep::<String, _>(EbbId(5), |_| ());
+    }
+
+    #[test]
+    fn remove_clears_rep() {
+        let table = HostedEbbTable::new(1);
+        let _b = cpu::bind(CoreId(0));
+        table.install(EbbId(5), 42u64);
+        table.remove(EbbId(5));
+        assert!(!table.has_rep(EbbId(5)));
+    }
+}

@@ -1,0 +1,244 @@
+//! A binary buddy allocator over a contiguous page range.
+//!
+//! This is the lowest layer of the paper's allocator stack ("our default
+//! implementation uses per-numa-node buddy-allocators"). It allocates
+//! power-of-two *orders* of pages: order 0 is one page, order `k` is
+//! `2^k` contiguous pages. Freeing coalesces with the buddy block
+//! whenever the buddy is also free, restoring larger blocks.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::{Addr, MAX_ORDER, PAGE_SIZE};
+
+/// Number of bytes covered by a block of `order`.
+pub fn order_bytes(order: u32) -> usize {
+    PAGE_SIZE << order
+}
+
+/// Smallest order whose block covers `bytes`.
+pub fn order_for_bytes(bytes: usize) -> u32 {
+    let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+    (usize::BITS - (pages - 1).leading_zeros()).min(MAX_ORDER)
+}
+
+/// A buddy allocator managing `[base, base + PAGE_SIZE << region_order)`.
+pub struct BuddyAllocator {
+    base: Addr,
+    region_order: u32,
+    /// Free block start addresses, indexed by order.
+    free_lists: Vec<BTreeSet<Addr>>,
+    /// Live allocations: address → order. Catches double frees and
+    /// wrong-order frees.
+    allocated: HashMap<Addr, u32>,
+    free_bytes: usize,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator over a power-of-two region of
+    /// `2^region_order` pages starting at `base` (which must be aligned
+    /// to the region size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is misaligned or `region_order < MAX_ORDER` is
+    /// violated in the other direction (regions smaller than one page).
+    pub fn new(base: Addr, region_order: u32) -> Self {
+        let region_bytes = order_bytes(region_order);
+        assert_eq!(base % region_bytes, 0, "region base must be size-aligned");
+        let mut free_lists = vec![BTreeSet::new(); (region_order + 1) as usize];
+        free_lists[region_order as usize].insert(base);
+        BuddyAllocator {
+            base,
+            region_order,
+            free_lists,
+            allocated: HashMap::new(),
+            free_bytes: region_bytes,
+        }
+    }
+
+    /// First address of the managed region.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// One-past-the-end of the managed region.
+    pub fn end(&self) -> Addr {
+        self.base + order_bytes(self.region_order)
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> usize {
+        self.free_bytes
+    }
+
+    /// Whether `addr` falls inside this allocator's region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    /// Allocates a block of `order`, splitting larger blocks as needed.
+    /// Returns `None` when no block of sufficient size is free
+    /// (fragmentation or exhaustion).
+    pub fn alloc(&mut self, order: u32) -> Option<Addr> {
+        if order > self.region_order {
+            return None;
+        }
+        // Find the smallest free block that fits.
+        let mut have = order;
+        while have <= self.region_order && self.free_lists[have as usize].is_empty() {
+            have += 1;
+        }
+        if have > self.region_order {
+            return None;
+        }
+        let addr = *self.free_lists[have as usize].iter().next().expect("nonempty");
+        self.free_lists[have as usize].remove(&addr);
+        // Split down to the requested order, returning upper halves to
+        // the free lists.
+        while have > order {
+            have -= 1;
+            let upper = addr + order_bytes(have);
+            self.free_lists[have as usize].insert(upper);
+        }
+        self.free_bytes -= order_bytes(order);
+        self.allocated.insert(addr, order);
+        Some(addr)
+    }
+
+    /// Frees a block previously allocated at `order`, coalescing with
+    /// free buddies.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a block outside the region, a misaligned address, or a
+    /// double free (the block is already on a free list).
+    pub fn free(&mut self, addr: Addr, order: u32) {
+        assert!(self.contains(addr), "free of {addr:#x} outside region");
+        assert_eq!(
+            (addr - self.base) % order_bytes(order),
+            0,
+            "free of misaligned block {addr:#x} at order {order}"
+        );
+        match self.allocated.remove(&addr) {
+            None => panic!("double free (or free of never-allocated block) at {addr:#x}"),
+            Some(alloc_order) => assert_eq!(
+                alloc_order, order,
+                "block {addr:#x} allocated at order {alloc_order} but freed at order {order}"
+            ),
+        }
+        self.free_bytes += order_bytes(order);
+        let mut addr = addr;
+        let mut order = order;
+        // Coalesce while the buddy is free.
+        while order < self.region_order {
+            let buddy = self.base + ((addr - self.base) ^ order_bytes(order));
+            if !self.free_lists[order as usize].remove(&buddy) {
+                break;
+            }
+            addr = addr.min(buddy);
+            order += 1;
+        }
+        let inserted = self.free_lists[order as usize].insert(addr);
+        debug_assert!(inserted, "free-list corruption at {addr:#x}");
+    }
+
+    /// Number of free blocks at each order (diagnostic).
+    pub fn free_counts(&self) -> Vec<usize> {
+        self.free_lists.iter().map(|l| l.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_math() {
+        assert_eq!(order_bytes(0), PAGE_SIZE);
+        assert_eq!(order_bytes(3), PAGE_SIZE * 8);
+        assert_eq!(order_for_bytes(1), 0);
+        assert_eq!(order_for_bytes(PAGE_SIZE), 0);
+        assert_eq!(order_for_bytes(PAGE_SIZE + 1), 1);
+        assert_eq!(order_for_bytes(3 * PAGE_SIZE), 2);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_restores_region() {
+        let mut b = BuddyAllocator::new(0, 4); // 16 pages
+        let initial = b.free_bytes();
+        let a = b.alloc(0).unwrap();
+        let c = b.alloc(2).unwrap();
+        assert_ne!(a, c);
+        assert_eq!(b.free_bytes(), initial - PAGE_SIZE - 4 * PAGE_SIZE);
+        b.free(a, 0);
+        b.free(c, 2);
+        assert_eq!(b.free_bytes(), initial);
+        // Fully coalesced: one block at the top order.
+        let counts = b.free_counts();
+        assert_eq!(counts[4], 1);
+        assert!(counts[..4].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn split_produces_disjoint_blocks() {
+        let mut b = BuddyAllocator::new(0, 3); // 8 pages
+        let mut blocks = Vec::new();
+        while let Some(a) = b.alloc(0) {
+            blocks.push(a);
+        }
+        assert_eq!(blocks.len(), 8);
+        blocks.sort();
+        for w in blocks.windows(2) {
+            assert_eq!(w[1] - w[0], PAGE_SIZE, "pages must tile the region");
+        }
+        assert_eq!(b.free_bytes(), 0);
+        assert!(b.alloc(0).is_none());
+    }
+
+    #[test]
+    fn coalescing_enables_large_alloc_again() {
+        let mut b = BuddyAllocator::new(0, 2); // 4 pages
+        let a0 = b.alloc(0).unwrap();
+        let a1 = b.alloc(0).unwrap();
+        let a2 = b.alloc(1).unwrap();
+        assert!(b.alloc(2).is_none());
+        b.free(a0, 0);
+        b.free(a1, 0);
+        b.free(a2, 1);
+        assert_eq!(b.alloc(2), Some(0));
+    }
+
+    #[test]
+    fn nonzero_base() {
+        let base = 1 << 30;
+        let mut b = BuddyAllocator::new(base, 2);
+        let a = b.alloc(2).unwrap();
+        assert_eq!(a, base);
+        b.free(a, 2);
+        assert!(b.contains(base));
+        assert!(!b.contains(base - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut b = BuddyAllocator::new(0, 2);
+        let a = b.alloc(0).unwrap();
+        b.free(a, 0);
+        b.free(a, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_free_panics() {
+        let mut b = BuddyAllocator::new(0, 3);
+        let a = b.alloc(1).unwrap();
+        b.free(a + PAGE_SIZE, 1);
+    }
+
+    #[test]
+    fn oversized_request_is_none() {
+        let mut b = BuddyAllocator::new(0, 2);
+        assert!(b.alloc(3).is_none());
+    }
+}

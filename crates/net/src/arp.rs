@@ -1,0 +1,164 @@
+//! The ARP cache and asynchronous resolution (§3.5's Figure 2 path).
+//!
+//! `ArpFind` resolves an IPv4 address to a MAC. On a cache hit the
+//! continuation runs **synchronously in the caller's context** — the
+//! fast path the paper's monadic futures are designed around. On a miss
+//! the continuation is queued, an ARP request goes out, and the reply
+//! handler drains the waiters.
+//!
+//! (In the C++ system this returns `Future<EthAddr>`; here the
+//! continuation is a direct callback because the per-machine stack is
+//! single-threaded in the simulation backend — the synchronous-on-hit
+//! semantics, which is what Figure 2 demonstrates, is identical and
+//! tested.)
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::types::{Ipv4Addr, Mac};
+
+enum Entry {
+    Resolved(Mac),
+    /// Resolution in flight; waiters queued.
+    Pending(Vec<Box<dyn FnOnce(Mac)>>),
+}
+
+/// The per-interface ARP cache.
+pub struct ArpCache {
+    entries: RefCell<HashMap<Ipv4Addr, Entry>>,
+    hits: std::cell::Cell<u64>,
+    misses: std::cell::Cell<u64>,
+}
+
+impl Default for ArpCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArpCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ArpCache {
+            entries: RefCell::new(HashMap::new()),
+            hits: std::cell::Cell::new(0),
+            misses: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Resolves `ip`, invoking `cont` with the MAC — synchronously if
+    /// cached. Returns `true` if the caller must transmit an ARP
+    /// request (first waiter of a new pending entry).
+    pub fn find(&self, ip: Ipv4Addr, cont: impl FnOnce(Mac) + 'static) -> bool {
+        let mut entries = self.entries.borrow_mut();
+        match entries.get_mut(&ip) {
+            Some(Entry::Resolved(mac)) => {
+                let mac = *mac;
+                drop(entries);
+                self.hits.set(self.hits.get() + 1);
+                cont(mac); // synchronous fast path
+                false
+            }
+            Some(Entry::Pending(waiters)) => {
+                waiters.push(Box::new(cont));
+                self.misses.set(self.misses.get() + 1);
+                false
+            }
+            None => {
+                entries.insert(ip, Entry::Pending(vec![Box::new(cont)]));
+                self.misses.set(self.misses.get() + 1);
+                true
+            }
+        }
+    }
+
+    /// Returns the cached MAC without resolving.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<Mac> {
+        match self.entries.borrow().get(&ip) {
+            Some(Entry::Resolved(mac)) => Some(*mac),
+            _ => None,
+        }
+    }
+
+    /// Installs (or refreshes) a resolution — from an ARP reply or
+    /// learned from traffic — and runs any queued waiters.
+    pub fn insert(&self, ip: Ipv4Addr, mac: Mac) {
+        let prev = self.entries.borrow_mut().insert(ip, Entry::Resolved(mac));
+        if let Some(Entry::Pending(waiters)) = prev {
+            for w in waiters {
+                w(mac);
+            }
+        }
+    }
+
+    /// Drops an entry (e.g. on timeout).
+    pub fn evict(&self, ip: Ipv4Addr) {
+        self.entries.borrow_mut().remove(&ip);
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    const IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 7);
+    const MAC: Mac = [1, 2, 3, 4, 5, 6];
+
+    #[test]
+    fn hit_is_synchronous() {
+        let cache = ArpCache::new();
+        cache.insert(IP, MAC);
+        let got = Rc::new(Cell::new(None));
+        let g = Rc::clone(&got);
+        let need_request = cache.find(IP, move |m| g.set(Some(m)));
+        assert!(!need_request);
+        // The continuation already ran — no deferral on the fast path.
+        assert_eq!(got.get(), Some(MAC));
+        assert_eq!(cache.stats(), (1, 0));
+    }
+
+    #[test]
+    fn miss_queues_and_reply_drains_waiters() {
+        let cache = ArpCache::new();
+        let count = Rc::new(Cell::new(0));
+        let (c1, c2) = (Rc::clone(&count), Rc::clone(&count));
+        assert!(cache.find(IP, move |m| {
+            assert_eq!(m, MAC);
+            c1.set(c1.get() + 1);
+        }));
+        // Second request while pending: no new ARP request.
+        assert!(!cache.find(IP, move |m| {
+            assert_eq!(m, MAC);
+            c2.set(c2.get() + 1);
+        }));
+        assert_eq!(count.get(), 0);
+        cache.insert(IP, MAC);
+        assert_eq!(count.get(), 2);
+        // And the entry is now cached.
+        assert_eq!(cache.lookup(IP), Some(MAC));
+    }
+
+    #[test]
+    fn evict_forces_new_resolution() {
+        let cache = ArpCache::new();
+        cache.insert(IP, MAC);
+        cache.evict(IP);
+        assert_eq!(cache.lookup(IP), None);
+        assert!(cache.find(IP, |_| {}), "must re-request after eviction");
+    }
+
+    #[test]
+    fn refresh_updates_mac() {
+        let cache = ArpCache::new();
+        cache.insert(IP, MAC);
+        cache.insert(IP, [9; 6]);
+        assert_eq!(cache.lookup(IP), Some([9; 6]));
+    }
+}

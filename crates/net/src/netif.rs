@@ -1,0 +1,1008 @@
+//! The per-machine network interface: demux, TCP/UDP engines, ARP glue.
+//!
+//! Design points from §3.6, all implemented here:
+//!
+//! * Received data flows **synchronously** from the driver through the
+//!   stack into the application handler — no queues, no buffering, no
+//!   context switch ("the network stack does not provide any buffering,
+//!   it will invoke the application as long as data arrives").
+//! * Connection demux goes through an RCU hash table: per-packet
+//!   lookups take no locks and no atomic RMWs.
+//! * A connection's state is touched only on its *affinity core* — the
+//!   core RSS steers its frames to. Outbound connections pick their
+//!   ephemeral port so the reply flow hashes to the calling core.
+//! * Applications drive the send path against the advertised window
+//!   ([`TcpConn::send_window`]); the stack refuses rather than buffers
+//!   ([`SendError::WindowFull`]) and signals
+//!   [`ConnHandler::on_window_open`] when acknowledgments open space.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+use std::sync::Arc;
+
+use ebbrt_core::clock::Ns;
+use ebbrt_core::cpu::{self, CoreId};
+use ebbrt_core::iobuf::{Chain, IoBuf, MutIoBuf};
+use ebbrt_core::rcu_hash::RcuHashMap;
+use ebbrt_core::runtime;
+use ebbrt_sim::nic::Frame;
+use ebbrt_sim::world::charge;
+use ebbrt_sim::SimMachine;
+
+use crate::arp::ArpCache;
+use crate::tcp::{FourTuple, Pcb, TcpState};
+use crate::types::{Ipv4Addr, Mac, MAC_BROADCAST};
+use crate::wire::{self, tcp_flags, EthHeader, Ipv4Header, TcpHeader};
+
+/// Base retransmission timeout (exponentially backed off).
+pub const RTO_NS: Ns = 200_000_000;
+
+/// Delayed-ACK timeout: a lone data segment is acknowledged within this
+/// bound; a second segment forces an immediate ACK (RFC 1122 style).
+pub const DELACK_NS: Ns = 200_000;
+
+/// First ephemeral port used by [`NetIf::connect`].
+const EPHEMERAL_BASE: u16 = 33000;
+
+/// Callbacks through which a TCP application receives events. Handlers
+/// run on the connection's affinity core, directly on the interrupt
+/// path.
+pub trait ConnHandler {
+    /// The handshake completed.
+    fn on_connected(&self, _conn: &TcpConn) {}
+    /// In-order data arrived (zero-copy chain).
+    fn on_receive(&self, conn: &TcpConn, data: Chain<IoBuf>);
+    /// Acknowledgments opened usable send window.
+    fn on_window_open(&self, _conn: &TcpConn) {}
+    /// The peer closed (FIN) or the connection reset/terminated.
+    fn on_close(&self, _conn: &TcpConn) {}
+}
+
+/// Errors from [`TcpConn::send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// The payload exceeds the usable send window; the application must
+    /// buffer and retry on [`ConnHandler::on_window_open`]. Carries the
+    /// currently usable window.
+    WindowFull(usize),
+    /// The connection is not in a data-transfer state.
+    NotConnected,
+}
+
+/// A handle to a TCP connection. Cloneable; all methods must be called
+/// on the connection's affinity core.
+#[derive(Clone)]
+pub struct TcpConn {
+    netif: Weak<NetIf>,
+    id: u64,
+}
+
+impl TcpConn {
+    /// A handle referring to no connection — a placeholder for
+    /// two-phase initialization. Every method panics until replaced.
+    pub fn dangling() -> TcpConn {
+        TcpConn {
+            netif: Weak::new(),
+            id: 0,
+        }
+    }
+
+    /// Usable send window in bytes.
+    pub fn send_window(&self) -> usize {
+        self.with_netif(|n| n.with_pcb(self.id, |p| p.send_window()).unwrap_or(0))
+    }
+
+    /// Sends `data` (segmented to MSS). Refuses — does not buffer — if
+    /// the window is too small.
+    pub fn send(&self, data: Chain<IoBuf>) -> Result<(), SendError> {
+        self.with_netif(|n| n.tcp_send(self.id, data))
+    }
+
+    /// Sets the advertised receive window (application-managed pacing).
+    pub fn set_receive_window(&self, wnd: u16) {
+        self.with_netif(|n| {
+            n.with_pcb(self.id, |p| p.rcv_wnd = wnd);
+        });
+    }
+
+    /// Initiates close (FIN).
+    pub fn close(&self) {
+        self.with_netif(|n| n.tcp_close(self.id));
+    }
+
+    /// The connection's 4-tuple, if still alive.
+    pub fn tuple(&self) -> Option<FourTuple> {
+        self.with_netif(|n| n.with_pcb(self.id, |p| p.tuple))
+    }
+
+    /// Current TCP state (Closed if the connection is gone).
+    pub fn state(&self) -> TcpState {
+        self.with_netif(|n| {
+            n.with_pcb(self.id, |p| p.state)
+                .unwrap_or(TcpState::Closed)
+        })
+    }
+
+    /// The core this connection is pinned to.
+    pub fn core(&self) -> Option<CoreId> {
+        self.with_netif(|n| n.with_pcb(self.id, |p| p.core))
+    }
+
+    /// Internal id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn with_netif<R>(&self, f: impl FnOnce(&Rc<NetIf>) -> R) -> R {
+        let n = self.netif.upgrade().expect("NetIf dropped");
+        f(&n)
+    }
+}
+
+struct ConnRec {
+    pcb: Rc<RefCell<Pcb>>,
+    handler: Rc<dyn ConnHandler>,
+}
+
+type AcceptFn = Rc<dyn Fn(&TcpConn) -> Rc<dyn ConnHandler>>;
+type UdpHandlerFn = Rc<dyn Fn(Ipv4Addr, u16, Chain<IoBuf>)>;
+
+/// Interface statistics (single-threaded cells).
+#[derive(Default)]
+pub struct NetStats {
+    /// Frames received / transmitted.
+    pub rx_frames: Cell<u64>,
+    /// Frames transmitted.
+    pub tx_frames: Cell<u64>,
+    /// TCP segments received.
+    pub rx_tcp: Cell<u64>,
+    /// TCP segments transmitted.
+    pub tx_tcp: Cell<u64>,
+    /// Connections fully established.
+    pub conns_established: Cell<u64>,
+    /// Connections closed.
+    pub conns_closed: Cell<u64>,
+    /// Segments retransmitted.
+    pub retransmits: Cell<u64>,
+    /// Segments dropped for checksum or demux failure.
+    pub rx_drops: Cell<u64>,
+}
+
+/// The per-machine network stack instance.
+pub struct NetIf {
+    machine: Rc<SimMachine>,
+    ip: Cell<Ipv4Addr>,
+    mask: Cell<Ipv4Addr>,
+    /// ARP cache (learning + resolution).
+    pub arp: ArpCache,
+    /// RCU connection demux: 4-tuple → connection id.
+    conn_ids: RcuHashMap<FourTuple, u64>,
+    pcbs: RefCell<HashMap<u64, ConnRec>>,
+    listeners: RefCell<HashMap<u16, AcceptFn>>,
+    udp_bindings: RefCell<HashMap<u16, UdpHandlerFn>>,
+    next_conn: Cell<u64>,
+    next_eph: Cell<u16>,
+    ip_id: Cell<u16>,
+    iss: Cell<u32>,
+    /// Time of the last transmit (virtio kick suppression window).
+    last_tx: Cell<Ns>,
+    /// Statistics.
+    pub stats: NetStats,
+}
+
+impl NetIf {
+    /// Creates the stack for `machine` with a static IP configuration
+    /// and attaches the virtio driver on every core.
+    pub fn attach(machine: &Rc<SimMachine>, ip: Ipv4Addr, mask: Ipv4Addr) -> Rc<NetIf> {
+        let netif = Rc::new(NetIf {
+            machine: Rc::clone(machine),
+            ip: Cell::new(ip),
+            mask: Cell::new(mask),
+            arp: ArpCache::new(),
+            conn_ids: RcuHashMap::new(Arc::clone(machine.runtime().rcu())),
+            pcbs: RefCell::new(HashMap::new()),
+            listeners: RefCell::new(HashMap::new()),
+            udp_bindings: RefCell::new(HashMap::new()),
+            next_conn: Cell::new(1),
+            next_eph: Cell::new(EPHEMERAL_BASE),
+            ip_id: Cell::new(1),
+            iss: Cell::new(0x1000),
+            last_tx: Cell::new(u64::MAX / 2),
+            stats: NetStats::default(),
+        });
+        crate::driver::attach(&netif);
+        netif
+    }
+
+    /// The owning simulated machine.
+    pub fn machine(&self) -> &Rc<SimMachine> {
+        &self.machine
+    }
+
+    /// The interface's IPv4 address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.ip.get()
+    }
+
+    /// Sets the interface address (used by DHCP).
+    pub fn set_ip(&self, ip: Ipv4Addr, mask: Ipv4Addr) {
+        self.ip.set(ip);
+        self.mask.set(mask);
+    }
+
+    /// The interface's MAC.
+    pub fn mac(&self) -> Mac {
+        self.machine.nic().mac()
+    }
+
+    // --- TCP application API ---------------------------------------------
+
+    /// Starts listening on `port`; `accept` is invoked (on the new
+    /// connection's affinity core) for each inbound connection and
+    /// returns its handler.
+    pub fn listen(
+        &self,
+        port: u16,
+        accept: impl Fn(&TcpConn) -> Rc<dyn ConnHandler> + 'static,
+    ) {
+        let prev = self.listeners.borrow_mut().insert(port, Rc::new(accept));
+        assert!(prev.is_none(), "port {port} already has a listener");
+    }
+
+    /// Opens a connection to `remote`. Must be called from an event on
+    /// the desired affinity core: the ephemeral port is chosen so the
+    /// reply flow RSS-hashes to the calling core. The handler's
+    /// `on_connected` fires when the handshake completes.
+    pub fn connect(
+        self: &Rc<Self>,
+        remote: Ipv4Addr,
+        port: u16,
+        handler: Rc<dyn ConnHandler>,
+    ) -> TcpConn {
+        let core = cpu::current();
+        let local_port = self.pick_ephemeral(remote, port, core);
+        let tuple = FourTuple {
+            local: (self.ip.get(), local_port),
+            remote: (remote, port),
+        };
+        let iss = self.iss.get();
+        self.iss.set(iss.wrapping_add(0x3_1337));
+        let mut pcb = Pcb::new(tuple, TcpState::SynSent, iss, core);
+        pcb.rcv_wnd = crate::tcp::DEFAULT_RCV_WND;
+        let id = self.insert_conn(pcb, handler);
+        // Resolve the next hop, then SYN (the Figure 2 path: on a cache
+        // hit this continues synchronously).
+        let me = Rc::downgrade(self);
+        let need_request = self.arp.find(remote, move |mac| {
+            if let Some(n) = me.upgrade() {
+                n.with_pcb(id, |p| p.remote_mac = mac);
+                n.with_conn(id, |n, pcb, _| {
+                    let mut p = pcb.borrow_mut();
+                    let iss = p.snd_una;
+                    n.tcp_output(&mut p, tcp_flags::SYN, iss, Chain::new(), 1);
+                    p.record_sent(iss, 1, tcp_flags::SYN, Chain::new());
+                });
+                n.arm_rto(id);
+            }
+        });
+        if need_request {
+            self.send_arp_request(remote);
+        }
+        TcpConn {
+            netif: Rc::downgrade(self),
+            id,
+        }
+    }
+
+    /// Binds a UDP port to a handler `(src_ip, src_port, payload)`.
+    pub fn udp_bind(&self, port: u16, handler: impl Fn(Ipv4Addr, u16, Chain<IoBuf>) + 'static) {
+        self.udp_bindings.borrow_mut().insert(port, Rc::new(handler));
+    }
+
+    /// Sends a UDP datagram. Broadcast destinations go out with the
+    /// broadcast MAC; unicast resolves via ARP.
+    pub fn udp_send(
+        self: &Rc<Self>,
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: Chain<IoBuf>,
+    ) {
+        if dst.is_broadcast() {
+            self.udp_output(MAC_BROADCAST, src_port, dst, dst_port, payload);
+            return;
+        }
+        let me = Rc::downgrade(self);
+        let src_ip_port = src_port;
+        let need_request = self.arp.find(dst, move |mac| {
+            if let Some(n) = me.upgrade() {
+                n.udp_output(mac, src_ip_port, dst, dst_port, payload);
+            }
+        });
+        if need_request {
+            self.send_arp_request(dst);
+        }
+    }
+
+    // --- Frame ingress (driver) ---------------------------------------------
+
+    /// Processes one received frame (called by the driver on the RSS
+    /// core; the chain starts at the Ethernet header).
+    pub fn rx_frame(self: &Rc<Self>, mut chain: Chain<IoBuf>) {
+        self.stats.rx_frames.set(self.stats.rx_frames.get() + 1);
+        let eth = match wire::parse_eth(&chain) {
+            Some(e) => e,
+            None => return self.drop_frame(),
+        };
+        if eth.dst != self.mac() && eth.dst != MAC_BROADCAST {
+            return; // not for us (switch flooding)
+        }
+        chain.advance(wire::ETH_HLEN);
+        match eth.ethertype {
+            wire::ETHERTYPE_ARP => self.rx_arp(chain),
+            wire::ETHERTYPE_IPV4 => self.rx_ipv4(eth, chain),
+            _ => self.drop_frame(),
+        }
+    }
+
+    fn rx_arp(self: &Rc<Self>, chain: Chain<IoBuf>) {
+        let pkt = match wire::parse_arp(&chain) {
+            Some(p) => p,
+            None => return self.drop_frame(),
+        };
+        // Learn the sender either way.
+        if !pkt.spa.is_unspecified() {
+            self.arp.insert(pkt.spa, pkt.sha);
+        }
+        if pkt.oper == wire::ARP_REQUEST && pkt.tpa == self.ip.get() {
+            let reply = wire::ArpPacket {
+                oper: wire::ARP_REPLY,
+                sha: self.mac(),
+                spa: self.ip.get(),
+                tha: pkt.sha,
+                tpa: pkt.spa,
+            };
+            let mut buf = wire::build_arp(&reply);
+            wire::push_eth(
+                &mut buf,
+                &EthHeader {
+                    dst: pkt.sha,
+                    src: self.mac(),
+                    ethertype: wire::ETHERTYPE_ARP,
+                },
+            );
+            self.transmit(Chain::single(buf.freeze()));
+        }
+    }
+
+    fn rx_ipv4(self: &Rc<Self>, eth: EthHeader, mut chain: Chain<IoBuf>) {
+        let ip = match wire::parse_ipv4(&chain) {
+            Some(h) => h,
+            None => return self.drop_frame(),
+        };
+        let our = self.ip.get();
+        if ip.dst != our && !ip.dst.is_broadcast() && !our.is_unspecified() {
+            return;
+        }
+        chain.advance(wire::IPV4_HLEN);
+        // Trim link-layer padding.
+        let l4_len = (ip.total_len as usize).saturating_sub(wire::IPV4_HLEN);
+        if chain.len() > l4_len {
+            let extra = chain.len() - l4_len;
+            let keep = chain.len() - extra;
+            let kept = chain.split_to(keep);
+            chain = kept;
+        } else if chain.len() < l4_len {
+            return self.drop_frame(); // truncated
+        }
+        match ip.proto {
+            wire::IPPROTO_TCP => self.rx_tcp(eth, ip, chain),
+            wire::IPPROTO_UDP => self.rx_udp(ip, chain),
+            _ => self.drop_frame(),
+        }
+    }
+
+    fn rx_udp(self: &Rc<Self>, ip: Ipv4Header, mut chain: Chain<IoBuf>) {
+        let hdr = match wire::parse_udp(&chain) {
+            Some(h) => h,
+            None => return self.drop_frame(),
+        };
+        chain.advance(wire::UDP_HLEN);
+        let handler = self.udp_bindings.borrow().get(&hdr.dst_port).cloned();
+        match handler {
+            Some(h) => h(ip.src, hdr.src_port, chain),
+            None => self.drop_frame(),
+        }
+    }
+
+    fn rx_tcp(self: &Rc<Self>, eth: EthHeader, ip: Ipv4Header, mut chain: Chain<IoBuf>) {
+        self.stats.rx_tcp.set(self.stats.rx_tcp.get() + 1);
+        if !wire::verify_tcp_checksum(ip.src, ip.dst, &chain, chain.len() as u16) {
+            return self.drop_frame();
+        }
+        let hdr = match wire::parse_tcp(&chain) {
+            Some(h) => h,
+            None => return self.drop_frame(),
+        };
+        chain.advance(hdr.header_len.min(chain.len()));
+        let tuple = FourTuple {
+            local: (ip.dst, hdr.dst_port),
+            remote: (ip.src, hdr.src_port),
+        };
+        // RCU lookup: no locks, no atomic RMW (we are inside an event).
+        let id = self.conn_ids.get(&tuple, |id| *id);
+        match id {
+            Some(id) => self.handle_segment(id, &hdr, chain),
+            None => self.handle_no_conn(eth, ip, tuple, &hdr),
+        }
+    }
+
+    /// SYN to a listening port creates a connection; anything else gets
+    /// RST.
+    fn handle_no_conn(
+        self: &Rc<Self>,
+        eth: EthHeader,
+        ip: Ipv4Header,
+        tuple: FourTuple,
+        hdr: &TcpHeader,
+    ) {
+        let is_syn = hdr.flags & tcp_flags::SYN != 0 && hdr.flags & tcp_flags::ACK == 0;
+        let accept = self.listeners.borrow().get(&tuple.local.1).cloned();
+        match (is_syn, accept) {
+            (true, Some(accept)) => {
+                let core = cpu::current(); // the RSS core: the conn's home
+                let iss = self.iss.get();
+                self.iss.set(iss.wrapping_add(0x3_1337));
+                let mut pcb = Pcb::new(tuple, TcpState::SynReceived, iss, core);
+                pcb.remote_mac = eth.src;
+                pcb.rcv_nxt = hdr.seq.wrapping_add(1);
+                pcb.snd_wnd = hdr.window as u32;
+                self.arp.insert(ip.src, eth.src);
+                // The handler is produced now; on_connected fires when
+                // the handshake completes.
+                let id = self.next_conn.get();
+                let conn = TcpConn {
+                    netif: Rc::downgrade(self),
+                    id,
+                };
+                let handler = accept(&conn);
+                let id2 = self.insert_conn(pcb, handler);
+                debug_assert_eq!(id, id2);
+                self.with_conn(id, |n, pcb, _| {
+                    let mut p = pcb.borrow_mut();
+                    let iss = p.snd_una;
+                    let flags = tcp_flags::SYN | tcp_flags::ACK;
+                    n.tcp_output(&mut p, flags, iss, Chain::new(), 1);
+                    p.record_sent(iss, 1, flags, Chain::new());
+                });
+                self.arm_rto(id);
+            }
+            _ => {
+                // RST for anything unexpected.
+                self.send_rst(eth, ip, hdr);
+            }
+        }
+    }
+
+    fn handle_segment(self: &Rc<Self>, id: u64, hdr: &TcpHeader, payload: Chain<IoBuf>) {
+        let (pcb_rc, handler) = match self.pcbs.borrow().get(&id) {
+            Some(rec) => (Rc::clone(&rec.pcb), Rc::clone(&rec.handler)),
+            None => return,
+        };
+        let conn = TcpConn {
+            netif: Rc::downgrade(self),
+            id,
+        };
+        // RST: tear down immediately.
+        if hdr.flags & tcp_flags::RST != 0 {
+            pcb_rc.borrow_mut().state = TcpState::Closed;
+            self.cleanup(id);
+            handler.on_close(&conn);
+            return;
+        }
+        let state = pcb_rc.borrow().state;
+        match state {
+            TcpState::SynSent => {
+                if hdr.flags & (tcp_flags::SYN | tcp_flags::ACK)
+                    == tcp_flags::SYN | tcp_flags::ACK
+                {
+                    let mut p = pcb_rc.borrow_mut();
+                    if hdr.ack != p.snd_nxt.wrapping_add(1) && hdr.ack != p.snd_nxt {
+                        drop(p);
+                        return;
+                    }
+                    p.rcv_nxt = hdr.seq.wrapping_add(1);
+                    p.process_ack(hdr.ack, hdr.window);
+                    p.state = TcpState::Established;
+                    p.ack_pending = true;
+                    drop(p);
+                    self.stats
+                        .conns_established
+                        .set(self.stats.conns_established.get() + 1);
+                    handler.on_connected(&conn);
+                    self.flush_ack(&pcb_rc);
+                }
+            }
+            TcpState::SynReceived => {
+                if hdr.flags & tcp_flags::ACK != 0 {
+                    {
+                        let mut p = pcb_rc.borrow_mut();
+                        p.process_ack(hdr.ack, hdr.window);
+                        p.state = TcpState::Established;
+                    }
+                    self.stats
+                        .conns_established
+                        .set(self.stats.conns_established.get() + 1);
+                    handler.on_connected(&conn);
+                    // Fall through for piggybacked data.
+                    self.established_input(&pcb_rc, &handler, &conn, id, hdr, payload);
+                }
+            }
+            TcpState::Closed => {}
+            _ => self.established_input(&pcb_rc, &handler, &conn, id, hdr, payload),
+        }
+    }
+
+    /// Data-phase segment processing (Established and closing states).
+    fn established_input(
+        self: &Rc<Self>,
+        pcb_rc: &Rc<RefCell<Pcb>>,
+        handler: &Rc<dyn ConnHandler>,
+        conn: &TcpConn,
+        id: u64,
+        hdr: &TcpHeader,
+        payload: Chain<IoBuf>,
+    ) {
+        let mut window_opened = false;
+        let mut fin_acked = false;
+        if hdr.flags & tcp_flags::ACK != 0 {
+            let mut p = pcb_rc.borrow_mut();
+            let r = p.process_ack(hdr.ack, hdr.window);
+            window_opened = r.window_opened && p.state == TcpState::Established;
+            if r.queue_empty {
+                p.rto_armed = false;
+                if p.close_requested && p.snd_una == p.snd_nxt {
+                    fin_acked = true;
+                }
+            }
+        }
+        // Deliver in-order data synchronously.
+        let seg_len = payload.len() as u32;
+        let deliverable = pcb_rc.borrow_mut().on_data(hdr.seq, payload);
+        if seg_len > 0 {
+            let mut p = pcb_rc.borrow_mut();
+            p.segs_since_ack += 1;
+        }
+        for chunk in deliverable {
+            handler.on_receive(conn, chunk);
+        }
+        // FIN processing: consumes one sequence number, only when it is
+        // the next expected byte.
+        let mut peer_closed = false;
+        if hdr.flags & tcp_flags::FIN != 0 {
+            let fin_seq = hdr.seq.wrapping_add(seg_len);
+            let mut p = pcb_rc.borrow_mut();
+            if fin_seq == p.rcv_nxt {
+                p.rcv_nxt = p.rcv_nxt.wrapping_add(1);
+                p.ack_pending = true;
+                peer_closed = true;
+                p.state = match p.state {
+                    TcpState::Established => TcpState::CloseWait,
+                    TcpState::FinWait1 => {
+                        if p.snd_una == p.snd_nxt {
+                            TcpState::Closed
+                        } else {
+                            TcpState::LastAck // simultaneous close
+                        }
+                    }
+                    TcpState::FinWait2 => TcpState::Closed,
+                    s => s,
+                };
+            }
+        }
+        // State advance on our FIN being acknowledged.
+        if fin_acked {
+            let mut p = pcb_rc.borrow_mut();
+            p.state = match p.state {
+                TcpState::FinWait1 => TcpState::FinWait2,
+                TcpState::LastAck => TcpState::Closed,
+                s => s,
+            };
+        }
+        if window_opened {
+            handler.on_window_open(conn);
+        }
+        if peer_closed {
+            handler.on_close(conn);
+        }
+        self.flush_or_delay_ack(id, pcb_rc);
+        let closed = pcb_rc.borrow().is_closed();
+        if closed {
+            self.cleanup(id);
+        }
+    }
+
+    // --- TCP egress ---------------------------------------------------------
+
+    fn tcp_send(self: &Rc<Self>, id: u64, data: Chain<IoBuf>) -> Result<(), SendError> {
+        let pcb_rc = match self.pcbs.borrow().get(&id) {
+            Some(rec) => Rc::clone(&rec.pcb),
+            None => return Err(SendError::NotConnected),
+        };
+        {
+            let p = pcb_rc.borrow();
+            assert_eq!(
+                cpu::try_current(),
+                Some(p.core),
+                "TCP connections must be driven from their affinity core"
+            );
+            match p.state {
+                TcpState::Established | TcpState::CloseWait => {}
+                _ => return Err(SendError::NotConnected),
+            }
+            if data.len() > p.send_window() {
+                return Err(SendError::WindowFull(p.send_window()));
+            }
+        }
+        // Segment to MSS; each segment is recorded for retransmission
+        // (descriptor clones — no byte copies).
+        let mut remaining = data;
+        let mut p = pcb_rc.borrow_mut();
+        while !remaining.is_empty() {
+            let take = remaining.len().min(wire::TCP_MSS);
+            let seg = remaining.split_to(take);
+            let seq = p.snd_nxt;
+            let flags = tcp_flags::ACK | tcp_flags::PSH;
+            self.tcp_output(&mut p, flags, seq, seg.clone(), seg.len() as u32);
+            p.record_sent(seq, seg.len() as u32, flags, seg);
+        }
+        drop(p);
+        self.arm_rto(id);
+        Ok(())
+    }
+
+    fn tcp_close(self: &Rc<Self>, id: u64) {
+        let pcb_rc = match self.pcbs.borrow().get(&id) {
+            Some(rec) => Rc::clone(&rec.pcb),
+            None => return,
+        };
+        let mut p = pcb_rc.borrow_mut();
+        if p.close_requested {
+            return;
+        }
+        match p.state {
+            TcpState::Established | TcpState::SynReceived => {
+                p.close_requested = true;
+                let seq = p.snd_nxt;
+                let flags = tcp_flags::FIN | tcp_flags::ACK;
+                self.tcp_output(&mut p, flags, seq, Chain::new(), 1);
+                p.record_sent(seq, 1, flags, Chain::new());
+                p.state = TcpState::FinWait1;
+                drop(p);
+                self.arm_rto(id);
+            }
+            TcpState::CloseWait => {
+                p.close_requested = true;
+                let seq = p.snd_nxt;
+                let flags = tcp_flags::FIN | tcp_flags::ACK;
+                self.tcp_output(&mut p, flags, seq, Chain::new(), 1);
+                p.record_sent(seq, 1, flags, Chain::new());
+                p.state = TcpState::LastAck;
+                drop(p);
+                self.arm_rto(id);
+            }
+            TcpState::SynSent => {
+                p.state = TcpState::Closed;
+                drop(p);
+                self.cleanup(id);
+            }
+            _ => {}
+        }
+    }
+
+    /// Builds and transmits one TCP segment. `seq_len` is the sequence
+    /// space it occupies (payload + SYN/FIN); pure ACKs pass 0.
+    fn tcp_output(&self, p: &mut Pcb, flags: u8, seq: u32, payload: Chain<IoBuf>, _seq_len: u32) {
+        let mut hdr = MutIoBuf::with_headroom(0, wire::HEADROOM);
+        wire::push_tcp(
+            &mut hdr,
+            p.tuple.local.0,
+            p.tuple.remote.0,
+            &TcpHeader {
+                src_port: p.tuple.local.1,
+                dst_port: p.tuple.remote.1,
+                seq,
+                ack: p.rcv_nxt,
+                flags,
+                window: p.rcv_wnd,
+                header_len: wire::TCP_HLEN,
+            },
+            &payload,
+        );
+        let tcp_len = wire::TCP_HLEN + payload.len();
+        let id = self.ip_id.get();
+        self.ip_id.set(id.wrapping_add(1));
+        wire::push_ipv4(
+            &mut hdr,
+            &Ipv4Header {
+                src: p.tuple.local.0,
+                dst: p.tuple.remote.0,
+                proto: wire::IPPROTO_TCP,
+                total_len: 0,
+                id,
+                ttl: 64,
+            },
+            tcp_len,
+        );
+        wire::push_eth(
+            &mut hdr,
+            &EthHeader {
+                dst: p.remote_mac,
+                src: self.mac(),
+                ethertype: wire::ETHERTYPE_IPV4,
+            },
+        );
+        let mut frame = Chain::single(hdr.freeze());
+        frame.append_chain(payload);
+        p.ack_pending = false;
+        p.segs_since_ack = 0;
+        self.stats.tx_tcp.set(self.stats.tx_tcp.get() + 1);
+        self.transmit(frame);
+    }
+
+    /// Sends a bare ACK if one is owed (called at the end of segment
+    /// processing; a reply sent synchronously by the application will
+    /// already have carried the ACK).
+    fn flush_ack(&self, pcb_rc: &Rc<RefCell<Pcb>>) {
+        let mut p = pcb_rc.borrow_mut();
+        if p.ack_pending && p.state != TcpState::Closed {
+            let seq = p.snd_nxt;
+            self.tcp_output(&mut p, tcp_flags::ACK, seq, Chain::new(), 0);
+        }
+    }
+
+    /// Delayed-ACK policy: a second unacknowledged segment (or a FIN)
+    /// forces an immediate ACK; a lone segment is acknowledged by a
+    /// short timer unless the application's reply piggybacks it first.
+    fn flush_or_delay_ack(self: &Rc<Self>, id: u64, pcb_rc: &Rc<RefCell<Pcb>>) {
+        {
+            let p = pcb_rc.borrow();
+            if !p.ack_pending || p.state == TcpState::Closed {
+                return;
+            }
+            if p.segs_since_ack < 2 {
+                // Delay: arm the ACK timer once.
+                drop(p);
+                let mut p = pcb_rc.borrow_mut();
+                if !p.delack_armed {
+                    p.delack_armed = true;
+                    drop(p);
+                    let me = Rc::downgrade(self);
+                    runtime::with_current(|rt| {
+                        rt.local_event_manager().set_timer(DELACK_NS, move || {
+                            if let Some(n) = me.upgrade() {
+                                if let Some(rec) = n.pcbs.borrow().get(&id).map(|r| Rc::clone(&r.pcb)) {
+                                    rec.borrow_mut().delack_armed = false;
+                                    n.flush_ack(&rec);
+                                }
+                            }
+                        });
+                    });
+                }
+                return;
+            }
+        }
+        self.flush_ack(pcb_rc);
+    }
+
+    fn send_rst(self: &Rc<Self>, eth: EthHeader, ip: Ipv4Header, hdr: &TcpHeader) {
+        let tuple = FourTuple {
+            local: (ip.dst, hdr.dst_port),
+            remote: (ip.src, hdr.src_port),
+        };
+        let mut fake = Pcb::new(tuple, TcpState::Closed, hdr.ack, cpu::current());
+        fake.remote_mac = eth.src;
+        fake.rcv_nxt = hdr.seq.wrapping_add(1);
+        let seq = hdr.ack;
+        self.tcp_output(
+            &mut fake,
+            tcp_flags::RST | tcp_flags::ACK,
+            seq,
+            Chain::new(),
+            0,
+        );
+    }
+
+    // --- Retransmission -------------------------------------------------------
+
+    fn arm_rto(self: &Rc<Self>, id: u64) {
+        let pcb_rc = match self.pcbs.borrow().get(&id) {
+            Some(rec) => Rc::clone(&rec.pcb),
+            None => return,
+        };
+        let mut p = pcb_rc.borrow_mut();
+        if p.rto_armed || p.unacked.is_empty() {
+            return;
+        }
+        p.rto_armed = true;
+        let delay = RTO_NS * p.rto_backoff as u64;
+        drop(p);
+        let me = Rc::downgrade(self);
+        runtime::with_current(|rt| {
+            rt.local_event_manager().set_timer(delay, move || {
+                if let Some(n) = me.upgrade() {
+                    n.rto_fire(id);
+                }
+            });
+        });
+    }
+
+    fn rto_fire(self: &Rc<Self>, id: u64) {
+        let pcb_rc = match self.pcbs.borrow().get(&id) {
+            Some(rec) => Rc::clone(&rec.pcb),
+            None => return,
+        };
+        let mut p = pcb_rc.borrow_mut();
+        p.rto_armed = false;
+        if p.unacked.is_empty() {
+            return;
+        }
+        // Go-back-N: retransmit the oldest unacked segment.
+        let (seq, flags, payload) = {
+            let seg = &p.unacked[0];
+            (seg.seq, seg.flags, seg.payload.clone())
+        };
+        p.retransmits += 1;
+        self.stats.retransmits.set(self.stats.retransmits.get() + 1);
+        let len = payload.len() as u32;
+        self.tcp_output(&mut p, flags, seq, payload, len);
+        p.rto_backoff = (p.rto_backoff * 2).min(64);
+        drop(p);
+        self.arm_rto(id);
+    }
+
+    // --- UDP / ARP egress --------------------------------------------------
+
+    fn udp_output(
+        self: &Rc<Self>,
+        dst_mac: Mac,
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: Chain<IoBuf>,
+    ) {
+        let mut hdr = MutIoBuf::with_headroom(0, wire::HEADROOM);
+        wire::push_udp(&mut hdr, self.ip.get(), dst, src_port, dst_port, &payload);
+        let udp_len = wire::UDP_HLEN + payload.len();
+        let id = self.ip_id.get();
+        self.ip_id.set(id.wrapping_add(1));
+        wire::push_ipv4(
+            &mut hdr,
+            &Ipv4Header {
+                src: self.ip.get(),
+                dst,
+                proto: wire::IPPROTO_UDP,
+                total_len: 0,
+                id,
+                ttl: 64,
+            },
+            udp_len,
+        );
+        wire::push_eth(
+            &mut hdr,
+            &EthHeader {
+                dst: dst_mac,
+                src: self.mac(),
+                ethertype: wire::ETHERTYPE_IPV4,
+            },
+        );
+        let mut frame = Chain::single(hdr.freeze());
+        frame.append_chain(payload);
+        self.transmit(frame);
+    }
+
+    fn send_arp_request(self: &Rc<Self>, ip: Ipv4Addr) {
+        let req = wire::ArpPacket {
+            oper: wire::ARP_REQUEST,
+            sha: self.mac(),
+            spa: self.ip.get(),
+            tha: [0; 6],
+            tpa: ip,
+        };
+        let mut buf = wire::build_arp(&req);
+        wire::push_eth(
+            &mut buf,
+            &EthHeader {
+                dst: MAC_BROADCAST,
+                src: self.mac(),
+                ethertype: wire::ETHERTYPE_ARP,
+            },
+        );
+        self.transmit(Chain::single(buf.freeze()));
+    }
+
+    /// Final egress: charge the profile's transmit cost (with virtio
+    /// kick suppression while the ring is hot) and hand the frame to
+    /// the NIC.
+    fn transmit(&self, frame: Chain<IoBuf>) {
+        self.stats.tx_frames.set(self.stats.tx_frames.get() + 1);
+        let profile = self.machine.profile();
+        let now = self.machine.runtime().now_ns();
+        let ring_hot = now.saturating_sub(self.last_tx.get()) <= profile.virtio_batch_window_ns;
+        self.last_tx.set(now);
+        charge(profile.tx_cost_batched(frame.len(), ring_hot));
+        self.machine.nic().transmit(Frame::new(frame));
+    }
+
+    // --- Bookkeeping ----------------------------------------------------------
+
+    fn insert_conn(&self, pcb: Pcb, handler: Rc<dyn ConnHandler>) -> u64 {
+        let id = self.next_conn.get();
+        self.next_conn.set(id + 1);
+        let tuple = pcb.tuple;
+        self.pcbs.borrow_mut().insert(
+            id,
+            ConnRec {
+                pcb: Rc::new(RefCell::new(pcb)),
+                handler,
+            },
+        );
+        self.conn_ids.insert(tuple, id);
+        id
+    }
+
+    fn cleanup(&self, id: u64) {
+        let rec = self.pcbs.borrow_mut().remove(&id);
+        if let Some(rec) = rec {
+            let tuple = rec.pcb.borrow().tuple;
+            self.conn_ids.remove(&tuple);
+            self.stats.conns_closed.set(self.stats.conns_closed.get() + 1);
+        }
+    }
+
+    fn with_pcb<R>(&self, id: u64, f: impl FnOnce(&mut Pcb) -> R) -> Option<R> {
+        let pcb = self.pcbs.borrow().get(&id).map(|r| Rc::clone(&r.pcb))?;
+        let mut p = pcb.borrow_mut();
+        Some(f(&mut p))
+    }
+
+    fn with_conn(
+        self: &Rc<Self>,
+        id: u64,
+        f: impl FnOnce(&Rc<Self>, &Rc<RefCell<Pcb>>, &Rc<dyn ConnHandler>),
+    ) {
+        let rec = match self.pcbs.borrow().get(&id) {
+            Some(rec) => (Rc::clone(&rec.pcb), Rc::clone(&rec.handler)),
+            None => return,
+        };
+        f(self, &rec.0, &rec.1);
+    }
+
+    /// Picks an ephemeral port whose *reply* flow RSS-hashes to `core`,
+    /// so the connection's frames arrive where it lives.
+    fn pick_ephemeral(&self, remote: Ipv4Addr, remote_port: u16, core: CoreId) -> u16 {
+        let nqueues = self.machine.nic().nqueues();
+        let local_ip = self.ip.get();
+        for _ in 0..4096 {
+            let port = self.next_eph.get();
+            self.next_eph
+                .set(if port >= 60000 { EPHEMERAL_BASE } else { port + 1 });
+            let hash =
+                ebbrt_sim::nic::rss_hash(remote.to_u32(), local_ip.to_u32(), remote_port, port);
+            if (hash as usize) % nqueues == core.index() % nqueues {
+                return port;
+            }
+        }
+        panic!("no ephemeral port maps to {core} under RSS");
+    }
+
+    fn drop_frame(&self) {
+        self.stats.rx_drops.set(self.stats.rx_drops.get() + 1);
+    }
+
+    /// Number of live connections (diagnostic).
+    pub fn conn_count(&self) -> usize {
+        self.pcbs.borrow().len()
+    }
+}

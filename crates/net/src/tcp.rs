@@ -1,0 +1,443 @@
+//! TCP protocol state (§3.6).
+//!
+//! This module holds the per-connection protocol control block
+//! ([`Pcb`]) and the pure state-machine logic: sequence arithmetic,
+//! acknowledgment processing, in-order reassembly, and window
+//! accounting. The I/O glue (header construction, ARP, timers, demux)
+//! lives in [`crate::netif`].
+//!
+//! Two of the paper's design points live here:
+//!
+//! * **Application-managed send buffering** — the stack keeps *no* send
+//!   buffer. [`Pcb::send_window`] exposes exactly how much the peer
+//!   will accept; the application "must check that outgoing TCP data
+//!   fits within the currently advertised sender window before telling
+//!   the network stack to send it or buffer it otherwise". Sends beyond
+//!   the window are refused, not queued (no Nagle).
+//! * **Application-managed receive windowing** — the advertised window
+//!   is set by the application ([`Pcb::rcv_wnd`]); an overwhelmed
+//!   application shrinks it to pace the remote sender.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ebbrt_core::cpu::CoreId;
+use ebbrt_core::iobuf::{Chain, IoBuf};
+
+use crate::types::{Ipv4Addr, Mac};
+
+/// Sequence-number arithmetic (RFC 793 comparisons, wrapping).
+pub mod seq {
+    /// `a < b` in sequence space.
+    #[inline]
+    pub fn lt(a: u32, b: u32) -> bool {
+        (a.wrapping_sub(b) as i32) < 0
+    }
+
+    /// `a <= b` in sequence space.
+    #[inline]
+    pub fn le(a: u32, b: u32) -> bool {
+        a == b || lt(a, b)
+    }
+
+    /// `a > b` in sequence space.
+    #[inline]
+    pub fn gt(a: u32, b: u32) -> bool {
+        lt(b, a)
+    }
+
+    /// `a >= b` in sequence space.
+    #[inline]
+    pub fn ge(a: u32, b: u32) -> bool {
+        le(b, a)
+    }
+}
+
+/// The 4-tuple identifying a connection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FourTuple {
+    /// Local address and port.
+    pub local: (Ipv4Addr, u16),
+    /// Remote address and port.
+    pub remote: (Ipv4Addr, u16),
+}
+
+/// TCP connection states (TIME_WAIT is collapsed into Closed; the
+/// simulated network cannot produce wandering duplicates after both
+/// FINs are acknowledged).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TcpState {
+    /// Active open sent, awaiting SYN-ACK.
+    SynSent,
+    /// Passive open received SYN, sent SYN-ACK.
+    SynReceived,
+    /// Data transfer.
+    Established,
+    /// Active close: FIN sent, awaiting its ACK.
+    FinWait1,
+    /// Active close: our FIN acknowledged, awaiting peer FIN.
+    FinWait2,
+    /// Passive close: peer FIN received; local side may still send.
+    CloseWait,
+    /// Passive close: our FIN sent, awaiting its ACK.
+    LastAck,
+    /// Fully closed.
+    Closed,
+}
+
+/// A transmitted-but-unacknowledged segment (retransmission queue
+/// entry). The payload chain shares storage with what was handed to the
+/// NIC — retransmission clones descriptors, never bytes.
+pub struct UnackedSeg {
+    /// First sequence number of the segment.
+    pub seq: u32,
+    /// Sequence span (payload bytes, +1 for SYN and/or FIN).
+    pub len: u32,
+    /// TCP flags the segment carried.
+    pub flags: u8,
+    /// Payload (empty for bare SYN/FIN).
+    pub payload: Chain<IoBuf>,
+}
+
+/// Result of processing an incoming acknowledgment.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AckResult {
+    /// Sequence space newly acknowledged.
+    pub acked: u32,
+    /// Whether usable send window opened (app may send more).
+    pub window_opened: bool,
+    /// Whether the retransmission queue emptied.
+    pub queue_empty: bool,
+    /// Whether the ack was a pure duplicate.
+    pub duplicate: bool,
+}
+
+/// Default receive window advertised until the application overrides
+/// it.
+pub const DEFAULT_RCV_WND: u16 = u16::MAX;
+
+/// The protocol control block.
+pub struct Pcb {
+    /// Connection identity.
+    pub tuple: FourTuple,
+    /// Current state.
+    pub state: TcpState,
+    /// Oldest unacknowledged sequence.
+    pub snd_una: u32,
+    /// Next sequence to send.
+    pub snd_nxt: u32,
+    /// Peer's advertised window.
+    pub snd_wnd: u32,
+    /// Next expected receive sequence.
+    pub rcv_nxt: u32,
+    /// Our advertised window (application-controlled).
+    pub rcv_wnd: u16,
+    /// Resolved peer MAC.
+    pub remote_mac: Mac,
+    /// The single core this connection lives on.
+    pub core: CoreId,
+    /// Retransmission queue.
+    pub unacked: VecDeque<UnackedSeg>,
+    /// Out-of-order segments awaiting the gap to fill, keyed by seq.
+    pub ooo: BTreeMap<u32, Chain<IoBuf>>,
+    /// An ACK is owed to the peer.
+    pub ack_pending: bool,
+    /// Data segments received since the last ACK we sent (delayed-ACK
+    /// accounting: every second segment forces an immediate ACK).
+    pub segs_since_ack: u32,
+    /// Whether a delayed-ACK timer is armed.
+    pub delack_armed: bool,
+    /// Whether the RTO timer is armed (netif bookkeeping).
+    pub rto_armed: bool,
+    /// Exponential backoff multiplier for the RTO.
+    pub rto_backoff: u32,
+    /// Total retransmitted segments (diagnostic).
+    pub retransmits: u64,
+    /// True once the application asked to close (FIN queued or sent).
+    pub close_requested: bool,
+}
+
+impl Pcb {
+    /// Creates a PCB in the given state with an initial send sequence.
+    pub fn new(tuple: FourTuple, state: TcpState, iss: u32, core: CoreId) -> Self {
+        Pcb {
+            tuple,
+            state,
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_wnd: 0,
+            rcv_nxt: 0,
+            rcv_wnd: DEFAULT_RCV_WND,
+            remote_mac: [0; 6],
+            core,
+            unacked: VecDeque::new(),
+            ooo: BTreeMap::new(),
+            ack_pending: false,
+            segs_since_ack: 0,
+            delack_armed: false,
+            rto_armed: false,
+            rto_backoff: 1,
+            retransmits: 0,
+            close_requested: false,
+        }
+    }
+
+    /// How many payload bytes the application may send right now
+    /// (usable window). This is the paper's application-facing check.
+    pub fn send_window(&self) -> usize {
+        let in_flight = self.snd_nxt.wrapping_sub(self.snd_una);
+        (self.snd_wnd as u64).saturating_sub(in_flight as u64) as usize
+    }
+
+    /// Records a transmitted segment occupying `len` sequence space.
+    pub fn record_sent(&mut self, seq: u32, len: u32, flags: u8, payload: Chain<IoBuf>) {
+        if len > 0 {
+            self.unacked.push_back(UnackedSeg {
+                seq,
+                len,
+                flags,
+                payload,
+            });
+        }
+        let end = seq.wrapping_add(len);
+        if seq::gt(end, self.snd_nxt) {
+            self.snd_nxt = end;
+        }
+    }
+
+    /// Processes an incoming acknowledgment + window advertisement.
+    pub fn process_ack(&mut self, ack: u32, wnd: u16) -> AckResult {
+        let mut result = AckResult::default();
+        if seq::gt(ack, self.snd_nxt) {
+            // Acks data we never sent: ignore (peer confusion).
+            return result;
+        }
+        let old_usable = self.send_window();
+        if seq::gt(ack, self.snd_una) {
+            result.acked = ack.wrapping_sub(self.snd_una);
+            self.snd_una = ack;
+            self.rto_backoff = 1;
+            // Drop fully acknowledged segments.
+            while let Some(seg) = self.unacked.front() {
+                let end = seg.seq.wrapping_add(seg.len);
+                if seq::le(end, ack) {
+                    self.unacked.pop_front();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            result.duplicate = true;
+        }
+        self.snd_wnd = wnd as u32;
+        result.queue_empty = self.unacked.is_empty();
+        result.window_opened = self.send_window() > old_usable;
+        result
+    }
+
+    /// Processes arriving payload at `seg_seq`; returns the in-order
+    /// chains now deliverable to the application (in order). Handles
+    /// duplicates (trimmed), old data, and out-of-order arrival
+    /// (stashed until the gap fills).
+    pub fn on_data(&mut self, seg_seq: u32, mut payload: Chain<IoBuf>) -> Vec<Chain<IoBuf>> {
+        let mut deliver = Vec::new();
+        if payload.is_empty() {
+            return deliver;
+        }
+        let mut seg_seq = seg_seq;
+        // Trim bytes we already received.
+        if seq::lt(seg_seq, self.rcv_nxt) {
+            let dup = self.rcv_nxt.wrapping_sub(seg_seq) as usize;
+            if dup >= payload.len() {
+                // Entirely old: just owe an ACK.
+                self.ack_pending = true;
+                return deliver;
+            }
+            payload.advance(dup);
+            seg_seq = self.rcv_nxt;
+        }
+        if seg_seq == self.rcv_nxt {
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+            deliver.push(payload);
+            // Drain any out-of-order segments that now fit.
+            while let Some((&s, _)) = self.ooo.iter().next() {
+                if seq::gt(s, self.rcv_nxt) {
+                    break;
+                }
+                let mut chain = self.ooo.remove(&s).expect("peeked key");
+                if seq::lt(s, self.rcv_nxt) {
+                    let dup = self.rcv_nxt.wrapping_sub(s) as usize;
+                    if dup >= chain.len() {
+                        continue;
+                    }
+                    chain.advance(dup);
+                }
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(chain.len() as u32);
+                deliver.push(chain);
+            }
+        } else {
+            // Future data: stash (bounded by the advertised window, so a
+            // well-behaved peer cannot flood this).
+            self.ooo.entry(seg_seq).or_insert(payload);
+        }
+        self.ack_pending = true;
+        deliver
+    }
+
+    /// Whether the connection has fully terminated.
+    pub fn is_closed(&self) -> bool {
+        self.state == TcpState::Closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(data: &[u8]) -> Chain<IoBuf> {
+        Chain::single(IoBuf::copy_from(data))
+    }
+
+    fn pcb() -> Pcb {
+        let t = FourTuple {
+            local: (Ipv4Addr::new(10, 0, 0, 1), 80),
+            remote: (Ipv4Addr::new(10, 0, 0, 2), 5555),
+        };
+        let mut p = Pcb::new(t, TcpState::Established, 1000, CoreId(0));
+        p.rcv_nxt = 5000;
+        p.snd_wnd = 8000;
+        p
+    }
+
+    #[test]
+    fn seq_arithmetic_wraps() {
+        assert!(seq::lt(u32::MAX - 1, u32::MAX));
+        assert!(seq::lt(u32::MAX, 0)); // wrap
+        assert!(seq::gt(5, u32::MAX - 5));
+        assert!(seq::ge(7, 7));
+        assert!(seq::le(0, 1));
+    }
+
+    #[test]
+    fn send_window_tracks_inflight() {
+        let mut p = pcb();
+        assert_eq!(p.send_window(), 8000);
+        p.record_sent(1000, 3000, 0, chain(&vec![0; 3000]));
+        assert_eq!(p.snd_nxt, 4000);
+        assert_eq!(p.send_window(), 5000);
+        let r = p.process_ack(2500, 8000);
+        assert_eq!(r.acked, 1500);
+        assert_eq!(p.send_window(), 6500);
+    }
+
+    #[test]
+    fn ack_drops_covered_segments_only() {
+        let mut p = pcb();
+        p.record_sent(1000, 100, 0, chain(&[0; 100]));
+        p.record_sent(1100, 100, 0, chain(&[0; 100]));
+        p.record_sent(1200, 100, 0, chain(&[0; 100]));
+        let r = p.process_ack(1150, 8000);
+        assert_eq!(r.acked, 150);
+        // Middle segment only partially acked: stays queued.
+        assert_eq!(p.unacked.len(), 2);
+        assert!(!r.queue_empty);
+        let r = p.process_ack(1300, 8000);
+        assert!(r.queue_empty);
+        assert_eq!(p.unacked.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_ack_flagged() {
+        let mut p = pcb();
+        p.record_sent(1000, 100, 0, chain(&[0; 100]));
+        p.process_ack(1100, 8000);
+        let r = p.process_ack(1100, 8000);
+        assert!(r.duplicate);
+        assert_eq!(r.acked, 0);
+    }
+
+    #[test]
+    fn ack_beyond_snd_nxt_ignored() {
+        let mut p = pcb();
+        p.record_sent(1000, 100, 0, chain(&[0; 100]));
+        let r = p.process_ack(5000, 8000);
+        assert_eq!(r.acked, 0);
+        assert_eq!(p.snd_una, 1000);
+    }
+
+    #[test]
+    fn window_opened_signalled_on_ack() {
+        let mut p = pcb();
+        p.snd_wnd = 100;
+        p.record_sent(1000, 100, 0, chain(&[0; 100]));
+        assert_eq!(p.send_window(), 0);
+        let r = p.process_ack(1100, 100);
+        assert!(r.window_opened);
+        assert_eq!(p.send_window(), 100);
+    }
+
+    #[test]
+    fn in_order_data_delivers_immediately() {
+        let mut p = pcb();
+        let out = p.on_data(5000, chain(b"hello"));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].copy_to_vec(), b"hello");
+        assert_eq!(p.rcv_nxt, 5005);
+        assert!(p.ack_pending);
+    }
+
+    #[test]
+    fn out_of_order_held_until_gap_fills() {
+        let mut p = pcb();
+        let out = p.on_data(5005, chain(b"world"));
+        assert!(out.is_empty(), "future segment must wait");
+        assert_eq!(p.rcv_nxt, 5000);
+        let out = p.on_data(5000, chain(b"hello"));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].copy_to_vec(), b"hello");
+        assert_eq!(out[1].copy_to_vec(), b"world");
+        assert_eq!(p.rcv_nxt, 5010);
+        assert!(p.ooo.is_empty());
+    }
+
+    #[test]
+    fn duplicate_data_trimmed() {
+        let mut p = pcb();
+        p.on_data(5000, chain(b"hello"));
+        // Retransmission overlapping old + new data.
+        let out = p.on_data(5002, chain(b"llo, world"));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].copy_to_vec(), b", world");
+        assert_eq!(p.rcv_nxt, 5012);
+    }
+
+    #[test]
+    fn fully_duplicate_data_just_acks() {
+        let mut p = pcb();
+        p.on_data(5000, chain(b"hello"));
+        p.ack_pending = false;
+        let out = p.on_data(5000, chain(b"hello"));
+        assert!(out.is_empty());
+        assert!(p.ack_pending, "duplicate must trigger an ACK");
+        assert_eq!(p.rcv_nxt, 5005);
+    }
+
+    #[test]
+    fn interleaved_ooo_segments_reassemble_in_order() {
+        let mut p = pcb();
+        assert!(p.on_data(5010, chain(b"cc")).is_empty());
+        assert!(p.on_data(5005, chain(b"bbbbb")).is_empty());
+        let out = p.on_data(5000, chain(b"aaaaa"));
+        let all: Vec<u8> = out.iter().flat_map(|c| c.copy_to_vec()).collect();
+        assert_eq!(all, b"aaaaabbbbbcc");
+        assert_eq!(p.rcv_nxt, 5012);
+    }
+
+    #[test]
+    fn syn_fin_occupy_sequence_space() {
+        let mut p = pcb();
+        p.record_sent(1000, 1, crate::wire::tcp_flags::SYN, Chain::new());
+        assert_eq!(p.snd_nxt, 1001);
+        let r = p.process_ack(1001, 1000);
+        assert!(r.queue_empty);
+    }
+}

@@ -1,0 +1,176 @@
+//! Address types and the Internet checksum.
+
+use std::fmt;
+
+/// A MAC address (shared with the simulated NIC).
+pub type Mac = ebbrt_sim::Mac;
+
+/// The Ethernet broadcast address.
+pub const MAC_BROADCAST: Mac = [0xff; 6];
+
+/// An IPv4 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4Addr = Ipv4Addr([0; 4]);
+    /// The limited broadcast address `255.255.255.255`.
+    pub const BROADCAST: Ipv4Addr = Ipv4Addr([255; 4]);
+
+    /// Constructs from octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr([a, b, c, d])
+    }
+
+    /// As a big-endian u32.
+    pub fn to_u32(self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// From a big-endian u32.
+    pub fn from_u32(v: u32) -> Self {
+        Ipv4Addr(v.to_be_bytes())
+    }
+
+    /// Whether this is the unspecified address.
+    pub fn is_unspecified(self) -> bool {
+        self == Self::UNSPECIFIED
+    }
+
+    /// Whether this is the limited broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+
+    /// Whether `self` and `other` share a subnet under `mask`.
+    pub fn same_subnet(self, other: Ipv4Addr, mask: Ipv4Addr) -> bool {
+        (self.to_u32() & mask.to_u32()) == (other.to_u32() & mask.to_u32())
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Incremental Internet checksum (RFC 1071) accumulator.
+#[derive(Default)]
+pub struct Checksum {
+    sum: u32,
+    /// Carry byte when fed an odd-length slice.
+    odd: Option<u8>,
+}
+
+impl Checksum {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds bytes into the sum.
+    pub fn add(&mut self, mut data: &[u8]) {
+        if let Some(hi) = self.odd.take() {
+            if let Some((&lo, rest)) = data.split_first() {
+                self.sum += u32::from_be_bytes([0, 0, hi, lo]);
+                data = rest;
+            } else {
+                self.odd = Some(hi);
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+        }
+        if let [last] = chunks.remainder() {
+            self.odd = Some(*last);
+        }
+    }
+
+    /// Feeds a big-endian u16.
+    pub fn add_u16(&mut self, v: u16) {
+        self.add(&v.to_be_bytes());
+    }
+
+    /// Feeds a big-endian u32.
+    pub fn add_u32(&mut self, v: u32) {
+        self.add(&v.to_be_bytes());
+    }
+
+    /// Finalizes: folds carries and complements.
+    pub fn finish(mut self) -> u16 {
+        if let Some(hi) = self.odd.take() {
+            self.sum += (hi as u32) << 8;
+        }
+        let mut s = self.sum;
+        while s > 0xffff {
+            s = (s & 0xffff) + (s >> 16);
+        }
+        !(s as u16)
+    }
+}
+
+/// One-shot checksum of a byte slice.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_display_and_u32() {
+        let a = Ipv4Addr::new(10, 0, 0, 42);
+        assert_eq!(a.to_string(), "10.0.0.42");
+        assert_eq!(Ipv4Addr::from_u32(a.to_u32()), a);
+    }
+
+    #[test]
+    fn subnet_matching() {
+        let mask = Ipv4Addr::new(255, 255, 255, 0);
+        let a = Ipv4Addr::new(10, 0, 1, 5);
+        assert!(a.same_subnet(Ipv4Addr::new(10, 0, 1, 200), mask));
+        assert!(!a.same_subnet(Ipv4Addr::new(10, 0, 2, 5), mask));
+    }
+
+    #[test]
+    fn checksum_rfc1071_example() {
+        // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 → sum 0xddf2,
+        // checksum 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn checksum_odd_length_and_split_feeds() {
+        let data = [0x12, 0x34, 0x56, 0x78, 0x9a];
+        let whole = checksum(&data);
+        let mut c = Checksum::new();
+        c.add(&data[..1]);
+        c.add(&data[1..4]);
+        c.add(&data[4..]);
+        assert_eq!(c.finish(), whole);
+    }
+
+    #[test]
+    fn checksum_verification_is_zero() {
+        // A buffer with its own checksum embedded sums to zero.
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x00, 0x00, 0x40, 0x06, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2];
+        let ck = checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        let mut c = Checksum::new();
+        c.add(&data);
+        assert_eq!(c.finish(), 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! End-to-end tests: the full stack (ARP, IPv4, TCP, UDP, DHCP,
+//! adaptive driver) over the simulated switch between machines.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use ebbrt_core::cpu::CoreId;
+use ebbrt_core::iobuf::{Chain, IoBuf};
+use ebbrt_net::netif::{ConnHandler, NetIf, SendError, TcpConn};
+use ebbrt_net::tcp::TcpState;
+use ebbrt_net::types::Ipv4Addr;
+use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
+
+const MASK: Ipv4Addr = Ipv4Addr::new(255, 255, 255, 0);
+
+fn two_machines() -> (
+    Rc<SimWorld>,
+    Rc<ebbrt_sim::Switch>,
+    (Rc<SimMachine>, Rc<NetIf>),
+    (Rc<SimMachine>, Rc<NetIf>),
+) {
+    let w = SimWorld::new();
+    let sw = Switch::new(&w);
+    let server = SimMachine::create(&w, "server", 1, CostProfile::ebbrt_vm(), [0xAA; 6]);
+    let client = SimMachine::create(&w, "client", 1, CostProfile::ebbrt_vm(), [0xBB; 6]);
+    sw.attach(server.nic(), LinkParams::default());
+    sw.attach(client.nic(), LinkParams::default());
+    let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), MASK);
+    let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), MASK);
+    w.run_to_idle(); // let drivers set up
+    // NB: the switch must stay alive — NICs hold only a weak reference
+    // (dropping the switch "unplugs" the network).
+    (w, sw, (server, s_if), (client, c_if))
+}
+
+/// Echo server handler: sends every received chunk back.
+struct Echo;
+impl ConnHandler for Echo {
+    fn on_receive(&self, conn: &TcpConn, data: Chain<IoBuf>) {
+        conn.send(data).expect("echo send");
+    }
+}
+
+/// Client handler collecting received bytes.
+struct Collect {
+    got: Rc<RefCell<Vec<u8>>>,
+    connected: Rc<Cell<bool>>,
+    closed: Rc<Cell<bool>>,
+}
+impl ConnHandler for Collect {
+    fn on_connected(&self, _c: &TcpConn) {
+        self.connected.set(true);
+    }
+    fn on_receive(&self, _c: &TcpConn, data: Chain<IoBuf>) {
+        self.got.borrow_mut().extend(data.copy_to_vec());
+    }
+    fn on_close(&self, _c: &TcpConn) {
+        self.closed.set(true);
+    }
+}
+
+struct SendCell<T>(T);
+// SAFETY: the simulation executes all events on the single test thread.
+unsafe impl<T> Send for SendCell<T> {}
+
+fn on_core0<T: 'static>(m: &Rc<SimMachine>, v: T, f: impl FnOnce(T) + 'static) {
+    let cell = SendCell((v, f));
+    m.spawn_on(CoreId(0), move || {
+        let cell = cell;
+        (cell.0 .1)(cell.0 .0);
+    });
+}
+
+#[test]
+fn tcp_connect_send_echo_close() {
+    let (w, _sw, (_server, s_if), (client, c_if)) = two_machines();
+    s_if.listen(7, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>);
+
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let connected = Rc::new(Cell::new(false));
+    let closed = Rc::new(Cell::new(false));
+    let conn_slot: Rc<RefCell<Option<TcpConn>>> = Rc::new(RefCell::new(None));
+
+    let handler = Collect {
+        got: Rc::clone(&got),
+        connected: Rc::clone(&connected),
+        closed: Rc::clone(&closed),
+    };
+    let slot = Rc::clone(&conn_slot);
+    on_core0(&client, c_if, move |c_if| {
+        let conn = c_if.connect(Ipv4Addr::new(10, 0, 0, 1), 7, Rc::new(handler));
+        *slot.borrow_mut() = Some(conn);
+    });
+    w.run_to_idle();
+    assert!(connected.get(), "handshake must complete");
+
+    // Send a payload and expect the echo.
+    let payload: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+    {
+        let conn = conn_slot.borrow().clone().unwrap();
+        let p = payload.clone();
+        on_core0(&client, conn, move |conn| {
+            conn.send(Chain::single(IoBuf::copy_from(&p))).unwrap();
+        });
+    }
+    w.run_to_idle();
+    assert_eq!(*got.borrow(), payload, "echoed bytes must match");
+
+    // Close from the client; server sees FIN, client reaches Closed.
+    {
+        let conn = conn_slot.borrow().clone().unwrap();
+        on_core0(&client, conn, move |conn| conn.close());
+    }
+    w.run_to_idle();
+    let conn = conn_slot.borrow().clone().unwrap();
+    // Server echoes nothing more; its conn saw our FIN (on_close ran on
+    // the Echo side implicitly). Client state winds down.
+    assert!(matches!(conn.state(), TcpState::FinWait2 | TcpState::Closed));
+    assert_eq!(s_if.conn_count(), 1, "server side in CloseWait until it closes");
+}
+
+#[test]
+fn large_transfer_is_segmented_and_reassembled() {
+    let (w, _sw, (_server, s_if), (client, c_if)) = two_machines();
+    s_if.listen(7, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>);
+
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let connected = Rc::new(Cell::new(false));
+    let payload: Vec<u8> = (0..40_000u32).map(|i| (i % 253) as u8).collect();
+
+    // Connect and stream the payload respecting the window.
+    struct Streamer {
+        got: Rc<RefCell<Vec<u8>>>,
+        connected: Rc<Cell<bool>>,
+        pending: RefCell<Chain<IoBuf>>,
+    }
+    impl Streamer {
+        fn pump(&self, conn: &TcpConn) {
+            let mut pending = self.pending.borrow_mut();
+            while !pending.is_empty() {
+                let window = conn.send_window();
+                if window == 0 {
+                    break;
+                }
+                let take = window.min(pending.len());
+                let chunk = pending.split_to(take);
+                conn.send(chunk).unwrap();
+            }
+        }
+    }
+    impl ConnHandler for Streamer {
+        fn on_connected(&self, conn: &TcpConn) {
+            self.connected.set(true);
+            self.pump(conn);
+        }
+        fn on_receive(&self, _c: &TcpConn, data: Chain<IoBuf>) {
+            self.got.borrow_mut().extend(data.copy_to_vec());
+        }
+        fn on_window_open(&self, conn: &TcpConn) {
+            self.pump(conn);
+        }
+    }
+
+    let handler = Streamer {
+        got: Rc::clone(&got),
+        connected: Rc::clone(&connected),
+        pending: RefCell::new(Chain::single(IoBuf::copy_from(&payload))),
+    };
+    on_core0(&client, c_if, move |c_if| {
+        c_if.connect(Ipv4Addr::new(10, 0, 0, 1), 7, Rc::new(handler));
+    });
+    w.run_to_idle();
+    assert!(connected.get());
+    assert_eq!(got.borrow().len(), payload.len());
+    assert_eq!(*got.borrow(), payload);
+    // Transfer must have used many MSS-sized segments.
+    assert!(s_if.stats.rx_tcp.get() > 25);
+}
+
+#[test]
+fn window_full_is_refused_not_buffered() {
+    let (w, _sw, (_server, s_if), (client, c_if)) = two_machines();
+    s_if.listen(9, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>);
+    let result = Rc::new(RefCell::new(None));
+    let r2 = Rc::clone(&result);
+
+    struct Greedy {
+        result: Rc<RefCell<Option<Result<(), SendError>>>>,
+    }
+    impl ConnHandler for Greedy {
+        fn on_connected(&self, conn: &TcpConn) {
+            // Try to send more than the peer's advertised window.
+            let too_big = conn.send_window() + 1;
+            let data = Chain::single(IoBuf::copy_from(&vec![0u8; too_big]));
+            *self.result.borrow_mut() = Some(conn.send(data));
+        }
+        fn on_receive(&self, _c: &TcpConn, _d: Chain<IoBuf>) {}
+    }
+
+    on_core0(&client, c_if, move |c_if| {
+        c_if.connect(
+            Ipv4Addr::new(10, 0, 0, 1),
+            9,
+            Rc::new(Greedy { result: r2 }),
+        );
+    });
+    w.run_to_idle();
+    let outcome = result.borrow_mut().take();
+    match outcome {
+        Some(Err(SendError::WindowFull(avail))) => assert!(avail > 0),
+        other => panic!("expected WindowFull, got {other:?}"),
+    }
+}
+
+#[test]
+fn udp_roundtrip_between_machines() {
+    let (w, _sw, (server, s_if), (client, c_if)) = two_machines();
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let g2 = Rc::clone(&got);
+    // Server: UDP echo on port 53.
+    let s_if2 = Rc::clone(&s_if);
+    s_if.udp_bind(53, move |src, sport, payload| {
+        s_if2.udp_send(53, src, sport, payload);
+    });
+    drop(server);
+    // Client: bind a port and fire a datagram.
+    let c2 = Rc::clone(&c_if);
+    c_if.udp_bind(5353, move |_src, _sport, payload| {
+        g2.borrow_mut().extend(payload.copy_to_vec());
+    });
+    on_core0(&client, c2, move |c_if| {
+        c_if.udp_send(
+            5353,
+            Ipv4Addr::new(10, 0, 0, 1),
+            53,
+            Chain::single(IoBuf::copy_from(b"ping!")),
+        );
+    });
+    w.run_to_idle();
+    assert_eq!(*got.borrow(), b"ping!");
+}
+
+#[test]
+fn dhcp_configures_client() {
+    let w = SimWorld::new();
+    let sw = Switch::new(&w);
+    let infra = SimMachine::create(&w, "infra", 1, CostProfile::linux_vm(), [0x01; 6]);
+    let node = SimMachine::create(&w, "node", 1, CostProfile::ebbrt_vm(), [0x02; 6]);
+    sw.attach(infra.nic(), LinkParams::default());
+    sw.attach(node.nic(), LinkParams::default());
+    let infra_if = NetIf::attach(&infra, Ipv4Addr::new(10, 0, 0, 1), MASK);
+    let node_if = NetIf::attach(&node, Ipv4Addr::UNSPECIFIED, MASK);
+    w.run_to_idle();
+    let _server = ebbrt_net::dhcp::DhcpServer::start(&infra_if, Ipv4Addr::new(10, 0, 0, 100), MASK);
+    let assigned = Rc::new(Cell::new(None));
+    let a2 = Rc::clone(&assigned);
+    let n2 = Rc::clone(&node_if);
+    on_core0(&node, n2, move |node_if| {
+        ebbrt_net::dhcp::configure(&node_if, move |ip, _mask| a2.set(Some(ip)));
+    });
+    w.run_to_idle();
+    assert_eq!(assigned.get(), Some(Ipv4Addr::new(10, 0, 0, 100)));
+    assert_eq!(node_if.ip(), Ipv4Addr::new(10, 0, 0, 100));
+}
+
+#[test]
+fn rss_steers_connections_to_distinct_cores() {
+    let w = SimWorld::new();
+    let sw = Switch::new(&w);
+    let server = SimMachine::create(&w, "server", 4, CostProfile::ebbrt_vm(), [0xAA; 6]);
+    let client = SimMachine::create(&w, "client", 4, CostProfile::ebbrt_vm(), [0xBB; 6]);
+    sw.attach(server.nic(), LinkParams::default());
+    sw.attach(client.nic(), LinkParams::default());
+    let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), MASK);
+    let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), MASK);
+    w.run_to_idle();
+
+    let cores = Rc::new(RefCell::new(Vec::new()));
+    struct CoreRecorder {
+        cores: Rc<RefCell<Vec<u32>>>,
+    }
+    impl ConnHandler for CoreRecorder {
+        fn on_connected(&self, _c: &TcpConn) {
+            self.cores.borrow_mut().push(ebbrt_core::cpu::current().0);
+        }
+        fn on_receive(&self, _c: &TcpConn, _d: Chain<IoBuf>) {}
+    }
+    let cores2 = Rc::clone(&cores);
+    s_if.listen(7, move |_conn| {
+        Rc::new(CoreRecorder {
+            cores: Rc::clone(&cores2),
+        }) as Rc<dyn ConnHandler>
+    });
+
+    // Open many connections from different client cores.
+    struct Quiet;
+    impl ConnHandler for Quiet {
+        fn on_receive(&self, _c: &TcpConn, _d: Chain<IoBuf>) {}
+    }
+    for i in 0..8u32 {
+        let c_if = Rc::clone(&c_if);
+        let cell = SendCell(c_if);
+        client.spawn_on(CoreId(i % 4), move || {
+            let cell = cell;
+            cell.0.connect(Ipv4Addr::new(10, 0, 0, 1), 7, Rc::new(Quiet));
+        });
+    }
+    w.run_to_idle();
+    let cores = cores.borrow();
+    assert_eq!(cores.len(), 8, "all connections must establish");
+    let distinct: std::collections::HashSet<_> = cores.iter().collect();
+    assert!(
+        distinct.len() > 1,
+        "RSS should spread connections across server cores: {cores:?}"
+    );
+}
+
+#[test]
+fn retransmission_recovers_from_loss() {
+    let w = SimWorld::new();
+    let sw = Switch::new(&w);
+    let server = SimMachine::create(&w, "server", 1, CostProfile::ebbrt_vm(), [0xAA; 6]);
+    let client = SimMachine::create(&w, "client", 1, CostProfile::ebbrt_vm(), [0xBB; 6]);
+    let server_port = sw.attach(server.nic(), LinkParams::default());
+    sw.attach(client.nic(), LinkParams::default());
+    let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), MASK);
+    let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), MASK);
+    w.run_to_idle();
+
+    s_if.listen(7, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>);
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let connected = Rc::new(Cell::new(false));
+    let closed = Rc::new(Cell::new(false));
+    let handler = Collect {
+        got: Rc::clone(&got),
+        connected: Rc::clone(&connected),
+        closed: Rc::clone(&closed),
+    };
+    let c_if_stats = Rc::clone(&c_if);
+    on_core0(&client, c_if, move |c_if| {
+        c_if.connect(Ipv4Addr::new(10, 0, 0, 1), 7, Rc::new(handler));
+    });
+    w.run_to_idle();
+    assert!(connected.get());
+
+    // Drop the first data-bearing frame headed to the server (pure ACKs
+    // are 54 bytes; anything longer carries payload).
+    let dropped = Rc::new(Cell::new(0u32));
+    let d2 = Rc::clone(&dropped);
+    sw.set_drop_filter(server_port, move |frame| {
+        if frame.len() > 60 && d2.get() == 0 {
+            d2.set(1);
+            true
+        } else {
+            false
+        }
+    });
+    // Open a second connection that sends as soon as it establishes;
+    // its first data frame is the one the filter drops.
+    let connected2 = Rc::new(Cell::new(false));
+    let got2 = Rc::new(RefCell::new(Vec::new()));
+    let handler2 = Collect {
+        got: Rc::clone(&got2),
+        connected: Rc::clone(&connected2),
+        closed: Rc::new(Cell::new(false)),
+    };
+    struct SendOnConnect {
+        inner: Collect,
+    }
+    impl ConnHandler for SendOnConnect {
+        fn on_connected(&self, conn: &TcpConn) {
+            self.inner.on_connected(conn);
+            conn.send(Chain::single(IoBuf::copy_from(b"must arrive")))
+                .unwrap();
+        }
+        fn on_receive(&self, c: &TcpConn, d: Chain<IoBuf>) {
+            self.inner.on_receive(c, d);
+        }
+    }
+    let c3 = Rc::clone(&c_if_stats);
+    on_core0(&client, c3, move |c_if| {
+        c_if.connect(
+            Ipv4Addr::new(10, 0, 0, 1),
+            7,
+            Rc::new(SendOnConnect { inner: handler2 }),
+        );
+    });
+    w.run_to_idle();
+    assert_eq!(dropped.get(), 1, "exactly one frame must have been dropped");
+    assert_eq!(*got2.borrow(), b"must arrive", "RTO must recover the loss");
+    assert!(c_if_stats.stats.retransmits.get() >= 1);
+}

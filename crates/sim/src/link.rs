@@ -1,0 +1,271 @@
+//! Links and the learning switch connecting machine NICs.
+//!
+//! Each attached port has its own uplink with bandwidth and latency
+//! (defaults model the paper's directly-connected 10 GbE X520s).
+//! Transmission serializes on the sender's uplink — back-to-back frames
+//! queue behind each other — which is what caps NetPIPE goodput at wire
+//! speed for large messages (Figure 4).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+
+use ebbrt_core::clock::Ns;
+
+use crate::costs::{LINK_LATENCY_NS, WIRE_FRAME_OVERHEAD_BYTES, WIRE_NS_PER_BYTE_X1000};
+use crate::nic::{Frame, Mac, SimNic};
+use crate::world::SimWorld;
+
+/// Bandwidth/latency of one link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkParams {
+    /// Serialization rate: picoseconds per byte (800 = 10 GbE).
+    pub ns_per_byte_x1000: u64,
+    /// One-way propagation + PHY latency.
+    pub latency_ns: Ns,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            ns_per_byte_x1000: WIRE_NS_PER_BYTE_X1000,
+            latency_ns: LINK_LATENCY_NS,
+        }
+    }
+}
+
+impl LinkParams {
+    /// Wire occupancy of a frame of `bytes`.
+    pub fn serialize_ns(&self, bytes: usize) -> Ns {
+        ((bytes as u64 + WIRE_FRAME_OVERHEAD_BYTES) * self.ns_per_byte_x1000) / 1000
+    }
+}
+
+struct Port {
+    nic: Rc<SimNic>,
+    link: LinkParams,
+    /// When the port's uplink finishes its current transmission.
+    tx_free_at: Cell<Ns>,
+    /// Loss-injection hook: frames destined to this port for which the
+    /// filter returns `true` are dropped (fault injection for tests and
+    /// retransmission experiments).
+    drop_filter: RefCell<Option<Box<dyn Fn(&Frame) -> bool>>>,
+}
+
+/// A learning Ethernet switch.
+pub struct Switch {
+    world: Weak<SimWorld>,
+    ports: RefCell<Vec<Port>>,
+    fdb: RefCell<HashMap<Mac, usize>>,
+    forwarded: Cell<u64>,
+    flooded: Cell<u64>,
+}
+
+impl Switch {
+    /// Creates a switch in `world`.
+    pub fn new(world: &Rc<SimWorld>) -> Rc<Self> {
+        Rc::new(Switch {
+            world: Rc::downgrade(world),
+            ports: RefCell::new(Vec::new()),
+            fdb: RefCell::new(HashMap::new()),
+            forwarded: Cell::new(0),
+            flooded: Cell::new(0),
+        })
+    }
+
+    /// Attaches a NIC with the given link parameters; returns its port
+    /// number. The NIC's transmit path is wired to this switch.
+    pub fn attach(self: &Rc<Self>, nic: &Rc<SimNic>, link: LinkParams) -> usize {
+        let mut ports = self.ports.borrow_mut();
+        let port = ports.len();
+        ports.push(Port {
+            nic: Rc::clone(nic),
+            link,
+            tx_free_at: Cell::new(0),
+            drop_filter: RefCell::new(None),
+        });
+        drop(ports);
+        // Pre-learn the NIC's own MAC so first frames need no flood.
+        self.fdb.borrow_mut().insert(nic.mac(), port);
+        let sw = Rc::downgrade(self);
+        nic.install_tx_handler(Box::new(move |frame| {
+            if let Some(sw) = sw.upgrade() {
+                sw.forward(port, frame);
+            }
+        }));
+        port
+    }
+
+    /// (forwarded, flooded) frame counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.forwarded.get(), self.flooded.get())
+    }
+
+    /// Installs a loss-injection filter on `port`: frames destined to it
+    /// for which `f` returns `true` are silently dropped.
+    pub fn set_drop_filter(&self, port: usize, f: impl Fn(&Frame) -> bool + 'static) {
+        *self.ports.borrow()[port].drop_filter.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Removes `port`'s loss-injection filter.
+    pub fn clear_drop_filter(&self, port: usize) {
+        *self.ports.borrow()[port].drop_filter.borrow_mut() = None;
+    }
+
+    /// Returns whether the drop filter on `port` claims this frame.
+    fn should_drop(&self, port: usize, frame: &Frame) -> bool {
+        let ports = self.ports.borrow();
+        let filter = ports[port].drop_filter.borrow();
+        filter.as_ref().is_some_and(|f| f(frame))
+    }
+
+    fn forward(self: &Rc<Self>, from: usize, frame: Frame) {
+        let world = match self.world.upgrade() {
+            Some(w) => w,
+            None => return,
+        };
+        // Learn the source.
+        if let Some(src) = frame.src_mac() {
+            self.fdb.borrow_mut().insert(src, from);
+        }
+        // The frame leaves the guest only after the CPU work performed
+        // so far in the current event (service time delays outputs).
+        let ready = world.now() + crate::world::charged_so_far();
+        // Serialize on the sender's uplink.
+        let ports = self.ports.borrow();
+        let sender = &ports[from];
+        let start = ready.max(sender.tx_free_at.get());
+        let depart = start + sender.link.serialize_ns(frame.len());
+        sender.tx_free_at.set(depart);
+        let latency = sender.link.latency_ns;
+        drop(ports);
+
+        let dst = frame.dst_mac().and_then(|d| {
+            if d == [0xff; 6] {
+                None
+            } else {
+                self.fdb.borrow().get(&d).copied()
+            }
+        });
+        match dst {
+            Some(port) if port != from => {
+                if self.should_drop(port, &frame) {
+                    return;
+                }
+                self.forwarded.set(self.forwarded.get() + 1);
+                let sw = Rc::downgrade(self);
+                world.schedule_at(depart + latency, move |_| {
+                    if let Some(sw) = sw.upgrade() {
+                        let ports = sw.ports.borrow();
+                        ports[port].nic.deliver(frame);
+                    }
+                });
+            }
+            Some(_) => { /* destined to sender itself: drop */ }
+            None => {
+                // Unknown or broadcast: flood to every other port.
+                self.flooded.set(self.flooded.get() + 1);
+                let nports = self.ports.borrow().len();
+                // Split the chain per destination (shares storage).
+                for port in (0..nports).filter(|&p| p != from) {
+                    // Chain clone shares storage: flooding copies
+                    // descriptors, not bytes.
+                    let copy = Frame::new(frame.data.clone());
+                    let sw = Rc::downgrade(self);
+                    world.schedule_at(depart + latency, move |_| {
+                        if let Some(sw) = sw.upgrade() {
+                            let ports = sw.ports.borrow();
+                            ports[port].nic.deliver(copy);
+                        }
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebbrt_core::iobuf::{Chain, IoBuf, MutIoBuf};
+
+    fn frame(dst: Mac, src: Mac, len: usize) -> Frame {
+        let mut b = MutIoBuf::with_capacity(14 + len);
+        b.append(6).copy_from_slice(&dst);
+        b.append(6).copy_from_slice(&src);
+        b.append(2).copy_from_slice(&0x0800u16.to_be_bytes());
+        b.append(len);
+        Frame::new(Chain::<IoBuf>::single(b.freeze()))
+    }
+
+    #[test]
+    fn frames_arrive_after_wire_delay() {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let a = SimNic::new([1; 6], 1);
+        let b = SimNic::new([2; 6], 1);
+        sw.attach(&a, LinkParams::default());
+        sw.attach(&b, LinkParams::default());
+
+        a.transmit(frame([2; 6], [1; 6], 50)); // 64 B on wire
+        assert_eq!(b.rx_len(0), 0, "not yet delivered");
+        w.run_to_idle();
+        assert_eq!(b.rx_len(0), 1);
+        // 64+24 bytes at 0.8 ns/B = 70 ns + 600 ns latency.
+        assert_eq!(w.now(), 70 + 600);
+    }
+
+    #[test]
+    fn back_to_back_frames_serialize() {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let a = SimNic::new([1; 6], 1);
+        let b = SimNic::new([2; 6], 1);
+        sw.attach(&a, LinkParams::default());
+        sw.attach(&b, LinkParams::default());
+
+        let wire_each = LinkParams::default().serialize_ns(1500 + 14);
+        a.transmit(frame([2; 6], [1; 6], 1500));
+        a.transmit(frame([2; 6], [1; 6], 1500));
+        w.run_to_idle();
+        assert_eq!(b.rx_len(0), 2);
+        // Second frame queued behind the first on the uplink.
+        assert_eq!(w.now(), 2 * wire_each + 600);
+    }
+
+    #[test]
+    fn learning_avoids_flood_after_first_frame() {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let nics: Vec<_> = (0..3u8)
+            .map(|i| SimNic::new([i + 1; 6], 1))
+            .collect();
+        for n in &nics {
+            sw.attach(n, LinkParams::default());
+        }
+        // Macs are pre-learned at attach; direct forward expected.
+        nics[0].transmit(frame([3; 6], [1; 6], 100));
+        w.run_to_idle();
+        assert_eq!(nics[2].rx_len(0), 1);
+        assert_eq!(nics[1].rx_len(0), 0);
+        assert_eq!(sw.stats(), (1, 0));
+    }
+
+    #[test]
+    fn broadcast_floods_all_but_sender() {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let nics: Vec<_> = (0..3u8)
+            .map(|i| SimNic::new([i + 1; 6], 1))
+            .collect();
+        for n in &nics {
+            sw.attach(n, LinkParams::default());
+        }
+        nics[0].transmit(frame([0xff; 6], [1; 6], 60));
+        w.run_to_idle();
+        assert_eq!(nics[0].rx_len(0), 0);
+        assert_eq!(nics[1].rx_len(0), 1);
+        assert_eq!(nics[2].rx_len(0), 1);
+        assert_eq!(sw.stats(), (0, 1));
+    }
+}

@@ -1,0 +1,385 @@
+//! The discrete-event scheduler and machine driver.
+//!
+//! [`SimWorld`] owns a virtual nanosecond clock and a time-ordered queue
+//! of actions. Machines register their per-core event managers; when a
+//! device interrupt, remote spawn, timer, or scheduled poll makes a core
+//! runnable, the driver enters that machine's runtime on that core and
+//! runs dispatch passes.
+//!
+//! **Virtual CPU time.** Handlers declare the CPU time they consume by
+//! calling [`charge`] (the per-operation constants live in
+//! [`crate::costs`]). The driver accumulates charges into the core's
+//! `busy_until`; a busy core defers further dispatch until that instant
+//! — this is what produces realistic queueing behaviour (the
+//! latency-vs-throughput curves of Figures 5 and 6).
+//!
+//! Zero-charge handlers are drained at the same instant (bounded by a
+//! runaway guard); idle handlers that charge nothing are billed a
+//! minimum polling cost so a polling core consumes virtual time exactly
+//! like a real one spinning.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+
+use ebbrt_core::clock::{Clock, ManualClock, Ns};
+use ebbrt_core::cpu::CoreId;
+use ebbrt_core::runtime;
+
+use crate::machine::SimMachine;
+
+/// Virtual CPU time billed to one poll-loop iteration of an idle
+/// handler that declared no cost itself.
+pub const MIN_POLL_NS: Ns = 150;
+
+/// Guard against event chains that never charge time: after this many
+/// zero-cost dispatch passes at one instant, the driver panics (it is a
+/// bug in the simulated application).
+const ZERO_COST_PASS_LIMIT: usize = 100_000;
+
+thread_local! {
+    static CHARGE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Declares that the currently executing handler consumes `ns` of
+/// virtual CPU time. May be called any number of times; charges
+/// accumulate. Outside the simulation driver this is a no-op
+/// accumulator that nobody reads.
+#[inline]
+pub fn charge(ns: u64) {
+    CHARGE.with(|c| c.set(c.get() + ns));
+}
+
+fn take_charge() -> u64 {
+    CHARGE.with(|c| c.replace(0))
+}
+
+/// Virtual CPU time the currently executing handler has accumulated so
+/// far. Devices use this to timestamp outputs correctly: a frame sent
+/// after 20 µs of (charged) processing leaves the NIC 20 µs into the
+/// event, not at its start.
+pub fn charged_so_far() -> u64 {
+    CHARGE.with(|c| c.get())
+}
+
+struct QEntry {
+    at: Ns,
+    seq: u64,
+    action: Box<dyn FnOnce(&Rc<SimWorld>)>,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The simulation world: clock, action queue, and registered machines.
+pub struct SimWorld {
+    clock: Arc<ManualClock>,
+    queue: RefCell<BinaryHeap<Reverse<QEntry>>>,
+    seq: Cell<u64>,
+    machines: RefCell<Vec<Rc<SimMachine>>>,
+    /// Cores made runnable by wakers (interrupt raised, remote spawn).
+    wake_queue: Arc<SegQueue<(usize, u32)>>,
+}
+
+impl SimWorld {
+    /// Creates an empty world at time zero.
+    pub fn new() -> Rc<Self> {
+        Rc::new(SimWorld {
+            clock: Arc::new(ManualClock::new()),
+            queue: RefCell::new(BinaryHeap::new()),
+            seq: Cell::new(0),
+            machines: RefCell::new(Vec::new()),
+            wake_queue: Arc::new(SegQueue::new()),
+        })
+    }
+
+    /// The shared virtual clock (machines' runtimes read it).
+    pub fn clock(&self) -> Arc<ManualClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Ns {
+        self.clock.now_ns()
+    }
+
+    /// Schedules `action` at absolute time `at` (clamped to now).
+    pub fn schedule_at(&self, at: Ns, action: impl FnOnce(&Rc<SimWorld>) + 'static) {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        self.queue.borrow_mut().push(Reverse(QEntry {
+            at: at.max(self.now()),
+            seq,
+            action: Box::new(action),
+        }));
+    }
+
+    /// Schedules `action` after `delay` nanoseconds.
+    pub fn schedule_in(&self, delay: Ns, action: impl FnOnce(&Rc<SimWorld>) + 'static) {
+        self.schedule_at(self.now() + delay, action);
+    }
+
+    /// Registers a machine, wiring its per-core wakers to the driver.
+    /// Returns the machine's index.
+    pub(crate) fn register_machine(self: &Rc<Self>, machine: Rc<SimMachine>) -> usize {
+        let mut machines = self.machines.borrow_mut();
+        let index = machines.len();
+        for i in 0..machine.runtime().ncores() {
+            let core = CoreId(i as u32);
+            let wq = Arc::clone(&self.wake_queue);
+            machine
+                .runtime()
+                .event_manager(core)
+                .register_waker(Arc::new(move || {
+                    wq.push((index, core.0));
+                }));
+        }
+        machines.push(machine);
+        index
+    }
+
+    /// The machine at `index`.
+    pub fn machine(&self, index: usize) -> Rc<SimMachine> {
+        Rc::clone(&self.machines.borrow()[index])
+    }
+
+    /// Marks a core runnable (used by scheduled polls).
+    pub fn wake_core(&self, machine: usize, core: CoreId) {
+        self.wake_queue.push((machine, core.0));
+    }
+
+    /// Runs one scheduler step: drains runnable cores, then executes the
+    /// earliest scheduled action (advancing the clock). Returns `false`
+    /// when nothing remains.
+    pub fn step(self: &Rc<Self>) -> bool {
+        self.drain_wake_queue();
+        let entry = {
+            let mut q = self.queue.borrow_mut();
+            match q.pop() {
+                Some(Reverse(e)) => e,
+                None => return false,
+            }
+        };
+        debug_assert!(entry.at >= self.now(), "scheduler time went backwards");
+        self.clock.set(entry.at);
+        (entry.action)(self);
+        self.drain_wake_queue();
+        true
+    }
+
+    /// Runs until the queue is empty (plus runnable cores drained).
+    /// Returns the number of actions executed.
+    pub fn run_to_idle(self: &Rc<Self>) -> usize {
+        let mut steps = 0;
+        while self.step() {
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Runs until virtual time reaches `deadline` (actions scheduled
+    /// beyond it stay queued).
+    pub fn run_until(self: &Rc<Self>, deadline: Ns) {
+        loop {
+            self.drain_wake_queue();
+            let due = {
+                let q = self.queue.borrow();
+                match q.peek() {
+                    Some(Reverse(e)) if e.at <= deadline => true,
+                    _ => false,
+                }
+            };
+            if !due {
+                break;
+            }
+            self.step();
+        }
+        if self.now() < deadline {
+            self.clock.set(deadline);
+        }
+    }
+
+    /// Runs for `duration` of virtual time.
+    pub fn run_for(self: &Rc<Self>, duration: Ns) {
+        let deadline = self.now() + duration;
+        self.run_until(deadline);
+    }
+
+    fn drain_wake_queue(self: &Rc<Self>) {
+        while let Some((mi, core)) = self.wake_queue.pop() {
+            self.service_core(mi, CoreId(core));
+        }
+    }
+
+    /// Runs dispatch passes for one core until it is quiescent, becomes
+    /// busy (charged time), or defers to a timer.
+    fn service_core(self: &Rc<Self>, machine_index: usize, core: CoreId) {
+        let machine = self.machine(machine_index);
+        let cs = machine.core_state(core);
+        let now = self.now();
+        if cs.busy_until.get() > now {
+            // Core is executing a prior handler in virtual time; poll
+            // again when it frees up.
+            self.schedule_core_poll(machine_index, core, cs.busy_until.get());
+            return;
+        }
+        let rt = Arc::clone(machine.runtime());
+        let guard = runtime::enter(Arc::clone(&rt), core);
+        let em = rt.event_manager(core);
+        let mut zero_passes = 0;
+        loop {
+            take_charge();
+            let progress = em.run_once();
+            let mut charged = take_charge();
+            if !progress.any() {
+                break;
+            }
+            if charged == 0 && !progress.any_priority() && progress.idle_invoked > 0 {
+                // A polling pass that declared no cost still burns CPU.
+                charged = MIN_POLL_NS;
+            }
+            if charged > 0 {
+                let busy_until = self.now() + charged;
+                cs.busy_until.set(busy_until);
+                machine.add_cpu_time(core, charged);
+                if em.pending_work() || em.has_idle_handlers() {
+                    self.schedule_core_poll(machine_index, core, busy_until);
+                }
+                break;
+            }
+            zero_passes += 1;
+            assert!(
+                zero_passes < ZERO_COST_PASS_LIMIT,
+                "runaway zero-cost event chain on {core} of machine {machine_index}"
+            );
+        }
+        if let Some(deadline) = em.next_timer_deadline() {
+            self.schedule_core_poll(machine_index, core, deadline.max(cs.busy_until.get()));
+        }
+        rt.rcu().try_reclaim();
+        drop(guard);
+    }
+
+    /// Schedules a poll of (machine, core) at time `at`, deduplicating
+    /// against an already-scheduled earlier-or-equal poll.
+    fn schedule_core_poll(self: &Rc<Self>, machine_index: usize, core: CoreId, at: Ns) {
+        let machine = self.machine(machine_index);
+        let cs = machine.core_state(core);
+        let pending = cs.poll_scheduled_at.get();
+        if pending > self.now() && pending <= at {
+            return; // an earlier poll will cover this
+        }
+        cs.poll_scheduled_at.set(at);
+        self.schedule_at(at, move |w| {
+            let machine = w.machine(machine_index);
+            machine.core_state(core).poll_scheduled_at.set(0);
+            w.wake_core(machine_index, core);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actions_run_in_time_order() {
+        let w = SimWorld::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let (l1, l2, l3) = (Rc::clone(&log), Rc::clone(&log), Rc::clone(&log));
+        w.schedule_at(300, move |w| l1.borrow_mut().push(("c", w.now())));
+        w.schedule_at(100, move |w| l2.borrow_mut().push(("a", w.now())));
+        w.schedule_at(200, move |w| l3.borrow_mut().push(("b", w.now())));
+        w.run_to_idle();
+        assert_eq!(
+            *log.borrow(),
+            vec![("a", 100), ("b", 200), ("c", 300)]
+        );
+    }
+
+    #[test]
+    fn same_time_actions_run_in_schedule_order() {
+        let w = SimWorld::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let l = Rc::clone(&log);
+            w.schedule_at(50, move |_| l.borrow_mut().push(i));
+        }
+        w.run_to_idle();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn actions_can_schedule_actions() {
+        let w = SimWorld::new();
+        let hits = Rc::new(Cell::new(0u32));
+        let h = Rc::clone(&hits);
+        w.schedule_at(10, move |w| {
+            h.set(h.get() + 1);
+            let h2 = Rc::clone(&h);
+            w.schedule_in(15, move |w| {
+                assert_eq!(w.now(), 25);
+                h2.set(h2.get() + 1);
+            });
+        });
+        w.run_to_idle();
+        assert_eq!(hits.get(), 2);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let w = SimWorld::new();
+        let ran = Rc::new(Cell::new(false));
+        let r = Rc::clone(&ran);
+        w.schedule_at(1000, move |_| r.set(true));
+        w.run_until(500);
+        assert_eq!(w.now(), 500);
+        assert!(!ran.get());
+        w.run_until(1500);
+        assert!(ran.get());
+        assert_eq!(w.now(), 1500);
+    }
+
+    #[test]
+    fn determinism_same_trace() {
+        fn trace() -> Vec<(u64, u32)> {
+            let w = SimWorld::new();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..10u32 {
+                let l = Rc::clone(&log);
+                w.schedule_at(((i * 37) % 7) as u64 * 100, move |w| {
+                    l.borrow_mut().push((w.now(), i));
+                });
+            }
+            w.run_to_idle();
+            Rc::try_unwrap(log).unwrap().into_inner()
+        }
+        assert_eq!(trace(), trace());
+    }
+
+    #[test]
+    fn charge_accumulates_and_resets() {
+        charge(100);
+        charge(50);
+        assert_eq!(take_charge(), 150);
+        assert_eq!(take_charge(), 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Property-based tests over the core data-structure invariants listed
+//! in DESIGN.md §5.
+
+use proptest::prelude::*;
+
+use ebbrt_core::iobuf::{Buf, Chain, IoBuf, MutIoBuf};
+
+mod iobuf_props {
+    use super::*;
+
+    /// Arbitrary chains + arbitrary advance/split sequences never lose
+    /// or duplicate bytes and keep the length accounting exact.
+    fn model_ops(segments: Vec<Vec<u8>>, ops: Vec<usize>) {
+        let mut chain: Chain<IoBuf> = Chain::new();
+        let mut model: Vec<u8> = Vec::new();
+        for s in &segments {
+            chain.push_back(IoBuf::copy_from(s));
+            model.extend_from_slice(s);
+        }
+        assert_eq!(chain.len(), model.len());
+        for op in ops {
+            if chain.is_empty() {
+                break;
+            }
+            match op % 3 {
+                0 => {
+                    let n = op % (chain.len() + 1);
+                    let head = chain.split_to(n);
+                    assert_eq!(head.copy_to_vec(), model[..n].to_vec());
+                    model.drain(..n);
+                }
+                1 => {
+                    let n = op % (chain.len() + 1);
+                    chain.advance(n);
+                    model.drain(..n);
+                }
+                _ => {
+                    // Round-trip through a cursor read.
+                    let n = (op / 3) % (chain.len() + 1);
+                    let mut cur = chain.cursor();
+                    let got = cur.read_vec(n).unwrap();
+                    assert_eq!(got, model[..n]);
+                }
+            }
+            assert_eq!(chain.len(), model.len());
+            assert_eq!(chain.copy_to_vec(), model);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn chain_ops_preserve_bytes(
+            segments in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..8),
+            ops in prop::collection::vec(any::<usize>(), 0..32),
+        ) {
+            model_ops(segments, ops);
+        }
+
+        #[test]
+        fn mut_iobuf_window_arithmetic(
+            headroom in 0usize..64,
+            appends in prop::collection::vec(1usize..32, 0..8),
+        ) {
+            let cap: usize = appends.iter().sum::<usize>() + 1;
+            let mut b = MutIoBuf::with_headroom(cap, headroom);
+            let mut expect_len = 0;
+            for a in &appends {
+                b.append(*a);
+                expect_len += a;
+                prop_assert_eq!(b.len(), expect_len);
+                prop_assert_eq!(b.headroom(), headroom);
+                prop_assert_eq!(b.capacity(), cap + headroom);
+            }
+            // Prepending then advancing restores the same window.
+            let take = headroom.min(7);
+            b.prepend(take);
+            prop_assert_eq!(b.len(), expect_len + take);
+            b.advance(take);
+            prop_assert_eq!(b.len(), expect_len);
+        }
+    }
+}
+
+mod buddy_props {
+    use super::*;
+    use ebbrt_mem::buddy::{order_bytes, BuddyAllocator};
+
+    proptest! {
+        /// Any interleaving of allocations and frees keeps blocks
+        /// disjoint and restores the fully coalesced region at the end.
+        #[test]
+        fn buddy_disjoint_and_coalescing(ops in prop::collection::vec((0u32..4, any::<u8>()), 1..64)) {
+            let region_order = 6; // 64 pages
+            let mut b = BuddyAllocator::new(0, region_order);
+            let initial = b.free_bytes();
+            let mut live: Vec<(usize, u32)> = Vec::new();
+            for (order, sel) in ops {
+                if sel % 2 == 0 || live.is_empty() {
+                    if let Some(addr) = b.alloc(order) {
+                        // Overlap check against every live block.
+                        let len = order_bytes(order);
+                        for &(a, o) in &live {
+                            let alen = order_bytes(o);
+                            prop_assert!(addr + len <= a || a + alen <= addr,
+                                "overlap: {addr:#x}+{len:#x} vs {a:#x}+{alen:#x}");
+                        }
+                        live.push((addr, order));
+                    }
+                } else {
+                    let idx = (sel as usize) % live.len();
+                    let (addr, order) = live.swap_remove(idx);
+                    b.free(addr, order);
+                }
+            }
+            for (addr, order) in live {
+                b.free(addr, order);
+            }
+            prop_assert_eq!(b.free_bytes(), initial);
+            // Fully coalesced: exactly one block at the top order.
+            let counts = b.free_counts();
+            prop_assert_eq!(counts[region_order as usize], 1);
+        }
+    }
+}
+
+mod tcp_props {
+    use super::*;
+    use ebbrt_core::cpu::CoreId;
+    use ebbrt_net::tcp::{FourTuple, Pcb, TcpState};
+    use ebbrt_net::types::Ipv4Addr;
+
+    fn pcb() -> Pcb {
+        let t = FourTuple {
+            local: (Ipv4Addr::new(10, 0, 0, 1), 80),
+            remote: (Ipv4Addr::new(10, 0, 0, 2), 5555),
+        };
+        let mut p = Pcb::new(t, TcpState::Established, 0, CoreId(0));
+        p.rcv_nxt = 0;
+        p.snd_wnd = 1 << 20;
+        p
+    }
+
+    proptest! {
+        /// Delivering segments in any order (with duplicates) yields the
+        /// original stream, exactly once, in order.
+        #[test]
+        fn reassembly_from_any_arrival_order(
+            chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..40), 1..12),
+            order_seed in any::<u64>(),
+            dup_mask in any::<u16>(),
+        ) {
+            let mut stream = Vec::new();
+            let mut segs: Vec<(u32, Vec<u8>)> = Vec::new();
+            let mut seq = 0u32;
+            for c in &chunks {
+                segs.push((seq, c.clone()));
+                stream.extend_from_slice(c);
+                seq = seq.wrapping_add(c.len() as u32);
+            }
+            // Duplicate some segments, then shuffle deterministically.
+            let mut arrivals = segs.clone();
+            for (i, s) in segs.iter().enumerate() {
+                if dup_mask & (1 << (i % 16)) != 0 {
+                    arrivals.push(s.clone());
+                }
+            }
+            let mut rng = order_seed;
+            for i in (1..arrivals.len()).rev() {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (rng >> 33) as usize % (i + 1);
+                arrivals.swap(i, j);
+            }
+
+            let mut p = pcb();
+            let mut delivered = Vec::new();
+            for (seq, data) in arrivals {
+                let chain = Chain::single(IoBuf::copy_from(&data));
+                for out in p.on_data(seq, chain) {
+                    delivered.extend(out.copy_to_vec());
+                }
+            }
+            prop_assert_eq!(delivered, stream);
+            prop_assert_eq!(p.rcv_nxt as usize, segs.iter().map(|(_, d)| d.len()).sum::<usize>());
+        }
+
+        /// The usable send window never exceeds the peer's advertised
+        /// window and acknowledgments only ever shrink the in-flight set.
+        #[test]
+        fn window_accounting(
+            sends in prop::collection::vec(1u32..2000, 0..16),
+            wnd in 1u16..u16::MAX,
+        ) {
+            let mut p = pcb();
+            p.snd_wnd = wnd as u32;
+            let mut sent = 0u32;
+            for len in sends {
+                let take = (p.send_window() as u32).min(len);
+                if take == 0 { break; }
+                let seq = p.snd_nxt;
+                p.record_sent(seq, take, 0, Chain::new());
+                sent += take;
+                prop_assert!(p.send_window() as u64 + sent as u64 <= wnd as u64 + sent as u64);
+                prop_assert!(p.send_window() <= wnd as usize);
+            }
+            // Ack everything: the full window reopens, queue empties.
+            let r = p.process_ack(p.snd_nxt, wnd);
+            prop_assert!(r.queue_empty);
+            prop_assert_eq!(p.send_window(), wnd as usize);
+        }
+    }
+}
+
+mod rcu_props {
+    use super::*;
+    use ebbrt_core::rcu::RcuDomain;
+    use ebbrt_core::rcu_hash::RcuHashMap;
+    use std::sync::Arc;
+
+    proptest! {
+        /// The RCU map agrees with a model HashMap under arbitrary
+        /// insert/remove/lookup interleavings.
+        #[test]
+        fn rcu_map_matches_model(ops in prop::collection::vec((any::<u8>(), any::<u16>()), 0..200)) {
+            let domain = Arc::new(RcuDomain::new(1));
+            let map: RcuHashMap<u8, u16> = RcuHashMap::with_capacity(Arc::clone(&domain), 4);
+            let mut model = std::collections::HashMap::new();
+            let guard = domain.read_guard(ebbrt_core::cpu::CoreId(0));
+            for (k, v) in ops {
+                match v % 3 {
+                    0 => {
+                        let replaced = map.insert(k, v);
+                        prop_assert_eq!(replaced, model.insert(k, v).is_some());
+                    }
+                    1 => {
+                        let removed = map.remove(&k).map(|e| e.1);
+                        prop_assert_eq!(removed, model.remove(&k));
+                    }
+                    _ => {
+                        prop_assert_eq!(map.get(&k, |x| *x), model.get(&k).copied());
+                    }
+                }
+                prop_assert_eq!(map.len(), model.len());
+            }
+            drop(guard);
+            domain.try_reclaim();
+            prop_assert_eq!(domain.pending_count(), 0);
+        }
+    }
+}
+
+mod event_props {
+    use super::*;
+    use ebbrt_core::clock::ManualClock;
+    use ebbrt_core::cpu::{self, CoreId};
+    use ebbrt_core::event::EventManager;
+    use ebbrt_core::rcu::CoreEpoch;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    proptest! {
+        /// Spawned events run exactly once, in FIFO order, regardless of
+        /// how dispatch passes are interleaved with spawns.
+        #[test]
+        fn spawn_order_and_exactly_once(batches in prop::collection::vec(1usize..6, 1..10)) {
+            let clock: Arc<dyn ebbrt_core::clock::Clock> = Arc::new(ManualClock::new());
+            let em = EventManager::new(CoreId(0), clock, Arc::new(CoreEpoch::new()));
+            let _b = cpu::bind(CoreId(0));
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut expected = Vec::new();
+            let mut next = 0u32;
+            for batch in batches {
+                for _ in 0..batch {
+                    let id = next;
+                    next += 1;
+                    expected.push(id);
+                    let log = Rc::clone(&log);
+                    em.spawn_local(move || log.borrow_mut().push(id));
+                }
+                // Interleave partial dispatch (one synthetic per pass).
+                em.run_once();
+            }
+            em.drain();
+            prop_assert_eq!(&*log.borrow(), &expected);
+            // Nothing runs twice: a further drain is empty.
+            prop_assert_eq!(em.drain(), 0);
+        }
+
+        /// Timers fire in deadline order irrespective of arming order,
+        /// and never before their deadline.
+        #[test]
+        fn timer_deadline_order(deadlines in prop::collection::vec(1u64..10_000, 1..20)) {
+            let clock = Arc::new(ManualClock::new());
+            let clock_dyn: Arc<dyn ebbrt_core::clock::Clock> = Arc::clone(&clock) as _;
+            let em = EventManager::new(CoreId(0), clock_dyn, Arc::new(CoreEpoch::new()));
+            let _b = cpu::bind(CoreId(0));
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for &d in &deadlines {
+                let log = Rc::clone(&log);
+                em.set_timer(d, move || {
+                    log.borrow_mut().push(d);
+                });
+            }
+            // Advance in steps, checking nothing fires early.
+            let max = *deadlines.iter().max().unwrap();
+            for t in (0..=max).step_by(97) {
+                clock.set(t);
+                em.run_once();
+                prop_assert!(log.borrow().iter().all(|&d| d <= t));
+            }
+            clock.set(max);
+            em.drain();
+            let mut sorted = deadlines.clone();
+            sorted.sort();
+            prop_assert_eq!(&*log.borrow(), &sorted);
+        }
+    }
+}
+
+mod future_props {
+    use super::*;
+    use ebbrt_repro::core::future;
+
+    proptest! {
+        /// A chain of maps applied to a future equals the same chain
+        /// applied to the value directly, whether the future completes
+        /// before or after the chain is built.
+        #[test]
+        fn then_chain_preserves_value(start in any::<u32>(), adds in prop::collection::vec(any::<u8>(), 0..12), complete_first in any::<bool>()) {
+            let expected = adds.iter().fold(start as u64, |acc, &a| acc + a as u64);
+            let (p, f) = future::promise::<u64>();
+            let build = |mut f: future::Future<u64>| {
+                for &a in &adds {
+                    f = f.map(move |v| v + a as u64);
+                }
+                f
+            };
+            let out = if complete_first {
+                p.set_value(start as u64);
+                build(f)
+            } else {
+                let out = build(f);
+                p.set_value(start as u64);
+                out
+            };
+            prop_assert_eq!(out.block().unwrap(), expected);
+        }
+
+        /// Errors injected at any depth of a chain surface at the end,
+        /// skipping all intermediate maps.
+        #[test]
+        fn error_skips_intermediate_continuations(depth in 0usize..10, fail_at in 0usize..10) {
+            let (p, f) = future::promise::<u64>();
+            let mut fut = f;
+            let ran = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            for i in 0..depth {
+                let ran = std::sync::Arc::clone(&ran);
+                fut = fut.then(move |ff| {
+                    let v = ff.get()?;
+                    ran.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if i == fail_at {
+                        Err(future::Error::msg("injected"))
+                    } else {
+                        Ok(v)
+                    }
+                });
+            }
+            p.set_value(1);
+            let result = fut.block();
+            let executed = ran.load(std::sync::atomic::Ordering::SeqCst);
+            if fail_at < depth {
+                prop_assert!(result.is_err());
+                // Continuations after the failure only *observe* the
+                // error (their Ok body is skipped by `?`).
+                prop_assert_eq!(executed, fail_at + 1);
+            } else {
+                prop_assert!(result.is_ok());
+                prop_assert_eq!(executed, depth);
+            }
+        }
+    }
+}
