@@ -182,7 +182,9 @@ impl JsHeap {
         self.bump.set(live);
         // V8-on-Linux periodically returns the evacuated space to the
         // kernel; the next cycle re-faults it. EbbRT keeps it mapped.
-        if self.env.release_every > 0 && self.gcs.get() % self.env.release_every as u64 == 0 {
+        if self.env.release_every > 0
+            && self.gcs.get().is_multiple_of(self.env.release_every as u64)
+        {
             self.vm
                 .unmap_range(self.region, old_space * self.semi_pages, self.semi_pages);
         }

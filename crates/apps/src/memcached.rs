@@ -11,15 +11,34 @@
 //! connection's RSS core straight off the (simulated) device interrupt,
 //! parses binary-protocol requests across segment boundaries, serves
 //! GET/SET from an [`RcuHashMap`], and sends the response from the same
-//! event. The same server binary runs on every environment profile —
-//! only the machine's [`ebbrt_sim::CostProfile`] changes — which is how
-//! the Figure 5/6 comparison lines are produced.
+//! event.
+//!
+//! The request pipeline is **allocation- and copy-free end to end**
+//! (§3.6's IOBuf discipline, measurable through
+//! [`ebbrt_core::iobuf::stats`]):
+//!
+//! * Incoming TCP chains are appended to a per-connection backlog
+//!   *chain* — no reassembly buffer, no `memcpy`.
+//! * Requests are parsed with a [`Cursor`](ebbrt_core::iobuf::Cursor)
+//!   straight out of the driver buffers; the 24-byte header and the key
+//!   are read into stack scratch (parsing, not payload movement).
+//! * SET values are carved out of the receive chain with
+//!   [`Chain::split_to`] and stored in the RCU table as descriptor
+//!   chains sharing the driver buffers' regions.
+//! * GET responses chain a pooled header segment with a *clone of the
+//!   stored value's descriptors* — the value bytes are never touched.
+//! * All responses of one event-loop pass are batched into a single
+//!   chain and sent once, so a pipelined burst pays one send path.
+//!
+//! The same server binary runs on every environment profile — only the
+//! machine's [`ebbrt_sim::CostProfile`] changes — which is how the
+//! Figure 5/6 comparison lines are produced.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use ebbrt_core::iobuf::{Buf, Chain, IoBuf, MutIoBuf};
+use ebbrt_core::iobuf::{Chain, IoBuf, MutIoBuf};
 use ebbrt_core::rcu_hash::RcuHashMap;
 use ebbrt_net::netif::{ConnHandler, NetIf, TcpConn};
 use ebbrt_sim::world::charge;
@@ -41,6 +60,27 @@ pub const OP_SET: u8 = 0x01;
 pub const STATUS_OK: u16 = 0x0000;
 /// Key not found.
 pub const STATUS_KEY_NOT_FOUND: u16 = 0x0001;
+
+/// The protocol's maximum key length; keys up to this size are read
+/// into stack scratch on the parse path (no heap traffic). Longer keys
+/// are a protocol violation but are still served (via a heap read) so
+/// no request ever goes silently unanswered.
+pub const MAX_KEY_LEN: usize = 250;
+
+/// A stored value at most this fraction of its pinned backing-region
+/// bytes is compacted into an exact-size buffer on SET: a tiny value
+/// held as a zero-copy sub-view would otherwise pin whole (possibly
+/// pooled) receive regions for the life of the key, starving the
+/// buffer pool. Larger values stay zero-copy. The same factor gates
+/// compaction of a fragmented per-connection backlog.
+pub const SET_COMPACT_FACTOR: usize = 4;
+
+/// Backlog segment count past which fragmentation is checked: a peer
+/// trickling a large request a few bytes per packet would otherwise
+/// pin one receive region per packet until the request completes.
+/// Well-formed pipelined traffic (MSS-sized segments) stays far below
+/// this.
+pub const PENDING_COMPACT_SEGS: usize = 64;
 
 /// Binary protocol header (24 bytes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,18 +105,28 @@ impl Header {
     /// Header size on the wire.
     pub const SIZE: usize = 24;
 
+    /// Serializes into a caller-provided 24-byte destination (the
+    /// allocation-free form used on the response path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`Header::SIZE`].
+    pub fn encode_into(&self, out: &mut [u8]) {
+        out[0] = self.magic;
+        out[1] = self.opcode;
+        out[2..4].copy_from_slice(&self.key_len.to_be_bytes());
+        out[4] = self.extras_len;
+        out[5] = 0; // data type
+        out[6..8].copy_from_slice(&self.status.to_be_bytes());
+        out[8..12].copy_from_slice(&self.total_body.to_be_bytes());
+        out[12..16].copy_from_slice(&self.opaque.to_be_bytes());
+        out[16..24].fill(0); // cas left zero
+    }
+
     /// Serializes into 24 bytes.
     pub fn encode(&self) -> [u8; Header::SIZE] {
         let mut b = [0u8; Header::SIZE];
-        b[0] = self.magic;
-        b[1] = self.opcode;
-        b[2..4].copy_from_slice(&self.key_len.to_be_bytes());
-        b[4] = self.extras_len;
-        b[5] = 0; // data type
-        b[6..8].copy_from_slice(&self.status.to_be_bytes());
-        b[8..12].copy_from_slice(&self.total_body.to_be_bytes());
-        b[12..16].copy_from_slice(&self.opaque.to_be_bytes());
-        // cas (16..24) left zero.
+        self.encode_into(&mut b);
         b
     }
 
@@ -94,7 +144,7 @@ impl Header {
     }
 }
 
-/// Builds a GET request.
+/// Builds a GET request frame in one pre-sized allocation.
 pub fn encode_get(key: &[u8], opaque: u32) -> Vec<u8> {
     let h = Header {
         magic: MAGIC_REQUEST,
@@ -105,12 +155,14 @@ pub fn encode_get(key: &[u8], opaque: u32) -> Vec<u8> {
         total_body: key.len() as u32,
         opaque,
     };
-    let mut out = h.encode().to_vec();
-    out.extend_from_slice(key);
+    let mut out = vec![0u8; Header::SIZE + key.len()];
+    h.encode_into(&mut out[..Header::SIZE]);
+    out[Header::SIZE..].copy_from_slice(key);
     out
 }
 
-/// Builds a SET request (8 extras bytes: flags + expiry, zeroed).
+/// Builds a SET request frame (8 extras bytes: flags + expiry, zeroed)
+/// in one pre-sized allocation.
 pub fn encode_set(key: &[u8], value: &[u8], opaque: u32) -> Vec<u8> {
     let h = Header {
         magic: MAGIC_REQUEST,
@@ -121,18 +173,21 @@ pub fn encode_set(key: &[u8], value: &[u8], opaque: u32) -> Vec<u8> {
         total_body: (8 + key.len() + value.len()) as u32,
         opaque,
     };
-    let mut out = h.encode().to_vec();
-    out.extend_from_slice(&[0u8; 8]);
-    out.extend_from_slice(key);
-    out.extend_from_slice(value);
+    let mut out = vec![0u8; Header::SIZE + 8 + key.len() + value.len()];
+    h.encode_into(&mut out[..Header::SIZE]);
+    // Extras (flags + expiry) stay zero.
+    let key_at = Header::SIZE + 8;
+    out[key_at..key_at + key.len()].copy_from_slice(key);
+    out[key_at + key.len()..].copy_from_slice(value);
     out
 }
 
 /// The shared store: an RCU hash table from key to value. GETs are
 /// lock-free (no atomic RMWs); SETs take the writer path. Values are
-/// `IoBuf`s so responses share storage with the store (zero-copy).
+/// descriptor *chains* sharing the driver buffers they arrived in, so
+/// storing and serving never copies value bytes.
 pub struct Store {
-    map: RcuHashMap<Vec<u8>, IoBuf>,
+    map: RcuHashMap<Vec<u8>, Chain<IoBuf>>,
     /// GETs served.
     pub gets: std::sync::atomic::AtomicU64,
     /// SETs served.
@@ -162,16 +217,35 @@ impl Store {
         self.map.is_empty()
     }
 
-    /// Inserts directly (warmup/pre-population path, bypassing the
-    /// network).
+    /// Inserts a single-segment value directly (warmup/pre-population
+    /// path, bypassing the network).
     pub fn insert_raw(&self, key: Vec<u8>, value: IoBuf) {
+        self.map.insert(key, Chain::single(value));
+    }
+
+    /// Inserts a value as a descriptor chain — the zero-copy path used
+    /// by the SET handler (the chain's segments are sub-views of the
+    /// receive buffers).
+    pub fn insert_chain(&self, key: Vec<u8>, value: Chain<IoBuf>) {
         self.map.insert(key, value);
     }
 
-    /// Lock-free lookup (read-side critical section required).
-    pub fn get_raw(&self, key: &[u8]) -> Option<IoBuf> {
+    /// Lock-free lookup (read-side critical section required). The
+    /// returned chain shares storage with the stored value.
+    pub fn get_raw(&self, key: &[u8]) -> Option<Chain<IoBuf>> {
         self.map.get(key, |v| v.clone())
     }
+}
+
+/// Appends a body-less response header (plus `extra_zeroed` trailing
+/// bytes — the GET-hit flags field) to `out` as one pooled segment.
+fn push_header(out: &mut Chain<IoBuf>, h: &Header, extra_zeroed: usize) {
+    let mut rbuf = MutIoBuf::with_capacity(Header::SIZE + extra_zeroed);
+    h.encode_into(rbuf.append(Header::SIZE));
+    if extra_zeroed > 0 {
+        rbuf.append(extra_zeroed).fill(0);
+    }
+    out.push_back(rbuf.freeze());
 }
 
 /// Virtual CPU cost of parsing + hashing + store access per request
@@ -179,50 +253,91 @@ impl Store {
 /// kernel/stack costs which the profiles charge separately).
 pub const APP_BASE_NS: u64 = 500;
 
-/// Per-connection server state: stream reassembly across TCP segments.
+/// Per-connection server state: the not-yet-parsed tail of the request
+/// stream, held as a zero-copy chain of receive-buffer views.
 pub struct ServerConn {
     store: Arc<Store>,
-    /// Bytes not yet forming a complete request.
-    buf: RefCell<Vec<u8>>,
+    /// Bytes not yet forming a complete request (descriptor chain over
+    /// the driver buffers; nothing is copied into it).
+    pending: RefCell<Chain<IoBuf>>,
 }
 
 impl ServerConn {
-    fn process(&self, conn: &TcpConn, data: Chain<IoBuf>) {
-        let mut buf = self.buf.borrow_mut();
-        buf.extend(data.copy_to_vec());
-        let mut responses: Vec<u8> = Vec::new();
-        loop {
-            if buf.len() < Header::SIZE {
-                break;
-            }
-            let mut hdr_bytes = [0u8; Header::SIZE];
-            hdr_bytes.copy_from_slice(&buf[..Header::SIZE]);
-            let h = Header::decode(&hdr_bytes);
-            let total = Header::SIZE + h.total_body as usize;
-            if buf.len() < total {
-                break;
-            }
-            let body: Vec<u8> = buf.drain(..total).skip(Header::SIZE).collect();
-            self.handle_request(&h, &body, &mut responses);
-        }
-        drop(buf);
-        if !responses.is_empty() {
-            // The reply is sent synchronously from the same event that
-            // received the request — it carries the ACK too.
-            let chain = Chain::single(MutIoBuf::from_vec(responses).freeze());
-            let _ = conn.send(chain);
+    /// Creates a handler serving `store` (exposed for direct-drive
+    /// tests and benches; the listener path goes through
+    /// [`start_server`]).
+    pub fn new(store: Arc<Store>) -> ServerConn {
+        ServerConn {
+            store,
+            pending: RefCell::new(Chain::new()),
         }
     }
 
-    fn handle_request(&self, h: &Header, body: &[u8], out: &mut Vec<u8>) {
+    /// Bytes buffered awaiting a complete request (diagnostic).
+    pub fn pending_len(&self) -> usize {
+        self.pending.borrow().len()
+    }
+
+    fn process(&self, conn: &TcpConn, data: Chain<IoBuf>) {
+        let mut pending = self.pending.borrow_mut();
+        pending.append_chain(data);
+        pending.compact_if_amplified(PENDING_COMPACT_SEGS, SET_COMPACT_FACTOR);
+        // Batch every response of this event-loop pass into one chain:
+        // a pipelined burst of requests pays the send path once.
+        let mut responses: Chain<IoBuf> = Chain::new();
+        loop {
+            if pending.len() < Header::SIZE {
+                break;
+            }
+            let mut hdr_bytes = [0u8; Header::SIZE];
+            pending
+                .cursor()
+                .read_exact(&mut hdr_bytes)
+                .expect("length checked");
+            let h = Header::decode(&hdr_bytes);
+            let total = Header::SIZE + h.total_body as usize;
+            if pending.len() < total {
+                break;
+            }
+            pending.advance(Header::SIZE);
+            let body = pending.split_to(h.total_body as usize);
+            self.handle_request(&h, body, &mut responses);
+        }
+        drop(pending);
+        if !responses.is_empty() {
+            // The reply is sent synchronously from the same event that
+            // received the request — it carries the ACK too.
+            let _ = conn.send(responses);
+        }
+    }
+
+    /// Handles one request whose `body` was carved zero-copy out of the
+    /// receive chain; responses are appended to `out`.
+    fn handle_request(&self, h: &Header, body: Chain<IoBuf>, out: &mut Chain<IoBuf>) {
         use std::sync::atomic::Ordering;
         charge(APP_BASE_NS + (body.len() as u64) / 16);
         let extras = h.extras_len as usize;
-        let key_end = extras + h.key_len as usize;
-        if h.magic != MAGIC_REQUEST || body.len() < key_end {
+        let key_len = h.key_len as usize;
+        if h.magic != MAGIC_REQUEST || body.len() < extras + key_len {
             return;
         }
-        let key = &body[extras..key_end];
+        // The key is read into stack scratch for hashing — parsing, not
+        // payload movement. Oversized keys (protocol violation) fall
+        // back to a heap read; they still get a response.
+        let mut key_buf = [0u8; MAX_KEY_LEN];
+        let key_heap;
+        let key: &[u8] = {
+            let mut cur = body.cursor();
+            cur.skip(extras).expect("length checked");
+            if key_len <= MAX_KEY_LEN {
+                cur.read_exact(&mut key_buf[..key_len])
+                    .expect("length checked");
+                &key_buf[..key_len]
+            } else {
+                key_heap = cur.read_vec(key_len).expect("length checked");
+                &key_heap
+            }
+        };
         match h.opcode {
             OP_GET => {
                 self.store.gets.fetch_add(1, Ordering::Relaxed);
@@ -239,9 +354,11 @@ impl ServerConn {
                             total_body: 4 + v.len() as u32,
                             opaque: h.opaque,
                         };
-                        out.extend_from_slice(&rh.encode());
-                        out.extend_from_slice(&[0u8; 4]); // flags
-                        out.extend_from_slice(v.bytes());
+                        // Pooled header segment (incl. 4 flags bytes),
+                        // then the stored value's descriptors — value
+                        // bytes never move.
+                        push_header(out, &rh, 4);
+                        out.append_chain(v);
                     }
                     None => {
                         self.store.misses.fetch_add(1, Ordering::Relaxed);
@@ -254,14 +371,24 @@ impl ServerConn {
                             total_body: 0,
                             opaque: h.opaque,
                         };
-                        out.extend_from_slice(&rh.encode());
+                        push_header(out, &rh, 0);
                     }
                 }
             }
             OP_SET => {
                 self.store.sets.fetch_add(1, Ordering::Relaxed);
-                let value = IoBuf::copy_from(&body[key_end..]);
-                self.store.map.insert(key.to_vec(), value);
+                // The value is the rest of the body: store the chain
+                // itself (sub-views of the receive buffers; zero-copy).
+                let mut value = body;
+                value.advance(extras + key_len);
+                // …unless the value is small relative to the regions it
+                // would pin — then compact into an exact-size buffer so
+                // stored keys can't starve the receive-buffer pool.
+                let mut value = value;
+                if value.len() * SET_COMPACT_FACTOR < value.pinned_bytes() {
+                    value.compact();
+                }
+                self.store.insert_chain(key.to_vec(), value);
                 let rh = Header {
                     magic: MAGIC_RESPONSE,
                     opcode: OP_SET,
@@ -271,7 +398,7 @@ impl ServerConn {
                     total_body: 0,
                     opaque: h.opaque,
                 };
-                out.extend_from_slice(&rh.encode());
+                push_header(out, &rh, 0);
             }
             _ => {}
         }
@@ -289,10 +416,7 @@ impl ConnHandler for ServerConn {
 pub fn start_server(netif: &Rc<NetIf>, store: &Arc<Store>) {
     let store = Arc::clone(store);
     netif.listen(MEMCACHED_PORT, move |_conn| {
-        Rc::new(ServerConn {
-            store: Arc::clone(&store),
-            buf: RefCell::new(Vec::new()),
-        }) as Rc<dyn ConnHandler>
+        Rc::new(ServerConn::new(Arc::clone(&store))) as Rc<dyn ConnHandler>
     });
 }
 
@@ -301,6 +425,7 @@ mod tests {
     use super::*;
     use crate::spawn_with;
     use ebbrt_core::cpu::CoreId;
+    use ebbrt_core::iobuf::Buf;
     use ebbrt_net::types::Ipv4Addr;
     use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
 
@@ -316,6 +441,29 @@ mod tests {
             opaque: 0xdeadbeef,
         };
         assert_eq!(Header::decode(&h.encode()), h);
+    }
+
+    #[test]
+    fn encode_helpers_build_exact_frames() {
+        let get = encode_get(b"key", 7);
+        assert_eq!(get.len(), Header::SIZE + 3);
+        let mut hdr = [0u8; Header::SIZE];
+        hdr.copy_from_slice(&get[..Header::SIZE]);
+        let h = Header::decode(&hdr);
+        assert_eq!(h.opcode, OP_GET);
+        assert_eq!(h.key_len, 3);
+        assert_eq!(h.total_body, 3);
+        assert_eq!(&get[Header::SIZE..], b"key");
+
+        let set = encode_set(b"key", b"value", 9);
+        assert_eq!(set.len(), Header::SIZE + 8 + 3 + 5);
+        hdr.copy_from_slice(&set[..Header::SIZE]);
+        let h = Header::decode(&hdr);
+        assert_eq!(h.opcode, OP_SET);
+        assert_eq!(h.extras_len, 8);
+        assert_eq!(h.total_body, 16);
+        assert_eq!(&set[Header::SIZE + 8..Header::SIZE + 11], b"key");
+        assert_eq!(&set[Header::SIZE + 11..], b"value");
     }
 
     /// A test client that sends raw bytes and collects responses.
@@ -383,6 +531,14 @@ mod tests {
         assert_eq!(store.len(), 1);
         assert_eq!(store.gets.load(std::sync::atomic::Ordering::Relaxed), 1);
         assert_eq!(store.sets.load(std::sync::atomic::Ordering::Relaxed), 1);
+        // A value this small is compacted on store (an exact-size
+        // region) rather than pinning the whole receive buffer.
+        let stored = store.get_raw(b"hello_key").expect("stored");
+        assert_eq!(stored.copy_to_vec(), b"world_value");
+        assert!(stored
+            .segments()
+            .iter()
+            .all(|s| s.region_len() == stored.len()));
     }
 
     #[test]
@@ -422,10 +578,7 @@ mod tests {
         // Drive the ServerConn directly with fragmented input.
         let domain = std::sync::Arc::new(ebbrt_core::rcu::RcuDomain::new(1));
         let store = Store::new(domain);
-        let sc = ServerConn {
-            store: Arc::clone(&store),
-            buf: RefCell::new(Vec::new()),
-        };
+        let sc = ServerConn::new(Arc::clone(&store));
         let req = encode_set(b"k", b"v", 7);
         let conn = TcpConn::dangling();
         // Feeding partial bytes must not panic nor produce output; the
@@ -434,10 +587,92 @@ mod tests {
         let _g = ebbrt_core::cpu::bind(CoreId(0));
         let part = Chain::single(IoBuf::copy_from(&req[..10]));
         sc.process(&conn, part);
-        assert_eq!(sc.buf.borrow().len(), 10);
+        assert_eq!(sc.pending_len(), 10);
         assert_eq!(store.sets.load(std::sync::atomic::Ordering::Relaxed), 0);
         let _rest = &req[10..];
         // (Completing the request needs a live conn; covered by the
         // network roundtrip tests above.)
+    }
+
+    fn drive_set(value: &[u8], chunk: usize) -> (Arc<Store>, u64) {
+        let domain = std::sync::Arc::new(ebbrt_core::rcu::RcuDomain::new(1));
+        let _guard = domain.read_guard(CoreId(0));
+        let store = Store::new(std::sync::Arc::clone(&domain));
+        let sc = ServerConn::new(Arc::clone(&store));
+        let _g = ebbrt_core::cpu::bind(CoreId(0));
+        let req = encode_set(b"spanning", value, 3);
+        let before = ebbrt_core::iobuf::stats::bytes_copied();
+        let mut chain = Chain::new();
+        for part in req.chunks(chunk) {
+            // Build segments without the counted copy_from helper.
+            let mut b = MutIoBuf::with_capacity(part.len());
+            b.append(part.len()).copy_from_slice(part);
+            chain.push_back(b.freeze());
+        }
+        // The dangling conn panics on send — *after* parsing and the
+        // store insert complete; catch it to observe the store.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sc.process(&TcpConn::dangling(), chain);
+        }));
+        assert!(result.is_err(), "dangling conn send should panic");
+        let copied = ebbrt_core::iobuf::stats::bytes_copied() - before;
+        (store, copied)
+    }
+
+    #[test]
+    fn large_set_value_spanning_segments_is_stored_zero_copy() {
+        // A 4 KiB value in 1 KiB receive segments: big enough relative
+        // to its pinned regions to stay as zero-copy sub-views.
+        let (store, copied) = drive_set(&[0xEE; 4096], 1024);
+        assert_eq!(copied, 0, "large values must be stored without copying");
+        let v = store.get_raw(b"spanning").expect("value stored");
+        assert_eq!(v.len(), 4096);
+        assert!(v.segment_count() > 1, "value should span receive segments");
+        assert!(v
+            .segments()
+            .iter()
+            .all(|s| s.bytes().iter().all(|&b| b == 0xEE)));
+    }
+
+    #[test]
+    fn small_set_value_is_compacted_to_release_receive_buffers() {
+        // A 10-byte value arriving in a pooled 2 KiB region would pin
+        // ~200x its size; the store must compact it instead.
+        let (store, copied) = drive_set(&[0x44; 10], 4096);
+        assert_eq!(copied, 10, "compaction copies exactly the value bytes");
+        let v = store.get_raw(b"spanning").expect("value stored");
+        assert_eq!(v.copy_to_vec(), [0x44; 10]);
+        assert!(
+            v.segments().iter().all(|s| s.region_len() == 10),
+            "stored region must be exact-size, not a pinned receive buffer"
+        );
+    }
+
+    #[test]
+    fn oversized_key_still_gets_a_response() {
+        // 300-byte key: beyond the protocol limit, but the request must
+        // not be silently dropped — a closed-loop client would hang.
+        let domain = std::sync::Arc::new(ebbrt_core::rcu::RcuDomain::new(1));
+        let _guard = domain.read_guard(CoreId(0));
+        let store = Store::new(std::sync::Arc::clone(&domain));
+        let sc = ServerConn::new(Arc::clone(&store));
+        let _g = ebbrt_core::cpu::bind(CoreId(0));
+        let key = vec![b'k'; 300];
+        let mut stream = encode_set(&key, b"big-key-value", 1);
+        stream.extend(encode_get(&key, 2));
+        let chain = Chain::single(IoBuf::copy_from(&stream));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sc.process(&TcpConn::dangling(), chain);
+        }));
+        // The dangling conn panicking on send proves responses were
+        // produced; the store must hold the key.
+        assert!(result.is_err(), "responses must be sent for oversized keys");
+        use std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(store.sets.load(Relaxed), 1);
+        assert_eq!(store.gets.load(Relaxed), 1);
+        assert_eq!(
+            store.get_raw(&key).expect("stored").copy_to_vec(),
+            b"big-key-value"
+        );
     }
 }

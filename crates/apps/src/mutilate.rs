@@ -262,7 +262,11 @@ pub fn run(config: &ExperimentConfig) -> Sample {
         let keys2 = Rc::clone(&keys);
         let cfg = config.clone();
         spawn_with(&client, core, cc, move |cc| {
-            let conn = c_if2.connect(server_ip, MEMCACHED_PORT, Rc::clone(&cc) as Rc<dyn ConnHandler>);
+            let conn = c_if2.connect(
+                server_ip,
+                MEMCACHED_PORT,
+                Rc::clone(&cc) as Rc<dyn ConnHandler>,
+            );
             *cc.conn.borrow_mut() = Some(conn);
             // Start this connection's arrival process.
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((i as u64 + 1) * 0x9e37));
@@ -312,6 +316,7 @@ fn store_insert(store: &Arc<Store>, key: Vec<u8>, vlen: usize) {
 
 /// Schedules this connection's next request arrival (exponential gap),
 /// recursively rescheduling itself.
+#[allow(clippy::only_used_in_recursion)]
 fn schedule_arrival(
     cc: &Rc<ClientConn>,
     keys: &Rc<Vec<Vec<u8>>>,

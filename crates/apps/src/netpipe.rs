@@ -46,23 +46,40 @@ struct PipeEnd {
     /// Completed round trips (client side).
     rounds: Cell<u32>,
     target_rounds: u32,
+    /// Rounds before measurement starts (steady-state mode; 0 = off).
+    warmup_rounds: u32,
     is_client: bool,
     started_at: Cell<Ns>,
     finished_at: Cell<Ns>,
+    /// IOBuf counters at the end of warmup (steady-state mode).
+    steady_stats: Cell<Option<iobuf_stats::Snapshot>>,
     payload: RefCell<Option<IoBuf>>,
 }
 
+use ebbrt_core::iobuf::stats as iobuf_stats;
+
 impl PipeEnd {
     fn new(message_bytes: usize, target_rounds: u32, is_client: bool) -> Rc<PipeEnd> {
+        Self::with_warmup(message_bytes, target_rounds, 0, is_client)
+    }
+
+    fn with_warmup(
+        message_bytes: usize,
+        target_rounds: u32,
+        warmup_rounds: u32,
+        is_client: bool,
+    ) -> Rc<PipeEnd> {
         Rc::new(PipeEnd {
             message_bytes,
             received: Cell::new(0),
             to_send: Cell::new(0),
             rounds: Cell::new(0),
             target_rounds,
+            warmup_rounds,
             is_client,
             started_at: Cell::new(0),
             finished_at: Cell::new(0),
+            steady_stats: Cell::new(None),
             payload: RefCell::new(Some(IoBuf::copy_from(&vec![0xAB; message_bytes]))),
         })
     }
@@ -91,6 +108,12 @@ impl PipeEnd {
         if self.is_client {
             let r = self.rounds.get() + 1;
             self.rounds.set(r);
+            if self.warmup_rounds > 0 && r == self.warmup_rounds {
+                // Warmup done: the pool is hot; measurement starts here.
+                self.started_at
+                    .set(ebbrt_core::runtime::with_current(|rt| rt.now_ns()));
+                self.steady_stats.set(Some(iobuf_stats::snapshot()));
+            }
             if r >= self.target_rounds {
                 self.finished_at
                     .set(ebbrt_core::runtime::with_current(|rt| rt.now_ns()));
@@ -129,9 +152,24 @@ impl ConnHandler for PipeEnd {
     }
 }
 
-/// Runs one NetPIPE point: `rounds` ping-pongs of `message_bytes`, both
-/// ends on `profile`. Returns one-way latency and goodput.
-pub fn run(profile: &CostProfile, message_bytes: usize, rounds: u32) -> PipeSample {
+/// The assembled two-machine ping-pong world (shared by [`run`] and
+/// [`run_steady`]); the switch is held so the wire stays up.
+struct PipeWorld {
+    world: Rc<SimWorld>,
+    _switch: Rc<Switch>,
+    server: Rc<SimMachine>,
+    client: Rc<SimMachine>,
+    client_end: Rc<PipeEnd>,
+}
+
+/// Builds the two-machine world, starts the listener, and spawns the
+/// client connect; the caller drives the world and reads `client_end`.
+fn setup_pipe(
+    profile: &CostProfile,
+    message_bytes: usize,
+    target_rounds: u32,
+    warmup_rounds: u32,
+) -> PipeWorld {
     let w = SimWorld::new();
     let sw = Switch::new(&w);
     let server = SimMachine::create(&w, "np-server", 1, profile.clone(), [0xAA, 0, 0, 0, 0, 2]);
@@ -142,14 +180,11 @@ pub fn run(profile: &CostProfile, message_bytes: usize, rounds: u32) -> PipeSamp
     let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 1, 1), mask);
     let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 1, 2), mask);
     w.run_to_idle();
-    server.start_scheduler_ticks(&w);
-    client.start_scheduler_ticks(&w);
 
     s_if.listen(NETPIPE_PORT, move |_conn| {
         PipeEnd::new(message_bytes, 0, false) as Rc<dyn ConnHandler>
     });
-
-    let client_end = PipeEnd::new(message_bytes, rounds, true);
+    let client_end = PipeEnd::with_warmup(message_bytes, target_rounds, warmup_rounds, true);
     let ce = Rc::clone(&client_end);
     spawn_with(&client, CoreId(0), c_if, move |c_if| {
         c_if.connect(
@@ -158,11 +193,27 @@ pub fn run(profile: &CostProfile, message_bytes: usize, rounds: u32) -> PipeSamp
             ce as Rc<dyn ConnHandler>,
         );
     });
-    // Bound the run: generous virtual-time budget, then stop ticks.
-    w.run_until(60_000_000_000);
-    server.stop_scheduler_ticks();
-    client.stop_scheduler_ticks();
+    PipeWorld {
+        world: w,
+        _switch: sw,
+        server,
+        client,
+        client_end,
+    }
+}
 
+/// Runs one NetPIPE point: `rounds` ping-pongs of `message_bytes`, both
+/// ends on `profile`. Returns one-way latency and goodput.
+pub fn run(profile: &CostProfile, message_bytes: usize, rounds: u32) -> PipeSample {
+    let pipe = setup_pipe(profile, message_bytes, rounds, 0);
+    pipe.server.start_scheduler_ticks(&pipe.world);
+    pipe.client.start_scheduler_ticks(&pipe.world);
+    // Bound the run: generous virtual-time budget, then stop ticks.
+    pipe.world.run_until(60_000_000_000);
+    pipe.server.stop_scheduler_ticks();
+    pipe.client.stop_scheduler_ticks();
+
+    let client_end = &pipe.client_end;
     let start = client_end.started_at.get();
     let finish = client_end.finished_at.get();
     assert!(
@@ -183,9 +234,94 @@ pub fn run(profile: &CostProfile, message_bytes: usize, rounds: u32) -> PipeSamp
     }
 }
 
+/// Result of a steady-state (pool-hot) throughput run.
+#[derive(Clone, Copy, Debug)]
+pub struct SteadySample {
+    /// Message size in bytes.
+    pub message_bytes: usize,
+    /// Goodput over the measured (post-warmup) rounds, Mbps.
+    pub goodput_mbps: f64,
+    /// Payload bytes copied during the measured rounds (zero-copy
+    /// pipeline ⇒ 0).
+    pub bytes_copied: u64,
+    /// Fresh buffer allocations during the measured rounds (pool-hot
+    /// steady state ⇒ 0).
+    pub bufs_allocated: u64,
+    /// Buffer requests served from the per-core pools during the
+    /// measured rounds.
+    pub pool_hits: u64,
+}
+
+/// The steady-state pooled-throughput mode: runs `warmup_rounds`
+/// ping-pongs to heat the per-core buffer pools, then measures
+/// `rounds` more, reporting goodput *and* the IOBuf counter deltas so
+/// callers can verify the zero-copy/zero-alloc property of the hot
+/// path rather than assume it.
+///
+/// At least one warmup and one measured round always run: zeros are
+/// clamped up (a zero-warmup "steady state" would measure connection
+/// setup, and zero measured rounds would have no sample to report).
+pub fn run_steady(
+    profile: &CostProfile,
+    message_bytes: usize,
+    warmup_rounds: u32,
+    rounds: u32,
+) -> SteadySample {
+    let warmup_rounds = warmup_rounds.max(1);
+    let rounds = rounds.max(1);
+    let pipe = setup_pipe(
+        profile,
+        message_bytes,
+        warmup_rounds + rounds,
+        warmup_rounds,
+    );
+    // Same tick regime as [`run`], so steady samples are comparable
+    // across profiles that model scheduler ticks.
+    pipe.server.start_scheduler_ticks(&pipe.world);
+    pipe.client.start_scheduler_ticks(&pipe.world);
+    pipe.world.run_until(120_000_000_000);
+    pipe.server.stop_scheduler_ticks();
+    pipe.client.stop_scheduler_ticks();
+
+    let client_end = &pipe.client_end;
+    let start = client_end.started_at.get();
+    let finish = client_end.finished_at.get();
+    assert!(
+        finish > start && client_end.rounds.get() >= warmup_rounds + rounds,
+        "steady NetPIPE did not complete: {} rounds of {} bytes",
+        client_end.rounds.get(),
+        message_bytes
+    );
+    let baseline = client_end
+        .steady_stats
+        .get()
+        .expect("warmup snapshot taken");
+    let delta = iobuf_stats::snapshot().since(&baseline);
+    let rtt = (finish - start) as f64 / rounds as f64;
+    SteadySample {
+        message_bytes,
+        goodput_mbps: (message_bytes as f64 * 8.0) / (rtt / 2.0) * 1000.0,
+        bytes_copied: delta.bytes_copied,
+        bufs_allocated: delta.bufs_allocated,
+        pool_hits: delta.pool_hits,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn steady_state_is_zero_copy_and_pool_hot() {
+        let s = run_steady(&CostProfile::ebbrt_vm(), 16 * 1024, 8, 8);
+        assert_eq!(s.bytes_copied, 0, "steady state must copy no payload bytes");
+        assert_eq!(
+            s.bufs_allocated, 0,
+            "steady state must allocate no fresh buffers"
+        );
+        assert!(s.pool_hits > 0, "the pool must be serving the hot path");
+        assert!(s.goodput_mbps > 0.0);
+    }
 
     #[test]
     fn small_message_latency_orders_correctly() {

@@ -17,7 +17,7 @@ use std::rc::Rc;
 
 use ebbrt_core::clock::Ns;
 use ebbrt_core::cpu::CoreId;
-use ebbrt_core::iobuf::{Chain, IoBuf, MutIoBuf};
+use ebbrt_core::iobuf::{Buf, Chain, IoBuf, MutIoBuf};
 use ebbrt_net::netif::{ConnHandler, NetIf, TcpConn};
 use ebbrt_net::types::Ipv4Addr;
 use ebbrt_sim::world::charge;
@@ -67,31 +67,57 @@ pub const GC_PAUSE_NS: u64 = 35_000;
 pub const GC_FAULT_EXTRA_NS: u64 = 55_000;
 
 struct HttpServerConn {
-    buf: RefCell<Vec<u8>>,
-    response: Rc<Vec<u8>>,
+    /// The not-yet-terminated tail of the request stream, held as a
+    /// zero-copy chain of receive-buffer views.
+    pending: RefCell<Chain<IoBuf>>,
+    /// The frozen static response; every reply is a descriptor clone of
+    /// this one region (zero-copy, zero-alloc).
+    response: IoBuf,
     /// Process-wide request counter driving the GC-pause model.
     requests: Rc<Cell<u64>>,
     /// Whether the environment demand-pages (pays refaults at GC).
     demand_paging: bool,
 }
 
+/// Backlog fragmentation gate (same policy as memcached's): a peer
+/// trickling a request a few bytes per packet must not pin one receive
+/// region per packet.
+const PENDING_COMPACT_SEGS: usize = 64;
+const PENDING_COMPACT_FACTOR: usize = 4;
+
 impl ConnHandler for HttpServerConn {
     fn on_receive(&self, conn: &TcpConn, data: Chain<IoBuf>) {
-        let mut buf = self.buf.borrow_mut();
-        buf.extend(data.copy_to_vec());
+        let mut pending = self.pending.borrow_mut();
+        pending.append_chain(data);
+        pending.compact_if_amplified(PENDING_COMPACT_SEGS, PENDING_COMPACT_FACTOR);
+        // One request per "\r\n\r\n" terminator, scanned in place at
+        // slice speed; the 4-state matcher carries across segment
+        // boundaries (no reassembly copy).
         let mut responses = 0usize;
-        // One request per "\r\n\r\n" terminator.
-        loop {
-            let pos = buf.windows(4).position(|w| w == b"\r\n\r\n");
-            match pos {
-                Some(p) => {
-                    buf.drain(..p + 4);
-                    responses += 1;
+        let mut consumed = 0usize;
+        {
+            let mut matched = 0u8;
+            let mut offset = 0usize;
+            for seg in pending.segments() {
+                for &b in seg.bytes() {
+                    offset += 1;
+                    matched = match (matched, b) {
+                        (0, b'\r') => 1,
+                        (1, b'\n') => 2,
+                        (2, b'\r') => 3,
+                        (3, b'\n') => {
+                            responses += 1;
+                            consumed = offset;
+                            0
+                        }
+                        (_, b'\r') => 1,
+                        _ => 0,
+                    };
                 }
-                None => break,
             }
         }
-        drop(buf);
+        pending.advance(consumed);
+        drop(pending);
         if responses > 0 {
             charge(JS_HANDLER_NS * responses as u64);
             // The V8 scavenger model: every GC_EVERY-th request pays the
@@ -99,18 +125,20 @@ impl ConnHandler for HttpServerConn {
             for _ in 0..responses {
                 let n = self.requests.get() + 1;
                 self.requests.set(n);
-                if n % GC_EVERY == 0 {
+                if n.is_multiple_of(GC_EVERY) {
                     charge(GC_PAUSE_NS);
                     if self.demand_paging {
                         charge(GC_FAULT_EXTRA_NS);
                     }
                 }
             }
-            let mut out = Vec::with_capacity(responses * self.response.len());
+            // Batch the pass's replies into one chain of descriptor
+            // clones — the response bytes are shared, never copied.
+            let mut out = Chain::new();
             for _ in 0..responses {
-                out.extend_from_slice(&self.response);
+                out.push_back(self.response.clone());
             }
-            let _ = conn.send(Chain::single(MutIoBuf::from_vec(out).freeze()));
+            let _ = conn.send(out);
         }
     }
 }
@@ -119,12 +147,12 @@ impl ConnHandler for HttpServerConn {
 /// Linux-style GC/refault behaviour (derived from the machine profile
 /// by [`run`]).
 pub fn start_server(netif: &Rc<NetIf>, demand_paging: bool) {
-    let response = Rc::new(static_response());
+    let response = MutIoBuf::from_vec(static_response()).freeze();
     let requests = Rc::new(Cell::new(0u64));
     netif.listen(HTTP_PORT, move |_conn| {
         Rc::new(HttpServerConn {
-            buf: RefCell::new(Vec::new()),
-            response: Rc::clone(&response),
+            pending: RefCell::new(Chain::new()),
+            response: response.clone(),
             requests: Rc::clone(&requests),
             demand_paging,
         }) as Rc<dyn ConnHandler>
@@ -140,6 +168,8 @@ struct WrkConn {
     think_ns: Ns,
     measuring: Rc<Cell<bool>>,
     completed: Rc<Cell<u64>>,
+    /// The GET request, frozen once; each send clones the descriptor.
+    request: IoBuf,
 }
 
 const REQUEST: &[u8] = b"GET / HTTP/1.1\r\nHost: sim\r\n\r\n";
@@ -148,7 +178,7 @@ impl WrkConn {
     fn fire(&self, conn: &TcpConn) {
         self.sent_at
             .set(ebbrt_core::runtime::with_current(|rt| rt.now_ns()));
-        let _ = conn.send(Chain::single(IoBuf::copy_from(REQUEST)));
+        let _ = conn.send(Chain::single(self.request.clone()));
     }
 }
 
@@ -180,13 +210,14 @@ impl ConnHandler for WrkConn {
             // The timer continuation shares `sent_at` with this handler,
             // so the latency of the next response is measured correctly.
             let sent_at = Rc::clone(&self.sent_at);
-            let cell = crate::SendCell((conn, sent_at));
+            let request = self.request.clone();
+            let cell = crate::SendCell((conn, sent_at, request));
             ebbrt_core::runtime::with_current(|rt| {
                 rt.local_event_manager().set_timer(self.think_ns, move || {
                     let cell = cell;
-                    let (conn, sent_at) = cell.0;
+                    let (conn, sent_at, request) = cell.0;
                     sent_at.set(ebbrt_core::runtime::with_current(|rt| rt.now_ns()));
-                    let _ = conn.send(Chain::single(IoBuf::copy_from(REQUEST)));
+                    let _ = conn.send(Chain::single(request));
                 });
             });
         }
@@ -222,6 +253,7 @@ pub fn run(profile: &CostProfile, connections: usize, think_ns: Ns) -> Webserver
     server.start_scheduler_ticks(&w);
 
     let measuring = Rc::new(Cell::new(false));
+    let request = IoBuf::copy_from(REQUEST);
     let conns: Vec<Rc<WrkConn>> = (0..connections)
         .map(|_| {
             Rc::new(WrkConn {
@@ -231,6 +263,7 @@ pub fn run(profile: &CostProfile, connections: usize, think_ns: Ns) -> Webserver
                 think_ns,
                 measuring: Rc::clone(&measuring),
                 completed: Rc::new(Cell::new(0)),
+                request: request.clone(),
             })
         })
         .collect();
@@ -239,7 +272,11 @@ pub fn run(profile: &CostProfile, connections: usize, think_ns: Ns) -> Webserver
         let c_if2 = Rc::clone(&c_if);
         let wc2 = Rc::clone(wc);
         spawn_with(&client, core, wc2, move |wc| {
-            c_if2.connect(Ipv4Addr::new(10, 0, 2, 1), HTTP_PORT, wc as Rc<dyn ConnHandler>);
+            c_if2.connect(
+                Ipv4Addr::new(10, 0, 2, 1),
+                HTTP_PORT,
+                wc as Rc<dyn ConnHandler>,
+            );
         });
     }
     let warmup: Ns = 50_000_000;

@@ -103,5 +103,11 @@ fn bench_events(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_iobuf, bench_rcu_map, bench_futures, bench_events);
+criterion_group!(
+    benches,
+    bench_iobuf,
+    bench_rcu_map,
+    bench_futures,
+    bench_events
+);
 criterion_main!(benches);

@@ -44,7 +44,13 @@ fn core_loop(m: &dyn MallocLike, barrier: &SpinBarrier) -> f64 {
 fn run_ebbrt(ncores: usize) -> f64 {
     NativeMachine::run(ncores, move || {
         let rt = runtime::current();
-        let gp = gp::setup(Topology { ncores, nnodes: 2.min(ncores) }, 14);
+        let gp = gp::setup(
+            Topology {
+                ncores,
+                nnodes: 2.min(ncores),
+            },
+            14,
+        );
         let barrier = Arc::new(SpinBarrier::new(ncores));
         let futures: Vec<_> = (0..ncores)
             .map(|i| {
@@ -106,5 +112,7 @@ fn main() {
     )
     .expect("write csv");
     println!("wrote {}", path.display());
-    println!("paper shape: EbbRT flat; jemalloc flat but ~42% slower; glibc 3.8x EbbRT at 24 cores");
+    println!(
+        "paper shape: EbbRT flat; jemalloc flat but ~42% slower; glibc 3.8x EbbRT at 24 cores"
+    );
 }

@@ -8,7 +8,10 @@ use ebbrt_apps::jsrt;
 fn main() {
     let scores = jsrt::run_suite(0xEBB7);
     println!("Figure 7: V8 suite normalized scores (EbbRT / Linux; >1.0 = EbbRT faster)");
-    println!("{:<14} {:>12} {:>12} {:>12}", "benchmark", "ebbrt_ms", "linux_ms", "normalized");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "benchmark", "ebbrt_ms", "linux_ms", "normalized"
+    );
     let mut rows = Vec::new();
     for s in &scores {
         println!(

@@ -1,0 +1,135 @@
+//! Minimal API-compatible stand-in for the `criterion` crate.
+//!
+//! Offers the macro + builder surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter`, `black_box`) with a simple
+//! adaptive timing loop instead of criterion's statistical machinery:
+//! each benchmark is warmed up, run in doubling batches until it
+//! accumulates enough wall time, and reported as mean ns/iteration.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum measured wall time per benchmark before reporting.
+const TARGET: Duration = Duration::from_millis(30);
+
+/// Iteration cap, so pathologically slow bodies still terminate.
+const MAX_ITERS: u64 = 10_000_000;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            group: name.to_string(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.group, name), &mut f);
+        self
+    }
+
+    /// Ends the group (output already flushed per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; drives the timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body`, running it `self.iters` times.
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(name: &str, f: &mut impl FnMut(&mut Bencher)) {
+    // Warmup pass.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    // Doubling batches until enough wall time accumulates.
+    let mut iters: u64 = 1;
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    while total < TARGET && total_iters < MAX_ITERS {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters;
+        iters = iters.saturating_mul(2);
+    }
+    let ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("bench {name:<48} {ns:>12.1} ns/iter ({total_iters} iters)");
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+    }
+}

@@ -1,0 +1,212 @@
+//! Minimal API-compatible stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces this workspace uses: `queue::SegQueue` (an
+//! unbounded MPMC queue) and `sync::Parker`/`Unparker` (thread
+//! parking). The implementations favour simplicity over the real
+//! crate's lock-freedom — a mutexed deque and a condvar — which is
+//! plenty for the event-manager wakeup paths they serve here.
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC FIFO queue (mutexed stand-in for crossbeam's
+    /// segmented lock-free queue).
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub const fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes onto the back.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push_back(value);
+        }
+
+        /// Pops from the front.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pop_front()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .is_empty()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len()
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+}
+
+/// Thread synchronization utilities.
+pub mod sync {
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::Duration;
+
+    struct ParkState {
+        /// A token is deposited by `unpark` and consumed by `park`.
+        token: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    /// Parks the owning thread until an [`Unparker`] wakes it.
+    pub struct Parker {
+        state: Arc<ParkState>,
+        unparker: Unparker,
+    }
+
+    /// Wakes the matching [`Parker`]'s thread.
+    #[derive(Clone)]
+    pub struct Unparker {
+        state: Arc<ParkState>,
+    }
+
+    impl Parker {
+        /// Creates a parker/unparker pair.
+        pub fn new() -> Self {
+            let state = Arc::new(ParkState {
+                token: Mutex::new(false),
+                cv: Condvar::new(),
+            });
+            Parker {
+                unparker: Unparker {
+                    state: Arc::clone(&state),
+                },
+                state,
+            }
+        }
+
+        /// The paired unparker.
+        pub fn unparker(&self) -> &Unparker {
+            &self.unparker
+        }
+
+        /// Blocks until a token is available (tokens do not accumulate:
+        /// one park consumes at most one unpark).
+        pub fn park(&self) {
+            let mut token = self
+                .state
+                .token
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            while !*token {
+                token = self
+                    .state
+                    .cv
+                    .wait(token)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            *token = false;
+        }
+
+        /// Blocks until a token is available or `timeout` elapses.
+        pub fn park_timeout(&self, timeout: Duration) {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut token = self
+                .state
+                .token
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            while !*token {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return;
+                }
+                let (t, _) = self
+                    .state
+                    .cv
+                    .wait_timeout(token, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                token = t;
+            }
+            *token = false;
+        }
+    }
+
+    impl Default for Parker {
+        fn default() -> Self {
+            Parker::new()
+        }
+    }
+
+    impl Unparker {
+        /// Deposits a wake token, waking a parked thread if any.
+        pub fn unpark(&self) {
+            *self
+                .state
+                .token
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = true;
+            self.state.cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use super::sync::Parker;
+    use std::time::Duration;
+
+    #[test]
+    fn queue_is_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn unpark_before_park_does_not_lose_wakeup() {
+        let p = Parker::new();
+        p.unparker().unpark();
+        p.park(); // must not hang
+    }
+
+    #[test]
+    fn park_timeout_returns() {
+        let p = Parker::new();
+        p.park_timeout(Duration::from_millis(5)); // must not hang
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let p = Parker::new();
+        let u = p.unparker().clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            u.unpark();
+        });
+        p.park();
+        t.join().unwrap();
+    }
+}

@@ -158,7 +158,10 @@ impl<T> CoreLocal<T> {
             "CoreLocal accessed from a thread not bound to {core}",
         );
         let slot = &self.slots[core.index()];
-        assert!(!slot.borrowed.get(), "re-entrant CoreLocal access on {core}");
+        assert!(
+            !slot.borrowed.get(),
+            "re-entrant CoreLocal access on {core}"
+        );
         slot.borrowed.set(true);
         // Ensure the flag is cleared even if `f` panics.
         struct Reset<'a>(&'a Cell<bool>);

@@ -73,8 +73,12 @@ pub struct EbbManager {
     roots: SpinLock<HashMap<u32, RootEntry>>,
     /// Installed reps, recorded so `Drop` can free them with the correct
     /// type: (slot index, dropper).
-    installed: SpinLock<Vec<(usize, unsafe fn(*mut ()))>>,
+    installed: SpinLock<Vec<InstalledRep>>,
 }
+
+/// A live representative: its slot index plus the typed dropper that
+/// frees it.
+type InstalledRep = (usize, unsafe fn(*mut ()));
 
 struct RootEntry {
     root: Arc<dyn Any + Send + Sync>,

@@ -407,9 +407,10 @@ impl EventManager {
     /// docs). The caller loops while [`Progress::any`] and halts/parks
     /// otherwise.
     pub fn run_once(&self) -> Progress {
-        let mut progress = Progress::default();
-        progress.interrupts = self.dispatch_interrupts();
-        progress.interrupts += self.dispatch_expired_timers();
+        let mut progress = Progress {
+            interrupts: self.dispatch_interrupts() + self.dispatch_expired_timers(),
+            ..Progress::default()
+        };
         progress.synthetic = self.dispatch_one_synthetic();
         if !progress.any_priority() {
             let (invoked, worked) = self.dispatch_idle();
@@ -592,12 +593,10 @@ impl EventManager {
             Some(self.shared.core),
             "save_context off-core"
         );
-        let spawner = self
-            .shared
-            .successor
-            .lock()
-            .clone()
-            .expect("save_context requires the threaded backend (no successor spawner installed)");
+        let spawner =
+            self.shared.successor.lock().clone().expect(
+                "save_context requires the threaded backend (no successor spawner installed)",
+            );
         let ctx = EventContext {
             inner: Arc::new(CtxInner {
                 resumed: Mutex::new(false),

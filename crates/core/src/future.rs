@@ -404,16 +404,13 @@ mod tests {
         let (p, f) = promise::<u32>();
         // Neither intermediate continuation inspects the error, mirroring
         // Figure 2's discussion: only the final consumer handles it.
-        let out = f
-            .map(|v| v + 1)
-            .map(|v| v * 2)
-            .then(|ff| match ff.get() {
-                Ok(_) => Ok("value"),
-                Err(e) => {
-                    assert!(e.to_string().contains("arp timeout"));
-                    Ok("handled")
-                }
-            });
+        let out = f.map(|v| v + 1).map(|v| v * 2).then(|ff| match ff.get() {
+            Ok(_) => Ok("value"),
+            Err(e) => {
+                assert!(e.to_string().contains("arp timeout"));
+                Ok("handled")
+            }
+        });
         p.set_error(Error::msg("arp timeout"));
         assert_eq!(out.block().unwrap(), "handled");
     }

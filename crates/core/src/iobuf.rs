@@ -14,9 +14,303 @@
 //!   region, two descriptors, zero copies.
 //! * [`Chain`] strings segments together for scatter/gather I/O, and
 //!   [`Cursor`] parses across segment boundaries.
+//!
+//! Two pieces make the discipline *cheap* as well as copy-free:
+//!
+//! * **Buffer pooling** ([`pool`]): small regions (up to
+//!   [`pool::BUF_CAPACITY`] bytes — every frame and header buffer) are
+//!   recycled through per-core free lists instead of being allocated
+//!   and zero-filled per packet. When the last descriptor of a pooled
+//!   region drops, its storage returns to the pool automatically.
+//! * **Instrumentation** ([`stats`]): global counters record every
+//!   payload byte copied between buffers and every fresh storage
+//!   allocation, so benchmarks can *assert* the zero-copy/zero-alloc
+//!   property of a steady-state request path rather than assume it.
 
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
+
+/// Zero-copy bookkeeping: counters that let benchmarks prove the
+/// fast-path property ("0 payload bytes copied, 0 fresh allocations").
+///
+/// What counts:
+///
+/// * [`bytes_copied`](stats::bytes_copied) — payload bytes memcpy'd
+///   between heap buffers: [`IoBuf::copy_from`],
+///   [`MutIoBuf::append_slice`], [`Chain::copy_to_vec`],
+///   [`Cursor::read_vec`]. Fixed-width header-field reads
+///   ([`Cursor::read_u32_be`] and friends, [`Cursor::read_exact`] into
+///   caller stack arrays) are *parsing*, not data movement, and are not
+///   counted; neither are in-place walks such as checksumming.
+/// * [`bufs_allocated`](stats::bufs_allocated) — fresh backing-store
+///   acquisitions for buffer regions: a pool *miss*, an over-sized
+///   request, or a caller-allocated vector wrapped via
+///   [`MutIoBuf::from_vec`]. Pool hits recycle storage and count under
+///   [`pool_hits`](stats::pool_hits) instead.
+///
+/// Counters are per-core (thread-local cells, like the slab's
+/// fast-path statistics): no synchronization on the hot path, and —
+/// because events are non-preemptive — exact. The simulation backend
+/// drives every machine from one thread, so there a single set of
+/// cells observes the whole world, which is precisely what the
+/// benchmarks read.
+pub mod stats {
+    use std::cell::Cell;
+
+    thread_local! {
+        static BYTES_COPIED: Cell<u64> = const { Cell::new(0) };
+        static BUFS_ALLOCATED: Cell<u64> = const { Cell::new(0) };
+        static POOL_HITS: Cell<u64> = const { Cell::new(0) };
+        static POOL_RETURNS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(super) fn record_copy(n: usize) {
+        BYTES_COPIED.with(|c| c.set(c.get() + n as u64));
+    }
+
+    pub(super) fn record_alloc() {
+        BUFS_ALLOCATED.with(|c| c.set(c.get() + 1));
+    }
+
+    pub(super) fn record_pool_hit() {
+        POOL_HITS.with(|c| c.set(c.get() + 1));
+    }
+
+    pub(super) fn record_pool_return() {
+        POOL_RETURNS.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Payload bytes copied between buffers on this core.
+    pub fn bytes_copied() -> u64 {
+        BYTES_COPIED.with(Cell::get)
+    }
+
+    /// Fresh buffer-storage allocations on this core.
+    pub fn bufs_allocated() -> u64 {
+        BUFS_ALLOCATED.with(Cell::get)
+    }
+
+    /// Buffer requests served by recycling pooled storage on this core.
+    pub fn pool_hits() -> u64 {
+        POOL_HITS.with(Cell::get)
+    }
+
+    /// Pooled regions returned to a free list on final descriptor drop
+    /// on this core.
+    pub fn pool_returns() -> u64 {
+        POOL_RETURNS.with(Cell::get)
+    }
+
+    /// A point-in-time reading of all four counters.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct Snapshot {
+        /// See [`bytes_copied`].
+        pub bytes_copied: u64,
+        /// See [`bufs_allocated`].
+        pub bufs_allocated: u64,
+        /// See [`pool_hits`].
+        pub pool_hits: u64,
+        /// See [`pool_returns`].
+        pub pool_returns: u64,
+    }
+
+    /// Reads all counters at once.
+    pub fn snapshot() -> Snapshot {
+        Snapshot {
+            bytes_copied: bytes_copied(),
+            bufs_allocated: bufs_allocated(),
+            pool_hits: pool_hits(),
+            pool_returns: pool_returns(),
+        }
+    }
+
+    impl Snapshot {
+        /// Counter deltas since `earlier`.
+        pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+            Snapshot {
+                bytes_copied: self.bytes_copied - earlier.bytes_copied,
+                bufs_allocated: self.bufs_allocated - earlier.bufs_allocated,
+                pool_hits: self.pool_hits - earlier.pool_hits,
+                pool_returns: self.pool_returns - earlier.pool_returns,
+            }
+        }
+    }
+}
+
+/// Per-core buffer pools for packet-sized regions.
+///
+/// The design mirrors the `ebbrt-mem` slab allocator (§3.4): each core
+/// keeps a plain free list touched with **no synchronization** — legal
+/// because events are non-preemptive and a core's list is only ever
+/// used from that core's thread — and overflow/underflow moves batches
+/// through a shared, rarely-touched depot. Under the simulation backend
+/// every machine runs on the driving thread, so "per-core" degenerates
+/// to one hot list, which is exactly right there too.
+///
+/// Pooled regions are a fixed [`BUF_CAPACITY`] bytes: big enough for an
+/// MTU-sized frame plus header room, so one size class covers the
+/// entire receive/transmit path. Requests larger than that fall back to
+/// exact-size one-shot allocations (counted by
+/// [`stats::bufs_allocated`]).
+///
+/// Recycling is automatic: [`MutIoBuf`] and [`IoBuf`] storage acquired
+/// from the pool returns to the *freeing core's* list when the last
+/// descriptor referencing it drops.
+pub mod pool {
+    use super::stats;
+    use std::cell::RefCell;
+    use std::sync::Mutex;
+
+    /// Capacity of every pooled region: one Ethernet MTU plus header
+    /// and alignment room. Covers frames, header buffers, and typical
+    /// application payload buffers.
+    pub const BUF_CAPACITY: usize = 2048;
+
+    /// Free-list length that triggers a flush to the depot.
+    pub const LOCAL_HIGH_WATERMARK: usize = 256;
+
+    /// Regions moved between a core's list and the depot at once.
+    pub const BATCH: usize = 64;
+
+    thread_local! {
+        static LOCAL: RefCell<Vec<Box<[u8]>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    static DEPOT: Mutex<Vec<Box<[u8]>>> = Mutex::new(Vec::new());
+
+    /// Takes a pooled region if one is available (local list first,
+    /// then a batch from the depot).
+    pub(super) fn take() -> Option<Box<[u8]>> {
+        LOCAL.with(|l| {
+            let mut local = l.borrow_mut();
+            if let Some(b) = local.pop() {
+                return Some(b);
+            }
+            let mut depot = DEPOT
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if depot.is_empty() {
+                return None;
+            }
+            let take = depot.len().min(BATCH);
+            let from = depot.len() - take;
+            local.extend(depot.drain(from..));
+            drop(depot);
+            local.pop()
+        })
+    }
+
+    /// Returns a region to this core's free list, flushing a batch of
+    /// cold entries to the depot past the high watermark.
+    pub(super) fn recycle(buf: Box<[u8]>) {
+        debug_assert_eq!(buf.len(), BUF_CAPACITY);
+        stats::record_pool_return();
+        LOCAL.with(|l| {
+            let mut local = l.borrow_mut();
+            local.push(buf);
+            if local.len() >= LOCAL_HIGH_WATERMARK {
+                // Flush the cold end; recently freed regions stay local
+                // for cache-warm reuse (same policy as the slab).
+                let batch: Vec<Box<[u8]>> = local.drain(..BATCH).collect();
+                drop(local);
+                DEPOT
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .extend(batch);
+            }
+        })
+    }
+
+    /// Pre-fills this core's free list with `n` fresh regions so a
+    /// benchmark's steady state starts pool-hot. The fresh allocations
+    /// are counted (they are real), which is why benchmarks snapshot
+    /// counters *after* prewarming.
+    pub fn prewarm(n: usize) {
+        LOCAL.with(|l| {
+            let mut local = l.borrow_mut();
+            for _ in 0..n {
+                stats::record_alloc();
+                local.push(vec![0u8; BUF_CAPACITY].into_boxed_slice());
+            }
+        })
+    }
+
+    /// Regions on this core's free list (diagnostic).
+    pub fn local_free() -> usize {
+        LOCAL.with(|l| l.borrow().len())
+    }
+
+    /// Regions parked in the shared depot (diagnostic).
+    pub fn depot_free() -> usize {
+        DEPOT
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+}
+
+/// The backing store of a buffer: an owned byte region plus the flag
+/// saying whether it recycles into the [`pool`] when the last
+/// descriptor drops.
+struct Region {
+    /// `Some` until drop; taken by the pool on recycle.
+    data: Option<Box<[u8]>>,
+    pooled: bool,
+}
+
+impl Region {
+    /// Allocates (or recycles) storage of at least `capacity` bytes.
+    /// Pool-sized requests are served from the per-core free lists;
+    /// anything larger gets an exact-size one-shot allocation.
+    fn alloc(capacity: usize) -> Region {
+        if capacity <= pool::BUF_CAPACITY {
+            if let Some(data) = pool::take() {
+                stats::record_pool_hit();
+                return Region {
+                    data: Some(data),
+                    pooled: true,
+                };
+            }
+            stats::record_alloc();
+            return Region {
+                data: Some(vec![0u8; pool::BUF_CAPACITY].into_boxed_slice()),
+                pooled: true,
+            };
+        }
+        stats::record_alloc();
+        Region {
+            data: Some(vec![0u8; capacity].into_boxed_slice()),
+            pooled: false,
+        }
+    }
+
+    /// Wraps storage the caller already owns (never recycled).
+    fn from_box(data: Box<[u8]>) -> Region {
+        Region {
+            data: Some(data),
+            pooled: false,
+        }
+    }
+
+    fn bytes(&self) -> &[u8] {
+        self.data.as_deref().expect("region storage taken")
+    }
+
+    fn bytes_mut(&mut self) -> &mut [u8] {
+        self.data.as_deref_mut().expect("region storage taken")
+    }
+}
+
+impl Drop for Region {
+    fn drop(&mut self) {
+        if self.pooled {
+            if let Some(data) = self.data.take() {
+                pool::recycle(data);
+            }
+        }
+    }
+}
 
 /// Read access to a buffer segment's visible bytes.
 pub trait Buf {
@@ -36,15 +330,24 @@ pub trait Buf {
 
 /// A uniquely-owned, writable buffer segment with headroom and tailroom.
 ///
-/// Layout: `[ headroom | view window | tailroom ]` over one allocation.
+/// Layout: `[ headroom | view window | tailroom ]` over one region.
 /// `prepend`/`append` grow the window into head/tailroom; `advance`/
 /// `trim_end` shrink it.
+///
+/// Storage comes from the per-core [`pool`] whenever the requested
+/// capacity fits a pooled region; the logical capacity the caller asked
+/// for is still enforced exactly (a pool-backed buffer does not grant
+/// bonus tailroom), so window arithmetic behaves identically either
+/// way. Pooled storage is recycled, not zeroed: bytes exposed by
+/// [`MutIoBuf::append`] are unspecified until the caller writes them.
 pub struct MutIoBuf {
-    storage: Box<[u8]>,
-    /// Offset of the view window within `storage`.
+    region: Region,
+    /// Offset of the view window within the region.
     off: usize,
     /// Length of the view window.
     len: usize,
+    /// Logical capacity (≤ physical region size).
+    cap: usize,
 }
 
 impl MutIoBuf {
@@ -56,9 +359,10 @@ impl MutIoBuf {
     /// (all capacity is tailroom).
     pub fn with_capacity(capacity: usize) -> Self {
         MutIoBuf {
-            storage: vec![0u8; capacity].into_boxed_slice(),
+            region: Region::alloc(capacity),
             off: 0,
             len: 0,
+            cap: capacity,
         }
     }
 
@@ -66,9 +370,10 @@ impl MutIoBuf {
     /// initially empty; total capacity is `headroom + payload_capacity`.
     pub fn with_headroom(payload_capacity: usize, headroom: usize) -> Self {
         MutIoBuf {
-            storage: vec![0u8; headroom + payload_capacity].into_boxed_slice(),
+            region: Region::alloc(headroom + payload_capacity),
             off: headroom,
             len: 0,
+            cap: headroom + payload_capacity,
         }
     }
 
@@ -80,13 +385,19 @@ impl MutIoBuf {
         b
     }
 
-    /// Wraps an owned vector; the view covers the whole vector.
+    /// Wraps an owned vector; the view covers the whole vector. The
+    /// storage never recycles (it is exact-size, not pool-shaped), and
+    /// the caller's allocation is counted by
+    /// [`stats::bufs_allocated`] — wrapping a fresh `Vec` per request
+    /// is exactly the behaviour the zero-alloc property must expose.
     pub fn from_vec(v: Vec<u8>) -> Self {
+        stats::record_alloc();
         let len = v.len();
         MutIoBuf {
-            storage: v.into_boxed_slice(),
+            region: Region::from_box(v.into_boxed_slice()),
             off: 0,
             len,
+            cap: len,
         }
     }
 
@@ -97,17 +408,24 @@ impl MutIoBuf {
 
     /// Bytes available behind the view window.
     pub fn tailroom(&self) -> usize {
-        self.storage.len() - self.off - self.len
+        self.cap - self.off - self.len
     }
 
-    /// Total capacity of the underlying region.
+    /// Logical capacity of the buffer.
     pub fn capacity(&self) -> usize {
-        self.storage.len()
+        self.cap
+    }
+
+    /// Whether the backing region came from (and will return to) the
+    /// per-core pool.
+    pub fn is_pooled(&self) -> bool {
+        self.region.pooled
     }
 
     /// Mutable access to the view window.
     pub fn bytes_mut(&mut self) -> &mut [u8] {
-        &mut self.storage[self.off..self.off + self.len]
+        let (off, len) = (self.off, self.len);
+        &mut self.region.bytes_mut()[off..off + len]
     }
 
     /// Extends the window forward (into headroom) by `n` bytes and
@@ -121,11 +439,14 @@ impl MutIoBuf {
         assert!(n <= self.off, "prepend({n}) exceeds headroom {}", self.off);
         self.off -= n;
         self.len += n;
-        &mut self.storage[self.off..self.off + n]
+        let off = self.off;
+        &mut self.region.bytes_mut()[off..off + n]
     }
 
     /// Extends the window backward (into tailroom) by `n` bytes and
-    /// returns the newly exposed suffix.
+    /// returns the newly exposed suffix. With pooled storage the
+    /// exposed bytes are whatever the previous user left there — the
+    /// caller must fill them.
     ///
     /// # Panics
     ///
@@ -138,11 +459,13 @@ impl MutIoBuf {
         );
         let start = self.off + self.len;
         self.len += n;
-        &mut self.storage[start..start + n]
+        &mut self.region.bytes_mut()[start..start + n]
     }
 
-    /// Appends a copy of `src` into tailroom.
+    /// Appends a copy of `src` into tailroom (counted by
+    /// [`stats::bytes_copied`]).
     pub fn append_slice(&mut self, src: &[u8]) {
+        stats::record_copy(src.len());
         self.append(src.len()).copy_from_slice(src);
     }
 
@@ -169,9 +492,11 @@ impl MutIoBuf {
     }
 
     /// Freezes into a shareable, immutable [`IoBuf`] without copying.
+    /// A pooled region stays pooled: it recycles when the last frozen
+    /// descriptor drops.
     pub fn freeze(self) -> IoBuf {
         IoBuf {
-            storage: Arc::from(self.storage),
+            region: Arc::new(self.region),
             off: self.off,
             len: self.len,
         }
@@ -180,7 +505,7 @@ impl MutIoBuf {
 
 impl Buf for MutIoBuf {
     fn bytes(&self) -> &[u8] {
-        &self.storage[self.off..self.off + self.len]
+        &self.region.bytes()[self.off..self.off + self.len]
     }
 }
 
@@ -190,6 +515,7 @@ impl fmt::Debug for MutIoBuf {
             .field("headroom", &self.headroom())
             .field("len", &self.len)
             .field("tailroom", &self.tailroom())
+            .field("pooled", &self.region.pooled)
             .finish()
     }
 }
@@ -197,31 +523,36 @@ impl fmt::Debug for MutIoBuf {
 /// An immutable, reference-counted buffer segment.
 ///
 /// Clones share the underlying region; each clone has an independent
-/// view window, so slicing is free.
+/// view window, so slicing is free. When the last descriptor of a
+/// pool-backed region drops, the storage returns to the per-core
+/// [`pool`].
 #[derive(Clone)]
 pub struct IoBuf {
-    storage: Arc<[u8]>,
+    region: Arc<Region>,
     off: usize,
     len: usize,
 }
 
 impl IoBuf {
-    /// Creates a buffer holding a copy of `data`.
+    /// Creates a buffer holding a copy of `data` (counted by
+    /// [`stats::bytes_copied`]; the storage allocation is exact-size
+    /// and unpooled).
     pub fn copy_from(data: &[u8]) -> Self {
+        stats::record_copy(data.len());
         MutIoBuf::from_vec(data.to_vec()).freeze()
     }
 
     /// An empty buffer.
     pub fn empty() -> Self {
         IoBuf {
-            storage: Arc::from(Vec::new().into_boxed_slice()),
+            region: Arc::new(Region::from_box(Vec::new().into_boxed_slice())),
             off: 0,
             len: 0,
         }
     }
 
-    /// Returns a new descriptor viewing `range` of this view, sharing the
-    /// same storage (no copy).
+    /// Returns a new descriptor viewing `len` bytes from `start` of
+    /// this view, sharing the same region (no copy).
     ///
     /// # Panics
     ///
@@ -233,10 +564,17 @@ impl IoBuf {
             self.len
         );
         IoBuf {
-            storage: Arc::clone(&self.storage),
+            region: Arc::clone(&self.region),
             off: self.off + start,
             len,
         }
+    }
+
+    /// Range-style form of [`Self::slice`]: a descriptor viewing
+    /// `range` of this view, sharing the same region.
+    pub fn slice_range(&self, range: Range<usize>) -> IoBuf {
+        assert!(range.start <= range.end, "inverted slice range");
+        self.slice(range.start, range.end - range.start)
     }
 
     /// Shrinks the view from the front by `n` bytes.
@@ -260,16 +598,25 @@ impl IoBuf {
         self.len -= n;
     }
 
-    /// Number of descriptors sharing this storage (diagnostic; used by
+    /// Number of descriptors sharing this region (diagnostic; used by
     /// tests to assert zero-copy behaviour).
     pub fn ref_count(&self) -> usize {
-        Arc::strong_count(&self.storage)
+        Arc::strong_count(&self.region)
+    }
+
+    /// Physical size of the backing region. A live descriptor pins the
+    /// whole region, so long-lived holders (e.g. a key-value store)
+    /// compare this against [`len`](Buf::len) to decide when keeping a
+    /// small sub-view zero-copy would pin a disproportionate amount of
+    /// memory.
+    pub fn region_len(&self) -> usize {
+        self.region.bytes().len()
     }
 }
 
 impl Buf for IoBuf {
     fn bytes(&self) -> &[u8] {
-        &self.storage[self.off..self.off + self.len]
+        &self.region.bytes()[self.off..self.off + self.len]
     }
 }
 
@@ -376,8 +723,10 @@ impl<B: Buf> Chain<B> {
     }
 
     /// Copies the entire logical contents into one `Vec` (explicitly *not*
-    /// zero-copy; used at simulation edges and in tests).
+    /// zero-copy — counted by [`stats::bytes_copied`]; used at
+    /// simulation edges and in tests).
     pub fn copy_to_vec(&self) -> Vec<u8> {
+        stats::record_copy(self.total);
         let mut out = Vec::with_capacity(self.total);
         for s in &self.segments {
             out.extend_from_slice(s.bytes());
@@ -415,6 +764,46 @@ impl Chain<IoBuf> {
                 self.segments[0].advance(n);
                 n = 0;
             }
+        }
+    }
+
+    /// Physical bytes pinned by the segments' backing regions — an
+    /// upper bound (a region shared by several segments counts once
+    /// per segment). Long-lived chains compare this against
+    /// [`len`](Chain::len) to decide when small sub-views are pinning
+    /// a disproportionate amount of buffer memory.
+    pub fn pinned_bytes(&self) -> usize {
+        self.segments.iter().map(IoBuf::region_len).sum()
+    }
+
+    /// Replaces the chain's contents with one exact-size segment,
+    /// releasing every pinned region (a counted copy plus one counted
+    /// allocation). Used to bound memory amplification when a backlog
+    /// accumulates many small views of large (possibly pooled)
+    /// regions — e.g. a peer trickling a request one byte per packet.
+    pub fn compact(&mut self) {
+        if self.segments.len() == 1 && self.segments[0].region_len() == self.total {
+            return; // already exact
+        }
+        let data = self.copy_to_vec();
+        self.segments.clear();
+        if !data.is_empty() {
+            self.segments.push(MutIoBuf::from_vec(data).freeze());
+        }
+    }
+
+    /// [`compact`](Chain::compact)s the chain when it holds at least
+    /// `max_segs` segments *and* pins more than `factor`× its logical
+    /// bytes — the anti-amplification gate long-lived backlogs apply
+    /// after appending received data (a peer trickling a request a few
+    /// bytes per packet must not pin a receive region per packet).
+    /// Returns whether compaction ran.
+    pub fn compact_if_amplified(&mut self, max_segs: usize, factor: usize) -> bool {
+        if self.segment_count() >= max_segs && self.pinned_bytes() > self.total * factor {
+            self.compact();
+            true
+        } else {
+            false
         }
     }
 
@@ -552,11 +941,44 @@ impl<'a, B: Buf> Cursor<'a, B> {
         Some(())
     }
 
-    /// Reads `n` bytes into a fresh vector.
+    /// Reads `n` bytes into a fresh vector (counted by
+    /// [`stats::bytes_copied`] — prefer
+    /// [`Cursor::read_exact_zero_copy`] on hot paths).
     pub fn read_vec(&mut self, n: usize) -> Option<Vec<u8>> {
         let mut v = vec![0u8; n];
         self.read_exact(&mut v)?;
+        stats::record_copy(n);
         Some(v)
+    }
+}
+
+impl<'a> Cursor<'a, IoBuf> {
+    /// Carves the next `n` bytes out as a chain of sub-views sharing
+    /// the underlying regions — the zero-copy way for a protocol parser
+    /// to take a request body straight out of driver buffers. Returns
+    /// `None` (consuming nothing) if fewer than `n` bytes remain.
+    pub fn read_exact_zero_copy(&mut self, n: usize) -> Option<Chain<IoBuf>> {
+        if self.remaining() < n {
+            return None;
+        }
+        let mut out = Chain::new();
+        let mut left = n;
+        while left > 0 {
+            let seg = &self.chain.segments()[self.seg];
+            let avail = seg.len() - self.off;
+            let take = avail.min(left);
+            if take > 0 {
+                out.push_back(seg.slice(self.off, take));
+            }
+            self.off += take;
+            self.consumed += take;
+            left -= take;
+            if self.off == seg.len() && self.seg + 1 < self.chain.segment_count() {
+                self.seg += 1;
+                self.off = 0;
+            }
+        }
+        Some(out)
     }
 }
 
@@ -605,6 +1027,13 @@ mod tests {
         assert_eq!(s.bytes(), &[2, 3]);
         assert_eq!(b.ref_count(), 3);
         assert_eq!(b.bytes(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slice_range_matches_slice() {
+        let b = IoBuf::copy_from(b"0123456789");
+        assert_eq!(b.slice_range(2..6).bytes(), b.slice(2, 4).bytes());
+        assert_eq!(b.slice_range(0..0).len(), 0);
     }
 
     #[test]
@@ -667,6 +1096,31 @@ mod tests {
     }
 
     #[test]
+    fn cursor_zero_copy_read_shares_storage() {
+        let a = IoBuf::copy_from(b"abcde");
+        let b = IoBuf::copy_from(b"fghij");
+        let mut chain = Chain::new();
+        chain.push_back(a.clone());
+        chain.push_back(b.clone());
+        let mut cur = chain.cursor();
+        cur.skip(3).unwrap();
+        let before = stats::bytes_copied();
+        let body = cur.read_exact_zero_copy(5).expect("enough bytes");
+        assert_eq!(stats::bytes_copied(), before, "no bytes may be copied");
+        assert_eq!(body.len(), 5);
+        assert_eq!(cur.remaining(), 2);
+        // Spans both segments as sub-views of the original regions.
+        assert_eq!(body.segment_count(), 2);
+        assert_eq!(a.ref_count(), 3); // a + chain seg + body seg
+        assert_eq!(b.ref_count(), 3);
+        assert_eq!(body.copy_to_vec(), b"defgh");
+        // Insufficient bytes: consume nothing.
+        let mut cur2 = chain.cursor();
+        assert!(cur2.read_exact_zero_copy(11).is_none());
+        assert_eq!(cur2.consumed(), 0);
+    }
+
+    #[test]
     fn mut_chain_freezes_into_shared_chain() {
         let mut chain: Chain<MutIoBuf> = Chain::new();
         let mut a = MutIoBuf::with_headroom(8, 16);
@@ -682,5 +1136,111 @@ mod tests {
         let b = MutIoBuf::for_payload(b"x");
         assert_eq!(b.headroom(), MutIoBuf::DEFAULT_HEADROOM);
         assert_eq!(b.bytes(), b"x");
+    }
+
+    #[test]
+    fn pooled_storage_recycles_on_last_drop() {
+        // Drain any pool state left by other tests on this thread
+        // (holding the buffers so they don't recycle straight back).
+        let mut held = Vec::new();
+        while pool::local_free() > 0 || pool::depot_free() > 0 {
+            held.push(MutIoBuf::with_capacity(64));
+        }
+        let hits0 = stats::pool_hits();
+        let returns0 = stats::pool_returns();
+        let buf = MutIoBuf::with_capacity(64); // fresh: pool is empty
+        assert!(buf.is_pooled());
+        let frozen = buf.freeze();
+        let clone = frozen.clone();
+        drop(frozen);
+        assert_eq!(
+            stats::pool_returns(),
+            returns0,
+            "region must not recycle while a descriptor lives"
+        );
+        drop(clone);
+        assert_eq!(stats::pool_returns(), returns0 + 1);
+        assert_eq!(pool::local_free(), 1);
+        // The next pool-sized request reuses the region: a hit, no alloc.
+        let allocs0 = stats::bufs_allocated();
+        let again = MutIoBuf::with_capacity(128);
+        assert!(again.is_pooled());
+        assert_eq!(stats::pool_hits(), hits0 + 1);
+        assert_eq!(stats::bufs_allocated(), allocs0);
+    }
+
+    #[test]
+    fn oversized_buffers_bypass_pool() {
+        let b = MutIoBuf::with_capacity(pool::BUF_CAPACITY + 1);
+        assert!(!b.is_pooled());
+        assert_eq!(b.capacity(), pool::BUF_CAPACITY + 1);
+    }
+
+    #[test]
+    fn pooled_capacity_is_logical() {
+        // A pool-backed buffer enforces the requested capacity even
+        // though the physical region is BUF_CAPACITY bytes.
+        let mut b = MutIoBuf::with_headroom(10, 4);
+        assert_eq!(b.capacity(), 14);
+        assert_eq!(b.tailroom(), 10);
+        b.append(10);
+        assert_eq!(b.tailroom(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds tailroom")]
+    fn pooled_append_respects_logical_capacity() {
+        let mut b = MutIoBuf::with_capacity(8);
+        b.append(9);
+    }
+
+    #[test]
+    fn copy_counters_track_explicit_copies() {
+        let before = stats::bytes_copied();
+        let b = IoBuf::copy_from(b"12345");
+        assert_eq!(stats::bytes_copied(), before + 5);
+        let chain = Chain::single(b);
+        let _ = chain.copy_to_vec();
+        assert_eq!(stats::bytes_copied(), before + 10);
+        let mut cur = chain.cursor();
+        let _ = cur.read_vec(5);
+        assert_eq!(stats::bytes_copied(), before + 15);
+        // Descriptor moves are free.
+        let clone = chain.clone();
+        let mut c2 = clone.clone();
+        let _ = c2.split_to(2);
+        assert_eq!(stats::bytes_copied(), before + 15);
+    }
+
+    #[test]
+    fn compact_releases_pinned_regions() {
+        // Many 1-byte views over pool-sized regions: heavily pinned.
+        let mut chain: Chain<IoBuf> = Chain::new();
+        for i in 0..8u8 {
+            let mut b = MutIoBuf::with_capacity(16);
+            b.append(1)[0] = i;
+            chain.push_back(b.freeze());
+        }
+        assert_eq!(chain.len(), 8);
+        assert!(chain.pinned_bytes() >= 8 * pool::BUF_CAPACITY);
+        chain.compact();
+        assert_eq!(chain.len(), 8);
+        assert_eq!(chain.segment_count(), 1);
+        assert_eq!(chain.pinned_bytes(), 8);
+        assert_eq!(chain.copy_to_vec(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+        // Already-exact chains are left untouched (no copy, no alloc).
+        let before = stats::snapshot();
+        chain.compact();
+        assert_eq!(stats::snapshot(), before);
+    }
+
+    #[test]
+    fn prewarm_fills_local_list() {
+        let free0 = pool::local_free();
+        pool::prewarm(4);
+        assert_eq!(pool::local_free(), free0 + 4);
+        // Use them up so other tests see a predictable pool.
+        let bufs: Vec<MutIoBuf> = (0..4).map(|_| MutIoBuf::with_capacity(32)).collect();
+        drop(bufs);
     }
 }

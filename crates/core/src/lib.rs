@@ -13,7 +13,10 @@
 //! * [`future`] — monadic futures with synchronous fast paths and
 //!   exception-style error propagation (§3.5).
 //! * [`iobuf`] — zero-copy buffer descriptors with views, headroom and
-//!   scatter/gather chains (§3.6).
+//!   scatter/gather chains (§3.6), plus per-core buffer pools
+//!   ([`iobuf::pool`]) that recycle packet-sized regions and counters
+//!   ([`iobuf::stats`]) that let benchmarks assert the zero-copy,
+//!   zero-allocation property of a steady-state request path.
 //! * [`rcu`] — read-copy-update keyed to event-loop quiescence, plus the
 //!   RCU hash map ([`rcu_hash`]) used for connection and key-value
 //!   state (§3.6).

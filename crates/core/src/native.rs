@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn run_executes_main_on_core0() {
-        let core = NativeMachine::run(2, || cpu::current());
+        let core = NativeMachine::run(2, cpu::current);
         assert_eq!(core, CoreId(0));
     }
 

@@ -310,7 +310,9 @@ where
     /// Current bucket count (diagnostic).
     pub fn capacity(&self) -> usize {
         // SAFETY: as in `get`.
-        unsafe { &*self.table.load(Ordering::Acquire) }.buckets.len()
+        unsafe { &*self.table.load(Ordering::Acquire) }
+            .buckets
+            .len()
     }
 
     /// Grows the table to `new_capacity` buckets. Caller holds the

@@ -252,13 +252,15 @@ mod tests {
         });
     }
 
-    fn setup() -> (
+    type Setup = (
         Rc<SimWorld>,
         Rc<Switch>,
         Rc<SimMachine>,
         Rc<FsServer>,
         Rc<FsClient>,
-    ) {
+    );
+
+    fn setup() -> Setup {
         let w = SimWorld::new();
         let sw = Switch::new(&w);
         let hosted = SimMachine::create(&w, "hosted", 1, CostProfile::linux_vm(), [0x01; 6]);

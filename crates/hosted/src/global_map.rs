@@ -132,15 +132,19 @@ impl GlobalIdMap {
             return;
         }
         let me = Rc::clone(self);
-        self.messenger
-            .call(self.server, GLOBAL_MAP_EBB_ID, &[OP_ALLOC_RANGE], move |resp| {
+        self.messenger.call(
+            self.server,
+            GLOBAL_MAP_EBB_ID,
+            &[OP_ALLOC_RANGE],
+            move |resp| {
                 let bytes = resp.copy_to_vec();
                 assert_eq!(bytes.first(), Some(&1), "range allocation failed");
                 let base = u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
                 let size = u32::from_be_bytes([bytes[5], bytes[6], bytes[7], bytes[8]]);
                 me.range.set((base + 1, base + size));
                 done(EbbId(base));
-            });
+            },
+        );
     }
 
     /// Publishes metadata for `id` (e.g. the owner machine's address).
@@ -272,7 +276,11 @@ mod tests {
         });
         w.run_to_idle();
         assert_eq!(second.get(), Some(EbbId(id.0 + 1)));
-        assert_eq!(server.requests.get(), before, "range must be cached locally");
+        assert_eq!(
+            server.requests.get(),
+            before,
+            "range must be cached locally"
+        );
     }
 
     #[test]

@@ -31,6 +31,9 @@ const KIND_RESPONSE: u8 = 1;
 /// [`Messenger::respond`] with the given `rpc_id`.
 pub type MsgHandler = Rc<dyn Fn(Ipv4Addr, u64, Chain<IoBuf>)>;
 
+/// A pending RPC's continuation, invoked with the reply payload.
+type RpcWaiter = Box<dyn FnOnce(Chain<IoBuf>)>;
+
 struct PeerConn {
     conn: TcpConn,
     established: bool,
@@ -45,7 +48,7 @@ pub struct Messenger {
     netif: Rc<NetIf>,
     peers: RefCell<HashMap<Ipv4Addr, Rc<RefCell<PeerConn>>>>,
     handlers: RefCell<HashMap<u32, MsgHandler>>,
-    rpc_waiters: RefCell<HashMap<u64, Box<dyn FnOnce(Chain<IoBuf>)>>>,
+    rpc_waiters: RefCell<HashMap<u64, RpcWaiter>>,
     next_rpc: Cell<u64>,
     /// Messages dispatched (diagnostic).
     pub dispatched: Cell<u64>,
@@ -171,8 +174,7 @@ impl Messenger {
                 if p.rx.len() < 4 {
                     break;
                 }
-                let body_len =
-                    u32::from_be_bytes([p.rx[0], p.rx[1], p.rx[2], p.rx[3]]) as usize;
+                let body_len = u32::from_be_bytes([p.rx[0], p.rx[1], p.rx[2], p.rx[3]]) as usize;
                 if p.rx.len() < 4 + body_len {
                     break;
                 }
@@ -257,8 +259,16 @@ mod tests {
         let native = SimMachine::create(&w, "native", 1, CostProfile::ebbrt_vm(), [0x02; 6]);
         sw.attach(hosted.nic(), LinkParams::default());
         sw.attach(native.nic(), LinkParams::default());
-        let h_if = NetIf::attach(&hosted, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(255, 255, 255, 0));
-        let n_if = NetIf::attach(&native, Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(255, 255, 255, 0));
+        let h_if = NetIf::attach(
+            &hosted,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(255, 255, 255, 0),
+        );
+        let n_if = NetIf::attach(
+            &native,
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(255, 255, 255, 0),
+        );
         w.run_to_idle();
 
         let h_msgr = Messenger::start(&h_if);

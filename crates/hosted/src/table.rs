@@ -38,7 +38,9 @@ impl HostedEbbTable {
 
     /// Whether the calling core has a rep for `id`.
     pub fn has_rep(&self, id: EbbId) -> bool {
-        self.maps[cpu::current().index()].borrow().contains_key(&id.0)
+        self.maps[cpu::current().index()]
+            .borrow()
+            .contains_key(&id.0)
     }
 
     /// Invokes `f` on the calling core's representative — the hosted

@@ -91,7 +91,10 @@ impl BuddyAllocator {
         if have > self.region_order {
             return None;
         }
-        let addr = *self.free_lists[have as usize].iter().next().expect("nonempty");
+        let addr = *self.free_lists[have as usize]
+            .iter()
+            .next()
+            .expect("nonempty");
         self.free_lists[have as usize].remove(&addr);
         // Split down to the requested order, returning upper halves to
         // the free lists.

@@ -241,7 +241,10 @@ mod tests {
             }
             freed
         }));
-        assert!(root.alloc_on(0, 0).is_some(), "pressure release must allow retry");
+        assert!(
+            root.alloc_on(0, 0).is_some(),
+            "pressure release must allow retry"
+        );
     }
 
     #[test]

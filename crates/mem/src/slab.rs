@@ -256,7 +256,9 @@ mod tests {
             let slab = EbbRef::<SlabAllocator>::create(SlabRoot::new(16, pa));
             root_ref = slab;
             // Allocate then free enough to cross the high watermark.
-            let addrs: Vec<Addr> = (0..HIGH_WATERMARK + 8).map(|_| slab.with(|s| s.alloc())).collect();
+            let addrs: Vec<Addr> = (0..HIGH_WATERMARK + 8)
+                .map(|_| slab.with(|s| s.alloc()))
+                .collect();
             for a in addrs {
                 slab.with(|s| s.free(a));
             }
@@ -267,8 +269,7 @@ mod tests {
             // page allocator.
             let _g = runtime::enter(rt, CoreId(1));
             let pages_before = root_ref.with(|s| s.root().pages_allocated());
-            let a = root_ref.with(|s| s.alloc());
-            assert!(a > 0 || a == 0); // address is valid by construction
+            let _a = root_ref.with(|s| s.alloc());
             let pages_after = root_ref.with(|s| s.root().pages_allocated());
             assert_eq!(pages_before, pages_after, "depot should satisfy the refill");
         }

@@ -154,10 +154,13 @@ mod tests {
         let vm = VirtualMemory::new();
         let calls = Arc::new(AtomicUsize::new(0));
         let c2 = Arc::clone(&calls);
-        let r = vm.allocate_region(3 * PAGE_SIZE, Box::new(move |_| {
-            c2.fetch_add(1, Ordering::SeqCst);
-            true
-        }));
+        let r = vm.allocate_region(
+            3 * PAGE_SIZE,
+            Box::new(move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+                true
+            }),
+        );
         let base = vm.base(r);
         assert_eq!(vm.touch(r, base), Touch::Faulted);
         assert_eq!(vm.touch(r, base + 100), Touch::Mapped);

@@ -247,7 +247,12 @@ pub fn configure(netif: &Rc<NetIf>, done: impl FnOnce(Ipv4Addr, Ipv4Addr) + 'sta
         requested: None,
         mask: None,
     };
-    netif.udp_send(CLIENT_PORT, Ipv4Addr::BROADCAST, SERVER_PORT, build(&discover));
+    netif.udp_send(
+        CLIENT_PORT,
+        Ipv4Addr::BROADCAST,
+        SERVER_PORT,
+        build(&discover),
+    );
 }
 
 #[cfg(test)]

@@ -11,10 +11,10 @@
 //! re-enables the interrupt and removes the idle handler, returning to
 //! interrupt-driven execution.
 //!
-//! Every frame charged here pays the profile's receive cost (guest irq
-//! + stack + copies + hypervisor share), so the virtual-time behaviour
-//! of both modes is faithful: polling burns core time, interrupts pay
-//! per-frame entry overhead.
+//! Every frame charged here pays the profile's receive cost (guest
+//! irq, stack, copies, and the hypervisor share), so the virtual-time
+//! behaviour of both modes is faithful: polling burns core time,
+//! interrupts pay per-frame entry overhead.
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -153,7 +153,12 @@ fn drain(netif: &Rc<NetIf>, state: &Rc<QueueState>, from_interrupt: bool) -> usi
         state.last_drain.set(now);
     }
     if std::env::var_os("EBBRT_DRIVER_DEBUG").is_some() && n > 1 {
-        eprintln!("drain n={} rx_len={} from_irq={}", n, nic.rx_len(state.queue), from_interrupt);
+        eprintln!(
+            "drain n={} rx_len={} from_irq={}",
+            n,
+            nic.rx_len(state.queue),
+            from_interrupt
+        );
     }
     if !state.polling.get() {
         let threshold = poll_enter_burst();

@@ -118,10 +118,7 @@ impl TcpConn {
 
     /// Current TCP state (Closed if the connection is gone).
     pub fn state(&self) -> TcpState {
-        self.with_netif(|n| {
-            n.with_pcb(self.id, |p| p.state)
-                .unwrap_or(TcpState::Closed)
-        })
+        self.with_netif(|n| n.with_pcb(self.id, |p| p.state).unwrap_or(TcpState::Closed))
     }
 
     /// The core this connection is pinned to.
@@ -241,11 +238,7 @@ impl NetIf {
     /// Starts listening on `port`; `accept` is invoked (on the new
     /// connection's affinity core) for each inbound connection and
     /// returns its handler.
-    pub fn listen(
-        &self,
-        port: u16,
-        accept: impl Fn(&TcpConn) -> Rc<dyn ConnHandler> + 'static,
-    ) {
+    pub fn listen(&self, port: u16, accept: impl Fn(&TcpConn) -> Rc<dyn ConnHandler> + 'static) {
         let prev = self.listeners.borrow_mut().insert(port, Rc::new(accept));
         assert!(prev.is_none(), "port {port} already has a listener");
     }
@@ -297,7 +290,9 @@ impl NetIf {
 
     /// Binds a UDP port to a handler `(src_ip, src_port, payload)`.
     pub fn udp_bind(&self, port: u16, handler: impl Fn(Ipv4Addr, u16, Chain<IoBuf>) + 'static) {
-        self.udp_bindings.borrow_mut().insert(port, Rc::new(handler));
+        self.udp_bindings
+            .borrow_mut()
+            .insert(port, Rc::new(handler));
     }
 
     /// Sends a UDP datagram. Broadcast destinations go out with the
@@ -504,8 +499,7 @@ impl NetIf {
         let state = pcb_rc.borrow().state;
         match state {
             TcpState::SynSent => {
-                if hdr.flags & (tcp_flags::SYN | tcp_flags::ACK)
-                    == tcp_flags::SYN | tcp_flags::ACK
+                if hdr.flags & (tcp_flags::SYN | tcp_flags::ACK) == tcp_flags::SYN | tcp_flags::ACK
                 {
                     let mut p = pcb_rc.borrow_mut();
                     if hdr.ack != p.snd_nxt.wrapping_add(1) && hdr.ack != p.snd_nxt {
@@ -782,7 +776,9 @@ impl NetIf {
                     runtime::with_current(|rt| {
                         rt.local_event_manager().set_timer(DELACK_NS, move || {
                             if let Some(n) = me.upgrade() {
-                                if let Some(rec) = n.pcbs.borrow().get(&id).map(|r| Rc::clone(&r.pcb)) {
+                                if let Some(rec) =
+                                    n.pcbs.borrow().get(&id).map(|r| Rc::clone(&r.pcb))
+                                {
                                     rec.borrow_mut().delack_armed = false;
                                     n.flush_ack(&rec);
                                 }
@@ -957,7 +953,9 @@ impl NetIf {
         if let Some(rec) = rec {
             let tuple = rec.pcb.borrow().tuple;
             self.conn_ids.remove(&tuple);
-            self.stats.conns_closed.set(self.stats.conns_closed.get() + 1);
+            self.stats
+                .conns_closed
+                .set(self.stats.conns_closed.get() + 1);
         }
     }
 
@@ -986,8 +984,11 @@ impl NetIf {
         let local_ip = self.ip.get();
         for _ in 0..4096 {
             let port = self.next_eph.get();
-            self.next_eph
-                .set(if port >= 60000 { EPHEMERAL_BASE } else { port + 1 });
+            self.next_eph.set(if port >= 60000 {
+                EPHEMERAL_BASE
+            } else {
+                port + 1
+            });
             let hash =
                 ebbrt_sim::nic::rss_hash(remote.to_u32(), local_ip.to_u32(), remote_port, port);
             if (hash as usize) % nqueues == core.index() % nqueues {

@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn checksum_verification_is_zero() {
         // A buffer with its own checksum embedded sums to zero.
-        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x00, 0x00, 0x40, 0x06, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2];
+        let mut data = vec![
+            0x45u8, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x00, 0x00, 0x40, 0x06, 0, 0, 10, 0, 0, 1, 10, 0,
+            0, 2,
+        ];
         let ck = checksum(&data);
         data[10..12].copy_from_slice(&ck.to_be_bytes());
         let mut c = Checksum::new();

@@ -536,6 +536,10 @@ mod tests {
         frame.append_chain(payload);
         assert_eq!(frame.len(), ETH_HLEN + IPV4_HLEN + TCP_HLEN + 17);
         // Original payload IoBuf + the segment in the chain = 2 refs.
-        assert_eq!(payload_buf.ref_count(), 2, "payload must be shared, not copied");
+        assert_eq!(
+            payload_buf.ref_count(),
+            2,
+            "payload must be shared, not copied"
+        );
     }
 }

@@ -13,12 +13,14 @@ use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
 
 const MASK: Ipv4Addr = Ipv4Addr::new(255, 255, 255, 0);
 
-fn two_machines() -> (
+type TwoMachines = (
     Rc<SimWorld>,
     Rc<ebbrt_sim::Switch>,
     (Rc<SimMachine>, Rc<NetIf>),
     (Rc<SimMachine>, Rc<NetIf>),
-) {
+);
+
+fn two_machines() -> TwoMachines {
     let w = SimWorld::new();
     let sw = Switch::new(&w);
     let server = SimMachine::create(&w, "server", 1, CostProfile::ebbrt_vm(), [0xAA; 6]);
@@ -28,8 +30,8 @@ fn two_machines() -> (
     let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), MASK);
     let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), MASK);
     w.run_to_idle(); // let drivers set up
-    // NB: the switch must stay alive — NICs hold only a weak reference
-    // (dropping the switch "unplugs" the network).
+                     // NB: the switch must stay alive — NICs hold only a weak reference
+                     // (dropping the switch "unplugs" the network).
     (w, sw, (server, s_if), (client, c_if))
 }
 
@@ -115,8 +117,15 @@ fn tcp_connect_send_echo_close() {
     let conn = conn_slot.borrow().clone().unwrap();
     // Server echoes nothing more; its conn saw our FIN (on_close ran on
     // the Echo side implicitly). Client state winds down.
-    assert!(matches!(conn.state(), TcpState::FinWait2 | TcpState::Closed));
-    assert_eq!(s_if.conn_count(), 1, "server side in CloseWait until it closes");
+    assert!(matches!(
+        conn.state(),
+        TcpState::FinWait2 | TcpState::Closed
+    ));
+    assert_eq!(
+        s_if.conn_count(),
+        1,
+        "server side in CloseWait until it closes"
+    );
 }
 
 #[test]
@@ -302,7 +311,8 @@ fn rss_steers_connections_to_distinct_cores() {
         let cell = SendCell(c_if);
         client.spawn_on(CoreId(i % 4), move || {
             let cell = cell;
-            cell.0.connect(Ipv4Addr::new(10, 0, 0, 1), 7, Rc::new(Quiet));
+            cell.0
+                .connect(Ipv4Addr::new(10, 0, 0, 1), 7, Rc::new(Quiet));
         });
     }
     w.run_to_idle();

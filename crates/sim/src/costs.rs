@@ -12,9 +12,9 @@
 //!   both through virtio on directly connected 10 GbE X520s. The ~6 µs
 //!   gap is attributed to Linux's longer path (softirq, socket wakeup,
 //!   two copies, syscalls).
-//! * virtio/vhost per-packet overhead of a KVM guest (exit + vhost kick
-//!   + irq injection) is commonly measured at 1.5–3 µs per direction;
-//!   we use 2.2 µs.
+//! * virtio/vhost per-packet overhead of a KVM guest (exit, vhost
+//!   kick, irq injection) is commonly measured at 1.5–3 µs per
+//!   direction; we use 2.2 µs.
 //! * A kernel/user `memcpy` sustains roughly 4–8 GB/s on that era's
 //!   Xeons → ~0.2 ns/B; the hypervisor's skb copy on rx similar.
 //! * Syscall entry/exit (pre-KPTI era, Linux 3.16): ~150–300 ns; the
@@ -99,7 +99,7 @@ impl CostProfile {
             virtio_amortized_ns: 350,
             virtio_batch_window_ns: 3000,
             virtio_rx_copy_ps_per_byte: 200,
-            rx_irq_ns: 250,  // exception frame + vector dispatch
+            rx_irq_ns: 250,   // exception frame + vector dispatch
             rx_stack_ns: 350, // driver + zero-copy stack demux
             rx_copy_ps_per_byte: 0,
             rx_wakeup_ns: 0,

@@ -49,8 +49,11 @@ struct Port {
     /// Loss-injection hook: frames destined to this port for which the
     /// filter returns `true` are dropped (fault injection for tests and
     /// retransmission experiments).
-    drop_filter: RefCell<Option<Box<dyn Fn(&Frame) -> bool>>>,
+    drop_filter: RefCell<Option<DropFilter>>,
 }
+
+/// A loss-injection predicate: `true` drops the frame.
+type DropFilter = Box<dyn Fn(&Frame) -> bool>;
 
 /// A learning Ethernet switch.
 pub struct Switch {
@@ -237,9 +240,7 @@ mod tests {
     fn learning_avoids_flood_after_first_frame() {
         let w = SimWorld::new();
         let sw = Switch::new(&w);
-        let nics: Vec<_> = (0..3u8)
-            .map(|i| SimNic::new([i + 1; 6], 1))
-            .collect();
+        let nics: Vec<_> = (0..3u8).map(|i| SimNic::new([i + 1; 6], 1)).collect();
         for n in &nics {
             sw.attach(n, LinkParams::default());
         }
@@ -255,9 +256,7 @@ mod tests {
     fn broadcast_floods_all_but_sender() {
         let w = SimWorld::new();
         let sw = Switch::new(&w);
-        let nics: Vec<_> = (0..3u8)
-            .map(|i| SimNic::new([i + 1; 6], 1))
-            .collect();
+        let nics: Vec<_> = (0..3u8).map(|i| SimNic::new([i + 1; 6], 1)).collect();
         for n in &nics {
             sw.attach(n, LinkParams::default());
         }

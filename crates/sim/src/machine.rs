@@ -195,10 +195,16 @@ mod tests {
         // First event charges 10 µs; the second must not start earlier.
         m.spawn_on(CoreId(0), move || {
             charge(10_000);
-            a.store(ebbrt_core::runtime::with_current(|rt| rt.now_ns()), Ordering::SeqCst);
+            a.store(
+                ebbrt_core::runtime::with_current(|rt| rt.now_ns()),
+                Ordering::SeqCst,
+            );
         });
         m.spawn_on(CoreId(0), move || {
-            b.store(ebbrt_core::runtime::with_current(|rt| rt.now_ns()), Ordering::SeqCst);
+            b.store(
+                ebbrt_core::runtime::with_current(|rt| rt.now_ns()),
+                Ordering::SeqCst,
+            );
         });
         w.run_to_idle();
         assert_eq!(t1.load(Ordering::SeqCst), 0, "first event starts at t=0");
@@ -217,10 +223,17 @@ mod tests {
         let t2 = SArc::clone(&t);
         m.spawn_on(CoreId(0), || charge(50_000));
         m.spawn_on(CoreId(1), move || {
-            t2.store(ebbrt_core::runtime::with_current(|rt| rt.now_ns()), Ordering::SeqCst);
+            t2.store(
+                ebbrt_core::runtime::with_current(|rt| rt.now_ns()),
+                Ordering::SeqCst,
+            );
         });
         w.run_to_idle();
-        assert_eq!(t.load(Ordering::SeqCst), 0, "core 1 is not blocked by core 0");
+        assert_eq!(
+            t.load(Ordering::SeqCst),
+            0,
+            "core 1 is not blocked by core 0"
+        );
     }
 
     #[test]

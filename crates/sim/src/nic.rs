@@ -130,13 +130,16 @@ struct RxQueue {
     irq_enabled: Cell<bool>,
 }
 
+/// Installed by the switch; carries a transmitted frame onto the wire.
+type TxHandler = Box<dyn Fn(Frame)>;
+
 /// The simulated NIC device.
 pub struct SimNic {
     mac: Mac,
     queues: Vec<RxQueue>,
     /// Installed by the switch at attach time; carries frames onto the
     /// wire.
-    tx_handler: RefCell<Option<Box<dyn Fn(Frame)>>>,
+    tx_handler: RefCell<Option<TxHandler>>,
     tx_frames: Cell<u64>,
     tx_bytes: Cell<u64>,
     rx_frames: Cell<u64>,

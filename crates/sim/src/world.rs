@@ -66,10 +66,13 @@ pub fn charged_so_far() -> u64 {
     CHARGE.with(|c| c.get())
 }
 
+/// A deferred world action, run at its deadline.
+type WorldAction = Box<dyn FnOnce(&Rc<SimWorld>)>;
+
 struct QEntry {
     at: Ns,
     seq: u64,
-    action: Box<dyn FnOnce(&Rc<SimWorld>)>,
+    action: WorldAction,
 }
 
 impl PartialEq for QEntry {
@@ -202,10 +205,7 @@ impl SimWorld {
             self.drain_wake_queue();
             let due = {
                 let q = self.queue.borrow();
-                match q.peek() {
-                    Some(Reverse(e)) if e.at <= deadline => true,
-                    _ => false,
-                }
+                matches!(q.peek(), Some(Reverse(e)) if e.at <= deadline)
             };
             if !due {
                 break;
@@ -309,10 +309,7 @@ mod tests {
         w.schedule_at(100, move |w| l2.borrow_mut().push(("a", w.now())));
         w.schedule_at(200, move |w| l3.borrow_mut().push(("b", w.now())));
         w.run_to_idle();
-        assert_eq!(
-            *log.borrow(),
-            vec![("a", 100), ("b", 200), ("c", 300)]
-        );
+        assert_eq!(*log.borrow(), vec![("a", 100), ("b", 200), ("c", 300)]);
     }
 
     #[test]

@@ -45,7 +45,12 @@ fn main() {
 
     // Schedules `count` datagrams, `gap` ns apart, each sent from an
     // event on the client's core.
-    let send_burst = |w: &Rc<SimWorld>, client: &Rc<SimMachine>, c_if: &Rc<NetIf>, at: u64, count: usize, gap: u64| {
+    let send_burst = |w: &Rc<SimWorld>,
+                      client: &Rc<SimMachine>,
+                      c_if: &Rc<NetIf>,
+                      at: u64,
+                      count: usize,
+                      gap: u64| {
         for i in 0..count {
             let c2 = Rc::clone(c_if);
             let cl = Rc::clone(client);
@@ -69,7 +74,12 @@ fn main() {
     send_burst(&w, &client, &c_if, 0, 20, 100_000);
     w.run_for(3_000_000);
     let (irqs1, idle1) = em_stats(&server);
-    println!("  received={} interrupts={} idle-invocations={}", received.get(), irqs1, idle1);
+    println!(
+        "  received={} interrupts={} idle-invocations={}",
+        received.get(),
+        irqs1,
+        idle1
+    );
 
     println!("phase 2: flood (2000 datagrams back-to-back) — driver switches to polling");
     send_burst(&w, &client, &c_if, w.now(), 2000, 300);

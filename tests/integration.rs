@@ -148,7 +148,10 @@ fn threaded_backend_runs_allocator_stack() {
                 f
             })
             .collect();
-        block_on(future::join_all(futures)).unwrap().iter().sum::<usize>()
+        block_on(future::join_all(futures))
+            .unwrap()
+            .iter()
+            .sum::<usize>()
     });
     assert_eq!(per_core, ncores * 500);
 }
@@ -195,11 +198,7 @@ fn simulation_is_deterministic() {
             );
         });
         w.run_to_idle();
-        (
-            w.now(),
-            s_if.stats.rx_tcp.get(),
-            client.cpu_time(CoreId(0)),
-        )
+        (w.now(), s_if.stats.rx_tcp.get(), client.cpu_time(CoreId(0)))
     }
     assert_eq!(run_once(), run_once());
 }
@@ -212,7 +211,10 @@ fn memcached_store_consistency_under_churn() {
     let store = Store::new(Arc::clone(&domain));
     let _g = domain.read_guard(CoreId(0));
     for i in 0..200u32 {
-        store.insert_raw(format!("key{i}").into_bytes(), IoBuf::copy_from(&i.to_be_bytes()));
+        store.insert_raw(
+            format!("key{i}").into_bytes(),
+            IoBuf::copy_from(&i.to_be_bytes()),
+        );
     }
     // Overwrite half while reading everything.
     for i in 0..100u32 {
@@ -223,7 +225,7 @@ fn memcached_store_consistency_under_churn() {
     }
     for i in 0..200u32 {
         let v = store.get_raw(format!("key{i}").as_bytes()).unwrap();
-        let got = u32::from_be_bytes(ebbrt_core::iobuf::Buf::bytes(&v).try_into().unwrap());
+        let got = u32::from_be_bytes(v.copy_to_vec().as_slice().try_into().unwrap());
         if i < 100 {
             assert_eq!(got, i * 2);
         } else {

@@ -5,6 +5,118 @@ use proptest::prelude::*;
 
 use ebbrt_core::iobuf::{Buf, Chain, IoBuf, MutIoBuf};
 
+mod zero_copy_props {
+    use super::*;
+    use ebbrt_apps::memcached::{self, Store};
+    use ebbrt_core::cpu::CoreId;
+    use ebbrt_net::netif::TcpConn;
+    use std::sync::Arc;
+
+    /// Builds a pipelined request stream of SETs and GETs over a small
+    /// key space. Returns the raw bytes.
+    fn build_stream(ops: &[(u8, Vec<u8>)]) -> Vec<u8> {
+        let mut stream = Vec::new();
+        for (i, (sel, value)) in ops.iter().enumerate() {
+            let key = format!("key{}", sel % 8);
+            if sel % 3 == 0 {
+                stream.extend(memcached::encode_get(key.as_bytes(), i as u32));
+            } else {
+                stream.extend(memcached::encode_set(key.as_bytes(), value, i as u32));
+            }
+        }
+        stream
+    }
+
+    /// Observable parse outcome: store contents, (gets, sets, misses)
+    /// counters, and the unconsumed tail length.
+    type ParseOutcome = (Vec<(Vec<u8>, Vec<u8>)>, u64, u64, u64, usize);
+
+    /// Feeds `stream` to a fresh server connection in segments at the
+    /// given cut points.
+    fn feed(stream: &[u8], cuts: &[usize]) -> ParseOutcome {
+        let domain = Arc::new(ebbrt_core::rcu::RcuDomain::new(1));
+        let _guard = domain.read_guard(CoreId(0));
+        let store = Store::new(Arc::clone(&domain));
+        let sc = memcached::ServerConn::new(Arc::clone(&store));
+        let _bind = ebbrt_core::cpu::bind(CoreId(0));
+        // Split the stream at the (sorted, deduped) cut points.
+        let mut points: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+        points.push(0);
+        points.push(stream.len());
+        points.sort_unstable();
+        points.dedup();
+        for w in points.windows(2) {
+            if w[0] == w[1] {
+                continue;
+            }
+            let seg = Chain::single(IoBuf::copy_from(&stream[w[0]..w[1]]));
+            // The dangling conn panics when a response is sent — after
+            // parsing and store updates are complete for this call.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                use ebbrt_net::netif::ConnHandler;
+                sc.on_receive(&TcpConn::dangling(), seg);
+            }));
+        }
+        let mut contents: Vec<(Vec<u8>, Vec<u8>)> = (0..8)
+            .filter_map(|k| {
+                let key = format!("key{k}").into_bytes();
+                store.get_raw(&key).map(|v| (key, v.copy_to_vec()))
+            })
+            .collect();
+        contents.sort();
+        use std::sync::atomic::Ordering::Relaxed;
+        (
+            contents,
+            store.gets.load(Relaxed),
+            store.sets.load(Relaxed),
+            store.misses.load(Relaxed),
+            sc.pending_len(),
+        )
+    }
+
+    proptest! {
+        /// Any segmentation of a request stream parses identically to
+        /// the contiguous form: same store contents, same op counts,
+        /// same unconsumed tail.
+        #[test]
+        fn memcached_parse_is_segmentation_invariant(
+            ops in prop::collection::vec((any::<u8>(), prop::collection::vec(any::<u8>(), 0..80)), 1..12),
+            cuts in prop::collection::vec(any::<usize>(), 0..24),
+            trailing in 0usize..24,
+        ) {
+            let mut stream = build_stream(&ops);
+            // A truncated final request must stay buffered identically.
+            let keep = stream.len().saturating_sub(trailing % (stream.len() + 1));
+            stream.truncate(keep);
+            let contiguous = feed(&stream, &[]);
+            let segmented = feed(&stream, &cuts);
+            prop_assert_eq!(&contiguous, &segmented);
+        }
+
+        /// `slice()` views observe exactly the bytes the writer put in
+        /// the region, wherever the view is carved.
+        #[test]
+        fn slice_views_observe_writer_bytes(
+            payload in prop::collection::vec(any::<u8>(), 1..200),
+            windows in prop::collection::vec((any::<usize>(), any::<usize>()), 1..8),
+        ) {
+            let mut buf = MutIoBuf::with_capacity(payload.len());
+            buf.append(payload.len()).copy_from_slice(&payload);
+            let frozen = buf.freeze();
+            for (start, len) in windows {
+                let start = start % payload.len();
+                let len = len % (payload.len() - start + 1);
+                let view = frozen.slice(start, len);
+                prop_assert_eq!(view.bytes(), &payload[start..start + len]);
+                let range_view = frozen.slice_range(start..start + len);
+                prop_assert_eq!(range_view.bytes(), &payload[start..start + len]);
+            }
+            // All views shared one region: no storage was duplicated.
+            prop_assert_eq!(frozen.ref_count(), 1);
+        }
+    }
+}
+
 mod iobuf_props {
     use super::*;
 
