@@ -535,10 +535,7 @@ mod tests {
         // region) rather than pinning the whole receive buffer.
         let stored = store.get_raw(b"hello_key").expect("stored");
         assert_eq!(stored.copy_to_vec(), b"world_value");
-        assert!(stored
-            .segments()
-            .iter()
-            .all(|s| s.region_len() == stored.len()));
+        assert!(stored.iter().all(|s| s.region_len() == stored.len()));
     }
 
     #[test]
@@ -628,10 +625,7 @@ mod tests {
         let v = store.get_raw(b"spanning").expect("value stored");
         assert_eq!(v.len(), 4096);
         assert!(v.segment_count() > 1, "value should span receive segments");
-        assert!(v
-            .segments()
-            .iter()
-            .all(|s| s.bytes().iter().all(|&b| b == 0xEE)));
+        assert!(v.iter().all(|s| s.bytes().iter().all(|&b| b == 0xEE)));
     }
 
     #[test]
@@ -643,7 +637,7 @@ mod tests {
         let v = store.get_raw(b"spanning").expect("value stored");
         assert_eq!(v.copy_to_vec(), [0x44; 10]);
         assert!(
-            v.segments().iter().all(|s| s.region_len() == 10),
+            v.iter().all(|s| s.region_len() == 10),
             "stored region must be exact-size, not a pinned receive buffer"
         );
     }

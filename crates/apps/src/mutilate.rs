@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 
 use ebbrt_core::clock::Ns;
 use ebbrt_core::cpu::CoreId;
-use ebbrt_core::iobuf::{Chain, IoBuf, MutIoBuf};
+use ebbrt_core::iobuf::{Buf, Chain, IoBuf, MutIoBuf};
 use ebbrt_net::netif::{ConnHandler, NetIf, TcpConn};
 use ebbrt_net::types::Ipv4Addr;
 use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
@@ -109,13 +109,56 @@ fn etc_value_len(rng: &mut StdRng) -> usize {
     (2.0f64.powf(exp) as usize).clamp(1, 1024)
 }
 
+/// Pre-built request frames for the whole key set, shared by every
+/// connection: the GET frame and the SET frame (with a maximum-size
+/// value) for each key are encoded **once** at experiment setup. Per
+/// request, the client copies the template's live prefix into a
+/// *pooled* buffer and patches the opaque (and, for SETs, the body
+/// length) in place — the steady-state load generator performs no
+/// heap allocation per request.
+struct RequestTemplates {
+    /// `encode_get(key, 0)` per key.
+    get: Vec<Vec<u8>>,
+    /// `encode_set(key, [b'u'; MAX_VALUE], 0)` per key; a shorter value
+    /// uses a prefix of this frame with the length fields patched.
+    set: Vec<Vec<u8>>,
+}
+
+/// Largest ETC value the generator produces (see [`etc_value_len`]).
+const MAX_VALUE_LEN: usize = 1024;
+
+impl RequestTemplates {
+    fn build(keys: &[Vec<u8>]) -> RequestTemplates {
+        RequestTemplates {
+            get: keys.iter().map(|k| memcached::encode_get(k, 0)).collect(),
+            set: keys
+                .iter()
+                .map(|k| memcached::encode_set(k, &[b'u'; MAX_VALUE_LEN], 0))
+                .collect(),
+        }
+    }
+}
+
+/// One generated request: everything needed to patch a template at
+/// send time. No owned bytes — the arrival queue is allocation-free
+/// once warm.
+#[derive(Clone, Copy)]
+struct PendingReq {
+    opaque: u32,
+    key: u32,
+    /// `None` encodes a GET; `Some(len)` a SET of `len` value bytes.
+    set_len: Option<u16>,
+    /// Intended arrival time (open-loop latency base).
+    at: Ns,
+}
+
 struct ClientConn {
     recorder: Rc<RefCell<LatencyRecorder>>,
-    /// (opaque → intended arrival time) of in-flight requests.
+    templates: Rc<RequestTemplates>,
+    /// opaque → intended arrival time of in-flight requests.
     outstanding: RefCell<std::collections::HashMap<u32, Ns>>,
-    /// Generated requests waiting for pipeline slots: (opaque, bytes,
-    /// intended arrival).
-    pending: RefCell<std::collections::VecDeque<(u32, Vec<u8>, Ns)>>,
+    /// Generated requests waiting for pipeline slots.
+    pending: RefCell<std::collections::VecDeque<PendingReq>>,
     rx: RefCell<Vec<u8>>,
     pipeline: usize,
     completed: Cell<u64>,
@@ -125,6 +168,47 @@ struct ClientConn {
 }
 
 impl ClientConn {
+    /// Wire length of `req`'s frame, from the template alone (no
+    /// staging needed — used for the send-window check).
+    fn frame_len(&self, req: &PendingReq) -> usize {
+        match req.set_len {
+            None => self.templates.get[req.key as usize].len(),
+            Some(vlen) => {
+                self.templates.set[req.key as usize].len() - MAX_VALUE_LEN + vlen as usize
+            }
+        }
+    }
+
+    /// Stages `req` into a pooled buffer: template prefix copy plus
+    /// in-place patches of the opaque/body-length fields. Zero heap
+    /// allocations once the buffer pool is warm.
+    fn stage(&self, req: &PendingReq) -> IoBuf {
+        let key = req.key as usize;
+        let (template, len, body) = match req.set_len {
+            None => {
+                let t = &self.templates.get[key];
+                (t, t.len(), None)
+            }
+            Some(vlen) => {
+                let t = &self.templates.set[key];
+                let len = t.len() - MAX_VALUE_LEN + vlen as usize;
+                (
+                    t,
+                    len,
+                    Some((t.len() - Header::SIZE - MAX_VALUE_LEN + vlen as usize) as u32),
+                )
+            }
+        };
+        let mut buf = MutIoBuf::with_capacity(len);
+        buf.append_slice(&template[..len]);
+        let bytes = buf.bytes_mut();
+        bytes[12..16].copy_from_slice(&req.opaque.to_be_bytes());
+        if let Some(total_body) = body {
+            bytes[8..12].copy_from_slice(&total_body.to_be_bytes());
+        }
+        buf.freeze()
+    }
+
     fn pump(&self) {
         let conn = match (self.connected.get(), self.conn.borrow().as_ref()) {
             (true, Some(c)) => c.clone(),
@@ -134,18 +218,19 @@ impl ClientConn {
             if self.outstanding.borrow().len() >= self.pipeline {
                 return;
             }
-            let (opaque, bytes, t) = match self.pending.borrow_mut().pop_front() {
+            let req = match self.pending.borrow_mut().pop_front() {
                 Some(r) => r,
                 None => return,
             };
-            if bytes.len() > conn.send_window() {
-                // Window full: requeue and wait for on_window_open.
-                self.pending.borrow_mut().push_front((opaque, bytes, t));
+            if self.frame_len(&req) > conn.send_window() {
+                // Window full: requeue (nothing staged yet) and wait
+                // for on_window_open.
+                self.pending.borrow_mut().push_front(req);
                 return;
             }
-            self.outstanding.borrow_mut().insert(opaque, t);
-            let chain = Chain::single(MutIoBuf::from_vec(bytes).freeze());
-            if conn.send(chain).is_err() {
+            let frame = self.stage(&req);
+            self.outstanding.borrow_mut().insert(req.opaque, req.at);
+            if conn.send(Chain::single(frame)).is_err() {
                 return;
             }
         }
@@ -170,7 +255,9 @@ impl ConnHandler for ClientConn {
     fn on_receive(&self, _conn: &TcpConn, data: Chain<IoBuf>) {
         let now = ebbrt_core::runtime::with_current(|rt| rt.now_ns());
         let mut rx = self.rx.borrow_mut();
-        rx.extend(data.copy_to_vec());
+        for seg in data.iter() {
+            rx.extend_from_slice(seg.bytes());
+        }
         loop {
             if rx.len() < Header::SIZE {
                 break;
@@ -238,16 +325,20 @@ pub fn run(config: &ExperimentConfig) -> Sample {
     memcached::start_server(&s_if, &store);
     server.start_scheduler_ticks(&w);
 
-    // Connections, spread over client cores.
+    // Connections, spread over client cores. Request frames are
+    // templated once here; per-request generation only patches bytes.
     let measuring = Rc::new(Cell::new(false));
-    let keys = Rc::new(keys);
+    let templates = Rc::new(RequestTemplates::build(&keys));
     let mut conns: Vec<Rc<ClientConn>> = Vec::new();
     let per_conn_rate = config.offered_rps as f64 / config.connections as f64;
     let mean_gap_ns = 1e9 / per_conn_rate;
     for i in 0..config.connections {
         let cc = Rc::new(ClientConn {
             recorder: Rc::new(RefCell::new(LatencyRecorder::new())),
-            outstanding: RefCell::new(Default::default()),
+            templates: Rc::clone(&templates),
+            outstanding: RefCell::new(std::collections::HashMap::with_capacity(
+                config.pipeline * 2,
+            )),
             pending: RefCell::new(Default::default()),
             rx: RefCell::new(Vec::new()),
             pipeline: config.pipeline,
@@ -259,7 +350,6 @@ pub fn run(config: &ExperimentConfig) -> Sample {
         conns.push(Rc::clone(&cc));
         let core = CoreId((i % config.client_cores) as u32);
         let c_if2 = Rc::clone(&c_if);
-        let keys2 = Rc::clone(&keys);
         let cfg = config.clone();
         spawn_with(&client, core, cc, move |cc| {
             let conn = c_if2.connect(
@@ -270,7 +360,7 @@ pub fn run(config: &ExperimentConfig) -> Sample {
             *cc.conn.borrow_mut() = Some(conn);
             // Start this connection's arrival process.
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((i as u64 + 1) * 0x9e37));
-            schedule_arrival(&cc, &keys2, &cfg, mean_gap_ns, &mut rng, i as u32);
+            schedule_arrival(&cc, &cfg, mean_gap_ns, &mut rng, i as u32);
         });
     }
 
@@ -315,40 +405,44 @@ fn store_insert(store: &Arc<Store>, key: Vec<u8>, vlen: usize) {
 }
 
 /// Schedules this connection's next request arrival (exponential gap),
-/// recursively rescheduling itself.
+/// recursively rescheduling itself. Generation is allocation-free: a
+/// request is a template index plus patch fields, not owned bytes.
 #[allow(clippy::only_used_in_recursion)]
 fn schedule_arrival(
     cc: &Rc<ClientConn>,
-    keys: &Rc<Vec<Vec<u8>>>,
     cfg: &ExperimentConfig,
     mean_gap_ns: f64,
     rng: &mut StdRng,
     conn_index: u32,
 ) {
     let gap = (-rng.gen::<f64>().max(1e-12).ln() * mean_gap_ns) as u64;
-    let cc2 = crate::SendCell((Rc::clone(cc), Rc::clone(keys), cfg.clone(), rng.clone()));
+    let cc2 = crate::SendCell((Rc::clone(cc), cfg.clone(), rng.clone()));
     let mean = mean_gap_ns;
     ebbrt_core::runtime::with_current(move |rt| {
         rt.local_event_manager().set_timer(gap.max(1), move || {
             let cell = cc2;
-            let (cc, keys, cfg, mut rng) = cell.0;
+            let (cc, cfg, mut rng) = cell.0;
             // Generate one request.
             let now = ebbrt_core::runtime::with_current(|rt| rt.now_ns());
-            let opaque = rng.gen::<u32>();
-            let key = &keys[rng.gen_range(0..keys.len())];
-            let bytes = if rng.gen::<f64>() < cfg.get_ratio {
-                memcached::encode_get(key, opaque)
-            } else {
-                memcached::encode_set(key, &vec![b'u'; etc_value_len(&mut rng)], opaque)
+            let nkeys = cc.templates.get.len();
+            let req = PendingReq {
+                opaque: rng.gen::<u32>(),
+                key: rng.gen_range(0..nkeys) as u32,
+                set_len: if rng.gen::<f64>() < cfg.get_ratio {
+                    None
+                } else {
+                    Some(etc_value_len(&mut rng) as u16)
+                },
+                at: now,
             };
             // Bound the backlog so overload doesn't exhaust memory; the
             // latency of dropped arrivals is effectively infinite and
             // the achieved-throughput plateau tells the story.
             if cc.pending.borrow().len() < 4096 {
-                cc.pending.borrow_mut().push_back((opaque, bytes, now));
+                cc.pending.borrow_mut().push_back(req);
             }
             cc.pump();
-            schedule_arrival(&cc, &keys, &cfg, mean, &mut rng, conn_index);
+            schedule_arrival(&cc, &cfg, mean, &mut rng, conn_index);
         });
     });
 }

@@ -98,7 +98,7 @@ impl ConnHandler for HttpServerConn {
         {
             let mut matched = 0u8;
             let mut offset = 0usize;
-            for seg in pending.segments() {
+            for seg in pending.iter() {
                 for &b in seg.bytes() {
                     offset += 1;
                     matched = match (matched, b) {

@@ -12,6 +12,30 @@ use std::time::Instant;
 /// Nanoseconds since a clock-specific epoch.
 pub type Ns = u64;
 
+/// Tick granularity used by the event manager's timer wheel
+/// ([`crate::timer`]): deadlines are quantized to ticks of
+/// `2^shift` nanoseconds. The default of `0` keeps exact-nanosecond
+/// semantics (a timer fires at the first dispatch with
+/// `now >= deadline`, as the old heap did); a coarser shift trades up
+/// to `2^shift - 1` ns of firing lateness for a smaller wheel span —
+/// timers never fire early either way, because deadlines round *up*.
+pub const DEFAULT_TIMER_TICK_SHIFT: u32 = 0;
+
+/// Converts a deadline to its tick, rounding up so the quantized timer
+/// never fires before the requested time.
+#[inline]
+pub fn deadline_to_tick(deadline_ns: Ns, shift: u32) -> u64 {
+    let gran = (1u64 << shift) - 1;
+    deadline_ns.saturating_add(gran) >> shift
+}
+
+/// The instant (ns) at which a tick begins — the effective deadline of
+/// every timer quantized to that tick.
+#[inline]
+pub fn tick_to_ns(tick: u64, shift: u32) -> Ns {
+    tick << shift
+}
+
 /// A monotonic nanosecond time source.
 pub trait Clock: Send + Sync + 'static {
     /// Current time in nanoseconds since this clock's epoch.

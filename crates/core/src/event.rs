@@ -25,9 +25,9 @@
 //! blocking semantics over [`crate::future::Future`].
 
 use std::cell::{Cell, UnsafeCell};
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::rcu::CoreEpoch;
@@ -35,9 +35,12 @@ use crate::rcu::CoreEpoch;
 use crossbeam::queue::SegQueue;
 use parking_lot::{Condvar, Mutex};
 
-use crate::clock::{Clock, Ns};
+use crate::clock::{Clock, Ns, DEFAULT_TIMER_TICK_SHIFT};
 use crate::cpu::{self, CoreId};
 use crate::future::{FutResult, Future};
+use crate::timer::{TimerWheel, TimerWheelStats};
+
+pub use crate::timer::TimerToken;
 
 /// A one-shot event handler, local to a core.
 pub type EventHandler = Box<dyn FnOnce() + 'static>;
@@ -51,10 +54,6 @@ pub struct InterruptVector(pub u32);
 /// Token identifying a registered idle handler.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct IdleToken(u64);
-
-/// Token identifying a pending timer.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct TimerToken(u64);
 
 /// What a single dispatch pass accomplished.
 #[derive(Clone, Copy, Default, Debug)]
@@ -95,41 +94,107 @@ pub struct EventStats {
     pub idle: AtomicU64,
 }
 
-struct TimerEntry {
-    deadline: Ns,
-    seq: u64,
-    token: u64,
-    handler: EventHandler,
+/// The timer wheel's handler payload: a one-shot boxed closure
+/// (consumed when the timer fires) or a persistent `Rc` closure that
+/// survives firings and is re-armed with [`EventManager::reset_timer`].
+enum TimerFn {
+    Once(EventHandler),
+    Persistent(Rc<dyn Fn()>),
 }
 
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
+/// A lock-free slot holding at most one `Arc<T>`, swapped with single
+/// atomic operations — no mutex on the reader or writer path.
+///
+/// `Arc<dyn Fn>` is a fat pointer, so the slot stores a thin pointer to
+/// a boxed `Arc` (the standard double-indirection trick). Ownership is
+/// always exclusive: every access *takes* the value out with a `swap`,
+/// so no thread ever dereferences a pointer another thread might free.
+/// Callers take, use, and put the value back with a compare-exchange
+/// that fails harmlessly if somebody registered a new value meanwhile.
+///
+/// The liveness contract for wakers: a caller that takes the slot and
+/// finds it empty may skip the wake *only because* whoever holds the
+/// value always invokes it before restoring, and the event loop
+/// re-registers its waker and re-checks its queues before parking (the
+/// classic register-then-check pattern), so a push that raced an
+/// in-flight wake is observed either by that wake or by the pre-park
+/// check.
+pub(crate) struct AtomicArcCell<T: ?Sized> {
+    ptr: AtomicPtr<Arc<T>>,
+}
+
+impl<T: ?Sized> AtomicArcCell<T> {
+    fn new() -> Self {
+        AtomicArcCell {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Installs `value`, dropping whatever was in the slot.
+    fn store(&self, value: Arc<T>) {
+        let new = Box::into_raw(Box::new(value));
+        let old = self.ptr.swap(new, Ordering::AcqRel);
+        if !old.is_null() {
+            // SAFETY: the swap transferred exclusive ownership of `old`
+            // to us; no other thread can still reach it.
+            drop(unsafe { Box::from_raw(old) });
+        }
+    }
+
+    /// Takes the value out, leaving the slot empty.
+    fn take(&self) -> Option<Arc<T>> {
+        let p = self.ptr.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: as in `store` — the swap made us the sole owner.
+            Some(*unsafe { Box::from_raw(p) })
+        }
+    }
+
+    /// Puts a previously taken value back if the slot is still empty;
+    /// if a new value was registered meanwhile, the old one is dropped.
+    fn restore(&self, value: Arc<T>) {
+        let new = Box::into_raw(Box::new(value));
+        if self
+            .ptr
+            .compare_exchange(
+                std::ptr::null_mut(),
+                new,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            // SAFETY: the CAS failed, so `new` never became reachable
+            // by any other thread; we still own it.
+            drop(unsafe { Box::from_raw(new) });
+        }
     }
 }
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+impl<T: ?Sized> Drop for AtomicArcCell<T> {
+    fn drop(&mut self) {
+        self.take();
     }
 }
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .deadline
-            .cmp(&self.deadline)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
+
+// SAFETY: the cell hands out the Arc only through ownership-transferring
+// swaps; Arc<T> with T: Send + Sync is itself Send + Sync.
+unsafe impl<T: ?Sized + Send + Sync> Send for AtomicArcCell<T> {}
+// SAFETY: as above.
+unsafe impl<T: ?Sized + Send + Sync> Sync for AtomicArcCell<T> {}
 
 /// State shared between the owning core and remote producers.
 pub(crate) struct EmShared {
     core: CoreId,
     remote: SegQueue<SendEventHandler>,
     interrupts: SegQueue<u32>,
-    waker: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
-    successor: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+    /// Wake callback for a halted core. Lock-free: the cross-core spawn
+    /// path takes the `Arc` with one atomic swap, invokes it, and CASes
+    /// it back — the last mutex on that path is gone (ROADMAP item).
+    waker: AtomicArcCell<dyn Fn() + Send + Sync>,
+    successor: AtomicArcCell<dyn Fn() + Send + Sync>,
     /// Quiescence state shared with the machine's RCU domain: bumped at
     /// every event boundary, flagged during handler execution.
     epoch: Arc<CoreEpoch>,
@@ -138,10 +203,14 @@ pub(crate) struct EmShared {
 
 impl EmShared {
     fn wake(&self) {
-        let waker = self.waker.lock().clone();
-        if let Some(w) = waker {
+        if let Some(w) = self.waker.take() {
             w();
+            self.waker.restore(w);
         }
+        // Empty slot: either no waker was ever registered, or another
+        // thread is mid-wake / the owner is mid-re-register — both end
+        // with a wake delivered or the owner re-checking its queues
+        // before parking (see AtomicArcCell's liveness contract).
     }
 
     fn push_remote(&self, f: SendEventHandler) {
@@ -158,10 +227,7 @@ struct EmOwned {
     free_vectors: Vec<u32>,
     idle: Vec<(u64, Rc<dyn Fn() -> bool>)>,
     next_idle_token: u64,
-    timers: BinaryHeap<TimerEntry>,
-    cancelled_timers: HashSet<u64>,
-    next_timer_token: u64,
-    timer_seq: u64,
+    timers: TimerWheel<TimerFn>,
     pending_handoff: Option<EventContext>,
 }
 
@@ -239,8 +305,8 @@ impl EventManager {
                 core,
                 remote: SegQueue::new(),
                 interrupts: SegQueue::new(),
-                waker: Mutex::new(None),
-                successor: Mutex::new(None),
+                waker: AtomicArcCell::new(),
+                successor: AtomicArcCell::new(),
                 epoch,
                 exit: AtomicBool::new(false),
             }),
@@ -252,10 +318,7 @@ impl EventManager {
                     free_vectors: Vec::new(),
                     idle: Vec::new(),
                     next_idle_token: 0,
-                    timers: BinaryHeap::new(),
-                    cancelled_timers: HashSet::new(),
-                    next_timer_token: 0,
-                    timer_seq: 0,
+                    timers: TimerWheel::new(DEFAULT_TIMER_TICK_SHIFT),
                     pending_handoff: None,
                 },
             ),
@@ -360,45 +423,95 @@ impl EventManager {
     }
 
     // --- Timers ---------------------------------------------------------
+    //
+    // Timers live in a hashed hierarchical wheel ([`crate::timer`]):
+    // arm, cancel and re-arm are all O(1), and cancellation frees the
+    // entry (and its handler) immediately — there is no tombstone set.
 
-    /// Arms a one-shot timer `delay_ns` from now.
+    /// Arms a one-shot timer `delay_ns` from now. The handler is
+    /// consumed when it fires; the token then goes stale.
     pub fn set_timer(&self, delay_ns: Ns, f: impl FnOnce() + 'static) -> TimerToken {
         let deadline = self.clock.now_ns() + delay_ns;
-        self.owned.with(|o| {
-            let token = o.next_timer_token;
-            o.next_timer_token += 1;
-            let seq = o.timer_seq;
-            o.timer_seq += 1;
-            o.timers.push(TimerEntry {
-                deadline,
-                seq,
-                token,
-                handler: Box::new(f),
-            });
-            TimerToken(token)
-        })
+        self.owned
+            .with(|o| o.timers.schedule(deadline, TimerFn::Once(Box::new(f))))
     }
 
-    /// Cancels a pending timer; a timer that already fired is a no-op.
+    /// Creates a *persistent* timer armed `delay_ns` from now. Firing
+    /// parks it (handler retained) instead of destroying it; re-arm it
+    /// with [`Self::reset_timer`] — an O(1), allocation-free operation —
+    /// and free it with [`Self::cancel_timer`]. This is what lets the
+    /// TCP layer keep one timer per connection and reset it per ACK
+    /// instead of boxing a fresh closure per segment.
+    pub fn set_persistent_timer(&self, delay_ns: Ns, f: impl Fn() + 'static) -> TimerToken {
+        let deadline = self.clock.now_ns() + delay_ns;
+        self.owned
+            .with(|o| o.timers.schedule(deadline, TimerFn::Persistent(Rc::new(f))))
+    }
+
+    /// Re-arms `token` to fire `delay_ns` from now, whether it is
+    /// currently pending, already due (pulled back out), or parked
+    /// after a persistent firing. O(1); no allocation. Returns `false`
+    /// if the token is stale (one-shot already fired, or cancelled).
+    pub fn reset_timer(&self, token: TimerToken, delay_ns: Ns) -> bool {
+        let deadline = self.clock.now_ns() + delay_ns;
+        self.owned.with(|o| o.timers.arm(token, deadline))
+    }
+
+    /// The reset-or-create idiom for owner-managed persistent timers:
+    /// re-arms `token` if it is still live (the steady state — O(1),
+    /// no allocation; `f` goes unused), otherwise creates a fresh
+    /// persistent timer from `f`. Returns the token the caller should
+    /// hold, which equals `token` whenever the reset succeeded.
+    pub fn arm_persistent_timer(
+        &self,
+        token: Option<TimerToken>,
+        delay_ns: Ns,
+        f: impl Fn() + 'static,
+    ) -> TimerToken {
+        if let Some(tok) = token {
+            if self.reset_timer(tok, delay_ns) {
+                return tok;
+            }
+        }
+        self.set_persistent_timer(delay_ns, f)
+    }
+
+    /// Unschedules `token` without freeing it: the handler is retained
+    /// and the timer can be re-armed with [`Self::reset_timer`].
+    /// Returns `false` if the token is stale.
+    pub fn disarm_timer(&self, token: TimerToken) -> bool {
+        self.owned.with(|o| o.timers.disarm(token))
+    }
+
+    /// Cancels a timer, freeing its entry and handler immediately; a
+    /// stale token (timer already fired and one-shot) is a no-op.
     pub fn cancel_timer(&self, token: TimerToken) {
         self.owned.with(|o| {
-            o.cancelled_timers.insert(token.0);
+            o.timers.remove(token);
         });
     }
 
-    /// Earliest pending timer deadline, if any.
+    /// Whether `token` is scheduled to fire.
+    pub fn timer_armed(&self, token: TimerToken) -> bool {
+        self.owned.with(|o| o.timers.is_scheduled(token))
+    }
+
+    /// Timer-subsystem counters (pending/live entries, slab size,
+    /// cascade count) — used by tests and benches to assert the
+    /// no-tombstone and one-entry-per-connection properties.
+    pub fn timer_stats(&self) -> TimerWheelStats {
+        self.owned.with(|o| o.timers.stats())
+    }
+
+    /// A lower bound on the next timer firing time: exact for a due
+    /// timer or one within the wheel's finest level, otherwise the
+    /// start of the slot holding the earliest timer (the halt/park
+    /// decision needs only a bound that is sound and strictly in the
+    /// future; the scan reads one occupancy word per level). `None` if
+    /// no timer is pending.
     pub fn next_timer_deadline(&self) -> Option<Ns> {
-        self.owned.with(|o| {
-            // Skip cancelled entries without firing them.
-            while let Some(top) = o.timers.peek() {
-                if o.cancelled_timers.remove(&top.token) {
-                    o.timers.pop();
-                } else {
-                    return Some(top.deadline);
-                }
-            }
-            None
-        })
+        let now = self.clock.now_ns();
+        self.owned.with(|o| o.timers.next_deadline(now))
     }
 
     // --- Dispatch --------------------------------------------------------
@@ -457,27 +570,34 @@ impl EventManager {
         let now = self.clock.now_ns();
         let mut n = 0;
         loop {
-            let entry = self.owned.with(|o| {
-                match o.timers.peek() {
-                    Some(top) if top.deadline <= now => {}
-                    _ => return None,
-                }
-                let e = o.timers.pop().expect("peeked entry vanished");
-                if o.cancelled_timers.remove(&e.token) {
-                    Some(None)
-                } else {
-                    Some(Some(e.handler))
+            // Pop under the owner borrow, invoke outside it (handlers
+            // re-enter the manager to arm/cancel timers). A handler
+            // arming a past-deadline timer queues it for this same
+            // loop, in (deadline, arm-order) order — exactly the old
+            // heap's semantics.
+            enum Fire {
+                Once(EventHandler),
+                Persistent(Rc<dyn Fn()>),
+            }
+            let fired = self.owned.with(|o| {
+                o.timers.advance(now);
+                let (token, _deadline) = o.timers.pop_expired()?;
+                match o.timers.handler(token) {
+                    Some(TimerFn::Persistent(f)) => Some(Fire::Persistent(Rc::clone(f))),
+                    Some(TimerFn::Once(_)) => match o.timers.remove(token) {
+                        Some(TimerFn::Once(h)) => Some(Fire::Once(h)),
+                        _ => unreachable!("one-shot entry changed kind"),
+                    },
+                    None => unreachable!("expired entry has no handler"),
                 }
             });
-            match entry {
+            match fired {
                 None => return n,
-                Some(None) => continue,
-                Some(Some(h)) => {
-                    self.invoke(h);
-                    self.stats.timers.fetch_add(1, Ordering::Relaxed);
-                    n += 1;
-                }
+                Some(Fire::Once(h)) => self.invoke(h),
+                Some(Fire::Persistent(f)) => self.invoke(move || f()),
             }
+            self.stats.timers.fetch_add(1, Ordering::Relaxed);
+            n += 1;
         }
     }
 
@@ -528,15 +648,24 @@ impl EventManager {
 
     /// Installs the callback used to wake a halted core (threaded
     /// backend: unpark; simulated backend: schedule a poll event).
+    /// Lock-free; re-registering the same `Arc` (which the loop runner
+    /// does every pass) is recognized and costs two atomic ops, no
+    /// allocation.
     pub fn register_waker(&self, waker: Arc<dyn Fn() + Send + Sync>) {
-        *self.shared.waker.lock() = Some(waker);
+        if let Some(current) = self.shared.waker.take() {
+            if Arc::ptr_eq(&current, &waker) {
+                self.shared.waker.restore(current);
+                return;
+            }
+        }
+        self.shared.waker.store(waker);
     }
 
     /// Installs the callback that spawns a successor loop runner,
     /// enabling [`Self::save_context`]. Only the threaded backend sets
     /// this.
     pub fn register_successor_spawner(&self, spawner: Arc<dyn Fn() + Send + Sync>) {
-        *self.shared.successor.lock() = Some(spawner);
+        self.shared.successor.store(spawner);
     }
 
     /// Requests loop exit (machine shutdown) and wakes the core.
@@ -594,9 +723,13 @@ impl EventManager {
             "save_context off-core"
         );
         let spawner =
-            self.shared.successor.lock().clone().expect(
+            self.shared.successor.take().expect(
                 "save_context requires the threaded backend (no successor spawner installed)",
             );
+        // Put it straight back: save_context runs on the owning core,
+        // so the only concurrent access is a (boot-time) re-register,
+        // which `restore` yields to.
+        self.shared.successor.restore(Arc::clone(&spawner));
         let ctx = EventContext {
             inner: Arc::new(CtxInner {
                 resumed: Mutex::new(false),
@@ -843,6 +976,167 @@ mod tests {
         em.run_once();
         assert!(!fired.get());
         assert_eq!(em.next_timer_deadline(), None);
+    }
+
+    #[test]
+    fn reset_timer_pushes_deadline_out() {
+        let (em, clock) = em();
+        let _b = cpu::bind(CoreId(0));
+        let fired = Rc::new(Cell::new(0u32));
+        let f2 = Rc::clone(&fired);
+        let t = em.set_timer(100, move || f2.set(f2.get() + 1));
+        clock.set(50);
+        assert!(em.reset_timer(t, 100)); // new deadline: 150
+        clock.set(120);
+        em.run_once();
+        assert_eq!(fired.get(), 0, "old deadline must not fire");
+        clock.set(150);
+        em.run_once();
+        assert_eq!(fired.get(), 1);
+        // One-shot: the token is stale after firing.
+        assert!(!em.reset_timer(t, 100));
+        assert!(!em.timer_armed(t));
+    }
+
+    #[test]
+    fn persistent_timer_survives_firing_and_rearms_without_alloc() {
+        let (em, clock) = em();
+        let _b = cpu::bind(CoreId(0));
+        let fired = Rc::new(Cell::new(0u32));
+        let f2 = Rc::clone(&fired);
+        let t = em.set_persistent_timer(100, move || f2.set(f2.get() + 1));
+        clock.set(100);
+        em.run_once();
+        assert_eq!(fired.get(), 1);
+        // Still live (parked), not armed; the same entry re-arms.
+        assert!(!em.timer_armed(t));
+        assert_eq!(em.timer_stats().live, 1);
+        assert!(em.reset_timer(t, 50));
+        assert!(em.timer_armed(t));
+        clock.set(150);
+        em.run_once();
+        assert_eq!(fired.get(), 2);
+        em.cancel_timer(t);
+        assert_eq!(em.timer_stats().live, 0);
+        assert!(!em.reset_timer(t, 10), "cancelled token is stale");
+    }
+
+    #[test]
+    fn disarm_suspends_without_freeing() {
+        let (em, clock) = em();
+        let _b = cpu::bind(CoreId(0));
+        let fired = Rc::new(Cell::new(false));
+        let f2 = Rc::clone(&fired);
+        let t = em.set_persistent_timer(100, move || f2.set(true));
+        assert!(em.disarm_timer(t));
+        clock.set(500);
+        em.run_once();
+        assert!(!fired.get());
+        assert_eq!(em.timer_stats().live, 1, "handler retained while parked");
+        assert!(em.reset_timer(t, 100)); // deadline 600
+        clock.set(600);
+        em.run_once();
+        assert!(fired.get());
+        em.cancel_timer(t);
+    }
+
+    #[test]
+    fn cancelled_timers_leave_no_tombstones() {
+        // The old heap kept cancelled entries (and their boxed
+        // handlers) until their deadline passed; the wheel frees them
+        // on the spot — the leak class is gone by construction.
+        let (em, clock) = em();
+        let _b = cpu::bind(CoreId(0));
+        let tokens: Vec<_> = (0..1000)
+            .map(|i| em.set_timer(1_000_000 + i, move || ()))
+            .collect();
+        assert_eq!(em.timer_stats().live, 1000);
+        for t in tokens {
+            em.cancel_timer(t);
+        }
+        let stats = em.timer_stats();
+        assert_eq!(stats.live, 0, "no entry survives its cancellation");
+        assert_eq!(stats.pending, 0);
+        assert_eq!(em.next_timer_deadline(), None);
+        clock.set(2_000_000);
+        assert_eq!(em.run_once().interrupts, 0, "nothing fires");
+        // The freed entries are reused, not re-allocated.
+        let _t = em.set_timer(10, || ());
+        assert_eq!(em.timer_stats().slab, 1000);
+    }
+
+    #[test]
+    fn timer_handler_can_arm_due_timer_for_same_drain() {
+        // A handler arming an already-due timer gets it dispatched in
+        // the same drain, in deadline order — the heap's semantics.
+        let clock = Arc::new(ManualClock::new());
+        let epoch = Arc::new(CoreEpoch::new());
+        let em = Rc::new(EventManager::new(CoreId(0), clock.clone(), epoch));
+        let _b = cpu::bind(CoreId(0));
+        let log = Rc::new(std::cell::RefCell::new(Vec::new()));
+        let (em2, l2) = (Rc::clone(&em), Rc::clone(&log));
+        em.set_timer(100, move || {
+            l2.borrow_mut().push(1);
+            let l3 = Rc::clone(&l2);
+            em2.set_timer(0, move || l3.borrow_mut().push(2));
+        });
+        clock.set(100);
+        em.run_once();
+        assert_eq!(*log.borrow(), vec![1, 2]);
+    }
+
+    #[test]
+    fn waker_slot_swaps_without_locks() {
+        let (em, _) = em();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let w: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        em.register_waker(Arc::clone(&w));
+        // Re-registering the same Arc is the loop's per-pass pattern.
+        em.register_waker(Arc::clone(&w));
+        let spawner = em.spawner();
+        spawner.spawn(|| ());
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "push wakes exactly once");
+        // Replace with a fresh waker; the old one must not fire again.
+        let h2 = Arc::new(AtomicUsize::new(0));
+        let h3 = Arc::clone(&h2);
+        em.register_waker(Arc::new(move || {
+            h3.fetch_add(1, Ordering::SeqCst);
+        }));
+        spawner.spawn(|| ());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(h2.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_wakes_and_registers_are_safe() {
+        let (em, _) = em();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let spawner = em.spawner();
+        let mut threads = Vec::new();
+        for _ in 0..4 {
+            let s = spawner.clone();
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    s.spawn(|| ());
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let h = Arc::clone(&hits);
+            let em_waker: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+            // Racing re-registration against the wakers.
+            em.register_waker(Arc::clone(&em_waker));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let _b = cpu::bind(CoreId(0));
+        assert_eq!(em.drain(), 2000, "no spawn lost despite waker races");
     }
 
     #[test]

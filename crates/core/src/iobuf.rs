@@ -636,11 +636,28 @@ impl From<MutIoBuf> for IoBuf {
     }
 }
 
+/// Segments held inline by a [`Chain`] before it spills to heap
+/// storage. Sized for the stack's common shapes: a header + payload
+/// response is 2 segments, an MTU-spanning request rarely exceeds 4.
+pub const INLINE_SEGS: usize = 4;
+
 /// A chain of buffer segments presented as one logical byte sequence —
 /// the scatter/gather unit accepted by the network stack's send path and
 /// produced by its receive path.
+///
+/// The first [`INLINE_SEGS`] segments are stored inline in the chain
+/// itself; only longer chains touch the heap, and the spill buffer's
+/// capacity is retained when the chain drains back under the inline
+/// limit (e.g. across [`Chain::split_to`] calls), so steady-state
+/// descriptor movement performs no allocations — the hot-path cost the
+/// IOBuf byte/alloc counters do *not* see.
 pub struct Chain<B: Buf> {
-    segments: Vec<B>,
+    /// Inline storage: slots `0..ilen` are occupied iff `spill` is
+    /// empty. When spilled, every segment lives in `spill` (in order)
+    /// and `ilen == 0`.
+    inline: [Option<B>; INLINE_SEGS],
+    ilen: u8,
+    spill: std::collections::VecDeque<B>,
     total: usize,
 }
 
@@ -649,7 +666,9 @@ impl<B: Buf + Clone> Clone for Chain<B> {
     /// the underlying storage (no bytes are copied).
     fn clone(&self) -> Self {
         Chain {
-            segments: self.segments.clone(),
+            inline: self.inline.clone(),
+            ilen: self.ilen,
+            spill: self.spill.clone(),
             total: self.total,
         }
     }
@@ -665,36 +684,91 @@ impl<B: Buf> Chain<B> {
     /// An empty chain.
     pub fn new() -> Self {
         Chain {
-            segments: Vec::new(),
+            inline: [None, None, None, None],
+            ilen: 0,
+            spill: std::collections::VecDeque::new(),
             total: 0,
         }
     }
 
     /// A chain with a single segment.
     pub fn single(seg: B) -> Self {
-        let total = seg.len();
-        Chain {
-            segments: vec![seg],
-            total,
+        let mut c = Chain::new();
+        c.push_back(seg);
+        c
+    }
+
+    fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+
+    /// Moves the inline segments into the spill buffer (which keeps
+    /// whatever capacity it grew on previous spills).
+    fn spill_inline(&mut self) {
+        debug_assert!(self.spill.is_empty());
+        for slot in self.inline.iter_mut().take(self.ilen as usize) {
+            self.spill
+                .push_back(slot.take().expect("inline slot vacant"));
         }
+        self.ilen = 0;
     }
 
     /// Appends a segment to the back.
     pub fn push_back(&mut self, seg: B) {
         self.total += seg.len();
-        self.segments.push(seg);
+        if self.spilled() {
+            self.spill.push_back(seg);
+        } else if (self.ilen as usize) < INLINE_SEGS {
+            self.inline[self.ilen as usize] = Some(seg);
+            self.ilen += 1;
+        } else {
+            self.spill_inline();
+            self.spill.push_back(seg);
+        }
     }
 
     /// Prepends a segment to the front.
     pub fn push_front(&mut self, seg: B) {
         self.total += seg.len();
-        self.segments.insert(0, seg);
+        if self.spilled() {
+            self.spill.push_front(seg);
+        } else if (self.ilen as usize) < INLINE_SEGS {
+            for i in (0..self.ilen as usize).rev() {
+                self.inline[i + 1] = self.inline[i].take();
+            }
+            self.inline[0] = Some(seg);
+            self.ilen += 1;
+        } else {
+            self.spill_inline();
+            self.spill.push_front(seg);
+        }
+    }
+
+    /// Removes and returns the first segment, if any.
+    fn pop_front_seg(&mut self) -> Option<B> {
+        let seg = if self.spilled() {
+            self.spill.pop_front()
+        } else if self.ilen > 0 {
+            let seg = self.inline[0].take();
+            for i in 1..self.ilen as usize {
+                self.inline[i - 1] = self.inline[i].take();
+            }
+            self.ilen -= 1;
+            seg
+        } else {
+            None
+        };
+        if let Some(s) = &seg {
+            self.total -= s.len();
+        }
+        seg
     }
 
     /// Appends all segments of `other`.
     pub fn append_chain(&mut self, other: Chain<B>) {
-        self.total += other.total;
-        self.segments.extend(other.segments);
+        for seg in other {
+            self.push_back(seg);
+        }
     }
 
     /// Total logical length across all segments.
@@ -709,17 +783,39 @@ impl<B: Buf> Chain<B> {
 
     /// Number of segments.
     pub fn segment_count(&self) -> usize {
-        self.segments.len()
+        if self.spilled() {
+            self.spill.len()
+        } else {
+            self.ilen as usize
+        }
     }
 
-    /// The segments, in order.
-    pub fn segments(&self) -> &[B] {
-        &self.segments
+    /// The `i`-th segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= segment_count()`.
+    pub fn seg(&self, i: usize) -> &B {
+        if self.spilled() {
+            &self.spill[i]
+        } else {
+            assert!(i < self.ilen as usize, "segment index {i} out of range");
+            self.inline[i].as_ref().expect("inline slot vacant")
+        }
     }
 
-    /// Consumes the chain, yielding its segments.
-    pub fn into_segments(self) -> Vec<B> {
-        self.segments
+    fn seg_mut(&mut self, i: usize) -> &mut B {
+        if self.spilled() {
+            &mut self.spill[i]
+        } else {
+            assert!(i < self.ilen as usize, "segment index {i} out of range");
+            self.inline[i].as_mut().expect("inline slot vacant")
+        }
+    }
+
+    /// Iterates the segments in order.
+    pub fn iter(&self) -> SegIter<'_, B> {
+        SegIter { chain: self, i: 0 }
     }
 
     /// Copies the entire logical contents into one `Vec` (explicitly *not*
@@ -728,7 +824,7 @@ impl<B: Buf> Chain<B> {
     pub fn copy_to_vec(&self) -> Vec<u8> {
         stats::record_copy(self.total);
         let mut out = Vec::with_capacity(self.total);
-        for s in &self.segments {
+        for s in self.iter() {
             out.extend_from_slice(s.bytes());
         }
         out
@@ -745,6 +841,56 @@ impl<B: Buf> Chain<B> {
     }
 }
 
+/// Borrowed iteration over a chain's segments.
+pub struct SegIter<'a, B: Buf> {
+    chain: &'a Chain<B>,
+    i: usize,
+}
+
+impl<'a, B: Buf> Iterator for SegIter<'a, B> {
+    type Item = &'a B;
+
+    fn next(&mut self) -> Option<&'a B> {
+        if self.i < self.chain.segment_count() {
+            self.i += 1;
+            Some(self.chain.seg(self.i - 1))
+        } else {
+            None
+        }
+    }
+}
+
+impl<'a, B: Buf> IntoIterator for &'a Chain<B> {
+    type Item = &'a B;
+    type IntoIter = SegIter<'a, B>;
+
+    fn into_iter(self) -> SegIter<'a, B> {
+        self.iter()
+    }
+}
+
+/// Owning iteration: consumes the chain front to back.
+pub struct ChainIntoIter<B: Buf> {
+    chain: Chain<B>,
+}
+
+impl<B: Buf> Iterator for ChainIntoIter<B> {
+    type Item = B;
+
+    fn next(&mut self) -> Option<B> {
+        self.chain.pop_front_seg()
+    }
+}
+
+impl<B: Buf> IntoIterator for Chain<B> {
+    type Item = B;
+    type IntoIter = ChainIntoIter<B>;
+
+    fn into_iter(self) -> ChainIntoIter<B> {
+        ChainIntoIter { chain: self }
+    }
+}
+
 impl Chain<IoBuf> {
     /// Drops `n` bytes from the logical front, discarding exhausted
     /// segments and advancing into partial ones (no data copied).
@@ -754,14 +900,14 @@ impl Chain<IoBuf> {
     /// Panics if `n > len()`.
     pub fn advance(&mut self, mut n: usize) {
         assert!(n <= self.total, "advance({n}) exceeds chain length");
-        self.total -= n;
         while n > 0 {
-            let first_len = self.segments[0].len();
+            let first_len = self.seg(0).len();
             if n >= first_len {
-                self.segments.remove(0);
+                self.pop_front_seg();
                 n -= first_len;
             } else {
-                self.segments[0].advance(n);
+                self.seg_mut(0).advance(n);
+                self.total -= n;
                 n = 0;
             }
         }
@@ -773,7 +919,7 @@ impl Chain<IoBuf> {
     /// [`len`](Chain::len) to decide when small sub-views are pinning
     /// a disproportionate amount of buffer memory.
     pub fn pinned_bytes(&self) -> usize {
-        self.segments.iter().map(IoBuf::region_len).sum()
+        self.iter().map(IoBuf::region_len).sum()
     }
 
     /// Replaces the chain's contents with one exact-size segment,
@@ -782,13 +928,13 @@ impl Chain<IoBuf> {
     /// accumulates many small views of large (possibly pooled)
     /// regions — e.g. a peer trickling a request one byte per packet.
     pub fn compact(&mut self) {
-        if self.segments.len() == 1 && self.segments[0].region_len() == self.total {
+        if self.segment_count() == 1 && self.seg(0).region_len() == self.total {
             return; // already exact
         }
         let data = self.copy_to_vec();
-        self.segments.clear();
+        while self.pop_front_seg().is_some() {}
         if !data.is_empty() {
-            self.segments.push(MutIoBuf::from_vec(data).freeze());
+            self.push_back(MutIoBuf::from_vec(data).freeze());
         }
     }
 
@@ -808,7 +954,8 @@ impl Chain<IoBuf> {
     }
 
     /// Splits off the first `n` logical bytes into a new chain, sharing
-    /// storage with this one (segments are sliced, not copied).
+    /// storage with this one (segments are sliced, not copied). The
+    /// source chain's spill capacity, if any, is retained for reuse.
     ///
     /// # Panics
     ///
@@ -818,19 +965,19 @@ impl Chain<IoBuf> {
         let mut out = Chain::new();
         let mut remaining = n;
         while remaining > 0 {
-            let first_len = self.segments[0].len();
+            let first_len = self.seg(0).len();
             if remaining >= first_len {
-                let seg = self.segments.remove(0);
+                let seg = self.pop_front_seg().expect("counted segment");
                 remaining -= first_len;
                 out.push_back(seg);
             } else {
-                let head = self.segments[0].slice(0, remaining);
-                self.segments[0].advance(remaining);
+                let head = self.seg(0).slice(0, remaining);
+                self.seg_mut(0).advance(remaining);
+                self.total -= remaining;
                 out.push_back(head);
                 remaining = 0;
             }
         }
-        self.total -= n;
         out
     }
 }
@@ -839,7 +986,7 @@ impl Chain<IoBuf> {
 impl From<Chain<MutIoBuf>> for Chain<IoBuf> {
     fn from(chain: Chain<MutIoBuf>) -> Self {
         let mut out = Chain::new();
-        for seg in chain.into_segments() {
+        for seg in chain {
             out.push_back(seg.freeze());
         }
         out
@@ -903,7 +1050,7 @@ impl<'a, B: Buf> Cursor<'a, B> {
         }
         let mut written = 0;
         while written < dst.len() {
-            let seg = &self.chain.segments()[self.seg];
+            let seg = self.chain.seg(self.seg);
             let avail = &seg.bytes()[self.off..];
             let take = avail.len().min(dst.len() - written);
             dst[written..written + take].copy_from_slice(&avail[..take]);
@@ -927,7 +1074,7 @@ impl<'a, B: Buf> Cursor<'a, B> {
         }
         let mut left = n;
         while left > 0 {
-            let seg_len = self.chain.segments()[self.seg].len();
+            let seg_len = self.chain.seg(self.seg).len();
             let avail = seg_len - self.off;
             let take = avail.min(left);
             self.off += take;
@@ -964,7 +1111,7 @@ impl<'a> Cursor<'a, IoBuf> {
         let mut out = Chain::new();
         let mut left = n;
         while left > 0 {
-            let seg = &self.chain.segments()[self.seg];
+            let seg = self.chain.seg(self.seg);
             let avail = seg.len() - self.off;
             let take = avail.min(left);
             if take > 0 {

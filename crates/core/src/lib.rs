@@ -20,6 +20,10 @@
 //! * [`rcu`] — read-copy-update keyed to event-loop quiescence, plus the
 //!   RCU hash map ([`rcu_hash`]) used for connection and key-value
 //!   state (§3.6).
+//! * [`timer`] — the hashed hierarchical timer wheel behind
+//!   [`event::EventManager`]'s timers: O(1) arm/cancel/re-arm,
+//!   allocation-free in steady state, with immediate reclamation of
+//!   cancelled entries.
 //! * [`runtime`] — the per-machine instance tying the above together,
 //!   and [`native`] — the threaded backend that runs a machine on real
 //!   OS threads (one per core).
@@ -39,6 +43,7 @@ pub mod rcu;
 pub mod rcu_hash;
 pub mod runtime;
 pub mod spinlock;
+pub mod timer;
 
 pub use clock::{Clock, ManualClock, Ns, RealClock};
 pub use cpu::CoreId;

@@ -171,14 +171,14 @@ impl FsClient {
 }
 
 fn decode_read(resp: &Chain<IoBuf>) -> Option<Vec<u8>> {
-    let segments = resp.segments();
-    let first = segments.first()?;
+    let mut segments = resp.iter();
+    let first = segments.next()?;
     let bytes = first.bytes();
     if bytes.first() != Some(&1) {
         return None;
     }
     let mut out = bytes[1..].to_vec();
-    for s in &segments[1..] {
+    for s in segments {
         out.extend_from_slice(s.bytes());
     }
     Some(out)

@@ -202,13 +202,46 @@ impl DhcpServer {
     }
 }
 
+/// Retransmission interval for lost DISCOVER/REQUEST messages
+/// (doubled per attempt).
+pub const RETRY_NS: u64 = 200_000_000;
+
+/// Attempts before the client gives up (its retry timer is freed and
+/// `done` is never invoked — the interface stays unconfigured).
+pub const MAX_TRIES: u32 = 5;
+
+/// Client state machine phase.
+enum Phase {
+    /// DISCOVER sent, awaiting an OFFER.
+    Discover,
+    /// REQUEST for the offered address sent, awaiting the ACK.
+    Requesting(Ipv4Addr),
+    /// Configured (or given up); the retry timer frees itself.
+    Done,
+}
+
+struct ClientState {
+    phase: Phase,
+    tries: u32,
+    timer: Option<ebbrt_core::event::TimerToken>,
+}
+
 /// Runs the client exchange on an unconfigured interface; `done` is
 /// invoked with the assigned address and mask once the ACK arrives.
+/// Lost messages are retransmitted with exponential backoff through
+/// one persistent timer-wheel entry (the same O(1) re-arm API the TCP
+/// RTO uses), up to [`MAX_TRIES`] attempts.
 pub fn configure(netif: &Rc<NetIf>, done: impl FnOnce(Ipv4Addr, Ipv4Addr) + 'static) {
     let xid = 0x4242_0000 | (netif.mac()[5] as u32);
     let mac = netif.mac();
     let done = Cell::new(Some(Box::new(done) as Box<dyn FnOnce(Ipv4Addr, Ipv4Addr)>));
+    let state = Rc::new(RefCell::new(ClientState {
+        phase: Phase::Discover,
+        tries: 1,
+        timer: None,
+    }));
     let n2 = Rc::clone(netif);
+    let st2 = Rc::clone(&state);
     netif.udp_bind(CLIENT_PORT, move |_src, _sport, payload| {
         let msg = match parse(&payload) {
             Some(m) if m.op == OP_REPLY && m.xid == xid && m.chaddr == mac => m,
@@ -217,20 +250,18 @@ pub fn configure(netif: &Rc<NetIf>, done: impl FnOnce(Ipv4Addr, Ipv4Addr) + 'sta
         match msg.mtype {
             MsgType::Offer => {
                 // Request the offered address.
-                let req = DhcpMessage {
-                    op: OP_REQUEST,
-                    xid,
-                    yiaddr: Ipv4Addr::UNSPECIFIED,
-                    chaddr: mac,
-                    mtype: MsgType::Request,
-                    requested: Some(msg.yiaddr),
-                    mask: None,
-                };
-                n2.udp_send(CLIENT_PORT, Ipv4Addr::BROADCAST, SERVER_PORT, build(&req));
+                st2.borrow_mut().phase = Phase::Requesting(msg.yiaddr);
+                n2.udp_send(
+                    CLIENT_PORT,
+                    Ipv4Addr::BROADCAST,
+                    SERVER_PORT,
+                    build(&request_for(xid, mac, msg.yiaddr)),
+                );
             }
             MsgType::Ack => {
                 let mask = msg.mask.unwrap_or(Ipv4Addr::new(255, 255, 255, 0));
                 n2.set_ip(msg.yiaddr, mask);
+                st2.borrow_mut().phase = Phase::Done;
                 if let Some(done) = done.take() {
                     done(msg.yiaddr, mask);
                 }
@@ -238,7 +269,53 @@ pub fn configure(netif: &Rc<NetIf>, done: impl FnOnce(Ipv4Addr, Ipv4Addr) + 'sta
             _ => {}
         }
     });
-    let discover = DhcpMessage {
+    netif.udp_send(
+        CLIENT_PORT,
+        Ipv4Addr::BROADCAST,
+        SERVER_PORT,
+        build(&discover_for(xid, mac)),
+    );
+    // Retry driver: re-sends the current phase's message until the
+    // exchange completes or the attempt budget runs out.
+    let n3 = Rc::clone(netif);
+    let st3 = Rc::clone(&state);
+    let timer = ebbrt_core::runtime::with_current(|rt| {
+        rt.local_event_manager()
+            .set_persistent_timer(RETRY_NS, move || {
+                let mut st = st3.borrow_mut();
+                let timer = st.timer.expect("retry handler ran before token stored");
+                let free = |tok| {
+                    ebbrt_core::runtime::with_current(|rt| {
+                        rt.local_event_manager().cancel_timer(tok)
+                    })
+                };
+                match st.phase {
+                    Phase::Done => return free(timer),
+                    _ if st.tries >= MAX_TRIES => {
+                        st.phase = Phase::Done; // give up
+                        return free(timer);
+                    }
+                    _ => {}
+                }
+                st.tries += 1;
+                let backoff = RETRY_NS << st.tries.min(5);
+                let resend = match st.phase {
+                    Phase::Discover => build(&discover_for(xid, mac)),
+                    Phase::Requesting(addr) => build(&request_for(xid, mac, addr)),
+                    Phase::Done => unreachable!(),
+                };
+                drop(st);
+                n3.udp_send(CLIENT_PORT, Ipv4Addr::BROADCAST, SERVER_PORT, resend);
+                ebbrt_core::runtime::with_current(|rt| {
+                    rt.local_event_manager().reset_timer(timer, backoff);
+                });
+            })
+    });
+    state.borrow_mut().timer = Some(timer);
+}
+
+fn discover_for(xid: u32, mac: Mac) -> DhcpMessage {
+    DhcpMessage {
         op: OP_REQUEST,
         xid,
         yiaddr: Ipv4Addr::UNSPECIFIED,
@@ -246,13 +323,19 @@ pub fn configure(netif: &Rc<NetIf>, done: impl FnOnce(Ipv4Addr, Ipv4Addr) + 'sta
         mtype: MsgType::Discover,
         requested: None,
         mask: None,
-    };
-    netif.udp_send(
-        CLIENT_PORT,
-        Ipv4Addr::BROADCAST,
-        SERVER_PORT,
-        build(&discover),
-    );
+    }
+}
+
+fn request_for(xid: u32, mac: Mac, addr: Ipv4Addr) -> DhcpMessage {
+    DhcpMessage {
+        op: OP_REQUEST,
+        xid,
+        yiaddr: Ipv4Addr::UNSPECIFIED,
+        chaddr: mac,
+        mtype: MsgType::Request,
+        requested: Some(addr),
+        mask: None,
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,13 @@ pub const RTO_NS: Ns = 200_000_000;
 /// bound; a second segment forces an immediate ACK (RFC 1122 style).
 pub const DELACK_NS: Ns = 200_000;
 
+/// ARP request retransmission interval (doubled per attempt).
+pub const ARP_RETRY_NS: Ns = 100_000_000;
+
+/// ARP resolution attempts before the pending entry is evicted (its
+/// queued waiters are dropped — the resolution failed).
+pub const ARP_MAX_TRIES: u32 = 3;
+
 /// First ephemeral port used by [`NetIf::connect`].
 const EPHEMERAL_BASE: u16 = 33000;
 
@@ -142,6 +149,13 @@ struct ConnRec {
     handler: Rc<dyn ConnHandler>,
 }
 
+/// In-flight ARP resolution: its retry timer (a persistent entry on the
+/// core that initiated the resolution) and attempts so far.
+struct ArpRetry {
+    timer: ebbrt_core::event::TimerToken,
+    tries: u32,
+}
+
 type AcceptFn = Rc<dyn Fn(&TcpConn) -> Rc<dyn ConnHandler>>;
 type UdpHandlerFn = Rc<dyn Fn(Ipv4Addr, u16, Chain<IoBuf>)>;
 
@@ -176,6 +190,7 @@ pub struct NetIf {
     /// RCU connection demux: 4-tuple → connection id.
     conn_ids: RcuHashMap<FourTuple, u64>,
     pcbs: RefCell<HashMap<u64, ConnRec>>,
+    arp_retries: RefCell<HashMap<Ipv4Addr, ArpRetry>>,
     listeners: RefCell<HashMap<u16, AcceptFn>>,
     udp_bindings: RefCell<HashMap<u16, UdpHandlerFn>>,
     next_conn: Cell<u64>,
@@ -199,6 +214,7 @@ impl NetIf {
             arp: ArpCache::new(),
             conn_ids: RcuHashMap::new(Arc::clone(machine.runtime().rcu())),
             pcbs: RefCell::new(HashMap::new()),
+            arp_retries: RefCell::new(HashMap::new()),
             listeners: RefCell::new(HashMap::new()),
             udp_bindings: RefCell::new(HashMap::new()),
             next_conn: Cell::new(1),
@@ -269,14 +285,7 @@ impl NetIf {
         let me = Rc::downgrade(self);
         let need_request = self.arp.find(remote, move |mac| {
             if let Some(n) = me.upgrade() {
-                n.with_pcb(id, |p| p.remote_mac = mac);
-                n.with_conn(id, |n, pcb, _| {
-                    let mut p = pcb.borrow_mut();
-                    let iss = p.snd_una;
-                    n.tcp_output(&mut p, tcp_flags::SYN, iss, Chain::new(), 1);
-                    p.record_sent(iss, 1, tcp_flags::SYN, Chain::new());
-                });
-                n.arm_rto(id);
+                n.complete_connect(id, core, mac);
             }
         });
         if need_request {
@@ -286,6 +295,40 @@ impl NetIf {
             netif: Rc::downgrade(self),
             id,
         }
+    }
+
+    /// Continues an active open once the next hop resolves. An ARP
+    /// reply drains its waiters on whatever core it arrived on, so hop
+    /// to the connection's affinity core first — its PCB and its
+    /// per-connection timer entries must only ever be touched there.
+    fn complete_connect(self: &Rc<Self>, id: u64, core: CoreId, mac: Mac) {
+        if cpu::try_current() == Some(core) {
+            self.send_syn(id, mac);
+            return;
+        }
+        // SAFETY-OF-SEND: all of a simulated machine's cores are driven
+        // by the one world thread; the Send bound on spawn_on is
+        // satisfied vacuously (same pattern as the apps' SendCell).
+        struct SendCell<T>(T);
+        unsafe impl<T> Send for SendCell<T> {}
+        let cell = SendCell(Rc::downgrade(self));
+        self.machine.spawn_on(core, move || {
+            let cell = cell;
+            if let Some(n) = cell.0.upgrade() {
+                n.send_syn(id, mac);
+            }
+        });
+    }
+
+    fn send_syn(self: &Rc<Self>, id: u64, mac: Mac) {
+        self.with_pcb(id, |p| p.remote_mac = mac);
+        self.with_conn(id, |n, pcb, _| {
+            let mut p = pcb.borrow_mut();
+            let iss = p.snd_una;
+            n.tcp_output(&mut p, tcp_flags::SYN, iss, Chain::new(), 1);
+            p.record_sent(iss, 1, tcp_flags::SYN, Chain::new());
+        });
+        self.arm_rto(id);
     }
 
     /// Binds a UDP port to a handler `(src_ip, src_port, payload)`.
@@ -555,10 +598,17 @@ impl NetIf {
             let r = p.process_ack(hdr.ack, hdr.window);
             window_opened = r.window_opened && p.state == TcpState::Established;
             if r.queue_empty {
-                p.rto_armed = false;
+                // Nothing in flight: park the RTO timer (entry kept for
+                // the next send).
+                self.disarm_rto(&mut p);
                 if p.close_requested && p.snd_una == p.snd_nxt {
                     fin_acked = true;
                 }
+            } else if r.acked > 0 {
+                // Progress with data still outstanding: restart the RTO
+                // for the (new) oldest unacked segment. This is the
+                // per-ACK re-arm — an O(1) wheel relink.
+                self.restart_rto(&mut p);
             }
         }
         // Deliver in-order data synchronously.
@@ -741,6 +791,16 @@ impl NetIf {
         frame.append_chain(payload);
         p.ack_pending = false;
         p.segs_since_ack = 0;
+        if p.delack_armed {
+            // The ACK piggybacked on this segment; park the delack
+            // timer instead of letting it fire into a no-op.
+            p.delack_armed = false;
+            if let Some(tok) = p.delack_timer {
+                runtime::with_current(|rt| {
+                    rt.local_event_manager().disarm_timer(tok);
+                });
+            }
+        }
         self.stats.tx_tcp.set(self.stats.tx_tcp.get() + 1);
         self.transmit(frame);
     }
@@ -766,24 +826,38 @@ impl NetIf {
                 return;
             }
             if p.segs_since_ack < 2 {
-                // Delay: arm the ACK timer once.
+                // Delay: arm the connection's persistent ACK timer.
                 drop(p);
                 let mut p = pcb_rc.borrow_mut();
                 if !p.delack_armed {
                     p.delack_armed = true;
+                    let timer = p.delack_timer;
                     drop(p);
-                    let me = Rc::downgrade(self);
                     runtime::with_current(|rt| {
-                        rt.local_event_manager().set_timer(DELACK_NS, move || {
-                            if let Some(n) = me.upgrade() {
-                                if let Some(rec) =
-                                    n.pcbs.borrow().get(&id).map(|r| Rc::clone(&r.pcb))
-                                {
-                                    rec.borrow_mut().delack_armed = false;
-                                    n.flush_ack(&rec);
+                        // Steady state: re-arms the existing entry —
+                        // no allocation per segment.
+                        let me = Rc::downgrade(self);
+                        let tok = rt.local_event_manager().arm_persistent_timer(
+                            timer,
+                            DELACK_NS,
+                            move || {
+                                if let Some(n) = me.upgrade() {
+                                    if let Some(rec) =
+                                        n.pcbs.borrow().get(&id).map(|r| Rc::clone(&r.pcb))
+                                    {
+                                        rec.borrow_mut().delack_armed = false;
+                                        n.flush_ack(&rec);
+                                    }
                                 }
-                            }
-                        });
+                            },
+                        );
+                        debug_assert!(
+                            timer.is_none() || timer == Some(tok),
+                            "persistent delack timer token went stale (off-core use?)"
+                        );
+                        if timer != Some(tok) {
+                            pcb_rc.borrow_mut().delack_timer = Some(tok);
+                        }
                     });
                 }
                 return;
@@ -811,6 +885,12 @@ impl NetIf {
     }
 
     // --- Retransmission -------------------------------------------------------
+    //
+    // Each connection owns one *persistent* RTO timer (and one
+    // delayed-ACK timer): the closure is boxed once, on the first arm,
+    // and every subsequent arm/disarm/restart — which happens per
+    // segment on the hot path — is an O(1) timer-wheel relink with no
+    // allocation.
 
     fn arm_rto(self: &Rc<Self>, id: u64) {
         let pcb_rc = match self.pcbs.borrow().get(&id) {
@@ -823,15 +903,49 @@ impl NetIf {
         }
         p.rto_armed = true;
         let delay = RTO_NS * p.rto_backoff as u64;
+        let timer = p.rto_timer;
         drop(p);
-        let me = Rc::downgrade(self);
         runtime::with_current(|rt| {
-            rt.local_event_manager().set_timer(delay, move || {
-                if let Some(n) = me.upgrade() {
-                    n.rto_fire(id);
-                }
-            });
+            let me = Rc::downgrade(self);
+            let tok = rt
+                .local_event_manager()
+                .arm_persistent_timer(timer, delay, move || {
+                    if let Some(n) = me.upgrade() {
+                        n.rto_fire(id);
+                    }
+                });
+            debug_assert!(
+                timer.is_none() || timer == Some(tok),
+                "persistent RTO timer token went stale (off-core use?)"
+            );
+            if timer != Some(tok) {
+                pcb_rc.borrow_mut().rto_timer = Some(tok);
+            }
         });
+    }
+
+    /// Restarts the running RTO from now (new ACK progress, queue still
+    /// non-empty) — O(1), no allocation.
+    fn restart_rto(&self, p: &mut Pcb) {
+        if let Some(tok) = p.rto_timer {
+            let delay = RTO_NS * p.rto_backoff as u64;
+            let ok = runtime::with_current(|rt| rt.local_event_manager().reset_timer(tok, delay));
+            debug_assert!(ok, "persistent RTO timer token went stale (off-core use?)");
+            p.rto_armed = ok;
+        }
+    }
+
+    /// Stops the RTO (retransmission queue emptied). The timer entry is
+    /// retained, parked, for the connection's next transmission.
+    fn disarm_rto(&self, p: &mut Pcb) {
+        if p.rto_armed {
+            p.rto_armed = false;
+            if let Some(tok) = p.rto_timer {
+                runtime::with_current(|rt| {
+                    rt.local_event_manager().disarm_timer(tok);
+                });
+            }
+        }
     }
 
     fn rto_fire(self: &Rc<Self>, id: u64) {
@@ -898,7 +1012,57 @@ impl NetIf {
         self.transmit(frame);
     }
 
+    /// Transmits an ARP request and schedules bounded retries (the
+    /// retry timer migrated to the shared timer-wheel API: one
+    /// persistent entry per in-flight resolution, re-armed with
+    /// exponential backoff, evicting the pending entry if the peer
+    /// never answers).
     fn send_arp_request(self: &Rc<Self>, ip: Ipv4Addr) {
+        self.output_arp_request(ip);
+        if self.arp_retries.borrow().contains_key(&ip) {
+            return; // a retry timer is already driving this resolution
+        }
+        let me = Rc::downgrade(self);
+        let timer = runtime::with_current(|rt| {
+            rt.local_event_manager()
+                .set_persistent_timer(ARP_RETRY_NS, move || {
+                    if let Some(n) = me.upgrade() {
+                        n.arp_retry_fire(ip);
+                    }
+                })
+        });
+        self.arp_retries
+            .borrow_mut()
+            .insert(ip, ArpRetry { timer, tries: 1 });
+    }
+
+    fn arp_retry_fire(self: &Rc<Self>, ip: Ipv4Addr) {
+        let Some(mut retry) = self.arp_retries.borrow_mut().remove(&ip) else {
+            return;
+        };
+        // Resolved since the timer was armed (the reply may arrive on a
+        // different core, so the cancel is lazy — here, on the timer's
+        // own core): free the entry.
+        if self.arp.lookup(ip).is_some() {
+            runtime::with_current(|rt| rt.local_event_manager().cancel_timer(retry.timer));
+            return;
+        }
+        if retry.tries >= ARP_MAX_TRIES {
+            // Give up: drop the pending entry and its queued waiters.
+            self.arp.evict(ip);
+            runtime::with_current(|rt| rt.local_event_manager().cancel_timer(retry.timer));
+            return;
+        }
+        retry.tries += 1;
+        let backoff = ARP_RETRY_NS << retry.tries;
+        self.output_arp_request(ip);
+        runtime::with_current(|rt| {
+            rt.local_event_manager().reset_timer(retry.timer, backoff);
+        });
+        self.arp_retries.borrow_mut().insert(ip, retry);
+    }
+
+    fn output_arp_request(self: &Rc<Self>, ip: Ipv4Addr) {
         let req = wire::ArpPacket {
             oper: wire::ARP_REQUEST,
             sha: self.mac(),
@@ -951,7 +1115,23 @@ impl NetIf {
     fn cleanup(&self, id: u64) {
         let rec = self.pcbs.borrow_mut().remove(&id);
         if let Some(rec) = rec {
-            let tuple = rec.pcb.borrow().tuple;
+            let p = rec.pcb.borrow();
+            let tuple = p.tuple;
+            // Free the connection's persistent timer entries (runs on
+            // the affinity core, where they were created).
+            let (rto, delack) = (p.rto_timer, p.delack_timer);
+            drop(p);
+            if rto.is_some() || delack.is_some() {
+                runtime::with_current(|rt| {
+                    let em = rt.local_event_manager();
+                    if let Some(tok) = rto {
+                        em.cancel_timer(tok);
+                    }
+                    if let Some(tok) = delack {
+                        em.cancel_timer(tok);
+                    }
+                });
+            }
             self.conn_ids.remove(&tuple);
             self.stats
                 .conns_closed

@@ -21,6 +21,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use ebbrt_core::cpu::CoreId;
+use ebbrt_core::event::TimerToken;
 use ebbrt_core::iobuf::{Chain, IoBuf};
 
 use crate::types::{Ipv4Addr, Mac};
@@ -144,8 +145,17 @@ pub struct Pcb {
     /// Data segments received since the last ACK we sent (delayed-ACK
     /// accounting: every second segment forces an immediate ACK).
     pub segs_since_ack: u32,
-    /// Whether a delayed-ACK timer is armed.
+    /// The connection's *persistent* delayed-ACK timer: allocated once
+    /// on first use, then re-armed/disarmed in O(1) per segment. The
+    /// timer outlives individual firings; `delack_armed` tracks whether
+    /// it is currently scheduled.
+    pub delack_timer: Option<TimerToken>,
+    /// Whether the delayed-ACK timer is armed.
     pub delack_armed: bool,
+    /// The connection's persistent RTO timer (same lifecycle as
+    /// `delack_timer`): the per-ACK disarm/re-arm dance costs an O(1)
+    /// wheel relink, not a fresh boxed closure per segment.
+    pub rto_timer: Option<TimerToken>,
     /// Whether the RTO timer is armed (netif bookkeeping).
     pub rto_armed: bool,
     /// Exponential backoff multiplier for the RTO.
@@ -173,7 +183,9 @@ impl Pcb {
             ooo: BTreeMap::new(),
             ack_pending: false,
             segs_since_ack: 0,
+            delack_timer: None,
             delack_armed: false,
+            rto_timer: None,
             rto_armed: false,
             rto_backoff: 1,
             retransmits: 0,

@@ -210,7 +210,7 @@ fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, len: u16) -> Check
 }
 
 fn chain_checksum(mut c: Checksum, chain: &Chain<IoBuf>) -> u16 {
-    for seg in chain.segments() {
+    for seg in chain.iter() {
         c.add(seg.bytes());
     }
     c.finish()

@@ -429,6 +429,162 @@ mod event_props {
     }
 }
 
+mod timer_wheel_props {
+    use super::*;
+    use ebbrt_core::timer::{TimerToken, TimerWheel};
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashSet};
+
+    /// The seed implementation's timer store, verbatim semantics: a
+    /// global binary heap ordered by (deadline, arm sequence) plus a
+    /// tombstone set for cancellations. The wheel must be
+    /// observationally equivalent to this.
+    struct SeedHeapModel {
+        heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+        cancelled: HashSet<u32>,
+        seq: u64,
+    }
+
+    impl SeedHeapModel {
+        fn new() -> Self {
+            SeedHeapModel {
+                heap: BinaryHeap::new(),
+                cancelled: HashSet::new(),
+                seq: 0,
+            }
+        }
+
+        fn arm(&mut self, id: u32, deadline: u64) {
+            self.seq += 1;
+            self.heap.push(Reverse((deadline, self.seq, id)));
+        }
+
+        fn cancel(&mut self, id: u32) {
+            self.cancelled.insert(id);
+        }
+
+        /// Reset = cancel; the caller re-arms the handler under a
+        /// fresh id (the re-armed incarnation must not be tombstoned).
+        fn reset(&mut self, id: u32) {
+            self.cancel(id);
+        }
+
+        /// Fires everything due at `now`, in (deadline, seq) order.
+        fn fire(&mut self, now: u64) -> Vec<(u32, u64)> {
+            let mut out = Vec::new();
+            while let Some(&Reverse((deadline, _, id))) = self.heap.peek() {
+                if deadline > now {
+                    break;
+                }
+                self.heap.pop();
+                if !self.cancelled.remove(&id) {
+                    out.push((id, deadline));
+                }
+            }
+            out
+        }
+    }
+
+    /// Drains every timer currently due from the wheel, returning
+    /// (handler id, effective deadline) in firing order.
+    fn drain_wheel(wheel: &mut TimerWheel<u32>, now: u64) -> Vec<(u32, u64)> {
+        wheel.advance(now);
+        let mut out = Vec::new();
+        while let Some((tok, deadline)) = wheel.pop_expired() {
+            let id = *wheel.handler(tok).expect("due entry has handler");
+            wheel.remove(tok);
+            out.push((id, deadline));
+        }
+        out
+    }
+
+    proptest! {
+        /// Observational equivalence with the seed heap: any
+        /// interleaving of arm / cancel / re-arm / advance fires the
+        /// same timers in the same order at the same times.
+        #[test]
+        fn wheel_equivalent_to_seed_heap(
+            ops in prop::collection::vec((0u8..10, 1u64..50_000), 1..120)
+        ) {
+            let mut wheel: TimerWheel<u32> = TimerWheel::new(0);
+            let mut model = SeedHeapModel::new();
+            // Live timers: (model id, wheel token, deadline).
+            let mut live: Vec<(u32, TimerToken)> = Vec::new();
+            let mut next_id = 0u32;
+            let mut now = 0u64;
+            for (kind, value) in ops {
+                match kind {
+                    // Arm a fresh one-shot timer (weighted heavily).
+                    0..=4 => {
+                        let deadline = now + value % 20_000;
+                        let id = next_id;
+                        next_id += 1;
+                        let tok = wheel.schedule(deadline, id);
+                        model.arm(id, deadline);
+                        live.push((id, tok));
+                    }
+                    // Advance the clock and fire.
+                    5 | 6 => {
+                        now += value % 15_000;
+                        let fired = drain_wheel(&mut wheel, now);
+                        let expected = model.fire(now);
+                        prop_assert_eq!(&fired, &expected,
+                            "divergence at t={} (wheel vs heap)", now);
+                        for (id, _) in &fired {
+                            live.retain(|(lid, _)| lid != id);
+                        }
+                    }
+                    // Re-arm an existing timer to a new deadline.
+                    7 | 8 => {
+                        if live.is_empty() { continue; }
+                        let i = (value as usize) % live.len();
+                        let deadline = now + value % 20_000;
+                        let (old_id, tok) = live[i];
+                        // Model: tombstone the old incarnation, arm a
+                        // fresh id; wheel: O(1) re-arm of the same
+                        // entry. Track the handler under the new id.
+                        model.reset(old_id);
+                        let id = next_id;
+                        next_id += 1;
+                        model.arm(id, deadline);
+                        prop_assert!(wheel.arm(tok, deadline));
+                        *wheel.handler_mut(tok).expect("live entry") = id;
+                        live[i] = (id, tok);
+                    }
+                    // Cancel an existing timer.
+                    _ => {
+                        if live.is_empty() { continue; }
+                        let i = (value as usize) % live.len();
+                        let (id, tok) = live.swap_remove(i);
+                        model.cancel(id);
+                        prop_assert!(wheel.remove(tok).is_some());
+                    }
+                }
+                // Soundness of the park/halt bound after every step:
+                // never past the earliest pending deadline, always in
+                // the future when nothing is due.
+                if let Some(bound) = wheel.next_deadline(now) {
+                    let true_min = model.heap.iter()
+                        .filter(|Reverse((_, _, id))| !model.cancelled.contains(id))
+                        .map(|Reverse((d, _, _))| *d)
+                        .min();
+                    if let Some(min) = true_min {
+                        prop_assert!(bound <= min.max(now + 1),
+                            "bound {} past earliest deadline {}", bound, min);
+                    }
+                }
+            }
+            // Final drain far in the future: both empty out identically.
+            now += 1 << 20;
+            let fired = drain_wheel(&mut wheel, now);
+            let expected = model.fire(now);
+            prop_assert_eq!(fired, expected);
+            prop_assert_eq!(wheel.pending(), 0);
+            prop_assert_eq!(wheel.live(), 0, "no entry may outlive the run");
+        }
+    }
+}
+
 mod future_props {
     use super::*;
     use ebbrt_repro::core::future;
