@@ -27,8 +27,16 @@
 //!   chains sharing the driver buffers' regions.
 //! * GET responses chain a pooled header segment with a *clone of the
 //!   stored value's descriptors* — the value bytes are never touched.
+//!   Values larger than [`ebbrt_core::iobuf::pool::SMALL_CAPACITY`]
+//!   ride in regions of the large buffer class; the response path is
+//!   identical, only the class the header's pool hit lands in differs.
 //! * All responses of one event-loop pass are batched into a single
 //!   chain and sent once, so a pipelined burst pays one send path.
+//!   Replies that exceed the peer's advertised window (a GET of a
+//!   value larger than 64 KiB) park zero-copy in a per-connection
+//!   `unsent` chain and drain from `on_window_open` — the application
+//!   obeys the stack's no-buffering contract instead of dropping the
+//!   reply.
 //!
 //! The same server binary runs on every environment profile — only the
 //! machine's [`ebbrt_sim::CostProfile`] changes — which is how the
@@ -254,12 +262,22 @@ fn push_header(out: &mut Chain<IoBuf>, h: &Header, extra_zeroed: usize) {
 pub const APP_BASE_NS: u64 = 500;
 
 /// Per-connection server state: the not-yet-parsed tail of the request
-/// stream, held as a zero-copy chain of receive-buffer views.
+/// stream, held as a zero-copy chain of receive-buffer views, plus the
+/// not-yet-sent tail of the response stream for replies larger than
+/// the peer's receive window.
 pub struct ServerConn {
     store: Arc<Store>,
     /// Bytes not yet forming a complete request (descriptor chain over
     /// the driver buffers; nothing is copied into it).
     pending: RefCell<Chain<IoBuf>>,
+    /// Response bytes awaiting send window. The stack refuses rather
+    /// than buffers ([`SendError::WindowFull`]), so replies that
+    /// exceed the advertised window — a GET of a value larger than
+    /// 64 KiB — park here (descriptor chain, zero-copy) and drain from
+    /// [`ConnHandler::on_window_open`].
+    ///
+    /// [`SendError::WindowFull`]: ebbrt_net::netif::SendError::WindowFull
+    unsent: RefCell<Chain<IoBuf>>,
 }
 
 impl ServerConn {
@@ -270,12 +288,18 @@ impl ServerConn {
         ServerConn {
             store,
             pending: RefCell::new(Chain::new()),
+            unsent: RefCell::new(Chain::new()),
         }
     }
 
     /// Bytes buffered awaiting a complete request (diagnostic).
     pub fn pending_len(&self) -> usize {
         self.pending.borrow().len()
+    }
+
+    /// Response bytes parked awaiting send window (diagnostic).
+    pub fn unsent_len(&self) -> usize {
+        self.unsent.borrow().len()
     }
 
     fn process(&self, conn: &TcpConn, data: Chain<IoBuf>) {
@@ -305,9 +329,43 @@ impl ServerConn {
         }
         drop(pending);
         if !responses.is_empty() {
-            // The reply is sent synchronously from the same event that
-            // received the request — it carries the ACK too.
-            let _ = conn.send(responses);
+            // Replies go out synchronously from the same event that
+            // received the request — carrying the ACK too. Fast path:
+            // nothing parked and the whole batch fits the window, so
+            // send it directly (no unsent round-trip, no re-walk).
+            if self.unsent.borrow().is_empty() && responses.len() <= conn.send_window() {
+                let _ = conn.send(responses);
+                return;
+            }
+            // Overflow: park the batch (descriptor moves only) and
+            // drain as much as the window allows; the rest goes out
+            // from `on_window_open` when acknowledgments open space.
+            self.unsent.borrow_mut().append_chain(responses);
+            self.flush(conn);
+        }
+    }
+
+    /// Sends as much of the parked response chain as the window
+    /// allows (descriptor moves only).
+    fn flush(&self, conn: &TcpConn) {
+        loop {
+            let mut unsent = self.unsent.borrow_mut();
+            if unsent.is_empty() {
+                return;
+            }
+            let window = conn.send_window();
+            if window == 0 {
+                return;
+            }
+            let take = unsent.len().min(window);
+            let chunk = unsent.split_to(take);
+            drop(unsent);
+            if conn.send(chunk).is_err() {
+                // NotConnected (the peer vanished): responses are
+                // undeliverable, stop trying. WindowFull cannot happen
+                // for a window-clamped chunk.
+                return;
+            }
         }
     }
 
@@ -408,6 +466,12 @@ impl ServerConn {
 impl ConnHandler for ServerConn {
     fn on_receive(&self, conn: &TcpConn, data: Chain<IoBuf>) {
         self.process(conn, data);
+    }
+
+    fn on_window_open(&self, conn: &TcpConn) {
+        // Acknowledgments opened send space: drain parked response
+        // bytes (large GET replies that exceeded the peer's window).
+        self.flush(conn);
     }
 }
 
@@ -536,6 +600,56 @@ mod tests {
         let stored = store.get_raw(b"hello_key").expect("stored");
         assert_eq!(stored.copy_to_vec(), b"world_value");
         assert!(stored.iter().all(|s| s.region_len() == stored.len()));
+    }
+
+    #[test]
+    fn over_window_reply_completes_after_peer_half_close() {
+        // A GET of a value larger than the 64 KiB receive window
+        // parks its tail in the server's unsent chain; if the client
+        // half-closes right after the request (server lands in
+        // CloseWait), window-open events must still drain the tail.
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let server = SimMachine::create(&w, "server", 1, CostProfile::ebbrt_vm(), [0xAA; 6]);
+        let client = SimMachine::create(&w, "client", 1, CostProfile::ebbrt_vm(), [0xBB; 6]);
+        sw.attach(server.nic(), LinkParams::default());
+        sw.attach(client.nic(), LinkParams::default());
+        let mask = Ipv4Addr::new(255, 255, 255, 0);
+        let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
+        let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
+        w.run_to_idle();
+        let store = Store::new(std::sync::Arc::clone(server.runtime().rcu()));
+        let value = vec![0x7E; 100_000];
+        store.insert_raw(b"big".to_vec(), IoBuf::copy_from(&value));
+        start_server(&s_if, &store);
+
+        struct GetAndHalfClose {
+            rx: Rc<RefCell<Vec<u8>>>,
+        }
+        impl ConnHandler for GetAndHalfClose {
+            fn on_connected(&self, conn: &TcpConn) {
+                conn.send(Chain::single(IoBuf::copy_from(&encode_get(b"big", 1))))
+                    .unwrap();
+                conn.close(); // half-close: we still read the reply
+            }
+            fn on_receive(&self, _c: &TcpConn, data: Chain<IoBuf>) {
+                self.rx.borrow_mut().extend(data.copy_to_vec());
+            }
+        }
+        let rx = Rc::new(RefCell::new(Vec::new()));
+        let handler = GetAndHalfClose { rx: Rc::clone(&rx) };
+        spawn_with(&client, CoreId(0), c_if, move |c_if| {
+            c_if.connect(Ipv4Addr::new(10, 0, 0, 1), MEMCACHED_PORT, Rc::new(handler));
+        });
+        w.run_to_idle();
+        let rx = rx.borrow();
+        let expected = Header::SIZE + 4 + value.len();
+        assert_eq!(
+            rx.len(),
+            expected,
+            "the parked reply tail must drain despite CloseWait"
+        );
+        assert_eq!(&rx[Header::SIZE + 4..], &value[..]);
     }
 
     #[test]

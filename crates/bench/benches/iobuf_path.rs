@@ -1,6 +1,6 @@
 //! The zero-copy request pipeline, measured and *proven*.
 //!
-//! Two halves:
+//! Three parts:
 //!
 //! 1. A steady-state memcached GET workload over the full simulated
 //!    path (client → NIC → TCP → parse → RCU store → response chain →
@@ -9,9 +9,14 @@
 //!    phase copies **0 payload bytes** and allocates **0 fresh
 //!    buffers** — pool hits only. This is §3.6's IOBuf discipline as a
 //!    checked invariant rather than a design intention.
-//! 2. Criterion microbenchmarks of the primitives that make it true:
-//!    pooled vs fresh buffer acquisition, zero-copy cursor reads vs
-//!    copying reads, and descriptor-chain splitting.
+//! 2. The N-core RSS sweep ([`ebbrt_bench::rss_sweep`]): the same
+//!    property across 4 event cores, both buffer size classes (2 KiB
+//!    and 64 KiB), deliberately skewed traffic, and cross-core depot
+//!    migration — plus the guarantee that a > 2 KiB SET never takes
+//!    the one-shot-allocation fallback.
+//! 3. Criterion microbenchmarks of the primitives that make it true:
+//!    pooled vs fresh buffer acquisition (both classes), zero-copy
+//!    cursor reads vs copying reads, and descriptor-chain splitting.
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -153,10 +158,26 @@ fn verify_zero_copy_get_path(_c: &mut Criterion) {
     );
 }
 
+/// Runs the 4-core skewed RSS sweep and asserts the production-shaped
+/// zero-copy claim: 0 copies / 0 fresh allocations in both size
+/// classes, no large-SET fallback, depot migration under cross-core
+/// skew.
+fn verify_rss_sweep_multi_class(_c: &mut Criterion) {
+    let cfg = ebbrt_bench::rss_sweep::SweepConfig::for_cores(4);
+    let report = ebbrt_bench::rss_sweep::run(&cfg);
+    println!("{}", ebbrt_bench::rss_sweep::format_report(&report));
+    assert!(
+        report.cross_core_conns > 0,
+        "RSS must split flows across cores"
+    );
+    ebbrt_bench::rss_sweep::assert_properties(&report);
+}
+
 fn bench_buffer_acquisition(c: &mut Criterion) {
     let mut g = c.benchmark_group("buffer_acquisition");
-    // Heat the pool so the pooled case measures recycling, not growth.
+    // Heat the pools so the pooled cases measure recycling, not growth.
     pool::prewarm(4);
+    pool::prewarm_class(pool::SizeClass::Large, 4);
     g.bench_function("pooled_acquire_release_1500B", |b| {
         b.iter(|| {
             let mut buf = MutIoBuf::with_capacity(1500);
@@ -169,6 +190,22 @@ fn bench_buffer_acquisition(c: &mut Criterion) {
         b.iter(|| {
             let mut buf = MutIoBuf::from_vec(vec![0u8; 1500]);
             buf.trim_end(1500 - 64);
+            black_box(&mut buf);
+            // drop: storage freed, next iteration re-allocates
+        })
+    });
+    g.bench_function("pooled_acquire_release_20KiB", |b| {
+        b.iter(|| {
+            let mut buf = MutIoBuf::with_capacity(20 * 1024);
+            buf.append(64);
+            black_box(&mut buf);
+            // drop: recycles into the large class's free list
+        })
+    });
+    g.bench_function("fresh_zeroed_acquire_release_20KiB", |b| {
+        b.iter(|| {
+            let mut buf = MutIoBuf::from_vec(vec![0u8; 20 * 1024]);
+            buf.trim_end(20 * 1024 - 64);
             black_box(&mut buf);
             // drop: storage freed, next iteration re-allocates
         })
@@ -226,6 +263,7 @@ fn bench_chain_ops(c: &mut Criterion) {
 criterion_group!(
     benches,
     verify_zero_copy_get_path,
+    verify_rss_sweep_multi_class,
     bench_buffer_acquisition,
     bench_cursor_reads,
     bench_chain_ops

@@ -122,4 +122,50 @@ fn main() {
     )
     .expect("write csv");
     println!("wrote {}", path.display());
+
+    // N-core RSS sweep: the zero-copy/zero-allocation property across
+    // event cores and both buffer size classes, under deliberately
+    // skewed traffic (one hot connection). The per-class counters
+    // *assert* that steady-state GETs copy and allocate nothing and
+    // that > 2 KiB SETs never take the one-shot-allocation fallback;
+    // the depot counters quantify the cross-core buffer migration the
+    // skew induces.
+    println!();
+    println!("N-core RSS sweep (multi-size-class pools, skewed traffic):");
+    let mut sweep_rows = Vec::new();
+    for cores in [1usize, 2, 4, 8] {
+        let r = ebbrt_bench::rss_sweep::run(&ebbrt_bench::rss_sweep::SweepConfig::for_cores(cores));
+        println!("{}", ebbrt_bench::rss_sweep::format_report(&r));
+        if cores >= 4 {
+            assert!(
+                r.cross_core_conns > 0,
+                "RSS must split flows across cores at N >= 4"
+            );
+        }
+        ebbrt_bench::rss_sweep::assert_properties(&r);
+        let gp = &r.get_phase;
+        let sp = &r.set_phase;
+        sweep_rows.push(format!(
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            cores,
+            r.conns,
+            r.cross_core_conns,
+            gp.requests,
+            gp.bytes_copied,
+            gp.bufs_allocated,
+            gp.small.hits,
+            gp.small.depot_out + gp.large.depot_out,
+            sp.requests,
+            sp.large.hits,
+            sp.large.fallback_allocs,
+        ));
+    }
+    let path = ebbrt_bench::write_csv(
+        "fig4_rss_sweep.csv",
+        "cores,conns,cross_core_conns,get_requests,get_bytes_copied,get_bufs_allocated,\
+         get_small_hits,get_depot_out,set_requests,set_large_hits,set_large_fallbacks",
+        &sweep_rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
 }

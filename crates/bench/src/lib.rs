@@ -1,8 +1,12 @@
 //! # ebbrt-bench — the benchmark harness
 //!
 //! One `repro_*` binary per table/figure of the paper (see
-//! EXPERIMENTS.md) plus Criterion microbenchmarks. The library itself
-//! only hosts shared output helpers.
+//! EXPERIMENTS.md) plus Criterion microbenchmarks. The library hosts
+//! shared output helpers and the [`rss_sweep`] workload driver that
+//! both the `iobuf_path` bench and `repro_fig4` run (so CI enforces
+//! its zero-copy assertions from two directions).
+
+pub mod rss_sweep;
 
 /// Writes a CSV under `target/repro/`, creating the directory.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {

@@ -318,7 +318,15 @@ impl EventManager {
                     free_vectors: Vec::new(),
                     idle: Vec::new(),
                     next_idle_token: 0,
-                    timers: TimerWheel::new(DEFAULT_TIMER_TICK_SHIFT),
+                    timers: {
+                        // Stamp the wheel with its core so that, in
+                        // debug builds, a token used against another
+                        // core's manager asserts instead of silently
+                        // no-opping or colliding.
+                        let mut w = TimerWheel::new(DEFAULT_TIMER_TICK_SHIFT);
+                        w.set_owner(core.0);
+                        w
+                    },
                     pending_handoff: None,
                 },
             ),
@@ -1228,6 +1236,24 @@ mod tests {
         assert!(!em.pending_work());
         clock.set(100);
         assert!(em.pending_work());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cross-core timer use")]
+    fn cross_core_timer_token_asserts_in_debug() {
+        // The ARP-continuation class of bug: a timer token minted on
+        // one core's manager used against another core's. Must assert,
+        // not silently no-op or collide.
+        let clock = Arc::new(ManualClock::new());
+        let em0 = EventManager::new(CoreId(0), clock.clone(), Arc::new(CoreEpoch::new()));
+        let em1 = EventManager::new(CoreId(1), clock, Arc::new(CoreEpoch::new()));
+        let token = {
+            let _b = cpu::bind(CoreId(0));
+            em0.set_persistent_timer(100, || ())
+        };
+        let _b = cpu::bind(CoreId(1));
+        em1.reset_timer(token, 100);
     }
 
     #[test]

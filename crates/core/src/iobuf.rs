@@ -17,15 +17,24 @@
 //!
 //! Two pieces make the discipline *cheap* as well as copy-free:
 //!
-//! * **Buffer pooling** ([`pool`]): small regions (up to
-//!   [`pool::BUF_CAPACITY`] bytes — every frame and header buffer) are
-//!   recycled through per-core free lists instead of being allocated
-//!   and zero-filled per packet. When the last descriptor of a pooled
-//!   region drops, its storage returns to the pool automatically.
-//! * **Instrumentation** ([`stats`]): global counters record every
-//!   payload byte copied between buffers and every fresh storage
-//!   allocation, so benchmarks can *assert* the zero-copy/zero-alloc
-//!   property of a steady-state request path rather than assume it.
+//! * **Buffer pooling** ([`pool`]): regions are recycled through
+//!   per-core free lists in a small set of *size classes* — a
+//!   [`pool::SizeClass::Small`] class for MTU-sized frames and header
+//!   buffers and a [`pool::SizeClass::Large`] class for jumbo frames
+//!   and multi-kilobyte message staging — instead of being allocated
+//!   and zero-filled per packet. Allocation is routed by requested
+//!   length ([`pool::class_for`]); only requests beyond the largest
+//!   class fall back to exact-size one-shot allocations. When the last
+//!   descriptor of a pooled region drops, its storage returns to the
+//!   *freeing core's* list automatically, and a shared depot rebalances
+//!   lists across cores in batches when producers and consumers of
+//!   buffers sit on different cores.
+//! * **Instrumentation** ([`stats`]): per-core counters record every
+//!   payload byte copied between buffers, every fresh storage
+//!   allocation, and per-class pool activity (hits, returns, fallback
+//!   allocations, depot migration), so benchmarks can *assert* the
+//!   zero-copy/zero-alloc property of a steady-state request path —
+//!   per size class — rather than assume it.
 
 use std::fmt;
 use std::ops::Range;
@@ -56,13 +65,18 @@ use std::sync::Arc;
 /// cells observes the whole world, which is precisely what the
 /// benchmarks read.
 pub mod stats {
+    use super::pool::{SizeClass, NUM_CLASSES};
     use std::cell::Cell;
 
     thread_local! {
         static BYTES_COPIED: Cell<u64> = const { Cell::new(0) };
         static BUFS_ALLOCATED: Cell<u64> = const { Cell::new(0) };
-        static POOL_HITS: Cell<u64> = const { Cell::new(0) };
-        static POOL_RETURNS: Cell<u64> = const { Cell::new(0) };
+        static CLASS_HITS: [Cell<u64>; NUM_CLASSES] = const { [Cell::new(0), Cell::new(0)] };
+        static CLASS_RETURNS: [Cell<u64>; NUM_CLASSES] = const { [Cell::new(0), Cell::new(0)] };
+        static CLASS_FALLBACKS: [Cell<u64>; NUM_CLASSES] = const { [Cell::new(0), Cell::new(0)] };
+        static CLASS_DEPOT_IN: [Cell<u64>; NUM_CLASSES] = const { [Cell::new(0), Cell::new(0)] };
+        static CLASS_DEPOT_OUT: [Cell<u64>; NUM_CLASSES] = const { [Cell::new(0), Cell::new(0)] };
+        static OVERSIZE_ALLOCS: Cell<u64> = const { Cell::new(0) };
     }
 
     pub(super) fn record_copy(n: usize) {
@@ -73,12 +87,43 @@ pub mod stats {
         BUFS_ALLOCATED.with(|c| c.set(c.get() + 1));
     }
 
-    pub(super) fn record_pool_hit() {
-        POOL_HITS.with(|c| c.set(c.get() + 1));
+    pub(super) fn record_pool_hit(class: SizeClass) {
+        CLASS_HITS.with(|c| {
+            let c = &c[class.index()];
+            c.set(c.get() + 1);
+        });
     }
 
-    pub(super) fn record_pool_return() {
-        POOL_RETURNS.with(|c| c.set(c.get() + 1));
+    pub(super) fn record_pool_return(class: SizeClass) {
+        CLASS_RETURNS.with(|c| {
+            let c = &c[class.index()];
+            c.set(c.get() + 1);
+        });
+    }
+
+    pub(super) fn record_fallback(class: SizeClass) {
+        CLASS_FALLBACKS.with(|c| {
+            let c = &c[class.index()];
+            c.set(c.get() + 1);
+        });
+    }
+
+    pub(super) fn record_depot_in(class: SizeClass, n: usize) {
+        CLASS_DEPOT_IN.with(|c| {
+            let c = &c[class.index()];
+            c.set(c.get() + n as u64);
+        });
+    }
+
+    pub(super) fn record_depot_out(class: SizeClass, n: usize) {
+        CLASS_DEPOT_OUT.with(|c| {
+            let c = &c[class.index()];
+            c.set(c.get() + n as u64);
+        });
+    }
+
+    pub(super) fn record_oversize() {
+        OVERSIZE_ALLOCS.with(|c| c.set(c.get() + 1));
     }
 
     /// Payload bytes copied between buffers on this core.
@@ -86,23 +131,64 @@ pub mod stats {
         BYTES_COPIED.with(Cell::get)
     }
 
-    /// Fresh buffer-storage allocations on this core.
+    /// Fresh buffer-storage allocations on this core (all classes plus
+    /// over-sized and caller-wrapped storage).
     pub fn bufs_allocated() -> u64 {
         BUFS_ALLOCATED.with(Cell::get)
     }
 
-    /// Buffer requests served by recycling pooled storage on this core.
+    /// Buffer requests served by recycling pooled storage on this core,
+    /// summed over all size classes.
     pub fn pool_hits() -> u64 {
-        POOL_HITS.with(Cell::get)
+        CLASS_HITS.with(|c| c.iter().map(Cell::get).sum())
     }
 
     /// Pooled regions returned to a free list on final descriptor drop
-    /// on this core.
+    /// on this core, summed over all size classes.
     pub fn pool_returns() -> u64 {
-        POOL_RETURNS.with(Cell::get)
+        CLASS_RETURNS.with(|c| c.iter().map(Cell::get).sum())
     }
 
-    /// A point-in-time reading of all four counters.
+    /// Per-class pool activity on this core.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct ClassCounters {
+        /// Requests served by recycling a pooled region of this class.
+        pub hits: u64,
+        /// Regions of this class returned to a free list on final
+        /// descriptor drop.
+        pub returns: u64,
+        /// Requests that fit this class but found both the core's list
+        /// and the depot empty, forcing a fresh (still pool-shaped,
+        /// still recyclable) allocation. A steady state that is truly
+        /// pool-hot drives this to zero.
+        pub fallback_allocs: u64,
+        /// Regions this core pulled out of the shared depot — the
+        /// consumer half of cross-core migration traffic.
+        pub depot_out: u64,
+        /// Regions this core flushed into the shared depot past its
+        /// high watermark — the producer half of migration traffic.
+        pub depot_in: u64,
+    }
+
+    /// Reads one class's counters.
+    pub fn class_counters(class: SizeClass) -> ClassCounters {
+        let i = class.index();
+        ClassCounters {
+            hits: CLASS_HITS.with(|c| c[i].get()),
+            returns: CLASS_RETURNS.with(|c| c[i].get()),
+            fallback_allocs: CLASS_FALLBACKS.with(|c| c[i].get()),
+            depot_out: CLASS_DEPOT_OUT.with(|c| c[i].get()),
+            depot_in: CLASS_DEPOT_IN.with(|c| c[i].get()),
+        }
+    }
+
+    /// Allocations too large for any size class (exact-size, unpooled).
+    pub fn oversize_allocs() -> u64 {
+        OVERSIZE_ALLOCS.with(Cell::get)
+    }
+
+    /// A point-in-time reading of all counters, aggregate and per
+    /// class.
     #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
     pub struct Snapshot {
         /// See [`bytes_copied`].
@@ -113,6 +199,10 @@ pub mod stats {
         pub pool_hits: u64,
         /// See [`pool_returns`].
         pub pool_returns: u64,
+        /// See [`oversize_allocs`].
+        pub oversize_allocs: u64,
+        /// Per-class counters, indexed by [`SizeClass::index`].
+        pub classes: [ClassCounters; NUM_CLASSES],
     }
 
     /// Reads all counters at once.
@@ -122,6 +212,24 @@ pub mod stats {
             bufs_allocated: bufs_allocated(),
             pool_hits: pool_hits(),
             pool_returns: pool_returns(),
+            oversize_allocs: oversize_allocs(),
+            classes: [
+                class_counters(SizeClass::Small),
+                class_counters(SizeClass::Large),
+            ],
+        }
+    }
+
+    impl ClassCounters {
+        /// Counter deltas since `earlier`.
+        pub fn since(&self, earlier: &ClassCounters) -> ClassCounters {
+            ClassCounters {
+                hits: self.hits - earlier.hits,
+                returns: self.returns - earlier.returns,
+                fallback_allocs: self.fallback_allocs - earlier.fallback_allocs,
+                depot_out: self.depot_out - earlier.depot_out,
+                depot_in: self.depot_in - earlier.depot_in,
+            }
         }
     }
 
@@ -133,26 +241,50 @@ pub mod stats {
                 bufs_allocated: self.bufs_allocated - earlier.bufs_allocated,
                 pool_hits: self.pool_hits - earlier.pool_hits,
                 pool_returns: self.pool_returns - earlier.pool_returns,
+                oversize_allocs: self.oversize_allocs - earlier.oversize_allocs,
+                classes: [
+                    self.classes[0].since(&earlier.classes[0]),
+                    self.classes[1].since(&earlier.classes[1]),
+                ],
             }
+        }
+
+        /// The per-class counters for `class`.
+        pub fn class(&self, class: SizeClass) -> &ClassCounters {
+            &self.classes[class.index()]
         }
     }
 }
 
-/// Per-core buffer pools for packet-sized regions.
+/// Per-core, multi-size-class buffer pools.
 ///
 /// The design mirrors the `ebbrt-mem` slab allocator (§3.4): each core
-/// keeps a plain free list touched with **no synchronization** — legal
-/// because events are non-preemptive and a core's list is only ever
-/// used from that core's thread — and overflow/underflow moves batches
-/// through a shared, rarely-touched depot. Under the simulation backend
-/// every machine runs on the driving thread, so "per-core" degenerates
-/// to one hot list, which is exactly right there too.
+/// keeps plain free lists touched with **no synchronization** — legal
+/// because events are non-preemptive and a core's lists are only ever
+/// used while a thread is bound to that core — and overflow/underflow
+/// moves batches through a shared, rarely-touched per-class depot.
+/// Lists are keyed by the *bound core* ([`crate::cpu::try_current`]),
+/// not by thread, so under the simulation backend (one driving thread
+/// binding each core around event delivery) the lists are genuinely
+/// per-core and cross-core buffer flows show up as depot migration,
+/// exactly as they would on the threaded backend.
 ///
-/// Pooled regions are a fixed [`BUF_CAPACITY`] bytes: big enough for an
-/// MTU-sized frame plus header room, so one size class covers the
-/// entire receive/transmit path. Requests larger than that fall back to
+/// Pooled regions come in [`pool::NUM_CLASSES`] size classes
+/// ([`pool::SizeClass`]): a [`pool::SizeClass::Small`] class sized
+/// for an MTU frame plus header room, and a [`pool::SizeClass::Large`]
+/// class for jumbo frames and multi-kilobyte message staging.
+/// Allocation is routed by requested length ([`pool::class_for`]);
+/// only requests beyond [`pool::LARGE_CAPACITY`] fall back to
 /// exact-size one-shot allocations (counted by
-/// [`stats::bufs_allocated`]).
+/// [`stats::oversize_allocs`]).
+///
+/// Each class has its own local high watermark and migration batch
+/// size: a core whose list grows past the watermark (a *consumer* of
+/// buffers other cores allocate — e.g. the core a skewed connection's
+/// frames are freed on) flushes a cold batch to the depot, and a core
+/// whose list runs dry refills a batch from it. The per-class
+/// [`stats::ClassCounters::depot_in`]/[`stats::ClassCounters::depot_out`]
+/// counters make that migration traffic measurable.
 ///
 /// Recycling is automatic: [`MutIoBuf`] and [`IoBuf`] storage acquired
 /// from the pool returns to the *freeing core's* list when the last
@@ -162,126 +294,257 @@ pub mod pool {
     use std::cell::RefCell;
     use std::sync::Mutex;
 
-    /// Capacity of every pooled region: one Ethernet MTU plus header
-    /// and alignment room. Covers frames, header buffers, and typical
-    /// application payload buffers.
-    pub const BUF_CAPACITY: usize = 2048;
+    /// Capacity of a [`SizeClass::Small`] region: one Ethernet MTU
+    /// plus header and alignment room. Covers frames, header buffers,
+    /// and typical small application payload buffers.
+    pub const SMALL_CAPACITY: usize = 2048;
 
-    /// Free-list length that triggers a flush to the depot.
-    pub const LOCAL_HIGH_WATERMARK: usize = 256;
+    /// Capacity of a [`SizeClass::Large`] region: jumbo frames and
+    /// multi-kilobyte request/response staging (e.g. memcached SET
+    /// values above [`SMALL_CAPACITY`]).
+    pub const LARGE_CAPACITY: usize = 64 * 1024;
 
-    /// Regions moved between a core's list and the depot at once.
-    pub const BATCH: usize = 64;
+    /// Backward-compatible alias for the small class's capacity.
+    pub const BUF_CAPACITY: usize = SMALL_CAPACITY;
 
-    thread_local! {
-        static LOCAL: RefCell<Vec<Box<[u8]>>> = const { RefCell::new(Vec::new()) };
+    /// Number of pooled size classes.
+    pub const NUM_CLASSES: usize = 2;
+
+    /// A pooled region size class. Every class keeps per-core free
+    /// lists plus a shared depot with its own watermark and batch
+    /// size; [`class_for`] routes a requested capacity to the smallest
+    /// class that fits it.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum SizeClass {
+        /// [`SMALL_CAPACITY`]-byte regions (frames, headers).
+        Small,
+        /// [`LARGE_CAPACITY`]-byte regions (jumbo frames, large
+        /// values).
+        Large,
     }
 
-    static DEPOT: Mutex<Vec<Box<[u8]>>> = Mutex::new(Vec::new());
+    impl SizeClass {
+        /// All classes, smallest first.
+        pub const ALL: [SizeClass; NUM_CLASSES] = [SizeClass::Small, SizeClass::Large];
 
-    /// Takes a pooled region if one is available (local list first,
-    /// then a batch from the depot).
-    pub(super) fn take() -> Option<Box<[u8]>> {
+        /// Dense index of this class (`0..NUM_CLASSES`).
+        #[inline]
+        pub fn index(self) -> usize {
+            match self {
+                SizeClass::Small => 0,
+                SizeClass::Large => 1,
+            }
+        }
+
+        /// Physical capacity of every region in this class.
+        #[inline]
+        pub fn capacity(self) -> usize {
+            match self {
+                SizeClass::Small => SMALL_CAPACITY,
+                SizeClass::Large => LARGE_CAPACITY,
+            }
+        }
+
+        /// Free-list length that triggers a flush to the depot. Scaled
+        /// down for the large class so an imbalanced core parks at
+        /// most a few megabytes before sharing.
+        #[inline]
+        pub fn high_watermark(self) -> usize {
+            match self {
+                SizeClass::Small => 256,
+                SizeClass::Large => 32,
+            }
+        }
+
+        /// Regions moved between a core's list and the depot at once.
+        #[inline]
+        pub fn batch(self) -> usize {
+            match self {
+                SizeClass::Small => 64,
+                SizeClass::Large => 8,
+            }
+        }
+    }
+
+    /// The smallest class whose regions hold `capacity` bytes, or
+    /// `None` if the request exceeds every class (exact-size one-shot
+    /// allocation).
+    #[inline]
+    pub fn class_for(capacity: usize) -> Option<SizeClass> {
+        if capacity <= SMALL_CAPACITY {
+            Some(SizeClass::Small)
+        } else if capacity <= LARGE_CAPACITY {
+            Some(SizeClass::Large)
+        } else {
+            None
+        }
+    }
+
+    /// One core's free lists, one per class.
+    #[derive(Default)]
+    struct CoreLists {
+        lists: [Vec<Box<[u8]>>; NUM_CLASSES],
+    }
+
+    thread_local! {
+        /// Free lists indexed by bound-core slot (slot 0 = no core
+        /// bound — plain test threads; slot `c + 1` = core `c`). The
+        /// per-core non-preemption invariant makes unsynchronized
+        /// access sound; a thread only ever touches the slot of the
+        /// core it is currently bound to.
+        static LOCAL: RefCell<Vec<CoreLists>> = const { RefCell::new(Vec::new()) };
+    }
+
+    static DEPOTS: [Mutex<Vec<Box<[u8]>>>; NUM_CLASSES] =
+        [Mutex::new(Vec::new()), Mutex::new(Vec::new())];
+
+    /// The calling context's list slot: its bound core, or the
+    /// unbound slot.
+    fn slot() -> usize {
+        crate::cpu::try_current().map_or(0, |c| c.index() + 1)
+    }
+
+    /// Runs `f` on the calling core's free list for `class`.
+    fn with_local<R>(class: SizeClass, f: impl FnOnce(&mut Vec<Box<[u8]>>) -> R) -> R {
+        let slot = slot();
         LOCAL.with(|l| {
-            let mut local = l.borrow_mut();
+            let mut lists = l.borrow_mut();
+            if lists.len() <= slot {
+                lists.resize_with(slot + 1, CoreLists::default);
+            }
+            f(&mut lists[slot].lists[class.index()])
+        })
+    }
+
+    fn depot(class: SizeClass) -> std::sync::MutexGuard<'static, Vec<Box<[u8]>>> {
+        DEPOTS[class.index()]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Takes a pooled region of `class` if one is available (the
+    /// calling core's list first, then a batch from the depot —
+    /// counted as [`stats::ClassCounters::depot_out`] migration).
+    pub(super) fn take(class: SizeClass) -> Option<Box<[u8]>> {
+        with_local(class, |local| {
             if let Some(b) = local.pop() {
                 return Some(b);
             }
-            let mut depot = DEPOT
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut depot = depot(class);
             if depot.is_empty() {
                 return None;
             }
-            let take = depot.len().min(BATCH);
+            let take = depot.len().min(class.batch());
             let from = depot.len() - take;
             local.extend(depot.drain(from..));
             drop(depot);
+            stats::record_depot_out(class, take);
             local.pop()
         })
     }
 
-    /// Returns a region to this core's free list, flushing a batch of
-    /// cold entries to the depot past the high watermark.
-    pub(super) fn recycle(buf: Box<[u8]>) {
-        debug_assert_eq!(buf.len(), BUF_CAPACITY);
-        stats::record_pool_return();
-        LOCAL.with(|l| {
-            let mut local = l.borrow_mut();
+    /// Returns a region to the calling core's free list, flushing a
+    /// batch of cold entries to the depot past the class's high
+    /// watermark (counted as [`stats::ClassCounters::depot_in`]
+    /// migration).
+    pub(super) fn recycle(class: SizeClass, buf: Box<[u8]>) {
+        debug_assert_eq!(buf.len(), class.capacity());
+        stats::record_pool_return(class);
+        with_local(class, |local| {
             local.push(buf);
-            if local.len() >= LOCAL_HIGH_WATERMARK {
+            if local.len() >= class.high_watermark() {
                 // Flush the cold end; recently freed regions stay local
                 // for cache-warm reuse (same policy as the slab).
-                let batch: Vec<Box<[u8]>> = local.drain(..BATCH).collect();
-                drop(local);
-                DEPOT
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .extend(batch);
+                let batch: Vec<Box<[u8]>> = local.drain(..class.batch()).collect();
+                stats::record_depot_in(class, batch.len());
+                depot(class).extend(batch);
             }
         })
     }
 
-    /// Pre-fills this core's free list with `n` fresh regions so a
-    /// benchmark's steady state starts pool-hot. The fresh allocations
-    /// are counted (they are real), which is why benchmarks snapshot
-    /// counters *after* prewarming.
+    /// Pre-fills the calling core's [`SizeClass::Small`] free list
+    /// with `n` fresh regions so a benchmark's steady state starts
+    /// pool-hot. The fresh allocations are counted (they are real),
+    /// which is why benchmarks snapshot counters *after* prewarming.
     pub fn prewarm(n: usize) {
-        LOCAL.with(|l| {
-            let mut local = l.borrow_mut();
+        prewarm_class(SizeClass::Small, n);
+    }
+
+    /// Pre-fills the calling core's free list for `class` with `n`
+    /// fresh regions (counted by [`stats::bufs_allocated`]).
+    pub fn prewarm_class(class: SizeClass, n: usize) {
+        with_local(class, |local| {
             for _ in 0..n {
                 stats::record_alloc();
-                local.push(vec![0u8; BUF_CAPACITY].into_boxed_slice());
+                local.push(vec![0u8; class.capacity()].into_boxed_slice());
             }
         })
     }
 
-    /// Regions on this core's free list (diagnostic).
+    /// [`SizeClass::Small`] regions on the calling core's free list
+    /// (diagnostic).
     pub fn local_free() -> usize {
-        LOCAL.with(|l| l.borrow().len())
+        local_free_class(SizeClass::Small)
     }
 
-    /// Regions parked in the shared depot (diagnostic).
+    /// Regions of `class` on the calling core's free list
+    /// (diagnostic).
+    pub fn local_free_class(class: SizeClass) -> usize {
+        with_local(class, |local| local.len())
+    }
+
+    /// [`SizeClass::Small`] regions parked in the shared depot
+    /// (diagnostic).
     pub fn depot_free() -> usize {
-        DEPOT
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .len()
+        depot_free_class(SizeClass::Small)
+    }
+
+    /// Regions of `class` parked in the shared depot (diagnostic).
+    pub fn depot_free_class(class: SizeClass) -> usize {
+        depot(class).len()
     }
 }
 
-/// The backing store of a buffer: an owned byte region plus the flag
-/// saying whether it recycles into the [`pool`] when the last
-/// descriptor drops.
+/// The backing store of a buffer: an owned byte region plus the size
+/// class it recycles into (via the [`pool`]) when the last descriptor
+/// drops, if any.
 struct Region {
     /// `Some` until drop; taken by the pool on recycle.
     data: Option<Box<[u8]>>,
-    pooled: bool,
+    pooled: Option<pool::SizeClass>,
 }
 
 impl Region {
     /// Allocates (or recycles) storage of at least `capacity` bytes.
-    /// Pool-sized requests are served from the per-core free lists;
-    /// anything larger gets an exact-size one-shot allocation.
+    /// Requests are routed by length to the smallest size class that
+    /// fits ([`pool::class_for`]) and served from the per-core free
+    /// lists; anything beyond the largest class gets an exact-size
+    /// one-shot allocation.
     fn alloc(capacity: usize) -> Region {
-        if capacity <= pool::BUF_CAPACITY {
-            if let Some(data) = pool::take() {
-                stats::record_pool_hit();
-                return Region {
-                    data: Some(data),
-                    pooled: true,
-                };
+        match pool::class_for(capacity) {
+            Some(class) => {
+                if let Some(data) = pool::take(class) {
+                    stats::record_pool_hit(class);
+                    return Region {
+                        data: Some(data),
+                        pooled: Some(class),
+                    };
+                }
+                stats::record_alloc();
+                stats::record_fallback(class);
+                Region {
+                    data: Some(vec![0u8; class.capacity()].into_boxed_slice()),
+                    pooled: Some(class),
+                }
             }
-            stats::record_alloc();
-            return Region {
-                data: Some(vec![0u8; pool::BUF_CAPACITY].into_boxed_slice()),
-                pooled: true,
-            };
-        }
-        stats::record_alloc();
-        Region {
-            data: Some(vec![0u8; capacity].into_boxed_slice()),
-            pooled: false,
+            None => {
+                stats::record_alloc();
+                stats::record_oversize();
+                Region {
+                    data: Some(vec![0u8; capacity].into_boxed_slice()),
+                    pooled: None,
+                }
+            }
         }
     }
 
@@ -289,7 +552,7 @@ impl Region {
     fn from_box(data: Box<[u8]>) -> Region {
         Region {
             data: Some(data),
-            pooled: false,
+            pooled: None,
         }
     }
 
@@ -304,9 +567,9 @@ impl Region {
 
 impl Drop for Region {
     fn drop(&mut self) {
-        if self.pooled {
+        if let Some(class) = self.pooled {
             if let Some(data) = self.data.take() {
-                pool::recycle(data);
+                pool::recycle(class, data);
             }
         }
     }
@@ -419,6 +682,11 @@ impl MutIoBuf {
     /// Whether the backing region came from (and will return to) the
     /// per-core pool.
     pub fn is_pooled(&self) -> bool {
+        self.region.pooled.is_some()
+    }
+
+    /// The size class serving this buffer's backing region, if pooled.
+    pub fn size_class(&self) -> Option<pool::SizeClass> {
         self.region.pooled
     }
 
@@ -612,6 +880,12 @@ impl IoBuf {
     pub fn region_len(&self) -> usize {
         self.region.bytes().len()
     }
+
+    /// Identity of the backing region (for pinned-storage accounting:
+    /// two descriptors with the same id pin the same storage once).
+    fn region_id(&self) -> usize {
+        Arc::as_ptr(&self.region) as usize
+    }
 }
 
 impl Buf for IoBuf {
@@ -640,6 +914,10 @@ impl From<MutIoBuf> for IoBuf {
 /// storage. Sized for the stack's common shapes: a header + payload
 /// response is 2 segments, an MTU-spanning request rarely exceeds 4.
 pub const INLINE_SEGS: usize = 4;
+
+/// Distinct backing regions [`Chain::pinned_bytes`] deduplicates
+/// exactly before degrading to an upper bound.
+pub const PINNED_DEDUP_REGIONS: usize = 32;
 
 /// A chain of buffer segments presented as one logical byte sequence —
 /// the scatter/gather unit accepted by the network stack's send path and
@@ -913,13 +1191,37 @@ impl Chain<IoBuf> {
         }
     }
 
-    /// Physical bytes pinned by the segments' backing regions — an
-    /// upper bound (a region shared by several segments counts once
-    /// per segment). Long-lived chains compare this against
-    /// [`len`](Chain::len) to decide when small sub-views are pinning
-    /// a disproportionate amount of buffer memory.
+    /// Physical bytes pinned by the segments' backing regions.
+    /// Long-lived chains compare this against [`len`](Chain::len) to
+    /// decide when small sub-views are pinning a disproportionate
+    /// amount of buffer memory.
+    ///
+    /// Regions shared by several segments are counted once — a large
+    /// message segmented to MSS produces many views of one staging
+    /// region, which pins that region's bytes once, not per segment.
+    /// Deduplication uses a fixed-size scratch table; chains with more
+    /// than [`PINNED_DEDUP_REGIONS`] *distinct* regions degrade to an
+    /// upper bound (over-counting further shared regions), which errs
+    /// toward compaction — the safe direction for the
+    /// anti-amplification gates built on this number.
     pub fn pinned_bytes(&self) -> usize {
-        self.iter().map(IoBuf::region_len).sum()
+        let mut seen = [0usize; PINNED_DEDUP_REGIONS];
+        let mut nseen = 0;
+        let mut total = 0;
+        'segs: for seg in self.iter() {
+            let id = seg.region_id();
+            for &s in &seen[..nseen] {
+                if s == id {
+                    continue 'segs;
+                }
+            }
+            if nseen < PINNED_DEDUP_REGIONS {
+                seen[nseen] = id;
+                nseen += 1;
+            }
+            total += seg.region_len();
+        }
+        total
     }
 
     /// Replaces the chain's contents with one exact-size segment,
@@ -1317,10 +1619,127 @@ mod tests {
     }
 
     #[test]
+    fn class_selection_boundaries() {
+        use pool::SizeClass;
+        assert_eq!(pool::class_for(0), Some(SizeClass::Small));
+        assert_eq!(pool::class_for(1), Some(SizeClass::Small));
+        assert_eq!(
+            pool::class_for(pool::SMALL_CAPACITY),
+            Some(SizeClass::Small)
+        );
+        assert_eq!(
+            pool::class_for(pool::SMALL_CAPACITY + 1),
+            Some(SizeClass::Large)
+        );
+        assert_eq!(
+            pool::class_for(pool::LARGE_CAPACITY),
+            Some(SizeClass::Large)
+        );
+        assert_eq!(pool::class_for(pool::LARGE_CAPACITY + 1), None);
+    }
+
+    /// Serializes tests that allocate large-class buffers: the class
+    /// depot is process-global, so concurrent test threads would
+    /// otherwise steal each other's flushed batches and flake the
+    /// hit/refill assertions.
+    fn large_class_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn buffers_between_classes_use_large_pool() {
+        let _serial = large_class_lock();
+        // A request just past the small class is served by the large
+        // class, with the requested logical capacity enforced.
+        let b = MutIoBuf::with_capacity(pool::SMALL_CAPACITY + 1);
+        assert_eq!(b.size_class(), Some(pool::SizeClass::Large));
+        assert_eq!(b.capacity(), pool::SMALL_CAPACITY + 1);
+        // Recycling goes back to the large class and is reused.
+        let returns0 = stats::class_counters(pool::SizeClass::Large).returns;
+        drop(b);
+        assert_eq!(
+            stats::class_counters(pool::SizeClass::Large).returns,
+            returns0 + 1
+        );
+        let hits0 = stats::class_counters(pool::SizeClass::Large).hits;
+        let again = MutIoBuf::with_capacity(32 * 1024);
+        assert_eq!(again.size_class(), Some(pool::SizeClass::Large));
+        assert_eq!(
+            stats::class_counters(pool::SizeClass::Large).hits,
+            hits0 + 1
+        );
+    }
+
+    #[test]
     fn oversized_buffers_bypass_pool() {
-        let b = MutIoBuf::with_capacity(pool::BUF_CAPACITY + 1);
+        let over0 = stats::oversize_allocs();
+        let b = MutIoBuf::with_capacity(pool::LARGE_CAPACITY + 1);
         assert!(!b.is_pooled());
-        assert_eq!(b.capacity(), pool::BUF_CAPACITY + 1);
+        assert_eq!(b.size_class(), None);
+        assert_eq!(b.capacity(), pool::LARGE_CAPACITY + 1);
+        assert_eq!(stats::oversize_allocs(), over0 + 1);
+    }
+
+    #[test]
+    fn depot_balances_between_cores() {
+        use crate::cpu::{bind, CoreId};
+        use pool::SizeClass;
+        // The large-class depot is quieter than the small one, but
+        // still process-global: hold the serialization lock so no
+        // concurrent test steals the flushed batch mid-assertion.
+        let _serial = large_class_lock();
+        let class = SizeClass::Large;
+        // Producer core 61: recycle past the high watermark, flushing
+        // a batch to the depot.
+        let before = stats::class_counters(class);
+        {
+            let _b = bind(CoreId(61));
+            pool::prewarm_class(class, class.high_watermark());
+            // Take one (hit) and return it: the return crosses the
+            // watermark and flushes a batch.
+            drop(MutIoBuf::with_capacity(pool::LARGE_CAPACITY));
+        }
+        let after_flush = stats::class_counters(class);
+        assert_eq!(
+            after_flush.depot_in - before.depot_in,
+            class.batch() as u64,
+            "crossing the watermark must flush one batch to the depot"
+        );
+        // Consumer core 62: empty local list refills a batch from the
+        // depot — cross-core migration, no fresh allocation.
+        {
+            let _b = bind(CoreId(62));
+            assert_eq!(pool::local_free_class(class), 0);
+            let allocs0 = stats::bufs_allocated();
+            let buf = MutIoBuf::with_capacity(pool::LARGE_CAPACITY);
+            assert_eq!(buf.size_class(), Some(class));
+            assert_eq!(stats::bufs_allocated(), allocs0, "refill, not alloc");
+            let after_refill = stats::class_counters(class);
+            assert_eq!(
+                after_refill.depot_out - after_flush.depot_out,
+                class.batch() as u64
+            );
+            assert_eq!(pool::local_free_class(class), class.batch() - 1);
+        }
+    }
+
+    #[test]
+    fn pinned_bytes_dedupes_shared_regions() {
+        let _serial = large_class_lock();
+        // Many MSS-like views of one large region pin it once.
+        let mut big = MutIoBuf::with_capacity(20 * 1024);
+        big.append(20 * 1024).fill(7);
+        let frozen = big.freeze();
+        let mut chain: Chain<IoBuf> = Chain::new();
+        for i in 0..14 {
+            chain.push_back(frozen.slice(i * 1460, 1460));
+        }
+        assert_eq!(chain.pinned_bytes(), frozen.region_len());
+        // Distinct regions still accumulate.
+        chain.push_back(IoBuf::copy_from(b"other"));
+        assert_eq!(chain.pinned_bytes(), frozen.region_len() + 5);
     }
 
     #[test]

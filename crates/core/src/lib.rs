@@ -32,6 +32,8 @@
 //! `ebbrt-sim` crate; the network stack in `ebbrt-net`; the hosted
 //! environment in `ebbrt-hosted`.
 
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod cpu;
 pub mod ebb;

@@ -84,23 +84,47 @@ pub const LEVELS: usize = 8;
 /// Sentinel for "no entry" in the slab's index links.
 const NIL: u32 = u32::MAX;
 
+/// Owner tag of a wheel that has not been claimed by any core (raw
+/// wheels built by tests and benches). Untagged wheels accept any
+/// token minted by an untagged wheel.
+pub const UNTAGGED_OWNER: u32 = u32::MAX;
+
 /// Token identifying a timer entry. Tokens are generation-tagged:
 /// after an entry is freed (fired one-shot, or cancelled) its token
 /// goes stale and every operation on it is a no-op returning `false`.
+///
+/// In debug builds a token additionally remembers the *owner tag* of
+/// the wheel that minted it (the event manager sets this to its core
+/// id), and every wheel operation asserts the token belongs to this
+/// wheel. Timer tokens are per-core: using core A's token against core
+/// B's wheel is at best a stale no-op and at worst an index collision
+/// firing an unrelated handler — the debug tag turns that entire class
+/// of bug (e.g. a continuation resuming on the wrong core) into an
+/// immediate assert.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct TimerToken(u64);
+pub struct TimerToken {
+    bits: u64,
+    #[cfg(debug_assertions)]
+    owner: u32,
+}
 
 impl TimerToken {
-    fn new(index: u32, gen: u32) -> Self {
-        TimerToken(((gen as u64) << 32) | index as u64)
+    fn new(index: u32, gen: u32, owner: u32) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = owner;
+        TimerToken {
+            bits: ((gen as u64) << 32) | index as u64,
+            #[cfg(debug_assertions)]
+            owner,
+        }
     }
 
     fn index(self) -> u32 {
-        self.0 as u32
+        self.bits as u32
     }
 
     fn gen(self) -> u32 {
-        (self.0 >> 32) as u32
+        (self.bits >> 32) as u32
     }
 }
 
@@ -168,6 +192,9 @@ pub struct TimerWheelStats {
 /// can store closures while benchmarks schedule unit payloads.
 pub struct TimerWheel<H> {
     shift: u32,
+    /// Debug owner tag stamped into minted tokens (see
+    /// [`TimerToken`]); [`UNTAGGED_OWNER`] until claimed.
+    owner: u32,
     /// Wheel time: the tick `advance` was last called with.
     last: u64,
     levels: Vec<Level>,
@@ -193,6 +220,7 @@ impl<H> TimerWheel<H> {
         assert!(shift < 32, "tick shift {shift} out of range");
         TimerWheel {
             shift,
+            owner: UNTAGGED_OWNER,
             last: 0,
             levels: (0..LEVELS).map(|_| Level::new()).collect(),
             slab: Vec::new(),
@@ -209,6 +237,28 @@ impl<H> TimerWheel<H> {
     /// The tick granularity shift.
     pub fn shift(&self) -> u32 {
         self.shift
+    }
+
+    /// Claims this wheel for `owner` (the event manager passes its
+    /// core id). In debug builds, tokens minted afterwards carry the
+    /// tag and operations assert it — catching tokens that wander to
+    /// another core's wheel. Call before minting any token.
+    pub fn set_owner(&mut self, owner: u32) {
+        self.owner = owner;
+    }
+
+    /// Debug-asserts that `token` was minted by this wheel.
+    #[inline]
+    fn check_owner(&self, token: TimerToken) {
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            token.owner, self.owner,
+            "TimerToken minted by owner {} used on owner {}'s wheel \
+             (cross-core timer use)",
+            token.owner, self.owner
+        );
+        #[cfg(not(debug_assertions))]
+        let _ = token;
     }
 
     /// Counters snapshot.
@@ -270,7 +320,7 @@ impl<H> TimerWheel<H> {
         e.state = State::Parked;
         e.handler = Some(handler);
         self.live += 1;
-        TimerToken::new(index, e.gen)
+        TimerToken::new(index, e.gen, self.owner)
     }
 
     /// Schedules (or re-schedules) `token` to fire at `deadline_ns`.
@@ -449,7 +499,7 @@ impl<H> TimerWheel<H> {
             if e.gen == gen && e.state == State::Queued && e.seq == seq {
                 e.state = State::Parked;
                 self.pending -= 1;
-                return Some((TimerToken::new(index, gen), deadline));
+                return Some((TimerToken::new(index, gen, self.owner), deadline));
             }
             // Stale node: the entry was re-armed, disarmed or removed
             // after queueing. Skip.
@@ -509,6 +559,7 @@ impl<H> TimerWheel<H> {
     // --- internals -----------------------------------------------------
 
     fn entry(&self, token: TimerToken) -> Option<&Entry<H>> {
+        self.check_owner(token);
         let e = self.slab.get(token.index() as usize)?;
         (e.gen == token.gen() && e.state != State::Free).then_some(e)
     }
@@ -800,6 +851,29 @@ mod tests {
         // 10 rounds × 50 timers reused the same 50 slab entries.
         assert_eq!(w.stats().slab, 50);
         assert_eq!(w.stats().live, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cross-core timer use")]
+    fn cross_wheel_token_asserts_in_debug() {
+        let mut w0: TimerWheel<u32> = TimerWheel::new(0);
+        w0.set_owner(0);
+        let mut w1: TimerWheel<u32> = TimerWheel::new(0);
+        w1.set_owner(1);
+        let t = w0.schedule(100, 7);
+        // Same index/generation would exist in w1 too — without the
+        // owner tag this would be a silent collision.
+        w1.schedule(100, 8);
+        w1.arm(t, 200);
+    }
+
+    #[test]
+    fn untagged_wheels_accept_untagged_tokens() {
+        let mut w: TimerWheel<u32> = TimerWheel::new(0);
+        let t = w.schedule(100, 1);
+        assert!(w.arm(t, 200));
+        assert!(w.remove(t).is_some());
     }
 
     #[test]

@@ -17,10 +17,20 @@ use std::collections::HashMap;
 
 use crate::types::{Ipv4Addr, Mac};
 
+/// Terminal failure of an ARP resolution: the retry budget ran out
+/// with no reply. Delivered to every queued waiter so callers can tear
+/// down dependent state (e.g. a `SynSent` connection) immediately
+/// instead of waiting for their own timeouts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArpTimeout;
+
+/// Outcome delivered to a resolution continuation.
+pub type ArpResult = Result<Mac, ArpTimeout>;
+
 enum Entry {
     Resolved(Mac),
     /// Resolution in flight; waiters queued.
-    Pending(Vec<Box<dyn FnOnce(Mac)>>),
+    Pending(Vec<Box<dyn FnOnce(ArpResult)>>),
 }
 
 /// The per-interface ARP cache.
@@ -46,17 +56,20 @@ impl ArpCache {
         }
     }
 
-    /// Resolves `ip`, invoking `cont` with the MAC — synchronously if
-    /// cached. Returns `true` if the caller must transmit an ARP
-    /// request (first waiter of a new pending entry).
-    pub fn find(&self, ip: Ipv4Addr, cont: impl FnOnce(Mac) + 'static) -> bool {
+    /// Resolves `ip`, invoking `cont` with the outcome — synchronously
+    /// (always `Ok`) if cached. A queued waiter receives `Ok(mac)`
+    /// when the reply arrives, or `Err(`[`ArpTimeout`]`)` if the
+    /// retries exhaust ([`ArpCache::fail`]). Returns `true` if the
+    /// caller must transmit an ARP request (first waiter of a new
+    /// pending entry).
+    pub fn find(&self, ip: Ipv4Addr, cont: impl FnOnce(ArpResult) + 'static) -> bool {
         let mut entries = self.entries.borrow_mut();
         match entries.get_mut(&ip) {
             Some(Entry::Resolved(mac)) => {
                 let mac = *mac;
                 drop(entries);
                 self.hits.set(self.hits.get() + 1);
-                cont(mac); // synchronous fast path
+                cont(Ok(mac)); // synchronous fast path
                 false
             }
             Some(Entry::Pending(waiters)) => {
@@ -81,19 +94,45 @@ impl ArpCache {
     }
 
     /// Installs (or refreshes) a resolution — from an ARP reply or
-    /// learned from traffic — and runs any queued waiters.
+    /// learned from traffic — and runs any queued waiters with
+    /// `Ok(mac)`.
     pub fn insert(&self, ip: Ipv4Addr, mac: Mac) {
         let prev = self.entries.borrow_mut().insert(ip, Entry::Resolved(mac));
         if let Some(Entry::Pending(waiters)) = prev {
             for w in waiters {
-                w(mac);
+                w(Ok(mac));
             }
         }
     }
 
-    /// Drops an entry (e.g. on timeout).
+    /// Terminates a pending resolution as failed: the entry is
+    /// removed and every queued waiter receives
+    /// `Err(`[`ArpTimeout`]`)`. A resolved (or absent) entry is left
+    /// untouched — failure only applies to an in-flight resolution.
+    pub fn fail(&self, ip: Ipv4Addr) {
+        let mut entries = self.entries.borrow_mut();
+        if matches!(entries.get(&ip), Some(Entry::Pending(_))) {
+            let Some(Entry::Pending(waiters)) = entries.remove(&ip) else {
+                unreachable!("checked pending above");
+            };
+            drop(entries);
+            for w in waiters {
+                w(Err(ArpTimeout));
+            }
+        }
+    }
+
+    /// Drops an entry (cache invalidation). Pending waiters, if any,
+    /// are failed via [`ArpCache::fail`] semantics first. A *pending*
+    /// entry re-created by a failure callback (a waiter that retries
+    /// inside its error handler) is left alive — evicting it would
+    /// silently strand the retry's waiters.
     pub fn evict(&self, ip: Ipv4Addr) {
-        self.entries.borrow_mut().remove(&ip);
+        self.fail(ip);
+        let mut entries = self.entries.borrow_mut();
+        if matches!(entries.get(&ip), Some(Entry::Resolved(_))) {
+            entries.remove(&ip);
+        }
     }
 
     /// (hits, misses) counters.
@@ -120,7 +159,7 @@ mod tests {
         let need_request = cache.find(IP, move |m| g.set(Some(m)));
         assert!(!need_request);
         // The continuation already ran — no deferral on the fast path.
-        assert_eq!(got.get(), Some(MAC));
+        assert_eq!(got.get(), Some(Ok(MAC)));
         assert_eq!(cache.stats(), (1, 0));
     }
 
@@ -130,12 +169,12 @@ mod tests {
         let count = Rc::new(Cell::new(0));
         let (c1, c2) = (Rc::clone(&count), Rc::clone(&count));
         assert!(cache.find(IP, move |m| {
-            assert_eq!(m, MAC);
+            assert_eq!(m, Ok(MAC));
             c1.set(c1.get() + 1);
         }));
         // Second request while pending: no new ARP request.
         assert!(!cache.find(IP, move |m| {
-            assert_eq!(m, MAC);
+            assert_eq!(m, Ok(MAC));
             c2.set(c2.get() + 1);
         }));
         assert_eq!(count.get(), 0);
@@ -152,6 +191,53 @@ mod tests {
         cache.evict(IP);
         assert_eq!(cache.lookup(IP), None);
         assert!(cache.find(IP, |_| {}), "must re-request after eviction");
+    }
+
+    #[test]
+    fn fail_delivers_error_to_all_waiters() {
+        let cache = ArpCache::new();
+        let errors = Rc::new(Cell::new(0));
+        let (e1, e2) = (Rc::clone(&errors), Rc::clone(&errors));
+        assert!(cache.find(IP, move |m| {
+            assert_eq!(m, Err(ArpTimeout));
+            e1.set(e1.get() + 1);
+        }));
+        assert!(!cache.find(IP, move |m| {
+            assert_eq!(m, Err(ArpTimeout));
+            e2.set(e2.get() + 1);
+        }));
+        cache.fail(IP);
+        assert_eq!(errors.get(), 2, "every waiter must see the failure");
+        // The entry is gone; a new find starts a fresh resolution.
+        assert!(cache.find(IP, |_| {}));
+    }
+
+    #[test]
+    fn evict_preserves_resolution_retried_from_failure_callback() {
+        // A waiter that reacts to the failure by retrying creates a
+        // fresh pending entry from inside `fail`; evict must not
+        // silently discard it (its waiters would hang forever).
+        let cache = Rc::new(ArpCache::new());
+        let resolved = Rc::new(Cell::new(None));
+        let (c2, r2) = (Rc::clone(&cache), Rc::clone(&resolved));
+        assert!(cache.find(IP, move |res| {
+            assert_eq!(res, Err(ArpTimeout));
+            // Retry immediately.
+            assert!(c2.find(IP, move |res| r2.set(Some(res))));
+        }));
+        cache.evict(IP);
+        // The retry's pending entry survived: the eventual reply
+        // reaches its waiter.
+        cache.insert(IP, MAC);
+        assert_eq!(resolved.get(), Some(Ok(MAC)));
+    }
+
+    #[test]
+    fn fail_is_noop_on_resolved_entries() {
+        let cache = ArpCache::new();
+        cache.insert(IP, MAC);
+        cache.fail(IP);
+        assert_eq!(cache.lookup(IP), Some(MAC), "resolved entries survive");
     }
 
     #[test]

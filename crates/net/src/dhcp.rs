@@ -206,9 +206,19 @@ impl DhcpServer {
 /// (doubled per attempt).
 pub const RETRY_NS: u64 = 200_000_000;
 
-/// Attempts before the client gives up (its retry timer is freed and
-/// `done` is never invoked — the interface stays unconfigured).
+/// Attempts before the client gives up: its retry timer is freed, the
+/// interface stays unconfigured, and `done` is invoked with
+/// `Err(`[`DhcpTimeout`]`)`.
 pub const MAX_TRIES: u32 = 5;
+
+/// Terminal failure of the DHCP exchange: the attempt budget ran out
+/// without completing DISCOVER → ACK.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DhcpTimeout;
+
+/// Outcome delivered to [`configure`]'s `done` callback: the assigned
+/// address and mask, or the terminal failure.
+pub type DhcpResult = Result<(Ipv4Addr, Ipv4Addr), DhcpTimeout>;
 
 /// Client state machine phase.
 enum Phase {
@@ -227,14 +237,18 @@ struct ClientState {
 }
 
 /// Runs the client exchange on an unconfigured interface; `done` is
-/// invoked with the assigned address and mask once the ACK arrives.
-/// Lost messages are retransmitted with exponential backoff through
-/// one persistent timer-wheel entry (the same O(1) re-arm API the TCP
-/// RTO uses), up to [`MAX_TRIES`] attempts.
-pub fn configure(netif: &Rc<NetIf>, done: impl FnOnce(Ipv4Addr, Ipv4Addr) + 'static) {
+/// invoked with `Ok((address, mask))` once the ACK arrives, or with
+/// `Err(`[`DhcpTimeout`]`)` when the attempt budget runs out — the
+/// caller always learns the exchange's outcome. Lost messages are
+/// retransmitted with exponential backoff through one persistent
+/// timer-wheel entry (the same O(1) re-arm API the TCP RTO uses), up
+/// to [`MAX_TRIES`] attempts.
+pub fn configure(netif: &Rc<NetIf>, done: impl FnOnce(DhcpResult) + 'static) {
     let xid = 0x4242_0000 | (netif.mac()[5] as u32);
     let mac = netif.mac();
-    let done = Cell::new(Some(Box::new(done) as Box<dyn FnOnce(Ipv4Addr, Ipv4Addr)>));
+    let done = Rc::new(Cell::new(Some(
+        Box::new(done) as Box<dyn FnOnce(DhcpResult)>
+    )));
     let state = Rc::new(RefCell::new(ClientState {
         phase: Phase::Discover,
         tries: 1,
@@ -242,6 +256,7 @@ pub fn configure(netif: &Rc<NetIf>, done: impl FnOnce(Ipv4Addr, Ipv4Addr) + 'sta
     }));
     let n2 = Rc::clone(netif);
     let st2 = Rc::clone(&state);
+    let done2 = Rc::clone(&done);
     netif.udp_bind(CLIENT_PORT, move |_src, _sport, payload| {
         let msg = match parse(&payload) {
             Some(m) if m.op == OP_REPLY && m.xid == xid && m.chaddr == mac => m,
@@ -262,8 +277,8 @@ pub fn configure(netif: &Rc<NetIf>, done: impl FnOnce(Ipv4Addr, Ipv4Addr) + 'sta
                 let mask = msg.mask.unwrap_or(Ipv4Addr::new(255, 255, 255, 0));
                 n2.set_ip(msg.yiaddr, mask);
                 st2.borrow_mut().phase = Phase::Done;
-                if let Some(done) = done.take() {
-                    done(msg.yiaddr, mask);
+                if let Some(done) = done2.take() {
+                    done(Ok((msg.yiaddr, mask)));
                 }
             }
             _ => {}
@@ -292,13 +307,20 @@ pub fn configure(netif: &Rc<NetIf>, done: impl FnOnce(Ipv4Addr, Ipv4Addr) + 'sta
                 match st.phase {
                     Phase::Done => return free(timer),
                     _ if st.tries >= MAX_TRIES => {
-                        st.phase = Phase::Done; // give up
+                        // Give up — and say so: report the terminal
+                        // failure instead of leaving the caller
+                        // waiting on a callback that never comes.
+                        st.phase = Phase::Done;
+                        if let Some(done) = done.take() {
+                            done(Err(DhcpTimeout));
+                        }
                         return free(timer);
                     }
                     _ => {}
                 }
                 st.tries += 1;
-                let backoff = RETRY_NS << st.tries.min(5);
+                // Doubled per attempt (tries was just incremented), capped.
+                let backoff = RETRY_NS << (st.tries - 1).min(5);
                 let resend = match st.phase {
                     Phase::Discover => build(&discover_for(xid, mac)),
                     Phase::Requesting(addr) => build(&request_for(xid, mac, addr)),

@@ -45,8 +45,9 @@ pub const DELACK_NS: Ns = 200_000;
 /// ARP request retransmission interval (doubled per attempt).
 pub const ARP_RETRY_NS: Ns = 100_000_000;
 
-/// ARP resolution attempts before the pending entry is evicted (its
-/// queued waiters are dropped — the resolution failed).
+/// ARP resolution attempts before the resolution is failed: queued
+/// waiters receive `Err(ArpTimeout)` and connections still in SynSent
+/// behind it are torn down.
 pub const ARP_MAX_TRIES: u32 = 3;
 
 /// First ephemeral port used by [`NetIf::connect`].
@@ -178,6 +179,10 @@ pub struct NetStats {
     pub retransmits: Cell<u64>,
     /// Segments dropped for checksum or demux failure.
     pub rx_drops: Cell<u64>,
+    /// ARP resolutions that exhausted their retries (each one failed
+    /// its queued waiters and tore down any connection still in
+    /// `SynSent` behind it).
+    pub arp_failures: Cell<u64>,
 }
 
 /// The per-machine network stack instance.
@@ -199,6 +204,11 @@ pub struct NetIf {
     iss: Cell<u32>,
     /// Time of the last transmit (virtio kick suppression window).
     last_tx: Cell<Ns>,
+    /// Maximum TCP segment payload, derived from the device MTU at
+    /// attach time (1460 for standard Ethernet, 8960 for jumbo
+    /// frames). Segments this large route their buffer allocations to
+    /// the matching [`ebbrt_core::iobuf::pool`] size class.
+    mss: usize,
     /// Statistics.
     pub stats: NetStats,
 }
@@ -207,8 +217,10 @@ impl NetIf {
     /// Creates the stack for `machine` with a static IP configuration
     /// and attaches the virtio driver on every core.
     pub fn attach(machine: &Rc<SimMachine>, ip: Ipv4Addr, mask: Ipv4Addr) -> Rc<NetIf> {
+        let mss = machine.nic().mtu() - wire::IPV4_HLEN - wire::TCP_HLEN;
         let netif = Rc::new(NetIf {
             machine: Rc::clone(machine),
+            mss,
             ip: Cell::new(ip),
             mask: Cell::new(mask),
             arp: ArpCache::new(),
@@ -249,6 +261,11 @@ impl NetIf {
         self.machine.nic().mac()
     }
 
+    /// Maximum TCP segment payload (derived from the device MTU).
+    pub fn mss(&self) -> usize {
+        self.mss
+    }
+
     // --- TCP application API ---------------------------------------------
 
     /// Starts listening on `port`; `accept` is invoked (on the new
@@ -281,11 +298,16 @@ impl NetIf {
         pcb.rcv_wnd = crate::tcp::DEFAULT_RCV_WND;
         let id = self.insert_conn(pcb, handler);
         // Resolve the next hop, then SYN (the Figure 2 path: on a cache
-        // hit this continues synchronously).
+        // hit this continues synchronously). A failed resolution tears
+        // the embryonic connection down instead of leaving it to hang
+        // in SynSent until its RTO budget expires.
         let me = Rc::downgrade(self);
-        let need_request = self.arp.find(remote, move |mac| {
+        let need_request = self.arp.find(remote, move |res| {
             if let Some(n) = me.upgrade() {
-                n.complete_connect(id, core, mac);
+                match res {
+                    Ok(mac) => n.complete_connect(id, core, mac),
+                    Err(_) => n.abort_connect(id, core),
+                }
             }
         });
         if need_request {
@@ -297,13 +319,13 @@ impl NetIf {
         }
     }
 
-    /// Continues an active open once the next hop resolves. An ARP
-    /// reply drains its waiters on whatever core it arrived on, so hop
-    /// to the connection's affinity core first — its PCB and its
-    /// per-connection timer entries must only ever be touched there.
-    fn complete_connect(self: &Rc<Self>, id: u64, core: CoreId, mac: Mac) {
+    /// Runs `f` on `core` — immediately if the caller is already
+    /// bound there, else as a spawned event. Continuations that touch
+    /// a connection's PCB or its per-connection timer entries must go
+    /// through this: that state is affinity-core-only.
+    fn run_on_core(self: &Rc<Self>, core: CoreId, f: impl FnOnce(&Rc<Self>) + 'static) {
         if cpu::try_current() == Some(core) {
-            self.send_syn(id, mac);
+            f(self);
             return;
         }
         // SAFETY-OF-SEND: all of a simulated machine's cores are driven
@@ -311,12 +333,45 @@ impl NetIf {
         // satisfied vacuously (same pattern as the apps' SendCell).
         struct SendCell<T>(T);
         unsafe impl<T> Send for SendCell<T> {}
-        let cell = SendCell(Rc::downgrade(self));
+        let cell = SendCell((Rc::downgrade(self), f));
         self.machine.spawn_on(core, move || {
             let cell = cell;
-            if let Some(n) = cell.0.upgrade() {
-                n.send_syn(id, mac);
+            if let Some(n) = cell.0 .0.upgrade() {
+                (cell.0 .1)(&n);
             }
+        });
+    }
+
+    /// Continues an active open once the next hop resolves. An ARP
+    /// reply drains its waiters on whatever core it arrived on, so hop
+    /// to the connection's affinity core first.
+    fn complete_connect(self: &Rc<Self>, id: u64, core: CoreId, mac: Mac) {
+        self.run_on_core(core, move |n| n.send_syn(id, mac));
+    }
+
+    /// Tears down an embryonic (SynSent) connection whose next-hop
+    /// resolution failed, on the connection's affinity core: the
+    /// handler sees `on_close` immediately rather than the connection
+    /// silently hanging until retransmissions give out.
+    fn abort_connect(self: &Rc<Self>, id: u64, core: CoreId) {
+        self.run_on_core(core, move |n| n.connect_failed(id));
+    }
+
+    fn connect_failed(self: &Rc<Self>, id: u64) {
+        let (pcb_rc, handler) = match self.pcbs.borrow().get(&id) {
+            Some(rec) => (Rc::clone(&rec.pcb), Rc::clone(&rec.handler)),
+            None => return,
+        };
+        // Only an embryonic connection can be waiting on ARP; anything
+        // past SynSent resolved by other means and proceeds normally.
+        if pcb_rc.borrow().state != TcpState::SynSent {
+            return;
+        }
+        pcb_rc.borrow_mut().state = TcpState::Closed;
+        self.cleanup(id);
+        handler.on_close(&TcpConn {
+            netif: Rc::downgrade(self),
+            id,
         });
     }
 
@@ -353,8 +408,11 @@ impl NetIf {
         }
         let me = Rc::downgrade(self);
         let src_ip_port = src_port;
-        let need_request = self.arp.find(dst, move |mac| {
-            if let Some(n) = me.upgrade() {
+        let need_request = self.arp.find(dst, move |res| {
+            // A failed resolution drops the datagram — UDP's contract —
+            // but promptly, and counted, instead of leaking the queued
+            // payload forever.
+            if let (Some(n), Ok(mac)) = (me.upgrade(), res) {
                 n.udp_output(mac, src_ip_port, dst, dst_port, payload);
             }
         });
@@ -596,7 +654,12 @@ impl NetIf {
         if hdr.flags & tcp_flags::ACK != 0 {
             let mut p = pcb_rc.borrow_mut();
             let r = p.process_ack(hdr.ack, hdr.window);
-            window_opened = r.window_opened && p.state == TcpState::Established;
+            // Deliver window-open in every state where the app may
+            // still send (tcp_send accepts Established and CloseWait):
+            // a peer that half-closes while a large reply is parked
+            // must still receive the tail.
+            window_opened =
+                r.window_opened && matches!(p.state, TcpState::Established | TcpState::CloseWait);
             if r.queue_empty {
                 // Nothing in flight: park the RTO timer (entry kept for
                 // the next send).
@@ -689,12 +752,12 @@ impl NetIf {
                 return Err(SendError::WindowFull(p.send_window()));
             }
         }
-        // Segment to MSS; each segment is recorded for retransmission
-        // (descriptor clones — no byte copies).
+        // Segment to the device-derived MSS; each segment is recorded
+        // for retransmission (descriptor clones — no byte copies).
         let mut remaining = data;
         let mut p = pcb_rc.borrow_mut();
         while !remaining.is_empty() {
-            let take = remaining.len().min(wire::TCP_MSS);
+            let take = remaining.len().min(self.mss);
             let seg = remaining.split_to(take);
             let seq = p.snd_nxt;
             let flags = tcp_flags::ACK | tcp_flags::PSH;
@@ -1048,13 +1111,20 @@ impl NetIf {
             return;
         }
         if retry.tries >= ARP_MAX_TRIES {
-            // Give up: drop the pending entry and its queued waiters.
-            self.arp.evict(ip);
+            // Give up: fail the pending entry — every queued waiter
+            // receives the error (connections tear down, datagrams
+            // drop) instead of being silently discarded.
+            self.stats
+                .arp_failures
+                .set(self.stats.arp_failures.get() + 1);
+            self.arp.fail(ip);
             runtime::with_current(|rt| rt.local_event_manager().cancel_timer(retry.timer));
             return;
         }
         retry.tries += 1;
-        let backoff = ARP_RETRY_NS << retry.tries;
+        // Doubled per attempt (tries was just incremented, so the
+        // first retry waits 2× the base interval).
+        let backoff = ARP_RETRY_NS << (retry.tries - 1);
         self.output_arp_request(ip);
         runtime::with_current(|rt| {
             rt.local_event_manager().reset_timer(retry.timer, backoff);

@@ -265,11 +265,122 @@ fn dhcp_configures_client() {
     let a2 = Rc::clone(&assigned);
     let n2 = Rc::clone(&node_if);
     on_core0(&node, n2, move |node_if| {
-        ebbrt_net::dhcp::configure(&node_if, move |ip, _mask| a2.set(Some(ip)));
+        ebbrt_net::dhcp::configure(&node_if, move |res| {
+            a2.set(Some(res.expect("dhcp must succeed").0));
+        });
     });
     w.run_to_idle();
     assert_eq!(assigned.get(), Some(Ipv4Addr::new(10, 0, 0, 100)));
     assert_eq!(node_if.ip(), Ipv4Addr::new(10, 0, 0, 100));
+}
+
+#[test]
+fn jumbo_mtu_raises_mss_and_roundtrips() {
+    // Jumbo-configured NICs: the stack derives its MSS from the
+    // device MTU at attach, so a large transfer uses ~6× fewer
+    // segments and still round-trips byte-exactly.
+    let w = SimWorld::new();
+    let sw = Switch::new(&w);
+    let server = SimMachine::create(&w, "server", 1, CostProfile::ebbrt_vm(), [0xAA; 6]);
+    let client = SimMachine::create(&w, "client", 1, CostProfile::ebbrt_vm(), [0xBB; 6]);
+    server.nic().set_mtu(9000);
+    client.nic().set_mtu(9000);
+    sw.attach(server.nic(), LinkParams::default());
+    sw.attach(client.nic(), LinkParams::default());
+    let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), MASK);
+    let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), MASK);
+    w.run_to_idle();
+    assert_eq!(s_if.mss(), 9000 - 40);
+    assert_eq!(c_if.mss(), 9000 - 40);
+
+    s_if.listen(7, |_c| Rc::new(Echo) as Rc<dyn ConnHandler>);
+    struct SendOnConnect {
+        payload: Vec<u8>,
+        got: Rc<RefCell<Vec<u8>>>,
+        connected: Rc<Cell<bool>>,
+    }
+    impl ConnHandler for SendOnConnect {
+        fn on_connected(&self, conn: &TcpConn) {
+            self.connected.set(true);
+            conn.send(Chain::single(IoBuf::copy_from(&self.payload)))
+                .expect("40 KB fits the default window");
+        }
+        fn on_receive(&self, _c: &TcpConn, data: Chain<IoBuf>) {
+            self.got.borrow_mut().extend(data.copy_to_vec());
+        }
+    }
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let connected = Rc::new(Cell::new(false));
+    let payload: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
+    let handler = SendOnConnect {
+        payload: payload.clone(),
+        got: Rc::clone(&got),
+        connected: Rc::clone(&connected),
+    };
+    let c2 = Rc::clone(&c_if);
+    on_core0(&client, c2, move |c_if| {
+        c_if.connect(Ipv4Addr::new(10, 0, 0, 1), 7, Rc::new(handler));
+    });
+    w.run_to_idle();
+    assert!(connected.get());
+    assert_eq!(*got.borrow(), payload);
+    // 40_000 bytes at 8960-byte MSS: 5 data segments each way, not 28.
+    let jumbo_segments = s_if.stats.rx_tcp.get();
+    assert!(
+        jumbo_segments <= 20,
+        "jumbo MSS must cut segment count (got {jumbo_segments} rx segments)"
+    );
+}
+
+#[test]
+fn arp_failure_tears_down_synsent_connection() {
+    // Connect to an address nobody answers for: ARP retries exhaust
+    // and the embryonic connection must be torn down promptly (the
+    // handler sees on_close) instead of hanging in SynSent.
+    let (w, _sw, _server, (client, c_if)) = two_machines();
+    let connected = Rc::new(Cell::new(false));
+    let closed = Rc::new(Cell::new(false));
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let handler = Collect {
+        got,
+        connected: Rc::clone(&connected),
+        closed: Rc::clone(&closed),
+    };
+    let c2 = Rc::clone(&c_if);
+    on_core0(&client, c2, move |c_if| {
+        // 10.0.0.99 does not exist on the switch.
+        c_if.connect(Ipv4Addr::new(10, 0, 0, 99), 7, Rc::new(handler));
+    });
+    w.run_to_idle();
+    assert!(!connected.get(), "nothing should ever connect");
+    assert!(closed.get(), "ARP failure must deliver on_close");
+    assert_eq!(c_if.conn_count(), 0, "the SynSent PCB must be reclaimed");
+    assert_eq!(c_if.stats.arp_failures.get(), 1);
+}
+
+#[test]
+fn dhcp_timeout_reports_failure() {
+    // No DHCP server on the network: the client must report the
+    // terminal failure through `done` instead of never calling it.
+    let w = SimWorld::new();
+    let sw = Switch::new(&w);
+    let node = SimMachine::create(&w, "node", 1, CostProfile::ebbrt_vm(), [0x02; 6]);
+    sw.attach(node.nic(), LinkParams::default());
+    let node_if = NetIf::attach(&node, Ipv4Addr::UNSPECIFIED, MASK);
+    w.run_to_idle();
+    let outcome = Rc::new(Cell::new(None));
+    let o2 = Rc::clone(&outcome);
+    let n2 = Rc::clone(&node_if);
+    on_core0(&node, n2, move |node_if| {
+        ebbrt_net::dhcp::configure(&node_if, move |res| o2.set(Some(res)));
+    });
+    w.run_to_idle();
+    assert_eq!(
+        outcome.get(),
+        Some(Err(ebbrt_net::dhcp::DhcpTimeout)),
+        "exhausted retries must surface as a terminal error"
+    );
+    assert_eq!(node_if.ip(), Ipv4Addr::UNSPECIFIED);
 }
 
 #[test]

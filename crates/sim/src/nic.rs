@@ -128,15 +128,27 @@ struct RxQueue {
     frames: RefCell<VecDeque<Frame>>,
     irq: RefCell<Option<InterruptLine>>,
     irq_enabled: Cell<bool>,
+    /// Frames ever delivered into this queue (RSS skew diagnostic).
+    delivered_frames: Cell<u64>,
+    /// Bytes ever delivered into this queue.
+    delivered_bytes: Cell<u64>,
+    /// High-water mark of queued frames (backlog skew diagnostic).
+    depth_hwm: Cell<usize>,
 }
 
 /// Installed by the switch; carries a transmitted frame onto the wire.
 type TxHandler = Box<dyn Fn(Frame)>;
 
+/// Default device MTU (standard Ethernet).
+pub const DEFAULT_MTU: usize = 1500;
+
 /// The simulated NIC device.
 pub struct SimNic {
     mac: Mac,
     queues: Vec<RxQueue>,
+    /// Device MTU: the largest IP packet the device carries. Jumbo
+    /// configurations (9000) raise the guest stack's MSS accordingly.
+    mtu: Cell<usize>,
     /// Installed by the switch at attach time; carries frames onto the
     /// wire.
     tx_handler: RefCell<Option<TxHandler>>,
@@ -147,7 +159,8 @@ pub struct SimNic {
 }
 
 impl SimNic {
-    /// Creates a NIC with `nqueues` receive queues.
+    /// Creates a NIC with `nqueues` receive queues and the
+    /// [`DEFAULT_MTU`].
     pub fn new(mac: Mac, nqueues: usize) -> Rc<Self> {
         assert!(nqueues > 0);
         Rc::new(SimNic {
@@ -157,8 +170,12 @@ impl SimNic {
                     frames: RefCell::new(VecDeque::new()),
                     irq: RefCell::new(None),
                     irq_enabled: Cell::new(true),
+                    delivered_frames: Cell::new(0),
+                    delivered_bytes: Cell::new(0),
+                    depth_hwm: Cell::new(0),
                 })
                 .collect(),
+            mtu: Cell::new(DEFAULT_MTU),
             tx_handler: RefCell::new(None),
             tx_frames: Cell::new(0),
             tx_bytes: Cell::new(0),
@@ -175,6 +192,19 @@ impl SimNic {
     /// Number of receive queues.
     pub fn nqueues(&self) -> usize {
         self.queues.len()
+    }
+
+    /// The device MTU.
+    pub fn mtu(&self) -> usize {
+        self.mtu.get()
+    }
+
+    /// Reconfigures the device MTU (jumbo frames). Must happen before
+    /// the guest stack attaches — the stack derives its MSS from this
+    /// at attach time, as a real driver negotiates it at probe.
+    pub fn set_mtu(&self, mtu: usize) {
+        assert!(mtu >= 576, "MTU below the IPv4 minimum");
+        self.mtu.set(mtu);
     }
 
     // --- Guest (driver) side --------------------------------------------
@@ -231,6 +261,19 @@ impl SimNic {
         (self.rx_frames.get(), self.rx_bytes.get())
     }
 
+    /// (frames, bytes) ever delivered into `queue` — the per-queue
+    /// load split RSS produced, used by multi-queue benchmarks to
+    /// verify (and quantify) deliberate skew.
+    pub fn rx_queue_stats(&self, queue: usize) -> (u64, u64) {
+        let q = &self.queues[queue];
+        (q.delivered_frames.get(), q.delivered_bytes.get())
+    }
+
+    /// High-water mark of frames simultaneously backed up in `queue`.
+    pub fn rx_queue_depth_hwm(&self, queue: usize) -> usize {
+        self.queues[queue].depth_hwm.get()
+    }
+
     // --- Network (switch) side -------------------------------------------
 
     /// Installs the transmit handler (switch attach).
@@ -245,7 +288,15 @@ impl SimNic {
         self.rx_bytes.set(self.rx_bytes.get() + frame.len() as u64);
         let queue = (frame.flow_hash() as usize) % self.queues.len();
         let q = &self.queues[queue];
-        q.frames.borrow_mut().push_back(frame);
+        q.delivered_frames.set(q.delivered_frames.get() + 1);
+        q.delivered_bytes
+            .set(q.delivered_bytes.get() + frame.len() as u64);
+        let mut frames = q.frames.borrow_mut();
+        frames.push_back(frame);
+        if frames.len() > q.depth_hwm.get() {
+            q.depth_hwm.set(frames.len());
+        }
+        drop(frames);
         if q.irq_enabled.get() {
             if let Some(line) = q.irq.borrow().as_ref() {
                 line.raise();

@@ -46,7 +46,8 @@ fn full_cluster_deployment() {
     for (machine, netif) in [(&native1, &n1_if), (&native2, &n2_if)] {
         let c = Rc::clone(&configured);
         spawn_with(machine, CoreId(0), Rc::clone(netif), move |netif| {
-            ebbrt_net::dhcp::configure(&netif, move |_ip, _mask| {
+            ebbrt_net::dhcp::configure(&netif, move |res| {
+                res.expect("dhcp must configure");
                 c.set(c.get() + 1);
             });
         });

@@ -117,6 +117,214 @@ mod zero_copy_props {
     }
 }
 
+mod size_class_props {
+    use super::*;
+    use ebbrt_apps::memcached::{self, Store};
+    use ebbrt_core::cpu::CoreId;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::Arc;
+
+    /// Sizes anchoring the generator at the pool class boundaries:
+    /// the 2 KiB small/large edge, the 64 KiB large/oversize edge, and
+    /// the extremes of the 1 B … 128 KiB range.
+    const BOUNDARIES: &[usize] = &[
+        1,
+        2,
+        2047,
+        2048,
+        2049,
+        4096,
+        16 * 1024,
+        63 * 1024,
+        65535,
+        65536,
+        65537,
+        100_000,
+        128 * 1024,
+    ];
+
+    fn boundary_size(sel: usize, jitter: usize) -> usize {
+        let base = BOUNDARIES[sel % BOUNDARIES.len()];
+        // Jitter ±16 around the anchor, clamped to the 1..=128 KiB
+        // domain, so cases land on and straddle each boundary.
+        (base + jitter % 33).saturating_sub(16).clamp(1, 128 * 1024)
+    }
+
+    fn value_bytes(size: usize, seed: u64) -> Vec<u8> {
+        (0..size)
+            .map(|i| (seed.wrapping_mul(i as u64 + 1).wrapping_shr((i % 7) as u32)) as u8)
+            .collect()
+    }
+
+    /// Client that pushes a request stream respecting the send window
+    /// (chunked `send` calls — app-layer segmentation) and collects
+    /// the response stream.
+    struct PushClient {
+        tx: RefCell<Chain<IoBuf>>,
+        /// Max bytes per send call (varies app-layer segmentation).
+        chunk: usize,
+        rx: Rc<RefCell<Vec<u8>>>,
+        expected: usize,
+    }
+
+    impl PushClient {
+        fn push(&self, conn: &ebbrt_net::netif::TcpConn) {
+            loop {
+                let mut tx = self.tx.borrow_mut();
+                if tx.is_empty() {
+                    return;
+                }
+                let window = conn.send_window();
+                if window == 0 {
+                    return;
+                }
+                let take = tx.len().min(window).min(self.chunk);
+                let part = tx.split_to(take);
+                drop(tx);
+                if conn.send(part).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+
+    impl ebbrt_net::netif::ConnHandler for PushClient {
+        fn on_connected(&self, conn: &ebbrt_net::netif::TcpConn) {
+            self.push(conn);
+        }
+        fn on_receive(&self, conn: &ebbrt_net::netif::TcpConn, data: Chain<IoBuf>) {
+            self.rx.borrow_mut().extend(data.copy_to_vec());
+            if self.rx.borrow().len() >= self.expected {
+                conn.close();
+            }
+            self.push(conn);
+        }
+        fn on_window_open(&self, conn: &ebbrt_net::netif::TcpConn) {
+            self.push(conn);
+        }
+    }
+
+    /// SET a value of `size` bytes over the network (windowed,
+    /// chunked sends), GET it back, and return the fetched bytes.
+    fn roundtrip_over_network(value: &[u8], chunk: usize) -> Vec<u8> {
+        use ebbrt_net::netif::NetIf;
+        use ebbrt_net::types::Ipv4Addr;
+        use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
+
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let server = SimMachine::create(&w, "server", 1, CostProfile::ebbrt_vm(), [0xAA; 6]);
+        let client = SimMachine::create(&w, "client", 1, CostProfile::ebbrt_vm(), [0xBB; 6]);
+        sw.attach(server.nic(), LinkParams::default());
+        sw.attach(client.nic(), LinkParams::default());
+        let mask = Ipv4Addr::new(255, 255, 255, 0);
+        let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
+        let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
+        w.run_to_idle();
+        let store = Store::new(Arc::clone(server.runtime().rcu()));
+        memcached::start_server(&s_if, &store);
+
+        let mut stream = memcached::encode_set(b"straddle", value, 1);
+        stream.extend(memcached::encode_get(b"straddle", 2));
+        // SET response header + GET response (header + flags + value).
+        let expected = memcached::Header::SIZE * 2 + 4 + value.len();
+        let rx = Rc::new(RefCell::new(Vec::new()));
+        let handler = Rc::new(PushClient {
+            tx: RefCell::new(Chain::single(IoBuf::copy_from(&stream))),
+            chunk,
+            rx: Rc::clone(&rx),
+            expected,
+        });
+        ebbrt_apps::spawn_with(&client, CoreId(0), c_if, move |c_if| {
+            c_if.connect(
+                Ipv4Addr::new(10, 0, 0, 1),
+                memcached::MEMCACHED_PORT,
+                handler,
+            );
+        });
+        w.run_to_idle();
+        let rx = rx.borrow();
+        assert!(
+            rx.len() >= expected,
+            "responses truncated: got {} of {expected} bytes for a {}-byte value",
+            rx.len(),
+            value.len()
+        );
+        rx[expected - value.len()..expected].to_vec()
+    }
+
+    /// Feeds one SET through a directly-driven server connection in
+    /// segments cut at `cuts`, returning the stored value bytes.
+    fn stored_after_segmented_set(stream: &[u8], cuts: &[usize]) -> Vec<u8> {
+        use ebbrt_net::netif::{ConnHandler, TcpConn};
+        let domain = Arc::new(ebbrt_core::rcu::RcuDomain::new(1));
+        let _guard = domain.read_guard(CoreId(0));
+        let store = Store::new(Arc::clone(&domain));
+        let sc = memcached::ServerConn::new(Arc::clone(&store));
+        let _bind = ebbrt_core::cpu::bind(CoreId(0));
+        let mut points: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+        points.push(0);
+        points.push(stream.len());
+        points.sort_unstable();
+        points.dedup();
+        for wnd in points.windows(2) {
+            if wnd[0] == wnd[1] {
+                continue;
+            }
+            let seg = Chain::single(IoBuf::copy_from(&stream[wnd[0]..wnd[1]]));
+            // The dangling conn panics when the SET response is sent —
+            // after the store insert completed.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sc.on_receive(&TcpConn::dangling(), seg);
+            }));
+        }
+        store
+            .get_raw(b"straddle")
+            .map(|v| v.copy_to_vec())
+            .unwrap_or_default()
+    }
+
+    proptest! {
+        /// SET/GET round-trips over the full network path are exact
+        /// for every value size across the 2 KiB and 64 KiB class
+        /// boundaries (1 B … 128 KiB), independent of how the client
+        /// chunks its sends. Values beyond the peer's 64 KiB receive
+        /// window exercise the server's response backpressure path.
+        #[test]
+        fn memcached_roundtrip_straddles_class_boundaries(
+            sel in 0usize..64,
+            jitter in 0usize..64,
+            seed in any::<u64>(),
+            chunk_sel in 0usize..4,
+        ) {
+            let size = boundary_size(sel, jitter);
+            let value = value_bytes(size, seed);
+            let chunk = [1497, 4096, 60_000, usize::MAX][chunk_sel];
+            let got = roundtrip_over_network(&value, chunk);
+            prop_assert_eq!(got, value);
+        }
+
+        /// The stored bytes of a boundary-straddling SET are
+        /// independent of how the request stream is segmented.
+        #[test]
+        fn large_set_storage_is_segmentation_invariant(
+            sel in 0usize..64,
+            jitter in 0usize..64,
+            seed in any::<u64>(),
+            cuts in prop::collection::vec(any::<usize>(), 0..12),
+        ) {
+            let size = boundary_size(sel, jitter);
+            let value = value_bytes(size, seed);
+            let stream = memcached::encode_set(b"straddle", &value, 7);
+            let contiguous = stored_after_segmented_set(&stream, &[]);
+            let segmented = stored_after_segmented_set(&stream, &cuts);
+            prop_assert_eq!(&contiguous, &value);
+            prop_assert_eq!(&segmented, &value);
+        }
+    }
+}
+
 mod iobuf_props {
     use super::*;
 
