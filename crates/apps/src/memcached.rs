@@ -46,9 +46,12 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
+use ebbrt_core::cpu::CoreId;
+use ebbrt_core::ebb::{EbbRef, MulticoreEbb};
 use ebbrt_core::iobuf::{Chain, IoBuf, MutIoBuf};
 use ebbrt_core::rcu_hash::RcuHashMap;
-use ebbrt_net::netif::{ConnHandler, NetIf, TcpConn};
+use ebbrt_core::runtime::Runtime;
+use ebbrt_net::netif::{local_netif, ConnHandler, TcpConn};
 use ebbrt_sim::world::charge;
 
 /// The memcached service port.
@@ -202,7 +205,38 @@ pub struct Store {
     pub sets: std::sync::atomic::AtomicU64,
     /// GET misses.
     pub misses: std::sync::atomic::AtomicU64,
+    /// Connections torn down because their parked-reply backlog
+    /// exceeded [`ServerConfig::max_unsent_bytes`] (a peer requesting
+    /// faster than it reads).
+    pub backlog_drops: std::sync::atomic::AtomicU64,
 }
+
+/// The per-core representative of a [`Store`] Ebb: every core shares
+/// the one RCU-backed store through its root. Applications pass the
+/// copyable [`StoreRef`] around instead of threading `Arc<Store>`.
+pub struct StoreEbb {
+    store: Arc<Store>,
+}
+
+impl StoreEbb {
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+}
+
+impl MulticoreEbb for StoreEbb {
+    type Root = Store;
+
+    fn create_rep(root: &Arc<Store>, _core: CoreId) -> Self {
+        StoreEbb {
+            store: Arc::clone(root),
+        }
+    }
+}
+
+/// A copyable, `Send` reference to a registered [`Store`].
+pub type StoreRef = EbbRef<StoreEbb>;
 
 impl Store {
     /// Creates a store in `domain` (the server machine's RCU domain).
@@ -212,7 +246,18 @@ impl Store {
             gets: Default::default(),
             sets: Default::default(),
             misses: Default::default(),
+            backlog_drops: Default::default(),
         })
+    }
+
+    /// Registers this store as a dynamic Ebb in `rt` (the server
+    /// machine), returning the [`StoreRef`] that [`serve`] and any
+    /// other machine-side code dereferences per core.
+    pub fn register(self: &Arc<Self>, rt: &Runtime) -> StoreRef {
+        let id = rt.ebbs().allocate_id();
+        rt.ebbs()
+            .register_root_arc::<StoreEbb>(id, Arc::clone(self));
+        EbbRef::from_id(id)
     }
 
     /// Number of stored keys.
@@ -261,12 +306,37 @@ fn push_header(out: &mut Chain<IoBuf>, h: &Header, extra_zeroed: usize) {
 /// kernel/stack costs which the profiles charge separately).
 pub const APP_BASE_NS: u64 = 500;
 
+/// Server tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Byte cap on a connection's parked over-window reply backlog
+    /// (`unsent`). Descriptor chains are cheap, but they pin
+    /// stored-value regions; a peer that keeps requesting while never
+    /// reading would otherwise grow the backlog without bound. A peer
+    /// whose window is **zero** with more than this parked — or any
+    /// peer past 4× this regardless of window — is torn down (RST)
+    /// and counted in [`Store::backlog_drops`]; readers making window
+    /// progress under the hard ceiling are never penalized.
+    pub max_unsent_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            // Generous: several maximum-size (> 64 KiB window) replies
+            // may park; only a chronically stalled reader trips it.
+            max_unsent_bytes: 512 * 1024,
+        }
+    }
+}
+
 /// Per-connection server state: the not-yet-parsed tail of the request
 /// stream, held as a zero-copy chain of receive-buffer views, plus the
 /// not-yet-sent tail of the response stream for replies larger than
 /// the peer's receive window.
 pub struct ServerConn {
     store: Arc<Store>,
+    config: ServerConfig,
     /// Bytes not yet forming a complete request (descriptor chain over
     /// the driver buffers; nothing is copied into it).
     pending: RefCell<Chain<IoBuf>>,
@@ -274,7 +344,8 @@ pub struct ServerConn {
     /// than buffers ([`SendError::WindowFull`]), so replies that
     /// exceed the advertised window — a GET of a value larger than
     /// 64 KiB — park here (descriptor chain, zero-copy) and drain from
-    /// [`ConnHandler::on_window_open`].
+    /// [`ConnHandler::on_window_open`]. Capped by
+    /// [`ServerConfig::max_unsent_bytes`].
     ///
     /// [`SendError::WindowFull`]: ebbrt_net::netif::SendError::WindowFull
     unsent: RefCell<Chain<IoBuf>>,
@@ -282,11 +353,16 @@ pub struct ServerConn {
 
 impl ServerConn {
     /// Creates a handler serving `store` (exposed for direct-drive
-    /// tests and benches; the listener path goes through
-    /// [`start_server`]).
+    /// tests and benches; the listener path goes through [`serve`]).
     pub fn new(store: Arc<Store>) -> ServerConn {
+        Self::with_config(store, ServerConfig::default())
+    }
+
+    /// As [`ServerConn::new`] with explicit tunables.
+    pub fn with_config(store: Arc<Store>, config: ServerConfig) -> ServerConn {
         ServerConn {
             store,
+            config,
             pending: RefCell::new(Chain::new()),
             unsent: RefCell::new(Chain::new()),
         }
@@ -342,6 +418,23 @@ impl ServerConn {
             // from `on_window_open` when acknowledgments open space.
             self.unsent.borrow_mut().append_chain(responses);
             self.flush(conn);
+            // Cap check *after* flushing, so only bytes the peer could
+            // not accept count. A healthy reader making window
+            // progress is tolerated up to a hard ceiling — its backlog
+            // is bounded by its pipeline depth and drains at window
+            // rate; a stalled reader (zero window) that keeps
+            // requesting grows the backlog without bound and is torn
+            // down at the soft cap.
+            let parked = self.unsent.borrow().len();
+            let stalled = conn.send_window() == 0;
+            if parked > self.config.max_unsent_bytes
+                && (stalled || parked > 4 * self.config.max_unsent_bytes)
+            {
+                use std::sync::atomic::Ordering;
+                self.store.backlog_drops.fetch_add(1, Ordering::Relaxed);
+                *self.unsent.borrow_mut() = Chain::new();
+                conn.abort();
+            }
         }
     }
 
@@ -475,12 +568,27 @@ impl ConnHandler for ServerConn {
     }
 }
 
-/// Starts the memcached server on `netif`: installs the listener whose
-/// per-connection handlers run on their RSS cores.
-pub fn start_server(netif: &Rc<NetIf>, store: &Arc<Store>) {
-    let store = Arc::clone(store);
+/// Starts the memcached server on the **current machine**: resolves
+/// the network manager through its well-known Ebb id
+/// ([`local_netif`]) and installs the listener; per-connection
+/// handlers run on their RSS cores and resolve `store` there.
+///
+/// Must run inside an event on the server machine — the idiom is
+/// `server.spawn_on(core0, move || memcached::serve(store_ref))`,
+/// which works because [`StoreRef`] is `Copy + Send` (an Ebb id, not
+/// an `Rc` smuggled through a `SendCell`).
+pub fn serve(store: StoreRef) {
+    serve_with(store, ServerConfig::default());
+}
+
+/// As [`serve`] with explicit tunables.
+pub fn serve_with(store: StoreRef, config: ServerConfig) {
+    let netif = local_netif();
     netif.listen(MEMCACHED_PORT, move |_conn| {
-        Rc::new(ServerConn::new(Arc::clone(&store))) as Rc<dyn ConnHandler>
+        // Accept runs on the connection's affinity core: resolve the
+        // store's rep there (faulting it in on first use).
+        let store = store.with(|s| Arc::clone(s.store()));
+        Rc::new(ServerConn::with_config(store, config)) as Rc<dyn ConnHandler>
     });
 }
 
@@ -490,6 +598,7 @@ mod tests {
     use crate::spawn_with;
     use ebbrt_core::cpu::CoreId;
     use ebbrt_core::iobuf::Buf;
+    use ebbrt_net::netif::NetIf;
     use ebbrt_net::types::Ipv4Addr;
     use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
 
@@ -554,12 +663,17 @@ mod tests {
         sw.attach(server.nic(), LinkParams::default());
         sw.attach(client.nic(), LinkParams::default());
         let mask = Ipv4Addr::new(255, 255, 255, 0);
-        let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
-        let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
+        let _s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
+        let _c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
         w.run_to_idle();
 
+        // The Ebb wiring: the store registers as a dynamic Ebb and the
+        // server resolves its NetIf through the well-known id — the
+        // spawn closures carry only Copy+Send refs.
         let store = Store::new(std::sync::Arc::clone(server.runtime().rcu()));
-        start_server(&s_if, &store);
+        let store_ref = store.register(server.runtime());
+        server.spawn_on(CoreId(0), move || serve(store_ref));
+        w.run_to_idle();
 
         // Pipeline a SET and a GET in one stream (the binary protocol
         // allows pipelining; mutilate uses depth 4).
@@ -570,8 +684,8 @@ mod tests {
             rx: Rc::clone(&rx),
             tx_on_connect: RefCell::new(tx),
         };
-        spawn_with(&client, CoreId(0), c_if, move |c_if| {
-            c_if.connect(Ipv4Addr::new(10, 0, 0, 1), MEMCACHED_PORT, Rc::new(handler));
+        spawn_with(&client, CoreId(0), handler, move |handler| {
+            local_netif().connect(Ipv4Addr::new(10, 0, 0, 1), MEMCACHED_PORT, Rc::new(handler));
         });
         w.run_to_idle();
 
@@ -615,13 +729,15 @@ mod tests {
         sw.attach(server.nic(), LinkParams::default());
         sw.attach(client.nic(), LinkParams::default());
         let mask = Ipv4Addr::new(255, 255, 255, 0);
-        let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
-        let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
+        let _s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
+        let _c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
         w.run_to_idle();
         let store = Store::new(std::sync::Arc::clone(server.runtime().rcu()));
         let value = vec![0x7E; 100_000];
         store.insert_raw(b"big".to_vec(), IoBuf::copy_from(&value));
-        start_server(&s_if, &store);
+        let store_ref = store.register(server.runtime());
+        server.spawn_on(CoreId(0), move || serve(store_ref));
+        w.run_to_idle();
 
         struct GetAndHalfClose {
             rx: Rc<RefCell<Vec<u8>>>,
@@ -638,8 +754,8 @@ mod tests {
         }
         let rx = Rc::new(RefCell::new(Vec::new()));
         let handler = GetAndHalfClose { rx: Rc::clone(&rx) };
-        spawn_with(&client, CoreId(0), c_if, move |c_if| {
-            c_if.connect(Ipv4Addr::new(10, 0, 0, 1), MEMCACHED_PORT, Rc::new(handler));
+        spawn_with(&client, CoreId(0), handler, move |handler| {
+            local_netif().connect(Ipv4Addr::new(10, 0, 0, 1), MEMCACHED_PORT, Rc::new(handler));
         });
         w.run_to_idle();
         let rx = rx.borrow();
@@ -653,7 +769,12 @@ mod tests {
     }
 
     #[test]
-    fn get_miss_reports_not_found() {
+    fn stalled_reader_past_backlog_cap_is_torn_down() {
+        // A peer that keeps issuing GETs for a large value while never
+        // opening its receive window parks every reply in the
+        // connection's `unsent` chain. Past the configured byte cap
+        // the server must tear the connection down (RST) and count it,
+        // instead of pinning stored-value regions forever.
         let w = SimWorld::new();
         let sw = Switch::new(&w);
         let server = SimMachine::create(&w, "server", 1, CostProfile::ebbrt_vm(), [0xAA; 6]);
@@ -662,18 +783,93 @@ mod tests {
         sw.attach(client.nic(), LinkParams::default());
         let mask = Ipv4Addr::new(255, 255, 255, 0);
         let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
-        let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
+        let _c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
         w.run_to_idle();
         let store = Store::new(std::sync::Arc::clone(server.runtime().rcu()));
-        start_server(&s_if, &store);
+        let value = vec![0x11; 30_000];
+        store.insert_raw(b"big".to_vec(), IoBuf::copy_from(&value));
+        let store_ref = store.register(server.runtime());
+        // A tight cap so a handful of parked replies trips it.
+        server.spawn_on(CoreId(0), move || {
+            serve_with(
+                store_ref,
+                ServerConfig {
+                    max_unsent_bytes: 64 * 1024,
+                },
+            )
+        });
+        w.run_to_idle();
+
+        /// Requests forever, reads never: window 0 from the start.
+        struct StalledReader {
+            closed: Rc<Cell<bool>>,
+        }
+        use std::cell::Cell;
+        impl ConnHandler for StalledReader {
+            fn on_connected(&self, conn: &TcpConn) {
+                conn.set_receive_window(0);
+                // Pipeline many GETs of the large value; the requests
+                // fit our send window even though we read nothing.
+                let mut tx = Vec::new();
+                for i in 0..8 {
+                    tx.extend(encode_get(b"big", i));
+                }
+                let _ = conn.send(Chain::single(IoBuf::copy_from(&tx)));
+            }
+            fn on_receive(&self, _c: &TcpConn, _data: Chain<IoBuf>) {
+                unreachable!("window is zero; nothing can be delivered");
+            }
+            fn on_close(&self, _c: &TcpConn) {
+                self.closed.set(true);
+            }
+        }
+        let closed = Rc::new(Cell::new(false));
+        let handler = StalledReader {
+            closed: Rc::clone(&closed),
+        };
+        spawn_with(&client, CoreId(0), handler, move |handler| {
+            local_netif().connect(Ipv4Addr::new(10, 0, 0, 1), MEMCACHED_PORT, Rc::new(handler));
+        });
+        w.run_to_idle();
+
+        use std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(
+            store.backlog_drops.load(Relaxed),
+            1,
+            "the over-cap backlog must be counted"
+        );
+        assert!(closed.get(), "the stalled peer must see the RST teardown");
+        assert_eq!(
+            s_if.conn_count(),
+            0,
+            "the server must free the connection (and its pinned backlog)"
+        );
+    }
+
+    #[test]
+    fn get_miss_reports_not_found() {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let server = SimMachine::create(&w, "server", 1, CostProfile::ebbrt_vm(), [0xAA; 6]);
+        let client = SimMachine::create(&w, "client", 1, CostProfile::ebbrt_vm(), [0xBB; 6]);
+        sw.attach(server.nic(), LinkParams::default());
+        sw.attach(client.nic(), LinkParams::default());
+        let mask = Ipv4Addr::new(255, 255, 255, 0);
+        let _s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
+        let _c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
+        w.run_to_idle();
+        let store = Store::new(std::sync::Arc::clone(server.runtime().rcu()));
+        let store_ref = store.register(server.runtime());
+        server.spawn_on(CoreId(0), move || serve(store_ref));
+        w.run_to_idle();
 
         let rx = Rc::new(RefCell::new(Vec::new()));
         let handler = RawClient {
             rx: Rc::clone(&rx),
             tx_on_connect: RefCell::new(encode_get(b"missing", 9)),
         };
-        spawn_with(&client, CoreId(0), c_if, move |c_if| {
-            c_if.connect(Ipv4Addr::new(10, 0, 0, 1), MEMCACHED_PORT, Rc::new(handler));
+        spawn_with(&client, CoreId(0), handler, move |handler| {
+            local_netif().connect(Ipv4Addr::new(10, 0, 0, 1), MEMCACHED_PORT, Rc::new(handler));
         });
         w.run_to_idle();
         let rx = rx.borrow();

@@ -303,8 +303,8 @@ pub fn run(config: &ExperimentConfig) -> Sample {
     sw.attach(client.nic(), LinkParams::default());
     let mask = Ipv4Addr::new(255, 255, 255, 0);
     let server_ip = Ipv4Addr::new(10, 0, 0, 1);
-    let s_if = NetIf::attach(&server, server_ip, mask);
-    let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
+    let _s_if = NetIf::attach(&server, server_ip, mask);
+    let _c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
     w.run_to_idle();
 
     // Store, pre-populated directly (the paper warms the cache before
@@ -322,7 +322,11 @@ pub fn run(config: &ExperimentConfig) -> Sample {
             store_insert(&store, key.clone(), vlen);
         }
     }
-    memcached::start_server(&s_if, &store);
+    // Ebb wiring: the spawn closure carries only the Copy+Send store
+    // ref; the server resolves its stack via the well-known id.
+    let store_ref = store.register(server.runtime());
+    server.spawn_on(CoreId(0), move || memcached::serve(store_ref));
+    w.run_to_idle();
     server.start_scheduler_ticks(&w);
 
     // Connections, spread over client cores. Request frames are
@@ -349,10 +353,9 @@ pub fn run(config: &ExperimentConfig) -> Sample {
         });
         conns.push(Rc::clone(&cc));
         let core = CoreId((i % config.client_cores) as u32);
-        let c_if2 = Rc::clone(&c_if);
         let cfg = config.clone();
         spawn_with(&client, core, cc, move |cc| {
-            let conn = c_if2.connect(
+            let conn = ebbrt_net::netif::local_netif().connect(
                 server_ip,
                 MEMCACHED_PORT,
                 Rc::clone(&cc) as Rc<dyn ConnHandler>,

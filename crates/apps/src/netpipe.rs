@@ -53,10 +53,20 @@ struct PipeEnd {
     finished_at: Cell<Ns>,
     /// IOBuf counters at the end of warmup (steady-state mode).
     steady_stats: Cell<Option<iobuf_stats::Snapshot>>,
+    /// Both machines' runtimes (client side, steady-state mode): pool
+    /// counters are per machine, so the zero-copy property is read as
+    /// the world total over server + client.
+    world: RefCell<Vec<Arc<ebbrt_core::runtime::Runtime>>>,
     payload: RefCell<Option<IoBuf>>,
 }
 
 use ebbrt_core::iobuf::stats as iobuf_stats;
+use std::sync::Arc;
+
+/// Sums the per-machine IOBuf counters over `world`.
+fn world_snapshot(world: &[Arc<ebbrt_core::runtime::Runtime>]) -> iobuf_stats::Snapshot {
+    iobuf_stats::world_snapshot(world.iter().map(Arc::as_ref))
+}
 
 impl PipeEnd {
     fn new(message_bytes: usize, target_rounds: u32, is_client: bool) -> Rc<PipeEnd> {
@@ -80,6 +90,7 @@ impl PipeEnd {
             started_at: Cell::new(0),
             finished_at: Cell::new(0),
             steady_stats: Cell::new(None),
+            world: RefCell::new(Vec::new()),
             payload: RefCell::new(Some(IoBuf::copy_from(&vec![0xAB; message_bytes]))),
         })
     }
@@ -112,7 +123,8 @@ impl PipeEnd {
                 // Warmup done: the pool is hot; measurement starts here.
                 self.started_at
                     .set(ebbrt_core::runtime::with_current(|rt| rt.now_ns()));
-                self.steady_stats.set(Some(iobuf_stats::snapshot()));
+                self.steady_stats
+                    .set(Some(world_snapshot(&self.world.borrow())));
             }
             if r >= self.target_rounds {
                 self.finished_at
@@ -177,17 +189,26 @@ fn setup_pipe(
     sw.attach(server.nic(), LinkParams::default());
     sw.attach(client.nic(), LinkParams::default());
     let mask = Ipv4Addr::new(255, 255, 255, 0);
-    let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 1, 1), mask);
-    let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 1, 2), mask);
+    let _s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 1, 1), mask);
+    let _c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 1, 2), mask);
     w.run_to_idle();
 
-    s_if.listen(NETPIPE_PORT, move |_conn| {
-        PipeEnd::new(message_bytes, 0, false) as Rc<dyn ConnHandler>
+    // Both sides resolve their stack through the well-known network
+    // manager id from inside their machines' events.
+    server.spawn_on(CoreId(0), move || {
+        ebbrt_net::netif::local_netif().listen(NETPIPE_PORT, move |_conn| {
+            PipeEnd::new(message_bytes, 0, false) as Rc<dyn ConnHandler>
+        });
     });
+    w.run_to_idle();
     let client_end = PipeEnd::with_warmup(message_bytes, target_rounds, warmup_rounds, true);
+    client_end
+        .world
+        .borrow_mut()
+        .extend([Arc::clone(server.runtime()), Arc::clone(client.runtime())]);
     let ce = Rc::clone(&client_end);
-    spawn_with(&client, CoreId(0), c_if, move |c_if| {
-        c_if.connect(
+    spawn_with(&client, CoreId(0), ce, move |ce| {
+        ebbrt_net::netif::local_netif().connect(
             Ipv4Addr::new(10, 0, 1, 1),
             NETPIPE_PORT,
             ce as Rc<dyn ConnHandler>,
@@ -296,7 +317,11 @@ pub fn run_steady(
         .steady_stats
         .get()
         .expect("warmup snapshot taken");
-    let delta = iobuf_stats::snapshot().since(&baseline);
+    let world = [
+        Arc::clone(pipe.server.runtime()),
+        Arc::clone(pipe.client.runtime()),
+    ];
+    let delta = world_snapshot(&world).since(&baseline);
     let rtt = (finish - start) as f64 / rounds as f64;
     SteadySample {
         message_bytes,

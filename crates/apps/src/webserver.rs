@@ -18,7 +18,7 @@ use std::rc::Rc;
 use ebbrt_core::clock::Ns;
 use ebbrt_core::cpu::CoreId;
 use ebbrt_core::iobuf::{Buf, Chain, IoBuf, MutIoBuf};
-use ebbrt_net::netif::{ConnHandler, NetIf, TcpConn};
+use ebbrt_net::netif::{local_netif, ConnHandler, NetIf, TcpConn};
 use ebbrt_net::types::Ipv4Addr;
 use ebbrt_sim::world::charge;
 use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
@@ -143,13 +143,15 @@ impl ConnHandler for HttpServerConn {
     }
 }
 
-/// Starts the webserver on `netif`. `demand_paging` selects the
-/// Linux-style GC/refault behaviour (derived from the machine profile
-/// by [`run`]).
-pub fn start_server(netif: &Rc<NetIf>, demand_paging: bool) {
+/// Starts the webserver on the **current machine** (the network
+/// manager resolves through its well-known Ebb id). `demand_paging`
+/// selects the Linux-style GC/refault behaviour (derived from the
+/// machine profile by [`run`]). Must run inside an event on the
+/// server machine.
+pub fn serve(demand_paging: bool) {
     let response = MutIoBuf::from_vec(static_response()).freeze();
     let requests = Rc::new(Cell::new(0u64));
-    netif.listen(HTTP_PORT, move |_conn| {
+    local_netif().listen(HTTP_PORT, move |_conn| {
         Rc::new(HttpServerConn {
             pending: RefCell::new(Chain::new()),
             response: response.clone(),
@@ -209,16 +211,20 @@ impl ConnHandler for WrkConn {
         } else {
             // The timer continuation shares `sent_at` with this handler,
             // so the latency of the next response is measured correctly.
+            // The event system resolves through its well-known Ebb id.
             let sent_at = Rc::clone(&self.sent_at);
             let request = self.request.clone();
             let cell = crate::SendCell((conn, sent_at, request));
-            ebbrt_core::runtime::with_current(|rt| {
-                rt.local_event_manager().set_timer(self.think_ns, move || {
-                    let cell = cell;
-                    let (conn, sent_at, request) = cell.0;
-                    sent_at.set(ebbrt_core::runtime::with_current(|rt| rt.now_ns()));
-                    let _ = conn.send(Chain::single(request));
-                });
+            let think = self.think_ns;
+            ebbrt_core::runtime::event_manager_ref().with(|e| {
+                e.with_em(|em| {
+                    em.set_timer(think, move || {
+                        let cell = cell;
+                        let (conn, sent_at, request) = cell.0;
+                        sent_at.set(ebbrt_core::runtime::with_current(|rt| rt.now_ns()));
+                        let _ = conn.send(Chain::single(request));
+                    });
+                })
             });
         }
     }
@@ -245,11 +251,13 @@ pub fn run(profile: &CostProfile, connections: usize, think_ns: Ns) -> Webserver
     sw.attach(server.nic(), LinkParams::default());
     sw.attach(client.nic(), LinkParams::default());
     let mask = Ipv4Addr::new(255, 255, 255, 0);
-    let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 2, 1), mask);
-    let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 2, 2), mask);
+    let _s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 2, 1), mask);
+    let _c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 2, 2), mask);
     w.run_to_idle();
     // Demand paging (GC refaults) goes with the preemptive profiles.
-    start_server(&s_if, profile.tick_period_ns > 0);
+    let demand_paging = profile.tick_period_ns > 0;
+    server.spawn_on(CoreId(0), move || serve(demand_paging));
+    w.run_to_idle();
     server.start_scheduler_ticks(&w);
 
     let measuring = Rc::new(Cell::new(false));
@@ -269,10 +277,9 @@ pub fn run(profile: &CostProfile, connections: usize, think_ns: Ns) -> Webserver
         .collect();
     for (i, wc) in conns.iter().enumerate() {
         let core = CoreId((i % 4) as u32);
-        let c_if2 = Rc::clone(&c_if);
         let wc2 = Rc::clone(wc);
         spawn_with(&client, core, wc2, move |wc| {
-            c_if2.connect(
+            local_netif().connect(
                 Ipv4Addr::new(10, 0, 2, 1),
                 HTTP_PORT,
                 wc as Rc<dyn ConnHandler>,

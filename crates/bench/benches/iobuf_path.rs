@@ -20,15 +20,23 @@
 
 use std::cell::Cell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ebbrt_apps::memcached::{self, Store};
 use ebbrt_apps::spawn_with;
 use ebbrt_core::cpu::CoreId;
 use ebbrt_core::iobuf::{pool, stats, Chain, IoBuf, MutIoBuf};
-use ebbrt_net::netif::{ConnHandler, NetIf, TcpConn};
+use ebbrt_core::runtime::Runtime;
+use ebbrt_net::netif::{local_netif, ConnHandler, NetIf, TcpConn};
 use ebbrt_net::types::Ipv4Addr;
 use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
+
+/// Pool counters are per machine: the zero-copy property is read as
+/// the world total over both ends of the wire.
+fn world_snapshot(world: &[Arc<Runtime>]) -> stats::Snapshot {
+    stats::world_snapshot(world.iter().map(Arc::as_ref))
+}
 
 /// Bytes in the benched value.
 const VALUE_LEN: usize = 512;
@@ -47,6 +55,8 @@ struct GetClient {
     received: Cell<usize>,
     remaining: Cell<u32>,
     warmup_left: Cell<u32>,
+    /// Server + client runtimes (per-machine counters).
+    world: Vec<Arc<Runtime>>,
     steady_base: Cell<Option<stats::Snapshot>>,
     steady_start_ns: Cell<u64>,
     steady_end_ns: Cell<u64>,
@@ -72,7 +82,7 @@ impl ConnHandler for GetClient {
             if self.warmup_left.get() > 0 {
                 self.warmup_left.set(self.warmup_left.get() - 1);
                 if self.warmup_left.get() == 0 {
-                    self.steady_base.set(Some(stats::snapshot()));
+                    self.steady_base.set(Some(world_snapshot(&self.world)));
                     self.steady_start_ns
                         .set(ebbrt_core::runtime::with_current(|rt| rt.now_ns()));
                 }
@@ -102,26 +112,29 @@ fn verify_zero_copy_get_path(_c: &mut Criterion) {
     sw.attach(server.nic(), LinkParams::default());
     sw.attach(client.nic(), LinkParams::default());
     let mask = Ipv4Addr::new(255, 255, 255, 0);
-    let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
-    let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
+    let _s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
+    let _c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
     w.run_to_idle();
 
-    let store = Store::new(std::sync::Arc::clone(server.runtime().rcu()));
+    let store = Store::new(Arc::clone(server.runtime().rcu()));
     store.insert_raw(b"bench_key".to_vec(), IoBuf::copy_from(&[0xAB; VALUE_LEN]));
-    memcached::start_server(&s_if, &store);
+    let store_ref = store.register(server.runtime());
+    server.spawn_on(CoreId(0), move || memcached::serve(store_ref));
+    w.run_to_idle();
 
     let handler = Rc::new(GetClient {
         request: MutIoBuf::from_vec(memcached::encode_get(b"bench_key", 1)).freeze(),
         received: Cell::new(0),
         remaining: Cell::new(STEADY_GETS),
         warmup_left: Cell::new(WARMUP_GETS),
+        world: vec![Arc::clone(server.runtime()), Arc::clone(client.runtime())],
         steady_base: Cell::new(None),
         steady_start_ns: Cell::new(0),
         steady_end_ns: Cell::new(0),
     });
     let h = Rc::clone(&handler);
-    spawn_with(&client, CoreId(0), c_if, move |c_if| {
-        c_if.connect(
+    spawn_with(&client, CoreId(0), h, move |h| {
+        local_netif().connect(
             Ipv4Addr::new(10, 0, 0, 1),
             memcached::MEMCACHED_PORT,
             h as Rc<dyn ConnHandler>,
@@ -131,18 +144,16 @@ fn verify_zero_copy_get_path(_c: &mut Criterion) {
 
     assert_eq!(handler.remaining.get(), 0, "workload did not complete");
     let base = handler.steady_base.get().expect("warmup completed");
-    let delta = stats::snapshot().since(&base);
+    let delta = world_snapshot(&handler.world).since(&base);
     let elapsed_ns = handler.steady_end_ns.get() - handler.steady_start_ns.get();
     let us_per_get = elapsed_ns as f64 / STEADY_GETS as f64 / 1000.0;
+    let (server_free, server_depot) =
+        pool::runtime_free_counts(server.runtime(), pool::SizeClass::Small);
     println!(
         "steady-state memcached GET x{STEADY_GETS}: {us_per_get:.2} virtual-us/req, \
          {} payload bytes copied, {} fresh buffer allocations, {} pool hits \
-         (local free {}, depot {})",
-        delta.bytes_copied,
-        delta.bufs_allocated,
-        delta.pool_hits,
-        pool::local_free(),
-        pool::depot_free(),
+         (server free {server_free}, depot {server_depot})",
+        delta.bytes_copied, delta.bufs_allocated, delta.pool_hits,
     );
     assert_eq!(
         delta.bytes_copied, 0,
@@ -174,6 +185,11 @@ fn verify_rss_sweep_multi_class(_c: &mut Criterion) {
 }
 
 fn bench_buffer_acquisition(c: &mut Criterion) {
+    // Enter a runtime so the pool Ebb resolves through the paper's
+    // fast path (the production configuration), not the ambient
+    // fallback test threads use.
+    let rt = Runtime::new(1, Arc::new(ebbrt_core::clock::ManualClock::new()));
+    let _g = ebbrt_core::runtime::enter(rt, CoreId(0));
     let mut g = c.benchmark_group("buffer_acquisition");
     // Heat the pools so the pooled cases measure recycling, not growth.
     pool::prewarm(4);
@@ -214,6 +230,8 @@ fn bench_buffer_acquisition(c: &mut Criterion) {
 }
 
 fn bench_cursor_reads(c: &mut Criterion) {
+    let rt = Runtime::new(1, Arc::new(ebbrt_core::clock::ManualClock::new()));
+    let _g = ebbrt_core::runtime::enter(rt, CoreId(0));
     // A chain shaped like a segmented request stream.
     let mut chain: Chain<IoBuf> = Chain::new();
     for _ in 0..8 {
@@ -236,6 +254,8 @@ fn bench_cursor_reads(c: &mut Criterion) {
 }
 
 fn bench_chain_ops(c: &mut Criterion) {
+    let rt = Runtime::new(1, Arc::new(ebbrt_core::clock::ManualClock::new()));
+    let _g = ebbrt_core::runtime::enter(rt, CoreId(0));
     let big = IoBuf::copy_from(&vec![7u8; 64 * 1024]);
     let mut g = c.benchmark_group("chain_ops");
     g.bench_function("split_to_mss_from_64k", |b| {

@@ -14,38 +14,52 @@
 //! The run is phased, with a barrier between phases so the per-core
 //! IOBuf counters can be snapshotted at quiescent points:
 //!
-//! 1. **Warmup** — every connection cycles SET(large) → GET(large) →
-//!    GET(small) until the per-core pools and the depot reach their
-//!    steady working set.
-//! 2. **SET refresh** (measured) — every connection re-SETs its large
+//! 1. **Warmup** — explicit per-core pool prewarm, then every
+//!    connection cycles SET(large) → GET(large) → GET(small) until the
+//!    per-core pools reach their steady working set. (The sweep used
+//!    to need an unmeasured *dry run before each measured phase* to
+//!    reach that phase's pool fixpoint; the flux-adaptive depot
+//!    watermark plus home-core mailboxes for cross-machine frees made
+//!    them unnecessary — both dry passes are gone.)
+//! 2. **Steady GETs** (measured) — every connection alternates
+//!    GET(large) / GET(small) with the hot-connection skew. Asserts
+//!    the full property: **0 payload bytes copied and 0 fresh buffer
+//!    allocations** — which covers both size classes — with the small
+//!    class actively recycling.
+//! 3. **SET refresh** (measured) — every connection re-SETs its large
 //!    value, the hot connection many times more than the warm ones.
 //!    Asserts that no `> 2 KiB` SET takes the one-shot-allocation
 //!    fallback: the large class serves every staging buffer
 //!    (`fallback_allocs == 0`, `hits > 0`) and no fresh region is
 //!    allocated at all.
-//! 3. **Steady GETs** (measured) — every connection alternates
-//!    GET(large) / GET(small), again with the hot-connection skew.
-//!    Asserts the full property: **0 payload bytes copied and 0 fresh
-//!    buffer allocations** — which covers both size classes — with the
-//!    small class actively recycling.
 //!
-//! Because the per-core free lists are keyed by the *bound core*, the
-//! skewed cross-core buffer flow (staged on the client's connection
-//! core, freed on whichever core drops the last descriptor) shows up
-//! as depot migration, which the report quantifies per class, along
-//! with the per-queue NIC load split that proves the skew was real.
+//! Pools are owned per machine (the buffer-pool Ebb), so the skewed
+//! buffer flows surface two kinds of migration the report quantifies:
+//! same-machine cross-core rebalancing through the depot, and
+//! cross-machine home-returns through the owning core's mailbox (a
+//! frame allocated on the client, freed under the server's runtime,
+//! posts back to its allocating core). The per-queue NIC load split
+//! proves the skew was real.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use ebbrt_apps::memcached::{self, Store};
 use ebbrt_apps::spawn_with;
 use ebbrt_core::cpu::CoreId;
 use ebbrt_core::iobuf::pool::SizeClass;
 use ebbrt_core::iobuf::{stats, Chain, IoBuf, MutIoBuf};
-use ebbrt_net::netif::{ConnHandler, NetIf, TcpConn};
+use ebbrt_core::runtime::Runtime;
+use ebbrt_net::netif::{local_netif, ConnHandler, NetIf, TcpConn};
 use ebbrt_net::types::Ipv4Addr;
 use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
+
+/// Pool counters are per machine (the pool is a runtime-owned Ebb);
+/// the sweep's properties are world totals over server + client.
+fn world_snapshot(world: &[Arc<Runtime>]) -> stats::Snapshot {
+    stats::world_snapshot(world.iter().map(Arc::as_ref))
+}
 
 /// Sweep parameters.
 #[derive(Clone)]
@@ -145,17 +159,14 @@ pub struct SweepReport {
     pub server_queue_frames: Vec<u64>,
 }
 
-/// Phase indices. Each measured phase is preceded by an unmeasured
-/// dry run of the same shape, so one-time hysteresis — pool
-/// population growth, depot parking levels, RCU reclamation lag —
-/// is paid before the counters are read (measure the second
-/// iteration, not the first).
+/// Phase indices. The per-phase dry runs are gone (see module docs):
+/// prewarmed per-core cushions, the flux-adaptive watermark and the
+/// cross-machine home-core mailboxes bring each phase to pool
+/// fixpoint straight out of warmup.
 const WARMUP: usize = 0;
-const SET_DRY: usize = 1;
+const STEADY_GET: usize = 1;
 const SET_REFRESH: usize = 2;
-const GET_DRY: usize = 3;
-const STEADY_GET: usize = 4;
-const DONE: usize = 5;
+const DONE: usize = 3;
 const NPHASES: usize = DONE;
 
 struct Controller {
@@ -164,9 +175,13 @@ struct Controller {
     nconns: usize,
     /// Stats snapshot and virtual time at each phase boundary.
     marks: RefCell<Vec<(stats::Snapshot, u64)>>,
+    /// Per-runtime snapshots at each mark (debug).
+    rt_marks: RefCell<Vec<Vec<stats::Snapshot>>>,
     /// Requests completed per phase.
     completed: [Cell<u64>; NPHASES],
     client: Rc<SimMachine>,
+    /// Server + client runtimes (per-machine counters).
+    world: Vec<Arc<Runtime>>,
     conns: RefCell<Vec<Rc<SweepConn>>>,
 }
 
@@ -175,7 +190,15 @@ impl Controller {
         // Read virtual time through the machine handle: the first mark
         // happens from the driving thread, outside any event.
         let now = self.client.runtime().now_ns();
-        self.marks.borrow_mut().push((stats::snapshot(), now));
+        self.marks
+            .borrow_mut()
+            .push((world_snapshot(&self.world), now));
+        self.rt_marks.borrow_mut().push(
+            self.world
+                .iter()
+                .map(|rt| stats::runtime_snapshot(rt))
+                .collect(),
+        );
     }
 
     /// Called by a connection that finished its quota for the current
@@ -246,7 +269,7 @@ impl SweepConn {
         // connection's burst demand.
         match phase {
             WARMUP => self.cfg.warmup_cycles * skew,
-            SET_DRY | SET_REFRESH | GET_DRY | STEADY_GET => self.cfg.warm_requests * skew,
+            STEADY_GET | SET_REFRESH => self.cfg.warm_requests * skew,
             _ => 0,
         }
     }
@@ -255,7 +278,7 @@ impl SweepConn {
         let phase = self.ctrl.phase.get();
         self.quota.set(self.quota_for(phase));
         self.step.set(match phase {
-            GET_DRY | STEADY_GET => Step::GetLarge,
+            STEADY_GET => Step::GetLarge,
             _ => Step::SetLarge,
         });
         self.fire();
@@ -298,9 +321,9 @@ impl SweepConn {
             (WARMUP, Step::SetLarge) => (Step::GetLarge, false),
             (WARMUP, Step::GetLarge) => (Step::GetSmall, false),
             (WARMUP, Step::GetSmall) => (Step::SetLarge, true),
-            (SET_DRY | SET_REFRESH, _) => (Step::SetLarge, true),
-            (GET_DRY | STEADY_GET, Step::GetLarge) => (Step::GetSmall, false),
-            (GET_DRY | STEADY_GET, _) => (Step::GetLarge, true),
+            (SET_REFRESH, _) => (Step::SetLarge, true),
+            (STEADY_GET, Step::GetLarge) => (Step::GetSmall, false),
+            (STEADY_GET, _) => (Step::GetLarge, true),
             _ => return false,
         };
         self.ctrl.completed[phase].set(self.ctrl.completed[phase].get() + 1);
@@ -364,26 +387,44 @@ pub fn run(cfg: &SweepConfig) -> SweepReport {
     sw.attach(client.nic(), LinkParams::default());
     let mask = Ipv4Addr::new(255, 255, 255, 0);
     let server_ip = Ipv4Addr::new(10, 0, 0, 1);
-    let s_if = NetIf::attach(&server, server_ip, mask);
-    let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
+    let _s_if = NetIf::attach(&server, server_ip, mask);
+    let _c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
     w.run_to_idle();
 
-    let store = Store::new(std::sync::Arc::clone(server.runtime().rcu()));
+    let store = Store::new(Arc::clone(server.runtime().rcu()));
     // The shared small-class key; each connection owns its large key
     // and keeps re-SETting it over the network.
     store.insert_raw(
         b"sweep-small".to_vec(),
         IoBuf::copy_from(&vec![0x5A; cfg.small_value]),
     );
-    memcached::start_server(&s_if, &store);
+    let store_ref = store.register(server.runtime());
+    server.spawn_on(CoreId(0), move || memcached::serve(store_ref));
+    // Pre-grow every core's small-class cushion: phase compositions
+    // differ (a pure-GET phase wants many more per-segment header
+    // buffers on the server than the mixed warmup), and explicitly
+    // prewarming replaces the per-phase dry runs the sweep used to
+    // need to reach each phase's pool fixpoint. The allocations are
+    // real and counted — which is why they happen before the first
+    // measurement mark.
+    for machine in [&server, &client] {
+        for c in 0..cfg.cores {
+            machine.spawn_on(CoreId(c as u32), || {
+                ebbrt_core::iobuf::pool::prewarm(64);
+            });
+        }
+    }
+    w.run_to_idle();
 
     let ctrl = Rc::new(Controller {
         phase: Cell::new(WARMUP),
         waiting: Cell::new(0),
         nconns: cfg.conns,
         marks: RefCell::new(Vec::new()),
+        rt_marks: RefCell::new(Vec::new()),
         completed: Default::default(),
         client: Rc::clone(&client),
+        world: vec![Arc::clone(server.runtime()), Arc::clone(client.runtime())],
         conns: RefCell::new(Vec::new()),
     });
 
@@ -404,9 +445,8 @@ pub fn run(cfg: &SweepConfig) -> SweepReport {
         });
         ctrl.conns.borrow_mut().push(Rc::clone(&sc));
         let core = CoreId((i % cfg.cores) as u32);
-        let c_if2 = Rc::clone(&c_if);
         spawn_with(&client, core, sc, move |sc| {
-            let conn = c_if2.connect(
+            let conn = local_netif().connect(
                 server_ip,
                 memcached::MEMCACHED_PORT,
                 Rc::clone(&sc) as Rc<dyn ConnHandler>,
@@ -453,6 +493,18 @@ pub fn run(cfg: &SweepConfig) -> SweepReport {
     w.run_to_idle();
     assert_eq!(ctrl.phase.get(), DONE, "sweep did not complete");
 
+    if std::env::var_os("SWEEP_DEBUG").is_some() {
+        let rtm = ctrl.rt_marks.borrow();
+        for phase in 0..rtm.len() - 1 {
+            for (mi, name) in ["server", "client"].iter().enumerate() {
+                let d = rtm[phase + 1][mi].since(&rtm[phase][mi]);
+                eprintln!(
+                    "phase {phase} {name}: allocs={} small fb={} large fb={}",
+                    d.bufs_allocated, d.classes[0].fallback_allocs, d.classes[1].fallback_allocs
+                );
+            }
+        }
+    }
     let marks = ctrl.marks.borrow();
     let phase_report = |phase: usize| {
         let (ref before, t0) = marks[phase];
@@ -583,6 +635,7 @@ mod tests {
     #[test]
     fn four_core_skewed_sweep_holds_zero_copy_property() {
         let r = run(&SweepConfig::for_cores(4));
+        println!("{}", format_report(&r));
         assert!(r.cross_core_conns > 0, "RSS must split flows across cores");
         assert_properties(&r);
     }

@@ -43,15 +43,67 @@ impl fmt::Debug for EbbId {
 }
 
 /// First id handed out by the dynamic allocator; ids below this are
-/// reserved for well-known system Ebbs (memory allocator, event manager,
-/// network manager, ...), mirroring EbbRT's static id range.
+/// reserved for well-known system Ebbs ([`SystemEbb`]), mirroring
+/// EbbRT's static id range.
 pub const FIRST_DYNAMIC_ID: u32 = 64;
+
+/// The static well-known-id table: system objects every machine owns,
+/// named by fixed [`EbbId`]s below [`FIRST_DYNAMIC_ID`] — EbbRT's
+/// "well-known Ebbs" (memory allocator, event manager, network
+/// manager, …). A `SystemEbb` id resolves per *machine*: the same ref
+/// names the local instance on whichever runtime the caller has
+/// entered, which is what lets application code hold one copyable ref
+/// instead of threading `Rc` handles between machines by hand.
+///
+/// Ids 2 and 3 double as the *wire* ids the messenger routes by (the
+/// FileSystem and GlobalIdMap Ebbs of §4.3/§2.2), so they are part of
+/// the cross-machine protocol, not just the local table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u32)]
+pub enum SystemEbb {
+    /// The per-core buffer pool + IOBuf statistics
+    /// (`iobuf::pool::PoolEbb`). Lazily registered: its root is
+    /// `Default`, so no setup call is needed.
+    BufferPool = 1,
+    /// The FileSystem offload Ebb (`ebbrt-hosted`'s `fs`); also its
+    /// messenger wire id.
+    Fs = 2,
+    /// The GlobalIdMap naming service; also its messenger wire id.
+    GlobalMap = 3,
+    /// The network manager: per-core reps share the machine's `NetIf`
+    /// and expose its `NetStats`. Installed by `NetIf::attach`.
+    NetStats = 4,
+    /// The event system: reps resolve to the calling core's
+    /// `EventManager`. Registered by `Runtime::new`.
+    EventManager = 5,
+    /// The inter-machine messenger. Installed by `Messenger::start`.
+    Messenger = 6,
+}
+
+impl SystemEbb {
+    /// The well-known [`EbbId`] of this system object.
+    pub const fn id(self) -> EbbId {
+        EbbId(self as u32)
+    }
+}
 
 /// A multi-core Ebb: describes how to build a per-core representative
 /// from the instance's shared root state.
 ///
 /// The root is the Ebb's cross-core anchor (configuration, shared tables,
 /// cross-rep coordination state); reps typically hold a reference to it.
+///
+/// # Interior-mutability contract
+///
+/// Representatives are invoked through `&self` and are **single-core**
+/// objects: the runtime guarantees that a rep is only ever touched by
+/// the one thread currently executing on behalf of its core, and
+/// events are non-preemptive, so no call can interleave with another
+/// on the same core. `Cell` and `RefCell` are therefore the idiom for
+/// all mutable rep state — they compile to plain loads and stores, no
+/// atomics (the paper's "non-atomic operations to access per-core data
+/// structures", §3.2). Cross-core state belongs in the **root**, which
+/// is shared and must synchronize (`SpinLock`, atomics).
 pub trait MulticoreEbb: Sized + 'static {
     /// Shared (cross-core) state of one Ebb instance.
     type Root: Send + Sync + 'static;
@@ -199,6 +251,76 @@ impl EbbManager {
         f(rep)
     }
 
+    /// As [`Self::with_rep_on`], but a miss on an id with **no
+    /// registered root** registers `T::Root::default()` first — the
+    /// lazy-registration path system Ebbs use so they need no setup
+    /// call ([`SystemEbb::BufferPool`] is the canonical user). The
+    /// fast path is identical to `with_rep_on`: one indexed load and
+    /// one null check.
+    #[inline]
+    pub fn with_rep_lazy<T: MulticoreEbb, R>(
+        &self,
+        core: CoreId,
+        id: EbbId,
+        f: impl FnOnce(&T) -> R,
+    ) -> R
+    where
+        T::Root: Default,
+    {
+        debug_assert_eq!(cpu::try_current(), Some(core));
+        let idx = self.slot_index(core, id);
+        let p = self.slots[idx].load(Ordering::Acquire);
+        if p.is_null() {
+            return self.miss_lazy::<T, R>(id, core, f);
+        }
+        self.debug_check_type::<T>(id);
+        // SAFETY: as in `with_rep_on`.
+        let rep = unsafe { &*(p as *const T) };
+        f(rep)
+    }
+
+    /// Lazy miss path: ensure a root exists (first faulting core wins
+    /// the race under the roots lock), then take the ordinary miss.
+    #[cold]
+    fn miss_lazy<T: MulticoreEbb, R>(&self, id: EbbId, core: CoreId, f: impl FnOnce(&T) -> R) -> R
+    where
+        T::Root: Default,
+    {
+        {
+            let mut roots = self.roots.lock();
+            roots.entry(id.0).or_insert_with(|| RootEntry {
+                root: Arc::new(T::Root::default()),
+                type_id: TypeId::of::<T>(),
+                type_name: std::any::type_name::<T>(),
+            });
+        }
+        self.miss::<T, R>(id, core, f)
+    }
+
+    /// Visits every installed representative of `id`, in core order —
+    /// the read side of cross-core aggregation (summing per-core
+    /// statistics, diagnostics).
+    ///
+    /// # Caller contract
+    ///
+    /// Reps are single-core objects with unsynchronized interior state;
+    /// this walks them from the calling thread regardless. The caller
+    /// must guarantee the cores are quiescent with respect to `id` —
+    /// true on the simulation backend (one driving thread runs every
+    /// core) and on the threaded backend after its core threads join.
+    pub fn for_each_rep<T: MulticoreEbb>(&self, id: EbbId, mut f: impl FnMut(CoreId, &T)) {
+        self.debug_check_type::<T>(id);
+        for core in 0..self.ncores {
+            let p = self.slots[core * self.capacity + id.0 as usize].load(Ordering::Acquire);
+            if !p.is_null() {
+                // SAFETY: installed rep pointers are typed-checked
+                // against the registered root and live as long as the
+                // manager; quiescence is the caller's contract above.
+                f(CoreId(core as u32), unsafe { &*(p as *const T) });
+            }
+        }
+    }
+
     /// Miss path: build the rep from the root and install it.
     #[cold]
     fn miss<T: MulticoreEbb, R>(&self, id: EbbId, core: CoreId, f: impl FnOnce(&T) -> R) -> R {
@@ -327,14 +449,19 @@ impl<T: MulticoreEbb> EbbRef<T> {
     /// Creates a new Ebb instance in the current runtime: allocates an
     /// id, registers `root`, and returns the reference.
     pub fn create(root: T::Root) -> Self {
-        crate::runtime::with_current(|rt| {
-            let id = rt.ebbs().allocate_id();
-            rt.ebbs().register_root::<T>(id, root);
-            EbbRef {
-                id,
-                _marker: PhantomData,
-            }
-        })
+        crate::runtime::with_current(|rt| Self::create_in(rt, root))
+    }
+
+    /// As [`Self::create`], against an explicit runtime — the form the
+    /// simulation's harness thread uses to wire a machine up before
+    /// any of its events run.
+    pub fn create_in(rt: &crate::runtime::Runtime, root: T::Root) -> Self {
+        let id = rt.ebbs().allocate_id();
+        rt.ebbs().register_root::<T>(id, root);
+        EbbRef {
+            id,
+            _marker: PhantomData,
+        }
     }
 
     /// Wraps an existing id (for well-known/static Ebbs and for ids
@@ -344,6 +471,12 @@ impl<T: MulticoreEbb> EbbRef<T> {
             id,
             _marker: PhantomData,
         }
+    }
+
+    /// The ref for a well-known system Ebb — resolves to the current
+    /// machine's instance wherever it is dereferenced.
+    pub fn well_known(which: SystemEbb) -> Self {
+        Self::from_id(which.id())
     }
 
     /// The underlying id.
@@ -370,6 +503,107 @@ impl<T: MulticoreEbb> EbbRef<T> {
                 .root::<T>(self.id)
                 .unwrap_or_else(|| panic!("no root registered for {:?}", self.id))
         })
+    }
+}
+
+impl<T: MulticoreEbb> EbbRef<T>
+where
+    T::Root: Default,
+{
+    /// As [`Self::with`], registering `T::Root::default()` on a miss
+    /// with no root — the no-setup path for system Ebbs whose shared
+    /// state has a sensible default ([`SystemEbb::BufferPool`]).
+    #[inline]
+    pub fn with_lazy<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        crate::runtime::with_current_on(|rt, core| rt.ebbs().with_rep_lazy(core, self.id, f))
+    }
+}
+
+/// An [`EbbRef`] that memoizes the resolved rep pointer **per core**,
+/// making steady-state dispatch one indexed load plus a runtime-id
+/// compare — measurably indistinguishable from a direct call (the
+/// `ebb_dispatch` bench reproduces the paper's Table 1 with it).
+///
+/// The cache is validated against [`Runtime::uid`]: runtime uids are
+/// unique and never reused, so a `CachedEbbRef` carried across
+/// runtimes (tests hosting several machines in one process) can never
+/// serve a stale pointer — a uid mismatch falls back to the
+/// translation table and re-memoizes.
+///
+/// Like a rep itself, a `CachedEbbRef` is a per-core-discipline object
+/// (`Cell` slots, `!Sync`): on the threaded backend each core keeps
+/// its own; the simulation's single driving thread may share one
+/// across the cores it multiplexes.
+///
+/// [`Runtime::uid`]: crate::runtime::Runtime::uid
+pub struct CachedEbbRef<T: MulticoreEbb> {
+    id: EbbId,
+    /// Per-core memo: (runtime uid, rep pointer). Uid 0 never matches.
+    slots: Box<[std::cell::Cell<(u64, *const ())>]>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: MulticoreEbb> CachedEbbRef<T> {
+    /// Wraps `ebb` with a rep-pointer cache sized for the current
+    /// dispatch context's core count. Used on a machine with more
+    /// cores, out-of-range cores dispatch uncached (still correct).
+    pub fn new(ebb: EbbRef<T>) -> Self {
+        let ncores = crate::runtime::with_context(|rt, _| rt.ncores());
+        CachedEbbRef {
+            id: ebb.id(),
+            slots: (0..ncores)
+                .map(|_| std::cell::Cell::new((0, std::ptr::null())))
+                .collect(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The cached ref for a well-known system Ebb.
+    pub fn well_known(which: SystemEbb) -> Self {
+        Self::new(EbbRef::well_known(which))
+    }
+
+    /// The underlying id.
+    pub fn id(&self) -> EbbId {
+        self.id
+    }
+
+    /// Invokes `f` on the calling core's representative. Steady state:
+    /// one thread-local read, one uid compare, one indexed load.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        crate::runtime::with_current_on(|rt, core| {
+            let i = core.index();
+            if i < self.slots.len() {
+                let (uid, p) = self.slots[i].get();
+                if uid == rt.uid() {
+                    // SAFETY: the uid matches the live, entered runtime
+                    // (uids are never reused), so `p` is the pointer its
+                    // manager installed for (core, id) under rep type
+                    // `T`; reps are freed only when the manager drops,
+                    // which the entered runtime's Arc forestalls.
+                    let rep = unsafe { &*(p as *const T) };
+                    return f(rep);
+                }
+            }
+            rt.ebbs().with_rep_on(core, self.id, |rep: &T| {
+                if i < self.slots.len() {
+                    self.slots[i].set((rt.uid(), rep as *const T as *const ()));
+                }
+                f(rep)
+            })
+        })
+    }
+}
+
+impl<T: MulticoreEbb> fmt::Debug for CachedEbbRef<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CachedEbbRef<{}>({})",
+            std::any::type_name::<T>(),
+            self.id.0
+        )
     }
 }
 
@@ -490,6 +724,142 @@ mod tests {
             },
         );
         assert_eq!(mgr.with_rep::<CounterEbb, _>(id, |r| r.bump()), 42);
+    }
+
+    #[test]
+    fn concurrent_miss_faults_exactly_one_rep_per_core() {
+        // The miss-path race: N threads, bound to N distinct cores of
+        // one runtime, fault the same id at the same moment through the
+        // *lazy* path (no pre-registered root, so root registration
+        // races too). Exactly one root and one rep per core may result.
+        use crate::clock::ManualClock;
+        use crate::runtime::{self, Runtime};
+        use crate::spinlock::SpinBarrier;
+        const N: usize = 8;
+        let rt = Runtime::new(N, Arc::new(ManualClock::new()));
+        let id = rt.ebbs().allocate_id();
+        let barrier = Arc::new(SpinBarrier::new(N));
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let rt = Arc::clone(&rt);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let _g = runtime::enter(Arc::clone(&rt), CoreId(i as u32));
+                    barrier.wait();
+                    let ebb = EbbRef::<CounterEbb>::from_id(id);
+                    let mut last = 0;
+                    for _ in 0..64 {
+                        last = ebb.with_lazy(|r| r.bump());
+                    }
+                    last
+                })
+            })
+            .collect();
+        for h in handles {
+            // Each core's rep counted its own 64 bumps: no sharing, no
+            // double-construction clobbering counts.
+            assert_eq!(h.join().unwrap(), 64);
+        }
+        let root = rt.ebbs().root::<CounterEbb>(id).expect("root registered");
+        assert_eq!(root.reps_created.load(Ordering::SeqCst), N);
+        for i in 0..N {
+            assert!(rt.ebbs().has_rep(id, CoreId(i as u32)));
+        }
+    }
+
+    struct TagEbb {
+        tag: u64,
+    }
+    impl MulticoreEbb for TagEbb {
+        type Root = u64;
+        fn create_rep(root: &Arc<u64>, _: CoreId) -> Self {
+            TagEbb { tag: **root }
+        }
+    }
+
+    #[test]
+    fn cached_ref_revalidates_across_runtimes() {
+        use crate::clock::ManualClock;
+        use crate::runtime::{self, Runtime};
+        let clock = Arc::new(ManualClock::new());
+        let rt1 = Runtime::new(1, clock.clone());
+        let rt2 = Runtime::new(1, clock);
+        let id1 = rt1.ebbs().allocate_id();
+        let id2 = rt2.ebbs().allocate_id();
+        assert_eq!(id1, id2, "both allocators start at FIRST_DYNAMIC_ID");
+        rt1.ebbs().register_root::<TagEbb>(id1, 1u64);
+        rt2.ebbs().register_root::<TagEbb>(id2, 2u64);
+        let cached = {
+            let _g = runtime::enter(Arc::clone(&rt1), CoreId(0));
+            let c = CachedEbbRef::new(EbbRef::<TagEbb>::from_id(id1));
+            assert_eq!(c.with(|t| t.tag), 1);
+            assert_eq!(c.with(|t| t.tag), 1, "steady state serves the memo");
+            c
+        };
+        {
+            // Same ref, different machine: the uid guard must force a
+            // re-resolve, not serve rt1's pointer.
+            let _g = runtime::enter(Arc::clone(&rt2), CoreId(0));
+            assert_eq!(cached.with(|t| t.tag), 2);
+        }
+        {
+            let _g = runtime::enter(Arc::clone(&rt1), CoreId(0));
+            assert_eq!(cached.with(|t| t.tag), 1);
+        }
+    }
+
+    #[test]
+    fn cached_ref_out_of_range_core_dispatches_uncached() {
+        use crate::clock::ManualClock;
+        use crate::runtime::{self, Runtime};
+        let small = Runtime::new(1, Arc::new(ManualClock::new()));
+        let big = Runtime::new(4, Arc::new(ManualClock::new()));
+        let id = big.ebbs().allocate_id();
+        big.ebbs().register_root::<TagEbb>(id, 7u64);
+        // Cache sized for the 1-core machine…
+        let cached = {
+            let _g = runtime::enter(Arc::clone(&small), CoreId(0));
+            CachedEbbRef::new(EbbRef::<TagEbb>::from_id(id))
+        };
+        // …used from core 3 of the 4-core machine: falls back to the
+        // translation table.
+        let _g = runtime::enter(Arc::clone(&big), CoreId(3));
+        assert_eq!(cached.with(|t| t.tag), 7);
+    }
+
+    #[test]
+    fn lazy_path_registers_default_root_once() {
+        use crate::clock::ManualClock;
+        use crate::runtime::{self, Runtime};
+        let rt = Runtime::new(1, Arc::new(ManualClock::new()));
+        let _g = runtime::enter(Arc::clone(&rt), CoreId(0));
+        let ebb = EbbRef::<CounterEbb>::from_id(EbbId(33));
+        assert!(rt.ebbs().root::<CounterEbb>(EbbId(33)).is_none());
+        assert_eq!(ebb.with_lazy(|r| r.bump()), 1);
+        let root = rt
+            .ebbs()
+            .root::<CounterEbb>(EbbId(33))
+            .expect("default root registered by the miss");
+        assert_eq!(root.reps_created.load(Ordering::SeqCst), 1);
+        // Steady state: the fast path, no second registration/rep.
+        assert_eq!(ebb.with_lazy(|r| r.bump()), 2);
+        assert_eq!(root.reps_created.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn well_known_table_is_stable_and_reserved() {
+        for w in [
+            SystemEbb::BufferPool,
+            SystemEbb::Fs,
+            SystemEbb::GlobalMap,
+            SystemEbb::NetStats,
+            SystemEbb::EventManager,
+            SystemEbb::Messenger,
+        ] {
+            assert!(w.id().0 < FIRST_DYNAMIC_ID, "{w:?} must be well-known");
+        }
+        assert_eq!(SystemEbb::Fs.id(), EbbId(2), "wire id: messenger fs");
+        assert_eq!(SystemEbb::GlobalMap.id(), EbbId(3), "wire id: naming");
     }
 
     #[test]

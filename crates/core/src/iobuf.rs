@@ -58,95 +58,72 @@ use std::sync::Arc;
 ///   [`MutIoBuf::from_vec`]. Pool hits recycle storage and count under
 ///   [`pool_hits`](stats::pool_hits) instead.
 ///
-/// Counters are per-core (thread-local cells, like the slab's
-/// fast-path statistics): no synchronization on the hot path, and —
-/// because events are non-preemptive — exact. The simulation backend
-/// drives every machine from one thread, so there a single set of
-/// cells observes the whole world, which is precisely what the
-/// benchmarks read.
+/// Counters are per-core **representative state of the buffer-pool
+/// Ebb** ([`pool::PoolEbb`]): plain `Cell`s, no synchronization on the
+/// hot path, and — because events are non-preemptive — exact. Every
+/// read and write resolves through the well-known
+/// [`SystemEbb::BufferPool`](crate::ebb::SystemEbb) id against the
+/// calling thread's dispatch context (the entered runtime, or the
+/// thread's private ambient core outside one —
+/// [`crate::runtime::with_context`]), so counters are per *machine*:
+/// use [`stats::runtime_snapshot`] to aggregate one machine's cores,
+/// and sum machines for a whole simulated world.
 pub mod stats {
-    use super::pool::{SizeClass, NUM_CLASSES};
-    use std::cell::Cell;
-
-    thread_local! {
-        static BYTES_COPIED: Cell<u64> = const { Cell::new(0) };
-        static BUFS_ALLOCATED: Cell<u64> = const { Cell::new(0) };
-        static CLASS_HITS: [Cell<u64>; NUM_CLASSES] = const { [Cell::new(0), Cell::new(0)] };
-        static CLASS_RETURNS: [Cell<u64>; NUM_CLASSES] = const { [Cell::new(0), Cell::new(0)] };
-        static CLASS_FALLBACKS: [Cell<u64>; NUM_CLASSES] = const { [Cell::new(0), Cell::new(0)] };
-        static CLASS_DEPOT_IN: [Cell<u64>; NUM_CLASSES] = const { [Cell::new(0), Cell::new(0)] };
-        static CLASS_DEPOT_OUT: [Cell<u64>; NUM_CLASSES] = const { [Cell::new(0), Cell::new(0)] };
-        static OVERSIZE_ALLOCS: Cell<u64> = const { Cell::new(0) };
-    }
+    use super::pool::{self, SizeClass, NUM_CLASSES};
+    use crate::ebb::SystemEbb;
+    use crate::runtime::Runtime;
 
     pub(super) fn record_copy(n: usize) {
-        BYTES_COPIED.with(|c| c.set(c.get() + n as u64));
+        pool::with_pool(|p| {
+            let c = &p.counters.bytes_copied;
+            c.set(c.get() + n as u64);
+        });
     }
 
     pub(super) fn record_alloc() {
-        BUFS_ALLOCATED.with(|c| c.set(c.get() + 1));
-    }
-
-    pub(super) fn record_pool_hit(class: SizeClass) {
-        CLASS_HITS.with(|c| {
-            let c = &c[class.index()];
+        pool::with_pool(|p| {
+            let c = &p.counters.bufs_allocated;
             c.set(c.get() + 1);
-        });
-    }
-
-    pub(super) fn record_pool_return(class: SizeClass) {
-        CLASS_RETURNS.with(|c| {
-            let c = &c[class.index()];
-            c.set(c.get() + 1);
-        });
-    }
-
-    pub(super) fn record_fallback(class: SizeClass) {
-        CLASS_FALLBACKS.with(|c| {
-            let c = &c[class.index()];
-            c.set(c.get() + 1);
-        });
-    }
-
-    pub(super) fn record_depot_in(class: SizeClass, n: usize) {
-        CLASS_DEPOT_IN.with(|c| {
-            let c = &c[class.index()];
-            c.set(c.get() + n as u64);
-        });
-    }
-
-    pub(super) fn record_depot_out(class: SizeClass, n: usize) {
-        CLASS_DEPOT_OUT.with(|c| {
-            let c = &c[class.index()];
-            c.set(c.get() + n as u64);
         });
     }
 
     pub(super) fn record_oversize() {
-        OVERSIZE_ALLOCS.with(|c| c.set(c.get() + 1));
+        pool::with_pool(|p| {
+            let a = &p.counters.bufs_allocated;
+            a.set(a.get() + 1);
+            let c = &p.counters.oversize_allocs;
+            c.set(c.get() + 1);
+        });
     }
 
-    /// Payload bytes copied between buffers on this core.
+    /// Payload bytes copied between buffers in this dispatch context
+    /// (the calling core's pool rep).
     pub fn bytes_copied() -> u64 {
-        BYTES_COPIED.with(Cell::get)
+        pool::with_pool(|p| p.counters.bytes_copied.get())
     }
 
-    /// Fresh buffer-storage allocations on this core (all classes plus
-    /// over-sized and caller-wrapped storage).
+    /// Fresh buffer-storage allocations in this dispatch context (all
+    /// classes plus over-sized and caller-wrapped storage).
     pub fn bufs_allocated() -> u64 {
-        BUFS_ALLOCATED.with(Cell::get)
+        pool::with_pool(|p| p.counters.bufs_allocated.get())
     }
 
-    /// Buffer requests served by recycling pooled storage on this core,
-    /// summed over all size classes.
+    /// Buffer requests served by recycling pooled storage in this
+    /// dispatch context, summed over all size classes.
     pub fn pool_hits() -> u64 {
-        CLASS_HITS.with(|c| c.iter().map(Cell::get).sum())
+        pool::with_pool(|p| p.counters.class_hits.iter().map(std::cell::Cell::get).sum())
     }
 
     /// Pooled regions returned to a free list on final descriptor drop
-    /// on this core, summed over all size classes.
+    /// in this dispatch context, summed over all size classes.
     pub fn pool_returns() -> u64 {
-        CLASS_RETURNS.with(|c| c.iter().map(Cell::get).sum())
+        pool::with_pool(|p| {
+            p.counters
+                .class_returns
+                .iter()
+                .map(std::cell::Cell::get)
+                .sum()
+        })
     }
 
     /// Per-class pool activity on this core.
@@ -170,21 +147,21 @@ pub mod stats {
         pub depot_in: u64,
     }
 
-    /// Reads one class's counters.
+    /// Reads one class's counters (this dispatch context).
     pub fn class_counters(class: SizeClass) -> ClassCounters {
         let i = class.index();
-        ClassCounters {
-            hits: CLASS_HITS.with(|c| c[i].get()),
-            returns: CLASS_RETURNS.with(|c| c[i].get()),
-            fallback_allocs: CLASS_FALLBACKS.with(|c| c[i].get()),
-            depot_out: CLASS_DEPOT_OUT.with(|c| c[i].get()),
-            depot_in: CLASS_DEPOT_IN.with(|c| c[i].get()),
-        }
+        pool::with_pool(|p| ClassCounters {
+            hits: p.counters.class_hits[i].get(),
+            returns: p.counters.class_returns[i].get(),
+            fallback_allocs: p.counters.class_fallbacks[i].get(),
+            depot_out: p.counters.class_depot_out[i].get(),
+            depot_in: p.counters.class_depot_in[i].get(),
+        })
     }
 
     /// Allocations too large for any size class (exact-size, unpooled).
     pub fn oversize_allocs() -> u64 {
-        OVERSIZE_ALLOCS.with(Cell::get)
+        pool::with_pool(|p| p.counters.oversize_allocs.get())
     }
 
     /// A point-in-time reading of all counters, aggregate and per
@@ -205,19 +182,38 @@ pub mod stats {
         pub classes: [ClassCounters; NUM_CLASSES],
     }
 
-    /// Reads all counters at once.
+    /// Reads all counters at once (this dispatch context).
     pub fn snapshot() -> Snapshot {
-        Snapshot {
-            bytes_copied: bytes_copied(),
-            bufs_allocated: bufs_allocated(),
-            pool_hits: pool_hits(),
-            pool_returns: pool_returns(),
-            oversize_allocs: oversize_allocs(),
-            classes: [
-                class_counters(SizeClass::Small),
-                class_counters(SizeClass::Large),
-            ],
+        pool::with_pool(|p| p.snapshot())
+    }
+
+    /// Sums the counters of **every core** of `rt` — the per-machine
+    /// reading benchmarks take around a measured phase (a simulated
+    /// world sums this over its machines via [`Snapshot::merge`]).
+    ///
+    /// Walks the machine's installed pool reps from the calling
+    /// thread; the caller must hold the quiescence contract of
+    /// [`crate::ebb::EbbManager::for_each_rep`] (trivially true on the
+    /// simulation backend's single driving thread).
+    pub fn runtime_snapshot(rt: &Runtime) -> Snapshot {
+        let mut acc = Snapshot::default();
+        rt.ebbs()
+            .for_each_rep::<pool::PoolEbb>(SystemEbb::BufferPool.id(), |_core, rep| {
+                acc.merge(&rep.snapshot());
+            });
+        acc
+    }
+
+    /// Sums [`runtime_snapshot`] over every machine of a simulated
+    /// world — the reading the cross-machine zero-copy assertions
+    /// take (a request path's allocations land on both ends of the
+    /// wire).
+    pub fn world_snapshot<'a>(rts: impl IntoIterator<Item = &'a Runtime>) -> Snapshot {
+        let mut acc = Snapshot::default();
+        for rt in rts {
+            acc.merge(&runtime_snapshot(rt));
         }
+        acc
     }
 
     impl ClassCounters {
@@ -253,21 +249,50 @@ pub mod stats {
         pub fn class(&self, class: SizeClass) -> &ClassCounters {
             &self.classes[class.index()]
         }
+
+        /// Accumulates `other` into `self` (summing across cores or
+        /// machines).
+        pub fn merge(&mut self, other: &Snapshot) {
+            self.bytes_copied += other.bytes_copied;
+            self.bufs_allocated += other.bufs_allocated;
+            self.pool_hits += other.pool_hits;
+            self.pool_returns += other.pool_returns;
+            self.oversize_allocs += other.oversize_allocs;
+            for (mine, theirs) in self.classes.iter_mut().zip(other.classes.iter()) {
+                mine.hits += theirs.hits;
+                mine.returns += theirs.returns;
+                mine.fallback_allocs += theirs.fallback_allocs;
+                mine.depot_out += theirs.depot_out;
+                mine.depot_in += theirs.depot_in;
+            }
+        }
     }
 }
 
-/// Per-core, multi-size-class buffer pools.
+/// Per-core, multi-size-class buffer pools — **an Ebb**.
 ///
-/// The design mirrors the `ebbrt-mem` slab allocator (§3.4): each core
-/// keeps plain free lists touched with **no synchronization** — legal
-/// because events are non-preemptive and a core's lists are only ever
-/// used while a thread is bound to that core — and overflow/underflow
-/// moves batches through a shared, rarely-touched per-class depot.
-/// Lists are keyed by the *bound core* ([`crate::cpu::try_current`]),
-/// not by thread, so under the simulation backend (one driving thread
-/// binding each core around event delivery) the lists are genuinely
-/// per-core and cross-core buffer flows show up as depot migration,
-/// exactly as they would on the threaded backend.
+/// The pool is the canonical well-known system Ebb
+/// ([`crate::ebb::SystemEbb::BufferPool`]): its per-core
+/// *representatives* ([`pool::PoolEbb`]) are the unsynchronized free
+/// lists (plain `RefCell`/`Cell` state, legal because events are
+/// non-preemptive and a rep is only touched from its owning core) and
+/// its *root* ([`pool::PoolRoot`]) owns the shared per-class depots
+/// that batches migrate through. The design mirrors the `ebbrt-mem`
+/// slab allocator (§3.4), re-homed onto `EbbRef` dispatch: every
+/// allocation resolves the calling context's rep in one translation-
+/// table load, and the root is lazily registered (`Default`), so the
+/// pool needs no setup call.
+///
+/// Because the state lives in the runtime, pools are **per machine**:
+/// each simulated machine (and each test that creates a `Runtime`)
+/// owns an independent pool, and code outside any entered runtime gets
+/// a thread-private ambient context
+/// ([`crate::runtime::with_context`]) — which is why the old global
+/// test-serialization mutex is gone. A pooled region remembers its
+/// *home* root; a region freed under a different machine's runtime (a
+/// frame handed across the simulated wire) returns to its home depot,
+/// so each machine's buffer economy balances instead of leaking
+/// storage to whichever machine freed last.
 ///
 /// Pooled regions come in [`pool::NUM_CLASSES`] size classes
 /// ([`pool::SizeClass`]): a [`pool::SizeClass::Small`] class sized
@@ -290,9 +315,12 @@ pub mod stats {
 /// from the pool returns to the *freeing core's* list when the last
 /// descriptor referencing it drops.
 pub mod pool {
-    use super::stats;
-    use std::cell::RefCell;
-    use std::sync::Mutex;
+    use crate::cpu::CoreId;
+    use crate::ebb::{MulticoreEbb, SystemEbb};
+    use crate::runtime::{self, Runtime};
+    use crate::spinlock::SpinLock;
+    use std::cell::{Cell, RefCell};
+    use std::sync::Arc;
 
     /// Capacity of a [`SizeClass::Small`] region: one Ethernet MTU
     /// plus header and alignment room. Covers frames, header buffers,
@@ -380,89 +408,253 @@ pub mod pool {
         }
     }
 
-    /// One core's free lists, one per class.
+    /// The per-core statistic cells of one pool rep (read through
+    /// [`super::stats`]).
     #[derive(Default)]
-    struct CoreLists {
-        lists: [Vec<Box<[u8]>>; NUM_CLASSES],
+    pub(super) struct Counters {
+        pub(super) bytes_copied: Cell<u64>,
+        pub(super) bufs_allocated: Cell<u64>,
+        pub(super) oversize_allocs: Cell<u64>,
+        pub(super) class_hits: [Cell<u64>; NUM_CLASSES],
+        pub(super) class_returns: [Cell<u64>; NUM_CLASSES],
+        pub(super) class_fallbacks: [Cell<u64>; NUM_CLASSES],
+        pub(super) class_depot_in: [Cell<u64>; NUM_CLASSES],
+        pub(super) class_depot_out: [Cell<u64>; NUM_CLASSES],
     }
 
-    thread_local! {
-        /// Free lists indexed by bound-core slot (slot 0 = no core
-        /// bound — plain test threads; slot `c + 1` = core `c`). The
-        /// per-core non-preemption invariant makes unsynchronized
-        /// access sound; a thread only ever touches the slot of the
-        /// core it is currently bound to.
-        static LOCAL: RefCell<Vec<CoreLists>> = const { RefCell::new(Vec::new()) };
+    fn bump(c: &Cell<u64>) {
+        c.set(c.get() + 1);
     }
 
-    static DEPOTS: [Mutex<Vec<Box<[u8]>>>; NUM_CLASSES] =
-        [Mutex::new(Vec::new()), Mutex::new(Vec::new())];
-
-    /// The calling context's list slot: its bound core, or the
-    /// unbound slot.
-    fn slot() -> usize {
-        crate::cpu::try_current().map_or(0, |c| c.index() + 1)
+    fn add(c: &Cell<u64>, n: u64) {
+        c.set(c.get() + n);
     }
 
-    /// Runs `f` on the calling core's free list for `class`.
-    fn with_local<R>(class: SizeClass, f: impl FnOnce(&mut Vec<Box<[u8]>>) -> R) -> R {
-        let slot = slot();
-        LOCAL.with(|l| {
-            let mut lists = l.borrow_mut();
-            if lists.len() <= slot {
-                lists.resize_with(slot + 1, CoreLists::default);
+    /// One class's per-core state inside a rep.
+    #[derive(Default)]
+    struct ClassRep {
+        /// The unsynchronized free list (rep-local: `RefCell` is the
+        /// contract, see [`MulticoreEbb`]).
+        list: RefCell<Vec<Box<[u8]>>>,
+        /// Local takes since this core last balanced against the depot
+        /// (flushed or refilled). Zero means the list has *only ever
+        /// grown* since then — a chronically one-directional consumer
+        /// of other cores' buffers — and the effective high watermark
+        /// halves so the depot pipeline primes after half the parked
+        /// population (flux-adaptive hysteresis).
+        takes_since_balance: Cell<u64>,
+    }
+
+    /// The per-core representative of the buffer pool: the free lists
+    /// of every size class plus this core's IOBuf counters. Resolved
+    /// through [`SystemEbb::BufferPool`]; constructed lazily on each
+    /// core's first buffer operation.
+    pub struct PoolEbb {
+        root: Arc<PoolRoot>,
+        core: CoreId,
+        classes: [ClassRep; NUM_CLASSES],
+        pub(super) counters: Counters,
+    }
+
+    /// Free regions posted back by remote frees, one stack per home
+    /// core (see [`PoolRoot`]).
+    type Mailboxes = SpinLock<Vec<Vec<Box<[u8]>>>>;
+
+    /// The pool Ebb's shared root: per size class, one depot (the
+    /// rendezvous cross-core watermark migration goes through) plus
+    /// per-home-core **remote-free mailboxes** — a region freed under
+    /// a *different* machine's runtime (it crossed the simulated wire)
+    /// is posted to the mailbox of the core that allocated it, which
+    /// drains it on its next dry allocation. Without the mailboxes,
+    /// remote frees would pile into the shared depot and the busiest
+    /// core's batched refills would chronically starve the others into
+    /// fresh allocations. `Default`, so the pool registers itself on
+    /// first use.
+    #[derive(Default)]
+    pub struct PoolRoot {
+        depots: [SpinLock<Vec<Box<[u8]>>>; NUM_CLASSES],
+        /// `mailboxes[class][home_core]`, grown on demand.
+        mailboxes: [Mailboxes; NUM_CLASSES],
+    }
+
+    impl PoolRoot {
+        /// Regions of `class` parked in this machine's depot.
+        pub fn depot_len(&self, class: SizeClass) -> usize {
+            self.depots[class.index()].lock().len()
+        }
+
+        /// Regions of `class` awaiting home-core pickup in mailboxes.
+        pub fn mailbox_len(&self, class: SizeClass) -> usize {
+            self.mailboxes[class.index()]
+                .lock()
+                .iter()
+                .map(Vec::len)
+                .sum()
+        }
+    }
+
+    impl MulticoreEbb for PoolEbb {
+        type Root = PoolRoot;
+
+        fn create_rep(root: &Arc<PoolRoot>, core: CoreId) -> Self {
+            PoolEbb {
+                root: Arc::clone(root),
+                core,
+                classes: Default::default(),
+                counters: Counters::default(),
             }
-            f(&mut lists[slot].lists[class.index()])
+        }
+    }
+
+    impl PoolEbb {
+        /// A point-in-time reading of this rep's counters.
+        pub fn snapshot(&self) -> super::stats::Snapshot {
+            let class = |i: usize| super::stats::ClassCounters {
+                hits: self.counters.class_hits[i].get(),
+                returns: self.counters.class_returns[i].get(),
+                fallback_allocs: self.counters.class_fallbacks[i].get(),
+                depot_out: self.counters.class_depot_out[i].get(),
+                depot_in: self.counters.class_depot_in[i].get(),
+            };
+            super::stats::Snapshot {
+                bytes_copied: self.counters.bytes_copied.get(),
+                bufs_allocated: self.counters.bufs_allocated.get(),
+                pool_hits: self.counters.class_hits.iter().map(Cell::get).sum(),
+                pool_returns: self.counters.class_returns.iter().map(Cell::get).sum(),
+                oversize_allocs: self.counters.oversize_allocs.get(),
+                classes: [class(0), class(1)],
+            }
+        }
+
+        /// This core's effective flush watermark for `class` right now
+        /// (halved while the list has only grown since the last
+        /// balance — the hysteresis quick win).
+        fn effective_watermark(&self, class: SizeClass) -> usize {
+            let wm = class.high_watermark();
+            if self.classes[class.index()].takes_since_balance.get() == 0 {
+                wm / 2
+            } else {
+                wm
+            }
+        }
+    }
+
+    /// Dispatches `f` against the calling context's pool rep — the
+    /// buffer layer's Ebb call. Inside an entered runtime this is the
+    /// paper's fast path (thread-local read, indexed load, null
+    /// check); outside one it resolves the thread's private ambient
+    /// context.
+    #[inline]
+    pub(super) fn with_pool<R>(f: impl FnOnce(&PoolEbb) -> R) -> R {
+        runtime::with_context(|rt, core| {
+            rt.ebbs()
+                .with_rep_lazy::<PoolEbb, R>(core, SystemEbb::BufferPool.id(), f)
         })
     }
 
-    fn depot(class: SizeClass) -> std::sync::MutexGuard<'static, Vec<Box<[u8]>>> {
-        DEPOTS[class.index()]
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    /// Takes a pooled region of `class` if one is available (the
-    /// calling core's list first, then a batch from the depot —
-    /// counted as [`stats::ClassCounters::depot_out`] migration).
-    pub(super) fn take(class: SizeClass) -> Option<Box<[u8]>> {
-        with_local(class, |local| {
-            if let Some(b) = local.pop() {
-                return Some(b);
+    /// Acquires a region of `class`: the calling core's list, then its
+    /// remote-free mailbox, then a refill batch from the depot (both
+    /// counted as [`super::stats::ClassCounters::depot_out`]
+    /// migration), then a fresh — still pool-shaped, still
+    /// recyclable — allocation (counted as a fallback). Returns the
+    /// region and its home `(root, core)`.
+    pub(super) fn acquire(class: SizeClass) -> (Box<[u8]>, Arc<PoolRoot>, CoreId) {
+        with_pool(|p| {
+            let i = class.index();
+            let cl = &p.classes[i];
+            let mut list = cl.list.borrow_mut();
+            if let Some(b) = list.pop() {
+                bump(&cl.takes_since_balance);
+                bump(&p.counters.class_hits[i]);
+                return (b, Arc::clone(&p.root), p.core);
             }
-            let mut depot = depot(class);
-            if depot.is_empty() {
-                return None;
+            // Dry: collect everything peers posted back to this core's
+            // mailbox (regions we allocated that crossed the wire and
+            // were freed under another machine's runtime).
+            {
+                let mut boxes = p.root.mailboxes[i].lock();
+                if let Some(mine) = boxes.get_mut(p.core.index()) {
+                    if !mine.is_empty() {
+                        add(&p.counters.class_depot_out[i], mine.len() as u64);
+                        list.append(mine);
+                    }
+                }
             }
-            let take = depot.len().min(class.batch());
-            let from = depot.len() - take;
-            local.extend(depot.drain(from..));
+            if let Some(b) = list.pop() {
+                cl.takes_since_balance.set(1); // drained = balanced
+                bump(&p.counters.class_hits[i]);
+                return (b, Arc::clone(&p.root), p.core);
+            }
+            let mut depot = p.root.depots[i].lock();
+            if !depot.is_empty() {
+                let take = depot.len().min(class.batch());
+                let from = depot.len() - take;
+                list.extend(depot.drain(from..));
+                drop(depot);
+                add(&p.counters.class_depot_out[i], take as u64);
+                // A refill is a balance; the pop below is the first
+                // take since it.
+                cl.takes_since_balance.set(1);
+                bump(&p.counters.class_hits[i]);
+                return (list.pop().expect("refilled"), Arc::clone(&p.root), p.core);
+            }
             drop(depot);
-            stats::record_depot_out(class, take);
-            local.pop()
+            bump(&p.counters.bufs_allocated);
+            bump(&p.counters.class_fallbacks[i]);
+            // A fallback is local demand: it counts against the
+            // hysteresis like a take, so a core that allocates keeps
+            // the full watermark.
+            bump(&cl.takes_since_balance);
+            (
+                vec![0u8; class.capacity()].into_boxed_slice(),
+                Arc::clone(&p.root),
+                p.core,
+            )
         })
     }
 
-    /// Returns a region to the calling core's free list, flushing a
-    /// batch of cold entries to the depot past the class's high
-    /// watermark (counted as [`stats::ClassCounters::depot_in`]
-    /// migration).
-    pub(super) fn recycle(class: SizeClass, buf: Box<[u8]>) {
+    /// Returns a region to the calling context, flushing a batch of
+    /// cold entries to the depot past the class's effective high
+    /// watermark. A region whose `home` is a *different* machine's
+    /// pool (it crossed the simulated wire) is posted to its home
+    /// core's mailbox instead, so each core's buffer economy balances
+    /// — the hot core's headers come back to the hot core.
+    pub(super) fn recycle(
+        class: SizeClass,
+        home: &Arc<PoolRoot>,
+        home_core: CoreId,
+        buf: Box<[u8]>,
+    ) {
         debug_assert_eq!(buf.len(), class.capacity());
-        stats::record_pool_return(class);
-        with_local(class, |local| {
-            local.push(buf);
-            if local.len() >= class.high_watermark() {
+        with_pool(|p| {
+            let i = class.index();
+            bump(&p.counters.class_returns[i]);
+            if !Arc::ptr_eq(&p.root, home) {
+                // Cross-machine free: home-return through the owner's
+                // mailbox (producer half of the migration pipeline).
+                let mut boxes = home.mailboxes[i].lock();
+                if boxes.len() <= home_core.index() {
+                    boxes.resize_with(home_core.index() + 1, Vec::new);
+                }
+                boxes[home_core.index()].push(buf);
+                bump(&p.counters.class_depot_in[i]);
+                return;
+            }
+            let cl = &p.classes[i];
+            let mut list = cl.list.borrow_mut();
+            list.push(buf);
+            if list.len() >= p.effective_watermark(class) {
                 // Flush the cold end; recently freed regions stay local
                 // for cache-warm reuse (same policy as the slab).
-                let batch: Vec<Box<[u8]>> = local.drain(..class.batch()).collect();
-                stats::record_depot_in(class, batch.len());
-                depot(class).extend(batch);
+                let batch: Vec<Box<[u8]>> = list.drain(..class.batch()).collect();
+                add(&p.counters.class_depot_in[i], batch.len() as u64);
+                p.root.depots[i].lock().extend(batch);
+                cl.takes_since_balance.set(0);
             }
         })
     }
 
-    /// Pre-fills the calling core's [`SizeClass::Small`] free list
+    /// Pre-fills the calling context's [`SizeClass::Small`] free list
     /// with `n` fresh regions so a benchmark's steady state starts
     /// pool-hot. The fresh allocations are counted (they are real),
     /// which is why benchmarks snapshot counters *after* prewarming.
@@ -470,75 +662,85 @@ pub mod pool {
         prewarm_class(SizeClass::Small, n);
     }
 
-    /// Pre-fills the calling core's free list for `class` with `n`
-    /// fresh regions (counted by [`stats::bufs_allocated`]).
+    /// Pre-fills the calling context's free list for `class` with `n`
+    /// fresh regions (counted by [`super::stats::bufs_allocated`]).
     pub fn prewarm_class(class: SizeClass, n: usize) {
-        with_local(class, |local| {
+        with_pool(|p| {
+            let mut list = p.classes[class.index()].list.borrow_mut();
             for _ in 0..n {
-                stats::record_alloc();
-                local.push(vec![0u8; class.capacity()].into_boxed_slice());
+                bump(&p.counters.bufs_allocated);
+                list.push(vec![0u8; class.capacity()].into_boxed_slice());
             }
         })
     }
 
-    /// [`SizeClass::Small`] regions on the calling core's free list
+    /// [`SizeClass::Small`] regions on the calling context's free list
     /// (diagnostic).
     pub fn local_free() -> usize {
         local_free_class(SizeClass::Small)
     }
 
-    /// Regions of `class` on the calling core's free list
+    /// Regions of `class` on the calling context's free list
     /// (diagnostic).
     pub fn local_free_class(class: SizeClass) -> usize {
-        with_local(class, |local| local.len())
+        with_pool(|p| p.classes[class.index()].list.borrow().len())
     }
 
-    /// [`SizeClass::Small`] regions parked in the shared depot
+    /// [`SizeClass::Small`] regions parked in this machine's depot
     /// (diagnostic).
     pub fn depot_free() -> usize {
         depot_free_class(SizeClass::Small)
     }
 
-    /// Regions of `class` parked in the shared depot (diagnostic).
+    /// Regions of `class` parked in this machine's depot (diagnostic).
     pub fn depot_free_class(class: SizeClass) -> usize {
-        depot(class).len()
+        with_pool(|p| p.root.depots[class.index()].lock().len())
+    }
+
+    /// Free regions of `class` across all of `rt`'s cores plus its
+    /// depot: `(local_total, depot)`. Same quiescence contract as
+    /// [`super::stats::runtime_snapshot`].
+    pub fn runtime_free_counts(rt: &Runtime, class: SizeClass) -> (usize, usize) {
+        let mut local = 0;
+        let mut depot = 0;
+        let mut seen_root = false;
+        rt.ebbs()
+            .for_each_rep::<PoolEbb>(SystemEbb::BufferPool.id(), |_core, rep| {
+                local += rep.classes[class.index()].list.borrow().len();
+                if !seen_root {
+                    seen_root = true;
+                    depot = rep.root.depot_len(class);
+                }
+            });
+        (local, depot)
     }
 }
 
-/// The backing store of a buffer: an owned byte region plus the size
-/// class it recycles into (via the [`pool`]) when the last descriptor
-/// drops, if any.
+/// The backing store of a buffer: an owned byte region plus, for
+/// pooled storage, its size class and *home* pool root — the machine
+/// whose pool it recycles into when the last descriptor drops.
 struct Region {
     /// `Some` until drop; taken by the pool on recycle.
     data: Option<Box<[u8]>>,
-    pooled: Option<pool::SizeClass>,
+    pooled: Option<(pool::SizeClass, Arc<pool::PoolRoot>, crate::cpu::CoreId)>,
 }
 
 impl Region {
     /// Allocates (or recycles) storage of at least `capacity` bytes.
     /// Requests are routed by length to the smallest size class that
-    /// fits ([`pool::class_for`]) and served from the per-core free
-    /// lists; anything beyond the largest class gets an exact-size
-    /// one-shot allocation.
+    /// fits ([`pool::class_for`]) and served through the buffer-pool
+    /// Ebb's per-core reps; anything beyond the largest class gets an
+    /// exact-size one-shot allocation.
     fn alloc(capacity: usize) -> Region {
         match pool::class_for(capacity) {
             Some(class) => {
-                if let Some(data) = pool::take(class) {
-                    stats::record_pool_hit(class);
-                    return Region {
-                        data: Some(data),
-                        pooled: Some(class),
-                    };
-                }
-                stats::record_alloc();
-                stats::record_fallback(class);
+                let (data, home, home_core) = pool::acquire(class);
                 Region {
-                    data: Some(vec![0u8; class.capacity()].into_boxed_slice()),
-                    pooled: Some(class),
+                    data: Some(data),
+                    pooled: Some((class, home, home_core)),
                 }
             }
             None => {
-                stats::record_alloc();
                 stats::record_oversize();
                 Region {
                     data: Some(vec![0u8; capacity].into_boxed_slice()),
@@ -556,6 +758,10 @@ impl Region {
         }
     }
 
+    fn size_class(&self) -> Option<pool::SizeClass> {
+        self.pooled.as_ref().map(|(class, ..)| *class)
+    }
+
     fn bytes(&self) -> &[u8] {
         self.data.as_deref().expect("region storage taken")
     }
@@ -567,9 +773,9 @@ impl Region {
 
 impl Drop for Region {
     fn drop(&mut self) {
-        if let Some(class) = self.pooled {
+        if let Some((class, home, home_core)) = self.pooled.take() {
             if let Some(data) = self.data.take() {
-                pool::recycle(class, data);
+                pool::recycle(class, &home, home_core, data);
             }
         }
     }
@@ -687,7 +893,7 @@ impl MutIoBuf {
 
     /// The size class serving this buffer's backing region, if pooled.
     pub fn size_class(&self) -> Option<pool::SizeClass> {
-        self.region.pooled
+        self.region.size_class()
     }
 
     /// Mutable access to the view window.
@@ -783,7 +989,7 @@ impl fmt::Debug for MutIoBuf {
             .field("headroom", &self.headroom())
             .field("len", &self.len)
             .field("tailroom", &self.tailroom())
-            .field("pooled", &self.region.pooled)
+            .field("pooled", &self.region.size_class())
             .finish()
     }
 }
@@ -1638,19 +1844,19 @@ mod tests {
         assert_eq!(pool::class_for(pool::LARGE_CAPACITY + 1), None);
     }
 
-    /// Serializes tests that allocate large-class buffers: the class
-    /// depot is process-global, so concurrent test threads would
-    /// otherwise steal each other's flushed batches and flake the
-    /// hit/refill assertions.
-    fn large_class_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        LOCK.lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    // NOTE: pool/depot state is runtime-owned (the buffer-pool Ebb);
+    // outside an entered runtime every test thread gets its own
+    // private ambient context, so these tests need no cross-test
+    // serialization — the old global `large_class_lock` mutex is gone.
+
+    /// A private machine for pool tests that need real multi-core
+    /// semantics.
+    fn test_runtime(ncores: usize) -> Arc<crate::runtime::Runtime> {
+        crate::runtime::Runtime::new(ncores, Arc::new(crate::clock::ManualClock::new()))
     }
 
     #[test]
     fn buffers_between_classes_use_large_pool() {
-        let _serial = large_class_lock();
         // A request just past the small class is served by the large
         // class, with the requested logical capacity enforced.
         let b = MutIoBuf::with_capacity(pool::SMALL_CAPACITY + 1);
@@ -1684,50 +1890,154 @@ mod tests {
 
     #[test]
     fn depot_balances_between_cores() {
-        use crate::cpu::{bind, CoreId};
+        use crate::cpu::CoreId;
+        use crate::runtime;
         use pool::SizeClass;
-        // The large-class depot is quieter than the small one, but
-        // still process-global: hold the serialization lock so no
-        // concurrent test steals the flushed batch mid-assertion.
-        let _serial = large_class_lock();
+        // Pool state is owned by this private runtime: no other test
+        // can steal the flushed batch mid-assertion (the reason the
+        // old global-pool design needed a serialization mutex).
+        let rt = test_runtime(2);
         let class = SizeClass::Large;
-        // Producer core 61: recycle past the high watermark, flushing
-        // a batch to the depot.
-        let before = stats::class_counters(class);
-        {
-            let _b = bind(CoreId(61));
+        // Producer core 0: recycle past the high watermark, flushing a
+        // batch to the depot.
+        let after_flush = {
+            let _g = runtime::enter(Arc::clone(&rt), CoreId(0));
+            let before = stats::class_counters(class);
             pool::prewarm_class(class, class.high_watermark());
             // Take one (hit) and return it: the return crosses the
             // watermark and flushes a batch.
             drop(MutIoBuf::with_capacity(pool::LARGE_CAPACITY));
-        }
-        let after_flush = stats::class_counters(class);
-        assert_eq!(
-            after_flush.depot_in - before.depot_in,
-            class.batch() as u64,
-            "crossing the watermark must flush one batch to the depot"
-        );
-        // Consumer core 62: empty local list refills a batch from the
+            let after_flush = stats::class_counters(class);
+            assert_eq!(
+                after_flush.depot_in - before.depot_in,
+                class.batch() as u64,
+                "crossing the watermark must flush one batch to the depot"
+            );
+            after_flush
+        };
+        // Consumer core 1: empty local list refills a batch from the
         // depot — cross-core migration, no fresh allocation.
         {
-            let _b = bind(CoreId(62));
+            let _g = runtime::enter(Arc::clone(&rt), CoreId(1));
             assert_eq!(pool::local_free_class(class), 0);
             let allocs0 = stats::bufs_allocated();
             let buf = MutIoBuf::with_capacity(pool::LARGE_CAPACITY);
             assert_eq!(buf.size_class(), Some(class));
             assert_eq!(stats::bufs_allocated(), allocs0, "refill, not alloc");
-            let after_refill = stats::class_counters(class);
-            assert_eq!(
-                after_refill.depot_out - after_flush.depot_out,
-                class.batch() as u64
-            );
+            // Migration is visible machine-wide: this core's depot_out
+            // grew by one batch since the producer's flush.
+            assert_eq!(stats::class_counters(class).depot_out, class.batch() as u64);
             assert_eq!(pool::local_free_class(class), class.batch() - 1);
+            let _ = after_flush;
+        }
+    }
+
+    #[test]
+    fn runtimes_keep_independent_pools_and_stats() {
+        // The satellite regression test: two machines in one process
+        // must not share pool state or counters — the property the old
+        // `thread_local!` + `static DEPOTS` design could not provide.
+        use crate::cpu::CoreId;
+        use crate::runtime;
+        let rt1 = test_runtime(1);
+        let rt2 = test_runtime(1);
+        {
+            let _g = runtime::enter(Arc::clone(&rt1), CoreId(0));
+            // Fresh machine: the first allocation is a counted
+            // fallback; its drop recycles into rt1's core-0 list.
+            drop(MutIoBuf::with_capacity(64));
+            assert_eq!(pool::local_free(), 1);
+        }
+        let s1 = stats::runtime_snapshot(&rt1);
+        assert_eq!(s1.bufs_allocated, 1);
+        assert_eq!(s1.pool_returns, 1);
+        // rt2 saw none of it — no reps even exist yet.
+        let s2 = stats::runtime_snapshot(&rt2);
+        assert_eq!(s2, stats::Snapshot::default());
+        {
+            let _g = runtime::enter(Arc::clone(&rt2), CoreId(0));
+            // rt1's recycled region is invisible here: rt2 must
+            // fresh-allocate, and its counters move independently.
+            assert_eq!(pool::local_free(), 0);
+            let allocs0 = stats::bufs_allocated();
+            assert_eq!(allocs0, 0);
+            let b = MutIoBuf::with_capacity(64);
+            assert!(b.is_pooled());
+            assert_eq!(stats::bufs_allocated(), 1);
+        }
+        // …and rt1's reading is unchanged by rt2's activity.
+        assert_eq!(stats::runtime_snapshot(&rt1), s1);
+    }
+
+    #[test]
+    fn pool_dispatch_works_from_events_and_harness_thread() {
+        // The same module-level API resolves to the entered machine's
+        // rep inside a runtime and to the thread's ambient context
+        // outside one — allocation sites don't care where they run.
+        use crate::cpu::CoreId;
+        use crate::runtime;
+        let ambient_free = pool::local_free();
+        let rt = test_runtime(1);
+        {
+            let _g = runtime::enter(Arc::clone(&rt), CoreId(0));
+            pool::prewarm(2);
+            assert_eq!(pool::local_free(), 2);
+        }
+        // Back on the harness thread: the ambient context, untouched.
+        assert_eq!(pool::local_free(), ambient_free);
+    }
+
+    #[test]
+    fn flux_adaptive_watermark_halves_for_pure_consumers() {
+        // Depot hysteresis: a core whose free list has only ever grown
+        // since its last balance (it frees buffers other cores
+        // allocate, never allocating itself) flushes at *half* the
+        // high watermark, priming the depot pipeline after half the
+        // parked population. A core with local demand keeps the full
+        // watermark.
+        use crate::cpu::CoreId;
+        use crate::runtime;
+        use pool::SizeClass;
+        let rt = test_runtime(2);
+        let class = SizeClass::Large;
+        let wm = class.high_watermark();
+        // Core 0 allocates wm/2 regions (local demand: fallbacks) and
+        // frees them locally: half the watermark must NOT flush there.
+        {
+            let _g = runtime::enter(Arc::clone(&rt), CoreId(0));
+            let bufs: Vec<MutIoBuf> = (0..wm / 2)
+                .map(|_| MutIoBuf::with_capacity(pool::LARGE_CAPACITY))
+                .collect();
+            drop(bufs);
+            assert_eq!(
+                stats::class_counters(class).depot_in,
+                0,
+                "a core with local demand keeps the full watermark"
+            );
+            assert_eq!(pool::local_free_class(class), wm / 2);
+        }
+        // Core 0 re-acquires them (pool hits) and core 1 — a pure
+        // consumer, zero local takes — frees them: the halved
+        // watermark flushes a batch after wm/2 returns.
+        let held: Vec<MutIoBuf> = {
+            let _g = runtime::enter(Arc::clone(&rt), CoreId(0));
+            (0..wm / 2)
+                .map(|_| MutIoBuf::with_capacity(pool::LARGE_CAPACITY))
+                .collect()
+        };
+        {
+            let _g = runtime::enter(Arc::clone(&rt), CoreId(1));
+            drop(held);
+            assert_eq!(
+                stats::class_counters(class).depot_in,
+                class.batch() as u64,
+                "a pure consumer must flush after wm/2 parked regions"
+            );
         }
     }
 
     #[test]
     fn pinned_bytes_dedupes_shared_regions() {
-        let _serial = large_class_lock();
         // Many MSS-like views of one large region pin it once.
         let mut big = MutIoBuf::with_capacity(20 * 1024);
         big.append(20 * 1024).fill(7);

@@ -11,20 +11,29 @@
 //! plus a hosted instance) inside one deterministic simulation.
 
 use std::cell::RefCell;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
 
 use crate::clock::{Clock, Ns};
 use crate::cpu::{self, CoreBinding, CoreId};
-use crate::ebb::EbbManager;
+use crate::ebb::{EbbManager, EbbRef, MulticoreEbb, SystemEbb};
 use crate::event::EventManager;
 use crate::rcu::RcuDomain;
+use crate::spinlock::SpinLock;
 
 /// Default Ebb id capacity per machine.
 pub const DEFAULT_EBB_CAPACITY: usize = 4096;
 
+/// Source of machine-unique runtime ids ([`Runtime::uid`]). Ids start
+/// at 1 and are never reused, so a stale cached rep pointer (see
+/// [`crate::ebb::CachedEbbRef`]) can never collide with a runtime
+/// allocated later at the same address.
+static NEXT_RUNTIME_UID: AtomicU64 = AtomicU64::new(1);
+
 /// One EbbRT machine instance.
 pub struct Runtime {
     ncores: usize,
+    uid: u64,
     clock: Arc<dyn Clock>,
     ebbs: EbbManager,
     events: Box<[EventManager]>,
@@ -48,18 +57,33 @@ impl Runtime {
             })
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        Arc::new(Runtime {
+        let rt = Arc::new(Runtime {
             ncores,
+            uid: NEXT_RUNTIME_UID.fetch_add(1, Ordering::Relaxed),
             clock,
             ebbs: EbbManager::new(ncores, capacity),
             events,
             rcu,
-        })
+        });
+        // Seed the well-known-id table: the event system is reachable
+        // through `SystemEbb::EventManager` from the moment the machine
+        // exists (reps fault in lazily, per core, on first dispatch).
+        rt.ebbs
+            .register_root::<EventManagerEbb>(SystemEbb::EventManager.id(), Arc::downgrade(&rt));
+        rt
     }
 
     /// Number of cores.
     pub fn ncores(&self) -> usize {
         self.ncores
+    }
+
+    /// This runtime's machine-unique id (never reused within the
+    /// process). [`crate::ebb::CachedEbbRef`] tags memoized rep
+    /// pointers with it so a cached pointer is never served across
+    /// runtimes.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// The machine's clock.
@@ -165,6 +189,30 @@ pub fn enter(rt: Arc<Runtime>, core: CoreId) -> EnterGuard {
     }
 }
 
+/// Installs a hand-placed representative on **every core** of `rt`
+/// under `id`, entering each core in turn. This is the registration
+/// path for system objects whose state cannot live in a
+/// `Send + Sync` root — a rep sharing one machine-wide `Rc`-owned
+/// object (the network manager, the messenger) is *installed*, not
+/// faulted from a root.
+///
+/// # Panics
+///
+/// Panics if any core already has a rep for `id` (one instance per
+/// machine).
+pub fn install_on_all_cores<T: 'static>(
+    rt: &Arc<Runtime>,
+    id: crate::ebb::EbbId,
+    mut make: impl FnMut(CoreId) -> T,
+) {
+    for i in 0..rt.ncores() {
+        let core = CoreId(i as u32);
+        let guard = enter(Arc::clone(rt), core);
+        rt.ebbs().install_rep(id, core, make(core));
+        drop(guard);
+    }
+}
+
 /// Whether the calling thread has entered a runtime.
 pub fn is_entered() -> bool {
     CURRENT.with(|c| !c.borrow().is_empty())
@@ -195,6 +243,148 @@ pub fn with_current_on<R>(f: impl FnOnce(&Runtime, CoreId) -> R) -> R {
     // created or dropped on this thread.
     let rt = unsafe { &*p };
     f(rt, CoreId(core))
+}
+
+// --- Ambient context ---------------------------------------------------
+//
+// System Ebbs (most importantly the buffer pool) are owned by a
+// runtime. Code that touches buffers without having entered one — unit
+// tests, benchmark setup on the harness thread — still needs a
+// translation table to resolve against. The *ambient runtime* is a
+// lazily created process-wide machine reserved for exactly that: each
+// unentered thread is leased its own private ambient core, so ambient
+// state is thread-isolated (the semantics the old `thread_local!` pool
+// provided) and the per-core non-preemption invariant holds — two live
+// threads never share an ambient core; a thread's lease returns to the
+// free list when it exits.
+
+/// Cores in the process-wide ambient runtime — the ceiling on
+/// concurrently live threads using system Ebbs outside any entered
+/// runtime.
+pub const AMBIENT_CORES: usize = 128;
+
+static AMBIENT: OnceLock<Arc<Runtime>> = OnceLock::new();
+
+struct AmbientLeases {
+    free: Vec<u32>,
+    next: u32,
+}
+
+static AMBIENT_LEASES: SpinLock<AmbientLeases> = SpinLock::new(AmbientLeases {
+    free: Vec::new(),
+    next: 0,
+});
+
+/// A thread's leased ambient core; returned on thread exit.
+struct AmbientLease(u32);
+
+impl Drop for AmbientLease {
+    fn drop(&mut self) {
+        AMBIENT_LEASES.lock().free.push(self.0);
+    }
+}
+
+thread_local! {
+    static AMBIENT_LEASE: RefCell<Option<AmbientLease>> = const { RefCell::new(None) };
+}
+
+/// The process-wide ambient runtime (created on first use).
+pub fn ambient() -> Arc<Runtime> {
+    Arc::clone(AMBIENT.get_or_init(|| {
+        Runtime::with_capacity(
+            AMBIENT_CORES,
+            Arc::new(crate::clock::ManualClock::new()),
+            crate::ebb::FIRST_DYNAMIC_ID as usize * 2,
+        )
+    }))
+}
+
+fn ambient_core() -> CoreId {
+    AMBIENT_LEASE.with(|l| {
+        let mut lease = l.borrow_mut();
+        if lease.is_none() {
+            let mut pool = AMBIENT_LEASES.lock();
+            let id = pool.free.pop().unwrap_or_else(|| {
+                let id = pool.next;
+                assert!(
+                    (id as usize) < AMBIENT_CORES,
+                    "more than {AMBIENT_CORES} concurrent threads using the ambient runtime"
+                );
+                pool.next = id + 1;
+                id
+            });
+            *lease = Some(AmbientLease(id));
+        }
+        CoreId(lease.as_ref().expect("just leased").0)
+    })
+}
+
+#[cold]
+fn with_ambient<R>(f: impl FnOnce(&Runtime, CoreId) -> R) -> R {
+    let core = ambient_core();
+    let rt = ambient();
+    // Bind for the duration so per-core assertions (rep installation,
+    // `CoreLocal`) see the ambient identity; nests over any explicit
+    // `cpu::bind` the caller holds.
+    let _bind = cpu::bind(core);
+    f(&rt, core)
+}
+
+/// Resolves the calling thread's *dispatch context*: the entered
+/// runtime and core when inside one (the fast path — one thread-local
+/// read), else the ambient runtime on the thread's private ambient
+/// core. This is what system-Ebb dispatch (`iobuf::pool`, stats)
+/// resolves through, so those subsystems work identically inside
+/// events and in plain test code.
+#[inline]
+pub fn with_context<R>(f: impl FnOnce(&Runtime, CoreId) -> R) -> R {
+    let (p, core) = CURRENT_FAST.with(|c| c.get());
+    if !p.is_null() {
+        // SAFETY: see `with_current_on`.
+        let rt = unsafe { &*p };
+        return f(rt, CoreId(core));
+    }
+    with_ambient(f)
+}
+
+// --- The event-manager system Ebb ---------------------------------------
+
+/// Per-core representative of [`SystemEbb::EventManager`]: dispatching
+/// through it resolves to the calling core's [`EventManager`] of the
+/// current machine. Registered automatically by [`Runtime::new`]; reps
+/// fault in lazily per core.
+pub struct EventManagerEbb {
+    rt: Weak<Runtime>,
+    core: CoreId,
+}
+
+impl MulticoreEbb for EventManagerEbb {
+    type Root = Weak<Runtime>;
+
+    fn create_rep(root: &Arc<Weak<Runtime>>, core: CoreId) -> Self {
+        EventManagerEbb {
+            rt: Weak::clone(root),
+            core,
+        }
+    }
+}
+
+impl EventManagerEbb {
+    /// Runs `f` against this core's event manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owning runtime has been dropped.
+    pub fn with_em<R>(&self, f: impl FnOnce(&EventManager) -> R) -> R {
+        let rt = self.rt.upgrade().expect("runtime dropped under its Ebbs");
+        f(rt.event_manager(self.core))
+    }
+}
+
+/// The well-known [`EbbRef`] of the current machine's event system —
+/// the Ebb-dispatch route to [`Runtime::local_event_manager`].
+pub fn event_manager_ref() -> EbbRef<EventManagerEbb> {
+    EbbRef::from_id(SystemEbb::EventManager.id())
 }
 
 /// Returns a handle to the current runtime.
@@ -242,6 +432,43 @@ mod tests {
     fn enter_bad_core_panics() {
         let rt = Runtime::new(1, Arc::new(ManualClock::new()));
         let _g = enter(rt, CoreId(3));
+    }
+
+    #[test]
+    fn event_manager_resolves_through_well_known_id() {
+        let rt = Runtime::new(2, Arc::new(ManualClock::new()));
+        let _g = enter(Arc::clone(&rt), CoreId(1));
+        // The Ebb route reaches the *calling core's* manager.
+        event_manager_ref().with(|e| e.with_em(|em| em.spawn(|| ())));
+        assert!(rt.event_manager(CoreId(1)).pending_work());
+        assert!(!rt.event_manager(CoreId(0)).pending_work());
+    }
+
+    #[test]
+    fn ambient_context_serves_unentered_threads_privately() {
+        // Two *concurrently live* threads resolve distinct ambient
+        // cores: context state (the buffer pool rides on this) cannot
+        // alias. The barrier keeps both leases held at once — a dead
+        // thread's core may legitimately be recycled.
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let (a, b) = {
+            let spawn_probe = |barrier: Arc<std::sync::Barrier>| {
+                std::thread::spawn(move || {
+                    let probe = with_context(|rt, core| (rt.uid(), core));
+                    barrier.wait();
+                    probe
+                })
+            };
+            let t1 = spawn_probe(Arc::clone(&barrier));
+            let t2 = spawn_probe(barrier);
+            (t1.join().unwrap(), t2.join().unwrap())
+        };
+        assert_eq!(a.0, b.0, "one shared ambient runtime");
+        assert_ne!(a.1, b.1, "distinct private cores per live thread");
+        // Entered runtimes take precedence over the ambient context.
+        let rt = Runtime::new(1, Arc::new(ManualClock::new()));
+        let _g = enter(Arc::clone(&rt), CoreId(0));
+        assert_eq!(with_context(|r, _| r.uid()), rt.uid());
     }
 
     #[test]

@@ -25,6 +25,12 @@ unsafe impl<T: ?Sized + Send> Sync for SpinLock<T> {}
 // SAFETY: moving the lock moves the value; no references can be live.
 unsafe impl<T: ?Sized + Send> Send for SpinLock<T> {}
 
+impl<T: Default> Default for SpinLock<T> {
+    fn default() -> Self {
+        SpinLock::new(T::default())
+    }
+}
+
 impl<T> SpinLock<T> {
     /// Creates a new unlocked spinlock.
     pub const fn new(value: T) -> Self {

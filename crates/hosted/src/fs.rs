@@ -25,8 +25,9 @@ use ebbrt_net::types::Ipv4Addr;
 
 use crate::messenger::Messenger;
 
-/// Well-known Ebb id for the filesystem service.
-pub const FS_EBB_ID: EbbId = EbbId(2);
+/// Well-known Ebb id for the filesystem service (also its messenger
+/// wire id — see [`ebbrt_core::ebb::SystemEbb::Fs`]).
+pub const FS_EBB_ID: EbbId = ebbrt_core::ebb::SystemEbb::Fs.id();
 
 const OP_READ: u8 = 1;
 const OP_WRITE: u8 = 2;

@@ -21,8 +21,9 @@ use ebbrt_net::types::Ipv4Addr;
 
 use crate::messenger::Messenger;
 
-/// Well-known Ebb id of the naming service itself.
-pub const GLOBAL_MAP_EBB_ID: EbbId = EbbId(3);
+/// Well-known Ebb id of the naming service itself (also its messenger
+/// wire id — see [`ebbrt_core::ebb::SystemEbb::GlobalMap`]).
+pub const GLOBAL_MAP_EBB_ID: EbbId = ebbrt_core::ebb::SystemEbb::GlobalMap.id();
 
 /// Ids handed out per allocation request.
 pub const RANGE_SIZE: u32 = 1024;

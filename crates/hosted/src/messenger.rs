@@ -12,10 +12,13 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
+use std::sync::Arc;
 
-use ebbrt_core::ebb::EbbId;
+use ebbrt_core::cpu::CoreId;
+use ebbrt_core::ebb::{EbbId, EbbRef, MulticoreEbb, SystemEbb};
 use ebbrt_core::iobuf::{Chain, IoBuf, MutIoBuf};
+use ebbrt_core::runtime;
 use ebbrt_net::netif::{ConnHandler, NetIf, TcpConn};
 use ebbrt_net::types::Ipv4Addr;
 
@@ -54,8 +57,50 @@ pub struct Messenger {
     pub dispatched: Cell<u64>,
 }
 
+/// The per-core representative of the machine's messenger Ebb
+/// ([`SystemEbb::Messenger`]): every core's rep shares the one
+/// [`Messenger`], which already speaks [`EbbId`]s on the wire — this
+/// is the local half of cross-machine Ebb messaging.
+pub struct MessengerEbb {
+    messenger: Weak<Messenger>,
+}
+
+impl MessengerEbb {
+    /// The machine's messenger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the messenger has been dropped.
+    pub fn messenger(&self) -> Rc<Messenger> {
+        self.messenger
+            .upgrade()
+            .expect("Messenger dropped under its Ebb")
+    }
+}
+
+impl MulticoreEbb for MessengerEbb {
+    type Root = ();
+
+    fn create_rep(_: &Arc<()>, core: CoreId) -> Self {
+        unreachable!("MessengerEbb reps are installed by Messenger::start, not faulted ({core})")
+    }
+}
+
+/// The well-known [`EbbRef`] of the current machine's messenger.
+pub fn messenger_ref() -> EbbRef<MessengerEbb> {
+    EbbRef::well_known(SystemEbb::Messenger)
+}
+
+/// Resolves the current machine's [`Messenger`] through the
+/// translation table (any core, inside an event).
+pub fn local_messenger() -> Rc<Messenger> {
+    messenger_ref().with(|rep| rep.messenger())
+}
+
 impl Messenger {
-    /// Starts the messenger on `netif` (binds the listener).
+    /// Starts the messenger on `netif`: binds the listener and
+    /// registers the instance under [`SystemEbb::Messenger`] (one rep
+    /// per core of the owning machine).
     pub fn start(netif: &Rc<NetIf>) -> Rc<Messenger> {
         let m = Rc::new(Messenger {
             netif: Rc::clone(netif),
@@ -64,6 +109,12 @@ impl Messenger {
             rpc_waiters: RefCell::new(HashMap::new()),
             next_rpc: Cell::new(1),
             dispatched: Cell::new(0),
+        });
+        runtime::install_on_all_cores(netif.machine().runtime(), SystemEbb::Messenger.id(), {
+            let m = Rc::downgrade(&m);
+            move |_core| MessengerEbb {
+                messenger: Weak::clone(&m),
+            }
         });
         let me = Rc::clone(&m);
         netif.listen(MESSENGER_PORT, move |conn| {
@@ -291,7 +342,10 @@ mod tests {
 
         let reply = Rc::new(Cell::new(0u32));
         let r2 = Rc::clone(&reply);
-        on_core0(&native, Rc::clone(&n_msgr), move |msgr| {
+        // The native side resolves its messenger through the
+        // well-known id — no messenger handle threaded into the spawn.
+        on_core0(&native, r2, move |r2| {
+            let msgr = local_messenger();
             msgr.send(Ipv4Addr::new(10, 0, 0, 1), fs_id, b"hello");
             msgr.call(Ipv4Addr::new(10, 0, 0, 1), fs_id, &[0u8; 21], move |resp| {
                 let v = resp.cursor().read_u32_be().unwrap();

@@ -23,6 +23,7 @@ use std::sync::Arc;
 
 use ebbrt_core::clock::Ns;
 use ebbrt_core::cpu::{self, CoreId};
+use ebbrt_core::ebb::{EbbRef, MulticoreEbb, SystemEbb};
 use ebbrt_core::iobuf::{Chain, IoBuf, MutIoBuf};
 use ebbrt_core::rcu_hash::RcuHashMap;
 use ebbrt_core::runtime;
@@ -119,6 +120,14 @@ impl TcpConn {
         self.with_netif(|n| n.tcp_close(self.id));
     }
 
+    /// Hard teardown: sends RST and discards the connection
+    /// immediately — no FIN handshake, no waiting for in-flight data.
+    /// The application-level cure for a peer that requests faster than
+    /// it reads (a parked-reply backlog past its cap).
+    pub fn abort(&self) {
+        self.with_netif(|n| n.tcp_abort(self.id));
+    }
+
     /// The connection's 4-tuple, if still alive.
     pub fn tuple(&self) -> Option<FourTuple> {
         self.with_netif(|n| n.with_pcb(self.id, |p| p.tuple))
@@ -213,9 +222,69 @@ pub struct NetIf {
     pub stats: NetStats,
 }
 
+/// The per-core representative of the machine's **network manager
+/// Ebb** ([`SystemEbb::NetStats`]): every core's rep shares the
+/// machine's [`NetIf`], so application code resolves the stack — and
+/// its [`NetStats`] — through one copyable [`EbbRef`] instead of
+/// threading `Rc<NetIf>` handles into every spawn closure.
+/// [`NetIf::attach`] installs a rep on every core.
+///
+/// Reps hold the stack weakly: the `Rc` returned by `attach` stays the
+/// owner (dropping it detaches the stack, exactly as before the Ebb
+/// existed), and the translation table cannot keep a dead interface
+/// alive through the machine⇄stack cycle.
+pub struct NetIfEbb {
+    netif: Weak<NetIf>,
+}
+
+impl NetIfEbb {
+    /// The machine's network stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack has been dropped (the `attach` caller let
+    /// its owning `Rc` go).
+    pub fn netif(&self) -> Rc<NetIf> {
+        self.netif.upgrade().expect("NetIf dropped under its Ebb")
+    }
+
+    /// Runs `f` against the machine's interface statistics.
+    pub fn with_stats<R>(&self, f: impl FnOnce(&NetStats) -> R) -> R {
+        f(&self.netif().stats)
+    }
+}
+
+impl MulticoreEbb for NetIfEbb {
+    type Root = ();
+
+    fn create_rep(_: &Arc<()>, core: CoreId) -> Self {
+        unreachable!("NetIfEbb reps are installed by NetIf::attach, not faulted ({core})")
+    }
+}
+
+/// The well-known [`EbbRef`] of the current machine's network manager.
+pub fn netif_ref() -> EbbRef<NetIfEbb> {
+    EbbRef::well_known(SystemEbb::NetStats)
+}
+
+/// Resolves the current machine's [`NetIf`] through the translation
+/// table — the way application wiring code (running in an event on any
+/// core of the machine) reaches the stack.
+///
+/// # Panics
+///
+/// Panics if no [`NetIf`] is attached to the current machine, or if
+/// the calling thread has not entered a runtime.
+pub fn local_netif() -> Rc<NetIf> {
+    netif_ref().with(|rep| rep.netif())
+}
+
 impl NetIf {
-    /// Creates the stack for `machine` with a static IP configuration
-    /// and attaches the virtio driver on every core.
+    /// Creates the stack for `machine` with a static IP configuration,
+    /// attaches the virtio driver on every core, and registers the
+    /// stack under the well-known [`SystemEbb::NetStats`] id (one rep
+    /// per core) so applications can reach it via [`netif_ref`] /
+    /// [`local_netif`].
     pub fn attach(machine: &Rc<SimMachine>, ip: Ipv4Addr, mask: Ipv4Addr) -> Rc<NetIf> {
         let mss = machine.nic().mtu() - wire::IPV4_HLEN - wire::TCP_HLEN;
         let netif = Rc::new(NetIf {
@@ -235,6 +304,15 @@ impl NetIf {
             iss: Cell::new(0x1000),
             last_tx: Cell::new(u64::MAX / 2),
             stats: NetStats::default(),
+        });
+        // Home the stack in the machine's translation table: one rep
+        // per core under the well-known network-manager id. Reps are
+        // hand-installed (no root-based fault path) because the rep
+        // state is the single `Rc<NetIf>` itself.
+        runtime::install_on_all_cores(machine.runtime(), SystemEbb::NetStats.id(), |_core| {
+            NetIfEbb {
+                netif: Rc::downgrade(&netif),
+            }
         });
         crate::driver::attach(&netif);
         netif
@@ -806,6 +884,31 @@ impl NetIf {
             }
             _ => {}
         }
+    }
+
+    /// Hard-kills a connection: one RST out, state to Closed, records
+    /// and timers freed. See [`TcpConn::abort`].
+    fn tcp_abort(self: &Rc<Self>, id: u64) {
+        let pcb_rc = match self.pcbs.borrow().get(&id) {
+            Some(rec) => Rc::clone(&rec.pcb),
+            None => return,
+        };
+        {
+            let mut p = pcb_rc.borrow_mut();
+            if p.state == TcpState::Closed {
+                return;
+            }
+            let seq = p.snd_nxt;
+            self.tcp_output(
+                &mut p,
+                tcp_flags::RST | tcp_flags::ACK,
+                seq,
+                Chain::new(),
+                0,
+            );
+            p.state = TcpState::Closed;
+        }
+        self.cleanup(id);
     }
 
     /// Builds and transmits one TCP segment. `seq_len` is the sequence

@@ -76,9 +76,13 @@ fn full_cluster_deployment() {
     w.run_to_idle();
     assert!(config_read.get(), "offloaded filesystem read must complete");
 
-    // memcached on native1, exercised from native2 over the wire.
+    // memcached on native1, exercised from native2 over the wire. The
+    // store registers as an Ebb; the server resolves its stack through
+    // the well-known network-manager id.
     let store = Store::new(Arc::clone(native1.runtime().rcu()));
-    memcached::start_server(&n1_if, &store);
+    let store_ref = store.register(native1.runtime());
+    native1.spawn_on(CoreId(0), move || memcached::serve(store_ref));
+    w.run_to_idle();
 
     struct KvClient {
         rx: RefCell<Vec<u8>>,
@@ -172,7 +176,9 @@ fn simulation_is_deterministic() {
         let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 9, 2), MASK);
         w.run_to_idle();
         let store = Store::new(Arc::clone(server.runtime().rcu()));
-        memcached::start_server(&s_if, &store);
+        let store_ref = store.register(server.runtime());
+        server.spawn_on(CoreId(0), move || memcached::serve(store_ref));
+        w.run_to_idle();
 
         struct Pinger {
             n: Cell<u32>,

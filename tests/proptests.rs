@@ -219,11 +219,13 @@ mod size_class_props {
         sw.attach(server.nic(), LinkParams::default());
         sw.attach(client.nic(), LinkParams::default());
         let mask = Ipv4Addr::new(255, 255, 255, 0);
-        let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
-        let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
+        let _s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
+        let _c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
         w.run_to_idle();
         let store = Store::new(Arc::clone(server.runtime().rcu()));
-        memcached::start_server(&s_if, &store);
+        let store_ref = store.register(server.runtime());
+        server.spawn_on(CoreId(0), move || memcached::serve(store_ref));
+        w.run_to_idle();
 
         let mut stream = memcached::encode_set(b"straddle", value, 1);
         stream.extend(memcached::encode_get(b"straddle", 2));
@@ -236,8 +238,8 @@ mod size_class_props {
             rx: Rc::clone(&rx),
             expected,
         });
-        ebbrt_apps::spawn_with(&client, CoreId(0), c_if, move |c_if| {
-            c_if.connect(
+        ebbrt_apps::spawn_with(&client, CoreId(0), handler, move |handler| {
+            ebbrt_net::netif::local_netif().connect(
                 Ipv4Addr::new(10, 0, 0, 1),
                 memcached::MEMCACHED_PORT,
                 handler,
