@@ -47,8 +47,10 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use ebbrt_core::cpu::CoreId;
-use ebbrt_core::ebb::{EbbRef, MulticoreEbb};
-use ebbrt_core::iobuf::{Chain, IoBuf, MutIoBuf};
+use ebbrt_core::ebb::{
+    DistributedEbb, EbbId, EbbRef, MulticoreEbb, RemoteError, RemoteResult, RemoteShipper,
+};
+use ebbrt_core::iobuf::{wire, Chain, IoBuf, MutIoBuf};
 use ebbrt_core::rcu_hash::RcuHashMap;
 use ebbrt_core::runtime::Runtime;
 use ebbrt_net::netif::{local_netif, ConnHandler, TcpConn};
@@ -71,6 +73,10 @@ pub const OP_SET: u8 = 0x01;
 pub const STATUS_OK: u16 = 0x0000;
 /// Key not found.
 pub const STATUS_KEY_NOT_FOUND: u16 = 0x0001;
+/// Internal error: the key's shard could not be reached (the
+/// function-shipped call failed — owner unresolved, unreachable, or
+/// timed out). Remote failure surfaces as a response, never a hang.
+pub const STATUS_REMOTE_ERROR: u16 = 0x0084;
 
 /// The protocol's maximum key length; keys up to this size are read
 /// into stack scratch on the parse path (no heap traffic). Longer keys
@@ -290,6 +296,39 @@ impl Store {
     }
 }
 
+/// Appends `data` to a connection's unparsed request backlog and
+/// drains every complete binary-protocol request framed in it, handing
+/// `(header, body)` to `each` (the body carved zero-copy out of the
+/// receive chain). The one framing state machine shared by the plain
+/// and sharded servers.
+fn drain_requests(
+    pending_cell: &RefCell<Chain<IoBuf>>,
+    data: Chain<IoBuf>,
+    mut each: impl FnMut(&Header, Chain<IoBuf>),
+) {
+    let mut pending = pending_cell.borrow_mut();
+    pending.append_chain(data);
+    pending.compact_if_amplified(PENDING_COMPACT_SEGS, SET_COMPACT_FACTOR);
+    loop {
+        if pending.len() < Header::SIZE {
+            break;
+        }
+        let mut hdr_bytes = [0u8; Header::SIZE];
+        pending
+            .cursor()
+            .read_exact(&mut hdr_bytes)
+            .expect("length checked");
+        let h = Header::decode(&hdr_bytes);
+        let total = Header::SIZE + h.total_body as usize;
+        if pending.len() < total {
+            break;
+        }
+        pending.advance(Header::SIZE);
+        let body = pending.split_to(h.total_body as usize);
+        each(&h, body);
+    }
+}
+
 /// Appends a body-less response header (plus `extra_zeroed` trailing
 /// bytes — the GET-hit flags field) to `out` as one pooled segment.
 fn push_header(out: &mut Chain<IoBuf>, h: &Header, extra_zeroed: usize) {
@@ -379,31 +418,21 @@ impl ServerConn {
     }
 
     fn process(&self, conn: &TcpConn, data: Chain<IoBuf>) {
-        let mut pending = self.pending.borrow_mut();
-        pending.append_chain(data);
-        pending.compact_if_amplified(PENDING_COMPACT_SEGS, SET_COMPACT_FACTOR);
         // Batch every response of this event-loop pass into one chain:
         // a pipelined burst of requests pays the send path once.
         let mut responses: Chain<IoBuf> = Chain::new();
-        loop {
-            if pending.len() < Header::SIZE {
-                break;
-            }
-            let mut hdr_bytes = [0u8; Header::SIZE];
-            pending
-                .cursor()
-                .read_exact(&mut hdr_bytes)
-                .expect("length checked");
-            let h = Header::decode(&hdr_bytes);
-            let total = Header::SIZE + h.total_body as usize;
-            if pending.len() < total {
-                break;
-            }
-            pending.advance(Header::SIZE);
-            let body = pending.split_to(h.total_body as usize);
-            self.handle_request(&h, body, &mut responses);
-        }
-        drop(pending);
+        drain_requests(&self.pending, data, |h, body| {
+            self.handle_request(h, body, &mut responses)
+        });
+        self.send_batch(conn, responses);
+    }
+
+    /// Sends one event pass's batched responses: directly when the
+    /// window fits (the fast path), else parked zero-copy in `unsent`
+    /// and drained on window openings, with the stalled-reader backlog
+    /// cap. Shared by the plain and sharded servers (the latter also
+    /// routes function-shipped reply completions through it).
+    fn send_batch(&self, conn: &TcpConn, responses: Chain<IoBuf>) {
         if !responses.is_empty() {
             // Replies go out synchronously from the same event that
             // received the request — carrying the ACK too. Fast path:
@@ -589,6 +618,369 @@ pub fn serve_with(store: StoreRef, config: ServerConfig) {
         // store's rep there (faulting it in on first use).
         let store = store.with(|s| Arc::clone(s.store()));
         Rc::new(ServerConn::with_config(store, config)) as Rc<dyn ConnHandler>
+    });
+}
+
+// --- Multi-machine sharded memcached (distributed Ebbs) ------------------
+//
+// The proof workload of the remote-representative layer: N machines
+// each own one key shard behind a *distributed* store Ebb. Every
+// machine serves the full keyspace — requests for its own shard take
+// the exact zero-copy path above; requests for another machine's shard
+// function-ship to the owner through the shard's `EbbRef` (miss →
+// GlobalIdMap → proxy rep → messenger), and the reply is framed back to
+// the memcached client when it lands. Cross-shard responses may
+// therefore reorder against local ones; clients correlate by `opaque`,
+// exactly as pipelined binary-protocol clients already must.
+
+/// FNV-1a over the key, reduced to a shard index. Shared by servers
+/// and load generators so both sides agree on key placement.
+pub fn shard_of(key: &[u8], nshards: usize) -> usize {
+    debug_assert!(nshards > 0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % nshards as u64) as usize
+}
+
+/// Shard-protocol ops (the function-shipped payload's first byte).
+const SHARD_OP_GET: u8 = 1;
+const SHARD_OP_SET: u8 = 2;
+/// Shard-protocol response tags.
+const SHARD_RESP_MISS: u8 = 0;
+const SHARD_RESP_HIT: u8 = 1;
+const SHARD_RESP_ERR: u8 = 2;
+
+/// One key shard of the distributed store, as an Ebb: the owner
+/// machine's reps wrap its [`Store`] directly (the root), every other
+/// machine's reps are function-shipping proxies installed by the
+/// distributed miss path. Same [`EbbId`] cluster-wide — a GlobalIdMap
+/// id published by the owner.
+pub struct StoreShardEbb {
+    inner: ShardInner,
+}
+
+enum ShardInner {
+    Local(Arc<Store>),
+    Proxy(RemoteShipper),
+}
+
+impl MulticoreEbb for StoreShardEbb {
+    type Root = Store;
+
+    fn create_rep(root: &Arc<Store>, _core: CoreId) -> Self {
+        StoreShardEbb {
+            inner: ShardInner::Local(Arc::clone(root)),
+        }
+    }
+}
+
+impl DistributedEbb for StoreShardEbb {
+    fn create_proxy(shipper: RemoteShipper, _core: CoreId) -> Self {
+        StoreShardEbb {
+            inner: ShardInner::Proxy(shipper),
+        }
+    }
+
+    fn handle_remote(&self, payload: &Chain<IoBuf>) -> Vec<u8> {
+        use std::sync::atomic::Ordering;
+        let ShardInner::Local(store) = &self.inner else {
+            return vec![SHARD_RESP_ERR];
+        };
+        charge(APP_BASE_NS + (payload.len() as u64) / 16);
+        let mut r = wire::WireReader::new(payload);
+        match r.u8() {
+            Some(SHARD_OP_GET) => {
+                let key = r.tail();
+                store.gets.fetch_add(1, Ordering::Relaxed);
+                match store.get_raw(&key) {
+                    Some(v) => {
+                        let mut out = vec![SHARD_RESP_HIT];
+                        out.extend_from_slice(&v.copy_to_vec());
+                        out
+                    }
+                    None => {
+                        store.misses.fetch_add(1, Ordering::Relaxed);
+                        vec![SHARD_RESP_MISS]
+                    }
+                }
+            }
+            Some(SHARD_OP_SET) => {
+                let Some(key) = r.bytes16() else {
+                    return vec![SHARD_RESP_ERR];
+                };
+                store.sets.fetch_add(1, Ordering::Relaxed);
+                store.insert_raw(key, IoBuf::copy_from(&r.tail()));
+                vec![SHARD_RESP_HIT]
+            }
+            _ => vec![SHARD_RESP_ERR],
+        }
+    }
+}
+
+impl StoreShardEbb {
+    /// The owner machine's store, when this rep is the owning (local)
+    /// one; `None` on proxies.
+    pub fn local_store(&self) -> Option<&Arc<Store>> {
+        match &self.inner {
+            ShardInner::Local(s) => Some(s),
+            ShardInner::Proxy(_) => None,
+        }
+    }
+
+    /// Looks `key` up in this shard: synchronously on the owner,
+    /// one function ship elsewhere. `done` always runs — a failed ship
+    /// surfaces as `Err`, never a hang.
+    pub fn get(&self, key: &[u8], done: impl FnOnce(RemoteResult<Option<Vec<u8>>>) + 'static) {
+        use std::sync::atomic::Ordering;
+        match &self.inner {
+            ShardInner::Local(store) => {
+                store.gets.fetch_add(1, Ordering::Relaxed);
+                let v = store.get_raw(key).map(|c| c.copy_to_vec());
+                if v.is_none() {
+                    store.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                done(Ok(v));
+            }
+            ShardInner::Proxy(shipper) => {
+                let mut req = wire::WireWriter::op(SHARD_OP_GET);
+                req.tail(key);
+                shipper.call(req.finish(), move |r| match r {
+                    Ok(resp) => {
+                        let mut rd = wire::WireReader::new(&resp);
+                        match rd.u8() {
+                            Some(SHARD_RESP_HIT) => done(Ok(Some(rd.tail()))),
+                            Some(SHARD_RESP_MISS) => done(Ok(None)),
+                            // A malformed/refused response means the
+                            // owner could not serve: fail, don't guess.
+                            _ => done(Err(RemoteError::Unreachable)),
+                        }
+                    }
+                    Err(e) => done(Err(e)),
+                });
+            }
+        }
+    }
+
+    /// Stores `key = value` in this shard; same locality and failure
+    /// contract as [`Self::get`]. Shipped values are copied onto the
+    /// wire — the zero-copy property is a local-shard property.
+    pub fn set(&self, key: &[u8], value: &[u8], done: impl FnOnce(RemoteResult<()>) + 'static) {
+        use std::sync::atomic::Ordering;
+        match &self.inner {
+            ShardInner::Local(store) => {
+                store.sets.fetch_add(1, Ordering::Relaxed);
+                store.insert_raw(key.to_vec(), IoBuf::copy_from(value));
+                done(Ok(()));
+            }
+            ShardInner::Proxy(shipper) => {
+                let mut req = wire::WireWriter::op(SHARD_OP_SET);
+                req.bytes16(key).tail(value);
+                shipper.call(req.finish(), move |r| match r {
+                    Ok(resp) => match wire::WireReader::new(&resp).u8() {
+                        Some(SHARD_RESP_HIT) => done(Ok(())),
+                        _ => done(Err(RemoteError::Unreachable)),
+                    },
+                    Err(e) => done(Err(e)),
+                });
+            }
+        }
+    }
+}
+
+/// Registers `store` as the **owning** root of shard `id` on `rt` (the
+/// owner machine), so the shard's real reps fault in locally there.
+/// Remote machines install proxies through the distributed miss path
+/// instead — they call nothing.
+pub fn register_shard(store: &Arc<Store>, rt: &Runtime, id: EbbId) -> EbbRef<StoreShardEbb> {
+    rt.ebbs()
+        .register_root_arc::<StoreShardEbb>(id, Arc::clone(store));
+    EbbRef::from_id(id)
+}
+
+/// Configuration of one machine of the sharded cluster.
+#[derive(Clone)]
+pub struct ShardConfig {
+    /// Global [`EbbId`]s of every shard's distributed store, in shard
+    /// order (the cluster's routing table).
+    pub shard_ids: Arc<Vec<EbbId>>,
+    /// This machine's shard index.
+    pub my_shard: usize,
+    /// Per-connection server tunables.
+    pub server: ServerConfig,
+}
+
+/// Per-connection handler of a sharded server: local-shard requests
+/// take [`ServerConn`]'s zero-copy path verbatim; cross-shard requests
+/// function-ship through the shard's distributed Ebb and are answered
+/// when the reply lands (correlated by `opaque`).
+pub struct ShardedServerConn {
+    weak: std::rc::Weak<ShardedServerConn>,
+    cfg: ShardConfig,
+    local: ServerConn,
+}
+
+impl ShardedServerConn {
+    /// Creates a handler for one accepted connection; `store` is the
+    /// local shard's store.
+    pub fn new(cfg: ShardConfig, store: Arc<Store>) -> Rc<ShardedServerConn> {
+        Rc::new_cyclic(|weak| ShardedServerConn {
+            weak: std::rc::Weak::clone(weak),
+            local: ServerConn::with_config(store, cfg.server),
+            cfg,
+        })
+    }
+
+    fn process(&self, conn: &TcpConn, data: Chain<IoBuf>) {
+        let mut responses: Chain<IoBuf> = Chain::new();
+        drain_requests(&self.local.pending, data, |h, body| {
+            self.route(conn, h, body, &mut responses)
+        });
+        self.local.send_batch(conn, responses);
+    }
+
+    /// Routes one parsed request: local shard → the zero-copy path
+    /// (batched into `out`); remote shard → function-ship (replied
+    /// asynchronously); everything unroutable → the local handler's
+    /// existing semantics. Oversized (protocol-violating) keys still
+    /// route by hash — served on the wrong machine they would make the
+    /// cluster's answer depend on which server the client contacted.
+    fn route(&self, conn: &TcpConn, h: &Header, body: Chain<IoBuf>, out: &mut Chain<IoBuf>) {
+        let extras = h.extras_len as usize;
+        let key_len = h.key_len as usize;
+        let nshards = self.cfg.shard_ids.len();
+        let routable = h.magic == MAGIC_REQUEST
+            && matches!(h.opcode, OP_GET | OP_SET)
+            && body.len() >= extras + key_len
+            && key_len > 0
+            && nshards > 1;
+        if !routable {
+            self.local.handle_request(h, body, out);
+            return;
+        }
+        // Stack scratch for protocol-sized keys, heap for oversized
+        // ones — the same split the local parse path makes.
+        let mut key_buf = [0u8; MAX_KEY_LEN];
+        let key_heap;
+        let key: &[u8] = {
+            let mut cur = body.cursor();
+            cur.skip(extras).expect("length checked");
+            if key_len <= MAX_KEY_LEN {
+                cur.read_exact(&mut key_buf[..key_len])
+                    .expect("length checked");
+                &key_buf[..key_len]
+            } else {
+                key_heap = cur.read_vec(key_len).expect("length checked");
+                &key_heap
+            }
+        };
+        if shard_of(key, nshards) == self.cfg.my_shard {
+            self.local.handle_request(h, body, out);
+        } else {
+            self.ship_remote(conn, h, key, body);
+        }
+    }
+
+    /// Function-ships one cross-shard request to its owner and frames
+    /// the reply back on this connection when it lands. A failed ship
+    /// answers [`STATUS_REMOTE_ERROR`] — the client always hears back.
+    fn ship_remote(&self, conn: &TcpConn, h: &Header, key: &[u8], body: Chain<IoBuf>) {
+        charge(APP_BASE_NS);
+        let shard = shard_of(key, self.cfg.shard_ids.len());
+        let ebb = EbbRef::<StoreShardEbb>::from_id(self.cfg.shard_ids[shard]);
+        let me = std::rc::Weak::clone(&self.weak);
+        let conn = conn.clone();
+        let opaque = h.opaque;
+        match h.opcode {
+            OP_GET => {
+                ebb.with_distributed(|rep| {
+                    rep.get(key, move |r| {
+                        let Some(me) = me.upgrade() else { return };
+                        let mut out: Chain<IoBuf> = Chain::new();
+                        match r {
+                            Ok(Some(v)) => {
+                                let rh = Header {
+                                    magic: MAGIC_RESPONSE,
+                                    opcode: OP_GET,
+                                    key_len: 0,
+                                    extras_len: 4,
+                                    status: STATUS_OK,
+                                    total_body: 4 + v.len() as u32,
+                                    opaque,
+                                };
+                                push_header(&mut out, &rh, 4);
+                                out.push_back(IoBuf::copy_from(&v));
+                            }
+                            Ok(None) => push_miss(&mut out, OP_GET, STATUS_KEY_NOT_FOUND, opaque),
+                            Err(_) => push_miss(&mut out, OP_GET, STATUS_REMOTE_ERROR, opaque),
+                        }
+                        me.local.send_batch(&conn, out);
+                    });
+                });
+            }
+            OP_SET => {
+                let mut value = body;
+                value.advance(h.extras_len as usize + key.len());
+                // Function shipping copies the value onto the wire; the
+                // zero-copy discipline is a local-shard property.
+                let value = value.copy_to_vec();
+                ebb.with_distributed(|rep| {
+                    rep.set(key, &value, move |r| {
+                        let Some(me) = me.upgrade() else { return };
+                        let mut out: Chain<IoBuf> = Chain::new();
+                        let status = match r {
+                            Ok(()) => STATUS_OK,
+                            Err(_) => STATUS_REMOTE_ERROR,
+                        };
+                        push_miss(&mut out, OP_SET, status, opaque);
+                        me.local.send_batch(&conn, out);
+                    });
+                });
+            }
+            _ => unreachable!("route() filters opcodes"),
+        }
+    }
+}
+
+/// Appends a body-less response header with `status` (the shape every
+/// non-hit reply shares).
+fn push_miss(out: &mut Chain<IoBuf>, opcode: u8, status: u16, opaque: u32) {
+    let rh = Header {
+        magic: MAGIC_RESPONSE,
+        opcode,
+        key_len: 0,
+        extras_len: 0,
+        status,
+        total_body: 0,
+        opaque,
+    };
+    push_header(out, &rh, 0);
+}
+
+impl ConnHandler for ShardedServerConn {
+    fn on_receive(&self, conn: &TcpConn, data: Chain<IoBuf>) {
+        self.process(conn, data);
+    }
+
+    fn on_window_open(&self, conn: &TcpConn) {
+        self.local.flush(conn);
+    }
+}
+
+/// Starts this machine's server of the sharded cluster: every
+/// connection is served by a [`ShardedServerConn`] routing against
+/// `cfg`. The machine must own `cfg.my_shard`'s root
+/// ([`register_shard`]) and — to reach the other shards — have a
+/// remote transport installed (the hosted layer's
+/// `MessengerTransport::install`).
+pub fn serve_sharded(cfg: ShardConfig) {
+    let netif = local_netif();
+    netif.listen(MEMCACHED_PORT, move |_conn| {
+        let store = EbbRef::<StoreShardEbb>::from_id(cfg.shard_ids[cfg.my_shard])
+            .with(|rep| Arc::clone(rep.local_store().expect("my_shard must be locally owned")));
+        ShardedServerConn::new(cfg.clone(), store) as Rc<dyn ConnHandler>
     });
 }
 

@@ -184,6 +184,30 @@ fn verify_rss_sweep_multi_class(_c: &mut Criterion) {
     ebbrt_bench::rss_sweep::assert_properties(&report);
 }
 
+/// Pool ops **outside any entered runtime**: these resolve the
+/// thread's private ambient context. Since the distributed-Ebbs PR the
+/// leased (runtime, core) pair is cached in TLS, so the unentered path
+/// is one `Cell` read away from the entered one instead of paying
+/// `OnceLock` + `Arc`-clone + `RefCell` accounting per operation —
+/// compare this group against `buffer_acquisition` below.
+fn bench_unentered_pool_ops(c: &mut Criterion) {
+    assert!(
+        !ebbrt_core::runtime::is_entered(),
+        "this group must measure the ambient fast path"
+    );
+    let mut g = c.benchmark_group("buffer_acquisition_unentered");
+    pool::prewarm(4);
+    g.bench_function("pooled_acquire_release_1500B_unentered", |b| {
+        b.iter(|| {
+            let mut buf = MutIoBuf::with_capacity(1500);
+            buf.append(64);
+            black_box(&mut buf);
+            // drop: recycles into the ambient core's free list
+        })
+    });
+    g.finish();
+}
+
 fn bench_buffer_acquisition(c: &mut Criterion) {
     // Enter a runtime so the pool Ebb resolves through the paper's
     // fast path (the production configuration), not the ambient
@@ -284,6 +308,7 @@ criterion_group!(
     benches,
     verify_zero_copy_get_path,
     verify_rss_sweep_multi_class,
+    bench_unentered_pool_ops,
     bench_buffer_acquisition,
     bench_cursor_reads,
     bench_chain_ops

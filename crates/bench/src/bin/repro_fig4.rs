@@ -168,4 +168,40 @@ fn main() {
     )
     .expect("write csv");
     println!("wrote {}", path.display());
+
+    // Multi-machine point: the sharded memcached cluster on the
+    // distributed-Ebb layer. Local-shard GETs take the zero-copy path
+    // measured above; cross-shard GETs function-ship to the owner
+    // machine (proxy rep → messenger) — the measured split is the cost
+    // of distribution the paper's Ebbs hide behind one id.
+    println!();
+    println!("Multi-machine sharded memcached (distributed Ebbs): local vs remote-shipped GET");
+    let mut dist_rows = Vec::new();
+    for shards in [2usize, 3, 4] {
+        let r = ebbrt_bench::dist_memcached::run(&ebbrt_bench::dist_memcached::DistConfig {
+            shards,
+            warmup_gets: 32,
+            measured_gets: 128,
+            probe_failure: true,
+        });
+        println!("{}", ebbrt_bench::dist_memcached::format_report(&r));
+        ebbrt_bench::dist_memcached::assert_properties(&r);
+        dist_rows.push(format!(
+            "{},{:.2},{:.2},{},{},{}",
+            shards,
+            r.local_mean_us,
+            r.remote_mean_us,
+            r.remote_owner_gets,
+            r.local_copied,
+            r.local_allocated,
+        ));
+    }
+    let path = ebbrt_bench::write_csv(
+        "fig4_dist_shard.csv",
+        "shards,local_get_us,remote_get_us,owner_served_gets,local_bytes_copied,\
+         local_bufs_allocated",
+        &dist_rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
 }

@@ -1,0 +1,489 @@
+//! The multi-machine sharded memcached workload — the proof of the
+//! distributed-Ebb (remote-representative) layer.
+//!
+//! [`build`] assembles a cluster: one naming machine running the
+//! GlobalIdMap server, N shard machines each owning one key shard
+//! behind a distributed [`StoreShardEbb`](memcached::StoreShardEbb)
+//! (global id allocated from
+//! and published to the naming service), and one client machine. Every
+//! shard machine serves the full keyspace: its own shard on the
+//! existing zero-copy path, everything else by function-shipping to
+//! the owner through the shard Ebb's proxy rep.
+//!
+//! [`run`] drives a closed-loop client against shard 0's server and
+//! measures, in virtual time, the **local-hit vs remote-ship** GET
+//! latency split, while asserting the local phase stays zero-copy /
+//! zero-allocation on the serving machine. Optionally the routing
+//! table carries a *phantom* shard whose published owner address
+//! answers nothing — requests for it must come back as
+//! [`ebbrt_apps::memcached::STATUS_REMOTE_ERROR`], never hang.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use ebbrt_apps::memcached::{
+    self, register_shard, serve_sharded, shard_of, Header, ServerConfig, ShardConfig, Store,
+    MEMCACHED_PORT, STATUS_OK, STATUS_REMOTE_ERROR,
+};
+use ebbrt_apps::spawn_with;
+use ebbrt_core::cpu::CoreId;
+use ebbrt_core::ebb::{EbbId, EbbRef};
+use ebbrt_core::iobuf::{stats, Chain, IoBuf};
+use ebbrt_core::runtime::Runtime;
+use ebbrt_hosted::global_map::{self, GlobalIdMap, GlobalIdMapServer};
+use ebbrt_hosted::messenger::Messenger;
+use ebbrt_hosted::remote::MessengerTransport;
+use ebbrt_net::netif::{local_netif, ConnHandler, NetIf, TcpConn};
+use ebbrt_net::types::Ipv4Addr;
+use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
+
+/// A built sharded-memcached cluster, pre-wired and idle.
+pub struct DistCluster {
+    /// The world driving everything.
+    pub w: Rc<SimWorld>,
+    _sw: Rc<Switch>,
+    /// The naming machine (GlobalIdMap server).
+    pub naming: Rc<SimMachine>,
+    /// The shard machines, in shard order.
+    pub shards: Vec<Rc<SimMachine>>,
+    /// Each shard's store (same order).
+    pub stores: Vec<Arc<Store>>,
+    /// The routing table (includes the phantom entry when requested).
+    pub shard_ids: Vec<EbbId>,
+    /// The client machine.
+    pub client: Rc<SimMachine>,
+    /// Each shard machine's messenger, in shard order.
+    pub messengers: Vec<Rc<Messenger>>,
+}
+
+/// IP of shard `i`.
+pub fn shard_ip(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 1, 10 + i as u8)
+}
+
+const NAMING_IP: Ipv4Addr = Ipv4Addr([10, 0, 1, 1]);
+const CLIENT_IP: Ipv4Addr = Ipv4Addr([10, 0, 1, 100]);
+/// Published owner of the phantom shard: no machine lives there.
+const PHANTOM_IP: Ipv4Addr = Ipv4Addr([10, 0, 1, 250]);
+
+/// Builds an N-shard cluster. With `phantom`, the routing table gets
+/// one extra shard whose owner record points at an address where
+/// nothing answers — the remote-failure probe.
+pub fn build(nshards: usize, phantom: bool) -> DistCluster {
+    assert!(nshards >= 2, "sharding needs at least two owners");
+    let w = SimWorld::new();
+    let sw = Switch::new(&w);
+    let mask = Ipv4Addr::new(255, 255, 255, 0);
+    let naming = SimMachine::create(&w, "naming", 1, CostProfile::linux_vm(), [0x10; 6]);
+    sw.attach(naming.nic(), LinkParams::default());
+    let naming_if = NetIf::attach(&naming, NAMING_IP, mask);
+    let mut shards = Vec::new();
+    let mut shard_ifs = Vec::new();
+    for i in 0..nshards {
+        let mut mac = [0x20; 6];
+        mac[5] = i as u8;
+        let m = SimMachine::create(&w, format!("shard{i}"), 1, CostProfile::ebbrt_vm(), mac);
+        sw.attach(m.nic(), LinkParams::default());
+        shard_ifs.push(NetIf::attach(&m, shard_ip(i), mask));
+        shards.push(m);
+    }
+    let client = SimMachine::create(&w, "client", 1, CostProfile::ebbrt_vm(), [0x30; 6]);
+    sw.attach(client.nic(), LinkParams::default());
+    let _client_if = NetIf::attach(&client, CLIENT_IP, mask);
+    w.run_to_idle();
+
+    let naming_msgr = Messenger::start(&naming_if);
+    let _map_server = GlobalIdMapServer::start(&naming_msgr);
+    let mut messengers = Vec::new();
+    let mut stores = Vec::new();
+    // Each shard machine: messenger + naming client + remote transport
+    // (so it can host proxy reps of the other shards) + its store.
+    let maps: Vec<Rc<GlobalIdMap>> = shard_ifs
+        .iter()
+        .map(|ifc| {
+            let msgr = Messenger::start(ifc);
+            let map = GlobalIdMap::new(&msgr, NAMING_IP);
+            MessengerTransport::install(&msgr, Rc::clone(&map));
+            messengers.push(msgr);
+            map
+        })
+        .collect();
+    for m in &shards {
+        stores.push(Store::new(Arc::clone(m.runtime().rcu())));
+    }
+
+    // Allocate the shard ids from the naming service (shard i asks
+    // through its own map client), then register + publish ownership.
+    let ids: Rc<RefCell<Vec<Option<EbbId>>>> = Rc::new(RefCell::new(vec![None; nshards]));
+    for (i, m) in shards.iter().enumerate() {
+        let map = Rc::clone(&maps[i]);
+        let ids2 = Rc::clone(&ids);
+        spawn_with(m, CoreId(0), map, move |map| {
+            map.allocate(move |id| ids2.borrow_mut()[i] = Some(id));
+        });
+    }
+    w.run_to_idle();
+    let mut shard_ids: Vec<EbbId> = ids
+        .borrow()
+        .iter()
+        .map(|id| id.expect("id allocation completed"))
+        .collect();
+    for (i, m) in shards.iter().enumerate() {
+        let id = shard_ids[i];
+        register_shard(&stores[i], m.runtime(), id);
+        let msgr = Rc::clone(&messengers[i]);
+        let map = Rc::clone(&maps[i]);
+        let ip = shard_ip(i);
+        spawn_with(m, CoreId(0), (msgr, map), move |(msgr, map)| {
+            ebbrt_hosted::remote::publish::<memcached::StoreShardEbb>(
+                &msgr,
+                &map,
+                EbbRef::from_id(id),
+                ip,
+                |ok| assert!(ok, "owner record published"),
+            );
+        });
+    }
+    if phantom {
+        // One more routing slot, owned (per the naming service) by an
+        // address where nothing answers.
+        let phantom_id = EbbId((1 << 20) + 900_000);
+        let map = Rc::clone(&maps[0]);
+        spawn_with(&shards[0], CoreId(0), map, move |map| {
+            map.put(phantom_id, &global_map::encode_owner(PHANTOM_IP), |ok| {
+                assert!(ok)
+            });
+        });
+        shard_ids.push(phantom_id);
+    }
+    w.run_to_idle();
+
+    // Start the sharded servers.
+    for (i, m) in shards.iter().enumerate() {
+        let cfg = ShardConfig {
+            shard_ids: Arc::new(shard_ids.clone()),
+            my_shard: i,
+            server: ServerConfig::default(),
+        };
+        spawn_with(m, CoreId(0), cfg, serve_sharded);
+    }
+    w.run_to_idle();
+
+    DistCluster {
+        w,
+        _sw: sw,
+        naming,
+        shards,
+        stores,
+        shard_ids,
+        client,
+        messengers,
+    }
+}
+
+/// Finds a printable key that [`shard_of`]-maps to `shard` out of
+/// `nshards` (deterministic; shared with any external client).
+pub fn key_for_shard(shard: usize, nshards: usize, tag: usize) -> Vec<u8> {
+    for n in 0.. {
+        let k = format!("key_{tag}_{n}");
+        if shard_of(k.as_bytes(), nshards) == shard {
+            return k.into_bytes();
+        }
+    }
+    unreachable!()
+}
+
+/// Workload knobs for [`run`].
+pub struct DistConfig {
+    /// Shard machines.
+    pub shards: usize,
+    /// Local-shard GETs before measurement (pool/TCP warm).
+    pub warmup_gets: u32,
+    /// Measured GETs per phase (local, then remote).
+    pub measured_gets: u32,
+    /// Add the phantom shard and probe it.
+    pub probe_failure: bool,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            shards: 3,
+            warmup_gets: 32,
+            measured_gets: 128,
+            probe_failure: true,
+        }
+    }
+}
+
+/// What [`run`] measured.
+pub struct DistReport {
+    /// Shard machines.
+    pub shards: usize,
+    /// Mean local-shard GET latency (virtual µs, client-observed).
+    pub local_mean_us: f64,
+    /// Mean cross-shard (function-shipped) GET latency (virtual µs).
+    pub remote_mean_us: f64,
+    /// GETs the *remote* owner's store served — proof the cross-shard
+    /// requests really shipped.
+    pub remote_owner_gets: u64,
+    /// Payload bytes copied on the serving machine during the measured
+    /// local phase.
+    pub local_copied: u64,
+    /// Fresh buffer allocations on the serving machine during the
+    /// measured local phase.
+    pub local_allocated: u64,
+    /// Responses carrying [`STATUS_REMOTE_ERROR`] from the phantom
+    /// probe (expected: exactly the probes sent, promptly).
+    pub failure_responses: u32,
+}
+
+/// Phase tags of the closed-loop client.
+const TAG_SETUP: u8 = 0;
+const TAG_WARM: u8 = 1;
+const TAG_LOCAL: u8 = 2;
+const TAG_REMOTE: u8 = 3;
+const TAG_FAIL: u8 = 4;
+
+struct Step {
+    frame: Vec<u8>,
+    tag: u8,
+}
+
+/// Closed-loop client: one outstanding request; phase boundaries
+/// snapshot the serving machine's pool counters.
+struct DistClient {
+    steps: RefCell<std::vec::IntoIter<Step>>,
+    rx: RefCell<Vec<u8>>,
+    in_flight: Cell<Option<(u8, u64)>>,
+    lat_ns: RefCell<[Vec<u64>; 5]>,
+    statuses: RefCell<Vec<(u8, u16)>>,
+    server_rt: Arc<Runtime>,
+    local_base: Cell<Option<stats::Snapshot>>,
+    local_delta: RefCell<Option<stats::Snapshot>>,
+}
+
+impl DistClient {
+    fn now_ns() -> u64 {
+        ebbrt_core::runtime::with_current(|rt| rt.now_ns())
+    }
+
+    fn fire_next(&self, conn: &TcpConn) {
+        let prev_tag = self.in_flight.get().map(|(t, _)| t);
+        let Some(step) = self.steps.borrow_mut().next() else {
+            self.in_flight.set(None);
+            conn.close();
+            return;
+        };
+        // Phase boundaries: bracket the measured local phase with
+        // serving-machine pool snapshots.
+        if step.tag == TAG_LOCAL && prev_tag != Some(TAG_LOCAL) {
+            self.local_base
+                .set(Some(stats::runtime_snapshot(&self.server_rt)));
+        }
+        if prev_tag == Some(TAG_LOCAL) && step.tag != TAG_LOCAL {
+            self.finish_local_phase();
+        }
+        self.in_flight.set(Some((step.tag, Self::now_ns())));
+        let _ = conn.send(Chain::single(IoBuf::copy_from(&step.frame)));
+    }
+
+    fn finish_local_phase(&self) {
+        // Consume the base: the trailing safety-net call in `run` must
+        // not stretch the measured window over later phases.
+        if let Some(base) = self.local_base.take() {
+            let delta = stats::runtime_snapshot(&self.server_rt).since(&base);
+            *self.local_delta.borrow_mut() = Some(delta);
+        }
+    }
+}
+
+impl ConnHandler for DistClient {
+    fn on_connected(&self, conn: &TcpConn) {
+        self.fire_next(conn);
+    }
+
+    fn on_receive(&self, conn: &TcpConn, data: Chain<IoBuf>) {
+        let mut rx = self.rx.borrow_mut();
+        rx.extend(data.copy_to_vec());
+        loop {
+            if rx.len() < Header::SIZE {
+                return;
+            }
+            let mut hdr = [0u8; Header::SIZE];
+            hdr.copy_from_slice(&rx[..Header::SIZE]);
+            let h = Header::decode(&hdr);
+            let total = Header::SIZE + h.total_body as usize;
+            if rx.len() < total {
+                return;
+            }
+            rx.drain(..total);
+            let (tag, sent_at) = self.in_flight.get().expect("response without a request");
+            self.lat_ns.borrow_mut()[tag as usize].push(Self::now_ns() - sent_at);
+            self.statuses.borrow_mut().push((tag, h.status));
+            drop(rx);
+            self.fire_next(conn);
+            rx = self.rx.borrow_mut();
+        }
+    }
+}
+
+fn mean_us(ns: &[u64]) -> f64 {
+    if ns.is_empty() {
+        return 0.0;
+    }
+    ns.iter().sum::<u64>() as f64 / ns.len() as f64 / 1000.0
+}
+
+/// Builds the cluster, drives the workload, returns the measurements.
+pub fn run(cfg: &DistConfig) -> DistReport {
+    let c = build(cfg.shards, cfg.probe_failure);
+    let nslots = c.shard_ids.len();
+    let local_key = key_for_shard(0, nslots, 0);
+    let remote_key = key_for_shard(1, nslots, 1);
+    let value = vec![0xC5u8; 512];
+
+    let mut steps = Vec::new();
+    // Seed one key in the local shard and one in a remote shard —
+    // through the server, so the remote SET function-ships too.
+    steps.push(Step {
+        frame: memcached::encode_set(&local_key, &value, 1),
+        tag: TAG_SETUP,
+    });
+    steps.push(Step {
+        frame: memcached::encode_set(&remote_key, &value, 2),
+        tag: TAG_SETUP,
+    });
+    for i in 0..cfg.warmup_gets {
+        steps.push(Step {
+            frame: memcached::encode_get(&local_key, 100 + i),
+            tag: TAG_WARM,
+        });
+    }
+    for i in 0..cfg.measured_gets {
+        steps.push(Step {
+            frame: memcached::encode_get(&local_key, 10_000 + i),
+            tag: TAG_LOCAL,
+        });
+    }
+    for i in 0..cfg.measured_gets {
+        steps.push(Step {
+            frame: memcached::encode_get(&remote_key, 20_000 + i),
+            tag: TAG_REMOTE,
+        });
+    }
+    let mut failure_probes = 0u32;
+    if cfg.probe_failure {
+        let phantom_slot = nslots - 1;
+        let phantom_key = key_for_shard(phantom_slot, nslots, 9);
+        failure_probes = 2;
+        for i in 0..failure_probes {
+            steps.push(Step {
+                frame: memcached::encode_get(&phantom_key, 30_000 + i),
+                tag: TAG_FAIL,
+            });
+        }
+    }
+
+    let client = Rc::new(DistClient {
+        steps: RefCell::new(steps.into_iter()),
+        rx: RefCell::new(Vec::new()),
+        in_flight: Cell::new(None),
+        lat_ns: RefCell::new(Default::default()),
+        statuses: RefCell::new(Vec::new()),
+        server_rt: Arc::clone(c.shards[0].runtime()),
+        local_base: Cell::new(None),
+        local_delta: RefCell::new(None),
+    });
+    let h = Rc::clone(&client);
+    spawn_with(&c.client, CoreId(0), h, move |h| {
+        local_netif().connect(shard_ip(0), MEMCACHED_PORT, h as Rc<dyn ConnHandler>);
+    });
+    c.w.run_to_idle();
+
+    assert!(
+        client.in_flight.get().is_none() && client.steps.borrow_mut().next().is_none(),
+        "the workload must run to completion — a hang is a failed property"
+    );
+    client.finish_local_phase();
+
+    // Every phase before the failure probe must have answered OK.
+    let statuses = client.statuses.borrow();
+    for &(tag, status) in statuses.iter() {
+        match tag {
+            TAG_FAIL => assert_eq!(
+                status, STATUS_REMOTE_ERROR,
+                "a dead shard must answer STATUS_REMOTE_ERROR"
+            ),
+            _ => assert_eq!(status, STATUS_OK, "phase {tag} response must be OK"),
+        }
+    }
+    let failure_responses = statuses.iter().filter(|(t, _)| *t == TAG_FAIL).count() as u32;
+    assert_eq!(failure_responses, failure_probes, "every probe answered");
+    drop(statuses);
+
+    let lat = client.lat_ns.borrow();
+    let delta = (*client.local_delta.borrow()).expect("local phase measured");
+    use std::sync::atomic::Ordering;
+    DistReport {
+        shards: cfg.shards,
+        local_mean_us: mean_us(&lat[TAG_LOCAL as usize]),
+        remote_mean_us: mean_us(&lat[TAG_REMOTE as usize]),
+        remote_owner_gets: c.stores[1].gets.load(Ordering::Relaxed),
+        local_copied: delta.bytes_copied,
+        local_allocated: delta.bufs_allocated,
+        failure_responses,
+    }
+}
+
+/// The properties CI enforces.
+pub fn assert_properties(r: &DistReport) {
+    assert!(
+        r.remote_owner_gets > 0,
+        "cross-shard GETs must be served by function-shipped calls to the owner"
+    );
+    assert_eq!(
+        (r.local_copied, r.local_allocated),
+        (0, 0),
+        "the steady-state local-shard path must stay zero-copy / zero-allocation"
+    );
+    assert!(
+        r.remote_mean_us > r.local_mean_us,
+        "a remote ship cannot be cheaper than a local hit"
+    );
+}
+
+/// One-line human summary.
+pub fn format_report(r: &DistReport) -> String {
+    format!(
+        "sharded memcached x{} shards: local GET {:.1} us, remote (function-shipped) GET \
+         {:.1} us ({:.1}x), {} owner-served remote gets, local phase {} copied / {} allocated, \
+         {} failure probes answered",
+        r.shards,
+        r.local_mean_us,
+        r.remote_mean_us,
+        r.remote_mean_us / r.local_mean_us.max(0.001),
+        r.remote_owner_gets,
+        r.local_copied,
+        r.local_allocated,
+        r.failure_responses,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_cluster_properties_hold() {
+        let r = run(&DistConfig {
+            shards: 2,
+            warmup_gets: 32,
+            measured_gets: 16,
+            probe_failure: true,
+        });
+        println!("{}", format_report(&r));
+        assert_properties(&r);
+    }
+}

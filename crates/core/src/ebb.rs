@@ -78,12 +78,25 @@ pub enum SystemEbb {
     EventManager = 5,
     /// The inter-machine messenger. Installed by `Messenger::start`.
     Messenger = 6,
+    /// The remote-Ebb transport ([`RemoteTransportEbb`]): what a
+    /// [`DistributedEbb`] proxy function-ships through. Installed by
+    /// the hosted layer's `remote` module.
+    Remote = 7,
 }
 
 impl SystemEbb {
     /// The well-known [`EbbId`] of this system object.
     pub const fn id(self) -> EbbId {
         EbbId(self as u32)
+    }
+
+    /// Whether `id` is a well-known id that is also part of the
+    /// messenger *wire* protocol — a service remote machines may
+    /// address by fixed id (the FileSystem and GlobalIdMap Ebbs).
+    /// Everything else below [`FIRST_DYNAMIC_ID`] is machine-local
+    /// and must never appear as a message destination.
+    pub const fn is_wire_id(id: EbbId) -> bool {
+        id.0 == SystemEbb::Fs as u32 || id.0 == SystemEbb::GlobalMap as u32
     }
 }
 
@@ -121,15 +134,23 @@ pub struct EbbManager {
     /// `ncores * capacity` slots; slot `core * capacity + id` holds the
     /// rep pointer for (core, id), or null.
     slots: Box<[AtomicPtr<()>]>,
+    /// Sparse overflow table for ids at or above `capacity` — the
+    /// *global* ids minted by the GlobalIdMap live far beyond any dense
+    /// table (they start at 1 << 20), yet their reps (owning or proxy)
+    /// still resolve through this manager. Keyed by `(core, id)`;
+    /// values are rep pointers (stored as `usize`) with the same
+    /// write-once publication rule as `slots`: inserted exactly once by
+    /// the owning core, never removed until `Drop`.
+    ext: SpinLock<HashMap<(u32, u32), usize>>,
     next_id: AtomicU32,
     roots: SpinLock<HashMap<u32, RootEntry>>,
     /// Installed reps, recorded so `Drop` can free them with the correct
-    /// type: (slot index, dropper).
+    /// type: (rep pointer, dropper).
     installed: SpinLock<Vec<InstalledRep>>,
 }
 
-/// A live representative: its slot index plus the typed dropper that
-/// frees it.
+/// A live representative: its raw pointer (as `usize`) plus the typed
+/// dropper that frees it.
 type InstalledRep = (usize, unsafe fn(*mut ()));
 
 struct RootEntry {
@@ -151,6 +172,7 @@ impl EbbManager {
             ncores,
             capacity,
             slots,
+            ext: SpinLock::new(HashMap::new()),
             next_id: AtomicU32::new(FIRST_DYNAMIC_ID),
             roots: SpinLock::new(HashMap::new()),
             installed: SpinLock::new(Vec::new()),
@@ -207,10 +229,21 @@ impl EbbManager {
         Arc::downcast::<T::Root>(Arc::clone(&entry.root)).ok()
     }
 
+    /// Loads the rep pointer for (core, id), or null. Dense ids take
+    /// the paper's fast path (one indexed load); ids beyond the dense
+    /// table — GlobalIdMap-minted global ids — go through the sparse
+    /// overflow map (one short lock + hash lookup, still allocation
+    /// free in steady state).
     #[inline]
-    fn slot_index(&self, core: CoreId, id: EbbId) -> usize {
-        debug_assert!((id.0 as usize) < self.capacity, "EbbId out of range");
-        core.index() * self.capacity + id.0 as usize
+    fn load_rep_ptr(&self, core: CoreId, id: EbbId) -> *mut () {
+        if (id.0 as usize) < self.capacity {
+            self.slots[core.index() * self.capacity + id.0 as usize].load(Ordering::Acquire)
+        } else {
+            self.ext
+                .lock()
+                .get(&(core.0, id.0))
+                .map_or(std::ptr::null_mut(), |&p| p as *mut ())
+        }
     }
 
     /// Invokes `f` on the calling core's representative for `id`,
@@ -235,14 +268,13 @@ impl EbbManager {
         f: impl FnOnce(&T) -> R,
     ) -> R {
         debug_assert_eq!(cpu::try_current(), Some(core));
-        let idx = self.slot_index(core, id);
-        let p = self.slots[idx].load(Ordering::Acquire);
+        let p = self.load_rep_ptr(core, id);
         if p.is_null() {
             return self.miss::<T, R>(id, core, f);
         }
         self.debug_check_type::<T>(id);
         // SAFETY: the slot for (core, id) is written exactly once (from
-        // this core, in `install_raw`) with a `Box<T>` whose type was
+        // this core, in `install_rep`) with a `Box<T>` whose type was
         // checked against the registered root's rep type, and is never
         // cleared while the manager lives. Only the owning core reads the
         // slot through this path, and reps outlive the call because they
@@ -268,8 +300,7 @@ impl EbbManager {
         T::Root: Default,
     {
         debug_assert_eq!(cpu::try_current(), Some(core));
-        let idx = self.slot_index(core, id);
-        let p = self.slots[idx].load(Ordering::Acquire);
+        let p = self.load_rep_ptr(core, id);
         if p.is_null() {
             return self.miss_lazy::<T, R>(id, core, f);
         }
@@ -311,7 +342,7 @@ impl EbbManager {
     pub fn for_each_rep<T: MulticoreEbb>(&self, id: EbbId, mut f: impl FnMut(CoreId, &T)) {
         self.debug_check_type::<T>(id);
         for core in 0..self.ncores {
-            let p = self.slots[core * self.capacity + id.0 as usize].load(Ordering::Acquire);
+            let p = self.load_rep_ptr(CoreId(core as u32), id);
             if !p.is_null() {
                 // SAFETY: installed rep pointers are typed-checked
                 // against the registered root and live as long as the
@@ -357,15 +388,27 @@ impl EbbManager {
             Some(core),
             "reps must be installed from their owning core"
         );
-        let idx = self.slot_index(core, id);
         let p = Box::into_raw(Box::new(rep)) as *mut ();
-        let prev = self.slots[idx].compare_exchange(
-            std::ptr::null_mut(),
-            p,
-            Ordering::Release,
-            Ordering::Relaxed,
-        );
-        if prev.is_err() {
+        let won = if (id.0 as usize) < self.capacity {
+            let idx = core.index() * self.capacity + id.0 as usize;
+            self.slots[idx]
+                .compare_exchange(
+                    std::ptr::null_mut(),
+                    p,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+        } else {
+            match self.ext.lock().entry((core.0, id.0)) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(p as usize);
+                    true
+                }
+                std::collections::hash_map::Entry::Occupied(_) => false,
+            }
+        };
+        if !won {
             // SAFETY: `p` came from `Box::into_raw` above and was not
             // published.
             drop(unsafe { Box::from_raw(p as *mut T) });
@@ -381,14 +424,66 @@ impl EbbManager {
             // from `EbbManager::drop` with the recorded pointer.
             drop(unsafe { Box::from_raw(p as *mut T) });
         }
-        self.installed.lock().push((idx, drop_rep::<T>));
+        self.installed.lock().push((p as usize, drop_rep::<T>));
     }
 
     /// Returns whether (core, id) currently has an installed rep.
     pub fn has_rep(&self, id: EbbId, core: CoreId) -> bool {
-        !self.slots[self.slot_index(core, id)]
-            .load(Ordering::Acquire)
-            .is_null()
+        !self.load_rep_ptr(core, id).is_null()
+    }
+
+    /// As [`Self::with_rep_on`] for a [`DistributedEbb`]: a miss on an
+    /// id with **no registered root** treats the id as *remote-owned* —
+    /// it builds a proxy representative that function-ships calls
+    /// through the machine's installed [`RemoteTransport`]
+    /// ([`SystemEbb::Remote`]) and installs it like any other rep. On
+    /// the owner machine (where the root *is* registered) this is
+    /// exactly `with_rep_on`: the real rep faults in from the root and
+    /// calls stay local. The fast path is identical either way: one
+    /// rep-pointer load and one null check.
+    #[inline]
+    pub fn with_rep_distributed<T: DistributedEbb, R>(
+        &self,
+        core: CoreId,
+        id: EbbId,
+        f: impl FnOnce(&T) -> R,
+    ) -> R {
+        debug_assert_eq!(cpu::try_current(), Some(core));
+        let p = self.load_rep_ptr(core, id);
+        if p.is_null() {
+            return self.miss_distributed::<T, R>(id, core, f);
+        }
+        self.debug_check_type::<T>(id);
+        // SAFETY: as in `with_rep_on`.
+        let rep = unsafe { &*(p as *const T) };
+        f(rep)
+    }
+
+    /// Distributed miss path: locally-rooted ids take the ordinary
+    /// miss; everything else gets a function-shipping proxy rep.
+    #[cold]
+    fn miss_distributed<T: DistributedEbb, R>(
+        &self,
+        id: EbbId,
+        core: CoreId,
+        f: impl FnOnce(&T) -> R,
+    ) -> R {
+        if self.roots.lock().contains_key(&id.0) {
+            return self.miss::<T, R>(id, core, f);
+        }
+        assert!(
+            self.has_rep(SystemEbb::Remote.id(), core),
+            "distributed Ebb miss on {id:?}: this machine does not own the id and \
+             no remote transport is installed on {core} (see hosted `remote::install`)"
+        );
+        let transport = self.with_rep_on::<RemoteTransportEbb, _>(
+            core,
+            SystemEbb::Remote.id(),
+            RemoteTransportEbb::transport,
+        );
+        let rep = T::create_proxy(RemoteShipper::new(id, transport), core);
+        self.install_rep(id, core, rep);
+        self.with_rep_on(core, id, f)
     }
 
     #[inline]
@@ -410,15 +505,155 @@ impl EbbManager {
 
 impl Drop for EbbManager {
     fn drop(&mut self) {
-        for (idx, dropper) in self.installed.get_mut().drain(..) {
-            let p = self.slots[idx].load(Ordering::Acquire);
-            debug_assert!(!p.is_null());
+        for (p, dropper) in self.installed.get_mut().drain(..) {
             // SAFETY: `installed` records exactly the pointers published
-            // by `install_rep`, each with its matching typed dropper, and
-            // nothing can call into the manager during `drop`.
-            unsafe { dropper(p) };
+            // by `install_rep` (dense slot or overflow map), each with
+            // its matching typed dropper, and nothing can call into the
+            // manager during `drop`.
+            unsafe { dropper(p as *mut ()) };
         }
     }
+}
+
+// --- Distributed (multi-machine) Ebbs -----------------------------------
+//
+// The paper's Ebbs span machines, not just cores (§2.2, §3.3): the same
+// id names the object system-wide, and a machine that does not own the
+// id reaches it through a *remote representative* that function-ships
+// calls to the owner over the messenger. The core layer stays
+// transport-agnostic: it defines the failure vocabulary, the transport
+// interface, and the proxy fault path; the hosted layer supplies the
+// messenger-backed transport and the GlobalIdMap owner resolution.
+
+/// Why a function-shipped Ebb call failed. Remote calls never hang:
+/// every call's continuation runs exactly once, with the response or
+/// one of these.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RemoteError {
+    /// The naming service has no owner record for the id.
+    Unresolved,
+    /// The owner's connection failed before a response arrived
+    /// (teardown, reset, ARP failure).
+    Unreachable,
+    /// No response within the transport's timeout.
+    Timeout,
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Unresolved => write!(f, "no owner record for the Ebb id"),
+            RemoteError::Unreachable => write!(f, "owner machine unreachable"),
+            RemoteError::Timeout => write!(f, "remote call timed out"),
+        }
+    }
+}
+
+/// Result of a remote Ebb call.
+pub type RemoteResult<T> = Result<T, RemoteError>;
+
+/// The continuation of one function-shipped call; invoked exactly once
+/// with the raw response payload or a [`RemoteError`].
+pub type RemoteReply = Box<dyn FnOnce(RemoteResult<crate::iobuf::Chain<crate::iobuf::IoBuf>>)>;
+
+/// The machine-local transport [`DistributedEbb`] proxies function-ship
+/// through: resolves the owner of an id (via the naming service) and
+/// delivers a request/response exchange, with timeout and
+/// failure delivery as its contract — a reply must arrive for every
+/// shipped call, `Ok` or `Err`, never neither.
+///
+/// Implementations are machine-confined (`Rc`, not `Send`): each
+/// machine installs its own under [`SystemEbb::Remote`].
+pub trait RemoteTransport {
+    /// Ships `payload` to the owner of `id`; `reply` runs exactly once.
+    fn ship(&self, id: EbbId, payload: Vec<u8>, reply: RemoteReply);
+}
+
+/// Per-core representative of [`SystemEbb::Remote`]: hands the
+/// machine's [`RemoteTransport`] to proxy reps faulting in. Installed
+/// on every core by the hosted layer's `remote::install`.
+pub struct RemoteTransportEbb {
+    transport: std::rc::Rc<dyn RemoteTransport>,
+}
+
+impl RemoteTransportEbb {
+    /// Wraps a transport handle for installation.
+    pub fn new(transport: std::rc::Rc<dyn RemoteTransport>) -> Self {
+        RemoteTransportEbb { transport }
+    }
+
+    /// The machine's transport.
+    pub fn transport(&self) -> std::rc::Rc<dyn RemoteTransport> {
+        std::rc::Rc::clone(&self.transport)
+    }
+}
+
+impl MulticoreEbb for RemoteTransportEbb {
+    type Root = ();
+
+    fn create_rep(_: &Arc<()>, core: CoreId) -> Self {
+        unreachable!(
+            "RemoteTransportEbb reps are installed by remote::install, not faulted ({core})"
+        )
+    }
+}
+
+/// A proxy representative's handle to its owner: ships byte payloads
+/// addressed to the proxy's id through the machine's transport. This is
+/// all a [`DistributedEbb`] proxy holds — owner resolution, request
+/// correlation, timeouts and failure delivery live in the transport, so
+/// a proxy never caches an owner address that could go stale.
+pub struct RemoteShipper {
+    id: EbbId,
+    transport: std::rc::Rc<dyn RemoteTransport>,
+}
+
+impl RemoteShipper {
+    /// Binds `transport` to `id`.
+    pub fn new(id: EbbId, transport: std::rc::Rc<dyn RemoteTransport>) -> Self {
+        RemoteShipper { id, transport }
+    }
+
+    /// The id calls are addressed to.
+    pub fn id(&self) -> EbbId {
+        self.id
+    }
+
+    /// Function-ships one call; `reply` runs exactly once with the
+    /// response payload or the failure.
+    pub fn call(
+        &self,
+        payload: Vec<u8>,
+        reply: impl FnOnce(RemoteResult<crate::iobuf::Chain<crate::iobuf::IoBuf>>) + 'static,
+    ) {
+        self.transport.ship(self.id, payload, Box::new(reply));
+    }
+}
+
+impl fmt::Debug for RemoteShipper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RemoteShipper({:?})", self.id)
+    }
+}
+
+/// A multi-core Ebb that is also reachable from machines that do not
+/// own it. On the owner machine the ordinary [`MulticoreEbb`] half
+/// applies (reps fault in from the registered root); on every other
+/// machine, a miss installs a *proxy* rep built by
+/// [`DistributedEbb::create_proxy`] that function-ships calls to the
+/// owner — resolved through the GlobalIdMap by the transport — and the
+/// owner answers through [`DistributedEbb::handle_remote`] on its real
+/// rep. Same id, same call sites, per-machine rep flavor: the paper's
+/// distributed fragmented object.
+pub trait DistributedEbb: MulticoreEbb {
+    /// Constructs the proxy rep on a non-owner machine. Called at most
+    /// once per (machine, core), on the faulting core.
+    fn create_proxy(shipper: RemoteShipper, core: CoreId) -> Self;
+
+    /// Owner side: applies one function-shipped request to this (real)
+    /// representative and returns the response payload. Invoked inside
+    /// the owner machine's messenger-dispatch event.
+    fn handle_remote(&self, payload: &crate::iobuf::Chain<crate::iobuf::IoBuf>) -> Vec<u8>;
 }
 
 /// A typed, copyable reference to an Ebb instance — the unit passed
@@ -457,6 +692,14 @@ impl<T: MulticoreEbb> EbbRef<T> {
     /// any of its events run.
     pub fn create_in(rt: &crate::runtime::Runtime, root: T::Root) -> Self {
         let id = rt.ebbs().allocate_id();
+        // Id hygiene: dynamic ids must never collide with the
+        // well-known SystemEbb / messenger-wire range (the allocator
+        // starts above it; this guards the invariant if that ever
+        // changes).
+        assert!(
+            id.0 >= FIRST_DYNAMIC_ID,
+            "dynamic {id:?} collides with the well-known SystemEbb range"
+        );
         rt.ebbs().register_root::<T>(id, root);
         EbbRef {
             id,
@@ -503,6 +746,18 @@ impl<T: MulticoreEbb> EbbRef<T> {
                 .root::<T>(self.id)
                 .unwrap_or_else(|| panic!("no root registered for {:?}", self.id))
         })
+    }
+}
+
+impl<T: DistributedEbb> EbbRef<T> {
+    /// As [`Self::with`] for a distributed Ebb: on a machine that does
+    /// not own the id (no registered root), the miss installs a
+    /// function-shipping *proxy* rep instead of panicking — the
+    /// cross-machine Ebb call. On the owner machine this is exactly
+    /// [`Self::with`].
+    #[inline]
+    pub fn with_distributed<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        crate::runtime::with_current_on(|rt, core| rt.ebbs().with_rep_distributed(core, self.id, f))
     }
 }
 
@@ -855,11 +1110,174 @@ mod tests {
             SystemEbb::NetStats,
             SystemEbb::EventManager,
             SystemEbb::Messenger,
+            SystemEbb::Remote,
         ] {
             assert!(w.id().0 < FIRST_DYNAMIC_ID, "{w:?} must be well-known");
         }
         assert_eq!(SystemEbb::Fs.id(), EbbId(2), "wire id: messenger fs");
         assert_eq!(SystemEbb::GlobalMap.id(), EbbId(3), "wire id: naming");
+        assert!(SystemEbb::is_wire_id(SystemEbb::Fs.id()));
+        assert!(SystemEbb::is_wire_id(SystemEbb::GlobalMap.id()));
+        assert!(!SystemEbb::is_wire_id(SystemEbb::EventManager.id()));
+        assert!(!SystemEbb::is_wire_id(EbbId(FIRST_DYNAMIC_ID)));
+    }
+
+    #[test]
+    fn global_ids_resolve_through_the_overflow_table() {
+        // A GlobalIdMap-minted id lives far beyond the dense table
+        // (1 << 20 vs capacity 128); reps must install, resolve, be
+        // visited by for_each_rep, and drop with the manager.
+        let drops = Arc::new(AtomicUsize::new(0));
+        struct ExtRep(Arc<AtomicUsize>, std::cell::Cell<usize>);
+        impl Drop for ExtRep {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        impl MulticoreEbb for ExtRep {
+            type Root = Arc<AtomicUsize>;
+            fn create_rep(root: &Arc<Arc<AtomicUsize>>, _: CoreId) -> Self {
+                ExtRep(Arc::clone(root), std::cell::Cell::new(0))
+            }
+        }
+        let gid = EbbId((1 << 20) + 7);
+        {
+            let mgr = EbbManager::new(2, 128);
+            mgr.register_root::<ExtRep>(gid, Arc::clone(&drops));
+            for core in 0..2u32 {
+                let _b = cpu::bind(CoreId(core));
+                assert!(!mgr.has_rep(gid, CoreId(core)));
+                mgr.with_rep::<ExtRep, _>(gid, |r| r.1.set(r.1.get() + 1));
+                assert!(mgr.has_rep(gid, CoreId(core)));
+                mgr.with_rep::<ExtRep, _>(gid, |r| r.1.set(r.1.get() + 1));
+            }
+            let mut seen = Vec::new();
+            mgr.for_each_rep::<ExtRep>(gid, |core, r| seen.push((core, r.1.get())));
+            assert_eq!(seen, vec![(CoreId(0), 2), (CoreId(1), 2)]);
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            2,
+            "ext reps freed with manager"
+        );
+    }
+
+    /// A distributed counter: real rep on the owner, shipping proxy
+    /// elsewhere. The mock transport echoes the payload length back.
+    struct DistEbb {
+        kind: DistKind,
+    }
+    enum DistKind {
+        Local(Arc<AtomicUsize>),
+        Proxy(RemoteShipper),
+    }
+    impl MulticoreEbb for DistEbb {
+        type Root = Arc<AtomicUsize>;
+        fn create_rep(root: &Arc<Arc<AtomicUsize>>, _: CoreId) -> Self {
+            DistEbb {
+                kind: DistKind::Local(Arc::clone(root)),
+            }
+        }
+    }
+    impl DistributedEbb for DistEbb {
+        fn create_proxy(shipper: RemoteShipper, _: CoreId) -> Self {
+            DistEbb {
+                kind: DistKind::Proxy(shipper),
+            }
+        }
+        fn handle_remote(&self, payload: &crate::iobuf::Chain<crate::iobuf::IoBuf>) -> Vec<u8> {
+            match &self.kind {
+                DistKind::Local(hits) => {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    vec![payload.len() as u8]
+                }
+                DistKind::Proxy(_) => unreachable!("proxy asked to serve"),
+            }
+        }
+    }
+    impl DistEbb {
+        fn poke(&self, n: usize, done: impl FnOnce(RemoteResult<u8>) + 'static) {
+            match &self.kind {
+                DistKind::Local(hits) => {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                    done(Ok(n as u8));
+                }
+                DistKind::Proxy(sh) => sh.call(vec![0; n], |r| {
+                    done(r.map(|resp| resp.cursor().read_u8().unwrap_or(0)))
+                }),
+            }
+        }
+    }
+
+    /// A transport that "delivers" to an owner manager living in the
+    /// same process: ships by invoking the owner rep's handle_remote.
+    struct LoopbackTransport {
+        owner: Arc<crate::runtime::Runtime>,
+    }
+    impl RemoteTransport for LoopbackTransport {
+        fn ship(&self, id: EbbId, payload: Vec<u8>, reply: RemoteReply) {
+            let chain = crate::iobuf::Chain::single(crate::iobuf::IoBuf::copy_from(&payload));
+            let resp = {
+                let _g = crate::runtime::enter(Arc::clone(&self.owner), CoreId(0));
+                self.owner
+                    .ebbs()
+                    .with_rep_distributed::<DistEbb, _>(CoreId(0), id, |rep| {
+                        rep.handle_remote(&chain)
+                    })
+            };
+            reply(Ok(crate::iobuf::Chain::single(
+                crate::iobuf::IoBuf::copy_from(&resp),
+            )));
+        }
+    }
+
+    #[test]
+    fn distributed_miss_installs_function_shipping_proxy() {
+        use crate::clock::ManualClock;
+        use crate::runtime::{self, Runtime};
+        let owner = Runtime::new(1, Arc::new(ManualClock::new()));
+        let client = Runtime::new(1, Arc::new(ManualClock::new()));
+        let gid = EbbId((1 << 20) + 42);
+        let hits = Arc::new(AtomicUsize::new(0));
+        owner
+            .ebbs()
+            .register_root::<DistEbb>(gid, Arc::clone(&hits));
+
+        // Install the transport on the client machine.
+        runtime::install_on_all_cores(&client, SystemEbb::Remote.id(), |_| {
+            RemoteTransportEbb::new(std::rc::Rc::new(LoopbackTransport {
+                owner: Arc::clone(&owner),
+            }))
+        });
+
+        let ebb = EbbRef::<DistEbb>::from_id(gid);
+        let got = std::rc::Rc::new(std::cell::Cell::new(None));
+        {
+            let _g = runtime::enter(Arc::clone(&client), CoreId(0));
+            let g2 = std::rc::Rc::clone(&got);
+            ebb.with_distributed(|rep| rep.poke(5, move |r| g2.set(Some(r))));
+            assert!(client.ebbs().has_rep(gid, CoreId(0)), "proxy installed");
+        }
+        assert_eq!(got.get(), Some(Ok(5)), "call function-shipped to the owner");
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "served by the owner rep");
+        // On the owner machine the same ref dispatches locally.
+        {
+            let _g = runtime::enter(Arc::clone(&owner), CoreId(0));
+            let g2 = std::rc::Rc::clone(&got);
+            ebb.with_distributed(|rep| rep.poke(9, move |r| g2.set(Some(r))));
+        }
+        assert_eq!(got.get(), Some(Ok(9)));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no remote transport is installed")]
+    fn distributed_miss_without_transport_panics_clearly() {
+        use crate::clock::ManualClock;
+        use crate::runtime::{self, Runtime};
+        let rt = Runtime::new(1, Arc::new(ManualClock::new()));
+        let _g = runtime::enter(Arc::clone(&rt), CoreId(0));
+        EbbRef::<DistEbb>::from_id(EbbId((1 << 20) + 1)).with_distributed(|_| ());
     }
 
     #[test]

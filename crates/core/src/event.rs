@@ -226,6 +226,10 @@ struct EmOwned {
     vectors: Vec<Option<Rc<dyn Fn()>>>,
     free_vectors: Vec<u32>,
     idle: Vec<(u64, Rc<dyn Fn() -> bool>)>,
+    /// One-shot callbacks run at the next idle dispatch stage, then
+    /// discarded — deferred housekeeping (the buffer-pool mailbox
+    /// sweep) that must not keep the core polling afterwards.
+    idle_once: Vec<EventHandler>,
     next_idle_token: u64,
     timers: TimerWheel<TimerFn>,
     pending_handoff: Option<EventContext>,
@@ -317,6 +321,7 @@ impl EventManager {
                     vectors: Vec::new(),
                     free_vectors: Vec::new(),
                     idle: Vec::new(),
+                    idle_once: Vec::new(),
                     next_idle_token: 0,
                     timers: {
                         // Stamp the wheel with its core so that, in
@@ -424,10 +429,21 @@ impl EventManager {
         });
     }
 
+    /// Queues `f` to run **once**, at this core's next idle dispatch
+    /// stage (after all pending interrupts, timers and synthetic events
+    /// of that pass). Unlike [`Self::add_idle_handler`], the callback
+    /// does not persist, so it never turns the core into a poller — the
+    /// shape for deferred housekeeping such as the buffer pool's
+    /// mailbox sweep. Owner-core only.
+    pub fn add_idle_once(&self, f: impl FnOnce() + 'static) {
+        self.owned.with(|o| o.idle_once.push(Box::new(f)));
+    }
+
     /// Whether any idle handlers are installed (a polling core must spin
-    /// rather than halt).
+    /// rather than halt) or one-shot idle callbacks are still queued.
     pub fn has_idle_handlers(&self) -> bool {
-        self.owned.with(|o| !o.idle.is_empty())
+        self.owned
+            .with(|o| !o.idle.is_empty() || !o.idle_once.is_empty())
     }
 
     // --- Timers ---------------------------------------------------------
@@ -627,8 +643,17 @@ impl EventManager {
     }
 
     fn dispatch_idle(&self) -> (usize, usize) {
+        // One-shot callbacks first: they run exactly once and count as
+        // useful work (they exist to move state, not to poll).
+        let once = self.owned.with(|o| std::mem::take(&mut o.idle_once));
+        let mut worked = once.len();
+        let mut invoked = once.len();
+        for h in once {
+            self.invoke(h);
+            self.stats.idle.fetch_add(1, Ordering::Relaxed);
+        }
         let handlers = self.owned.with(|o| o.idle.clone());
-        let mut worked = 0;
+        invoked += handlers.len();
         for (_, h) in &handlers {
             let did = {
                 let mut result = false;
@@ -640,7 +665,7 @@ impl EventManager {
             }
             self.stats.idle.fetch_add(1, Ordering::Relaxed);
         }
-        (handlers.len(), worked)
+        (invoked, worked)
     }
 
     /// Runs one handler with event bookkeeping (in-event flag for RCU,
@@ -940,6 +965,31 @@ mod tests {
         assert!(!p.synthetic);
         assert_eq!(p.idle_invoked, 1);
         assert_eq!(idles.get(), 1);
+    }
+
+    #[test]
+    fn idle_once_runs_once_and_does_not_turn_core_into_poller() {
+        let (em, _) = em();
+        let _b = cpu::bind(CoreId(0));
+        let hits = Rc::new(Cell::new(0));
+        let h2 = Rc::clone(&hits);
+        em.add_idle_once(move || h2.set(h2.get() + 1));
+        assert!(
+            em.has_idle_handlers(),
+            "queued one-shot keeps the core serviced"
+        );
+        // Pending synthetic events take priority; the one-shot waits.
+        em.spawn_local(|| ());
+        let p = em.run_once();
+        assert!(p.synthetic);
+        assert_eq!(hits.get(), 0, "idle stage skipped while events pend");
+        let p = em.run_once();
+        assert_eq!(p.idle_invoked, 1);
+        assert_eq!(p.idle_work, 1);
+        assert_eq!(hits.get(), 1);
+        assert!(!em.has_idle_handlers(), "consumed: the core may halt again");
+        assert_eq!(em.run_once().idle_invoked, 0);
+        assert_eq!(hits.get(), 1, "one-shot must not repeat");
     }
 
     #[test]

@@ -392,6 +392,19 @@ pub mod pool {
                 SizeClass::Large => 8,
             }
         }
+
+        /// Mailbox occupancy that arms the home core's **idle sweep**:
+        /// once this many remote-freed regions are parked for one core,
+        /// a one-shot idle callback is queued on that core so an idle
+        /// machine returns them to its depot instead of pinning them
+        /// until the core's next dry allocation.
+        #[inline]
+        pub fn sweep_low_water(self) -> usize {
+            match self {
+                SizeClass::Small => 8,
+                SizeClass::Large => 2,
+            }
+        }
     }
 
     /// The smallest class whose regions hold `capacity` bytes, or
@@ -456,9 +469,18 @@ pub mod pool {
         pub(super) counters: Counters,
     }
 
-    /// Free regions posted back by remote frees, one stack per home
+    /// One home core's remote-free mailbox: the parked regions plus a
+    /// dedup flag for the queued idle sweep.
+    #[derive(Default)]
+    struct Mailbox {
+        regions: Vec<Box<[u8]>>,
+        /// An idle sweep is already queued on the home core.
+        sweep_armed: bool,
+    }
+
+    /// Free regions posted back by remote frees, one mailbox per home
     /// core (see [`PoolRoot`]).
-    type Mailboxes = SpinLock<Vec<Vec<Box<[u8]>>>>;
+    type Mailboxes = SpinLock<Vec<Mailbox>>;
 
     /// The pool Ebb's shared root: per size class, one depot (the
     /// rendezvous cross-core watermark migration goes through) plus
@@ -475,6 +497,12 @@ pub mod pool {
         depots: [SpinLock<Vec<Box<[u8]>>>; NUM_CLASSES],
         /// `mailboxes[class][home_core]`, grown on demand.
         mailboxes: [Mailboxes; NUM_CLASSES],
+        /// The runtime owning this pool, recorded by the first rep
+        /// constructed inside an entered runtime. The idle mailbox
+        /// sweep needs it to reach the home core's event loop; ambient
+        /// pools (no event loops) leave it unset and keep the old
+        /// drain-on-next-allocation behaviour.
+        runtime: std::sync::OnceLock<std::sync::Weak<Runtime>>,
     }
 
     impl PoolRoot {
@@ -488,7 +516,7 @@ pub mod pool {
             self.mailboxes[class.index()]
                 .lock()
                 .iter()
-                .map(Vec::len)
+                .map(|m| m.regions.len())
                 .sum()
         }
     }
@@ -497,6 +525,13 @@ pub mod pool {
         type Root = PoolRoot;
 
         fn create_rep(root: &Arc<PoolRoot>, core: CoreId) -> Self {
+            // Record the owning runtime so remote frees can queue the
+            // idle mailbox sweep on this machine's cores. Reps of one
+            // root are only ever faulted under the runtime that
+            // registered the root, so first-writer-wins is exact.
+            if runtime::is_entered() {
+                let _ = root.runtime.set(Arc::downgrade(&runtime::current()));
+            }
             PoolEbb {
                 root: Arc::clone(root),
                 core,
@@ -574,9 +609,9 @@ pub mod pool {
             {
                 let mut boxes = p.root.mailboxes[i].lock();
                 if let Some(mine) = boxes.get_mut(p.core.index()) {
-                    if !mine.is_empty() {
-                        add(&p.counters.class_depot_out[i], mine.len() as u64);
-                        list.append(mine);
+                    if !mine.regions.is_empty() {
+                        add(&p.counters.class_depot_out[i], mine.regions.len() as u64);
+                        list.append(&mut mine.regions);
                     }
                 }
             }
@@ -632,12 +667,28 @@ pub mod pool {
             if !Arc::ptr_eq(&p.root, home) {
                 // Cross-machine free: home-return through the owner's
                 // mailbox (producer half of the migration pipeline).
-                let mut boxes = home.mailboxes[i].lock();
-                if boxes.len() <= home_core.index() {
-                    boxes.resize_with(home_core.index() + 1, Vec::new);
-                }
-                boxes[home_core.index()].push(buf);
+                // Crossing the low-water mark arms a one-shot idle
+                // sweep on the home core, so an *idle* home machine
+                // returns the regions to its depot instead of parking
+                // them until its next dry allocation.
+                let arm = {
+                    let mut boxes = home.mailboxes[i].lock();
+                    if boxes.len() <= home_core.index() {
+                        boxes.resize_with(home_core.index() + 1, Mailbox::default);
+                    }
+                    let mb = &mut boxes[home_core.index()];
+                    mb.regions.push(buf);
+                    if !mb.sweep_armed && mb.regions.len() >= class.sweep_low_water() {
+                        mb.sweep_armed = true;
+                        true
+                    } else {
+                        false
+                    }
+                };
                 bump(&p.counters.class_depot_in[i]);
+                if arm {
+                    schedule_idle_sweep(home, home_core);
+                }
                 return;
             }
             let cl = &p.classes[i];
@@ -697,6 +748,64 @@ pub mod pool {
         with_pool(|p| p.root.depots[class.index()].lock().len())
     }
 
+    /// Queues the idle mailbox sweep for `home_core` of the machine
+    /// owning `home`: a synthetic event on that core registers a
+    /// one-shot idle callback ([`EventManager::add_idle_once`]) so the
+    /// drain runs after any real work, at the idle stage of the home
+    /// core's event loop. No-op for pools without a recorded runtime
+    /// (the ambient pool), whose mailboxes keep draining on the next
+    /// dry allocation.
+    ///
+    /// [`EventManager::add_idle_once`]: crate::event::EventManager::add_idle_once
+    fn schedule_idle_sweep(home: &Arc<PoolRoot>, home_core: CoreId) {
+        let Some(rt) = home.runtime.get().and_then(std::sync::Weak::upgrade) else {
+            return;
+        };
+        let root = Arc::clone(home);
+        rt.spawn(home_core, move || {
+            runtime::with_current(|rt| {
+                let root2 = Arc::clone(&root);
+                rt.local_event_manager()
+                    .add_idle_once(move || sweep_mailboxes_to_depot(&root2, home_core));
+            });
+        });
+    }
+
+    /// Drains `core`'s remote-free mailboxes (every class): the home
+    /// core's free list is topped up to one refill batch (cache-warm
+    /// for its next burst — a sweep must never leave the owner worse
+    /// off than the lazy drain it replaces), and the excess goes to
+    /// the machine-wide depot, counted as depot migration on the
+    /// sweeping core's rep. Runs on `core`, at event-loop idle.
+    fn sweep_mailboxes_to_depot(root: &Arc<PoolRoot>, core: CoreId) {
+        for class in SizeClass::ALL {
+            let i = class.index();
+            let mut drained: Vec<Box<[u8]>> = {
+                let mut boxes = root.mailboxes[i].lock();
+                match boxes.get_mut(core.index()) {
+                    Some(mb) => {
+                        mb.sweep_armed = false;
+                        std::mem::take(&mut mb.regions)
+                    }
+                    None => continue,
+                }
+            };
+            if drained.is_empty() {
+                continue;
+            }
+            with_pool(|p| {
+                let mut list = p.classes[i].list.borrow_mut();
+                let keep = class.batch().saturating_sub(list.len()).min(drained.len());
+                let to_depot = drained.split_off(keep);
+                list.extend(drained.drain(..));
+                if !to_depot.is_empty() {
+                    add(&p.counters.class_depot_in[i], to_depot.len() as u64);
+                    p.root.depots[i].lock().extend(to_depot);
+                }
+            });
+        }
+    }
+
     /// Free regions of `class` across all of `rt`'s cores plus its
     /// depot: `(local_total, depot)`. Same quiescence contract as
     /// [`super::stats::runtime_snapshot`].
@@ -713,6 +822,165 @@ pub mod pool {
                 }
             });
         (local, depot)
+    }
+}
+
+/// Typed serialization helpers for function-shipped request/response
+/// payloads: a growable big-endian writer and a cursor-backed reader,
+/// shared by every service on the wire so framing mistakes are
+/// structural, not per-call-site.
+pub mod wire {
+    use super::{Buf, Chain, Cursor};
+
+    /// Builds one request/response payload.
+    #[derive(Default)]
+    pub struct WireWriter {
+        buf: Vec<u8>,
+    }
+
+    impl WireWriter {
+        /// An empty payload.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// A payload beginning with an operation byte.
+        pub fn op(op: u8) -> Self {
+            let mut w = Self::new();
+            w.u8(op);
+            w
+        }
+
+        /// Appends a byte.
+        pub fn u8(&mut self, v: u8) -> &mut Self {
+            self.buf.push(v);
+            self
+        }
+
+        /// Appends a big-endian u16.
+        pub fn u16(&mut self, v: u16) -> &mut Self {
+            self.buf.extend_from_slice(&v.to_be_bytes());
+            self
+        }
+
+        /// Appends a big-endian u32.
+        pub fn u32(&mut self, v: u32) -> &mut Self {
+            self.buf.extend_from_slice(&v.to_be_bytes());
+            self
+        }
+
+        /// Appends a big-endian u64.
+        pub fn u64(&mut self, v: u64) -> &mut Self {
+            self.buf.extend_from_slice(&v.to_be_bytes());
+            self
+        }
+
+        /// Appends a u16-length-prefixed byte string (keys, paths).
+        pub fn bytes16(&mut self, v: &[u8]) -> &mut Self {
+            debug_assert!(v.len() <= u16::MAX as usize);
+            self.u16(v.len() as u16);
+            self.buf.extend_from_slice(v);
+            self
+        }
+
+        /// Appends raw trailing bytes (the unframed tail of a payload).
+        pub fn tail(&mut self, v: &[u8]) -> &mut Self {
+            self.buf.extend_from_slice(v);
+            self
+        }
+
+        /// The finished payload.
+        pub fn finish(self) -> Vec<u8> {
+            self.buf
+        }
+    }
+
+    /// Reads one request/response payload from a received chain.
+    pub struct WireReader<'a, B: Buf> {
+        cur: Cursor<'a, B>,
+        remaining: usize,
+    }
+
+    impl<'a, B: Buf> WireReader<'a, B> {
+        /// Starts reading at the front of `chain`.
+        pub fn new(chain: &'a Chain<B>) -> Self {
+            WireReader {
+                cur: chain.cursor(),
+                remaining: chain.len(),
+            }
+        }
+
+        /// Unread bytes.
+        pub fn remaining(&self) -> usize {
+            self.remaining
+        }
+
+        /// Reads a byte.
+        pub fn u8(&mut self) -> Option<u8> {
+            let v = self.cur.read_u8()?;
+            self.remaining -= 1;
+            Some(v)
+        }
+
+        /// Reads a big-endian u16.
+        pub fn u16(&mut self) -> Option<u16> {
+            let v = self.cur.read_u16_be()?;
+            self.remaining -= 2;
+            Some(v)
+        }
+
+        /// Reads a big-endian u32.
+        pub fn u32(&mut self) -> Option<u32> {
+            let v = self.cur.read_u32_be()?;
+            self.remaining -= 4;
+            Some(v)
+        }
+
+        /// Reads a big-endian u64.
+        pub fn u64(&mut self) -> Option<u64> {
+            let v = self.cur.read_u64_be()?;
+            self.remaining -= 8;
+            Some(v)
+        }
+
+        /// Reads a u16-length-prefixed byte string.
+        pub fn bytes16(&mut self) -> Option<Vec<u8>> {
+            let n = self.u16()? as usize;
+            if n > self.remaining {
+                return None;
+            }
+            let v = self.cur.read_vec(n)?;
+            self.remaining -= n;
+            Some(v)
+        }
+
+        /// Reads every remaining byte (the unframed tail).
+        pub fn tail(&mut self) -> Vec<u8> {
+            let v = self.cur.read_vec(self.remaining).unwrap_or_default();
+            self.remaining = 0;
+            v
+        }
+    }
+
+    #[cfg(test)]
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = WireWriter::op(7);
+        w.u16(0xBEEF)
+            .u32(42)
+            .u64(1 << 40)
+            .bytes16(b"key")
+            .tail(b"value");
+        let chain = Chain::single(crate::iobuf::IoBuf::copy_from(&w.finish()));
+        let mut r = WireReader::new(&chain);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u16(), Some(0xBEEF));
+        assert_eq!(r.u32(), Some(42));
+        assert_eq!(r.u64(), Some(1 << 40));
+        assert_eq!(r.bytes16().as_deref(), Some(b"key".as_slice()));
+        assert_eq!(r.tail(), b"value");
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u8(), None, "reads past the end fail, not wrap");
     }
 }
 
@@ -1930,6 +2198,77 @@ mod tests {
             assert_eq!(pool::local_free_class(class), class.batch() - 1);
             let _ = after_flush;
         }
+    }
+
+    #[test]
+    fn idle_sweep_returns_mailbox_regions_to_depot() {
+        use crate::cpu::CoreId;
+        use crate::runtime;
+        use pool::SizeClass;
+        let home = test_runtime(1);
+        let away = test_runtime(1);
+        let class = SizeClass::Large;
+        // More than one refill batch, so both halves of the sweep
+        // policy are visible (local top-up + depot return).
+        let n = class.batch() + 4;
+        assert!(n >= class.sweep_low_water());
+        // Allocate on the home machine (stamping the regions' home),
+        // then free them all under the away machine: every region posts
+        // back to home core 0's mailbox, crossing the sweep's low-water
+        // mark.
+        let bufs: Vec<IoBuf> = {
+            let _g = runtime::enter(Arc::clone(&home), CoreId(0));
+            (0..n)
+                .map(|_| MutIoBuf::with_capacity(class.capacity()).freeze())
+                .collect()
+        };
+        let home_root = home
+            .ebbs()
+            .root::<pool::PoolEbb>(crate::ebb::SystemEbb::BufferPool.id())
+            .expect("home pool root");
+        {
+            let _g = runtime::enter(Arc::clone(&away), CoreId(0));
+            drop(bufs);
+        }
+        assert_eq!(home_root.mailbox_len(class), n);
+        assert_eq!(home_root.depot_len(class), 0);
+        let base = stats::runtime_snapshot(&home);
+        // The cross-machine frees armed a sweep: a synthetic event
+        // queued on home core 0 registers the one-shot idle callback,
+        // which runs at the idle stage of the next pass — without the
+        // home machine ever allocating.
+        {
+            let _g = runtime::enter(Arc::clone(&home), CoreId(0));
+            let em = home.event_manager(CoreId(0));
+            em.drain(); // the arming event
+            em.run_once(); // the idle stage: the sweep itself
+            assert!(
+                !em.has_idle_handlers(),
+                "the sweep is one-shot: the core may halt again"
+            );
+        }
+        assert_eq!(
+            home_root.mailbox_len(class),
+            0,
+            "idle machine must not pin remote-freed regions in mailboxes"
+        );
+        let (local, depot) = pool::runtime_free_counts(&home, class);
+        assert_eq!(
+            local,
+            class.batch(),
+            "the home core keeps one cache-warm refill batch"
+        );
+        assert_eq!(
+            depot,
+            n - class.batch(),
+            "the excess lands in the machine-wide depot"
+        );
+        let delta = stats::runtime_snapshot(&home).since(&base);
+        assert_eq!(
+            delta.class(class).depot_in,
+            (n - class.batch()) as u64,
+            "the depot half is counted as migration on the home machine"
+        );
     }
 
     #[test]

@@ -284,8 +284,36 @@ impl Drop for AmbientLease {
     }
 }
 
+/// A thread's resolved ambient context: the shared ambient runtime plus
+/// this thread's leased private core. Holding the `Arc` here is what
+/// keeps the fast-path raw pointer trivially valid for the thread's
+/// lifetime (the runtime is additionally pinned forever by the
+/// process-wide [`ambient`] `OnceLock`).
+struct AmbientCtx {
+    /// Held, not read: keeps the fast-path pointer alive.
+    _rt: Arc<Runtime>,
+    /// Held, not read: returns the core on thread exit.
+    _lease: AmbientLease,
+}
+
+impl Drop for AmbientCtx {
+    fn drop(&mut self) {
+        // Clear the fast mirror before the lease returns to the free
+        // list: a pool op running in a later thread-exit destructor
+        // must re-lease (slow path) rather than alias a core another
+        // thread may already have been handed.
+        let _ = AMBIENT_FAST.try_with(|c| c.set((std::ptr::null(), 0)));
+    }
+}
+
 thread_local! {
-    static AMBIENT_LEASE: RefCell<Option<AmbientLease>> = const { RefCell::new(None) };
+    static AMBIENT_CTX: RefCell<Option<AmbientCtx>> = const { RefCell::new(None) };
+    /// Fast mirror of `AMBIENT_CTX`: (runtime pointer, leased core).
+    /// Null until the thread's first ambient resolution. This is the
+    /// unentered-thread pool fast path: one `Cell` read replaces the
+    /// `OnceLock` + `Arc` clone + `RefCell` accounting per operation.
+    static AMBIENT_FAST: std::cell::Cell<(*const Runtime, u32)> =
+        const { std::cell::Cell::new((std::ptr::null(), 0)) };
 }
 
 /// The process-wide ambient runtime (created on first use).
@@ -299,35 +327,54 @@ pub fn ambient() -> Arc<Runtime> {
     }))
 }
 
-fn ambient_core() -> CoreId {
-    AMBIENT_LEASE.with(|l| {
-        let mut lease = l.borrow_mut();
-        if lease.is_none() {
-            let mut pool = AMBIENT_LEASES.lock();
-            let id = pool.free.pop().unwrap_or_else(|| {
-                let id = pool.next;
-                assert!(
-                    (id as usize) < AMBIENT_CORES,
-                    "more than {AMBIENT_CORES} concurrent threads using the ambient runtime"
-                );
-                pool.next = id + 1;
-                id
-            });
-            *lease = Some(AmbientLease(id));
-        }
-        CoreId(lease.as_ref().expect("just leased").0)
-    })
+/// Leases an ambient core and populates this thread's context + fast
+/// mirror. Runs once per thread (and again only after a thread-exit
+/// destructor cleared the context).
+#[cold]
+fn init_ambient_ctx() -> (*const Runtime, u32) {
+    let id = {
+        let mut pool = AMBIENT_LEASES.lock();
+        pool.free.pop().unwrap_or_else(|| {
+            let id = pool.next;
+            assert!(
+                (id as usize) < AMBIENT_CORES,
+                "more than {AMBIENT_CORES} concurrent threads using the ambient runtime"
+            );
+            pool.next = id + 1;
+            id
+        })
+    };
+    let rt = ambient();
+    let fast = (Arc::as_ptr(&rt), id);
+    AMBIENT_CTX.with(|c| {
+        *c.borrow_mut() = Some(AmbientCtx {
+            _rt: rt,
+            _lease: AmbientLease(id),
+        });
+    });
+    AMBIENT_FAST.with(|c| c.set(fast));
+    fast
 }
 
-#[cold]
 fn with_ambient<R>(f: impl FnOnce(&Runtime, CoreId) -> R) -> R {
-    let core = ambient_core();
-    let rt = ambient();
+    // Fast path (the unentered-thread pool op): one Cell read.
+    let (p, core) = AMBIENT_FAST.with(|c| c.get());
+    let (p, core) = if p.is_null() {
+        init_ambient_ctx()
+    } else {
+        (p, core)
+    };
+    let core = CoreId(core);
     // Bind for the duration so per-core assertions (rep installation,
     // `CoreLocal`) see the ambient identity; nests over any explicit
     // `cpu::bind` the caller holds.
     let _bind = cpu::bind(core);
-    f(&rt, core)
+    // SAFETY: `p` mirrors `AMBIENT_CTX`, whose `Arc` lives until thread
+    // exit (and the pointee is additionally pinned process-wide by the
+    // `ambient()` OnceLock, so even a post-destructor reader could not
+    // observe a dangling runtime — it re-leases instead, because the
+    // ctx destructor nulls this mirror first).
+    f(unsafe { &*p }, core)
 }
 
 /// Resolves the calling thread's *dispatch context*: the entered

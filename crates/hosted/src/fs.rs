@@ -13,17 +13,27 @@
 //! obvious future optimization, so the benefit can be measured (the
 //! offload ablation bench).
 //!
+//! Since the distributed-Ebb PR this module carries **no RPC plumbing
+//! of its own**: the server side is one [`remote::export_raw`]
+//! registration, and the client ships requests through a direct
+//! [`remote::MessengerTransport`] (owner preset to the configured
+//! server — the fixed-server special case of the generic
+//! remote-representative layer), inheriting its timeout and
+//! failure-delivery semantics. Errors surface as `None`/`false`
+//! through the existing callbacks.
+//!
 //! Wire format: `op:u8 | path_len:u16 | path | args…`.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use ebbrt_core::ebb::EbbId;
+use ebbrt_core::ebb::{EbbId, RemoteTransport};
 use ebbrt_core::iobuf::{Buf, Chain, IoBuf};
 use ebbrt_net::types::Ipv4Addr;
 
 use crate::messenger::Messenger;
+use crate::remote::{self, wire, MessengerTransport};
 
 /// Well-known Ebb id for the filesystem service (also its messenger
 /// wire id — see [`ebbrt_core::ebb::SystemEbb::Fs`]).
@@ -41,18 +51,15 @@ pub struct FsServer {
 }
 
 impl FsServer {
-    /// Starts serving over `messenger`.
+    /// Starts serving over `messenger` — one owner-side registration
+    /// through the generic remote layer.
     pub fn start(messenger: &Rc<Messenger>) -> Rc<FsServer> {
         let server = Rc::new(FsServer {
             files: RefCell::new(HashMap::new()),
             requests: Cell::new(0),
         });
         let s = Rc::clone(&server);
-        let m = Rc::clone(messenger);
-        messenger.register(FS_EBB_ID, move |src, rpc_id, payload| {
-            let resp = s.handle(&payload);
-            m.respond(src, FS_EBB_ID, rpc_id, &resp);
-        });
+        remote::export_raw(messenger, FS_EBB_ID, move |payload| s.handle(payload));
         server
     }
 
@@ -63,17 +70,11 @@ impl FsServer {
 
     fn handle(&self, payload: &Chain<IoBuf>) -> Vec<u8> {
         self.requests.set(self.requests.get() + 1);
-        let bytes = payload.copy_to_vec();
-        if bytes.len() < 3 {
+        let mut r = wire::WireReader::new(payload);
+        let (Some(op), Some(path)) = (r.u8(), r.bytes16()) else {
             return vec![0];
-        }
-        let op = bytes[0];
-        let path_len = u16::from_be_bytes([bytes[1], bytes[2]]) as usize;
-        if bytes.len() < 3 + path_len {
-            return vec![0];
-        }
-        let path = String::from_utf8_lossy(&bytes[3..3 + path_len]).into_owned();
-        let rest = &bytes[3 + path_len..];
+        };
+        let path = String::from_utf8_lossy(&path).into_owned();
         match op {
             OP_READ => match self.files.borrow().get(&path) {
                 Some(data) => {
@@ -84,7 +85,7 @@ impl FsServer {
                 None => vec![0],
             },
             OP_WRITE => {
-                self.files.borrow_mut().insert(path, rest.to_vec());
+                self.files.borrow_mut().insert(path, r.tail());
                 vec![1]
             }
             OP_STAT => match self.files.borrow().get(&path) {
@@ -101,19 +102,16 @@ impl FsServer {
 }
 
 fn encode_request(op: u8, path: &str, extra: &[u8]) -> Vec<u8> {
-    let mut req = Vec::with_capacity(3 + path.len() + extra.len());
-    req.push(op);
-    req.extend_from_slice(&(path.len() as u16).to_be_bytes());
-    req.extend_from_slice(path.as_bytes());
-    req.extend_from_slice(extra);
-    req
+    let mut w = wire::WireWriter::op(op);
+    w.bytes16(path.as_bytes()).tail(extra);
+    w.finish()
 }
 
-/// The native-side representative: every operation is one messenger
-/// round trip to the hosted machine.
+/// The native-side representative: every operation is one function
+/// ship through the remote layer's transport (owner preset to the
+/// configured server).
 pub struct FsClient {
-    messenger: Rc<Messenger>,
-    server: Ipv4Addr,
+    transport: Rc<MessengerTransport>,
     /// RPCs issued (diagnostic; the caching client issues fewer).
     pub rpcs: Cell<u64>,
 }
@@ -121,53 +119,47 @@ pub struct FsClient {
 impl FsClient {
     /// Creates a client forwarding to the server at `server`.
     pub fn new(messenger: &Rc<Messenger>, server: Ipv4Addr) -> Rc<FsClient> {
+        let transport = MessengerTransport::direct(messenger);
+        transport.preset_owner(FS_EBB_ID, server);
         Rc::new(FsClient {
-            messenger: Rc::clone(messenger),
-            server,
+            transport,
             rpcs: Cell::new(0),
         })
     }
 
-    /// Reads a file; `done(None)` on missing files.
-    pub fn read(&self, path: &str, done: impl FnOnce(Option<Vec<u8>>) + 'static) {
+    fn ship(&self, req: Vec<u8>, reply: impl FnOnce(Option<Chain<IoBuf>>) + 'static) {
         self.rpcs.set(self.rpcs.get() + 1);
-        self.messenger.call(
-            self.server,
-            FS_EBB_ID,
-            &encode_request(OP_READ, path, &[]),
-            move |resp| done(decode_read(&resp)),
-        );
+        self.transport
+            .ship(FS_EBB_ID, req, Box::new(move |r| reply(r.ok())));
     }
 
-    /// Writes a file; `done` runs on acknowledgment.
+    /// Reads a file; `done(None)` on missing files (or a failed ship).
+    pub fn read(&self, path: &str, done: impl FnOnce(Option<Vec<u8>>) + 'static) {
+        self.ship(encode_request(OP_READ, path, &[]), move |resp| {
+            done(resp.as_ref().and_then(decode_read))
+        });
+    }
+
+    /// Writes a file; `done` runs on acknowledgment (`false` on a
+    /// failed ship).
     pub fn write(&self, path: &str, data: &[u8], done: impl FnOnce(bool) + 'static) {
-        self.rpcs.set(self.rpcs.get() + 1);
-        self.messenger.call(
-            self.server,
-            FS_EBB_ID,
-            &encode_request(OP_WRITE, path, data),
-            move |resp| {
-                let ok = resp.cursor().read_u8() == Some(1);
-                done(ok);
-            },
-        );
+        self.ship(encode_request(OP_WRITE, path, data), move |resp| {
+            done(resp.is_some_and(|r| r.cursor().read_u8() == Some(1)))
+        });
     }
 
     /// Returns the file size, or `None` if missing.
     pub fn stat(&self, path: &str, done: impl FnOnce(Option<u64>) + 'static) {
-        self.rpcs.set(self.rpcs.get() + 1);
-        self.messenger.call(
-            self.server,
-            FS_EBB_ID,
-            &encode_request(OP_STAT, path, &[]),
-            move |resp| {
-                let mut cur = resp.cursor();
+        self.ship(encode_request(OP_STAT, path, &[]), move |resp| match resp {
+            Some(r) => {
+                let mut cur = r.cursor();
                 match cur.read_u8() {
                     Some(1) => done(cur.read_u64_be()),
                     _ => done(None),
                 }
-            },
-        );
+            }
+            None => done(None),
+        });
     }
 }
 

@@ -107,7 +107,9 @@ pub struct GlobalIdMap {
     server: Ipv4Addr,
     /// Locally cached range: (next, end).
     range: Cell<(u32, u32)>,
-    /// Read cache (immutable entries: ids are never re-bound).
+    /// Read cache. Entries are stable in steady state; an owner
+    /// restart re-publishes its record, and the transport invalidates
+    /// stale copies ([`GlobalIdMap::invalidate`]) when calls fail.
     cache: RefCell<HashMap<u32, Vec<u8>>>,
 }
 
@@ -149,18 +151,37 @@ impl GlobalIdMap {
     }
 
     /// Publishes metadata for `id` (e.g. the owner machine's address).
+    /// `done(false)` covers an unreachable/unresponsive naming service
+    /// too — the publish never hangs.
     pub fn put(self: &Rc<Self>, id: EbbId, data: &[u8], done: impl FnOnce(bool) + 'static) {
         let mut req = vec![OP_PUT];
         req.extend_from_slice(&id.0.to_be_bytes());
         req.extend_from_slice(data);
-        self.messenger
-            .call(self.server, GLOBAL_MAP_EBB_ID, &req, move |resp| {
-                done(resp.copy_to_vec().first() == Some(&1));
-            });
+        self.messenger.call_with_timeout(
+            self.server,
+            GLOBAL_MAP_EBB_ID,
+            &req,
+            crate::messenger::DEFAULT_RPC_TIMEOUT_NS,
+            move |resp| {
+                done(resp.is_ok_and(|r| r.copy_to_vec().first() == Some(&1)));
+            },
+        );
+    }
+
+    /// Drops the cached record for `id`, forcing the next [`Self::get`]
+    /// back to the server. The remote-representative layer calls this
+    /// when a cached owner stops answering: an owner that restarted
+    /// re-publishes its record, and the stale copy must not outlive it.
+    pub fn invalidate(&self, id: EbbId) {
+        self.cache.borrow_mut().remove(&id.0);
     }
 
     /// Resolves metadata for `id`; cached after first fetch (entries
-    /// are immutable once published).
+    /// are re-fetched only after [`Self::invalidate`] — e.g. when a
+    /// restarted owner re-publishes its address). `done` **always**
+    /// runs: an unreachable or unresponsive naming service resolves to
+    /// `None` (uncached, so a later lookup retries) — the remote layer
+    /// depends on this to honor its no-hangs contract.
     pub fn get(self: &Rc<Self>, id: EbbId, done: impl FnOnce(Option<Vec<u8>>) + 'static) {
         if let Some(v) = self.cache.borrow().get(&id.0) {
             done(Some(v.clone()));
@@ -169,8 +190,16 @@ impl GlobalIdMap {
         let mut req = vec![OP_GET];
         req.extend_from_slice(&id.0.to_be_bytes());
         let me = Rc::clone(self);
-        self.messenger
-            .call(self.server, GLOBAL_MAP_EBB_ID, &req, move |resp| {
+        self.messenger.call_with_timeout(
+            self.server,
+            GLOBAL_MAP_EBB_ID,
+            &req,
+            crate::messenger::DEFAULT_RPC_TIMEOUT_NS,
+            move |resp| {
+                let Ok(resp) = resp else {
+                    done(None);
+                    return;
+                };
                 let bytes = resp.copy_to_vec();
                 if bytes.first() == Some(&1) {
                     let data = bytes[1..].to_vec();
@@ -179,7 +208,8 @@ impl GlobalIdMap {
                 } else {
                     done(None);
                 }
-            });
+            },
+        );
     }
 }
 

@@ -36,3 +36,4 @@
 pub mod fs;
 pub mod global_map;
 pub mod messenger;
+pub mod remote;

@@ -7,17 +7,27 @@
 //! machines talk to each other while hiding the distribution from
 //! their callers (§3.3).
 //!
+//! The RPC half makes the failure contract of the distributed-Ebb
+//! layer real: every call issued through [`Messenger::call_with_timeout`]
+//! resolves **exactly once** — with the response, with
+//! [`RemoteError::Timeout`] when the per-call timer (one entry in the
+//! calling core's timer wheel) fires first, or with
+//! [`RemoteError::Unreachable`] the moment the peer's connection dies
+//! (reset, teardown, ARP failure). No call ever hangs.
+//!
 //! Wire format per message: `len:u32 | ebb_id:u32 | kind:u8 |
 //! rpc_id:u64 | payload…` (kind 0 = one-way/request, 1 = response).
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::{Rc, Weak};
 use std::sync::Arc;
 
+use ebbrt_core::clock::Ns;
 use ebbrt_core::cpu::CoreId;
-use ebbrt_core::ebb::{EbbId, EbbRef, MulticoreEbb, SystemEbb};
-use ebbrt_core::iobuf::{Chain, IoBuf, MutIoBuf};
+use ebbrt_core::ebb::{EbbId, EbbRef, MulticoreEbb, RemoteError, SystemEbb, FIRST_DYNAMIC_ID};
+use ebbrt_core::event::TimerToken;
+use ebbrt_core::iobuf::{Buf, Chain, IoBuf, MutIoBuf};
 use ebbrt_core::runtime;
 use ebbrt_net::netif::{ConnHandler, NetIf, TcpConn};
 use ebbrt_net::types::Ipv4Addr;
@@ -25,23 +35,36 @@ use ebbrt_net::types::Ipv4Addr;
 /// The well-known messenger port.
 pub const MESSENGER_PORT: u16 = 9000;
 
+/// Default RPC timeout (virtual time): generous against simulated
+/// round trips (tens of microseconds) while keeping "owner never
+/// answers" failures prompt.
+pub const DEFAULT_RPC_TIMEOUT_NS: Ns = 50_000_000;
+
 /// Message kinds.
 const KIND_SEND: u8 = 0;
 const KIND_RESPONSE: u8 = 1;
 
 /// Handler for messages addressed to one Ebb id:
-/// `(src, rpc_id, payload, messenger)`. To reply, call
-/// [`Messenger::respond`] with the given `rpc_id`.
+/// `(src, rpc_id, payload)`. To reply, call [`Messenger::respond`]
+/// with the given `rpc_id`.
 pub type MsgHandler = Rc<dyn Fn(Ipv4Addr, u64, Chain<IoBuf>)>;
 
-/// A pending RPC's continuation, invoked with the reply payload.
-type RpcWaiter = Box<dyn FnOnce(Chain<IoBuf>)>;
+/// A pending RPC: the continuation, its timeout timer (owned by the
+/// issuing core's wheel), and the peer it went to — so the waiter can
+/// be failed fast when that peer's connection dies.
+struct RpcWaiter {
+    reply: Box<dyn FnOnce(Result<Chain<IoBuf>, RemoteError>)>,
+    timer: Option<(CoreId, TimerToken)>,
+    peer: Ipv4Addr,
+}
 
 struct PeerConn {
     conn: TcpConn,
+    addr: Cell<Option<Ipv4Addr>>,
     established: bool,
-    /// Messages queued until the connection establishes.
-    pending: Vec<Vec<u8>>,
+    /// Frames awaiting connection establishment or send window, oldest
+    /// first; drained from `on_connected` / `on_window_open`.
+    pending: VecDeque<IoBuf>,
     /// Reassembly buffer for inbound stream framing.
     rx: Vec<u8>,
 }
@@ -55,6 +78,8 @@ pub struct Messenger {
     next_rpc: Cell<u64>,
     /// Messages dispatched (diagnostic).
     pub dispatched: Cell<u64>,
+    /// RPCs that resolved with an error (diagnostic).
+    pub rpc_failures: Cell<u64>,
 }
 
 /// The per-core representative of the machine's messenger Ebb
@@ -109,6 +134,7 @@ impl Messenger {
             rpc_waiters: RefCell::new(HashMap::new()),
             next_rpc: Cell::new(1),
             dispatched: Cell::new(0),
+            rpc_failures: Cell::new(0),
         });
         runtime::install_on_all_cores(netif.machine().runtime(), SystemEbb::Messenger.id(), {
             let m = Rc::downgrade(&m);
@@ -118,15 +144,24 @@ impl Messenger {
         });
         let me = Rc::clone(&m);
         netif.listen(MESSENGER_PORT, move |conn| {
+            let addr = conn.tuple().map(|t| t.remote.0);
             let peer = Rc::new(RefCell::new(PeerConn {
                 conn: conn.clone(),
+                addr: Cell::new(addr),
                 established: true,
-                pending: Vec::new(),
+                pending: VecDeque::new(),
                 rx: Vec::new(),
             }));
-            // Learn the peer so responses reuse this connection.
-            if let Some(t) = conn.tuple() {
-                me.peers.borrow_mut().insert(t.remote.0, Rc::clone(&peer));
+            // Learn the peer so responses reuse this connection — but
+            // never displace an existing entry: if this machine already
+            // holds a (typically outbound) connection to that address
+            // with RPCs in flight on it, overwriting would misattribute
+            // that connection's lifecycle (and its waiters) to this one.
+            if let Some(a) = addr {
+                me.peers
+                    .borrow_mut()
+                    .entry(a)
+                    .or_insert_with(|| Rc::clone(&peer));
             }
             // The handler holds a strong reference: a live connection
             // keeps its messenger alive (the resulting reference cycle
@@ -139,9 +174,32 @@ impl Messenger {
         m
     }
 
+    /// The network interface this messenger is bound to.
+    pub fn netif(&self) -> &Rc<NetIf> {
+        &self.netif
+    }
+
     /// Registers the handler for messages addressed to `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` collides with the well-known [`SystemEbb`] range
+    /// without being one of the designated wire ids — machine-local
+    /// system ids must never become message destinations.
     pub fn register(&self, id: EbbId, handler: impl Fn(Ipv4Addr, u64, Chain<IoBuf>) + 'static) {
+        assert!(
+            id.0 >= FIRST_DYNAMIC_ID || SystemEbb::is_wire_id(id),
+            "Messenger::register: {id:?} is in the reserved SystemEbb range \
+             but is not a designated wire id"
+        );
         self.handlers.borrow_mut().insert(id.0, Rc::new(handler));
+    }
+
+    /// Removes the handler for `id` (an owner tearing its service
+    /// down); requests for it are dropped from then on, so callers see
+    /// their timeout fire.
+    pub fn unregister(&self, id: EbbId) {
+        self.handlers.borrow_mut().remove(&id.0);
     }
 
     /// Sends a one-way message to Ebb `id` on the machine at `dst`.
@@ -149,8 +207,10 @@ impl Messenger {
         self.send_raw(dst, id, KIND_SEND, 0, payload);
     }
 
-    /// Issues an RPC to Ebb `id` on `dst`; `reply` runs with the
-    /// response payload.
+    /// Issues an RPC to Ebb `id` on `dst` with the default timeout;
+    /// `reply` runs with the response payload. Failures (timeout,
+    /// unreachable peer) drop the continuation silently — use
+    /// [`Self::call_with_timeout`] when the caller needs them.
     pub fn call(
         self: &Rc<Self>,
         dst: Ipv4Addr,
@@ -158,18 +218,104 @@ impl Messenger {
         payload: &[u8],
         reply: impl FnOnce(Chain<IoBuf>) + 'static,
     ) {
+        self.call_with_timeout(dst, id, payload, DEFAULT_RPC_TIMEOUT_NS, move |r| {
+            if let Ok(resp) = r {
+                reply(resp);
+            }
+        });
+    }
+
+    /// Issues an RPC to Ebb `id` on `dst`. `reply` runs **exactly
+    /// once**: with the response, with [`RemoteError::Timeout`] when no
+    /// response arrives within `timeout_ns` (a single timer-wheel entry
+    /// on the calling core; `0` disables the timer), or with
+    /// [`RemoteError::Unreachable`] as soon as the peer's connection
+    /// fails. Must be called inside an event on this messenger's
+    /// machine (the timer and the waiter belong to it).
+    pub fn call_with_timeout(
+        self: &Rc<Self>,
+        dst: Ipv4Addr,
+        id: EbbId,
+        payload: &[u8],
+        timeout_ns: Ns,
+        reply: impl FnOnce(Result<Chain<IoBuf>, RemoteError>) + 'static,
+    ) {
         let rpc_id = self.next_rpc.get();
         self.next_rpc.set(rpc_id + 1);
-        self.rpc_waiters
-            .borrow_mut()
-            .insert(rpc_id, Box::new(reply));
+        let timer = if timeout_ns > 0 {
+            let me = Rc::downgrade(self);
+            Some(runtime::with_current_on(|rt, core| {
+                let token = rt.event_manager(core).set_timer(timeout_ns, move || {
+                    if let Some(m) = me.upgrade() {
+                        // The one-shot timer consumed itself; nothing
+                        // to cancel.
+                        m.resolve_rpc(rpc_id, Err(RemoteError::Timeout), false);
+                    }
+                });
+                (core, token)
+            }))
+        } else {
+            None
+        };
+        self.rpc_waiters.borrow_mut().insert(
+            rpc_id,
+            RpcWaiter {
+                reply: Box::new(reply),
+                timer,
+                peer: dst,
+            },
+        );
         self.send_raw(dst, id, KIND_SEND, rpc_id, payload);
+    }
+
+    /// RPCs currently awaiting a response (diagnostic: leak detector
+    /// for the failure paths).
+    pub fn pending_rpcs(&self) -> usize {
+        self.rpc_waiters.borrow().len()
     }
 
     /// Sends the response for `rpc_id` back to `dst` (from a message
     /// handler).
     pub fn respond(self: &Rc<Self>, dst: Ipv4Addr, id: EbbId, rpc_id: u64, payload: &[u8]) {
         self.send_raw(dst, id, KIND_RESPONSE, rpc_id, payload);
+    }
+
+    /// Resolves waiter `rpc_id` (if still pending) with `outcome`,
+    /// cancelling its timeout timer unless the timer itself fired.
+    fn resolve_rpc(
+        self: &Rc<Self>,
+        rpc_id: u64,
+        outcome: Result<Chain<IoBuf>, RemoteError>,
+        cancel_timer: bool,
+    ) {
+        let waiter = self.rpc_waiters.borrow_mut().remove(&rpc_id);
+        let Some(w) = waiter else { return };
+        if cancel_timer {
+            if let Some((core, token)) = w.timer {
+                cancel_rpc_timer(core, token);
+            }
+        }
+        if outcome.is_err() {
+            self.rpc_failures.set(self.rpc_failures.get() + 1);
+        }
+        (w.reply)(outcome);
+    }
+
+    /// Fails every RPC pending on `addr` and forgets the peer, so the
+    /// next call opens a fresh connection. Runs from the peer
+    /// connection's close/reset path.
+    fn on_peer_close(self: &Rc<Self>, addr: Ipv4Addr) {
+        self.peers.borrow_mut().remove(&addr);
+        let failed: Vec<u64> = self
+            .rpc_waiters
+            .borrow()
+            .iter()
+            .filter(|(_, w)| w.peer == addr)
+            .map(|(&id, _)| id)
+            .collect();
+        for rpc_id in failed {
+            self.resolve_rpc(rpc_id, Err(RemoteError::Unreachable), true);
+        }
     }
 
     fn send_raw(self: &Rc<Self>, dst: Ipv4Addr, id: EbbId, kind: u8, rpc_id: u64, payload: &[u8]) {
@@ -181,12 +327,35 @@ impl Messenger {
         msg.extend_from_slice(&rpc_id.to_be_bytes());
         msg.extend_from_slice(payload);
         let peer = self.peer_for(dst);
-        let mut p = peer.borrow_mut();
-        if p.established {
-            let chain = Chain::single(MutIoBuf::from_vec(msg).freeze());
-            p.conn.send(chain).expect("messenger send exceeded window");
-        } else {
-            p.pending.push(msg);
+        peer.borrow_mut()
+            .pending
+            .push_back(MutIoBuf::from_vec(msg).freeze());
+        Self::flush_peer(&peer);
+    }
+
+    /// Sends as many parked frames as the window allows (descriptor
+    /// clones only); frames wait for establishment or window space
+    /// otherwise.
+    fn flush_peer(peer: &Rc<RefCell<PeerConn>>) {
+        loop {
+            let (conn, frame) = {
+                let mut p = peer.borrow_mut();
+                if !p.established {
+                    return;
+                }
+                let Some(front) = p.pending.front() else {
+                    return;
+                };
+                if front.len() > p.conn.send_window() {
+                    return;
+                }
+                let frame = p.pending.pop_front().expect("front checked");
+                (p.conn.clone(), frame)
+            };
+            if conn.send(Chain::single(frame)).is_err() {
+                // NotConnected: the close path will fail the waiters.
+                return;
+            }
         }
     }
 
@@ -198,8 +367,9 @@ impl Messenger {
         let peer = Rc::new(RefCell::new(PeerConn {
             // Placeholder; replaced right after connect() returns.
             conn: TcpConn::dangling(),
+            addr: Cell::new(Some(dst)),
             established: false,
-            pending: Vec::new(),
+            pending: VecDeque::new(),
             rx: Vec::new(),
         }));
         let handler = Rc::new(MessengerConn {
@@ -241,10 +411,7 @@ impl Messenger {
             self.dispatched.set(self.dispatched.get() + 1);
             match kind {
                 KIND_RESPONSE => {
-                    let waiter = self.rpc_waiters.borrow_mut().remove(&rpc_id);
-                    if let Some(w) = waiter {
-                        w(payload);
-                    }
+                    self.resolve_rpc(rpc_id, Ok(payload), true);
                 }
                 _ => {
                     let handler = self.handlers.borrow().get(&id).cloned();
@@ -257,6 +424,21 @@ impl Messenger {
     }
 }
 
+/// Cancels an RPC timeout timer, hopping to the owning core's event
+/// queue when the response arrived on a different core (timer tokens
+/// are per-core; the wheel asserts cross-core use).
+fn cancel_rpc_timer(core: CoreId, token: TimerToken) {
+    runtime::with_current_on(|rt, current| {
+        if current == core {
+            rt.event_manager(core).cancel_timer(token);
+        } else {
+            rt.spawn(core, move || {
+                runtime::with_current(|rt| rt.local_event_manager().cancel_timer(token));
+            });
+        }
+    });
+}
+
 struct MessengerConn {
     messenger: Rc<Messenger>,
     peer: Rc<RefCell<PeerConn>>,
@@ -264,15 +446,14 @@ struct MessengerConn {
 
 impl ConnHandler for MessengerConn {
     fn on_connected(&self, conn: &TcpConn) {
-        let pending = {
+        {
             let mut p = self.peer.borrow_mut();
             p.established = true;
-            std::mem::take(&mut p.pending)
-        };
-        for msg in pending {
-            let chain = Chain::single(MutIoBuf::from_vec(msg).freeze());
-            conn.send(chain).expect("messenger flush exceeded window");
+            if p.addr.get().is_none() {
+                p.addr.set(conn.tuple().map(|t| t.remote.0));
+            }
         }
+        Messenger::flush_peer(&self.peer);
     }
 
     fn on_receive(&self, conn: &TcpConn, data: Chain<IoBuf>) {
@@ -281,6 +462,31 @@ impl ConnHandler for MessengerConn {
             None => return,
         };
         self.messenger.on_bytes(src, &self.peer, data);
+    }
+
+    fn on_window_open(&self, _conn: &TcpConn) {
+        Messenger::flush_peer(&self.peer);
+    }
+
+    fn on_close(&self, _conn: &TcpConn) {
+        // Reset, teardown, or ARP failure on the connect path: whatever
+        // was in flight to this peer is undeliverable. Fail the waiters
+        // now rather than letting each timeout trickle in — but only if
+        // this connection is the one registered for the address: a
+        // secondary (inbound) connection closing must not fail RPCs
+        // riding the still-healthy registered one.
+        let Some(addr) = self.peer.borrow().addr.get() else {
+            return;
+        };
+        let registered = self
+            .messenger
+            .peers
+            .borrow()
+            .get(&addr)
+            .is_some_and(|p| Rc::ptr_eq(p, &self.peer));
+        if registered {
+            self.messenger.on_peer_close(addr);
+        }
     }
 }
 
@@ -302,8 +508,16 @@ mod tests {
         });
     }
 
-    #[test]
-    fn one_way_message_and_rpc() {
+    type Pair = (
+        Rc<SimWorld>,
+        Rc<Switch>,
+        Rc<SimMachine>,
+        Rc<SimMachine>,
+        Rc<Messenger>,
+        Rc<Messenger>,
+    );
+
+    fn two_machines() -> Pair {
         let w = SimWorld::new();
         let sw = Switch::new(&w);
         let hosted = SimMachine::create(&w, "hosted", 1, CostProfile::linux_vm(), [0x01; 6]);
@@ -321,9 +535,14 @@ mod tests {
             Ipv4Addr::new(255, 255, 255, 0),
         );
         w.run_to_idle();
-
         let h_msgr = Messenger::start(&h_if);
         let n_msgr = Messenger::start(&n_if);
+        (w, sw, hosted, native, h_msgr, n_msgr)
+    }
+
+    #[test]
+    fn one_way_message_and_rpc() {
+        let (w, _sw, _hosted, native, h_msgr, n_msgr) = two_machines();
 
         // Hosted side: an "adder" Ebb handler that doubles the payload
         // length and responds.
@@ -357,5 +576,126 @@ mod tests {
         assert_eq!(reply.get(), 42, "rpc response must round-trip");
         assert!(h_msgr.dispatched.get() >= 2);
         assert!(n_msgr.dispatched.get() >= 1, "response dispatch");
+        assert_eq!(n_msgr.pending_rpcs(), 0, "no waiter left behind");
+        // The per-call timeout timer was cancelled on response: the
+        // caller core's wheel holds no leaked entries for it.
+        let _b = ebbrt_core::cpu::bind(CoreId(0));
+        assert_eq!(
+            native
+                .runtime()
+                .event_manager(CoreId(0))
+                .timer_stats()
+                .pending,
+            0,
+            "rpc timeout entries must be cancelled on response"
+        );
+    }
+
+    #[test]
+    fn unanswered_rpc_times_out_with_err_and_no_leaked_timer() {
+        let (w, _sw, _hosted, native, h_msgr, n_msgr) = two_machines();
+        // A handler that swallows requests: the caller's only exit is
+        // its timeout.
+        let dead_id = EbbId(200);
+        h_msgr.register(dead_id, move |_src, _rpc_id, _payload| {});
+        let outcome = Rc::new(Cell::new(None));
+        let o2 = Rc::clone(&outcome);
+        let started = Rc::new(Cell::new(0));
+        let s2 = Rc::clone(&started);
+        on_core0(&native, (o2, s2), move |(o2, s2)| {
+            s2.set(ebbrt_core::runtime::with_current(|rt| rt.now_ns()));
+            local_messenger().call_with_timeout(
+                Ipv4Addr::new(10, 0, 0, 1),
+                dead_id,
+                b"anyone home?",
+                1_000_000, // 1 ms
+                move |r| o2.set(Some(r.map(|_| ()))),
+            );
+        });
+        w.run_to_idle();
+        assert_eq!(
+            outcome.get(),
+            Some(Err(RemoteError::Timeout)),
+            "the waiter must be failed, not parked forever"
+        );
+        assert_eq!(n_msgr.pending_rpcs(), 0, "timed-out waiter removed");
+        assert_eq!(n_msgr.rpc_failures.get(), 1);
+        let _b = ebbrt_core::cpu::bind(CoreId(0));
+        let em = native.runtime().event_manager(CoreId(0));
+        // `live` still counts the TCP connection's parked persistent
+        // timers; what must be gone is any *armed* entry — a leaked
+        // RPC timeout would sit pending forever.
+        assert_eq!(em.timer_stats().pending, 0, "no leaked timer token");
+        // A late response for the dead rpc id is a no-op (the waiter is
+        // gone), not a crash or a double resolution.
+        w.run_to_idle();
+    }
+
+    #[test]
+    fn unreachable_peer_fails_waiters_via_close_path() {
+        let (w, _sw, _hosted, native, _h_msgr, n_msgr) = two_machines();
+        // 10.0.0.77 does not exist: ARP exhausts its retries, the
+        // SynSent connection is torn down, and the close path must
+        // deliver Unreachable to the waiter before any timeout.
+        let outcome = Rc::new(Cell::new(None));
+        let o2 = Rc::clone(&outcome);
+        on_core0(&native, o2, move |o2| {
+            local_messenger().call_with_timeout(
+                Ipv4Addr::new(10, 0, 0, 77),
+                EbbId(300),
+                b"void",
+                // Effectively infinite: only the close path can resolve.
+                10_000_000_000,
+                move |r| o2.set(Some(r.map(|_| ()))),
+            );
+        });
+        w.run_to_idle();
+        assert_eq!(outcome.get(), Some(Err(RemoteError::Unreachable)));
+        assert_eq!(n_msgr.pending_rpcs(), 0);
+        let _b = ebbrt_core::cpu::bind(CoreId(0));
+        assert_eq!(
+            native.runtime().event_manager(CoreId(0)).timer_stats().live,
+            0,
+            "the (cancelled) timeout entry must be freed"
+        );
+        // The peer is forgotten: a later call may reconnect cleanly.
+        assert!(n_msgr.peers.borrow().is_empty());
+    }
+
+    #[test]
+    fn oversized_burst_parks_frames_until_window_opens() {
+        let (w, _sw, _hosted, native, h_msgr, _n_msgr) = two_machines();
+        let echo_id = EbbId(400);
+        let h2 = Rc::clone(&h_msgr);
+        h_msgr.register(echo_id, move |src, rpc_id, payload| {
+            h2.respond(src, echo_id, rpc_id, &[payload.len() as u8]);
+        });
+        // A burst far beyond the 64 KiB send window: the messenger must
+        // park frames and drain them on window openings, not panic.
+        let done = Rc::new(Cell::new(0u32));
+        let d2 = Rc::clone(&done);
+        on_core0(&native, d2, move |d2| {
+            let msgr = local_messenger();
+            for _ in 0..8 {
+                let d3 = Rc::clone(&d2);
+                msgr.call(
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    echo_id,
+                    &vec![7u8; 20 * 1024],
+                    move |_| d3.set(d3.get() + 1),
+                );
+            }
+        });
+        w.run_to_idle();
+        assert_eq!(done.get(), 8, "every parked frame must eventually ship");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved SystemEbb range")]
+    fn registering_a_non_wire_well_known_id_panics() {
+        let (_w, _sw, _hosted, _native, h_msgr, _n_msgr) = two_machines();
+        // EventManager (id 5) is machine-local: making it addressable
+        // from the wire would be an id-collision bug.
+        h_msgr.register(SystemEbb::EventManager.id(), |_, _, _| {});
     }
 }

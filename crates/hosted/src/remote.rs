@@ -1,0 +1,732 @@
+//! The remote-representative layer: distributed Ebbs over the
+//! messenger (§2.2, §3.3).
+//!
+//! This is the hosted half of `ebbrt_core::ebb`'s distributed-Ebb
+//! machinery. The core layer defines *what* a proxy rep is (an
+//! [`EbbRef::with_distributed`] miss on a machine that does not own
+//! the id installs one) and *how* it speaks (a
+//! [`RemoteTransport`] shipping byte payloads addressed to the id);
+//! this module supplies the production transport:
+//!
+//! * **Owner resolution through the GlobalIdMap** — a shipped call on
+//!   an unresolved id asks the naming service for the owner record
+//!   ([`crate::global_map`]); calls issued while resolution is in
+//!   flight queue behind it, and an id with no record fails every
+//!   queued call with [`RemoteError::Unresolved`].
+//! * **Function shipping over the messenger** — resolved calls ride
+//!   [`Messenger::call_with_timeout`]: per-call rpc ids, a timer-wheel
+//!   timeout on the calling core, and `Err` delivery the moment the
+//!   owner's connection dies. No call ever hangs.
+//! * **Staleness recovery** — a [`RemoteError::Timeout`] or
+//!   [`RemoteError::Unreachable`] invalidates the cached owner (local
+//!   state *and* the GlobalIdMap client cache), so the next call
+//!   re-resolves; an owner that restarted elsewhere and re-published
+//!   its record is found again without tearing proxies down.
+//!
+//! The owner side is two helpers: [`export`] routes inbound requests
+//! for an id to the local representative's
+//! [`DistributedEbb::handle_remote`], and [`publish`] additionally
+//! writes the owner record into the naming service.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+
+use ebbrt_core::clock::Ns;
+use ebbrt_core::ebb::{
+    DistributedEbb, EbbId, EbbRef, RemoteError, RemoteReply, RemoteTransport, RemoteTransportEbb,
+    SystemEbb,
+};
+use ebbrt_core::iobuf::{Chain, IoBuf};
+use ebbrt_core::runtime;
+use ebbrt_net::types::Ipv4Addr;
+
+use crate::global_map::{self, GlobalIdMap};
+use crate::messenger::Messenger;
+
+pub use crate::messenger::DEFAULT_RPC_TIMEOUT_NS as DEFAULT_CALL_TIMEOUT_NS;
+
+/// Resolution state of one remote id.
+enum OwnerState {
+    /// A GlobalIdMap lookup is in flight; calls queue behind it.
+    Resolving(Vec<(Vec<u8>, RemoteReply)>),
+    /// The owner's address, as last resolved.
+    Resolved(Ipv4Addr),
+}
+
+/// The production [`RemoteTransport`]: GlobalIdMap owner resolution +
+/// messenger function shipping, one per machine, installed under
+/// [`SystemEbb::Remote`].
+pub struct MessengerTransport {
+    weak: Weak<MessengerTransport>,
+    messenger: Weak<Messenger>,
+    /// The naming client; `None` for *direct* transports whose owners
+    /// are preset (the FileSystem client's fixed-server mode).
+    map: Option<Rc<GlobalIdMap>>,
+    owners: RefCell<HashMap<u32, OwnerState>>,
+    timeout_ns: Cell<Ns>,
+    /// Calls shipped (diagnostic).
+    pub shipped: Cell<u64>,
+    /// Owner records dropped after a failed call (diagnostic).
+    pub invalidations: Cell<u64>,
+}
+
+impl MessengerTransport {
+    fn new(messenger: &Rc<Messenger>, map: Option<Rc<GlobalIdMap>>) -> Rc<MessengerTransport> {
+        Rc::new_cyclic(|weak| MessengerTransport {
+            weak: Weak::clone(weak),
+            messenger: Rc::downgrade(messenger),
+            map,
+            owners: RefCell::new(HashMap::new()),
+            timeout_ns: Cell::new(DEFAULT_CALL_TIMEOUT_NS),
+            shipped: Cell::new(0),
+            invalidations: Cell::new(0),
+        })
+    }
+
+    /// Creates the machine's transport and installs it on **every
+    /// core** under [`SystemEbb::Remote`], making the machine able to
+    /// host proxy reps: from here on, a distributed-Ebb miss
+    /// function-ships instead of panicking. `map` is the machine's
+    /// naming client (owner records are resolved through it).
+    pub fn install(messenger: &Rc<Messenger>, map: Rc<GlobalIdMap>) -> Rc<MessengerTransport> {
+        let t = Self::new(messenger, Some(map));
+        let rt = messenger.netif().machine().runtime();
+        runtime::install_on_all_cores(rt, SystemEbb::Remote.id(), {
+            let t = Rc::clone(&t);
+            move |_core| RemoteTransportEbb::new(Rc::clone(&t) as Rc<dyn RemoteTransport>)
+        });
+        t
+    }
+
+    /// A transport without a naming service: every id it ships must be
+    /// preset with [`Self::preset_owner`]. Not installed in the
+    /// translation table — the handle is used directly (the FileSystem
+    /// client's fixed-server configuration).
+    pub fn direct(messenger: &Rc<Messenger>) -> Rc<MessengerTransport> {
+        Self::new(messenger, None)
+    }
+
+    /// Overrides the per-call timeout (virtual ns; `0` disables).
+    pub fn set_timeout(&self, timeout_ns: Ns) {
+        self.timeout_ns.set(timeout_ns);
+    }
+
+    /// Seeds the owner record for `id` without a naming-service round
+    /// trip.
+    pub fn preset_owner(&self, id: EbbId, owner: Ipv4Addr) {
+        self.owners
+            .borrow_mut()
+            .insert(id.0, OwnerState::Resolved(owner));
+    }
+
+    /// Ships one call to an explicit owner address, with this
+    /// transport's timeout and the failure-invalidation hook.
+    fn ship_via(&self, owner: Ipv4Addr, id: EbbId, payload: &[u8], reply: RemoteReply) {
+        let Some(m) = self.messenger.upgrade() else {
+            reply(Err(RemoteError::Unreachable));
+            return;
+        };
+        let weak = Weak::clone(&self.weak);
+        m.call_with_timeout(owner, id, payload, self.timeout_ns.get(), move |r| {
+            if matches!(r, Err(RemoteError::Timeout) | Err(RemoteError::Unreachable)) {
+                // The cached owner stopped answering: drop the record
+                // so the next call re-resolves (the owner may have
+                // restarted elsewhere and re-published).
+                if let Some(t) = weak.upgrade() {
+                    t.invalidate(id);
+                }
+            }
+            reply(r);
+        });
+    }
+
+    /// Drops the resolved owner for `id` (and the naming client's
+    /// cached record), forcing the next call to re-resolve. On a
+    /// *direct* transport this is a no-op: preset owners are
+    /// configuration, not a cache — there is no naming service to
+    /// re-resolve through, so dropping the record would brick the
+    /// transport after one transient failure; the next call simply
+    /// retries the configured address.
+    pub fn invalidate(&self, id: EbbId) {
+        let Some(map) = &self.map else { return };
+        let dropped = matches!(
+            self.owners.borrow_mut().remove(&id.0),
+            Some(OwnerState::Resolved(_))
+        );
+        if dropped {
+            self.invalidations.set(self.invalidations.get() + 1);
+        }
+        map.invalidate(id);
+    }
+
+    /// Starts (or observes) the GlobalIdMap lookup for `id`; queued
+    /// calls flush when it lands.
+    fn begin_resolve(&self, id: EbbId) {
+        let Some(map) = &self.map else {
+            // No naming service and no preset record: fail whatever
+            // queued.
+            let queued = match self.owners.borrow_mut().remove(&id.0) {
+                Some(OwnerState::Resolving(q)) => q,
+                _ => Vec::new(),
+            };
+            for (_, reply) in queued {
+                reply(Err(RemoteError::Unresolved));
+            }
+            return;
+        };
+        let weak = Weak::clone(&self.weak);
+        map.get(id, move |record| {
+            let Some(t) = weak.upgrade() else { return };
+            let owner = record.as_deref().and_then(global_map::decode_owner);
+            let queued = {
+                let mut owners = t.owners.borrow_mut();
+                let queued = match owners.remove(&id.0) {
+                    Some(OwnerState::Resolving(q)) => q,
+                    other => {
+                        // A preset raced the lookup; keep it.
+                        if let Some(state) = other {
+                            owners.insert(id.0, state);
+                        }
+                        Vec::new()
+                    }
+                };
+                if let Some(addr) = owner {
+                    owners.insert(id.0, OwnerState::Resolved(addr));
+                }
+                queued
+            };
+            match owner {
+                Some(addr) => {
+                    for (payload, reply) in queued {
+                        t.ship_via(addr, id, &payload, reply);
+                    }
+                }
+                None => {
+                    for (_, reply) in queued {
+                        reply(Err(RemoteError::Unresolved));
+                    }
+                }
+            }
+        });
+    }
+}
+
+impl RemoteTransport for MessengerTransport {
+    fn ship(&self, id: EbbId, payload: Vec<u8>, reply: RemoteReply) {
+        self.shipped.set(self.shipped.get() + 1);
+        enum Action {
+            Ship(Ipv4Addr, Vec<u8>, RemoteReply),
+            Resolve,
+            Queued,
+        }
+        let action = {
+            let mut owners = self.owners.borrow_mut();
+            match owners.get_mut(&id.0) {
+                Some(OwnerState::Resolved(addr)) => Action::Ship(*addr, payload, reply),
+                Some(OwnerState::Resolving(q)) => {
+                    q.push((payload, reply));
+                    Action::Queued
+                }
+                None => {
+                    owners.insert(id.0, OwnerState::Resolving(vec![(payload, reply)]));
+                    Action::Resolve
+                }
+            }
+        };
+        match action {
+            Action::Ship(addr, payload, reply) => self.ship_via(addr, id, &payload, reply),
+            Action::Resolve => self.begin_resolve(id),
+            Action::Queued => {}
+        }
+    }
+}
+
+/// Registers the owner-side messenger handler for `id`: each inbound
+/// request payload is turned into response bytes by `serve` and sent
+/// back correlated by rpc id. The raw (non-Ebb) form — services with
+/// their own machine-wide state (the FileSystem server, the naming
+/// service) use it directly.
+pub fn export_raw(
+    messenger: &Rc<Messenger>,
+    id: EbbId,
+    serve: impl Fn(&Chain<IoBuf>) -> Vec<u8> + 'static,
+) {
+    let weak = Rc::downgrade(messenger);
+    messenger.register(id, move |src, rpc_id, payload| {
+        let Some(m) = weak.upgrade() else { return };
+        let resp = serve(&payload);
+        m.respond(src, id, rpc_id, &resp);
+    });
+}
+
+/// Makes this machine the **owner** of distributed Ebb `ebb`: inbound
+/// function-shipped requests resolve the local (real) representative
+/// through the translation table and apply
+/// [`DistributedEbb::handle_remote`]. The root must be registered on
+/// this machine.
+pub fn export<T: DistributedEbb>(messenger: &Rc<Messenger>, ebb: EbbRef<T>) {
+    export_raw(messenger, ebb.id(), move |payload| {
+        ebb.with(|rep| rep.handle_remote(payload))
+    });
+}
+
+/// [`export`] + publish this machine (at `owner_ip`) as the id's owner
+/// in the naming service, which is what lets remote machines' proxies
+/// find it. `done` receives the publish acknowledgment.
+pub fn publish<T: DistributedEbb>(
+    messenger: &Rc<Messenger>,
+    map: &Rc<GlobalIdMap>,
+    ebb: EbbRef<T>,
+    owner_ip: Ipv4Addr,
+    done: impl FnOnce(bool) + 'static,
+) {
+    export(messenger, ebb);
+    map.put(ebb.id(), &global_map::encode_owner(owner_ip), done);
+}
+
+/// Typed serialization helpers for function-shipped payloads — the
+/// shared framing vocabulary of the remote layer. Re-exported from
+/// `ebbrt_core::iobuf::wire` so applications defining distributed Ebbs
+/// (the sharded memcached store) use the same helpers without a hosted
+/// dependency.
+pub use ebbrt_core::iobuf::wire;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global_map::GlobalIdMapServer;
+    use ebbrt_core::cpu::CoreId;
+    use ebbrt_core::ebb::{MulticoreEbb, RemoteResult, RemoteShipper};
+    use ebbrt_net::netif::NetIf;
+    use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
+    use std::sync::Arc;
+
+    struct SendCell<T>(T);
+    // SAFETY: single-threaded simulation.
+    unsafe impl<T> Send for SendCell<T> {}
+
+    fn on_core0<T: 'static>(m: &Rc<SimMachine>, v: T, f: impl FnOnce(T) + 'static) {
+        let cell = SendCell((v, f));
+        m.spawn_on(CoreId(0), move || {
+            let cell = cell;
+            (cell.0 .1)(cell.0 .0);
+        });
+    }
+
+    /// A distributed counter Ebb used across the failure tests: the
+    /// owner's rep counts pokes; proxies function-ship them.
+    struct CounterEbb {
+        kind: Kind,
+    }
+    enum Kind {
+        Local(Arc<std::sync::atomic::AtomicU64>),
+        Proxy(RemoteShipper),
+    }
+    impl MulticoreEbb for CounterEbb {
+        type Root = Arc<std::sync::atomic::AtomicU64>;
+        fn create_rep(root: &Arc<Self::Root>, _: CoreId) -> Self {
+            CounterEbb {
+                kind: Kind::Local(Arc::clone(root)),
+            }
+        }
+    }
+    impl DistributedEbb for CounterEbb {
+        fn create_proxy(shipper: RemoteShipper, _: CoreId) -> Self {
+            CounterEbb {
+                kind: Kind::Proxy(shipper),
+            }
+        }
+        fn handle_remote(&self, _payload: &Chain<IoBuf>) -> Vec<u8> {
+            match &self.kind {
+                Kind::Local(hits) => {
+                    let n = hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                    (n as u32).to_be_bytes().to_vec()
+                }
+                Kind::Proxy(_) => unreachable!("proxy asked to serve"),
+            }
+        }
+    }
+    impl CounterEbb {
+        fn poke(&self, done: impl FnOnce(RemoteResult<u32>) + 'static) {
+            match &self.kind {
+                Kind::Local(hits) => {
+                    let n = hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                    done(Ok(n as u32));
+                }
+                Kind::Proxy(sh) => sh.call(Vec::new(), |r| {
+                    done(r.map(|resp| resp.cursor().read_u32_be().unwrap_or(0)))
+                }),
+            }
+        }
+    }
+
+    struct Cluster {
+        w: Rc<SimWorld>,
+        _sw: Rc<Switch>,
+        naming: Rc<SimMachine>,
+        owner: Rc<SimMachine>,
+        standby: Rc<SimMachine>,
+        client: Rc<SimMachine>,
+        naming_msgr: Rc<Messenger>,
+        owner_msgr: Rc<Messenger>,
+        standby_msgr: Rc<Messenger>,
+        client_msgr: Rc<Messenger>,
+        owner_map: Rc<GlobalIdMap>,
+        standby_map: Rc<GlobalIdMap>,
+        client_transport: Rc<MessengerTransport>,
+    }
+
+    const NAMING_IP: Ipv4Addr = Ipv4Addr([10, 0, 0, 1]);
+    const OWNER_IP: Ipv4Addr = Ipv4Addr([10, 0, 0, 2]);
+    const CLIENT_IP: Ipv4Addr = Ipv4Addr([10, 0, 0, 3]);
+    const STANDBY_IP: Ipv4Addr = Ipv4Addr([10, 0, 0, 4]);
+
+    fn cluster() -> Cluster {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let naming = SimMachine::create(&w, "naming", 1, CostProfile::linux_vm(), [0x01; 6]);
+        let owner = SimMachine::create(&w, "owner", 1, CostProfile::ebbrt_vm(), [0x02; 6]);
+        let client = SimMachine::create(&w, "client", 1, CostProfile::ebbrt_vm(), [0x03; 6]);
+        let standby = SimMachine::create(&w, "standby", 1, CostProfile::ebbrt_vm(), [0x04; 6]);
+        sw.attach(naming.nic(), LinkParams::default());
+        sw.attach(owner.nic(), LinkParams::default());
+        sw.attach(client.nic(), LinkParams::default());
+        sw.attach(standby.nic(), LinkParams::default());
+        let mask = Ipv4Addr::new(255, 255, 255, 0);
+        let naming_if = NetIf::attach(&naming, NAMING_IP, mask);
+        let owner_if = NetIf::attach(&owner, OWNER_IP, mask);
+        let client_if = NetIf::attach(&client, CLIENT_IP, mask);
+        let standby_if = NetIf::attach(&standby, STANDBY_IP, mask);
+        w.run_to_idle();
+        let naming_msgr = Messenger::start(&naming_if);
+        let owner_msgr = Messenger::start(&owner_if);
+        let client_msgr = Messenger::start(&client_if);
+        let standby_msgr = Messenger::start(&standby_if);
+        let _server = GlobalIdMapServer::start(&naming_msgr);
+        let owner_map = GlobalIdMap::new(&owner_msgr, NAMING_IP);
+        let standby_map = GlobalIdMap::new(&standby_msgr, NAMING_IP);
+        let client_map = GlobalIdMap::new(&client_msgr, NAMING_IP);
+        let client_transport = MessengerTransport::install(&client_msgr, Rc::clone(&client_map));
+        Cluster {
+            w,
+            _sw: sw,
+            naming,
+            owner,
+            standby,
+            client,
+            naming_msgr,
+            owner_msgr,
+            standby_msgr,
+            client_msgr,
+            owner_map,
+            standby_map,
+            client_transport,
+        }
+    }
+
+    #[test]
+    fn proxy_resolves_owner_through_global_map_and_ships() {
+        let c = cluster();
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+        // Owner: allocate a global id, register the root, publish.
+        let id_cell = Rc::new(Cell::new(None));
+        let i2 = Rc::clone(&id_cell);
+        let map = Rc::clone(&c.owner_map);
+        let msgr = Rc::clone(&c.owner_msgr);
+        let rt = Arc::clone(c.owner.runtime());
+        let h2 = Arc::clone(&hits);
+        on_core0(&c.owner, (map, msgr, rt, h2), move |(map, msgr, rt, h2)| {
+            let m2 = Rc::clone(&map);
+            map.allocate(move |id| {
+                rt.ebbs().register_root::<CounterEbb>(id, h2);
+                publish::<CounterEbb>(&msgr, &m2, EbbRef::from_id(id), OWNER_IP, |ok| {
+                    assert!(ok);
+                });
+                i2.set(Some(id));
+            });
+        });
+        c.w.run_to_idle();
+        let id = id_cell.get().expect("id allocated");
+        assert!(id.0 >= 1 << 20, "a real global id");
+
+        // Client: the same EbbRef, dereferenced on a machine that does
+        // not own the id — miss → GlobalIdMap → proxy → function-ship.
+        let got = Rc::new(Cell::new(None));
+        let g2 = Rc::clone(&got);
+        on_core0(&c.client, g2, move |g2| {
+            EbbRef::<CounterEbb>::from_id(id)
+                .with_distributed(|rep| rep.poke(move |r| g2.set(Some(r))));
+        });
+        c.w.run_to_idle();
+        assert_eq!(got.get(), Some(Ok(1)), "shipped to the owner and back");
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert!(
+            c.client.runtime().ebbs().has_rep(id, CoreId(0)),
+            "the proxy rep stays installed for the fast path"
+        );
+        // Steady state: a second call reuses the proxy and the cached
+        // owner — one naming round trip total.
+        let naming_reqs = c.naming_msgr.dispatched.get();
+        let g3 = Rc::clone(&got);
+        on_core0(&c.client, g3, move |g3| {
+            EbbRef::<CounterEbb>::from_id(id)
+                .with_distributed(|rep| rep.poke(move |r| g3.set(Some(r))));
+        });
+        c.w.run_to_idle();
+        assert_eq!(got.get(), Some(Ok(2)));
+        assert_eq!(
+            c.naming_msgr.dispatched.get(),
+            naming_reqs,
+            "owner resolution must be cached"
+        );
+        let _ = (&c.naming, &c.client_msgr, &c.client_transport);
+    }
+
+    #[test]
+    fn unregistered_id_fails_unresolved_not_hangs() {
+        let c = cluster();
+        let got = Rc::new(Cell::new(None));
+        let g2 = Rc::clone(&got);
+        let bogus = EbbId((1 << 20) + 999);
+        on_core0(&c.client, g2, move |g2| {
+            EbbRef::<CounterEbb>::from_id(bogus)
+                .with_distributed(|rep| rep.poke(move |r| g2.set(Some(r))));
+        });
+        c.w.run_to_idle();
+        assert_eq!(
+            got.get(),
+            Some(Err(RemoteError::Unresolved)),
+            "an id nobody published must fail, not hang"
+        );
+        assert_eq!(c.client_msgr.pending_rpcs(), 0);
+        // The id was not negatively cached: publishing later works.
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        c.owner
+            .runtime()
+            .ebbs()
+            .register_root::<CounterEbb>(bogus, Arc::clone(&hits));
+        let msgr = Rc::clone(&c.owner_msgr);
+        let map = Rc::clone(&c.owner_map);
+        on_core0(&c.owner, (msgr, map), move |(msgr, map)| {
+            publish::<CounterEbb>(&msgr, &map, EbbRef::from_id(bogus), OWNER_IP, |ok| {
+                assert!(ok)
+            });
+        });
+        c.w.run_to_idle();
+        let g3 = Rc::clone(&got);
+        on_core0(&c.client, g3, move |g3| {
+            EbbRef::<CounterEbb>::from_id(bogus)
+                .with_distributed(|rep| rep.poke(move |r| g3.set(Some(r))));
+        });
+        c.w.run_to_idle();
+        assert_eq!(got.get(), Some(Ok(1)), "late registration is found");
+    }
+
+    #[test]
+    fn naming_service_down_fails_unresolved_not_hangs() {
+        // The client's naming client points at an address where nothing
+        // answers: owner resolution itself must fail the shipped calls
+        // (Unresolved) instead of parking them in the Resolving queue
+        // forever — and must not negatively cache, so recovery of the
+        // naming service heals the path.
+        let c = cluster();
+        let dead_naming = Ipv4Addr([10, 0, 0, 88]);
+        let id = EbbId((1 << 20) + 33);
+        let got = Rc::new(Cell::new(None));
+        let g2 = Rc::clone(&got);
+        let msgr = Rc::clone(&c.client_msgr);
+        on_core0(&c.client, (msgr, g2), move |(msgr, g2)| {
+            // Hand-build a map-backed transport without installing it
+            // (the machine already has its real one installed).
+            let map = GlobalIdMap::new(&msgr, dead_naming);
+            let t = MessengerTransport::new(&msgr, Some(map));
+            t.ship(
+                id,
+                b"anyone?".to_vec(),
+                Box::new(move |r| g2.set(Some(r.map(|_| ())))),
+            );
+            // Keep the transport alive until the world quiesces.
+            std::mem::forget(t);
+        });
+        c.w.run_to_idle();
+        assert_eq!(
+            got.get(),
+            Some(Err(RemoteError::Unresolved)),
+            "an unreachable naming service must fail resolution, not hang"
+        );
+        assert_eq!(c.client_msgr.pending_rpcs(), 0);
+    }
+
+    #[test]
+    fn direct_transport_survives_owner_failures() {
+        // A direct (map-less) transport's preset owner is configuration,
+        // not a cache: a failed call must NOT strip it — the next call
+        // retries the configured address instead of resolving to
+        // Unresolved forever.
+        let c = cluster();
+        let dead_owner = Ipv4Addr([10, 0, 0, 89]);
+        let id = EbbId((1 << 20) + 44);
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g2 = Rc::clone(&got);
+        let msgr = Rc::clone(&c.client_msgr);
+        on_core0(&c.client, (msgr, g2), move |(msgr, g2)| {
+            let t = MessengerTransport::direct(&msgr);
+            t.preset_owner(id, dead_owner);
+            let g3 = Rc::clone(&g2);
+            let t2 = Rc::clone(&t);
+            t.ship(
+                id,
+                Vec::new(),
+                Box::new(move |r| {
+                    g3.borrow_mut().push(r.map(|_| ()));
+                    // Second call after the first failure: must retry
+                    // the preset owner, not report Unresolved.
+                    let g4 = Rc::clone(&g3);
+                    t2.ship(
+                        id,
+                        Vec::new(),
+                        Box::new(move |r| g4.borrow_mut().push(r.map(|_| ()))),
+                    );
+                }),
+            );
+            std::mem::forget(t);
+        });
+        c.w.run_to_idle();
+        let got = got.borrow();
+        assert_eq!(got.len(), 2, "both calls must resolve");
+        for r in got.iter() {
+            assert!(
+                matches!(r, Err(RemoteError::Unreachable) | Err(RemoteError::Timeout)),
+                "a dead preset owner fails Unreachable/Timeout, never Unresolved: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn owner_teardown_mid_call_times_out_without_leaks() {
+        let c = cluster();
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        // Publish an owner record pointing at an address where no
+        // machine answers the messenger port — the "owner torn down
+        // between resolution and call" shape.
+        let dead = EbbId((1 << 20) + 5);
+        let map = Rc::clone(&c.owner_map);
+        on_core0(&c.owner, map, move |map| {
+            map.put(
+                dead,
+                &global_map::encode_owner(Ipv4Addr([10, 0, 0, 99])),
+                |ok| assert!(ok),
+            );
+        });
+        c.w.run_to_idle();
+        c.client_transport.set_timeout(2_000_000); // 2 virtual ms
+        let got = Rc::new(Cell::new(None));
+        let g2 = Rc::clone(&got);
+        on_core0(&c.client, g2, move |g2| {
+            EbbRef::<CounterEbb>::from_id(dead)
+                .with_distributed(|rep| rep.poke(move |r| g2.set(Some(r))));
+        });
+        c.w.run_to_idle();
+        let outcome = got.get().expect("the waiter must resolve");
+        assert!(
+            matches!(
+                outcome,
+                Err(RemoteError::Timeout) | Err(RemoteError::Unreachable)
+            ),
+            "teardown mid-call surfaces as Err, never a hang: {outcome:?}"
+        );
+        assert_eq!(c.client_msgr.pending_rpcs(), 0, "waiter removed");
+        {
+            let _b = ebbrt_core::cpu::bind(CoreId(0));
+            assert_eq!(
+                c.client
+                    .runtime()
+                    .event_manager(CoreId(0))
+                    .timer_stats()
+                    .pending,
+                0,
+                "no leaked timeout entry in the wheel"
+            );
+        }
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 0);
+        // The failure invalidated the dead owner record.
+        assert!(c.client_transport.invalidations.get() >= 1);
+    }
+
+    #[test]
+    fn stale_owner_record_recovers_after_restart() {
+        let c = cluster();
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        // Owner publishes and serves one call (the proxy caches the
+        // owner address).
+        let id = EbbId((1 << 20) + 17);
+        c.owner
+            .runtime()
+            .ebbs()
+            .register_root::<CounterEbb>(id, Arc::clone(&hits));
+        let msgr = Rc::clone(&c.owner_msgr);
+        let map = Rc::clone(&c.owner_map);
+        on_core0(&c.owner, (msgr, map), move |(msgr, map)| {
+            publish::<CounterEbb>(&msgr, &map, EbbRef::from_id(id), OWNER_IP, |ok| assert!(ok));
+        });
+        c.w.run_to_idle();
+        let got = Rc::new(Cell::new(None));
+        let g2 = Rc::clone(&got);
+        on_core0(&c.client, g2, move |g2| {
+            EbbRef::<CounterEbb>::from_id(id)
+                .with_distributed(|rep| rep.poke(move |r| g2.set(Some(r))));
+        });
+        c.w.run_to_idle();
+        assert_eq!(got.get(), Some(Ok(1)));
+
+        // "Restart": the old owner tears its service down and the
+        // standby machine takes the id over, re-publishing itself. The
+        // client's proxy and transport still cache the old owner.
+        c.owner_msgr.unregister(id);
+        let restart_hits = Arc::new(std::sync::atomic::AtomicU64::new(100));
+        c.standby
+            .runtime()
+            .ebbs()
+            .register_root::<CounterEbb>(id, Arc::clone(&restart_hits));
+        let msgr = Rc::clone(&c.standby_msgr);
+        let map = Rc::clone(&c.standby_map);
+        on_core0(&c.standby, (msgr, map), move |(msgr, map)| {
+            publish::<CounterEbb>(&msgr, &map, EbbRef::from_id(id), STANDBY_IP, |ok| {
+                assert!(ok)
+            });
+        });
+        c.w.run_to_idle();
+
+        // First call after the restart: the stale record fails fast
+        // (timeout — the old owner no longer answers) and invalidates.
+        c.client_transport.set_timeout(2_000_000);
+        let g3 = Rc::clone(&got);
+        on_core0(&c.client, g3, move |g3| {
+            EbbRef::<CounterEbb>::from_id(id)
+                .with_distributed(|rep| rep.poke(move |r| g3.set(Some(r))));
+        });
+        c.w.run_to_idle();
+        assert_eq!(
+            got.get(),
+            Some(Err(RemoteError::Timeout)),
+            "the stale owner fails fast, not forever"
+        );
+        // Second call re-resolves through the map and reaches the new
+        // owner — the proxy rep itself never had to be reinstalled.
+        let g4 = Rc::clone(&got);
+        on_core0(&c.client, g4, move |g4| {
+            EbbRef::<CounterEbb>::from_id(id)
+                .with_distributed(|rep| rep.poke(move |r| g4.set(Some(r))));
+        });
+        c.w.run_to_idle();
+        assert_eq!(
+            got.get(),
+            Some(Ok(101)),
+            "re-resolution lands on the restarted owner"
+        );
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(restart_hits.load(std::sync::atomic::Ordering::Relaxed), 101);
+    }
+}
