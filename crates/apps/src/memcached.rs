@@ -42,13 +42,16 @@
 //! machine's [`ebbrt_sim::CostProfile`] changes — which is how the
 //! Figure 5/6 comparison lines are produced.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ebbrt_core::cpu::CoreId;
 use ebbrt_core::ebb::{
-    DistributedEbb, EbbId, EbbRef, MulticoreEbb, RemoteError, RemoteResult, RemoteShipper,
+    DistributedEbb, EbbId, EbbRef, HashRing, MulticoreEbb, RemoteError, RemoteResult,
+    RemoteShipper, RemoteTransportEbb, SystemEbb,
 };
 use ebbrt_core::iobuf::{wire, Chain, IoBuf, MutIoBuf};
 use ebbrt_core::rcu_hash::RcuHashMap;
@@ -632,6 +635,33 @@ pub fn serve_with(store: StoreRef, config: ServerConfig) {
 // the memcached client when it lands. Cross-shard responses may
 // therefore reorder against local ones; clients correlate by `opaque`,
 // exactly as pipelined binary-protocol clients already must.
+//
+// ## Replication (R > 1)
+//
+// With a [`HashRing`] configured, keys map to *ranges* and each range's
+// data lives on R machines (the range's shard plus the next R-1 distinct
+// ranges' shards, [`HashRing::successors`]). The scheme is **role-free**:
+// any machine holding a local replica of a range acts as that write's
+// primary — it assigns the write a version from its per-range `applied`
+// counter, applies it locally, fans a [`SHARD_OP_REPL`] copy to every
+// *other* replica's private endpoint id, and acknowledges `[HIT|version]`
+// only after every fan-out resolves (success or presumed-dead failure),
+// so an acknowledged write is on every *live* replica. Which machine
+// *fronts* a range for remote callers is a naming-service record
+// (primary first, replicas after); when the primary dies, the shipping
+// layer's retry-in-place path promotes the next replica by CAS on that
+// record — no state moves, because replicas already hold the data.
+//
+// Reads are served by any live replica, gated per connection by a
+// version watermark: a connection that had a replicated SET acknowledged
+// at version v will not read that range from a local replica until the
+// replica's `applied` counter has reached v (read-your-writes); it ships
+// the read to the range's fronting machine instead. Fan-out *failures*
+// do not fail the client write — a replica that cannot be reached after
+// the transport's retry budget is presumed dead (the chaos harness
+// kills machines outright, and a restarted machine re-syncs by serving
+// only after re-registration), which is the documented availability/
+// durability trade of the harness, not of the protocol's bookkeeping.
 
 /// FNV-1a over the key, reduced to a shard index. Shared by servers
 /// and load generators so both sides agree on key placement.
@@ -648,10 +678,121 @@ pub fn shard_of(key: &[u8], nshards: usize) -> usize {
 /// Shard-protocol ops (the function-shipped payload's first byte).
 const SHARD_OP_GET: u8 = 1;
 const SHARD_OP_SET: u8 = 2;
+/// Replication fan-out from an acting primary to a peer replica:
+/// `[op | version:u64 | key:bytes16 | value:tail]`.
+const SHARD_OP_REPL: u8 = 3;
 /// Shard-protocol response tags.
 const SHARD_RESP_MISS: u8 = 0;
 const SHARD_RESP_HIT: u8 = 1;
 const SHARD_RESP_ERR: u8 = 2;
+
+/// The per-machine root of one key range's replica: the machine's
+/// [`Store`] (shared by every range the machine hosts), the range's
+/// replication version counter, and the private endpoint ids of the
+/// range's *other* replicas (empty when R = 1, in which case SETs are
+/// plain local writes).
+pub struct ShardRoot {
+    store: Arc<Store>,
+    /// Highest write version applied to this replica; acting primaries
+    /// also *assign* versions from it (`fetch_add`), replicas advance
+    /// it on [`SHARD_OP_REPL`] receipt (`fetch_max`).
+    applied: AtomicU64,
+    /// Endpoint [`EbbId`]s of the range's other replicas.
+    peer_eps: Vec<EbbId>,
+    /// Fan-out copies shipped (acting-primary side).
+    pub repl_sent: AtomicU64,
+    /// Fan-out copies applied (replica side).
+    pub repl_applied: AtomicU64,
+    /// Fan-out copies that failed after the transport's retry budget —
+    /// the peer is presumed dead and the write acknowledged anyway.
+    pub repl_failed: AtomicU64,
+}
+
+impl ShardRoot {
+    /// An unreplicated (R = 1) range root over `store`.
+    pub fn new(store: Arc<Store>) -> Arc<Self> {
+        Self::with_peers(store, Vec::new())
+    }
+
+    /// A replicated range root: writes applied here fan to `peer_eps`.
+    pub fn with_peers(store: Arc<Store>, peer_eps: Vec<EbbId>) -> Arc<Self> {
+        Arc::new(ShardRoot {
+            store,
+            applied: AtomicU64::new(0),
+            peer_eps,
+            repl_sent: AtomicU64::new(0),
+            repl_applied: AtomicU64::new(0),
+            repl_failed: AtomicU64::new(0),
+        })
+    }
+
+    /// The machine's store.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Highest write version applied to this replica.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::Acquire)
+    }
+
+    /// Whether writes through this root fan out to peers.
+    pub fn is_replicated(&self) -> bool {
+        !self.peer_eps.is_empty()
+    }
+
+    /// The acting-primary write path: assigns the next version, applies
+    /// locally, fans `SHARD_OP_REPL` to every peer replica, and runs
+    /// `done(version)` once every fan-out has resolved — `Ok` or `Err`;
+    /// a failed fan-out marks the peer presumed-dead
+    /// ([`ShardRoot::repl_failed`]) but never fails the write. With no
+    /// peers this is a synchronous local write.
+    ///
+    /// Must run inside an event of the machine hosting this root (the
+    /// fan-out resolves the machine's remote transport).
+    pub fn apply_set(
+        self: &Arc<Self>,
+        key: Vec<u8>,
+        value: Vec<u8>,
+        done: impl FnOnce(u64) + 'static,
+    ) {
+        let version = self.applied.fetch_add(1, Ordering::AcqRel) + 1;
+        self.store.sets.fetch_add(1, Ordering::Relaxed);
+        self.store.insert_raw(key.clone(), IoBuf::copy_from(&value));
+        if self.peer_eps.is_empty() {
+            done(version);
+            return;
+        }
+        let transport =
+            EbbRef::<RemoteTransportEbb>::well_known(SystemEbb::Remote).with(|t| t.transport());
+        let mut req = wire::WireWriter::op(SHARD_OP_REPL);
+        req.u64(version).bytes16(&key).tail(&value);
+        let payload = req.finish();
+        let remaining = Rc::new(Cell::new(self.peer_eps.len()));
+        let done = Rc::new(RefCell::new(Some(done)));
+        for &ep in &self.peer_eps {
+            self.repl_sent.fetch_add(1, Ordering::Relaxed);
+            let me = Arc::clone(self);
+            let remaining = Rc::clone(&remaining);
+            let done = Rc::clone(&done);
+            RemoteShipper::new(ep, Rc::clone(&transport)).call(payload.clone(), move |r| {
+                let ok = matches!(
+                    &r,
+                    Ok(resp) if wire::WireReader::new(resp).u8() == Some(SHARD_RESP_HIT)
+                );
+                if !ok {
+                    me.repl_failed.fetch_add(1, Ordering::Relaxed);
+                }
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    if let Some(d) = done.borrow_mut().take() {
+                        d(version);
+                    }
+                }
+            });
+        }
+    }
+}
 
 /// One key shard of the distributed store, as an Ebb: the owner
 /// machine's reps wrap its [`Store`] directly (the root), every other
@@ -663,14 +804,14 @@ pub struct StoreShardEbb {
 }
 
 enum ShardInner {
-    Local(Arc<Store>),
+    Local(Arc<ShardRoot>),
     Proxy(RemoteShipper),
 }
 
 impl MulticoreEbb for StoreShardEbb {
-    type Root = Store;
+    type Root = ShardRoot;
 
-    fn create_rep(root: &Arc<Store>, _core: CoreId) -> Self {
+    fn create_rep(root: &Arc<ShardRoot>, _core: CoreId) -> Self {
         StoreShardEbb {
             inner: ShardInner::Local(Arc::clone(root)),
         }
@@ -685,10 +826,10 @@ impl DistributedEbb for StoreShardEbb {
     }
 
     fn handle_remote(&self, payload: &Chain<IoBuf>) -> Vec<u8> {
-        use std::sync::atomic::Ordering;
-        let ShardInner::Local(store) = &self.inner else {
+        let ShardInner::Local(root) = &self.inner else {
             return vec![SHARD_RESP_ERR];
         };
+        let store = root.store();
         charge(APP_BASE_NS + (payload.len() as u64) / 16);
         let mut r = wire::WireReader::new(payload);
         match r.u8() {
@@ -707,36 +848,70 @@ impl DistributedEbb for StoreShardEbb {
                     }
                 }
             }
-            Some(SHARD_OP_SET) => {
-                let Some(key) = r.bytes16() else {
+            Some(SHARD_OP_REPL) => {
+                let (Some(version), Some(key)) = (r.u64(), r.bytes16()) else {
                     return vec![SHARD_RESP_ERR];
                 };
                 store.sets.fetch_add(1, Ordering::Relaxed);
                 store.insert_raw(key, IoBuf::copy_from(&r.tail()));
-                vec![SHARD_RESP_HIT]
+                root.applied.fetch_max(version, Ordering::AcqRel);
+                root.repl_applied.fetch_add(1, Ordering::Relaxed);
+                let mut out = vec![SHARD_RESP_HIT];
+                out.extend_from_slice(&version.to_be_bytes());
+                out
             }
+            // SET must go through the asynchronous path — the acting
+            // primary may not acknowledge before its fan-out resolves.
             _ => vec![SHARD_RESP_ERR],
         }
+    }
+
+    fn handle_remote_async(&self, payload: &Chain<IoBuf>, respond: Box<dyn FnOnce(Vec<u8>)>) {
+        let ShardInner::Local(root) = &self.inner else {
+            respond(vec![SHARD_RESP_ERR]);
+            return;
+        };
+        let mut r = wire::WireReader::new(payload);
+        if r.u8() != Some(SHARD_OP_SET) {
+            respond(self.handle_remote(payload));
+            return;
+        }
+        charge(APP_BASE_NS + (payload.len() as u64) / 16);
+        let Some(key) = r.bytes16() else {
+            respond(vec![SHARD_RESP_ERR]);
+            return;
+        };
+        root.apply_set(key, r.tail(), move |version| {
+            let mut out = vec![SHARD_RESP_HIT];
+            out.extend_from_slice(&version.to_be_bytes());
+            respond(out);
+        });
     }
 }
 
 impl StoreShardEbb {
-    /// The owner machine's store, when this rep is the owning (local)
-    /// one; `None` on proxies.
-    pub fn local_store(&self) -> Option<&Arc<Store>> {
+    /// The hosting machine's range root, when this rep is a local
+    /// (replica-holding) one; `None` on proxies.
+    pub fn local_root(&self) -> Option<&Arc<ShardRoot>> {
         match &self.inner {
-            ShardInner::Local(s) => Some(s),
+            ShardInner::Local(r) => Some(r),
             ShardInner::Proxy(_) => None,
         }
     }
 
-    /// Looks `key` up in this shard: synchronously on the owner,
+    /// The hosting machine's store, when this rep is a local one;
+    /// `None` on proxies.
+    pub fn local_store(&self) -> Option<&Arc<Store>> {
+        self.local_root().map(|r| r.store())
+    }
+
+    /// Looks `key` up in this shard: synchronously on a replica,
     /// one function ship elsewhere. `done` always runs — a failed ship
     /// surfaces as `Err`, never a hang.
     pub fn get(&self, key: &[u8], done: impl FnOnce(RemoteResult<Option<Vec<u8>>>) + 'static) {
-        use std::sync::atomic::Ordering;
         match &self.inner {
-            ShardInner::Local(store) => {
+            ShardInner::Local(root) => {
+                let store = root.store();
                 store.gets.fetch_add(1, Ordering::Relaxed);
                 let v = store.get_raw(key).map(|c| c.copy_to_vec());
                 if v.is_none() {
@@ -764,25 +939,28 @@ impl StoreShardEbb {
         }
     }
 
-    /// Stores `key = value` in this shard; same locality and failure
-    /// contract as [`Self::get`]. Shipped values are copied onto the
-    /// wire — the zero-copy property is a local-shard property.
-    pub fn set(&self, key: &[u8], value: &[u8], done: impl FnOnce(RemoteResult<()>) + 'static) {
-        use std::sync::atomic::Ordering;
+    /// Stores `key = value` in this shard and reports the version the
+    /// write was acknowledged at; same locality and failure contract as
+    /// [`Self::get`]. Shipped values are copied onto the wire — the
+    /// zero-copy property is a local-shard property.
+    pub fn set(&self, key: &[u8], value: &[u8], done: impl FnOnce(RemoteResult<u64>) + 'static) {
         match &self.inner {
-            ShardInner::Local(store) => {
-                store.sets.fetch_add(1, Ordering::Relaxed);
-                store.insert_raw(key.to_vec(), IoBuf::copy_from(value));
-                done(Ok(()));
+            ShardInner::Local(root) => {
+                root.apply_set(key.to_vec(), value.to_vec(), move |version| {
+                    done(Ok(version))
+                });
             }
             ShardInner::Proxy(shipper) => {
                 let mut req = wire::WireWriter::op(SHARD_OP_SET);
                 req.bytes16(key).tail(value);
                 shipper.call(req.finish(), move |r| match r {
-                    Ok(resp) => match wire::WireReader::new(&resp).u8() {
-                        Some(SHARD_RESP_HIT) => done(Ok(())),
-                        _ => done(Err(RemoteError::Unreachable)),
-                    },
+                    Ok(resp) => {
+                        let mut rd = wire::WireReader::new(&resp);
+                        match (rd.u8(), rd.u64()) {
+                            (Some(SHARD_RESP_HIT), Some(version)) => done(Ok(version)),
+                            _ => done(Err(RemoteError::Unreachable)),
+                        }
+                    }
                     Err(e) => done(Err(e)),
                 });
             }
@@ -790,13 +968,16 @@ impl StoreShardEbb {
     }
 }
 
-/// Registers `store` as the **owning** root of shard `id` on `rt` (the
-/// owner machine), so the shard's real reps fault in locally there.
-/// Remote machines install proxies through the distributed miss path
-/// instead — they call nothing.
-pub fn register_shard(store: &Arc<Store>, rt: &Runtime, id: EbbId) -> EbbRef<StoreShardEbb> {
+/// Registers `root` as a **replica-holding** root of range `id` on `rt`
+/// (a hosting machine), so the range's real reps fault in locally
+/// there. Machines hosting no replica install proxies through the
+/// distributed miss path instead — they call nothing. Register the same
+/// root under the range's public id *and* under this machine's private
+/// endpoint id for the range (fan-out targets a specific replica, not
+/// whichever machine fronts the range).
+pub fn register_shard(root: &Arc<ShardRoot>, rt: &Runtime, id: EbbId) -> EbbRef<StoreShardEbb> {
     rt.ebbs()
-        .register_root_arc::<StoreShardEbb>(id, Arc::clone(store));
+        .register_root_arc::<StoreShardEbb>(id, Arc::clone(root));
     EbbRef::from_id(id)
 }
 
@@ -810,6 +991,35 @@ pub struct ShardConfig {
     pub my_shard: usize,
     /// Per-connection server tunables.
     pub server: ServerConfig,
+    /// Key→range placement. `None` routes by [`shard_of`] (the
+    /// unreplicated R = 1 cluster); `Some` routes by
+    /// [`HashRing::range_of`] with replica sets from
+    /// [`HashRing::successors`].
+    pub ring: Option<Arc<HashRing>>,
+    /// The range roots this machine holds a replica of, by range index.
+    /// Requests for these ranges can be served from the machine itself
+    /// (zero-copy for GETs, acting-primary fan-out for SETs); all other
+    /// ranges function-ship.
+    pub locals: Arc<HashMap<usize, Arc<ShardRoot>>>,
+}
+
+impl ShardConfig {
+    /// The R = 1 configuration: FNV key routing, `my_shard` the only
+    /// locally held range.
+    pub fn unreplicated(
+        shard_ids: Arc<Vec<EbbId>>,
+        my_shard: usize,
+        root: Arc<ShardRoot>,
+        server: ServerConfig,
+    ) -> Self {
+        ShardConfig {
+            shard_ids,
+            my_shard,
+            server,
+            ring: None,
+            locals: Arc::new(HashMap::from([(my_shard, root)])),
+        }
+    }
 }
 
 /// Per-connection handler of a sharded server: local-shard requests
@@ -820,6 +1030,12 @@ pub struct ShardedServerConn {
     weak: std::rc::Weak<ShardedServerConn>,
     cfg: ShardConfig,
     local: ServerConn,
+    /// Per-range read watermark: the highest version a replicated SET
+    /// on this connection was acknowledged at. A local replica may
+    /// serve this connection's GET of a range only once its `applied`
+    /// counter has reached the watermark (read-your-writes); until then
+    /// the read ships to the range's fronting machine.
+    watermarks: RefCell<HashMap<usize, u64>>,
 }
 
 impl ShardedServerConn {
@@ -830,7 +1046,19 @@ impl ShardedServerConn {
             weak: std::rc::Weak::clone(weak),
             local: ServerConn::with_config(store, cfg.server),
             cfg,
+            watermarks: RefCell::new(HashMap::new()),
         })
+    }
+
+    fn watermark(&self, range: usize) -> u64 {
+        self.watermarks.borrow().get(&range).copied().unwrap_or(0)
+    }
+
+    /// Records a replicated-SET acknowledgement at `version`.
+    fn note_ack(&self, range: usize, version: u64) {
+        let mut w = self.watermarks.borrow_mut();
+        let e = w.entry(range).or_insert(0);
+        *e = (*e).max(version);
     }
 
     fn process(&self, conn: &TcpConn, data: Chain<IoBuf>) {
@@ -876,27 +1104,102 @@ impl ShardedServerConn {
                 &key_heap
             }
         };
-        if shard_of(key, nshards) == self.cfg.my_shard {
-            self.local.handle_request(h, body, out);
-        } else {
-            self.ship_remote(conn, h, key, body);
+        let range = match &self.cfg.ring {
+            Some(ring) => ring.range_of(key) as usize,
+            None => shard_of(key, nshards),
+        };
+        match (h.opcode, self.cfg.locals.get(&range)) {
+            // A locally held replica serves reads zero-copy — unless
+            // this connection was acknowledged a write the replica has
+            // not applied yet (read-your-writes gate).
+            (OP_GET, Some(root)) if root.applied() >= self.watermark(range) => {
+                self.local.handle_request(h, body, out);
+            }
+            // Unreplicated local SETs keep the zero-copy local path.
+            (OP_SET, Some(root)) if !root.is_replicated() => {
+                self.local.handle_request(h, body, out);
+            }
+            // Replicated SET with a local replica: act as the write's
+            // primary here — version, apply, fan out, then answer.
+            (OP_SET, Some(root)) => {
+                let root = Arc::clone(root);
+                self.primary_set(conn, h, range, key, body, &root);
+            }
+            // Everything else function-ships to the range's fronting
+            // machine.
+            _ => self.ship_remote(conn, h, range, key, body),
         }
     }
 
-    /// Function-ships one cross-shard request to its owner and frames
-    /// the reply back on this connection when it lands. A failed ship
-    /// answers [`STATUS_REMOTE_ERROR`] — the client always hears back.
-    fn ship_remote(&self, conn: &TcpConn, h: &Header, key: &[u8], body: Chain<IoBuf>) {
+    /// Acts as the primary for a SET of a locally held replicated
+    /// range: applies through [`ShardRoot::apply_set`] and answers the
+    /// client once every fan-out has resolved, recording the version in
+    /// this connection's watermark.
+    fn primary_set(
+        &self,
+        conn: &TcpConn,
+        h: &Header,
+        range: usize,
+        key: &[u8],
+        body: Chain<IoBuf>,
+        root: &Arc<ShardRoot>,
+    ) {
         charge(APP_BASE_NS);
-        let shard = shard_of(key, self.cfg.shard_ids.len());
-        let ebb = EbbRef::<StoreShardEbb>::from_id(self.cfg.shard_ids[shard]);
+        let mut value = body;
+        value.advance(h.extras_len as usize + key.len());
+        // Replication copies the value onto the fan-out wire; the
+        // zero-copy discipline is an unreplicated-local property.
+        let value = value.copy_to_vec();
+        let me = std::rc::Weak::clone(&self.weak);
+        let conn = conn.clone();
+        let opaque = h.opaque;
+        root.apply_set(key.to_vec(), value, move |version| {
+            let conn2 = conn.clone();
+            on_conn_core(&conn, move || {
+                let Some(me) = me.upgrade() else { return };
+                me.note_ack(range, version);
+                let mut out: Chain<IoBuf> = Chain::new();
+                push_miss(&mut out, OP_SET, STATUS_OK, opaque);
+                me.local.send_batch(&conn2, out);
+            });
+        });
+    }
+
+    /// A proxy rep addressed to `range`'s public id, built against the
+    /// machine's transport directly. Explicit (not the distributed miss
+    /// path) because a machine may hold a *replica* of a range and
+    /// still need to ship a call to whoever currently fronts it — the
+    /// miss path would resolve the local root instead.
+    fn proxy_for(&self, range: usize) -> StoreShardEbb {
+        let transport =
+            EbbRef::<RemoteTransportEbb>::well_known(SystemEbb::Remote).with(|t| t.transport());
+        StoreShardEbb {
+            inner: ShardInner::Proxy(RemoteShipper::new(self.cfg.shard_ids[range], transport)),
+        }
+    }
+
+    /// Function-ships one cross-shard request to the machine fronting
+    /// `range` and frames the reply back on this connection when it
+    /// lands — hopped back to the connection's RSS core first. A failed
+    /// ship answers [`STATUS_REMOTE_ERROR`] — the client always hears
+    /// back.
+    fn ship_remote(
+        &self,
+        conn: &TcpConn,
+        h: &Header,
+        range: usize,
+        key: &[u8],
+        body: Chain<IoBuf>,
+    ) {
+        charge(APP_BASE_NS);
         let me = std::rc::Weak::clone(&self.weak);
         let conn = conn.clone();
         let opaque = h.opaque;
         match h.opcode {
             OP_GET => {
-                ebb.with_distributed(|rep| {
-                    rep.get(key, move |r| {
+                self.proxy_for(range).get(key, move |r| {
+                    let conn2 = conn.clone();
+                    on_conn_core(&conn, move || {
                         let Some(me) = me.upgrade() else { return };
                         let mut out: Chain<IoBuf> = Chain::new();
                         match r {
@@ -916,7 +1219,7 @@ impl ShardedServerConn {
                             Ok(None) => push_miss(&mut out, OP_GET, STATUS_KEY_NOT_FOUND, opaque),
                             Err(_) => push_miss(&mut out, OP_GET, STATUS_REMOTE_ERROR, opaque),
                         }
-                        me.local.send_batch(&conn, out);
+                        me.local.send_batch(&conn2, out);
                     });
                 });
             }
@@ -926,22 +1229,42 @@ impl ShardedServerConn {
                 // Function shipping copies the value onto the wire; the
                 // zero-copy discipline is a local-shard property.
                 let value = value.copy_to_vec();
-                ebb.with_distributed(|rep| {
-                    rep.set(key, &value, move |r| {
+                self.proxy_for(range).set(key, &value, move |r| {
+                    let conn2 = conn.clone();
+                    on_conn_core(&conn, move || {
                         let Some(me) = me.upgrade() else { return };
                         let mut out: Chain<IoBuf> = Chain::new();
                         let status = match r {
-                            Ok(()) => STATUS_OK,
+                            Ok(version) => {
+                                me.note_ack(range, version);
+                                STATUS_OK
+                            }
                             Err(_) => STATUS_REMOTE_ERROR,
                         };
                         push_miss(&mut out, OP_SET, status, opaque);
-                        me.local.send_batch(&conn, out);
+                        me.local.send_batch(&conn2, out);
                     });
                 });
             }
             _ => unreachable!("route() filters opcodes"),
         }
     }
+}
+
+/// Runs `f` on `conn`'s RSS affinity core: inline when already there,
+/// else spawn-hopped — per-connection state (`ServerConn`'s backlog and
+/// unsent chain) is only ever touched from the connection's core, so a
+/// function-shipped completion must come home before framing its reply.
+/// The messenger already delivers replies on the issuing core; this
+/// keeps the invariant structural rather than relying on who issued.
+fn on_conn_core(conn: &TcpConn, f: impl FnOnce() + 'static) {
+    ebbrt_core::runtime::with_current_on(|rt, current| match conn.core() {
+        Some(home) if home != current => {
+            let cell = crate::SendCell(f);
+            rt.spawn(home, move || cell.into_inner()());
+        }
+        _ => f(),
+    });
 }
 
 /// Appends a body-less response header with `status` (the shape every
@@ -978,8 +1301,12 @@ impl ConnHandler for ShardedServerConn {
 pub fn serve_sharded(cfg: ShardConfig) {
     let netif = local_netif();
     netif.listen(MEMCACHED_PORT, move |_conn| {
-        let store = EbbRef::<StoreShardEbb>::from_id(cfg.shard_ids[cfg.my_shard])
-            .with(|rep| Arc::clone(rep.local_store().expect("my_shard must be locally owned")));
+        let store = Arc::clone(
+            cfg.locals
+                .get(&cfg.my_shard)
+                .expect("my_shard must be locally held")
+                .store(),
+        );
         ShardedServerConn::new(cfg.clone(), store) as Rc<dyn ConnHandler>
     });
 }

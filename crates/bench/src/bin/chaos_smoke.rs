@@ -1,0 +1,21 @@
+//! Deterministic chaos smoke for CI: kill and restart a shard machine
+//! mid-traffic against the replicated sharded memcached cluster, and
+//! enforce the robustness properties (zero failed client requests,
+//! read-your-writes across promotions, no acknowledged write lost,
+//! zero-copy local fast path intact).
+//!
+//! Everything runs on virtual time with a fixed seed, so a pass here
+//! is a proof about every run, not a lucky draw. `CHAOS_SEED`
+//! overrides the op-mix seed for manual exploration.
+
+fn main() {
+    let mut cfg = ebbrt_bench::chaos::ChaosConfig::default();
+    if let Ok(seed) = std::env::var("CHAOS_SEED") {
+        cfg.seed = seed.parse().expect("CHAOS_SEED must be a u64");
+    }
+    let r = ebbrt_bench::chaos::run(&cfg);
+    println!("{}", ebbrt_bench::chaos::format_report(&r));
+    ebbrt_bench::chaos::assert_properties(&r);
+    assert!(r.kills >= 1, "the smoke must actually kill a machine");
+    println!("chaos smoke: all robustness properties held");
+}

@@ -183,6 +183,7 @@ fn main() {
             warmup_gets: 32,
             measured_gets: 128,
             probe_failure: true,
+            cores: 1,
         });
         println!("{}", ebbrt_bench::dist_memcached::format_report(&r));
         ebbrt_bench::dist_memcached::assert_properties(&r);
@@ -201,6 +202,43 @@ fn main() {
         "shards,local_get_us,remote_get_us,owner_served_gets,local_bytes_copied,\
          local_bufs_allocated",
         &dist_rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
+
+    // Replication point: the same cluster with R=1 vs R=2 replicas per
+    // range, fault-free — what the durability of an acknowledged write
+    // costs the read path (answer: nothing for local-range GETs — the
+    // version-watermark gate is an atomic load — and one ship for
+    // remote ones; writes pay the fan-out).
+    println!();
+    println!("Replicated sharded memcached: GET latency, R=1 vs R=2");
+    let mut repl_rows = Vec::new();
+    for replicas in [1usize, 2] {
+        let r = ebbrt_bench::chaos::run(&ebbrt_bench::chaos::ChaosConfig {
+            shards: 3,
+            replicas,
+            ops: 64,
+            kill: None,
+            measured_gets: 128,
+            seed: 0xF16_4EB,
+        });
+        println!("{}", ebbrt_bench::chaos::format_report(&r));
+        ebbrt_bench::chaos::assert_properties(&r);
+        repl_rows.push(format!(
+            "{},{},{:.2},{:.2},{},{}",
+            r.shards,
+            r.replicas,
+            r.local_get_mean_us,
+            r.remote_get_mean_us,
+            r.local_copied,
+            r.local_allocated,
+        ));
+    }
+    let path = ebbrt_bench::write_csv(
+        "fig4_replicated.csv",
+        "shards,replicas,local_get_us,remote_get_us,local_bytes_copied,local_bufs_allocated",
+        &repl_rows,
     )
     .expect("write csv");
     println!("wrote {}", path.display());

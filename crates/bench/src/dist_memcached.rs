@@ -19,16 +19,17 @@
 //! [`ebbrt_apps::memcached::STATUS_REMOTE_ERROR`], never hang.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
 use ebbrt_apps::memcached::{
-    self, register_shard, serve_sharded, shard_of, Header, ServerConfig, ShardConfig, Store,
-    MEMCACHED_PORT, STATUS_OK, STATUS_REMOTE_ERROR,
+    self, register_shard, serve_sharded, shard_of, Header, ServerConfig, ShardConfig, ShardRoot,
+    Store, MEMCACHED_PORT, STATUS_OK, STATUS_REMOTE_ERROR,
 };
 use ebbrt_apps::spawn_with;
 use ebbrt_core::cpu::CoreId;
-use ebbrt_core::ebb::{EbbId, EbbRef};
+use ebbrt_core::ebb::{EbbId, EbbRef, HashRing};
 use ebbrt_core::iobuf::{stats, Chain, IoBuf};
 use ebbrt_core::runtime::Runtime;
 use ebbrt_hosted::global_map::{self, GlobalIdMap, GlobalIdMapServer};
@@ -42,19 +43,28 @@ use ebbrt_sim::{CostProfile, LinkParams, SimMachine, SimWorld, Switch};
 pub struct DistCluster {
     /// The world driving everything.
     pub w: Rc<SimWorld>,
-    _sw: Rc<Switch>,
+    /// The switch all machines hang off (chaos harnesses isolate and
+    /// restore shard ports through it).
+    pub sw: Rc<Switch>,
     /// The naming machine (GlobalIdMap server).
     pub naming: Rc<SimMachine>,
     /// The shard machines, in shard order.
     pub shards: Vec<Rc<SimMachine>>,
+    /// Each shard machine's switch port (same order).
+    pub shard_ports: Vec<usize>,
     /// Each shard's store (same order).
     pub stores: Vec<Arc<Store>>,
+    /// Each shard's range root (same order; unreplicated).
+    pub roots: Vec<Arc<ShardRoot>>,
     /// The routing table (includes the phantom entry when requested).
     pub shard_ids: Vec<EbbId>,
     /// The client machine.
     pub client: Rc<SimMachine>,
     /// Each shard machine's messenger, in shard order.
     pub messengers: Vec<Rc<Messenger>>,
+    /// Each shard machine's remote transport, in shard order (exposes
+    /// retry/promotion counters and retry-policy knobs).
+    pub transports: Vec<Rc<MessengerTransport>>,
 }
 
 /// IP of shard `i`.
@@ -67,11 +77,26 @@ const CLIENT_IP: Ipv4Addr = Ipv4Addr([10, 0, 1, 100]);
 /// Published owner of the phantom shard: no machine lives there.
 const PHANTOM_IP: Ipv4Addr = Ipv4Addr([10, 0, 1, 250]);
 
-/// Builds an N-shard cluster. With `phantom`, the routing table gets
-/// one extra shard whose owner record points at an address where
-/// nothing answers — the remote-failure probe.
-pub fn build(nshards: usize, phantom: bool) -> DistCluster {
+/// Machinery shared by [`build`] and [`build_replicated`]: the world,
+/// switch, naming service, `nshards` shard machines (each with a
+/// messenger, naming client, remote transport, and store) and the
+/// client machine.
+struct ClusterBase {
+    w: Rc<SimWorld>,
+    sw: Rc<Switch>,
+    naming: Rc<SimMachine>,
+    shards: Vec<Rc<SimMachine>>,
+    shard_ports: Vec<usize>,
+    stores: Vec<Arc<Store>>,
+    client: Rc<SimMachine>,
+    messengers: Vec<Rc<Messenger>>,
+    transports: Vec<Rc<MessengerTransport>>,
+    maps: Vec<Rc<GlobalIdMap>>,
+}
+
+fn build_base(nshards: usize, shard_cores: usize) -> ClusterBase {
     assert!(nshards >= 2, "sharding needs at least two owners");
+    assert!(shard_cores >= 1);
     let w = SimWorld::new();
     let sw = Switch::new(&w);
     let mask = Ipv4Addr::new(255, 255, 255, 0);
@@ -79,12 +104,19 @@ pub fn build(nshards: usize, phantom: bool) -> DistCluster {
     sw.attach(naming.nic(), LinkParams::default());
     let naming_if = NetIf::attach(&naming, NAMING_IP, mask);
     let mut shards = Vec::new();
+    let mut shard_ports = Vec::new();
     let mut shard_ifs = Vec::new();
     for i in 0..nshards {
         let mut mac = [0x20; 6];
         mac[5] = i as u8;
-        let m = SimMachine::create(&w, format!("shard{i}"), 1, CostProfile::ebbrt_vm(), mac);
-        sw.attach(m.nic(), LinkParams::default());
+        let m = SimMachine::create(
+            &w,
+            format!("shard{i}"),
+            shard_cores,
+            CostProfile::ebbrt_vm(),
+            mac,
+        );
+        shard_ports.push(sw.attach(m.nic(), LinkParams::default()));
         shard_ifs.push(NetIf::attach(&m, shard_ip(i), mask));
         shards.push(m);
     }
@@ -96,6 +128,7 @@ pub fn build(nshards: usize, phantom: bool) -> DistCluster {
     let naming_msgr = Messenger::start(&naming_if);
     let _map_server = GlobalIdMapServer::start(&naming_msgr);
     let mut messengers = Vec::new();
+    let mut transports = Vec::new();
     let mut stores = Vec::new();
     // Each shard machine: messenger + naming client + remote transport
     // (so it can host proxy reps of the other shards) + its store.
@@ -104,7 +137,7 @@ pub fn build(nshards: usize, phantom: bool) -> DistCluster {
         .map(|ifc| {
             let msgr = Messenger::start(ifc);
             let map = GlobalIdMap::new(&msgr, NAMING_IP);
-            MessengerTransport::install(&msgr, Rc::clone(&map));
+            transports.push(MessengerTransport::install(&msgr, Rc::clone(&map)));
             messengers.push(msgr);
             map
         })
@@ -112,6 +145,44 @@ pub fn build(nshards: usize, phantom: bool) -> DistCluster {
     for m in &shards {
         stores.push(Store::new(Arc::clone(m.runtime().rcu())));
     }
+    ClusterBase {
+        w,
+        sw,
+        naming,
+        shards,
+        shard_ports,
+        stores,
+        client,
+        messengers,
+        transports,
+        maps,
+    }
+}
+
+/// Builds an N-shard cluster. With `phantom`, the routing table gets
+/// one extra shard whose owner record points at an address where
+/// nothing answers — the remote-failure probe.
+pub fn build(nshards: usize, phantom: bool) -> DistCluster {
+    build_with_cores(nshards, phantom, 1)
+}
+
+/// As [`build`], with `shard_cores` event cores per shard machine —
+/// cross-shard completions then exercise the hop back to the memcached
+/// connection's RSS core.
+pub fn build_with_cores(nshards: usize, phantom: bool, shard_cores: usize) -> DistCluster {
+    let base = build_base(nshards, shard_cores);
+    let ClusterBase {
+        w,
+        sw,
+        naming,
+        shards,
+        shard_ports,
+        stores,
+        client,
+        messengers,
+        transports,
+        maps,
+    } = base;
 
     // Allocate the shard ids from the naming service (shard i asks
     // through its own map client), then register + publish ownership.
@@ -129,9 +200,13 @@ pub fn build(nshards: usize, phantom: bool) -> DistCluster {
         .iter()
         .map(|id| id.expect("id allocation completed"))
         .collect();
+    let roots: Vec<Arc<ShardRoot>> = stores
+        .iter()
+        .map(|s| ShardRoot::new(Arc::clone(s)))
+        .collect();
     for (i, m) in shards.iter().enumerate() {
         let id = shard_ids[i];
-        register_shard(&stores[i], m.runtime(), id);
+        register_shard(&roots[i], m.runtime(), id);
         let msgr = Rc::clone(&messengers[i]);
         let map = Rc::clone(&maps[i]);
         let ip = shard_ip(i);
@@ -161,25 +236,202 @@ pub fn build(nshards: usize, phantom: bool) -> DistCluster {
 
     // Start the sharded servers.
     for (i, m) in shards.iter().enumerate() {
-        let cfg = ShardConfig {
-            shard_ids: Arc::new(shard_ids.clone()),
-            my_shard: i,
-            server: ServerConfig::default(),
-        };
+        let cfg = ShardConfig::unreplicated(
+            Arc::new(shard_ids.clone()),
+            i,
+            Arc::clone(&roots[i]),
+            ServerConfig::default(),
+        );
         spawn_with(m, CoreId(0), cfg, serve_sharded);
     }
     w.run_to_idle();
 
     DistCluster {
         w,
-        _sw: sw,
+        sw,
         naming,
         shards,
+        shard_ports,
         stores,
+        roots,
         shard_ids,
         client,
         messengers,
+        transports,
     }
+}
+
+// --- Replicated cluster (R > 1) ------------------------------------------
+
+/// A built replicated sharded-memcached cluster, pre-wired and idle.
+pub struct ReplCluster {
+    /// The world driving everything.
+    pub w: Rc<SimWorld>,
+    /// The switch (chaos harnesses isolate/restore shard ports on it).
+    pub sw: Rc<Switch>,
+    /// The naming machine.
+    pub naming: Rc<SimMachine>,
+    /// The shard machines; machine `i` is range `i`'s initial primary.
+    pub shards: Vec<Rc<SimMachine>>,
+    /// Each shard machine's switch port (same order).
+    pub shard_ports: Vec<usize>,
+    /// Each machine's store (shared by every range it hosts).
+    pub stores: Vec<Arc<Store>>,
+    /// Per machine: range index → the machine's replica root.
+    pub roots: Vec<HashMap<usize, Arc<ShardRoot>>>,
+    /// Public range ids, in range order (the routing table).
+    pub range_ids: Vec<EbbId>,
+    /// The key→range placement every machine shares.
+    pub ring: Arc<HashRing>,
+    /// Replicas per range.
+    pub replicas: usize,
+    /// The client machine.
+    pub client: Rc<SimMachine>,
+    /// Each shard machine's messenger, in shard order.
+    pub messengers: Vec<Rc<Messenger>>,
+    /// Each shard machine's remote transport, in shard order.
+    pub transports: Vec<Rc<MessengerTransport>>,
+}
+
+/// Base of the fixed id block the replicated cluster uses (away from
+/// both the well-known range and the naming service's allocator).
+const REPL_ID_BASE: u32 = (1 << 20) + 700_000;
+
+/// The public id of range `r`.
+pub fn range_id(r: usize) -> EbbId {
+    EbbId(REPL_ID_BASE + r as u32)
+}
+
+/// The private endpoint id of machine `m`'s replica of range `r` —
+/// what an acting primary addresses fan-out copies to (the public id
+/// would resolve to whoever *fronts* the range, not to `m`).
+pub fn endpoint_id(r: usize, m: usize) -> EbbId {
+    EbbId(REPL_ID_BASE + 1024 + (r as u32) * 256 + m as u32)
+}
+
+/// Builds an N-machine cluster whose key ranges are `replicas`-way
+/// replicated per the [`HashRing`]: machine `i` is range `i`'s initial
+/// primary, and hosts a replica of every range whose successor set
+/// includes it. Each hosted range is registered under both its public
+/// range id (exported everywhere, ownership record primary-first) and
+/// the machine's private endpoint id (published as a plain
+/// single-owner record).
+pub fn build_replicated(nshards: usize, replicas: usize, shard_cores: usize) -> ReplCluster {
+    assert!(
+        (1..=nshards).contains(&replicas),
+        "replication factor must fit the machine count"
+    );
+    let base = build_base(nshards, shard_cores);
+    let ring = Arc::new(HashRing::new(nshards as u32, 16));
+
+    // Replica sets: members[r][0] == r (the initial primary), then the
+    // next replicas-1 distinct ranges clockwise.
+    let members: Vec<Vec<usize>> = (0..nshards)
+        .map(|r| {
+            ring.successors(r as u32, replicas)
+                .into_iter()
+                .map(|x| x as usize)
+                .collect()
+        })
+        .collect();
+
+    let mut roots: Vec<HashMap<usize, Arc<ShardRoot>>> = vec![HashMap::new(); nshards];
+    for (r, set) in members.iter().enumerate() {
+        for &m in set {
+            let peer_eps: Vec<EbbId> = set
+                .iter()
+                .filter(|&&p| p != m)
+                .map(|&p| endpoint_id(r, p))
+                .collect();
+            let root = ShardRoot::with_peers(Arc::clone(&base.stores[m]), peer_eps);
+            register_shard(&root, base.shards[m].runtime(), range_id(r));
+            register_shard(&root, base.shards[m].runtime(), endpoint_id(r, m));
+            roots[m].insert(r, root);
+        }
+    }
+
+    // Publish: every replica exports the range id and publishes its
+    // endpoint id; the primary also publishes the range's ownership
+    // record (the ordered replica list, primary first).
+    for (r, set) in members.iter().enumerate() {
+        let owner_ips: Vec<Ipv4Addr> = set.iter().map(|&m| shard_ip(m)).collect();
+        for (slot, &m) in set.iter().enumerate() {
+            let msgr = Rc::clone(&base.messengers[m]);
+            let map = Rc::clone(&base.maps[m]);
+            let owner_ips = owner_ips.clone();
+            let ip = shard_ip(m);
+            spawn_with(
+                &base.shards[m],
+                CoreId(0),
+                (msgr, map),
+                move |(msgr, map)| {
+                    if slot == 0 {
+                        ebbrt_hosted::remote::publish_replicated::<memcached::StoreShardEbb>(
+                            &msgr,
+                            &map,
+                            EbbRef::from_id(range_id(r)),
+                            &owner_ips,
+                            |ok| assert!(ok, "range record published"),
+                        );
+                    } else {
+                        ebbrt_hosted::remote::export::<memcached::StoreShardEbb>(
+                            &msgr,
+                            EbbRef::from_id(range_id(r)),
+                        );
+                    }
+                    ebbrt_hosted::remote::publish::<memcached::StoreShardEbb>(
+                        &msgr,
+                        &map,
+                        EbbRef::from_id(endpoint_id(r, m)),
+                        ip,
+                        |ok| assert!(ok, "endpoint record published"),
+                    );
+                },
+            );
+        }
+    }
+    base.w.run_to_idle();
+
+    let range_ids: Vec<EbbId> = (0..nshards).map(range_id).collect();
+    for (m, machine) in base.shards.iter().enumerate() {
+        let cfg = ShardConfig {
+            shard_ids: Arc::new(range_ids.clone()),
+            my_shard: m,
+            server: ServerConfig::default(),
+            ring: Some(Arc::clone(&ring)),
+            locals: Arc::new(roots[m].clone()),
+        };
+        spawn_with(machine, CoreId(0), cfg, serve_sharded);
+    }
+    base.w.run_to_idle();
+
+    ReplCluster {
+        w: base.w,
+        sw: base.sw,
+        naming: base.naming,
+        shards: base.shards,
+        shard_ports: base.shard_ports,
+        stores: base.stores,
+        roots,
+        range_ids,
+        ring,
+        replicas,
+        client: base.client,
+        messengers: base.messengers,
+        transports: base.transports,
+    }
+}
+
+/// Finds a printable key that [`HashRing::range_of`]-maps to `range`
+/// (deterministic; shared between harness phases).
+pub fn key_for_range(ring: &HashRing, range: usize, tag: usize) -> Vec<u8> {
+    for n in 0.. {
+        let k = format!("rkey_{tag}_{n}");
+        if ring.range_of(k.as_bytes()) as usize == range {
+            return k.into_bytes();
+        }
+    }
+    unreachable!()
 }
 
 /// Finds a printable key that [`shard_of`]-maps to `shard` out of
@@ -198,6 +450,9 @@ pub fn key_for_shard(shard: usize, nshards: usize, tag: usize) -> Vec<u8> {
 pub struct DistConfig {
     /// Shard machines.
     pub shards: usize,
+    /// Event cores per shard machine (RSS spreads connections; > 1
+    /// exercises the cross-core completion hop).
+    pub cores: usize,
     /// Local-shard GETs before measurement (pool/TCP warm).
     pub warmup_gets: u32,
     /// Measured GETs per phase (local, then remote).
@@ -210,6 +465,7 @@ impl Default for DistConfig {
     fn default() -> Self {
         DistConfig {
             shards: 3,
+            cores: 1,
             warmup_gets: 32,
             measured_gets: 128,
             probe_failure: true,
@@ -338,7 +594,7 @@ fn mean_us(ns: &[u64]) -> f64 {
 
 /// Builds the cluster, drives the workload, returns the measurements.
 pub fn run(cfg: &DistConfig) -> DistReport {
-    let c = build(cfg.shards, cfg.probe_failure);
+    let c = build_with_cores(cfg.shards, cfg.probe_failure, cfg.cores);
     let nslots = c.shard_ids.len();
     let local_key = key_for_shard(0, nslots, 0);
     let remote_key = key_for_shard(1, nslots, 1);
@@ -479,6 +735,23 @@ mod tests {
     fn sharded_cluster_properties_hold() {
         let r = run(&DistConfig {
             shards: 2,
+            cores: 1,
+            warmup_gets: 32,
+            measured_gets: 16,
+            probe_failure: true,
+        });
+        println!("{}", format_report(&r));
+        assert_properties(&r);
+    }
+
+    /// Satellite of the replication PR: the same e2e on 2-core shard
+    /// machines — cross-shard completions must hop back to the
+    /// memcached connection's RSS core before touching its state.
+    #[test]
+    fn sharded_cluster_properties_hold_on_two_core_shards() {
+        let r = run(&DistConfig {
+            shards: 2,
+            cores: 2,
             warmup_gets: 32,
             measured_gets: 16,
             probe_failure: true,

@@ -654,6 +654,130 @@ pub trait DistributedEbb: MulticoreEbb {
     /// representative and returns the response payload. Invoked inside
     /// the owner machine's messenger-dispatch event.
     fn handle_remote(&self, payload: &crate::iobuf::Chain<crate::iobuf::IoBuf>) -> Vec<u8>;
+
+    /// Owner side, asynchronous form: as [`Self::handle_remote`], but
+    /// the response is delivered through `respond` (exactly once),
+    /// which may run after the dispatch event returns. Implement this
+    /// when a handler must itself ship calls (e.g. replication
+    /// fan-out) before acknowledging; the default answers
+    /// synchronously via [`Self::handle_remote`].
+    fn handle_remote_async(
+        &self,
+        payload: &crate::iobuf::Chain<crate::iobuf::IoBuf>,
+        respond: Box<dyn FnOnce(Vec<u8>)>,
+    ) {
+        respond(self.handle_remote(payload));
+    }
+}
+
+/// A consistent-hash ring mapping keys to key ranges and ranges to
+/// ordered replica sets.
+///
+/// The ring carries `nranges` ranges, each contributing `vnodes`
+/// virtual points hashed onto a `u64` circle. [`HashRing::range_of`]
+/// walks clockwise from the key's hash to the first point;
+/// [`HashRing::successors`] walks on from a range's first point to
+/// collect the distinct ranges that follow it — the canonical replica
+/// placement rule (a range's data lives on its own shard plus the next
+/// `r - 1` distinct ranges' shards). Purely arithmetic and identical on
+/// every machine, so placement needs no coordination: only *ownership*
+/// (which machine currently fronts a range) goes through the naming
+/// service.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// (point hash, range) sorted by hash.
+    points: Vec<(u64, u32)>,
+    nranges: u32,
+}
+
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv64(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// FNV's high bits are weak for short inputs, and the ring orders
+/// points by the full u64 — run the hash through a finalizer so vnode
+/// points and key hashes spread over the whole circle.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl HashRing {
+    /// Builds the ring for `nranges` ranges with `vnodes` virtual
+    /// points each. Deterministic: same arguments, same ring,
+    /// everywhere.
+    pub fn new(nranges: u32, vnodes: u32) -> Self {
+        assert!(nranges > 0, "ring needs at least one range");
+        assert!(vnodes > 0, "ring needs at least one vnode per range");
+        let mut points = Vec::with_capacity((nranges * vnodes) as usize);
+        for range in 0..nranges {
+            for v in 0..vnodes {
+                let h = mix64(fnv64(
+                    fnv64(FNV64_OFFSET, &range.to_be_bytes()),
+                    &v.to_be_bytes(),
+                ));
+                points.push((h, range));
+            }
+        }
+        points.sort_unstable();
+        // Colliding points would make placement ambiguous; keep the
+        // first (lowest range) deterministically.
+        points.dedup_by_key(|p| p.0);
+        HashRing { points, nranges }
+    }
+
+    /// Number of ranges on the ring.
+    pub fn nranges(&self) -> u32 {
+        self.nranges
+    }
+
+    /// The range owning `key`: first point clockwise from the key's
+    /// hash.
+    pub fn range_of(&self, key: &[u8]) -> u32 {
+        let h = mix64(fnv64(FNV64_OFFSET, key));
+        let i = match self.points.binary_search_by(|p| p.0.cmp(&h)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0,
+            Err(i) => i,
+        };
+        self.points[i].1
+    }
+
+    /// The ordered replica set for `range`: the range itself, then the
+    /// next distinct ranges clockwise from its first point, `count`
+    /// entries total (capped at the number of ranges).
+    pub fn successors(&self, range: u32, count: usize) -> Vec<u32> {
+        assert!(range < self.nranges, "range {range} out of bounds");
+        let want = count.clamp(1, self.nranges as usize);
+        let start = self
+            .points
+            .iter()
+            .position(|p| p.1 == range)
+            .expect("every range contributes at least one point");
+        let mut out = vec![range];
+        let mut i = start;
+        loop {
+            i = (i + 1) % self.points.len();
+            if i == start || out.len() >= want {
+                break;
+            }
+            let r = self.points[i].1;
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        out
+    }
 }
 
 /// A typed, copyable reference to an Ebb instance — the unit passed
@@ -1304,5 +1428,72 @@ mod tests {
             assert_eq!(drops.load(Ordering::SeqCst), 0);
         }
         assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn hash_ring_is_deterministic_and_total() {
+        let a = HashRing::new(4, 16);
+        let b = HashRing::new(4, 16);
+        for key in [&b"alpha"[..], b"beta", b"", b"a-much-longer-key-0123456789"] {
+            let r = a.range_of(key);
+            assert!(r < 4);
+            assert_eq!(r, b.range_of(key), "same ring, same placement");
+        }
+    }
+
+    #[test]
+    fn hash_ring_spreads_keys_across_ranges() {
+        let ring = HashRing::new(4, 32);
+        let mut hits = [0usize; 4];
+        for i in 0..1000u32 {
+            hits[ring.range_of(format!("key-{i}").as_bytes()) as usize] += 1;
+        }
+        for (r, &n) in hits.iter().enumerate() {
+            assert!(n > 0, "range {r} received no keys");
+        }
+    }
+
+    #[test]
+    fn hash_ring_successors_are_distinct_and_start_at_range() {
+        let ring = HashRing::new(5, 8);
+        for range in 0..5 {
+            let succ = ring.successors(range, 3);
+            assert_eq!(succ.len(), 3);
+            assert_eq!(succ[0], range, "replica set starts at the range itself");
+            let mut sorted = succ.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas are distinct: {succ:?}");
+        }
+        // Asking for more replicas than ranges caps at nranges.
+        assert_eq!(ring.successors(0, 99).len(), 5);
+        // R=1 degenerates to the range itself.
+        assert_eq!(ring.successors(2, 1), vec![2]);
+    }
+
+    #[test]
+    fn handle_remote_async_defaults_to_sync_handler() {
+        struct Echo;
+        impl MulticoreEbb for Echo {
+            type Root = ();
+            fn create_rep(_: &Arc<()>, _: CoreId) -> Self {
+                Echo
+            }
+        }
+        impl DistributedEbb for Echo {
+            fn create_proxy(_: RemoteShipper, _: CoreId) -> Self {
+                Echo
+            }
+            fn handle_remote(&self, payload: &crate::iobuf::Chain<crate::iobuf::IoBuf>) -> Vec<u8> {
+                let mut v = payload.copy_to_vec();
+                v.reverse();
+                v
+            }
+        }
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let got2 = std::rc::Rc::clone(&got);
+        let chain = crate::iobuf::Chain::single(crate::iobuf::IoBuf::copy_from(&[1, 2, 3]));
+        Echo.handle_remote_async(&chain, Box::new(move |v| *got2.borrow_mut() = v));
+        assert_eq!(*got.borrow(), vec![3, 2, 1]);
     }
 }

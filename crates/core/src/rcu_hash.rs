@@ -462,14 +462,21 @@ mod tests {
                 let domain = Arc::clone(&domain);
                 let stop = Arc::clone(&stop);
                 std::thread::spawn(move || {
+                    // At least one full scan, even if the writer
+                    // finishes before this thread is first scheduled —
+                    // the `hits > 0` assertion below must not depend
+                    // on scheduling luck.
                     let mut hits = 0u64;
-                    while !stop.load(Ordering::Relaxed) {
+                    loop {
                         let _g = domain.read_guard(CoreId(c));
                         for i in 0..100 {
                             if let Some(v) = map.get(&i, |v| *v) {
                                 assert_eq!(v % 2, 0, "value must be a valid doubling");
                                 hits += 1;
                             }
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            break;
                         }
                     }
                     hits

@@ -10,7 +10,14 @@
 //!
 //! Protocol (over the messenger, addressed to [`GLOBAL_MAP_EBB_ID`]):
 //! `op:u8 …` with op 1 = allocate range, 2 = put(id, data), 3 =
-//! get(id).
+//! get(id), 4 = put_if(id, expected_version, data).
+//!
+//! Records are **versioned**: every successful put bumps a per-id
+//! `u64`, gets return it, and `put_if` is a compare-and-swap on it.
+//! The version is what makes client-driven failover sound — when an
+//! owner dies, any caller may propose a new ownership record, and the
+//! CAS arbitrates concurrent proposals so exactly one promotion wins
+//! per observed version.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -31,11 +38,13 @@ pub const RANGE_SIZE: u32 = 1024;
 const OP_ALLOC_RANGE: u8 = 1;
 const OP_PUT: u8 = 2;
 const OP_GET: u8 = 3;
+const OP_PUT_IF: u8 = 4;
 
 /// The authoritative naming service (runs on the hosted instance).
 pub struct GlobalIdMapServer {
     next_range: Cell<u32>,
-    entries: RefCell<HashMap<u32, Vec<u8>>>,
+    /// id → (version, data). Versions start at 1 and bump per put.
+    entries: RefCell<HashMap<u32, (u64, Vec<u8>)>>,
     /// Requests served (diagnostic).
     pub requests: Cell<u64>,
 }
@@ -71,18 +80,43 @@ impl GlobalIdMapServer {
             }
             Some(&OP_PUT) if req.len() >= 5 => {
                 let id = u32::from_be_bytes([req[1], req[2], req[3], req[4]]);
-                self.entries.borrow_mut().insert(id, req[5..].to_vec());
-                vec![1]
+                let mut entries = self.entries.borrow_mut();
+                let version = entries.get(&id).map_or(0, |e| e.0) + 1;
+                entries.insert(id, (version, req[5..].to_vec()));
+                let mut out = vec![1];
+                out.extend_from_slice(&version.to_be_bytes());
+                out
             }
             Some(&OP_GET) if req.len() >= 5 => {
                 let id = u32::from_be_bytes([req[1], req[2], req[3], req[4]]);
                 match self.entries.borrow().get(&id) {
-                    Some(data) => {
+                    Some((version, data)) => {
                         let mut out = vec![1];
+                        out.extend_from_slice(&version.to_be_bytes());
                         out.extend_from_slice(data);
                         out
                     }
                     None => vec![0],
+                }
+            }
+            Some(&OP_PUT_IF) if req.len() >= 13 => {
+                let id = u32::from_be_bytes([req[1], req[2], req[3], req[4]]);
+                let expected = u64::from_be_bytes([
+                    req[5], req[6], req[7], req[8], req[9], req[10], req[11], req[12],
+                ]);
+                let mut entries = self.entries.borrow_mut();
+                let current = entries.get(&id).map_or(0, |e| e.0);
+                if current == expected {
+                    let version = current + 1;
+                    entries.insert(id, (version, req[13..].to_vec()));
+                    let mut out = vec![1];
+                    out.extend_from_slice(&version.to_be_bytes());
+                    out
+                } else {
+                    // Lost the race: report the winning version.
+                    let mut out = vec![0];
+                    out.extend_from_slice(&current.to_be_bytes());
+                    out
                 }
             }
             _ => vec![0],
@@ -107,10 +141,11 @@ pub struct GlobalIdMap {
     server: Ipv4Addr,
     /// Locally cached range: (next, end).
     range: Cell<(u32, u32)>,
-    /// Read cache. Entries are stable in steady state; an owner
-    /// restart re-publishes its record, and the transport invalidates
-    /// stale copies ([`GlobalIdMap::invalidate`]) when calls fail.
-    cache: RefCell<HashMap<u32, Vec<u8>>>,
+    /// Read cache: id → (version, data). Entries are stable in steady
+    /// state; an owner restart re-publishes its record, and the
+    /// transport invalidates stale copies ([`GlobalIdMap::invalidate`])
+    /// when calls fail.
+    cache: RefCell<HashMap<u32, (u64, Vec<u8>)>>,
 }
 
 impl GlobalIdMap {
@@ -183,8 +218,21 @@ impl GlobalIdMap {
     /// `None` (uncached, so a later lookup retries) — the remote layer
     /// depends on this to honor its no-hangs contract.
     pub fn get(self: &Rc<Self>, id: EbbId, done: impl FnOnce(Option<Vec<u8>>) + 'static) {
-        if let Some(v) = self.cache.borrow().get(&id.0) {
-            done(Some(v.clone()));
+        self.get_versioned(id, move |r| done(r.map(|(_, data)| data)));
+    }
+
+    /// As [`Self::get`], delivering the record's server-side version
+    /// alongside the data. The version is the CAS token for
+    /// [`Self::put_if`] — failover publishes a successor record against
+    /// the exact version it observed, so racing promoters cannot both
+    /// win.
+    pub fn get_versioned(
+        self: &Rc<Self>,
+        id: EbbId,
+        done: impl FnOnce(Option<(u64, Vec<u8>)>) + 'static,
+    ) {
+        if let Some(e) = self.cache.borrow().get(&id.0) {
+            done(Some(e.clone()));
             return;
         }
         let mut req = vec![OP_GET];
@@ -201,11 +249,60 @@ impl GlobalIdMap {
                     return;
                 };
                 let bytes = resp.copy_to_vec();
-                if bytes.first() == Some(&1) {
-                    let data = bytes[1..].to_vec();
-                    me.cache.borrow_mut().insert(id.0, data.clone());
-                    done(Some(data));
+                if bytes.first() == Some(&1) && bytes.len() >= 9 {
+                    let version = u64::from_be_bytes([
+                        bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+                        bytes[8],
+                    ]);
+                    let data = bytes[9..].to_vec();
+                    me.cache.borrow_mut().insert(id.0, (version, data.clone()));
+                    done(Some((version, data)));
                 } else {
+                    done(None);
+                }
+            },
+        );
+    }
+
+    /// Compare-and-swap publish: replaces `id`'s record with `data`
+    /// only if its server-side version is still `expected` (0 = record
+    /// absent). `done` receives the new version on success, `None` on a
+    /// lost race or an unreachable naming service. On success the local
+    /// cache is refreshed to the new record; on a lost race it is
+    /// invalidated so the next read observes the winner.
+    pub fn put_if(
+        self: &Rc<Self>,
+        id: EbbId,
+        expected: u64,
+        data: &[u8],
+        done: impl FnOnce(Option<u64>) + 'static,
+    ) {
+        let mut req = vec![OP_PUT_IF];
+        req.extend_from_slice(&id.0.to_be_bytes());
+        req.extend_from_slice(&expected.to_be_bytes());
+        req.extend_from_slice(data);
+        let record = data.to_vec();
+        let me = Rc::clone(self);
+        self.messenger.call_with_timeout(
+            self.server,
+            GLOBAL_MAP_EBB_ID,
+            &req,
+            crate::messenger::DEFAULT_RPC_TIMEOUT_NS,
+            move |resp| {
+                let Ok(resp) = resp else {
+                    done(None);
+                    return;
+                };
+                let bytes = resp.copy_to_vec();
+                if bytes.first() == Some(&1) && bytes.len() >= 9 {
+                    let version = u64::from_be_bytes([
+                        bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+                        bytes[8],
+                    ]);
+                    me.cache.borrow_mut().insert(id.0, (version, record));
+                    done(Some(version));
+                } else {
+                    me.invalidate(id);
                     done(None);
                 }
             },
@@ -225,6 +322,30 @@ pub fn decode_owner(data: &[u8]) -> Option<Ipv4Addr> {
     } else {
         None
     }
+}
+
+/// Encodes an ordered replica list (primary first) as concatenated
+/// 4-byte addresses. A single-entry list is byte-identical to
+/// [`encode_owner`], so replicated and unreplicated records share one
+/// wire format.
+pub fn encode_owners(ips: &[Ipv4Addr]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ips.len() * 4);
+    for ip in ips {
+        out.extend_from_slice(&ip.0);
+    }
+    out
+}
+
+/// Decodes a replica-list record: any positive multiple of 4 bytes.
+pub fn decode_owners(data: &[u8]) -> Option<Vec<Ipv4Addr>> {
+    if data.is_empty() || !data.len().is_multiple_of(4) {
+        return None;
+    }
+    Some(
+        data.chunks_exact(4)
+            .map(|c| Ipv4Addr([c[0], c[1], c[2], c[3]]))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -337,5 +458,72 @@ mod tests {
         });
         w.run_to_idle();
         assert!(missing.get());
+    }
+
+    #[test]
+    fn put_if_arbitrates_racing_promoters() {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let hosted = SimMachine::create(&w, "hosted", 1, CostProfile::linux_vm(), [0x01; 6]);
+        let native = SimMachine::create(&w, "n", 1, CostProfile::ebbrt_vm(), [0x02; 6]);
+        sw.attach(hosted.nic(), LinkParams::default());
+        sw.attach(native.nic(), LinkParams::default());
+        let mask = Ipv4Addr::new(255, 255, 255, 0);
+        let h_if = NetIf::attach(&hosted, Ipv4Addr::new(10, 0, 0, 1), mask);
+        let n_if = NetIf::attach(&native, Ipv4Addr::new(10, 0, 0, 2), mask);
+        w.run_to_idle();
+        let h_msgr = Messenger::start(&h_if);
+        let n_msgr = Messenger::start(&n_if);
+        let _server = GlobalIdMapServer::start(&h_msgr);
+        let map = GlobalIdMap::new(&n_msgr, Ipv4Addr::new(10, 0, 0, 1));
+        let id = EbbId(1 << 20);
+        let log = Rc::new(RefCell::new(Vec::new()));
+
+        // Publish v1, read it versioned, then two CASes against the
+        // same observed version: the first wins, the second loses.
+        let l = Rc::clone(&log);
+        on_core0(&native, Rc::clone(&map), move |map| {
+            let a = Ipv4Addr::new(10, 0, 0, 2);
+            let b = Ipv4Addr::new(10, 0, 0, 3);
+            let m1 = Rc::clone(&map);
+            map.put(id, &encode_owners(&[a, b]), move |ok| {
+                assert!(ok);
+                let m2 = Rc::clone(&m1);
+                let l = Rc::clone(&l);
+                m1.get_versioned(id, move |r| {
+                    let (v, data) = r.unwrap();
+                    assert_eq!(v, 1);
+                    assert_eq!(decode_owners(&data), Some(vec![a, b]));
+                    let m3 = Rc::clone(&m2);
+                    let l2 = Rc::clone(&l);
+                    m2.put_if(id, v, &encode_owners(&[b, a]), move |r| {
+                        l2.borrow_mut().push(("first", r));
+                        let l3 = Rc::clone(&l2);
+                        m3.put_if(id, v, &encode_owners(&[a]), move |r| {
+                            l3.borrow_mut().push(("second", r));
+                        });
+                    });
+                });
+            });
+        });
+        w.run_to_idle();
+        assert_eq!(
+            *log.borrow(),
+            vec![("first", Some(2)), ("second", None)],
+            "exactly one promotion wins per observed version"
+        );
+
+        // The lost race invalidated the cache; a re-read sees the
+        // winner's record and version.
+        let seen = Rc::new(Cell::new(None));
+        let s2 = Rc::clone(&seen);
+        on_core0(&native, map, move |map| {
+            map.get_versioned(id, move |r| {
+                let (v, data) = r.unwrap();
+                s2.set(Some((v, decode_owners(&data).unwrap()[0])));
+            });
+        });
+        w.run_to_idle();
+        assert_eq!(seen.get(), Some((2, Ipv4Addr::new(10, 0, 0, 3))));
     }
 }

@@ -50,13 +50,24 @@ const KIND_RESPONSE: u8 = 1;
 pub type MsgHandler = Rc<dyn Fn(Ipv4Addr, u64, Chain<IoBuf>)>;
 
 /// A pending RPC: the continuation, its timeout timer (owned by the
-/// issuing core's wheel), and the peer it went to — so the waiter can
-/// be failed fast when that peer's connection dies.
+/// issuing core's wheel), the peer it went to — so the waiter can
+/// be failed fast when that peer's connection dies — and the issuing
+/// core, where the continuation is delivered (responses may arrive on
+/// another core's peer connection).
 struct RpcWaiter {
     reply: Box<dyn FnOnce(Result<Chain<IoBuf>, RemoteError>)>,
     timer: Option<(CoreId, TimerToken)>,
     peer: Ipv4Addr,
+    home: CoreId,
 }
+
+/// Smuggles a non-`Send` value through `Runtime::spawn` for a
+/// same-machine core hop.
+///
+/// SAFETY: the simulation backend drives every core of a machine from
+/// one thread, so the value never actually crosses a thread boundary.
+struct SendCell<T>(T);
+unsafe impl<T> Send for SendCell<T> {}
 
 struct PeerConn {
     conn: TcpConn,
@@ -263,6 +274,7 @@ impl Messenger {
                 reply: Box::new(reply),
                 timer,
                 peer: dst,
+                home: runtime::with_current_on(|_, core| core),
             },
         );
         self.send_raw(dst, id, KIND_SEND, rpc_id, payload);
@@ -298,7 +310,52 @@ impl Messenger {
         if outcome.is_err() {
             self.rpc_failures.set(self.rpc_failures.get() + 1);
         }
-        (w.reply)(outcome);
+        // Deliver on the issuing core: the continuation touches state
+        // (TCP connections, timers) that belongs there, and responses
+        // may land on another core's peer connection.
+        runtime::with_current_on(|rt, current| {
+            if current == w.home {
+                (w.reply)(outcome);
+            } else {
+                let cell = SendCell((w.reply, outcome));
+                rt.spawn(w.home, move || {
+                    let cell = cell;
+                    (cell.0 .0)(cell.0 .1);
+                });
+            }
+        });
+    }
+
+    /// Aborts the connection to `addr` (RST-style: unacked and queued
+    /// frames are discarded, never retransmitted) and fails every RPC
+    /// pending on it; the next send opens a fresh connection.
+    ///
+    /// This is the transport's **zombie fence**. Declaring a call on
+    /// `addr` timed out is a failure-detector verdict; requests queued
+    /// behind it in the connection would otherwise be retransmitted
+    /// and delivered arbitrarily late — e.g. a write shipped to a
+    /// since-deposed primary, applied after its replacement has
+    /// acknowledged newer writes. Dropping the connection bounds every
+    /// frame's lifetime by the failure detection that condemned it.
+    pub fn reset_peer(self: &Rc<Self>, addr: Ipv4Addr) {
+        let peer = self.peers.borrow_mut().remove(&addr);
+        if let Some(peer) = peer {
+            let conn = peer.borrow().conn.clone();
+            // Abort on the connection's affinity core (its TCP state
+            // lives there); the messenger's waiters are failed from
+            // the calling core either way.
+            runtime::with_current_on(|rt, current| match conn.core() {
+                Some(home) if home != current => {
+                    let cell = SendCell(conn);
+                    rt.spawn(home, move || {
+                        let cell = cell;
+                        cell.0.abort();
+                    });
+                }
+                _ => conn.abort(),
+            });
+        }
+        self.on_peer_close(addr);
     }
 
     /// Fails every RPC pending on `addr` and forgets the peer, so the
@@ -330,7 +387,25 @@ impl Messenger {
         peer.borrow_mut()
             .pending
             .push_back(MutIoBuf::from_vec(msg).freeze());
-        Self::flush_peer(&peer);
+        Self::flush_peer_on_conn_core(&peer);
+    }
+
+    /// Flushes `peer`, hopping to its TCP connection's affinity core
+    /// first when called from another core (multi-core machines answer
+    /// RPCs and fan out replication from whatever core the triggering
+    /// event ran on; the connection must only be driven from its own).
+    fn flush_peer_on_conn_core(peer: &Rc<RefCell<PeerConn>>) {
+        let conn_core = peer.borrow().conn.core();
+        runtime::with_current_on(|rt, current| match conn_core {
+            Some(core) if core != current => {
+                let cell = SendCell(Rc::clone(peer));
+                rt.spawn(core, move || {
+                    let cell = cell;
+                    Self::flush_peer(&cell.0);
+                });
+            }
+            _ => Self::flush_peer(peer),
+        });
     }
 
     /// Sends as many parked frames as the window allows (descriptor

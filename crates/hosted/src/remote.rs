@@ -17,16 +17,23 @@
 //!   [`Messenger::call_with_timeout`]: per-call rpc ids, a timer-wheel
 //!   timeout on the calling core, and `Err` delivery the moment the
 //!   owner's connection dies. No call ever hangs.
-//! * **Staleness recovery** — a [`RemoteError::Timeout`] or
-//!   [`RemoteError::Unreachable`] invalidates the cached owner (local
-//!   state *and* the GlobalIdMap client cache), so the next call
-//!   re-resolves; an owner that restarted elsewhere and re-published
-//!   its record is found again without tearing proxies down.
+//! * **Retry-in-place failover** — a [`RemoteError::Timeout`] or
+//!   [`RemoteError::Unreachable`] no longer surfaces to the caller
+//!   immediately. The transport repairs the ownership record — for a
+//!   replicated id (a record listing several owners, primary first) it
+//!   *promotes* the next live replica by rotating the list and
+//!   publishing it back through a compare-and-swap on the record's
+//!   version ([`GlobalIdMap::put_if`]); for a single-owner id it
+//!   invalidates local state *and* the GlobalIdMap client cache so the
+//!   address is re-resolved — and then re-ships the same call after a
+//!   bounded exponential backoff, up to a per-call retry budget
+//!   ([`RetryPolicy`]). A machine death or restart is absorbed inside
+//!   the failing call; only an exhausted budget surfaces an `Err`.
 //!
 //! The owner side is two helpers: [`export`] routes inbound requests
 //! for an id to the local representative's
-//! [`DistributedEbb::handle_remote`], and [`publish`] additionally
-//! writes the owner record into the naming service.
+//! [`DistributedEbb::handle_remote_async`], and [`publish`]
+//! additionally writes the owner record into the naming service.
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -46,12 +53,59 @@ use crate::messenger::Messenger;
 
 pub use crate::messenger::DEFAULT_RPC_TIMEOUT_NS as DEFAULT_CALL_TIMEOUT_NS;
 
+/// One call parked behind an in-flight owner resolution, carrying the
+/// retry attempt it is on.
+struct PendingCall {
+    payload: Rc<Vec<u8>>,
+    reply: RemoteReply,
+    attempt: u32,
+}
+
+/// A resolved ownership record: the ordered replica list (primary
+/// first) and the naming-record version it was read at — the CAS token
+/// used when this transport promotes a replica.
+struct OwnerRecord {
+    version: u64,
+    owners: Vec<Ipv4Addr>,
+}
+
 /// Resolution state of one remote id.
 enum OwnerState {
     /// A GlobalIdMap lookup is in flight; calls queue behind it.
-    Resolving(Vec<(Vec<u8>, RemoteReply)>),
-    /// The owner's address, as last resolved.
-    Resolved(Ipv4Addr),
+    Resolving(Vec<PendingCall>),
+    /// The ownership record, as last resolved (or promoted).
+    Resolved(OwnerRecord),
+}
+
+/// Per-call failover behavior: how many ship attempts one logical call
+/// may consume, and the exponential backoff between them.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total ship attempts per call (≥ 1; 1 = no retry).
+    pub budget: u32,
+    /// Backoff before retry `n` is `base << (n - 1)`, capped at `max`.
+    pub backoff_base_ns: Ns,
+    /// Backoff ceiling.
+    pub backoff_max_ns: Ns,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 4,
+            backoff_base_ns: 1_000_000,
+            backoff_max_ns: 16_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn backoff_ns(&self, attempt: u32) -> Ns {
+        self.backoff_base_ns
+            .checked_shl(attempt)
+            .unwrap_or(self.backoff_max_ns)
+            .min(self.backoff_max_ns)
+    }
 }
 
 /// The production [`RemoteTransport`]: GlobalIdMap owner resolution +
@@ -65,10 +119,15 @@ pub struct MessengerTransport {
     map: Option<Rc<GlobalIdMap>>,
     owners: RefCell<HashMap<u32, OwnerState>>,
     timeout_ns: Cell<Ns>,
+    retry: Cell<RetryPolicy>,
     /// Calls shipped (diagnostic).
     pub shipped: Cell<u64>,
     /// Owner records dropped after a failed call (diagnostic).
     pub invalidations: Cell<u64>,
+    /// In-place re-ships after a failed attempt (diagnostic).
+    pub retries: Cell<u64>,
+    /// Replica promotions this transport won via CAS (diagnostic).
+    pub promotions: Cell<u64>,
 }
 
 impl MessengerTransport {
@@ -79,8 +138,11 @@ impl MessengerTransport {
             map,
             owners: RefCell::new(HashMap::new()),
             timeout_ns: Cell::new(DEFAULT_CALL_TIMEOUT_NS),
+            retry: Cell::new(RetryPolicy::default()),
             shipped: Cell::new(0),
             invalidations: Cell::new(0),
+            retries: Cell::new(0),
+            promotions: Cell::new(0),
         })
     }
 
@@ -112,33 +174,170 @@ impl MessengerTransport {
         self.timeout_ns.set(timeout_ns);
     }
 
+    /// Overrides the per-call retry policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        assert!(policy.budget >= 1, "a call needs at least one attempt");
+        self.retry.set(policy);
+    }
+
     /// Seeds the owner record for `id` without a naming-service round
     /// trip.
     pub fn preset_owner(&self, id: EbbId, owner: Ipv4Addr) {
-        self.owners
-            .borrow_mut()
-            .insert(id.0, OwnerState::Resolved(owner));
+        self.owners.borrow_mut().insert(
+            id.0,
+            OwnerState::Resolved(OwnerRecord {
+                version: 0,
+                owners: vec![owner],
+            }),
+        );
     }
 
-    /// Ships one call to an explicit owner address, with this
-    /// transport's timeout and the failure-invalidation hook.
-    fn ship_via(&self, owner: Ipv4Addr, id: EbbId, payload: &[u8], reply: RemoteReply) {
+    /// The currently resolved primary for `id`, if any (diagnostic).
+    pub fn resolved_primary(&self, id: EbbId) -> Option<Ipv4Addr> {
+        match self.owners.borrow().get(&id.0) {
+            Some(OwnerState::Resolved(rec)) => rec.owners.first().copied(),
+            _ => None,
+        }
+    }
+
+    /// Ships one attempt of a call to an explicit owner address; a
+    /// Timeout/Unreachable outcome enters the failover-and-retry path
+    /// instead of reaching the caller.
+    fn ship_via(
+        &self,
+        owner: Ipv4Addr,
+        id: EbbId,
+        payload: Rc<Vec<u8>>,
+        reply: RemoteReply,
+        attempt: u32,
+    ) {
         let Some(m) = self.messenger.upgrade() else {
             reply(Err(RemoteError::Unreachable));
             return;
         };
         let weak = Weak::clone(&self.weak);
-        m.call_with_timeout(owner, id, payload, self.timeout_ns.get(), move |r| {
-            if matches!(r, Err(RemoteError::Timeout) | Err(RemoteError::Unreachable)) {
-                // The cached owner stopped answering: drop the record
-                // so the next call re-resolves (the owner may have
-                // restarted elsewhere and re-published).
-                if let Some(t) = weak.upgrade() {
-                    t.invalidate(id);
+        let retained = Rc::clone(&payload);
+        m.call_with_timeout(
+            owner,
+            id,
+            &payload,
+            self.timeout_ns.get(),
+            move |r| match r {
+                Err(err @ (RemoteError::Timeout | RemoteError::Unreachable)) => {
+                    match weak.upgrade() {
+                        Some(t) => t.attempt_failed(owner, id, retained, reply, attempt, err),
+                        None => reply(Err(err)),
+                    }
                 }
+                other => reply(other),
+            },
+        );
+    }
+
+    /// One ship attempt failed: repair the ownership record (promote a
+    /// replica or invalidate for re-resolution), then — budget
+    /// permitting — re-ship the same call after an exponential backoff.
+    /// This is the retry-in-place core: the caller's `reply` only sees
+    /// an `Err` once the budget is exhausted.
+    fn attempt_failed(
+        &self,
+        failed: Ipv4Addr,
+        id: EbbId,
+        payload: Rc<Vec<u8>>,
+        reply: RemoteReply,
+        attempt: u32,
+        err: RemoteError,
+    ) {
+        // Zombie fence: a timed-out connection still holds this and
+        // possibly later frames, which TCP would retransmit and
+        // deliver arbitrarily late — e.g. a write reaching a deposed
+        // primary after its replacement acknowledged newer writes.
+        // Abort the connection so nothing sent before the verdict can
+        // outlive it. (`Unreachable` means the connection already
+        // died, taking its queue with it.)
+        if matches!(err, RemoteError::Timeout) {
+            if let Some(m) = self.messenger.upgrade() {
+                m.reset_peer(failed);
             }
-            reply(r);
+        }
+        self.failover(id, failed);
+        let policy = self.retry.get();
+        if attempt + 1 >= policy.budget {
+            reply(Err(err));
+            return;
+        }
+        self.retries.set(self.retries.get() + 1);
+        let weak = Weak::clone(&self.weak);
+        // The failure was delivered inside one of this machine's
+        // events, so the local event manager is in scope for the
+        // backoff timer.
+        runtime::with_current(|rt| {
+            rt.local_event_manager()
+                .set_timer(policy.backoff_ns(attempt), move || match weak.upgrade() {
+                    Some(t) => t.ship_attempt(id, payload, reply, attempt + 1),
+                    None => reply(Err(RemoteError::Unreachable)),
+                });
         });
+    }
+
+    /// Repairs the ownership record for `id` after `failed` stopped
+    /// answering. Replicated record with `failed` at the front: rotate
+    /// it to the back (the next replica becomes primary), adopt the
+    /// rotation locally so retries use it immediately, and publish it
+    /// through a CAS on the record's observed version — the naming
+    /// service arbitrates racing promoters. Single-owner record:
+    /// invalidate, so the retry re-resolves (a restarted owner
+    /// re-publishes its address). A record whose primary is no longer
+    /// `failed` was already repaired by someone else — leave it alone.
+    fn failover(&self, id: EbbId, failed: Ipv4Addr) {
+        // Direct transports: preset owners are configuration, not a
+        // cache — the retry simply re-ships to the configured address.
+        let Some(map) = &self.map else { return };
+        let promote = {
+            let mut owners = self.owners.borrow_mut();
+            match owners.get_mut(&id.0) {
+                Some(OwnerState::Resolved(rec)) if rec.owners.first() == Some(&failed) => {
+                    if rec.owners.len() > 1 {
+                        rec.owners.rotate_left(1);
+                        Some((rec.version, rec.owners.clone()))
+                    } else {
+                        None
+                    }
+                }
+                _ => return,
+            }
+        };
+        let Some((version, rotated)) = promote else {
+            self.invalidate(id);
+            return;
+        };
+        let weak = Weak::clone(&self.weak);
+        map.put_if(
+            id,
+            version,
+            &global_map::encode_owners(&rotated),
+            move |r| {
+                let Some(t) = weak.upgrade() else { return };
+                match r {
+                    Some(new_version) => {
+                        t.promotions.set(t.promotions.get() + 1);
+                        if let Some(OwnerState::Resolved(rec)) =
+                            t.owners.borrow_mut().get_mut(&id.0)
+                        {
+                            if rec.version == version {
+                                rec.version = new_version;
+                            }
+                        }
+                    }
+                    None => {
+                        // Lost the race (another promoter, or the old
+                        // primary re-published): drop local state so the
+                        // next attempt re-resolves the winner's record.
+                        t.invalidate(id);
+                    }
+                }
+            },
+        );
     }
 
     /// Drops the resolved owner for `id` (and the naming client's
@@ -170,16 +369,18 @@ impl MessengerTransport {
                 Some(OwnerState::Resolving(q)) => q,
                 _ => Vec::new(),
             };
-            for (_, reply) in queued {
-                reply(Err(RemoteError::Unresolved));
+            for call in queued {
+                (call.reply)(Err(RemoteError::Unresolved));
             }
             return;
         };
         let weak = Weak::clone(&self.weak);
-        map.get(id, move |record| {
+        map.get_versioned(id, move |record| {
             let Some(t) = weak.upgrade() else { return };
-            let owner = record.as_deref().and_then(global_map::decode_owner);
-            let queued = {
+            let resolved = record.and_then(|(version, data)| {
+                global_map::decode_owners(&data).map(|owners| OwnerRecord { version, owners })
+            });
+            let (primary, queued) = {
                 let mut owners = t.owners.borrow_mut();
                 let queued = match owners.remove(&id.0) {
                     Some(OwnerState::Resolving(q)) => q,
@@ -191,54 +392,72 @@ impl MessengerTransport {
                         Vec::new()
                     }
                 };
-                if let Some(addr) = owner {
-                    owners.insert(id.0, OwnerState::Resolved(addr));
+                let primary = resolved.as_ref().and_then(|r| r.owners.first().copied());
+                if let Some(rec) = resolved {
+                    owners.insert(id.0, OwnerState::Resolved(rec));
                 }
-                queued
+                (primary, queued)
             };
-            match owner {
+            match primary {
                 Some(addr) => {
-                    for (payload, reply) in queued {
-                        t.ship_via(addr, id, &payload, reply);
+                    for call in queued {
+                        t.ship_via(addr, id, call.payload, call.reply, call.attempt);
                     }
                 }
                 None => {
-                    for (_, reply) in queued {
-                        reply(Err(RemoteError::Unresolved));
+                    for call in queued {
+                        (call.reply)(Err(RemoteError::Unresolved));
                     }
                 }
             }
         });
     }
-}
 
-impl RemoteTransport for MessengerTransport {
-    fn ship(&self, id: EbbId, payload: Vec<u8>, reply: RemoteReply) {
-        self.shipped.set(self.shipped.get() + 1);
+    /// Routes one attempt of a call: ship to the resolved primary,
+    /// queue behind an in-flight resolution, or start one.
+    fn ship_attempt(&self, id: EbbId, payload: Rc<Vec<u8>>, reply: RemoteReply, attempt: u32) {
         enum Action {
-            Ship(Ipv4Addr, Vec<u8>, RemoteReply),
+            Ship(Ipv4Addr, Rc<Vec<u8>>, RemoteReply),
             Resolve,
             Queued,
         }
         let action = {
             let mut owners = self.owners.borrow_mut();
             match owners.get_mut(&id.0) {
-                Some(OwnerState::Resolved(addr)) => Action::Ship(*addr, payload, reply),
+                Some(OwnerState::Resolved(rec)) => Action::Ship(rec.owners[0], payload, reply),
                 Some(OwnerState::Resolving(q)) => {
-                    q.push((payload, reply));
+                    q.push(PendingCall {
+                        payload,
+                        reply,
+                        attempt,
+                    });
                     Action::Queued
                 }
                 None => {
-                    owners.insert(id.0, OwnerState::Resolving(vec![(payload, reply)]));
+                    owners.insert(
+                        id.0,
+                        OwnerState::Resolving(vec![PendingCall {
+                            payload,
+                            reply,
+                            attempt,
+                        }]),
+                    );
                     Action::Resolve
                 }
             }
         };
         match action {
-            Action::Ship(addr, payload, reply) => self.ship_via(addr, id, &payload, reply),
+            Action::Ship(addr, payload, reply) => self.ship_via(addr, id, payload, reply, attempt),
             Action::Resolve => self.begin_resolve(id),
             Action::Queued => {}
         }
+    }
+}
+
+impl RemoteTransport for MessengerTransport {
+    fn ship(&self, id: EbbId, payload: Vec<u8>, reply: RemoteReply) {
+        self.shipped.set(self.shipped.get() + 1);
+        self.ship_attempt(id, Rc::new(payload), reply, 0);
     }
 }
 
@@ -263,11 +482,21 @@ pub fn export_raw(
 /// Makes this machine the **owner** of distributed Ebb `ebb`: inbound
 /// function-shipped requests resolve the local (real) representative
 /// through the translation table and apply
-/// [`DistributedEbb::handle_remote`]. The root must be registered on
-/// this machine.
+/// [`DistributedEbb::handle_remote_async`] — handlers that fan out
+/// (replication) acknowledge only when their own shipped calls
+/// resolve; plain handlers answer synchronously through the default.
+/// The root must be registered on this machine.
 pub fn export<T: DistributedEbb>(messenger: &Rc<Messenger>, ebb: EbbRef<T>) {
-    export_raw(messenger, ebb.id(), move |payload| {
-        ebb.with(|rep| rep.handle_remote(payload))
+    let weak = Rc::downgrade(messenger);
+    let id = ebb.id();
+    messenger.register(id, move |src, rpc_id, payload| {
+        let Some(m) = weak.upgrade() else { return };
+        ebb.with(|rep| {
+            rep.handle_remote_async(
+                &payload,
+                Box::new(move |resp| m.respond(src, id, rpc_id, &resp)),
+            )
+        });
     });
 }
 
@@ -283,6 +512,21 @@ pub fn publish<T: DistributedEbb>(
 ) {
     export(messenger, ebb);
     map.put(ebb.id(), &global_map::encode_owner(owner_ip), done);
+}
+
+/// [`export`] + publish an ordered replica list (primary first) as the
+/// id's ownership record. Call it on the machine fronting the record;
+/// the other replicas just [`export`] the same id so a promotion finds
+/// them already serving.
+pub fn publish_replicated<T: DistributedEbb>(
+    messenger: &Rc<Messenger>,
+    map: &Rc<GlobalIdMap>,
+    ebb: EbbRef<T>,
+    owners: &[Ipv4Addr],
+    done: impl FnOnce(bool) + 'static,
+) {
+    export(messenger, ebb);
+    map.put(ebb.id(), &global_map::encode_owners(owners), done);
 }
 
 /// Typed serialization helpers for function-shipped payloads — the
@@ -699,8 +943,11 @@ mod tests {
         });
         c.w.run_to_idle();
 
-        // First call after the restart: the stale record fails fast
-        // (timeout — the old owner no longer answers) and invalidates.
+        // First call after the restart: the stale attempt times out,
+        // the transport invalidates and *retries in place* —
+        // re-resolving through the map and landing on the restarted
+        // owner inside the same call. The caller never sees the
+        // failure, and the proxy rep was never reinstalled.
         c.client_transport.set_timeout(2_000_000);
         let g3 = Rc::clone(&got);
         on_core0(&c.client, g3, move |g3| {
@@ -710,23 +957,105 @@ mod tests {
         c.w.run_to_idle();
         assert_eq!(
             got.get(),
-            Some(Err(RemoteError::Timeout)),
-            "the stale owner fails fast, not forever"
+            Some(Ok(101)),
+            "retry-in-place absorbs the stale record: the first call succeeds"
         );
-        // Second call re-resolves through the map and reaches the new
-        // owner — the proxy rep itself never had to be reinstalled.
+        assert!(c.client_transport.retries.get() >= 1, "a retry happened");
+        assert!(
+            c.client_transport.invalidations.get() >= 1,
+            "the stale record was invalidated"
+        );
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(restart_hits.load(std::sync::atomic::Ordering::Relaxed), 101);
+    }
+
+    #[test]
+    fn replicated_record_promotes_standby_inside_the_call() {
+        // A replicated ownership record [owner, standby]: both machines
+        // export the id, the record lists the owner as primary. Killing
+        // the owner mid-traffic must not surface an error — the
+        // transport rotates the record (CAS-promoting the standby) and
+        // re-ships the same call to it.
+        let c = cluster();
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let standby_hits = Arc::new(std::sync::atomic::AtomicU64::new(100));
+        let id = EbbId((1 << 20) + 21);
+        c.owner
+            .runtime()
+            .ebbs()
+            .register_root::<CounterEbb>(id, Arc::clone(&hits));
+        c.standby
+            .runtime()
+            .ebbs()
+            .register_root::<CounterEbb>(id, Arc::clone(&standby_hits));
+        // Standby exports (serves if promoted); owner exports and
+        // publishes the replica list.
+        let msgr = Rc::clone(&c.standby_msgr);
+        on_core0(&c.standby, msgr, move |msgr| {
+            export::<CounterEbb>(&msgr, EbbRef::from_id(id));
+        });
+        let msgr = Rc::clone(&c.owner_msgr);
+        let map = Rc::clone(&c.owner_map);
+        on_core0(&c.owner, (msgr, map), move |(msgr, map)| {
+            publish_replicated::<CounterEbb>(
+                &msgr,
+                &map,
+                EbbRef::from_id(id),
+                &[OWNER_IP, STANDBY_IP],
+                |ok| assert!(ok),
+            );
+        });
+        c.w.run_to_idle();
+
+        // Warm the client's proxy and owner cache.
+        let got = Rc::new(Cell::new(None));
+        let g2 = Rc::clone(&got);
+        on_core0(&c.client, g2, move |g2| {
+            EbbRef::<CounterEbb>::from_id(id)
+                .with_distributed(|rep| rep.poke(move |r| g2.set(Some(r))));
+        });
+        c.w.run_to_idle();
+        assert_eq!(got.get(), Some(Ok(1)), "primary serves in steady state");
+        assert_eq!(
+            c.client_transport.resolved_primary(id),
+            Some(OWNER_IP),
+            "record resolved with the owner as primary"
+        );
+
+        // Kill the owner (its messenger stops serving the id) and call
+        // again: the attempt times out, the transport promotes the
+        // standby via CAS and re-ships inside the call.
+        c.owner_msgr.unregister(id);
+        c.client_transport.set_timeout(2_000_000);
+        let g3 = Rc::clone(&got);
+        on_core0(&c.client, g3, move |g3| {
+            EbbRef::<CounterEbb>::from_id(id)
+                .with_distributed(|rep| rep.poke(move |r| g3.set(Some(r))));
+        });
+        c.w.run_to_idle();
+        assert_eq!(
+            got.get(),
+            Some(Ok(101)),
+            "the standby answered the same call the owner dropped"
+        );
+        assert_eq!(c.client_transport.promotions.get(), 1, "one CAS promotion");
+        assert!(c.client_transport.retries.get() >= 1);
+        assert_eq!(
+            c.client_transport.resolved_primary(id),
+            Some(STANDBY_IP),
+            "the promoted replica now fronts the record"
+        );
+        // Steady state after failover: calls flow to the standby
+        // without further retries.
+        let retries_before = c.client_transport.retries.get();
         let g4 = Rc::clone(&got);
         on_core0(&c.client, g4, move |g4| {
             EbbRef::<CounterEbb>::from_id(id)
                 .with_distributed(|rep| rep.poke(move |r| g4.set(Some(r))));
         });
         c.w.run_to_idle();
-        assert_eq!(
-            got.get(),
-            Some(Ok(101)),
-            "re-resolution lands on the restarted owner"
-        );
+        assert_eq!(got.get(), Some(Ok(102)));
+        assert_eq!(c.client_transport.retries.get(), retries_before);
         assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
-        assert_eq!(restart_hits.load(std::sync::atomic::Ordering::Relaxed), 101);
     }
 }

@@ -7,7 +7,7 @@
 //! speed for large messages (Figure 4).
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::{Rc, Weak};
 
 use ebbrt_core::clock::Ns;
@@ -62,6 +62,14 @@ pub struct Switch {
     fdb: RefCell<HashMap<Mac, usize>>,
     forwarded: Cell<u64>,
     flooded: Cell<u64>,
+    /// Directed (from, to) port pairs whose frames are dropped —
+    /// partitions and one-way loss (fault injection).
+    blocked: RefCell<HashSet<(usize, usize)>>,
+    /// Ports cut off entirely (both directions, including floods) —
+    /// the chaos harness's "machine death".
+    isolated: RefCell<HashSet<usize>>,
+    /// Frames dropped by fault injection (blocked/isolated/loss).
+    faulted: Cell<u64>,
 }
 
 impl Switch {
@@ -73,6 +81,9 @@ impl Switch {
             fdb: RefCell::new(HashMap::new()),
             forwarded: Cell::new(0),
             flooded: Cell::new(0),
+            blocked: RefCell::new(HashSet::new()),
+            isolated: RefCell::new(HashSet::new()),
+            faulted: Cell::new(0),
         })
     }
 
@@ -104,6 +115,12 @@ impl Switch {
         (self.forwarded.get(), self.flooded.get())
     }
 
+    /// Frames dropped by fault injection (partitions, isolation,
+    /// drop filters).
+    pub fn faulted(&self) -> u64 {
+        self.faulted.get()
+    }
+
     /// Installs a loss-injection filter on `port`: frames destined to it
     /// for which `f` returns `true` are silently dropped.
     pub fn set_drop_filter(&self, port: usize, f: impl Fn(&Frame) -> bool + 'static) {
@@ -113,6 +130,81 @@ impl Switch {
     /// Removes `port`'s loss-injection filter.
     pub fn clear_drop_filter(&self, port: usize) {
         *self.ports.borrow()[port].drop_filter.borrow_mut() = None;
+    }
+
+    /// Partitions ports `a` and `b`: frames between them (either
+    /// direction, direct or flooded) are silently dropped until
+    /// [`Switch::heal`].
+    pub fn partition(&self, a: usize, b: usize) {
+        let mut blocked = self.blocked.borrow_mut();
+        blocked.insert((a, b));
+        blocked.insert((b, a));
+    }
+
+    /// Undoes [`Switch::partition`] for the pair.
+    pub fn heal(&self, a: usize, b: usize) {
+        let mut blocked = self.blocked.borrow_mut();
+        blocked.remove(&(a, b));
+        blocked.remove(&(b, a));
+    }
+
+    /// One-way loss: frames from `from` to `to` are dropped; the
+    /// reverse direction still flows (asymmetric-partition tests).
+    pub fn block_one_way(&self, from: usize, to: usize) {
+        self.blocked.borrow_mut().insert((from, to));
+    }
+
+    /// Undoes [`Switch::block_one_way`] for the directed pair.
+    pub fn heal_one_way(&self, from: usize, to: usize) {
+        self.blocked.borrow_mut().remove(&(from, to));
+    }
+
+    /// Cuts `port` off completely — nothing in, nothing out, floods
+    /// included. The chaos harness models a machine crash this way:
+    /// the NIC and its runtime survive, the network just stops.
+    pub fn isolate(&self, port: usize) {
+        self.isolated.borrow_mut().insert(port);
+    }
+
+    /// Reconnects an isolated port (the "restart": state intact,
+    /// traffic resumes).
+    pub fn restore(&self, port: usize) {
+        self.isolated.borrow_mut().remove(&port);
+    }
+
+    /// Whether `port` is currently isolated.
+    pub fn is_isolated(&self, port: usize) -> bool {
+        self.isolated.borrow().contains(&port)
+    }
+
+    /// Installs a seeded probabilistic drop filter on `port`:
+    /// each arriving frame is dropped with probability
+    /// `rate_ppm / 1_000_000`, deterministically from `seed` (xorshift).
+    /// Layered on [`Switch::set_drop_filter`], so it replaces any
+    /// existing filter; clear with [`Switch::clear_drop_filter`].
+    pub fn set_loss_rate(&self, port: usize, rate_ppm: u32, seed: u64) {
+        assert!(rate_ppm <= 1_000_000, "rate is parts-per-million");
+        let state = Cell::new(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        });
+        self.set_drop_filter(port, move |_| {
+            let mut x = state.get();
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            state.set(x);
+            (x % 1_000_000) < rate_ppm as u64
+        });
+    }
+
+    /// Whether fault injection (partition/isolation) cuts `from → to`.
+    fn faulted_pair(&self, from: usize, to: usize) -> bool {
+        let isolated = self.isolated.borrow();
+        isolated.contains(&from)
+            || isolated.contains(&to)
+            || self.blocked.borrow().contains(&(from, to))
     }
 
     /// Returns whether the drop filter on `port` claims this frame.
@@ -152,7 +244,12 @@ impl Switch {
         });
         match dst {
             Some(port) if port != from => {
+                if self.faulted_pair(from, port) {
+                    self.faulted.set(self.faulted.get() + 1);
+                    return;
+                }
                 if self.should_drop(port, &frame) {
+                    self.faulted.set(self.faulted.get() + 1);
                     return;
                 }
                 self.forwarded.set(self.forwarded.get() + 1);
@@ -171,6 +268,10 @@ impl Switch {
                 let nports = self.ports.borrow().len();
                 // Split the chain per destination (shares storage).
                 for port in (0..nports).filter(|&p| p != from) {
+                    if self.faulted_pair(from, port) {
+                        self.faulted.set(self.faulted.get() + 1);
+                        continue;
+                    }
                     // Chain clone shares storage: flooding copies
                     // descriptors, not bytes.
                     let copy = Frame::new(frame.data.clone());
@@ -250,6 +351,106 @@ mod tests {
         assert_eq!(nics[2].rx_len(0), 1);
         assert_eq!(nics[1].rx_len(0), 0);
         assert_eq!(sw.stats(), (1, 0));
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_and_heals() {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let a = SimNic::new([1; 6], 1);
+        let b = SimNic::new([2; 6], 1);
+        sw.attach(&a, LinkParams::default());
+        sw.attach(&b, LinkParams::default());
+
+        sw.partition(0, 1);
+        a.transmit(frame([2; 6], [1; 6], 50));
+        b.transmit(frame([1; 6], [2; 6], 50));
+        w.run_to_idle();
+        assert_eq!(a.rx_len(0), 0);
+        assert_eq!(b.rx_len(0), 0);
+        assert_eq!(sw.faulted(), 2);
+
+        sw.heal(0, 1);
+        a.transmit(frame([2; 6], [1; 6], 50));
+        b.transmit(frame([1; 6], [2; 6], 50));
+        w.run_to_idle();
+        assert_eq!(a.rx_len(0), 1);
+        assert_eq!(b.rx_len(0), 1);
+    }
+
+    #[test]
+    fn one_way_loss_keeps_reverse_path() {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let a = SimNic::new([1; 6], 1);
+        let b = SimNic::new([2; 6], 1);
+        sw.attach(&a, LinkParams::default());
+        sw.attach(&b, LinkParams::default());
+
+        sw.block_one_way(0, 1);
+        a.transmit(frame([2; 6], [1; 6], 50));
+        b.transmit(frame([1; 6], [2; 6], 50));
+        w.run_to_idle();
+        assert_eq!(b.rx_len(0), 0, "a → b is cut");
+        assert_eq!(a.rx_len(0), 1, "b → a still flows");
+
+        sw.heal_one_way(0, 1);
+        a.transmit(frame([2; 6], [1; 6], 50));
+        w.run_to_idle();
+        assert_eq!(b.rx_len(0), 1);
+    }
+
+    #[test]
+    fn isolation_cuts_floods_too_and_restore_reconnects() {
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let nics: Vec<_> = (0..3u8).map(|i| SimNic::new([i + 1; 6], 1)).collect();
+        for n in &nics {
+            sw.attach(n, LinkParams::default());
+        }
+        sw.isolate(2);
+        assert!(sw.is_isolated(2));
+        // Broadcast from 0: flood reaches 1 but not the isolated 2.
+        nics[0].transmit(frame([0xff; 6], [1; 6], 60));
+        // Direct frames to and from the isolated port vanish.
+        nics[1].transmit(frame([3; 6], [2; 6], 60));
+        nics[2].transmit(frame([1; 6], [3; 6], 60));
+        w.run_to_idle();
+        assert_eq!(nics[1].rx_len(0), 1);
+        assert_eq!(nics[2].rx_len(0), 0);
+        assert_eq!(nics[0].rx_len(0), 0);
+
+        sw.restore(2);
+        assert!(!sw.is_isolated(2));
+        nics[1].transmit(frame([3; 6], [2; 6], 60));
+        w.run_to_idle();
+        assert_eq!(nics[2].rx_len(0), 1);
+    }
+
+    #[test]
+    fn seeded_loss_rate_is_deterministic_and_proportional() {
+        fn run(seed: u64) -> usize {
+            let w = SimWorld::new();
+            let sw = Switch::new(&w);
+            let a = SimNic::new([1; 6], 1);
+            let b = SimNic::new([2; 6], 1);
+            sw.attach(&a, LinkParams::default());
+            sw.attach(&b, LinkParams::default());
+            sw.set_loss_rate(1, 250_000, seed); // 25 %
+            for _ in 0..400 {
+                a.transmit(frame([2; 6], [1; 6], 50));
+            }
+            w.run_to_idle();
+            b.rx_len(0)
+        }
+        let delivered = run(42);
+        assert_eq!(delivered, run(42), "same seed, same drops");
+        // ~75 % of 400 should arrive; allow generous slack.
+        assert!(
+            (240..=360).contains(&delivered),
+            "25 % loss delivered {delivered}/400"
+        );
+        assert_ne!(delivered, run(43), "different seed, different pattern");
     }
 
     #[test]

@@ -360,6 +360,7 @@ fn sharded_memcached_local_vs_remote_properties() {
         warmup_gets: 32,
         measured_gets: 64,
         probe_failure: true,
+        cores: 1,
     });
     println!("{}", dist::format_report(&r));
     dist::assert_properties(&r);
