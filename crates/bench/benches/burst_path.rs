@@ -1,0 +1,26 @@
+//! Vectorized dataplane gate: per-burst receive processing must beat
+//! per-packet on the same pipelined memcached workload.
+//!
+//! Runs [`ebbrt_bench::burst_path`] at burst sizes 1 (per-packet
+//! baseline), 8, and the full ring, prints the comparison, and fails
+//! the process — and CI — if any burst size >= 8 fails to beat the
+//! baseline's requests-per-virtual-second, never formed a real burst,
+//! or never coalesced a delivery. The figure of merit is virtual-time
+//! pps from the deterministic cost model, so the gate cannot flake on
+//! a loaded runner.
+
+use ebbrt_bench::burst_path;
+use ebbrt_net::driver::RX_BURST;
+
+fn main() {
+    println!("Vectorized dataplane: per-burst vs per-packet, pipelined memcached GETs");
+    println!("{}", burst_path::table_header());
+    let per_packet = burst_path::run(1);
+    println!("{}", burst_path::format_report(&per_packet));
+    for burst in [8, RX_BURST] {
+        let r = burst_path::run(burst);
+        println!("{}", burst_path::format_report(&r));
+        burst_path::assert_beats_per_packet(&per_packet, &r);
+    }
+    println!("gate: per-burst beats per-packet at every size >= 8");
+}

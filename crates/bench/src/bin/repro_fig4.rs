@@ -169,6 +169,39 @@ fn main() {
     .expect("write csv");
     println!("wrote {}", path.display());
 
+    // Burst-mode point: the same pipelined GET workload with the
+    // driver forced to per-packet delivery vs whole receive bursts.
+    // The vector path's amortization (one PCB borrow, one coalesced
+    // delivery, one ACK decision per connection per pass) is the
+    // paper's run-to-completion dataplane taken to its batched
+    // conclusion — the gate that per-burst beats per-packet lives in
+    // the `burst_path` bench; this records the curve.
+    println!();
+    println!("Burst-mode dataplane: pipelined memcached GETs, per-packet vs per-burst");
+    println!("{}", ebbrt_bench::burst_path::table_header_virtual());
+    let mut burst_rows = Vec::new();
+    for burst in [1usize, 8, 64] {
+        let r = ebbrt_bench::burst_path::run(burst);
+        println!("{}", ebbrt_bench::burst_path::format_report_virtual(&r));
+        burst_rows.push(format!(
+            "{},{:.0},{:.2},{},{:.2},{}",
+            r.burst_frames,
+            r.pps,
+            r.virtual_ns as f64 / r.requests as f64 / 1000.0,
+            r.max_burst_seen,
+            r.frames_per_burst(),
+            r.coalesced_callbacks,
+        ));
+    }
+    let path = ebbrt_bench::write_csv(
+        "fig4_burst_mode.csv",
+        "burst_frames,pps_virtual,us_per_req,max_burst_seen,frames_per_burst,\
+         coalesced_callbacks",
+        &burst_rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
+
     // Multi-machine point: the sharded memcached cluster on the
     // distributed-Ebb layer. Local-shard GETs take the zero-copy path
     // measured above; cross-shard GETs function-ship to the owner

@@ -493,6 +493,12 @@ pub struct DistReport {
     /// Responses carrying [`STATUS_REMOTE_ERROR`] from the phantom
     /// probe (expected: exactly the probes sent, promptly).
     pub failure_responses: u32,
+    /// Function-shipped calls that rode a multi-call messenger frame
+    /// on the front-end shard (the pipelined cross-shard phase).
+    pub front_batched_calls: u64,
+    /// Largest number of calls the front-end shard coalesced into one
+    /// messenger frame.
+    pub front_max_batch: u64,
 }
 
 /// Phase tags of the closed-loop client.
@@ -501,10 +507,15 @@ const TAG_WARM: u8 = 1;
 const TAG_LOCAL: u8 = 2;
 const TAG_REMOTE: u8 = 3;
 const TAG_FAIL: u8 = 4;
+const TAG_PIPE: u8 = 5;
+const NTAGS: usize = 6;
 
 struct Step {
     frame: Vec<u8>,
     tag: u8,
+    /// Responses this step awaits before the next fires (> 1 for the
+    /// pipelined burst).
+    expects: u32,
 }
 
 /// Closed-loop client: one outstanding request; phase boundaries
@@ -512,8 +523,8 @@ struct Step {
 struct DistClient {
     steps: RefCell<std::vec::IntoIter<Step>>,
     rx: RefCell<Vec<u8>>,
-    in_flight: Cell<Option<(u8, u64)>>,
-    lat_ns: RefCell<[Vec<u64>; 5]>,
+    in_flight: Cell<Option<(u8, u64, u32)>>,
+    lat_ns: RefCell<[Vec<u64>; NTAGS]>,
     statuses: RefCell<Vec<(u8, u16)>>,
     server_rt: Arc<Runtime>,
     local_base: Cell<Option<stats::Snapshot>>,
@@ -526,7 +537,7 @@ impl DistClient {
     }
 
     fn fire_next(&self, conn: &TcpConn) {
-        let prev_tag = self.in_flight.get().map(|(t, _)| t);
+        let prev_tag = self.in_flight.get().map(|(t, _, _)| t);
         let Some(step) = self.steps.borrow_mut().next() else {
             self.in_flight.set(None);
             conn.close();
@@ -541,7 +552,8 @@ impl DistClient {
         if prev_tag == Some(TAG_LOCAL) && step.tag != TAG_LOCAL {
             self.finish_local_phase();
         }
-        self.in_flight.set(Some((step.tag, Self::now_ns())));
+        self.in_flight
+            .set(Some((step.tag, Self::now_ns(), step.expects)));
         let _ = conn.send(Chain::single(IoBuf::copy_from(&step.frame)));
     }
 
@@ -575,9 +587,14 @@ impl ConnHandler for DistClient {
                 return;
             }
             rx.drain(..total);
-            let (tag, sent_at) = self.in_flight.get().expect("response without a request");
+            let (tag, sent_at, expects) = self.in_flight.get().expect("response without a request");
             self.lat_ns.borrow_mut()[tag as usize].push(Self::now_ns() - sent_at);
             self.statuses.borrow_mut().push((tag, h.status));
+            if expects > 1 {
+                // A pipelined step: wait for its remaining responses.
+                self.in_flight.set(Some((tag, sent_at, expects - 1)));
+                continue;
+            }
             drop(rx);
             self.fire_next(conn);
             rx = self.rx.borrow_mut();
@@ -606,27 +623,48 @@ pub fn run(cfg: &DistConfig) -> DistReport {
     steps.push(Step {
         frame: memcached::encode_set(&local_key, &value, 1),
         tag: TAG_SETUP,
+        expects: 1,
     });
     steps.push(Step {
         frame: memcached::encode_set(&remote_key, &value, 2),
         tag: TAG_SETUP,
+        expects: 1,
     });
     for i in 0..cfg.warmup_gets {
         steps.push(Step {
             frame: memcached::encode_get(&local_key, 100 + i),
             tag: TAG_WARM,
+            expects: 1,
         });
     }
     for i in 0..cfg.measured_gets {
         steps.push(Step {
             frame: memcached::encode_get(&local_key, 10_000 + i),
             tag: TAG_LOCAL,
+            expects: 1,
         });
     }
     for i in 0..cfg.measured_gets {
         steps.push(Step {
             frame: memcached::encode_get(&remote_key, 20_000 + i),
             tag: TAG_REMOTE,
+            expects: 1,
+        });
+    }
+    // Pipelined cross-shard burst: several GETs for keys of one remote
+    // owner land at the front end in one pass, so their function-shipped
+    // calls must leave as one multi-call messenger frame (asserted via
+    // the front-end transport's batch counters).
+    let pipe_depth = 4u32;
+    {
+        let mut frame = Vec::new();
+        for i in 0..pipe_depth {
+            frame.extend(memcached::encode_get(&remote_key, 40_000 + i));
+        }
+        steps.push(Step {
+            frame,
+            tag: TAG_PIPE,
+            expects: pipe_depth,
         });
     }
     let mut failure_probes = 0u32;
@@ -638,6 +676,7 @@ pub fn run(cfg: &DistConfig) -> DistReport {
             steps.push(Step {
                 frame: memcached::encode_get(&phantom_key, 30_000 + i),
                 tag: TAG_FAIL,
+                expects: 1,
             });
         }
     }
@@ -690,6 +729,8 @@ pub fn run(cfg: &DistConfig) -> DistReport {
         local_copied: delta.bytes_copied,
         local_allocated: delta.bufs_allocated,
         failure_responses,
+        front_batched_calls: c.transports[0].batched_calls.get(),
+        front_max_batch: c.transports[0].max_batch.get(),
     }
 }
 
@@ -708,6 +749,13 @@ pub fn assert_properties(r: &DistReport) {
         r.remote_mean_us > r.local_mean_us,
         "a remote ship cannot be cheaper than a local hit"
     );
+    assert!(
+        r.front_max_batch >= 2 && r.front_batched_calls >= 2,
+        "a pass with several keys routed to one owner must coalesce \
+         its shipped calls into one messenger frame (batched {} / max {})",
+        r.front_batched_calls,
+        r.front_max_batch,
+    );
 }
 
 /// One-line human summary.
@@ -715,7 +763,7 @@ pub fn format_report(r: &DistReport) -> String {
     format!(
         "sharded memcached x{} shards: local GET {:.1} us, remote (function-shipped) GET \
          {:.1} us ({:.1}x), {} owner-served remote gets, local phase {} copied / {} allocated, \
-         {} failure probes answered",
+         {} failure probes answered, {} calls batched (max {}/frame)",
         r.shards,
         r.local_mean_us,
         r.remote_mean_us,
@@ -724,6 +772,8 @@ pub fn format_report(r: &DistReport) -> String {
         r.local_copied,
         r.local_allocated,
         r.failure_responses,
+        r.front_batched_calls,
+        r.front_max_batch,
     )
 }
 

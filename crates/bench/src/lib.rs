@@ -6,6 +6,7 @@
 //! both the `iobuf_path` bench and `repro_fig4` run (so CI enforces
 //! its zero-copy assertions from two directions).
 
+pub mod burst_path;
 pub mod chaos;
 pub mod dist_memcached;
 pub mod rss_sweep;

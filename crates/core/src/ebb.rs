@@ -82,6 +82,11 @@ pub enum SystemEbb {
     /// [`DistributedEbb`] proxy function-ships through. Installed by
     /// the hosted layer's `remote` module.
     Remote = 7,
+    /// The batched-call unwrapper: one messenger frame carrying several
+    /// function-shipped calls for the same owner, executed and answered
+    /// as one batched reply. Also a messenger wire id. Installed by the
+    /// hosted layer's `remote` module alongside [`SystemEbb::Remote`].
+    RemoteBatch = 8,
 }
 
 impl SystemEbb {
@@ -96,7 +101,9 @@ impl SystemEbb {
     /// Everything else below [`FIRST_DYNAMIC_ID`] is machine-local
     /// and must never appear as a message destination.
     pub const fn is_wire_id(id: EbbId) -> bool {
-        id.0 == SystemEbb::Fs as u32 || id.0 == SystemEbb::GlobalMap as u32
+        id.0 == SystemEbb::Fs as u32
+            || id.0 == SystemEbb::GlobalMap as u32
+            || id.0 == SystemEbb::RemoteBatch as u32
     }
 }
 
@@ -1235,13 +1242,20 @@ mod tests {
             SystemEbb::EventManager,
             SystemEbb::Messenger,
             SystemEbb::Remote,
+            SystemEbb::RemoteBatch,
         ] {
             assert!(w.id().0 < FIRST_DYNAMIC_ID, "{w:?} must be well-known");
         }
         assert_eq!(SystemEbb::Fs.id(), EbbId(2), "wire id: messenger fs");
         assert_eq!(SystemEbb::GlobalMap.id(), EbbId(3), "wire id: naming");
+        assert_eq!(
+            SystemEbb::RemoteBatch.id(),
+            EbbId(8),
+            "wire id: batched remote calls"
+        );
         assert!(SystemEbb::is_wire_id(SystemEbb::Fs.id()));
         assert!(SystemEbb::is_wire_id(SystemEbb::GlobalMap.id()));
+        assert!(SystemEbb::is_wire_id(SystemEbb::RemoteBatch.id()));
         assert!(!SystemEbb::is_wire_id(SystemEbb::EventManager.id()));
         assert!(!SystemEbb::is_wire_id(EbbId(FIRST_DYNAMIC_ID)));
     }

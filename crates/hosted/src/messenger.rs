@@ -49,6 +49,14 @@ const KIND_RESPONSE: u8 = 1;
 /// with the given `rpc_id`.
 pub type MsgHandler = Rc<dyn Fn(Ipv4Addr, u64, Chain<IoBuf>)>;
 
+/// A request/response handler for one Ebb id: `(src, payload,
+/// respond)`. Unlike [`MsgHandler`] it replies through an opaque
+/// continuation rather than a wire rpc id, so the **same** handler
+/// serves a direct call (respond = [`Messenger::respond`]) and a
+/// sub-call of a batched frame (respond = the batch collector's slot).
+/// Registered with [`Messenger::register_call`].
+pub type CallHandler = Rc<dyn Fn(Ipv4Addr, Chain<IoBuf>, Box<dyn FnOnce(Vec<u8>)>)>;
+
 /// A pending RPC: the continuation, its timeout timer (owned by the
 /// issuing core's wheel), the peer it went to — so the waiter can
 /// be failed fast when that peer's connection dies — and the issuing
@@ -85,6 +93,9 @@ pub struct Messenger {
     netif: Rc<NetIf>,
     peers: RefCell<HashMap<Ipv4Addr, Rc<RefCell<PeerConn>>>>,
     handlers: RefCell<HashMap<u32, MsgHandler>>,
+    /// Request/response handlers ([`Messenger::register_call`]): the
+    /// registry the batch unwrapper dispatches sub-calls through.
+    call_handlers: RefCell<HashMap<u32, CallHandler>>,
     rpc_waiters: RefCell<HashMap<u64, RpcWaiter>>,
     next_rpc: Cell<u64>,
     /// Messages dispatched (diagnostic).
@@ -142,6 +153,7 @@ impl Messenger {
             netif: Rc::clone(netif),
             peers: RefCell::new(HashMap::new()),
             handlers: RefCell::new(HashMap::new()),
+            call_handlers: RefCell::new(HashMap::new()),
             rpc_waiters: RefCell::new(HashMap::new()),
             next_rpc: Cell::new(1),
             dispatched: Cell::new(0),
@@ -153,6 +165,18 @@ impl Messenger {
                 messenger: Weak::clone(&m),
             }
         });
+        // The batched-call unwrapper: one inbound frame carrying several
+        // function-shipped calls for this machine, each dispatched
+        // through the call-handler registry and answered in one batched
+        // reply frame (see [`batch`] for the envelope).
+        {
+            let weak = Rc::downgrade(&m);
+            m.register(SystemEbb::RemoteBatch.id(), move |src, rpc_id, payload| {
+                if let Some(m) = weak.upgrade() {
+                    m.serve_batch(src, rpc_id, payload);
+                }
+            });
+        }
         let me = Rc::clone(&m);
         netif.listen(MESSENGER_PORT, move |conn| {
             let addr = conn.tuple().map(|t| t.remote.0);
@@ -206,11 +230,37 @@ impl Messenger {
         self.handlers.borrow_mut().insert(id.0, Rc::new(handler));
     }
 
+    /// Registers a request/response handler for `id`: the handler
+    /// replies through the `respond` continuation it is handed, which
+    /// lets the **same** registration serve direct calls and sub-calls
+    /// of a batched frame. Prefer this over [`Self::register`] for any
+    /// id that answers RPCs.
+    pub fn register_call(
+        self: &Rc<Self>,
+        id: EbbId,
+        handler: impl Fn(Ipv4Addr, Chain<IoBuf>, Box<dyn FnOnce(Vec<u8>)>) + 'static,
+    ) {
+        let h: CallHandler = Rc::new(handler);
+        self.call_handlers.borrow_mut().insert(id.0, Rc::clone(&h));
+        // Direct (unbatched) requests route through the same handler,
+        // responding on the frame's own rpc id.
+        let weak = Rc::downgrade(self);
+        self.register(id, move |src, rpc_id, payload| {
+            let Some(m) = weak.upgrade() else { return };
+            h(
+                src,
+                payload,
+                Box::new(move |resp| m.respond(src, id, rpc_id, &resp)),
+            );
+        });
+    }
+
     /// Removes the handler for `id` (an owner tearing its service
     /// down); requests for it are dropped from then on, so callers see
-    /// their timeout fire.
+    /// their timeout fire (batched sub-calls get an unserved status).
     pub fn unregister(&self, id: EbbId) {
         self.handlers.borrow_mut().remove(&id.0);
+        self.call_handlers.borrow_mut().remove(&id.0);
     }
 
     /// Sends a one-way message to Ebb `id` on the machine at `dst`.
@@ -410,10 +460,13 @@ impl Messenger {
 
     /// Sends as many parked frames as the window allows (descriptor
     /// clones only); frames wait for establishment or window space
-    /// otherwise.
+    /// otherwise. Every whole frame that fits the window rides **one**
+    /// chained send — stream framing makes the segment boundary
+    /// irrelevant to the receiver, and the burst pays one TCP
+    /// borrow/charge instead of one per message.
     fn flush_peer(peer: &Rc<RefCell<PeerConn>>) {
         loop {
-            let (conn, frame) = {
+            let (conn, burst) = {
                 let mut p = peer.borrow_mut();
                 if !p.established {
                     return;
@@ -421,13 +474,21 @@ impl Messenger {
                 let Some(front) = p.pending.front() else {
                     return;
                 };
-                if front.len() > p.conn.send_window() {
+                let mut window = p.conn.send_window();
+                if front.len() > window {
                     return;
                 }
-                let frame = p.pending.pop_front().expect("front checked");
-                (p.conn.clone(), frame)
+                let mut burst = Chain::new();
+                while let Some(front) = p.pending.front() {
+                    if front.len() > window {
+                        break;
+                    }
+                    window -= front.len();
+                    burst.push_back(p.pending.pop_front().expect("front checked"));
+                }
+                (p.conn.clone(), burst)
             };
-            if conn.send(Chain::single(frame)).is_err() {
+            if conn.send(burst).is_err() {
                 // NotConnected: the close path will fail the waiters.
                 return;
             }
@@ -496,6 +557,148 @@ impl Messenger {
                 }
             }
         }
+    }
+
+    /// Serves one inbound multi-call frame: every sub-call dispatches
+    /// through the call-handler registry, the (possibly asynchronous)
+    /// replies land in a shared collector, and the whole batch answers
+    /// with **one** response frame once the last slot fills. A sub-call
+    /// with no registered handler gets [`batch::STATUS_UNSERVED`] — the
+    /// shipper treats that slot like a timed-out single call.
+    fn serve_batch(self: &Rc<Self>, src: Ipv4Addr, rpc_id: u64, payload: Chain<IoBuf>) {
+        let Some(calls) = batch::decode_request(&payload) else {
+            return;
+        };
+        let collector = BatchCollector::new(self, src, rpc_id, calls.len());
+        for (i, (id, body)) in calls.into_iter().enumerate() {
+            let handler = self.call_handlers.borrow().get(&id).cloned();
+            match handler {
+                Some(h) => {
+                    let c = Rc::clone(&collector);
+                    h(
+                        src,
+                        body,
+                        Box::new(move |resp| c.fill(i, batch::STATUS_OK, resp)),
+                    );
+                }
+                None => collector.fill(i, batch::STATUS_UNSERVED, Vec::new()),
+            }
+        }
+    }
+}
+
+/// One sub-call's reply: batch status byte plus response payload.
+type BatchSlot = Option<(u8, Vec<u8>)>;
+
+/// Accumulates the sub-call replies of one inbound batch; sends the
+/// batched response frame when the last slot fills.
+struct BatchCollector {
+    messenger: Weak<Messenger>,
+    src: Ipv4Addr,
+    rpc_id: u64,
+    slots: RefCell<Vec<BatchSlot>>,
+    remaining: Cell<usize>,
+}
+
+impl BatchCollector {
+    fn new(m: &Rc<Messenger>, src: Ipv4Addr, rpc_id: u64, n: usize) -> Rc<BatchCollector> {
+        Rc::new(BatchCollector {
+            messenger: Rc::downgrade(m),
+            src,
+            rpc_id,
+            slots: RefCell::new(vec![None; n]),
+            remaining: Cell::new(n),
+        })
+    }
+
+    fn fill(&self, i: usize, status: u8, body: Vec<u8>) {
+        {
+            let mut slots = self.slots.borrow_mut();
+            if slots[i].is_some() {
+                return; // a handler must not double-respond; tolerate it
+            }
+            slots[i] = Some((status, body));
+        }
+        self.remaining.set(self.remaining.get() - 1);
+        if self.remaining.get() > 0 {
+            return;
+        }
+        let slots = std::mem::take(&mut *self.slots.borrow_mut());
+        let resp = batch::encode_response(slots.into_iter().map(|s| s.expect("all slots filled")));
+        if let Some(m) = self.messenger.upgrade() {
+            m.respond(self.src, SystemEbb::RemoteBatch.id(), self.rpc_id, &resp);
+        }
+    }
+}
+
+/// The multi-call envelope riding [`SystemEbb::RemoteBatch`]: the
+/// remote-call coalescing wire format.
+///
+/// Request payload: `n:u32 | (ebb_id:u32 | len:u32 | payload…)*n` —
+/// `n` function-shipped calls for Ebbs owned by the receiving machine,
+/// coalesced into one messenger frame.
+///
+/// Response payload: `n:u32 | (status:u8 | len:u32 | payload…)*n`,
+/// slot `i` answering request sub-call `i`. Status `0` carries the
+/// handler's reply; status `1` means no handler was registered for the
+/// sub-call's id (the shipper fails that slot over like a timeout).
+pub mod batch {
+    use ebbrt_core::iobuf::{Chain, IoBuf};
+
+    /// The sub-call was served; its payload is the handler's reply.
+    pub const STATUS_OK: u8 = 0;
+    /// No handler registered for the sub-call's id.
+    pub const STATUS_UNSERVED: u8 = 1;
+
+    /// Encodes a request envelope from `(ebb_id, payload)` sub-calls.
+    pub fn encode_request<'a>(calls: impl ExactSizeIterator<Item = (u32, &'a [u8])>) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + calls.len() * 8);
+        out.extend_from_slice(&(calls.len() as u32).to_be_bytes());
+        for (id, payload) in calls {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Decodes a request envelope into `(ebb_id, payload)` sub-calls;
+    /// payloads are zero-copy slices of the inbound chain.
+    pub fn decode_request(payload: &Chain<IoBuf>) -> Option<Vec<(u32, Chain<IoBuf>)>> {
+        let mut cur = payload.cursor();
+        let n = cur.read_u32_be()? as usize;
+        let mut calls = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = cur.read_u32_be()?;
+            let len = cur.read_u32_be()? as usize;
+            calls.push((id, cur.read_exact_zero_copy(len)?));
+        }
+        Some(calls)
+    }
+
+    /// Encodes a response envelope from `(status, payload)` slots.
+    pub fn encode_response(slots: impl ExactSizeIterator<Item = (u8, Vec<u8>)>) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + slots.len() * 5);
+        out.extend_from_slice(&(slots.len() as u32).to_be_bytes());
+        for (status, payload) in slots {
+            out.push(status);
+            out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            out.extend_from_slice(&payload);
+        }
+        out
+    }
+
+    /// Decodes a response envelope into `(status, payload)` slots.
+    pub fn decode_response(payload: &Chain<IoBuf>) -> Option<Vec<(u8, Chain<IoBuf>)>> {
+        let mut cur = payload.cursor();
+        let n = cur.read_u32_be()? as usize;
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let status = cur.read_u8()?;
+            let len = cur.read_u32_be()? as usize;
+            slots.push((status, cur.read_exact_zero_copy(len)?));
+        }
+        Some(slots)
     }
 }
 

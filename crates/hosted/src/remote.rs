@@ -29,6 +29,17 @@
 //!   bounded exponential backoff, up to a per-call retry budget
 //!   ([`RetryPolicy`]). A machine death or restart is absorbed inside
 //!   the failing call; only an exhausted budget surfaces an `Err`.
+//! * **Per-pass call coalescing** — `ship` does not transmit
+//!   immediately: calls stage per `(owner, issuing core)` and a
+//!   one-shot idle hook flushes them at the end of the event pass. A
+//!   single staged call takes the direct path (byte-identical to
+//!   pre-batching traffic); two or more ship as one
+//!   [`SystemEbb::RemoteBatch`] frame that the owner's messenger
+//!   unbatches through the same handlers, replying once with the
+//!   batched statuses. Each sub-call keeps exactly-once semantics: an
+//!   unserved or failed sub-call runs the normal failover/retry path
+//!   on its own. The transport's `batch_flushes` / `batched_calls` /
+//!   `max_batch` counters make the coalescing assertable end to end.
 //!
 //! The owner side is two helpers: [`export`] routes inbound requests
 //! for an id to the local representative's
@@ -40,6 +51,7 @@ use std::collections::HashMap;
 use std::rc::{Rc, Weak};
 
 use ebbrt_core::clock::Ns;
+use ebbrt_core::cpu::CoreId;
 use ebbrt_core::ebb::{
     DistributedEbb, EbbId, EbbRef, RemoteError, RemoteReply, RemoteTransport, RemoteTransportEbb,
     SystemEbb,
@@ -49,13 +61,22 @@ use ebbrt_core::runtime;
 use ebbrt_net::types::Ipv4Addr;
 
 use crate::global_map::{self, GlobalIdMap};
-use crate::messenger::Messenger;
+use crate::messenger::{batch, Messenger};
 
 pub use crate::messenger::DEFAULT_RPC_TIMEOUT_NS as DEFAULT_CALL_TIMEOUT_NS;
 
 /// One call parked behind an in-flight owner resolution, carrying the
 /// retry attempt it is on.
 struct PendingCall {
+    payload: Rc<Vec<u8>>,
+    reply: RemoteReply,
+    attempt: u32,
+}
+
+/// One call staged for shipping at the end of the current event pass,
+/// keyed by the owner it resolved to.
+struct StagedCall {
+    id: EbbId,
     payload: Rc<Vec<u8>>,
     reply: RemoteReply,
     attempt: u32,
@@ -118,6 +139,10 @@ pub struct MessengerTransport {
     /// are preset (the FileSystem client's fixed-server mode).
     map: Option<Rc<GlobalIdMap>>,
     owners: RefCell<HashMap<u32, OwnerState>>,
+    /// Calls resolved to an owner but not yet on the wire: everything a
+    /// core ships to one owner within one event pass coalesces into one
+    /// multi-call messenger frame, flushed from the pass's idle stage.
+    staged: RefCell<HashMap<(Ipv4Addr, CoreId), Vec<StagedCall>>>,
     timeout_ns: Cell<Ns>,
     retry: Cell<RetryPolicy>,
     /// Calls shipped (diagnostic).
@@ -128,6 +153,12 @@ pub struct MessengerTransport {
     pub retries: Cell<u64>,
     /// Replica promotions this transport won via CAS (diagnostic).
     pub promotions: Cell<u64>,
+    /// Multi-call frames shipped (diagnostic).
+    pub batch_flushes: Cell<u64>,
+    /// Calls that rode a multi-call frame (diagnostic).
+    pub batched_calls: Cell<u64>,
+    /// Largest number of calls coalesced into one frame (diagnostic).
+    pub max_batch: Cell<u64>,
 }
 
 impl MessengerTransport {
@@ -137,12 +168,16 @@ impl MessengerTransport {
             messenger: Rc::downgrade(messenger),
             map,
             owners: RefCell::new(HashMap::new()),
+            staged: RefCell::new(HashMap::new()),
             timeout_ns: Cell::new(DEFAULT_CALL_TIMEOUT_NS),
             retry: Cell::new(RetryPolicy::default()),
             shipped: Cell::new(0),
             invalidations: Cell::new(0),
             retries: Cell::new(0),
             promotions: Cell::new(0),
+            batch_flushes: Cell::new(0),
+            batched_calls: Cell::new(0),
+            max_batch: Cell::new(0),
         })
     }
 
@@ -200,10 +235,157 @@ impl MessengerTransport {
         }
     }
 
-    /// Ships one attempt of a call to an explicit owner address; a
+    /// Routes one attempt of a resolved call: the call is **staged**
+    /// against its owner, and everything this core stages to that owner
+    /// within the current event pass flushes as one multi-call
+    /// messenger frame at the pass's idle stage ([`flush_staged`]).
+    /// Staging is keyed per core so every reply continuation still
+    /// lands on its issuing core.
+    ///
+    /// [`flush_staged`]: Self::flush_staged
+    fn ship_via(
+        &self,
+        owner: Ipv4Addr,
+        id: EbbId,
+        payload: Rc<Vec<u8>>,
+        reply: RemoteReply,
+        attempt: u32,
+    ) {
+        let core = runtime::with_current_on(|_, core| core);
+        let key = (owner, core);
+        let first = {
+            let mut staged = self.staged.borrow_mut();
+            let calls = staged.entry(key).or_default();
+            calls.push(StagedCall {
+                id,
+                payload,
+                reply,
+                attempt,
+            });
+            calls.len() == 1
+        };
+        if first {
+            // The hook holds a *strong* reference: a caller may drop
+            // its transport handle the moment `ship` returns (the
+            // FsClient does), and staged calls must still reach the
+            // wire. The reference lives only until this pass's idle
+            // stage, so it extends no lifetime beyond the pass.
+            let t = self.weak.upgrade().expect("self is alive");
+            runtime::with_current(|rt| {
+                rt.local_event_manager()
+                    .add_idle_once(move || t.flush_staged(key));
+            });
+        }
+    }
+
+    /// Flushes one `(owner, core)` staging slot. A single staged call
+    /// ships exactly like the pre-batching transport; two or more
+    /// coalesce into one [`SystemEbb::RemoteBatch`] frame whose reply
+    /// resolves every sub-call in order. A batch-level failure
+    /// (timeout, dead peer) enters the failover-and-retry path for
+    /// every sub-call individually, so failover semantics are
+    /// unchanged.
+    fn flush_staged(&self, key: (Ipv4Addr, CoreId)) {
+        let Some(calls) = self.staged.borrow_mut().remove(&key) else {
+            return;
+        };
+        let owner = key.0;
+        if calls.len() == 1 {
+            let c = calls.into_iter().next().expect("len checked");
+            self.ship_direct(owner, c.id, c.payload, c.reply, c.attempt);
+            return;
+        }
+        self.batch_flushes.set(self.batch_flushes.get() + 1);
+        self.batched_calls
+            .set(self.batched_calls.get() + calls.len() as u64);
+        self.max_batch
+            .set(self.max_batch.get().max(calls.len() as u64));
+        let envelope = batch::encode_request(
+            calls
+                .iter()
+                .map(|c| (c.id.0, c.payload.as_slice()))
+                .collect::<Vec<_>>()
+                .into_iter(),
+        );
+        let Some(m) = self.messenger.upgrade() else {
+            for c in calls {
+                (c.reply)(Err(RemoteError::Unreachable));
+            }
+            return;
+        };
+        let weak = Weak::clone(&self.weak);
+        m.call_with_timeout(
+            owner,
+            SystemEbb::RemoteBatch.id(),
+            &envelope,
+            self.timeout_ns.get(),
+            move |r| match r {
+                Ok(resp) => match batch::decode_response(&resp) {
+                    Some(slots) if slots.len() == calls.len() => {
+                        for (c, (status, body)) in calls.into_iter().zip(slots) {
+                            if status == batch::STATUS_OK {
+                                (c.reply)(Ok(body));
+                            } else {
+                                // The owner answered but had no handler
+                                // for this id — the verdict a dropped
+                                // single call reaches by timeout, minus
+                                // the wait and the zombie fence (the
+                                // connection itself is healthy).
+                                match weak.upgrade() {
+                                    Some(t) => t.retry_after_failure(
+                                        owner,
+                                        c.id,
+                                        c.payload,
+                                        c.reply,
+                                        c.attempt,
+                                        RemoteError::Timeout,
+                                    ),
+                                    None => (c.reply)(Err(RemoteError::Timeout)),
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        // A malformed reply is indistinguishable from no
+                        // reply: fail every sub-call over.
+                        for c in calls {
+                            match weak.upgrade() {
+                                Some(t) => t.attempt_failed(
+                                    owner,
+                                    c.id,
+                                    c.payload,
+                                    c.reply,
+                                    c.attempt,
+                                    RemoteError::Timeout,
+                                ),
+                                None => (c.reply)(Err(RemoteError::Timeout)),
+                            }
+                        }
+                    }
+                },
+                Err(err @ (RemoteError::Timeout | RemoteError::Unreachable)) => {
+                    for c in calls {
+                        match weak.upgrade() {
+                            Some(t) => {
+                                t.attempt_failed(owner, c.id, c.payload, c.reply, c.attempt, err)
+                            }
+                            None => (c.reply)(Err(err)),
+                        }
+                    }
+                }
+                Err(err) => {
+                    for c in calls {
+                        (c.reply)(Err(err));
+                    }
+                }
+            },
+        );
+    }
+
+    /// Puts one call on the wire as its own messenger frame; a
     /// Timeout/Unreachable outcome enters the failover-and-retry path
     /// instead of reaching the caller.
-    fn ship_via(
+    fn ship_direct(
         &self,
         owner: Ipv4Addr,
         id: EbbId,
@@ -260,6 +442,22 @@ impl MessengerTransport {
                 m.reset_peer(failed);
             }
         }
+        self.retry_after_failure(failed, id, payload, reply, attempt, err);
+    }
+
+    /// Failover + bounded retry for one failed attempt, without the
+    /// zombie fence — the path for failures where the connection itself
+    /// is known healthy (a batched sub-call the owner answered
+    /// "unserved").
+    fn retry_after_failure(
+        &self,
+        failed: Ipv4Addr,
+        id: EbbId,
+        payload: Rc<Vec<u8>>,
+        reply: RemoteReply,
+        attempt: u32,
+        err: RemoteError,
+    ) {
         self.failover(id, failed);
         let policy = self.retry.get();
         if attempt + 1 >= policy.budget {
@@ -471,11 +669,8 @@ pub fn export_raw(
     id: EbbId,
     serve: impl Fn(&Chain<IoBuf>) -> Vec<u8> + 'static,
 ) {
-    let weak = Rc::downgrade(messenger);
-    messenger.register(id, move |src, rpc_id, payload| {
-        let Some(m) = weak.upgrade() else { return };
-        let resp = serve(&payload);
-        m.respond(src, id, rpc_id, &resp);
+    messenger.register_call(id, move |_src, payload, respond| {
+        respond(serve(&payload));
     });
 }
 
@@ -487,16 +682,9 @@ pub fn export_raw(
 /// resolve; plain handlers answer synchronously through the default.
 /// The root must be registered on this machine.
 pub fn export<T: DistributedEbb>(messenger: &Rc<Messenger>, ebb: EbbRef<T>) {
-    let weak = Rc::downgrade(messenger);
     let id = ebb.id();
-    messenger.register(id, move |src, rpc_id, payload| {
-        let Some(m) = weak.upgrade() else { return };
-        ebb.with(|rep| {
-            rep.handle_remote_async(
-                &payload,
-                Box::new(move |resp| m.respond(src, id, rpc_id, &resp)),
-            )
-        });
+    messenger.register_call(id, move |_src, payload, respond| {
+        ebb.with(|rep| rep.handle_remote_async(&payload, respond));
     });
 }
 
@@ -726,6 +914,113 @@ mod tests {
             "owner resolution must be cached"
         );
         let _ = (&c.naming, &c.client_msgr, &c.client_transport);
+    }
+
+    #[test]
+    fn calls_shipped_in_one_pass_coalesce_into_one_batch_frame() {
+        let c = cluster();
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let id = EbbId((1 << 20) + 7);
+        c.owner
+            .runtime()
+            .ebbs()
+            .register_root::<CounterEbb>(id, Arc::clone(&hits));
+        let msgr = Rc::clone(&c.owner_msgr);
+        let map = Rc::clone(&c.owner_map);
+        on_core0(&c.owner, (msgr, map), move |(msgr, map)| {
+            publish::<CounterEbb>(&msgr, &map, EbbRef::from_id(id), OWNER_IP, |ok| assert!(ok));
+        });
+        c.w.run_to_idle();
+
+        // Three calls issued inside ONE event: all resolve to the same
+        // owner, so they must leave as one multi-call frame. The replies
+        // resolve in staging order (the counter values prove it), and
+        // the per-call failure contract is untouched.
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g2 = Rc::clone(&got);
+        on_core0(&c.client, g2, move |g2| {
+            for _ in 0..3 {
+                let g3 = Rc::clone(&g2);
+                EbbRef::<CounterEbb>::from_id(id)
+                    .with_distributed(|rep| rep.poke(move |r| g3.borrow_mut().push(r)));
+            }
+        });
+        c.w.run_to_idle();
+        assert_eq!(
+            *got.borrow(),
+            vec![Ok(1), Ok(2), Ok(3)],
+            "all three sub-calls answered, in staging order"
+        );
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 3);
+        assert_eq!(c.client_transport.shipped.get(), 3, "three logical calls");
+        assert_eq!(
+            c.client_transport.batch_flushes.get(),
+            1,
+            "one multi-call frame"
+        );
+        assert_eq!(c.client_transport.batched_calls.get(), 3);
+        assert_eq!(c.client_transport.max_batch.get(), 3);
+        assert_eq!(c.client_msgr.pending_rpcs(), 0, "one waiter, resolved");
+        // The first call's resolution queue and the later calls' staging
+        // must not double-deliver anything under the batch path.
+        assert_eq!(c.client_transport.retries.get(), 0);
+    }
+
+    #[test]
+    fn batched_sub_call_for_torn_down_id_fails_over_like_a_single_call() {
+        // Two ids published by the owner; it tears one down. A pass
+        // shipping one call to each coalesces into a batch; the served
+        // sub-call answers normally, the unserved one must surface an
+        // error through the normal failover path (bounded retries
+        // against the invalidated record), never hang.
+        let c = cluster();
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let live = EbbId((1 << 20) + 61);
+        let dead = EbbId((1 << 20) + 62);
+        for id in [live, dead] {
+            c.owner
+                .runtime()
+                .ebbs()
+                .register_root::<CounterEbb>(id, Arc::clone(&hits));
+            let msgr = Rc::clone(&c.owner_msgr);
+            let map = Rc::clone(&c.owner_map);
+            on_core0(&c.owner, (msgr, map), move |(msgr, map)| {
+                publish::<CounterEbb>(&msgr, &map, EbbRef::from_id(id), OWNER_IP, |ok| assert!(ok));
+            });
+        }
+        c.w.run_to_idle();
+        c.owner_msgr.unregister(dead);
+        c.client_transport.set_timeout(2_000_000);
+        c.client_transport.set_retry_policy(RetryPolicy {
+            budget: 2,
+            ..RetryPolicy::default()
+        });
+
+        let live_got = Rc::new(Cell::new(None));
+        let dead_got = Rc::new(Cell::new(None));
+        let (l2, d2) = (Rc::clone(&live_got), Rc::clone(&dead_got));
+        on_core0(&c.client, (l2, d2), move |(l2, d2)| {
+            EbbRef::<CounterEbb>::from_id(live)
+                .with_distributed(|rep| rep.poke(move |r| l2.set(Some(r))));
+            EbbRef::<CounterEbb>::from_id(dead)
+                .with_distributed(|rep| rep.poke(move |r| d2.set(Some(r))));
+        });
+        c.w.run_to_idle();
+        assert_eq!(live_got.get(), Some(Ok(1)), "served sub-call unaffected");
+        assert!(
+            matches!(
+                dead_got.get(),
+                Some(Err(RemoteError::Timeout | RemoteError::Unreachable))
+            ),
+            "unserved sub-call fails after its retry budget: {:?}",
+            dead_got.get()
+        );
+        assert!(c.client_transport.batch_flushes.get() >= 1);
+        assert!(
+            c.client_transport.retries.get() >= 1,
+            "the unserved slot was retried before surfacing"
+        );
+        assert_eq!(c.client_msgr.pending_rpcs(), 0, "no leaked waiter");
     }
 
     #[test]

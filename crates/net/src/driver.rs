@@ -16,17 +16,26 @@
 //! behaviour of both modes is faithful: polling burns core time,
 //! interrupts pay per-frame entry overhead.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::OnceLock;
 
 use ebbrt_core::cpu::CoreId;
 use ebbrt_core::event::IdleToken;
+use ebbrt_core::iobuf::{Chain, IoBuf};
 use ebbrt_sim::world::charge;
 
 use crate::netif::NetIf;
 
 /// Frames drained per interrupt/poll invocation.
 pub const RX_BURST: usize = 64;
+
+/// Whether `EBBRT_DRIVER_DEBUG` is set — consulted once per process,
+/// not once per drain (the lookup used to sit on the hot path).
+fn driver_debug() -> bool {
+    static DRIVER_DEBUG: OnceLock<bool> = OnceLock::new();
+    *DRIVER_DEBUG.get_or_init(|| std::env::var_os("EBBRT_DRIVER_DEBUG").is_some())
+}
 
 /// Byte budget per drain burst. With standard 1500-byte frames the
 /// frame count binds first (64 × ~1.5 KiB ≈ 96 KiB), so behaviour is
@@ -45,6 +54,10 @@ thread_local! {
     /// in the paper's words; the ablation bench sets it to usize::MAX
     /// to force interrupt-only operation).
     static POLL_ENTER_OVERRIDE: Cell<usize> = const { Cell::new(POLL_ENTER_BURST) };
+    /// Runtime-tunable rx burst size: the equivalence tests and the
+    /// `burst_path` bench force 1 to get per-packet behaviour from the
+    /// same code path.
+    static RX_BURST_OVERRIDE: Cell<usize> = const { Cell::new(RX_BURST) };
 }
 
 /// Overrides the poll-enter threshold for drivers on this thread.
@@ -55,6 +68,18 @@ pub fn set_poll_enter_burst(n: usize) {
 /// The effective poll-enter threshold.
 pub fn poll_enter_burst() -> usize {
     POLL_ENTER_OVERRIDE.with(|c| c.get())
+}
+
+/// Overrides the per-drain frame budget for drivers on this thread
+/// (1 = per-packet processing through the vector path).
+pub fn set_rx_burst_frames(n: usize) {
+    assert!(n >= 1, "rx burst must admit at least one frame");
+    RX_BURST_OVERRIDE.with(|c| c.set(n));
+}
+
+/// The effective per-drain frame budget.
+pub fn rx_burst_frames() -> usize {
+    RX_BURST_OVERRIDE.with(|c| c.get())
 }
 
 /// Consecutive empty polls before returning to interrupts.
@@ -71,6 +96,11 @@ struct QueueState {
     /// interrupts arriving while the guest is still hot pay only the
     /// amortized hypervisor cost).
     last_drain: Cell<u64>,
+    /// Reusable per-queue frame vector: each drain collects its whole
+    /// burst here and hands it to the stack in one `rx_burst` call.
+    /// Taken (not borrowed) for the duration of a drain so re-entrant
+    /// drains see an independent vector.
+    burst: RefCell<Vec<Chain<IoBuf>>>,
 }
 
 /// Attaches the driver: one receive queue per core (or all on core 0
@@ -111,6 +141,7 @@ fn setup_queue(netif: &Rc<NetIf>, q: usize) {
         idle_token: Cell::new(None),
         poll_entries: Cell::new(0),
         last_drain: Cell::new(u64::MAX / 2),
+        burst: RefCell::new(Vec::with_capacity(RX_BURST)),
     });
     let em = ebbrt_core::runtime::current();
     let em = em.local_event_manager();
@@ -125,15 +156,20 @@ fn setup_queue(netif: &Rc<NetIf>, q: usize) {
     drain(netif, &state, false);
 }
 
-/// Drains up to [`RX_BURST`] frames, charging receive costs, and runs
-/// the adaptive-mode state machine. Returns frames processed.
+/// Drains up to [`RX_BURST`] frames into the queue's reusable frame
+/// vector, charging receive costs, and hands the whole burst to the
+/// stack in one [`NetIf::rx_burst`] call before running the
+/// adaptive-mode state machine. Returns frames processed.
 fn drain(netif: &Rc<NetIf>, state: &Rc<QueueState>, from_interrupt: bool) -> usize {
     let machine = Rc::clone(netif.machine());
     let nic = machine.nic();
     let profile = machine.profile().clone();
+    let limit = rx_burst_frames();
+    let mut burst = state.burst.take();
+    debug_assert!(burst.is_empty());
     let mut n = 0;
     let mut bytes = 0;
-    while n < RX_BURST && bytes < RX_BURST_BYTES {
+    while n < limit && bytes < RX_BURST_BYTES {
         let frame = match nic.rx_pop(state.queue) {
             Some(f) => f,
             None => break,
@@ -154,14 +190,17 @@ fn drain(netif: &Rc<NetIf>, state: &Rc<QueueState>, from_interrupt: bool) -> usi
         }
         // Per-frame receive path cost.
         charge(profile.rx_cost_per_packet(frame.len()));
-        netif.rx_frame(frame.data);
+        burst.push(frame.data);
         n += 1;
     }
     if n > 0 {
+        netif.rx_burst(&mut burst);
         let now = ebbrt_core::runtime::with_current(|rt| rt.now_ns());
         state.last_drain.set(now);
     }
-    if std::env::var_os("EBBRT_DRIVER_DEBUG").is_some() && n > 1 {
+    burst.clear();
+    *state.burst.borrow_mut() = burst;
+    if driver_debug() && n > 1 {
         eprintln!(
             "drain n={} rx_len={} from_irq={}",
             n,
@@ -193,7 +232,7 @@ fn drain(netif: &Rc<NetIf>, state: &Rc<QueueState>, from_interrupt: bool) -> usi
 }
 
 fn enter_polling(netif: &Rc<NetIf>, state: &Rc<QueueState>) {
-    if std::env::var_os("EBBRT_DRIVER_DEBUG").is_some() {
+    if driver_debug() {
         eprintln!("ENTER polling q={}", state.queue);
     }
     let machine = netif.machine();
@@ -211,7 +250,7 @@ fn enter_polling(netif: &Rc<NetIf>, state: &Rc<QueueState>) {
 }
 
 fn exit_polling(netif: &Rc<NetIf>, state: &Rc<QueueState>) {
-    if std::env::var_os("EBBRT_DRIVER_DEBUG").is_some() {
+    if driver_debug() {
         eprintln!("EXIT polling q={}", state.queue);
     }
     let machine = netif.machine();

@@ -159,6 +159,20 @@ struct ConnRec {
     handler: Rc<dyn ConnHandler>,
 }
 
+/// One classified TCP segment of a burst: parsed header plus the
+/// payload chain (headers already advanced past).
+struct TcpSeg {
+    hdr: TcpHeader,
+    payload: Chain<IoBuf>,
+}
+
+/// A per-connection run of segments within one burst, processed under a
+/// single PCB borrow with one set of callbacks and one ACK decision.
+struct TcpRun {
+    id: u64,
+    segs: Vec<TcpSeg>,
+}
+
 /// In-flight ARP resolution: its retry timer (a persistent entry on the
 /// core that initiated the resolution) and attempts so far.
 struct ArpRetry {
@@ -168,6 +182,14 @@ struct ArpRetry {
 
 type AcceptFn = Rc<dyn Fn(&TcpConn) -> Rc<dyn ConnHandler>>;
 type UdpHandlerFn = Rc<dyn Fn(Ipv4Addr, u16, Chain<IoBuf>)>;
+
+/// Number of [`NetStats::frames_per_burst`] histogram buckets:
+/// 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64+.
+pub const BURST_BUCKETS: usize = 7;
+
+/// Lower bound (inclusive) of each [`NetStats::frames_per_burst`]
+/// bucket, for printing.
+pub const BURST_BUCKET_LO: [usize; BURST_BUCKETS] = [1, 2, 4, 8, 16, 32, 64];
 
 /// Interface statistics (single-threaded cells).
 #[derive(Default)]
@@ -192,6 +214,30 @@ pub struct NetStats {
     /// its queued waiters and tore down any connection still in
     /// `SynSent` behind it).
     pub arp_failures: Cell<u64>,
+    /// Receive bursts handed up by the driver (one [`NetIf::rx_burst`]
+    /// call each; the per-packet shim counts as a burst of one).
+    pub rx_bursts: Cell<u64>,
+    /// Histogram of burst sizes, power-of-two buckets
+    /// ([`BURST_BUCKET_LO`]): how much vector amortization the traffic
+    /// actually offers.
+    pub frames_per_burst: [Cell<u64>; BURST_BUCKETS],
+    /// `on_receive` deliveries that coalesced the payload of two or
+    /// more TCP segments of one pass into a single zero-copy chain.
+    pub coalesced_callbacks: Cell<u64>,
+}
+
+impl NetStats {
+    /// Records one receive burst of `n` frames.
+    fn note_burst(&self, n: usize) {
+        self.rx_bursts.set(self.rx_bursts.get() + 1);
+        let bucket = if n == 0 {
+            return;
+        } else {
+            (usize::BITS - 1 - n.leading_zeros()).min(BURST_BUCKETS as u32 - 1) as usize
+        };
+        let c = &self.frames_per_burst[bucket];
+        c.set(c.get() + 1);
+    }
 }
 
 /// The per-machine network stack instance.
@@ -501,22 +547,72 @@ impl NetIf {
 
     // --- Frame ingress (driver) ---------------------------------------------
 
-    /// Processes one received frame (called by the driver on the RSS
-    /// core; the chain starts at the Ethernet header).
-    pub fn rx_frame(self: &Rc<Self>, mut chain: Chain<IoBuf>) {
-        self.stats.rx_frames.set(self.stats.rx_frames.get() + 1);
-        let eth = match wire::parse_eth(&chain) {
-            Some(e) => e,
-            None => return self.drop_frame(),
-        };
-        if eth.dst != self.mac() && eth.dst != MAC_BROADCAST {
-            return; // not for us (switch flooding)
+    /// Processes one received frame — a thin shim over the vector path
+    /// ([`Self::rx_burst`] with a burst of one), kept so per-packet
+    /// callers and tests exercise exactly the code the burst path runs.
+    pub fn rx_frame(self: &Rc<Self>, chain: Chain<IoBuf>) {
+        let mut one = vec![chain];
+        self.rx_burst(&mut one);
+    }
+
+    /// Processes a whole receive burst (called by the driver on the RSS
+    /// core with its reusable frame vector; each chain starts at the
+    /// Ethernet header). The burst flows through the stack as vector
+    /// stages:
+    ///
+    /// 1. **Parse/classify** — ethernet and IPv4 headers are parsed per
+    ///    frame; ARP, UDP and connectionless TCP are handled inline (in
+    ///    arrival order), while TCP segments for live connections are
+    ///    demuxed against the RCU table and grouped into per-PCB *runs*.
+    /// 2. **Run processing** — each run is processed under one PCB
+    ///    borrow (`process_run`): every segment's ACK/reassembly
+    ///    work happens back to back, the deliverable payload coalesces
+    ///    into one zero-copy chain, and one delayed-ACK decision covers
+    ///    the whole run.
+    /// 3. **Delivery** — the application gets at most one `on_receive`
+    ///    per connection per pass.
+    ///
+    /// Grouping only reorders TCP segments of *different* connections
+    /// relative to each other (per-connection arrival order is
+    /// preserved), which TCP cannot observe; any frame that can change
+    /// the demux table (SYN, ARP, UDP) flushes pending runs first so
+    /// cross-protocol ordering is preserved too.
+    pub fn rx_burst(self: &Rc<Self>, frames: &mut Vec<Chain<IoBuf>>) {
+        if frames.is_empty() {
+            return;
         }
-        chain.advance(wire::ETH_HLEN);
-        match eth.ethertype {
-            wire::ETHERTYPE_ARP => self.rx_arp(chain),
-            wire::ETHERTYPE_IPV4 => self.rx_ipv4(eth, chain),
-            _ => self.drop_frame(),
+        self.stats.note_burst(frames.len());
+        let mut runs: Vec<TcpRun> = Vec::new();
+        for mut chain in frames.drain(..) {
+            self.stats.rx_frames.set(self.stats.rx_frames.get() + 1);
+            let eth = match wire::parse_eth(&chain) {
+                Some(e) => e,
+                None => {
+                    self.drop_frame();
+                    continue;
+                }
+            };
+            if eth.dst != self.mac() && eth.dst != MAC_BROADCAST {
+                continue; // not for us (switch flooding)
+            }
+            chain.advance(wire::ETH_HLEN);
+            match eth.ethertype {
+                wire::ETHERTYPE_ARP => {
+                    self.flush_runs(&mut runs);
+                    self.rx_arp(chain);
+                }
+                wire::ETHERTYPE_IPV4 => self.classify_ipv4(eth, chain, &mut runs),
+                _ => self.drop_frame(),
+            }
+        }
+        self.flush_runs(&mut runs);
+    }
+
+    /// Stage-2 barrier: processes every grouped run, in the order the
+    /// runs first appeared in the burst.
+    fn flush_runs(self: &Rc<Self>, runs: &mut Vec<TcpRun>) {
+        for run in runs.drain(..) {
+            self.process_run(run.id, run.segs);
         }
     }
 
@@ -550,7 +646,12 @@ impl NetIf {
         }
     }
 
-    fn rx_ipv4(self: &Rc<Self>, eth: EthHeader, mut chain: Chain<IoBuf>) {
+    fn classify_ipv4(
+        self: &Rc<Self>,
+        eth: EthHeader,
+        mut chain: Chain<IoBuf>,
+        runs: &mut Vec<TcpRun>,
+    ) {
         let ip = match wire::parse_ipv4(&chain) {
             Some(h) => h,
             None => return self.drop_frame(),
@@ -571,8 +672,11 @@ impl NetIf {
             return self.drop_frame(); // truncated
         }
         match ip.proto {
-            wire::IPPROTO_TCP => self.rx_tcp(eth, ip, chain),
-            wire::IPPROTO_UDP => self.rx_udp(ip, chain),
+            wire::IPPROTO_TCP => self.classify_tcp(eth, ip, chain, runs),
+            wire::IPPROTO_UDP => {
+                self.flush_runs(runs);
+                self.rx_udp(ip, chain);
+            }
             _ => self.drop_frame(),
         }
     }
@@ -590,7 +694,13 @@ impl NetIf {
         }
     }
 
-    fn rx_tcp(self: &Rc<Self>, eth: EthHeader, ip: Ipv4Header, mut chain: Chain<IoBuf>) {
+    fn classify_tcp(
+        self: &Rc<Self>,
+        eth: EthHeader,
+        ip: Ipv4Header,
+        mut chain: Chain<IoBuf>,
+        runs: &mut Vec<TcpRun>,
+    ) {
         self.stats.rx_tcp.set(self.stats.rx_tcp.get() + 1);
         if !wire::verify_tcp_checksum(ip.src, ip.dst, &chain, chain.len() as u16) {
             return self.drop_frame();
@@ -605,10 +715,30 @@ impl NetIf {
             remote: (ip.src, hdr.src_port),
         };
         // RCU lookup: no locks, no atomic RMW (we are inside an event).
+        // Batched demux: segments of one connection group into a run,
+        // preserving per-connection arrival order.
         let id = self.conn_ids.get(&tuple, |id| *id);
         match id {
-            Some(id) => self.handle_segment(id, &hdr, chain),
-            None => self.handle_no_conn(eth, ip, tuple, &hdr),
+            Some(id) => {
+                let seg = TcpSeg {
+                    hdr,
+                    payload: chain,
+                };
+                match runs.iter_mut().find(|r| r.id == id) {
+                    Some(run) => run.segs.push(seg),
+                    None => runs.push(TcpRun {
+                        id,
+                        segs: vec![seg],
+                    }),
+                }
+            }
+            None => {
+                // A SYN mutates the demux table (and anything else gets
+                // an RST built from instantaneous state): order it
+                // against the queued runs.
+                self.flush_runs(runs);
+                self.handle_no_conn(eth, ip, tuple, &hdr);
+            }
         }
     }
 
@@ -659,7 +789,16 @@ impl NetIf {
         }
     }
 
-    fn handle_segment(self: &Rc<Self>, id: u64, hdr: &TcpHeader, payload: Chain<IoBuf>) {
+    /// Processes one connection's run of segments under a single PCB
+    /// borrow, then fires each application callback at most once for
+    /// the whole run: `on_connected`, one coalesced `on_receive`,
+    /// `on_window_open`, `on_close` — in that order — followed by one
+    /// delayed-ACK decision. Per-connection arrival order is preserved;
+    /// only the *number* of callbacks and bare ACKs changes relative to
+    /// per-packet processing (a run of N data segments produces one
+    /// delivery and at most one bare ACK instead of N and N/2), which
+    /// the equivalence proptest pins down.
+    fn process_run(self: &Rc<Self>, id: u64, segs: Vec<TcpSeg>) {
         let (pcb_rc, handler) = match self.pcbs.borrow().get(&id) {
             Some(rec) => (Rc::clone(&rec.pcb), Rc::clone(&rec.handler)),
             None => return,
@@ -668,80 +807,140 @@ impl NetIf {
             netif: Rc::downgrade(self),
             id,
         };
-        // RST: tear down immediately.
-        if hdr.flags & tcp_flags::RST != 0 {
-            pcb_rc.borrow_mut().state = TcpState::Closed;
+        // Events accumulated across the run; callbacks run after the
+        // borrow is released (handlers send, which re-borrows the PCB).
+        let mut established = false;
+        let mut handshake_ack = false;
+        let mut window_opened = false;
+        let mut peer_closed = false;
+        let mut reset = false;
+        let mut delivery: Chain<IoBuf> = Chain::new();
+        let mut chunks = 0usize;
+        {
+            let mut p = pcb_rc.borrow_mut();
+            for seg in segs {
+                let hdr = seg.hdr;
+                // RST: tear down immediately; anything already
+                // reassembled in this run is still delivered below
+                // (exactly what per-packet processing did for the
+                // segments preceding the RST).
+                if hdr.flags & tcp_flags::RST != 0 {
+                    p.state = TcpState::Closed;
+                    reset = true;
+                    break;
+                }
+                match p.state {
+                    TcpState::SynSent => {
+                        if hdr.flags & (tcp_flags::SYN | tcp_flags::ACK)
+                            == tcp_flags::SYN | tcp_flags::ACK
+                        {
+                            if hdr.ack != p.snd_nxt.wrapping_add(1) && hdr.ack != p.snd_nxt {
+                                continue;
+                            }
+                            p.rcv_nxt = hdr.seq.wrapping_add(1);
+                            p.process_ack(hdr.ack, hdr.window);
+                            p.state = TcpState::Established;
+                            p.ack_pending = true;
+                            established = true;
+                            // Complete the handshake with an immediate
+                            // ACK, never a delayed one.
+                            handshake_ack = true;
+                        }
+                    }
+                    TcpState::SynReceived => {
+                        if hdr.flags & tcp_flags::ACK != 0 {
+                            p.process_ack(hdr.ack, hdr.window);
+                            p.state = TcpState::Established;
+                            established = true;
+                            // Piggybacked data falls through.
+                            self.established_seg(
+                                &mut p,
+                                &hdr,
+                                seg.payload,
+                                &mut window_opened,
+                                &mut peer_closed,
+                                &mut delivery,
+                                &mut chunks,
+                            );
+                        }
+                    }
+                    TcpState::Closed => {}
+                    _ => self.established_seg(
+                        &mut p,
+                        &hdr,
+                        seg.payload,
+                        &mut window_opened,
+                        &mut peer_closed,
+                        &mut delivery,
+                        &mut chunks,
+                    ),
+                }
+            }
+        }
+        if established {
+            self.stats
+                .conns_established
+                .set(self.stats.conns_established.get() + 1);
+            handler.on_connected(&conn);
+        }
+        if !delivery.is_empty() {
+            if chunks > 1 {
+                self.stats
+                    .coalesced_callbacks
+                    .set(self.stats.coalesced_callbacks.get() + 1);
+            }
+            handler.on_receive(&conn, delivery);
+        }
+        if window_opened {
+            handler.on_window_open(&conn);
+        }
+        if reset {
             self.cleanup(id);
             handler.on_close(&conn);
             return;
         }
-        let state = pcb_rc.borrow().state;
-        match state {
-            TcpState::SynSent => {
-                if hdr.flags & (tcp_flags::SYN | tcp_flags::ACK) == tcp_flags::SYN | tcp_flags::ACK
-                {
-                    let mut p = pcb_rc.borrow_mut();
-                    if hdr.ack != p.snd_nxt.wrapping_add(1) && hdr.ack != p.snd_nxt {
-                        drop(p);
-                        return;
-                    }
-                    p.rcv_nxt = hdr.seq.wrapping_add(1);
-                    p.process_ack(hdr.ack, hdr.window);
-                    p.state = TcpState::Established;
-                    p.ack_pending = true;
-                    drop(p);
-                    self.stats
-                        .conns_established
-                        .set(self.stats.conns_established.get() + 1);
-                    handler.on_connected(&conn);
-                    self.flush_ack(&pcb_rc);
-                }
-            }
-            TcpState::SynReceived => {
-                if hdr.flags & tcp_flags::ACK != 0 {
-                    {
-                        let mut p = pcb_rc.borrow_mut();
-                        p.process_ack(hdr.ack, hdr.window);
-                        p.state = TcpState::Established;
-                    }
-                    self.stats
-                        .conns_established
-                        .set(self.stats.conns_established.get() + 1);
-                    handler.on_connected(&conn);
-                    // Fall through for piggybacked data.
-                    self.established_input(&pcb_rc, &handler, &conn, id, hdr, payload);
-                }
-            }
-            TcpState::Closed => {}
-            _ => self.established_input(&pcb_rc, &handler, &conn, id, hdr, payload),
+        if peer_closed {
+            handler.on_close(&conn);
+        }
+        if handshake_ack {
+            self.flush_ack(&pcb_rc);
+        } else {
+            self.flush_or_delay_ack(id, &pcb_rc);
+        }
+        let closed = pcb_rc.borrow().is_closed();
+        if closed {
+            self.cleanup(id);
         }
     }
 
-    /// Data-phase segment processing (Established and closing states).
-    fn established_input(
-        self: &Rc<Self>,
-        pcb_rc: &Rc<RefCell<Pcb>>,
-        handler: &Rc<dyn ConnHandler>,
-        conn: &TcpConn,
-        id: u64,
+    /// Data-phase work for one segment of a run, under the caller's PCB
+    /// borrow (Established and closing states). Deliverable payload and
+    /// callback-worthy events accumulate into the run's state instead
+    /// of firing per segment.
+    #[allow(clippy::too_many_arguments)]
+    fn established_seg(
+        &self,
+        p: &mut Pcb,
         hdr: &TcpHeader,
         payload: Chain<IoBuf>,
+        window_opened: &mut bool,
+        peer_closed: &mut bool,
+        delivery: &mut Chain<IoBuf>,
+        chunks: &mut usize,
     ) {
-        let mut window_opened = false;
         let mut fin_acked = false;
         if hdr.flags & tcp_flags::ACK != 0 {
-            let mut p = pcb_rc.borrow_mut();
             let r = p.process_ack(hdr.ack, hdr.window);
             // Deliver window-open in every state where the app may
             // still send (tcp_send accepts Established and CloseWait):
             // a peer that half-closes while a large reply is parked
             // must still receive the tail.
-            window_opened =
+            *window_opened |=
                 r.window_opened && matches!(p.state, TcpState::Established | TcpState::CloseWait);
             if r.queue_empty {
                 // Nothing in flight: park the RTO timer (entry kept for
                 // the next send).
-                self.disarm_rto(&mut p);
+                self.disarm_rto(p);
                 if p.close_requested && p.snd_una == p.snd_nxt {
                     fin_acked = true;
                 }
@@ -749,29 +948,28 @@ impl NetIf {
                 // Progress with data still outstanding: restart the RTO
                 // for the (new) oldest unacked segment. This is the
                 // per-ACK re-arm — an O(1) wheel relink.
-                self.restart_rto(&mut p);
+                self.restart_rto(p);
             }
         }
-        // Deliver in-order data synchronously.
+        // Reassemble; deliverable chains coalesce into the run's single
+        // zero-copy delivery (descriptor moves, no byte copies).
         let seg_len = payload.len() as u32;
-        let deliverable = pcb_rc.borrow_mut().on_data(hdr.seq, payload);
+        let deliverable = p.on_data(hdr.seq, payload);
         if seg_len > 0 {
-            let mut p = pcb_rc.borrow_mut();
             p.segs_since_ack += 1;
         }
         for chunk in deliverable {
-            handler.on_receive(conn, chunk);
+            *chunks += 1;
+            delivery.append_chain(chunk);
         }
         // FIN processing: consumes one sequence number, only when it is
         // the next expected byte.
-        let mut peer_closed = false;
         if hdr.flags & tcp_flags::FIN != 0 {
             let fin_seq = hdr.seq.wrapping_add(seg_len);
-            let mut p = pcb_rc.borrow_mut();
             if fin_seq == p.rcv_nxt {
                 p.rcv_nxt = p.rcv_nxt.wrapping_add(1);
                 p.ack_pending = true;
-                peer_closed = true;
+                *peer_closed = true;
                 p.state = match p.state {
                     TcpState::Established => TcpState::CloseWait,
                     TcpState::FinWait1 => {
@@ -788,23 +986,11 @@ impl NetIf {
         }
         // State advance on our FIN being acknowledged.
         if fin_acked {
-            let mut p = pcb_rc.borrow_mut();
             p.state = match p.state {
                 TcpState::FinWait1 => TcpState::FinWait2,
                 TcpState::LastAck => TcpState::Closed,
                 s => s,
             };
-        }
-        if window_opened {
-            handler.on_window_open(conn);
-        }
-        if peer_closed {
-            handler.on_close(conn);
-        }
-        self.flush_or_delay_ack(id, pcb_rc);
-        let closed = pcb_rc.borrow().is_closed();
-        if closed {
-            self.cleanup(id);
         }
     }
 
