@@ -43,10 +43,10 @@
 //! Figure 5/6 comparison lines are produced.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use ebbrt_core::cpu::CoreId;
 use ebbrt_core::ebb::{
@@ -296,6 +296,14 @@ impl Store {
     /// returned chain shares storage with the stored value.
     pub fn get_raw(&self, key: &[u8]) -> Option<Chain<IoBuf>> {
         self.map.get(key, |v| v.clone())
+    }
+
+    /// Applies `f` to every stored entry (reader-side; concurrent
+    /// writers may add or remove around it). The transfer machinery's
+    /// snapshot iterator: a source machine walks its whole store and
+    /// filters by the requested range.
+    pub fn for_each(&self, f: impl FnMut(&Vec<u8>, &Chain<IoBuf>)) {
+        self.map.for_each(f);
     }
 }
 
@@ -681,10 +689,60 @@ const SHARD_OP_SET: u8 = 2;
 /// Replication fan-out from an acting primary to a peer replica:
 /// `[op | version:u64 | key:bytes16 | value:tail]`.
 const SHARD_OP_REPL: u8 = 3;
+/// Re-sync probe: `[op]` → `[HIT | applied:u64 | state:u8]`. A
+/// restored replica asks every peer where the range stands to pick its
+/// catch-up source and target.
+const SHARD_OP_STATUS: u8 = 4;
+/// One page of the catch-up stream: `[op | have:u64 | skip:u64 |
+/// limit:u32 | nranges:u32 | vnodes:u32 | range:u32]` → a chained
+/// `[HIT | src_applied:u64 | mode:u8 | done:u8 | n:u32]` followed by
+/// `n` entries `[version:u64 | key:bytes16 | value:bytes32]`. The
+/// source answers from its delta log when it still covers `have`
+/// (mode = [`PULL_MODE_DELTA`]) and falls back to a snapshot page of
+/// its store filtered to the `(nranges, vnodes)` ring's `range`
+/// otherwise (mode = [`PULL_MODE_SNAPSHOT`], paged by `skip`), with the
+/// stored values riding the response as zero-copy descriptor clones.
+const SHARD_OP_PULL: u8 = 5;
+/// `[op | ep:u32]` → `[HIT | applied:u64]`: the caught-up replica at
+/// endpoint `ep` rejoins the fan-out — clears its presumed-dead mark
+/// and is a fan-out target again from this write on. The returned
+/// `applied` is the rejoin barrier: writes acknowledged before this
+/// response are covered by pulling up to it.
+const SHARD_OP_REJOIN: u8 = 6;
+/// `[op | ep:u32]` → `[HIT | applied:u64]`: adds a fan-out peer (a
+/// rebalance target starts dual-apply *before* its snapshot pull, so
+/// no concurrent write can be lost between page and cutover).
+const SHARD_OP_ADD_PEER: u8 = 7;
+/// `[op | nranges:u32 | vnodes:u32 | range:u32 | n:u32 | n × ep:u32]`
+/// → `[HIT]`: writes applied at this root whose key maps to `range`
+/// under the `(nranges, vnodes)` ring also fan to the listed endpoints
+/// — the dual-apply rule for keys migrating to a *new* range during a
+/// rebalance.
+const SHARD_OP_SET_FORWARD: u8 = 8;
+/// `[op]` → `[HIT]`: drops the forward rule after cutover.
+const SHARD_OP_CLEAR_FORWARD: u8 = 9;
 /// Shard-protocol response tags.
 const SHARD_RESP_MISS: u8 = 0;
 const SHARD_RESP_HIT: u8 = 1;
 const SHARD_RESP_ERR: u8 = 2;
+/// [`SHARD_OP_PULL`] response modes.
+const PULL_MODE_SNAPSHOT: u8 = 0;
+const PULL_MODE_DELTA: u8 = 1;
+
+/// Replica lifecycle states ([`ShardRoot::is_serving`]).
+const STATE_SERVING: u8 = 0;
+const STATE_CATCHING_UP: u8 = 1;
+
+/// Entries the delta log retains. A replica that restarts within this
+/// many writes catches up from the log alone; one that has fallen
+/// further behind streams a filtered snapshot first, then the log.
+const DELTA_LOG_CAP: usize = 32;
+
+/// One delta-log entry: `(version, key, value)`.
+type LogEntry = (u64, Vec<u8>, Vec<u8>);
+/// A request parked on a catching-up root: raw payload plus the
+/// responder that will answer it once re-driven.
+type ParkedRequest = (Vec<u8>, crate::SendCell<Box<dyn FnOnce(Vec<u8>)>>);
 
 /// The per-machine root of one key range's replica: the machine's
 /// [`Store`] (shared by every range the machine hosts), the range's
@@ -697,8 +755,36 @@ pub struct ShardRoot {
     /// also *assign* versions from it (`fetch_add`), replicas advance
     /// it on [`SHARD_OP_REPL`] receipt (`fetch_max`).
     applied: AtomicU64,
-    /// Endpoint [`EbbId`]s of the range's other replicas.
-    peer_eps: Vec<EbbId>,
+    /// Endpoint [`EbbId`]s of the range's other replicas — mutable:
+    /// rebalance targets join ([`SHARD_OP_ADD_PEER`]) while the
+    /// cluster runs.
+    peers: Mutex<Vec<EbbId>>,
+    /// Peers presumed dead: marked when a fan-out fails past the
+    /// transport's retry budget, **skipped** by later fan-outs (no
+    /// point burning the write path's latency on a corpse), cleared by
+    /// the peer's [`SHARD_OP_REJOIN`] once it has caught back up.
+    failed_peers: Mutex<HashSet<EbbId>>,
+    /// Per-key applied version — the guard that makes every versioned
+    /// apply (live fan-out, snapshot page, delta entry) idempotent and
+    /// order-insensitive: an entry lands only if its version exceeds
+    /// the key's current one.
+    versions: Mutex<HashMap<Vec<u8>, u64>>,
+    /// The last [`DELTA_LOG_CAP`] writes `(version, key, value)`,
+    /// oldest first — what a briefly-absent replica streams instead of
+    /// a full snapshot.
+    log: Mutex<VecDeque<LogEntry>>,
+    /// [`STATE_SERVING`] or [`STATE_CATCHING_UP`].
+    state: AtomicU8,
+    /// While catching up: the endpoint reads/writes are forwarded to
+    /// (the catch-up source — guaranteed current for every
+    /// acknowledged write, since acks wait for its fan-out).
+    forward_to: Mutex<Option<EbbId>>,
+    /// Requests parked while catching up with no reachable source;
+    /// re-driven when the re-sync engine picks a new source or flips
+    /// the root to serving.
+    parked: Mutex<Vec<ParkedRequest>>,
+    /// Rebalance dual-apply rule ([`SHARD_OP_SET_FORWARD`]).
+    forward_rule: Mutex<Option<ForwardRule>>,
     /// Fan-out copies shipped (acting-primary side).
     pub repl_sent: AtomicU64,
     /// Fan-out copies applied (replica side).
@@ -706,6 +792,18 @@ pub struct ShardRoot {
     /// Fan-out copies that failed after the transport's retry budget —
     /// the peer is presumed dead and the write acknowledged anyway.
     pub repl_failed: AtomicU64,
+    /// Fan-out copies *not sent* because the peer was presumed dead.
+    pub repl_skipped: AtomicU64,
+}
+
+/// Writes whose key maps to `range` under the `(nranges, vnodes)` ring
+/// additionally fan to `eps` — and their acks wait for that fan-out,
+/// so a write racing a range transfer reaches the gaining replica
+/// before the client hears OK.
+struct ForwardRule {
+    ring: Arc<HashRing>,
+    range: u32,
+    eps: Vec<EbbId>,
 }
 
 impl ShardRoot {
@@ -719,10 +817,18 @@ impl ShardRoot {
         Arc::new(ShardRoot {
             store,
             applied: AtomicU64::new(0),
-            peer_eps,
+            peers: Mutex::new(peer_eps),
+            failed_peers: Mutex::new(HashSet::new()),
+            versions: Mutex::new(HashMap::new()),
+            log: Mutex::new(VecDeque::new()),
+            state: AtomicU8::new(STATE_SERVING),
+            forward_to: Mutex::new(None),
+            parked: Mutex::new(Vec::new()),
+            forward_rule: Mutex::new(None),
             repl_sent: AtomicU64::new(0),
             repl_applied: AtomicU64::new(0),
             repl_failed: AtomicU64::new(0),
+            repl_skipped: AtomicU64::new(0),
         })
     }
 
@@ -738,7 +844,180 @@ impl ShardRoot {
 
     /// Whether writes through this root fan out to peers.
     pub fn is_replicated(&self) -> bool {
-        !self.peer_eps.is_empty()
+        !self.peers.lock().expect("peers lock").is_empty()
+    }
+
+    /// Whether this replica serves reads/writes itself (vs. forwarding
+    /// them to its catch-up source).
+    pub fn is_serving(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_SERVING
+    }
+
+    /// The range's current fan-out peers (diagnostic).
+    pub fn peer_list(&self) -> Vec<EbbId> {
+        self.peers.lock().expect("peers lock").clone()
+    }
+
+    /// Peers currently presumed dead (diagnostic).
+    pub fn failed_peer_count(&self) -> usize {
+        self.failed_peers.lock().expect("failed lock").len()
+    }
+
+    /// Adds a fan-out peer (idempotent) — the dual-apply half of a
+    /// rebalance join.
+    pub fn add_peer(&self, ep: EbbId) {
+        let mut peers = self.peers.lock().expect("peers lock");
+        if !peers.contains(&ep) {
+            peers.push(ep);
+        }
+    }
+
+    /// Restores `ep` as a live fan-out target: clears its presumed-dead
+    /// mark and (re-)adds it to the peer set. Runs inside the owning
+    /// machine's dispatch event, so no fan-out can interleave with the
+    /// clearing — the rejoin barrier version returned to the caller is
+    /// exact.
+    pub fn mark_rejoined(&self, ep: EbbId) {
+        self.failed_peers.lock().expect("failed lock").remove(&ep);
+        self.add_peer(ep);
+    }
+
+    /// Enters catch-up: reads/writes forward to `source` (or park until
+    /// one is known) until [`ShardRoot::finish_catch_up`].
+    pub fn begin_catch_up(&self, source: Option<EbbId>) {
+        *self.forward_to.lock().expect("forward lock") = source;
+        self.state.store(STATE_CATCHING_UP, Ordering::Release);
+    }
+
+    /// Retargets the catch-up forward path (the old source died) and
+    /// re-drives parked requests against the new source.
+    pub fn retarget_catch_up(self: &Arc<Self>, source: Option<EbbId>) {
+        *self.forward_to.lock().expect("forward lock") = source;
+        if source.is_some() {
+            self.drain_parked();
+        }
+    }
+
+    /// The catching-up→serving flip: atomically stops forwarding, then
+    /// re-drives anything parked through the local (serving) path. A
+    /// request racing the flip lands exactly once — the state check and
+    /// the park both happen inside this machine's single-threaded
+    /// dispatch events.
+    pub fn finish_catch_up(self: &Arc<Self>) {
+        *self.forward_to.lock().expect("forward lock") = None;
+        // Forget presumed-dead peers: the marks predate the outage this
+        // root just recovered from (an isolated machine times out its
+        // own in-flight fan-outs and marks every *live* peer dead).
+        // Stale marks here would silently skip fan-out once this root
+        // fronts writes again; a really-dead peer just gets re-marked.
+        self.failed_peers.lock().expect("failed peers lock").clear();
+        self.state.store(STATE_SERVING, Ordering::Release);
+        self.drain_parked();
+    }
+
+    /// Current forward target while catching up.
+    fn forward_target(&self) -> Option<EbbId> {
+        *self.forward_to.lock().expect("forward lock")
+    }
+
+    /// Parks a request until the re-sync engine can re-drive it.
+    fn park(&self, payload: Vec<u8>, respond: Box<dyn FnOnce(Vec<u8>)>) {
+        self.parked
+            .lock()
+            .expect("parked lock")
+            .push((payload, crate::SendCell(respond)));
+    }
+
+    /// Re-dispatches every parked request through the normal handler —
+    /// which forwards again (new source) or serves locally (now
+    /// serving).
+    fn drain_parked(self: &Arc<Self>) {
+        let drained: Vec<_> = std::mem::take(&mut *self.parked.lock().expect("parked lock"));
+        for (payload, respond) in drained {
+            let rep = StoreShardEbb {
+                inner: ShardInner::Local(Arc::clone(self)),
+            };
+            let chain = Chain::single(IoBuf::copy_from(&payload));
+            rep.handle_remote_async(&chain, respond.0);
+        }
+    }
+
+    /// Installs the rebalance dual-apply rule.
+    pub fn set_forward_rule(&self, ring: Arc<HashRing>, range: u32, eps: Vec<EbbId>) {
+        *self.forward_rule.lock().expect("rule lock") = Some(ForwardRule { ring, range, eps });
+    }
+
+    /// Drops the rebalance dual-apply rule (cutover done).
+    pub fn clear_forward_rule(&self) {
+        *self.forward_rule.lock().expect("rule lock") = None;
+    }
+
+    /// Applies one versioned entry (live fan-out, delta entry, or
+    /// snapshot-page entry): lands only if `version` exceeds the key's
+    /// current version, advances `applied`, and records the write in
+    /// the delta log. Returns whether the entry landed.
+    pub fn apply_versioned(&self, key: &[u8], version: u64, value: &[u8]) -> bool {
+        {
+            let mut versions = self.versions.lock().expect("versions lock");
+            match versions.get(key) {
+                Some(&cur) if cur >= version => return false,
+                _ => versions.insert(key.to_vec(), version),
+            };
+        }
+        self.store.insert_raw(key.to_vec(), IoBuf::copy_from(value));
+        self.applied.fetch_max(version, Ordering::AcqRel);
+        self.push_log(version, key, value);
+        true
+    }
+
+    fn push_log(&self, version: u64, key: &[u8], value: &[u8]) {
+        let mut log = self.log.lock().expect("log lock");
+        log.push_back((version, key.to_vec(), value.to_vec()));
+        while log.len() > DELTA_LOG_CAP {
+            log.pop_front();
+        }
+    }
+
+    /// Delta entries with version > `have`, oldest first, up to
+    /// `limit`; `None` when the log has already dropped writes the
+    /// caller is missing (fall back to a snapshot). The boolean is the
+    /// done flag: no further entries beyond the returned page.
+    fn delta_since(&self, have: u64, limit: usize) -> Option<(Vec<LogEntry>, bool)> {
+        let log = self.log.lock().expect("log lock");
+        let floor = log.front().map(|e| e.0);
+        match floor {
+            // An empty log covers `have` only if nothing newer exists.
+            None => {
+                if have >= self.applied() {
+                    Some((Vec::new(), true))
+                } else {
+                    None
+                }
+            }
+            Some(floor) if floor > have + 1 => None,
+            _ => {
+                let mut out = Vec::new();
+                let mut more = false;
+                for e in log.iter().filter(|e| e.0 > have) {
+                    if out.len() >= limit {
+                        more = true;
+                        break;
+                    }
+                    out.push(e.clone());
+                }
+                Some((out, !more))
+            }
+        }
+    }
+
+    /// The key's currently applied version (diagnostic/tests).
+    pub fn key_version(&self, key: &[u8]) -> u64 {
+        self.versions
+            .lock()
+            .expect("versions lock")
+            .get(key)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The acting-primary write path: assigns the next version, applies
@@ -759,7 +1038,38 @@ impl ShardRoot {
         let version = self.applied.fetch_add(1, Ordering::AcqRel) + 1;
         self.store.sets.fetch_add(1, Ordering::Relaxed);
         self.store.insert_raw(key.clone(), IoBuf::copy_from(&value));
-        if self.peer_eps.is_empty() {
+        {
+            let mut versions = self.versions.lock().expect("versions lock");
+            let e = versions.entry(key.clone()).or_insert(0);
+            *e = (*e).max(version);
+        }
+        self.push_log(version, &key, &value);
+        // Fan-out targets: every live peer (presumed-dead ones are
+        // skipped — their re-sync pull owes them the write instead),
+        // plus the rebalance rule's endpoints when the key is migrating
+        // to a new range.
+        let mut targets = Vec::new();
+        {
+            let peers = self.peers.lock().expect("peers lock");
+            let failed = self.failed_peers.lock().expect("failed lock");
+            for &ep in peers.iter() {
+                if failed.contains(&ep) {
+                    self.repl_skipped.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    targets.push(ep);
+                }
+            }
+        }
+        if let Some(rule) = &*self.forward_rule.lock().expect("rule lock") {
+            if rule.ring.range_of(&key) == rule.range {
+                for &ep in &rule.eps {
+                    if !targets.contains(&ep) {
+                        targets.push(ep);
+                    }
+                }
+            }
+        }
+        if targets.is_empty() {
             done(version);
             return;
         }
@@ -768,9 +1078,9 @@ impl ShardRoot {
         let mut req = wire::WireWriter::op(SHARD_OP_REPL);
         req.u64(version).bytes16(&key).tail(&value);
         let payload = req.finish();
-        let remaining = Rc::new(Cell::new(self.peer_eps.len()));
+        let remaining = Rc::new(Cell::new(targets.len()));
         let done = Rc::new(RefCell::new(Some(done)));
-        for &ep in &self.peer_eps {
+        for ep in targets {
             self.repl_sent.fetch_add(1, Ordering::Relaxed);
             let me = Arc::clone(self);
             let remaining = Rc::clone(&remaining);
@@ -782,6 +1092,7 @@ impl ShardRoot {
                 );
                 if !ok {
                     me.repl_failed.fetch_add(1, Ordering::Relaxed);
+                    me.failed_peers.lock().expect("failed lock").insert(ep);
                 }
                 remaining.set(remaining.get() - 1);
                 if remaining.get() == 0 {
@@ -853,12 +1164,58 @@ impl DistributedEbb for StoreShardEbb {
                     return vec![SHARD_RESP_ERR];
                 };
                 store.sets.fetch_add(1, Ordering::Relaxed);
-                store.insert_raw(key, IoBuf::copy_from(&r.tail()));
-                root.applied.fetch_max(version, Ordering::AcqRel);
+                // Version-guarded: a fan-out racing a snapshot page (or
+                // a duplicate delivery) can arrive in any order without
+                // regressing the key.
+                root.apply_versioned(&key, version, &r.tail());
                 root.repl_applied.fetch_add(1, Ordering::Relaxed);
                 let mut out = vec![SHARD_RESP_HIT];
                 out.extend_from_slice(&version.to_be_bytes());
                 out
+            }
+            Some(SHARD_OP_STATUS) => {
+                let mut out = vec![SHARD_RESP_HIT];
+                out.extend_from_slice(&root.applied().to_be_bytes());
+                out.push(root.state.load(Ordering::Acquire));
+                out
+            }
+            Some(SHARD_OP_REJOIN) => {
+                let Some(ep) = r.u32() else {
+                    return vec![SHARD_RESP_ERR];
+                };
+                root.mark_rejoined(EbbId(ep));
+                let mut out = vec![SHARD_RESP_HIT];
+                out.extend_from_slice(&root.applied().to_be_bytes());
+                out
+            }
+            Some(SHARD_OP_ADD_PEER) => {
+                let Some(ep) = r.u32() else {
+                    return vec![SHARD_RESP_ERR];
+                };
+                root.add_peer(EbbId(ep));
+                let mut out = vec![SHARD_RESP_HIT];
+                out.extend_from_slice(&root.applied().to_be_bytes());
+                out
+            }
+            Some(SHARD_OP_SET_FORWARD) => {
+                let (Some(nranges), Some(vnodes), Some(range), Some(n)) =
+                    (r.u32(), r.u32(), r.u32(), r.u32())
+                else {
+                    return vec![SHARD_RESP_ERR];
+                };
+                let mut eps = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let Some(ep) = r.u32() else {
+                        return vec![SHARD_RESP_ERR];
+                    };
+                    eps.push(EbbId(ep));
+                }
+                root.set_forward_rule(Arc::new(HashRing::new(nranges, vnodes)), range, eps);
+                vec![SHARD_RESP_HIT]
+            }
+            Some(SHARD_OP_CLEAR_FORWARD) => {
+                root.clear_forward_rule();
+                vec![SHARD_RESP_HIT]
             }
             // SET must go through the asynchronous path — the acting
             // primary may not acknowledge before its fan-out resolves.
@@ -872,7 +1229,16 @@ impl DistributedEbb for StoreShardEbb {
             return;
         };
         let mut r = wire::WireReader::new(payload);
-        if r.u8() != Some(SHARD_OP_SET) {
+        let op = r.u8();
+        // A catching-up replica ships client reads and writes to its
+        // catch-up source instead of serving (or versioning against)
+        // stale state. The transfer protocol itself and fan-out
+        // receipts are served in place regardless of state.
+        if matches!(op, Some(SHARD_OP_GET) | Some(SHARD_OP_SET)) && !root.is_serving() {
+            forward_to_source(root, payload.copy_to_vec(), respond);
+            return;
+        }
+        if op != Some(SHARD_OP_SET) {
             respond(self.handle_remote(payload));
             return;
         }
@@ -887,6 +1253,123 @@ impl DistributedEbb for StoreShardEbb {
             respond(out);
         });
     }
+
+    fn handle_remote_chain(&self, payload: &Chain<IoBuf>) -> Option<Chain<IoBuf>> {
+        let ShardInner::Local(root) = &self.inner else {
+            return None;
+        };
+        let mut r = wire::WireReader::new(payload);
+        if r.u8() != Some(SHARD_OP_PULL) {
+            return None;
+        }
+        let (Some(have), Some(skip), Some(limit), Some(nranges), Some(vnodes), Some(range)) =
+            (r.u64(), r.u64(), r.u32(), r.u32(), r.u32(), r.u32())
+        else {
+            return None;
+        };
+        charge(APP_BASE_NS);
+        let applied = root.applied();
+        // Delta first: when the log still covers everything past
+        // `have`, the page is exactly the missed writes, in order.
+        // Only at `skip == 0`, though — a non-zero skip means the
+        // puller is mid-snapshot, where its `have` is a contiguity
+        // *floor*, not a cover: switching to delta there would drop
+        // the unwalked snapshot pages.
+        if skip == 0 {
+            if let Some((entries, done)) = root.delta_since(have, limit as usize) {
+                // Coverage extends past every entry this call examined
+                // — including ones the ring filter below drops (a
+                // rebalance pull wants only the migrating keys, but
+                // the puller's floor must still advance past the rest
+                // or an all-filtered page would re-pull forever).
+                let cover = entries.last().map_or(applied, |e| e.0);
+                let cover = if done { applied } else { cover };
+                let ring = HashRing::new(nranges, vnodes);
+                let entries: Vec<_> = entries
+                    .into_iter()
+                    .filter(|(_, key, _)| ring.range_of(key) == range)
+                    .collect();
+                let mut w = wire::WireWriter::op(SHARD_RESP_HIT);
+                w.u64(applied)
+                    .u8(PULL_MODE_DELTA)
+                    .u8(done as u8)
+                    .u64(cover)
+                    .u32(entries.len() as u32);
+                for (version, key, value) in &entries {
+                    w.u64(*version).bytes16(key).bytes32(value);
+                }
+                return Some(Chain::single(IoBuf::copy_from(&w.finish())));
+            }
+        }
+        // Snapshot page: walk the machine's store filtered to the
+        // requested ring range, `skip`-paged. Values ride the response
+        // chain as descriptor clones of the stored buffers — the
+        // source copies nothing.
+        let ring = HashRing::new(nranges, vnodes);
+        let mut page: Vec<(Vec<u8>, Chain<IoBuf>)> = Vec::new();
+        let mut matched: u64 = 0;
+        root.store().for_each(|k, v| {
+            if ring.range_of(k) != range {
+                return;
+            }
+            if matched >= skip && (page.len() as u32) < limit {
+                page.push((k.clone(), v.clone()));
+            }
+            matched += 1;
+        });
+        let done = matched <= skip + page.len() as u64;
+        let mut head = wire::WireWriter::op(SHARD_RESP_HIT);
+        head.u64(applied)
+            .u8(PULL_MODE_SNAPSHOT)
+            .u8(done as u8)
+            .u64(0) // cover: meaningful only on delta pages
+            .u32(page.len() as u32);
+        let mut out = Chain::single(IoBuf::copy_from(&head.finish()));
+        for (key, value) in page {
+            let mut meta = wire::WireWriter::new();
+            meta.u64(root.key_version(&key))
+                .bytes16(&key)
+                .u32(value.len() as u32);
+            out.push_back(IoBuf::copy_from(&meta.finish()));
+            for seg in value {
+                out.push_back(seg);
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Ships a client request hitting a catching-up replica to the
+/// replica's catch-up source (which, as a live fan-out member, holds
+/// every acknowledged write). With no reachable source the request
+/// parks; the re-sync engine re-drives it on retarget or on the
+/// serving flip — and a forward that fails mid-flight re-parks the
+/// same way, so the client's own timeout/retry budget is the only
+/// clock that can fail the request.
+fn forward_to_source(root: &Arc<ShardRoot>, payload: Vec<u8>, respond: Box<dyn FnOnce(Vec<u8>)>) {
+    let Some(source) = root.forward_target() else {
+        root.park(payload, respond);
+        return;
+    };
+    let transport =
+        EbbRef::<RemoteTransportEbb>::well_known(SystemEbb::Remote).with(|t| t.transport());
+    let me = Arc::clone(root);
+    RemoteShipper::new(source, transport).call(payload.clone(), move |r| match r {
+        Ok(resp) => respond(resp.copy_to_vec()),
+        Err(_) => {
+            if me.is_serving() {
+                // Raced the flip: serve locally like any parked
+                // request.
+                let rep = StoreShardEbb {
+                    inner: ShardInner::Local(Arc::clone(&me)),
+                };
+                let chain = Chain::single(IoBuf::copy_from(&payload));
+                rep.handle_remote_async(&chain, respond);
+            } else {
+                me.park(payload, respond);
+            }
+        }
+    });
 }
 
 impl StoreShardEbb {
@@ -981,16 +1464,17 @@ pub fn register_shard(root: &Arc<ShardRoot>, rt: &Runtime, id: EbbId) -> EbbRef<
     EbbRef::from_id(id)
 }
 
-/// Configuration of one machine of the sharded cluster.
+/// One coherent generation of a machine's placement knowledge:
+/// routing table, key→range placement, and the range roots held
+/// locally. Connections snapshot a `ViewState` once per request batch
+/// and route every decision in the batch against it — a concurrent
+/// rebalance can swap the machine's view but never tears a single
+/// routing decision.
 #[derive(Clone)]
-pub struct ShardConfig {
-    /// Global [`EbbId`]s of every shard's distributed store, in shard
+pub struct ViewState {
+    /// Global [`EbbId`]s of every range's public record, in range
     /// order (the cluster's routing table).
     pub shard_ids: Arc<Vec<EbbId>>,
-    /// This machine's shard index.
-    pub my_shard: usize,
-    /// Per-connection server tunables.
-    pub server: ServerConfig,
     /// Key→range placement. `None` routes by [`shard_of`] (the
     /// unreplicated R = 1 cluster); `Some` routes by
     /// [`HashRing::range_of`] with replica sets from
@@ -998,9 +1482,62 @@ pub struct ShardConfig {
     pub ring: Option<Arc<HashRing>>,
     /// The range roots this machine holds a replica of, by range index.
     /// Requests for these ranges can be served from the machine itself
-    /// (zero-copy for GETs, acting-primary fan-out for SETs); all other
-    /// ranges function-ship.
+    /// (zero-copy for GETs, acting-primary fan-out for SETs) — when
+    /// the root is serving; a catching-up root function-ships like any
+    /// remote range.
     pub locals: Arc<HashMap<usize, Arc<ShardRoot>>>,
+}
+
+impl ViewState {
+    /// The generation of this view's placement: the ring's epoch, or 0
+    /// for the epoch-less unreplicated cluster.
+    pub fn epoch(&self) -> u64 {
+        self.ring.as_ref().map(|r| r.epoch()).unwrap_or(0)
+    }
+}
+
+/// A machine's live placement view: an atomically swappable
+/// [`ViewState`]. Rebalancing installs the grown ring here —
+/// epoch-guarded, so a straggling installer can never roll a machine
+/// back to a retired generation.
+pub struct ClusterView {
+    state: RwLock<ViewState>,
+}
+
+impl ClusterView {
+    pub fn new(state: ViewState) -> Arc<ClusterView> {
+        Arc::new(ClusterView {
+            state: RwLock::new(state),
+        })
+    }
+
+    /// The current view, cloned out (three `Arc` bumps).
+    pub fn snapshot(&self) -> ViewState {
+        self.state.read().unwrap().clone()
+    }
+
+    /// Installs `next` if it is a strictly newer generation than the
+    /// current view (ring epoch order; the unreplicated epoch is 0).
+    /// Returns whether it was installed.
+    pub fn install(&self, next: ViewState) -> bool {
+        let mut cur = self.state.write().unwrap();
+        if next.epoch() <= cur.epoch() && next.epoch() != 0 {
+            return false;
+        }
+        *cur = next;
+        true
+    }
+}
+
+/// Configuration of one machine of the sharded cluster.
+#[derive(Clone)]
+pub struct ShardConfig {
+    /// The machine's placement view (shared with the rebalancer).
+    pub view: Arc<ClusterView>,
+    /// This machine's shard index.
+    pub my_shard: usize,
+    /// Per-connection server tunables.
+    pub server: ServerConfig,
 }
 
 impl ShardConfig {
@@ -1013,11 +1550,13 @@ impl ShardConfig {
         server: ServerConfig,
     ) -> Self {
         ShardConfig {
-            shard_ids,
+            view: ClusterView::new(ViewState {
+                shard_ids,
+                ring: None,
+                locals: Arc::new(HashMap::from([(my_shard, root)])),
+            }),
             my_shard,
             server,
-            ring: None,
-            locals: Arc::new(HashMap::from([(my_shard, root)])),
         }
     }
 }
@@ -1076,9 +1615,10 @@ impl ShardedServerConn {
     /// route by hash — served on the wrong machine they would make the
     /// cluster's answer depend on which server the client contacted.
     fn route(&self, conn: &TcpConn, h: &Header, body: Chain<IoBuf>, out: &mut Chain<IoBuf>) {
+        let view = self.cfg.view.snapshot();
         let extras = h.extras_len as usize;
         let key_len = h.key_len as usize;
-        let nshards = self.cfg.shard_ids.len();
+        let nshards = view.shard_ids.len();
         let routable = h.magic == MAGIC_REQUEST
             && matches!(h.opcode, OP_GET | OP_SET)
             && body.len() >= extras + key_len
@@ -1104,11 +1644,15 @@ impl ShardedServerConn {
                 &key_heap
             }
         };
-        let range = match &self.cfg.ring {
+        let range = match &view.ring {
             Some(ring) => ring.range_of(key) as usize,
             None => shard_of(key, nshards),
         };
-        match (h.opcode, self.cfg.locals.get(&range)) {
+        // A catching-up local root is not a servable replica — it
+        // routes like any remote range (and its own remote handler
+        // forwards to the catch-up source).
+        let local = view.locals.get(&range).filter(|root| root.is_serving());
+        match (h.opcode, local) {
             // A locally held replica serves reads zero-copy — unless
             // this connection was acknowledged a write the replica has
             // not applied yet (read-your-writes gate).
@@ -1127,7 +1671,7 @@ impl ShardedServerConn {
             }
             // Everything else function-ships to the range's fronting
             // machine.
-            _ => self.ship_remote(conn, h, range, key, body),
+            _ => self.ship_remote(conn, h, range, key, body, &view),
         }
     }
 
@@ -1170,11 +1714,11 @@ impl ShardedServerConn {
     /// path) because a machine may hold a *replica* of a range and
     /// still need to ship a call to whoever currently fronts it — the
     /// miss path would resolve the local root instead.
-    fn proxy_for(&self, range: usize) -> StoreShardEbb {
+    fn proxy_for(&self, range: usize, view: &ViewState) -> StoreShardEbb {
         let transport =
             EbbRef::<RemoteTransportEbb>::well_known(SystemEbb::Remote).with(|t| t.transport());
         StoreShardEbb {
-            inner: ShardInner::Proxy(RemoteShipper::new(self.cfg.shard_ids[range], transport)),
+            inner: ShardInner::Proxy(RemoteShipper::new(view.shard_ids[range], transport)),
         }
     }
 
@@ -1190,6 +1734,7 @@ impl ShardedServerConn {
         range: usize,
         key: &[u8],
         body: Chain<IoBuf>,
+        view: &ViewState,
     ) {
         charge(APP_BASE_NS);
         let me = std::rc::Weak::clone(&self.weak);
@@ -1197,7 +1742,7 @@ impl ShardedServerConn {
         let opaque = h.opaque;
         match h.opcode {
             OP_GET => {
-                self.proxy_for(range).get(key, move |r| {
+                self.proxy_for(range, view).get(key, move |r| {
                     let conn2 = conn.clone();
                     on_conn_core(&conn, move || {
                         let Some(me) = me.upgrade() else { return };
@@ -1229,7 +1774,7 @@ impl ShardedServerConn {
                 // Function shipping copies the value onto the wire; the
                 // zero-copy discipline is a local-shard property.
                 let value = value.copy_to_vec();
-                self.proxy_for(range).set(key, &value, move |r| {
+                self.proxy_for(range, view).set(key, &value, move |r| {
                     let conn2 = conn.clone();
                     on_conn_core(&conn, move || {
                         let Some(me) = me.upgrade() else { return };
@@ -1294,21 +1839,378 @@ impl ConnHandler for ShardedServerConn {
 
 /// Starts this machine's server of the sharded cluster: every
 /// connection is served by a [`ShardedServerConn`] routing against
-/// `cfg`. The machine must own `cfg.my_shard`'s root
-/// ([`register_shard`]) and — to reach the other shards — have a
-/// remote transport installed (the hosted layer's
+/// `cfg`. `store` backs the connection's local zero-copy path
+/// (normally the machine's own shard store; a machine holding no
+/// range yet — a spare about to be rebalanced in — passes an empty
+/// one). To reach the other shards the machine must have a remote
+/// transport installed (the hosted layer's
 /// `MessengerTransport::install`).
-pub fn serve_sharded(cfg: ShardConfig) {
+pub fn serve_sharded(cfg: ShardConfig, store: Arc<Store>) {
     let netif = local_netif();
     netif.listen(MEMCACHED_PORT, move |_conn| {
-        let store = Arc::clone(
-            cfg.locals
-                .get(&cfg.my_shard)
-                .expect("my_shard must be locally held")
-                .store(),
-        );
-        ShardedServerConn::new(cfg.clone(), store) as Rc<dyn ConnHandler>
+        ShardedServerConn::new(cfg.clone(), Arc::clone(&store)) as Rc<dyn ConnHandler>
     });
+}
+
+/// Bounded source re-elections before a re-sync gives up on finding a
+/// live serving peer and flips serving with whatever it has
+/// (availability over freshness — with every peer gone there is no
+/// fresher state to wait for).
+const RESYNC_STATUS_RETRIES: u32 = 16;
+/// Entries per PULL page.
+const RESYNC_PULL_LIMIT: u32 = 16;
+/// Hard cap on total PULL round-trips in one re-sync run.
+const RESYNC_PULLS_CAP: u32 = 4096;
+
+/// One range's re-sync (or rebalance-transfer) parameters.
+pub struct ResyncOpts {
+    /// The local root being brought up to date. May be freshly
+    /// created (restart, rebalance) or an existing serving root.
+    pub root: Arc<ShardRoot>,
+    /// This machine's fan-out endpoint id for the range — what peers
+    /// re-add to their fan-out on REJOIN.
+    pub self_ep: EbbId,
+    /// Endpoint ids of the range's other replicas (candidate catch-up
+    /// sources).
+    pub sources: Vec<EbbId>,
+    /// Ring shape the source filters snapshot pages by: a key belongs
+    /// to the transfer iff `HashRing::new(nranges, vnodes)` places it
+    /// in `range`.
+    pub nranges: u32,
+    pub vnodes: u32,
+    pub range: u32,
+    /// Restart re-sync sends REJOIN after catch-up (peers clear the
+    /// presumed-dead mark and restore fan-out, returning their
+    /// `applied` as the exactness barrier). A rebalance transfer sets
+    /// this `false` — there, dual-apply forwarding installed *before*
+    /// the pull plays the barrier role.
+    pub rejoin: bool,
+    /// Flip the root catching-up→serving when the run finishes. A
+    /// rebalance transfer that pulls a range's keys from *several*
+    /// sources (one run each — a new range's keys come from every old
+    /// range) sets this `false` on all but the last run so the root
+    /// never serves a partial key set; restart re-sync sets it `true`.
+    pub flip: bool,
+}
+
+/// What a finished re-sync run reports.
+#[derive(Debug, Clone, Copy)]
+pub struct ResyncOutcome {
+    /// `false` means the availability fallback fired: no live serving
+    /// source could be found within the retry budget and the root
+    /// flipped serving on its own (possibly stale) state.
+    pub caught_up: bool,
+    /// The source the final catch-up pulled from.
+    pub source: Option<EbbId>,
+    /// Total PULL round-trips.
+    pub pulls: u32,
+}
+
+type ResyncDone = Box<dyn FnOnce(ResyncOutcome)>;
+
+struct ResyncDriver {
+    opts: ResyncOpts,
+    done: RefCell<Option<ResyncDone>>,
+    restarts: Cell<u32>,
+    pulls: Cell<u32>,
+    skip: Cell<u64>,
+    /// Contiguous-coverage watermark while a snapshot (and its
+    /// delta-close) is in flight: every source version `<= floor` is
+    /// known covered. The root's `applied` is NOT that — it is a
+    /// `fetch_max` of versions seen, which jumps past unwalked
+    /// snapshot pages — so PULL `have` comes from here when set.
+    /// `None` = plain delta tracking, where `applied` *is* contiguous.
+    floor: Cell<Option<u64>>,
+    source: Cell<Option<EbbId>>,
+    live: RefCell<Vec<EbbId>>,
+}
+
+/// A shipper for `id` over the current machine's installed remote
+/// transport — how the re-sync engine (and the bench rebalancer)
+/// address range endpoints.
+pub fn shipper_for(id: EbbId) -> RemoteShipper {
+    let transport =
+        EbbRef::<RemoteTransportEbb>::well_known(SystemEbb::Remote).with(|t| t.transport());
+    RemoteShipper::new(id, transport)
+}
+
+/// ADD_PEER control frame: the receiving root adds `ep` to its
+/// fan-out peer set (a rebalance gain joining an existing range's
+/// replica group — installed *before* the transfer pulls, so every
+/// write acknowledged from then on reaches the joiner).
+pub fn encode_add_peer(ep: EbbId) -> Vec<u8> {
+    let mut w = wire::WireWriter::op(SHARD_OP_ADD_PEER);
+    w.u32(ep.0);
+    w.finish()
+}
+
+/// SET_FORWARD control frame: the receiving root dual-applies every
+/// write whose key `ring`-maps to `range` to `eps` (the migrating
+/// keys' future replica group) and holds its acks for those fan-outs.
+pub fn encode_set_forward(ring: &HashRing, range: u32, eps: &[EbbId]) -> Vec<u8> {
+    let mut w = wire::WireWriter::op(SHARD_OP_SET_FORWARD);
+    w.u32(ring.nranges())
+        .u32(ring.vnodes())
+        .u32(range)
+        .u32(eps.len() as u32);
+    for ep in eps {
+        w.u32(ep.0);
+    }
+    w.finish()
+}
+
+/// CLEAR_FORWARD control frame: drops the dual-apply rule (the
+/// transfer is cut over; the new replica group owns its keys).
+pub fn encode_clear_forward() -> Vec<u8> {
+    wire::WireWriter::op(SHARD_OP_CLEAR_FORWARD).finish()
+}
+
+/// Re-syncs one range root against its peers, then flips it serving.
+///
+/// Phases: a STATUS round elects the most-applied live *serving* peer
+/// as source; a PULL loop streams delta pages (or ring-filtered
+/// snapshot pages once the source's log no longer covers the gap)
+/// until the source reports `done`; with `rejoin`, a REJOIN round
+/// re-adds this replica to every live peer's fan-out — the maximum
+/// `applied` those peers return is the exactness barrier, closed by
+/// final delta pulls (writes after the barrier fan out here
+/// directly). Only then does the root flip catching-up→serving and
+/// re-drive parked requests. A source dying mid-pull re-elects from
+/// STATUS (bounded); running out of candidates flips serving anyway
+/// rather than blackholing the range.
+pub fn resync_range(opts: ResyncOpts, done: impl FnOnce(ResyncOutcome) + 'static) {
+    let d = Rc::new(ResyncDriver {
+        opts,
+        done: RefCell::new(Some(Box::new(done))),
+        restarts: Cell::new(0),
+        pulls: Cell::new(0),
+        skip: Cell::new(0),
+        // Coverage starts at zero, not at the root's `applied`: a
+        // fan-out replica's applied is a fetch_max with no contiguity
+        // guarantee, and a rebalance target's applied mixes *other*
+        // ranges' version spaces. Short histories still catch up in
+        // one delta page; longer ones take the snapshot path.
+        floor: Cell::new(Some(0)),
+        source: Cell::new(None),
+        live: RefCell::new(Vec::new()),
+    });
+    d.status_round();
+}
+
+impl ResyncDriver {
+    fn status_round(self: &Rc<Self>) {
+        if self.opts.sources.is_empty() || self.restarts.get() >= RESYNC_STATUS_RETRIES {
+            self.finish(false);
+            return;
+        }
+        self.restarts.set(self.restarts.get() + 1);
+        // Linear backoff between elections — a peer mid-restart needs
+        // sim-time, not retries, to become electable.
+        charge(250_000 * self.restarts.get() as u64);
+        let results: Rc<RefCell<Vec<(EbbId, u64, u8)>>> = Rc::new(RefCell::new(Vec::new()));
+        let remaining = Rc::new(Cell::new(self.opts.sources.len()));
+        for &ep in &self.opts.sources {
+            let me = Rc::clone(self);
+            let results = Rc::clone(&results);
+            let remaining = Rc::clone(&remaining);
+            let req = wire::WireWriter::op(SHARD_OP_STATUS).finish();
+            shipper_for(ep).call(req, move |r| {
+                if let Ok(resp) = r {
+                    let mut rd = wire::WireReader::new(&resp);
+                    if rd.u8() == Some(SHARD_RESP_HIT) {
+                        if let (Some(applied), Some(state)) = (rd.u64(), rd.u8()) {
+                            results.borrow_mut().push((ep, applied, state));
+                        }
+                    }
+                }
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    me.on_status(&results.borrow());
+                }
+            });
+        }
+    }
+
+    fn on_status(self: &Rc<Self>, results: &[(EbbId, u64, u8)]) {
+        let live: Vec<EbbId> = results.iter().map(|&(ep, _, _)| ep).collect();
+        let best = results
+            .iter()
+            .filter(|&&(_, _, state)| state == STATE_SERVING)
+            .max_by_key(|&&(_, applied, _)| applied);
+        let Some(&(src, _, _)) = best else {
+            // Peers reachable but none serving (overlapping restarts),
+            // or none reachable: re-elect after backoff.
+            self.status_round();
+            return;
+        };
+        *self.live.borrow_mut() = live;
+        self.source.set(Some(src));
+        if self.opts.root.is_serving() {
+            self.opts.root.begin_catch_up(Some(src));
+        } else {
+            self.opts.root.retarget_catch_up(Some(src));
+        }
+        self.skip.set(0);
+        self.pull(None);
+    }
+
+    /// One PULL round-trip. `target: None` is the catch-up phase (loop
+    /// until a *delta* page says `done` — a finished snapshot walk
+    /// only transitions to the delta-close that covers writes the walk
+    /// raced past); `Some(barrier)` is the post-REJOIN exactness phase
+    /// (loop until coverage reaches the barrier).
+    fn pull(self: &Rc<Self>, target: Option<u64>) {
+        if let Some(t) = target {
+            if self.floor.get().is_none() && self.opts.root.applied() >= t {
+                self.finish(true);
+                return;
+            }
+        }
+        if self.pulls.get() >= RESYNC_PULLS_CAP {
+            self.finish(false);
+            return;
+        }
+        let Some(src) = self.source.get() else {
+            self.status_round();
+            return;
+        };
+        let have = self.floor.get().unwrap_or_else(|| self.opts.root.applied());
+        let skip = self.skip.get();
+        let mut w = wire::WireWriter::op(SHARD_OP_PULL);
+        w.u64(have)
+            .u64(skip)
+            .u32(RESYNC_PULL_LIMIT)
+            .u32(self.opts.nranges)
+            .u32(self.opts.vnodes)
+            .u32(self.opts.range);
+        let me = Rc::clone(self);
+        shipper_for(src).call(w.finish(), move |r| match r {
+            Ok(resp) => me.on_page(&resp, target, skip),
+            // Source died mid-stream: re-elect. A snapshot restarted
+            // from another source re-pages from zero (skip reset in
+            // on_status → pull) — apply_versioned makes re-applied
+            // entries idempotent.
+            Err(_) => me.status_round(),
+        });
+    }
+
+    fn on_page(self: &Rc<Self>, resp: &Chain<IoBuf>, target: Option<u64>, req_skip: u64) {
+        self.pulls.set(self.pulls.get() + 1);
+        let mut r = wire::WireReader::new(resp);
+        if r.u8() != Some(SHARD_RESP_HIT) {
+            self.status_round();
+            return;
+        }
+        let (Some(src_applied), Some(mode), Some(done), Some(cover), Some(n)) =
+            (r.u64(), r.u8(), r.u8(), r.u64(), r.u32())
+        else {
+            self.status_round();
+            return;
+        };
+        for _ in 0..n {
+            let (Some(version), Some(key), Some(value)) = (r.u64(), r.bytes16(), r.bytes32())
+            else {
+                self.status_round();
+                return;
+            };
+            self.opts.root.apply_versioned(&key, version, &value);
+        }
+        if mode == PULL_MODE_SNAPSHOT {
+            // Walks restart from position zero each page, so a write
+            // the walk already passed is invisible to later pages —
+            // the source's applied at the walk that began the snapshot
+            // (`req_skip == 0`) is the floor every missed write's
+            // version exceeds; the delta-close from that floor picks
+            // them up. (A write between *this* walk's pages overwrites
+            // with a version above this floor, so replacing a stale
+            // floor from an aborted earlier walk is safe.)
+            if req_skip == 0 {
+                self.floor.set(Some(src_applied));
+            }
+            self.skip.set(req_skip + n as u64);
+            if done == 1 {
+                // Walk complete: next pull is the delta-close
+                // (skip 0, have = floor).
+                self.skip.set(0);
+            }
+            self.pull(target);
+            return;
+        }
+        // Delta page: the source's `cover` says how far contiguous
+        // coverage now reaches (past ring-filtered entries too) — and
+        // a `done` page means the log holds nothing newer, i.e.
+        // coverage reaches the source's applied: the close is over.
+        self.skip.set(0);
+        if self.floor.get().is_some() {
+            self.floor.set(if done == 1 { None } else { Some(cover) });
+        }
+        if done == 0 {
+            self.pull(target);
+            return;
+        }
+        match target {
+            Some(_) => {
+                // Exactness phase: the barrier write may still be
+                // fanning out to the source — breathe, then re-pull
+                // (pull() re-checks the barrier).
+                charge(100_000);
+                self.pull(target);
+            }
+            None => {
+                if self.opts.rejoin {
+                    self.rejoin_round(src_applied);
+                } else {
+                    self.finish(true);
+                }
+            }
+        }
+    }
+
+    fn rejoin_round(self: &Rc<Self>, floor: u64) {
+        let live = self.live.borrow().clone();
+        if live.is_empty() {
+            self.finish(true);
+            return;
+        }
+        let barrier = Rc::new(Cell::new(floor.max(self.opts.root.applied())));
+        let remaining = Rc::new(Cell::new(live.len()));
+        for ep in live {
+            let me = Rc::clone(self);
+            let barrier = Rc::clone(&barrier);
+            let remaining = Rc::clone(&remaining);
+            let mut w = wire::WireWriter::op(SHARD_OP_REJOIN);
+            w.u32(self.opts.self_ep.0);
+            shipper_for(ep).call(w.finish(), move |r| {
+                if let Ok(resp) = r {
+                    let mut rd = wire::WireReader::new(&resp);
+                    if rd.u8() == Some(SHARD_RESP_HIT) {
+                        if let Some(applied) = rd.u64() {
+                            barrier.set(barrier.get().max(applied));
+                        }
+                    }
+                }
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    me.pull(Some(barrier.get()));
+                }
+            });
+        }
+    }
+
+    /// Flips the root serving (draining parked requests), unless this
+    /// run is a non-final multi-source transfer leg, and reports.
+    fn finish(&self, caught_up: bool) {
+        if self.opts.flip {
+            self.opts.root.finish_catch_up();
+        }
+        if let Some(done) = self.done.borrow_mut().take() {
+            done(ResyncOutcome {
+                caught_up,
+                source: self.source.get(),
+                pulls: self.pulls.get(),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1696,6 +2598,246 @@ mod tests {
         assert_eq!(
             store.get_raw(&key).expect("stored").copy_to_vec(),
             b"big-key-value"
+        );
+    }
+
+    /// A test transport delivering function-shipped calls straight to
+    /// in-process [`ShardRoot`]s by endpoint id, with per-endpoint kill
+    /// switches and delivery counters — the re-sync engine's unit-test
+    /// stand-in for the hosted messenger.
+    struct RootTransport {
+        roots: RefCell<HashMap<u32, Arc<ShardRoot>>>,
+        dead: RefCell<HashSet<u32>>,
+        delivered: RefCell<HashMap<u32, u32>>,
+    }
+
+    impl RootTransport {
+        fn new() -> Rc<Self> {
+            Rc::new(RootTransport {
+                roots: RefCell::new(HashMap::new()),
+                dead: RefCell::new(HashSet::new()),
+                delivered: RefCell::new(HashMap::new()),
+            })
+        }
+
+        fn add(&self, ep: EbbId, root: &Arc<ShardRoot>) {
+            self.roots.borrow_mut().insert(ep.0, Arc::clone(root));
+        }
+
+        fn delivered_to(&self, ep: EbbId) -> u32 {
+            self.delivered.borrow().get(&ep.0).copied().unwrap_or(0)
+        }
+    }
+
+    impl ebbrt_core::ebb::RemoteTransport for RootTransport {
+        fn ship(&self, id: EbbId, payload: Vec<u8>, reply: ebbrt_core::ebb::RemoteReply) {
+            if self.dead.borrow().contains(&id.0) {
+                reply(Err(RemoteError::Timeout));
+                return;
+            }
+            let Some(root) = self.roots.borrow().get(&id.0).cloned() else {
+                reply(Err(RemoteError::Unresolved));
+                return;
+            };
+            *self.delivered.borrow_mut().entry(id.0).or_insert(0) += 1;
+            let rep = StoreShardEbb {
+                inner: ShardInner::Local(root),
+            };
+            let chain = Chain::single(IoBuf::copy_from(&payload));
+            if let Some(resp) = rep.handle_remote_chain(&chain) {
+                reply(Ok(resp));
+                return;
+            }
+            rep.handle_remote_async(
+                &chain,
+                Box::new(move |v| reply(Ok(Chain::single(IoBuf::copy_from(&v))))),
+            );
+        }
+    }
+
+    /// A one-core runtime with a [`RootTransport`] installed under the
+    /// remote system id.
+    fn transport_runtime() -> (Arc<ebbrt_core::runtime::Runtime>, Rc<RootTransport>) {
+        let rt =
+            ebbrt_core::runtime::Runtime::new(1, Arc::new(ebbrt_core::clock::ManualClock::new()));
+        let transport = RootTransport::new();
+        let t = Rc::clone(&transport);
+        ebbrt_core::runtime::install_on_all_cores(&rt, SystemEbb::Remote.id(), move |_| {
+            RemoteTransportEbb::new(Rc::clone(&t) as Rc<dyn ebbrt_core::ebb::RemoteTransport>)
+        });
+        (rt, transport)
+    }
+
+    #[test]
+    fn resync_catch_up_converges_applied_exactly() {
+        let domain = std::sync::Arc::new(ebbrt_core::rcu::RcuDomain::new(1));
+        let _rg = domain.read_guard(CoreId(0));
+        let _b = ebbrt_core::cpu::bind(CoreId(0));
+        let (rt, transport) = transport_runtime();
+        let src_ep = EbbId((1 << 20) + 9001);
+        let tgt_ep = EbbId((1 << 20) + 9002);
+
+        // 40 distinct keys plus 5 overwrites: more writes than
+        // DELTA_LOG_CAP, so a from-zero catch-up must take the
+        // snapshot path (the delta log no longer reaches back to
+        // version 1), then close the overwrites' versions exactly.
+        let source = ShardRoot::new(Store::new(std::sync::Arc::clone(&domain)));
+        for i in 0..40u32 {
+            source.apply_set(
+                format!("key-{i:03}").into_bytes(),
+                format!("val-{i}").into_bytes(),
+                |_| {},
+            );
+        }
+        for i in 0..5u32 {
+            source.apply_set(
+                format!("key-{i:03}").into_bytes(),
+                format!("val-{i}-rewritten").into_bytes(),
+                |_| {},
+            );
+        }
+        assert_eq!(source.applied(), 45);
+        transport.add(src_ep, &source);
+
+        let target = ShardRoot::new(Store::new(std::sync::Arc::clone(&domain)));
+        target.begin_catch_up(None);
+        transport.add(tgt_ep, &target);
+
+        let outcome: Rc<RefCell<Option<ResyncOutcome>>> = Rc::new(RefCell::new(None));
+        {
+            let _g = ebbrt_core::runtime::enter(Arc::clone(&rt), CoreId(0));
+            let o = Rc::clone(&outcome);
+            resync_range(
+                ResyncOpts {
+                    root: Arc::clone(&target),
+                    self_ep: tgt_ep,
+                    sources: vec![src_ep],
+                    nranges: 1,
+                    vnodes: 16,
+                    range: 0,
+                    rejoin: true,
+                    flip: true,
+                },
+                move |out| *o.borrow_mut() = Some(out),
+            );
+        }
+        let out = (*outcome.borrow()).expect("in-process transport resolves synchronously");
+        assert!(out.caught_up, "a live serving source was available");
+        assert_eq!(out.source, Some(src_ep));
+        assert!(target.is_serving(), "flipped catching-up -> serving");
+        assert_eq!(
+            target.applied(),
+            source.applied(),
+            "applied versions converge exactly"
+        );
+        for i in 0..40u32 {
+            let key = format!("key-{i:03}").into_bytes();
+            assert_eq!(
+                target.key_version(&key),
+                source.key_version(&key),
+                "per-key versions converge (key-{i:03})"
+            );
+            assert_eq!(
+                target
+                    .store()
+                    .get_raw(&key)
+                    .expect("caught up")
+                    .copy_to_vec(),
+                source.store().get_raw(&key).expect("source").copy_to_vec(),
+            );
+        }
+        assert!(
+            source.peer_list().contains(&tgt_ep),
+            "REJOIN restored the replica as a fan-out target"
+        );
+    }
+
+    #[test]
+    fn write_racing_the_serving_flip_lands_exactly_once() {
+        let domain = std::sync::Arc::new(ebbrt_core::rcu::RcuDomain::new(1));
+        let _rg = domain.read_guard(CoreId(0));
+        let _b = ebbrt_core::cpu::bind(CoreId(0));
+        let root = ShardRoot::new(Store::new(std::sync::Arc::clone(&domain)));
+        root.begin_catch_up(None); // catching up, no source known yet
+        let rep = StoreShardEbb {
+            inner: ShardInner::Local(Arc::clone(&root)),
+        };
+        let mut w = wire::WireWriter::op(SHARD_OP_SET);
+        w.bytes16(b"racer").tail(b"value-1");
+        let payload = Chain::single(IoBuf::copy_from(&w.finish()));
+        let acks: Rc<RefCell<Vec<Vec<u8>>>> = Rc::new(RefCell::new(Vec::new()));
+        let a = Rc::clone(&acks);
+        rep.handle_remote_async(&payload, Box::new(move |resp| a.borrow_mut().push(resp)));
+        assert!(acks.borrow().is_empty(), "parked, not answered early");
+        assert!(
+            root.store().get_raw(b"racer").is_none(),
+            "not applied before the flip"
+        );
+        root.finish_catch_up();
+        assert_eq!(acks.borrow().len(), 1, "answered exactly once");
+        assert_eq!(acks.borrow()[0][0], SHARD_RESP_HIT);
+        assert_eq!(root.applied(), 1, "applied exactly once, not double");
+        assert_eq!(
+            root.store().sets.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "one store write, no double apply"
+        );
+        assert_eq!(
+            root.store()
+                .get_raw(b"racer")
+                .expect("landed")
+                .copy_to_vec(),
+            b"value-1"
+        );
+    }
+
+    #[test]
+    fn rejoin_clears_presumed_dead_and_restores_fan_out() {
+        let domain = std::sync::Arc::new(ebbrt_core::rcu::RcuDomain::new(1));
+        let _rg = domain.read_guard(CoreId(0));
+        let _b = ebbrt_core::cpu::bind(CoreId(0));
+        let (rt, transport) = transport_runtime();
+        let peer_ep = EbbId((1 << 20) + 9101);
+        let peer = ShardRoot::new(Store::new(std::sync::Arc::clone(&domain)));
+        transport.add(peer_ep, &peer);
+        let primary =
+            ShardRoot::with_peers(Store::new(std::sync::Arc::clone(&domain)), vec![peer_ep]);
+        let _g = ebbrt_core::runtime::enter(Arc::clone(&rt), CoreId(0));
+
+        // Fan-out to a dead peer fails: the write is still acked, the
+        // peer marked presumed-dead.
+        transport.dead.borrow_mut().insert(peer_ep.0);
+        let acked = Rc::new(Cell::new(0u64));
+        let a = Rc::clone(&acked);
+        primary.apply_set(b"k1".to_vec(), b"v1".to_vec(), move |v| a.set(v));
+        assert_eq!(acked.get(), 1, "write acked despite the dead peer");
+        assert_eq!(primary.failed_peer_count(), 1);
+        use std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(primary.repl_failed.load(Relaxed), 1);
+
+        // Later writes skip the corpse instead of re-failing.
+        primary.apply_set(b"k2".to_vec(), b"v2".to_vec(), |_| {});
+        assert_eq!(primary.repl_skipped.load(Relaxed), 1);
+        assert_eq!(transport.delivered_to(peer_ep), 0);
+
+        // Without the rejoin the mark is forever: the regression this
+        // PR fixes. mark_rejoined (what SHARD_OP_REJOIN calls on the
+        // wire) clears it and restores fan-out.
+        transport.dead.borrow_mut().remove(&peer_ep.0);
+        primary.mark_rejoined(peer_ep);
+        assert_eq!(primary.failed_peer_count(), 0);
+        primary.apply_set(b"k3".to_vec(), b"v3".to_vec(), |_| {});
+        assert_eq!(
+            transport.delivered_to(peer_ep),
+            1,
+            "restored as a fan-out target"
+        );
+        assert_eq!(
+            peer.store()
+                .get_raw(b"k3")
+                .expect("replicated")
+                .copy_to_vec(),
+            b"v3"
         );
     }
 }

@@ -2,7 +2,11 @@
 //! mid-traffic against the replicated sharded memcached cluster, and
 //! enforce the robustness properties (zero failed client requests,
 //! read-your-writes across promotions, no acknowledged write lost,
-//! zero-copy local fast path intact).
+//! restart re-sync converging back to ring placement, zero-copy local
+//! fast path intact). A second pinned-seed scenario grows the ring
+//! onto a spare machine mid-traffic and kills a transfer source while
+//! the migration is in flight — live rebalancing must be invisible to
+//! clients too.
 //!
 //! Everything runs on virtual time with a fixed seed, so a pass here
 //! is a proof about every run, not a lucky draw. `CHAOS_SEED`
@@ -17,5 +21,16 @@ fn main() {
     println!("{}", ebbrt_bench::chaos::format_report(&r));
     ebbrt_bench::chaos::assert_properties(&r);
     assert!(r.kills >= 1, "the smoke must actually kill a machine");
+    assert!(r.converged, "the restarted machine must converge");
+
+    let r = ebbrt_bench::chaos::smoke_rebalance();
+    println!("{}", ebbrt_bench::chaos::format_report(&r));
+    ebbrt_bench::chaos::assert_properties(&r);
+    assert_eq!(
+        (r.kills, r.adds),
+        (1, 1),
+        "the rebalance smoke must kill a source mid-transfer"
+    );
+    assert!(r.converged, "the grown cluster must converge");
     println!("chaos smoke: all robustness properties held");
 }

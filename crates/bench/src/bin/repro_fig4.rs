@@ -251,8 +251,10 @@ fn main() {
         let r = ebbrt_bench::chaos::run(&ebbrt_bench::chaos::ChaosConfig {
             shards: 3,
             replicas,
+            spares: 0,
             ops: 64,
-            kill: None,
+            kills: vec![],
+            add_at: None,
             measured_gets: 128,
             seed: 0xF16_4EB,
         });
@@ -272,6 +274,54 @@ fn main() {
         "fig4_replicated.csv",
         "shards,replicas,local_get_us,remote_get_us,local_bytes_copied,local_bufs_allocated",
         &repl_rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
+
+    // Rebalance point: the same replicated cluster, quiet vs growing
+    // the ring onto a spare machine mid-traffic. The mean traffic-op
+    // latency with a live migration in flight (dual-apply forwarding,
+    // snapshot+delta transfers, cutover) must stay under a
+    // deterministic ceiling — rebalancing is a background activity,
+    // not an outage.
+    println!();
+    println!("Replicated sharded memcached: traffic latency, quiet vs live rebalance");
+    let mut rebal_rows = Vec::new();
+    for add in [false, true] {
+        let r = ebbrt_bench::chaos::run(&ebbrt_bench::chaos::ChaosConfig {
+            shards: 3,
+            replicas: 2,
+            spares: add as usize,
+            ops: 64,
+            kills: vec![],
+            add_at: add.then_some(12),
+            measured_gets: 128,
+            seed: 0xF16_4EB,
+        });
+        println!("{}", ebbrt_bench::chaos::format_report(&r));
+        ebbrt_bench::chaos::assert_properties(&r);
+        assert!(r.converged);
+        if add {
+            assert_eq!(r.adds, 1);
+            assert!(
+                r.traffic_mean_us < 2_000.0,
+                "mean traffic latency under a live transfer must stay below 2 ms, got {:.1} us",
+                r.traffic_mean_us
+            );
+        }
+        rebal_rows.push(format!(
+            "{},{},{:.2},{:.2},{:.2}",
+            if add { "rebalance" } else { "quiet" },
+            r.requests,
+            r.traffic_mean_us,
+            r.local_get_mean_us,
+            r.remote_get_mean_us,
+        ));
+    }
+    let path = ebbrt_bench::write_csv(
+        "fig4_rebalance.csv",
+        "scenario,requests,traffic_mean_us,local_get_us,remote_get_us",
+        &rebal_rows,
     )
     .expect("write csv");
     println!("wrote {}", path.display());

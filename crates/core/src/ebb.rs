@@ -675,6 +675,20 @@ pub trait DistributedEbb: MulticoreEbb {
     ) {
         respond(self.handle_remote(payload));
     }
+
+    /// Owner side, zero-copy form: a handler that can answer `payload`
+    /// with a chain of buffer *descriptors* (e.g. a snapshot page whose
+    /// values are clones of the store's own buffers) returns
+    /// `Some(chain)` and the transport sends it without flattening.
+    /// `None` (the default) falls back to
+    /// [`Self::handle_remote_async`].
+    fn handle_remote_chain(
+        &self,
+        payload: &crate::iobuf::Chain<crate::iobuf::IoBuf>,
+    ) -> Option<crate::iobuf::Chain<crate::iobuf::IoBuf>> {
+        let _ = payload;
+        None
+    }
 }
 
 /// A consistent-hash ring mapping keys to key ranges and ranges to
@@ -695,6 +709,12 @@ pub struct HashRing {
     /// (point hash, range) sorted by hash.
     points: Vec<(u64, u32)>,
     nranges: u32,
+    vnodes: u32,
+    /// Placement generation. Bumped by every membership change
+    /// ([`HashRing::grown`]); machines adopt a new ring only if its
+    /// epoch exceeds their current one, so a stale rebroadcast can
+    /// never roll placement backwards.
+    epoch: u64,
 }
 
 const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -724,6 +744,15 @@ impl HashRing {
     /// points each. Deterministic: same arguments, same ring,
     /// everywhere.
     pub fn new(nranges: u32, vnodes: u32) -> Self {
+        Self::with_epoch(nranges, vnodes, 1)
+    }
+
+    /// As [`HashRing::new`] with an explicit placement epoch — the form
+    /// a machine uses to rebuild a peer's ring from the `(nranges,
+    /// vnodes, epoch)` triple carried in a control message. The point
+    /// set depends only on `nranges` and `vnodes`; the epoch orders
+    /// generations.
+    pub fn with_epoch(nranges: u32, vnodes: u32, epoch: u64) -> Self {
         assert!(nranges > 0, "ring needs at least one range");
         assert!(vnodes > 0, "ring needs at least one vnode per range");
         let mut points = Vec::with_capacity((nranges * vnodes) as usize);
@@ -740,12 +769,37 @@ impl HashRing {
         // Colliding points would make placement ambiguous; keep the
         // first (lowest range) deterministically.
         points.dedup_by_key(|p| p.0);
-        HashRing { points, nranges }
+        HashRing {
+            points,
+            nranges,
+            vnodes,
+            epoch,
+        }
+    }
+
+    /// The next-generation ring with one more range: the shape a
+    /// cluster adopts when a machine joins. Existing ranges keep their
+    /// vnode points (the hash depends only on the range index), so the
+    /// only keys whose placement changes are those captured by the new
+    /// range's points — consistent hashing's minimal-movement
+    /// guarantee, proven by the proptests below.
+    pub fn grown(&self) -> Self {
+        Self::with_epoch(self.nranges + 1, self.vnodes, self.epoch + 1)
     }
 
     /// Number of ranges on the ring.
     pub fn nranges(&self) -> u32 {
         self.nranges
+    }
+
+    /// Virtual points contributed by each range.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// Placement generation of this ring.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The range owning `key`: first point clockwise from the key's
@@ -1483,6 +1537,106 @@ mod tests {
         assert_eq!(ring.successors(0, 99).len(), 5);
         // R=1 degenerates to the range itself.
         assert_eq!(ring.successors(2, 1), vec![2]);
+    }
+
+    #[test]
+    fn hash_ring_grown_bumps_epoch_and_adds_one_range() {
+        let ring = HashRing::new(3, 16);
+        assert_eq!((ring.nranges(), ring.epoch()), (3, 1));
+        let big = ring.grown();
+        assert_eq!((big.nranges(), big.epoch(), big.vnodes()), (4, 2, 16));
+        // Epoch does not perturb placement: only the point set matters.
+        let twin = HashRing::with_epoch(4, 16, 99);
+        for i in 0..200u32 {
+            let key = format!("epoch-key-{i}");
+            assert_eq!(big.range_of(key.as_bytes()), twin.range_of(key.as_bytes()));
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn hash_ring_placement_is_balanced_within_bounds(
+            nranges in 2u32..8,
+            seed in 0u64..1000,
+        ) {
+            let ring = HashRing::new(nranges, 32);
+            let nkeys = 2000usize;
+            let mut hits = vec![0usize; nranges as usize];
+            for i in 0..nkeys {
+                let key = format!("bal-{seed}-{i}");
+                hits[ring.range_of(key.as_bytes()) as usize] += 1;
+            }
+            // With 32 vnodes per range the arc lengths concentrate well
+            // enough that no range holds more than 4x its fair share —
+            // and every range holds something.
+            let fair = nkeys / nranges as usize;
+            for (r, &n) in hits.iter().enumerate() {
+                proptest::prop_assert!(n > 0, "range {} received no keys", r);
+                proptest::prop_assert!(
+                    n < fair * 4,
+                    "range {} holds {} of {} keys (fair share {})",
+                    r, n, nkeys, fair
+                );
+            }
+        }
+
+        #[test]
+        fn hash_ring_successors_are_disjoint_for_any_shape(
+            nranges in 1u32..10,
+            vnodes in 1u32..24,
+            count in 1usize..12,
+        ) {
+            let ring = HashRing::new(nranges, vnodes);
+            for range in 0..nranges {
+                let succ = ring.successors(range, count);
+                proptest::prop_assert_eq!(succ[0], range);
+                proptest::prop_assert_eq!(
+                    succ.len(),
+                    count.clamp(1, nranges as usize),
+                    "replica set size for range {}", range
+                );
+                let mut sorted = succ.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                proptest::prop_assert_eq!(
+                    sorted.len(), succ.len(),
+                    "replica set for range {} repeats a member", range
+                );
+            }
+        }
+
+        #[test]
+        fn hash_ring_growth_moves_keys_only_to_the_new_range(
+            nranges in 1u32..8,
+            vnodes in 1u32..24,
+            seed in 0u64..1000,
+        ) {
+            // Consistent hashing's minimal-movement guarantee, both
+            // directions: comparing the n-range ring with its grown
+            // (n+1)-range ring, every key whose placement differs moved
+            // *to* the added range — no key moved between surviving
+            // ranges. Read right-to-left the same check covers remove.
+            let small = HashRing::new(nranges, vnodes);
+            let big = small.grown();
+            let mut moved = 0usize;
+            for i in 0..1500usize {
+                let key = format!("move-{seed}-{i}");
+                let before = small.range_of(key.as_bytes());
+                let after = big.range_of(key.as_bytes());
+                if before != after {
+                    proptest::prop_assert_eq!(
+                        after, nranges,
+                        "key {} moved from {} to {}, not to the new range",
+                        key, before, after
+                    );
+                    moved += 1;
+                }
+            }
+            // The new range captures roughly 1/(n+1) of the keyspace;
+            // it must capture *something* and nowhere near all of it.
+            proptest::prop_assert!(moved > 0, "growth moved no keys at all");
+            proptest::prop_assert!(moved < 1500, "growth moved every key");
+        }
     }
 
     #[test]

@@ -883,6 +883,15 @@ pub mod wire {
             self
         }
 
+        /// Appends a u32-length-prefixed byte string (values, snapshot
+        /// entries — anything that may outgrow a u16 frame).
+        pub fn bytes32(&mut self, v: &[u8]) -> &mut Self {
+            debug_assert!(v.len() <= u32::MAX as usize);
+            self.u32(v.len() as u32);
+            self.buf.extend_from_slice(v);
+            self
+        }
+
         /// Appends raw trailing bytes (the unframed tail of a payload).
         pub fn tail(&mut self, v: &[u8]) -> &mut Self {
             self.buf.extend_from_slice(v);
@@ -954,6 +963,17 @@ pub mod wire {
             Some(v)
         }
 
+        /// Reads a u32-length-prefixed byte string.
+        pub fn bytes32(&mut self) -> Option<Vec<u8>> {
+            let n = self.u32()? as usize;
+            if n > self.remaining {
+                return None;
+            }
+            let v = self.cur.read_vec(n)?;
+            self.remaining -= n;
+            Some(v)
+        }
+
         /// Reads every remaining byte (the unframed tail).
         pub fn tail(&mut self) -> Vec<u8> {
             let v = self.cur.read_vec(self.remaining).unwrap_or_default();
@@ -970,6 +990,7 @@ pub mod wire {
             .u32(42)
             .u64(1 << 40)
             .bytes16(b"key")
+            .bytes32(b"a-value-wider-than-a-key")
             .tail(b"value");
         let chain = Chain::single(crate::iobuf::IoBuf::copy_from(&w.finish()));
         let mut r = WireReader::new(&chain);
@@ -978,6 +999,10 @@ pub mod wire {
         assert_eq!(r.u32(), Some(42));
         assert_eq!(r.u64(), Some(1 << 40));
         assert_eq!(r.bytes16().as_deref(), Some(b"key".as_slice()));
+        assert_eq!(
+            r.bytes32().as_deref(),
+            Some(b"a-value-wider-than-a-key".as_slice())
+        );
         assert_eq!(r.tail(), b"value");
         assert_eq!(r.remaining(), 0);
         assert_eq!(r.u8(), None, "reads past the end fail, not wrap");

@@ -126,8 +126,24 @@ impl Runtime {
     }
 
     /// Queues `f` on `core`'s event loop from any thread.
+    ///
+    /// Takes the owner-core fast path (local queue, no wake) only when
+    /// the caller is entered on **this runtime** and `core`. A bare core
+    /// id comparison is not enough: under the simulated backend every
+    /// machine has a `CoreId(0)`, and a spawn from machine A's core 0
+    /// onto machine B's core 0 classified as "local" would sit in B's
+    /// queue without a wake — an idle B would never run it.
     pub fn spawn(&self, core: CoreId, f: impl FnOnce() + Send + 'static) {
-        self.event_manager(core).spawn(f);
+        let em = self.event_manager(core);
+        let entered_here = CURRENT_FAST.with(|c| {
+            let (rt, cur) = c.get();
+            std::ptr::eq(rt, self) && cur == core.0
+        });
+        if entered_here {
+            em.spawn_local(f);
+        } else {
+            em.spawn_remote(f);
+        }
     }
 
     /// Requests every core's loop to exit (machine shutdown).

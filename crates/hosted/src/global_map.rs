@@ -132,6 +132,13 @@ impl GlobalIdMapServer {
     pub fn is_empty(&self) -> bool {
         self.entries.borrow().is_empty()
     }
+
+    /// The authoritative `(lease epoch, data)` record for `id`
+    /// (diagnostic: the chaos harness reads ownership records straight
+    /// off the server to assert convergence back to ring placement).
+    pub fn record(&self, id: EbbId) -> Option<(u64, Vec<u8>)> {
+        self.entries.borrow().get(&id.0).cloned()
+    }
 }
 
 /// Client handle used by any instance (hosted or native) to allocate

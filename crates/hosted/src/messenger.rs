@@ -50,12 +50,88 @@ const KIND_RESPONSE: u8 = 1;
 pub type MsgHandler = Rc<dyn Fn(Ipv4Addr, u64, Chain<IoBuf>)>;
 
 /// A request/response handler for one Ebb id: `(src, payload,
-/// respond)`. Unlike [`MsgHandler`] it replies through an opaque
-/// continuation rather than a wire rpc id, so the **same** handler
-/// serves a direct call (respond = [`Messenger::respond`]) and a
-/// sub-call of a batched frame (respond = the batch collector's slot).
-/// Registered with [`Messenger::register_call`].
-pub type CallHandler = Rc<dyn Fn(Ipv4Addr, Chain<IoBuf>, Box<dyn FnOnce(Vec<u8>)>)>;
+/// responder)`. Unlike [`MsgHandler`] it replies through an opaque
+/// [`Responder`] rather than a wire rpc id, so the **same** handler
+/// serves a direct call (responder = [`Messenger::respond`], which can
+/// also send a zero-copy chain) and a sub-call of a batched frame
+/// (responder = the batch collector's slot). Registered with
+/// [`Messenger::register_call`].
+pub type CallHandler = Rc<dyn Fn(Ipv4Addr, Chain<IoBuf>, Responder)>;
+
+/// Where one RPC's response goes: straight back onto the wire (a
+/// direct call, which supports zero-copy chain payloads) or into an
+/// arbitrary sink (a batch collector slot, a test probe). Consumed by
+/// exactly one of the send methods.
+pub struct Responder {
+    inner: ResponderInner,
+}
+
+enum ResponderInner {
+    Wire {
+        messenger: Rc<Messenger>,
+        dst: Ipv4Addr,
+        id: EbbId,
+        rpc_id: u64,
+    },
+    Sink(Box<dyn FnOnce(Vec<u8>)>),
+}
+
+impl Responder {
+    /// A responder that answers on the wire for `rpc_id`.
+    fn wire(messenger: Rc<Messenger>, dst: Ipv4Addr, id: EbbId, rpc_id: u64) -> Self {
+        Responder {
+            inner: ResponderInner::Wire {
+                messenger,
+                dst,
+                id,
+                rpc_id,
+            },
+        }
+    }
+
+    /// A responder that hands the (flattened) response to `f`.
+    pub fn sink(f: impl FnOnce(Vec<u8>) + 'static) -> Self {
+        Responder {
+            inner: ResponderInner::Sink(Box::new(f)),
+        }
+    }
+
+    /// Sends a flat response payload.
+    pub fn send(self, payload: Vec<u8>) {
+        match self.inner {
+            ResponderInner::Wire {
+                messenger,
+                dst,
+                id,
+                rpc_id,
+            } => messenger.respond(dst, id, rpc_id, &payload),
+            ResponderInner::Sink(f) => f(payload),
+        }
+    }
+
+    /// Sends a chained response. On a direct call the chain's segments
+    /// ride the connection as descriptor clones — the transfer-stream
+    /// framing: a snapshot page interleaves small metadata buffers with
+    /// the store's own value buffers, copied nowhere. A batched
+    /// sub-call flattens (its slot is part of one response frame).
+    pub fn send_chain(self, payload: Chain<IoBuf>) {
+        match self.inner {
+            ResponderInner::Wire {
+                messenger,
+                dst,
+                id,
+                rpc_id,
+            } => messenger.send_chain_raw(dst, id, KIND_RESPONSE, rpc_id, payload),
+            ResponderInner::Sink(f) => f(payload.copy_to_vec()),
+        }
+    }
+
+    /// The responder as a plain flat-payload continuation (the shape
+    /// [`ebbrt_core::ebb::DistributedEbb::handle_remote_async`] takes).
+    pub fn into_fn(self) -> Box<dyn FnOnce(Vec<u8>)> {
+        Box::new(move |payload| self.send(payload))
+    }
+}
 
 /// A pending RPC: the continuation, its timeout timer (owned by the
 /// issuing core's wheel), the peer it went to — so the waiter can
@@ -238,7 +314,7 @@ impl Messenger {
     pub fn register_call(
         self: &Rc<Self>,
         id: EbbId,
-        handler: impl Fn(Ipv4Addr, Chain<IoBuf>, Box<dyn FnOnce(Vec<u8>)>) + 'static,
+        handler: impl Fn(Ipv4Addr, Chain<IoBuf>, Responder) + 'static,
     ) {
         let h: CallHandler = Rc::new(handler);
         self.call_handlers.borrow_mut().insert(id.0, Rc::clone(&h));
@@ -247,11 +323,7 @@ impl Messenger {
         let weak = Rc::downgrade(self);
         self.register(id, move |src, rpc_id, payload| {
             let Some(m) = weak.upgrade() else { return };
-            h(
-                src,
-                payload,
-                Box::new(move |resp| m.respond(src, id, rpc_id, &resp)),
-            );
+            h(src, payload, Responder::wire(m, src, id, rpc_id));
         });
     }
 
@@ -425,6 +497,37 @@ impl Messenger {
         }
     }
 
+    /// Sends a frame whose payload is a chain of buffer descriptors:
+    /// one small header buffer, then the chain's segments queued as-is
+    /// (stream framing makes the segment boundaries invisible to the
+    /// receiver). This is how a transfer stream's snapshot pages leave
+    /// the machine without flattening — the value segments are clones
+    /// of the store's own buffers.
+    fn send_chain_raw(
+        self: &Rc<Self>,
+        dst: Ipv4Addr,
+        id: EbbId,
+        kind: u8,
+        rpc_id: u64,
+        payload: Chain<IoBuf>,
+    ) {
+        let mut hdr = Vec::with_capacity(17);
+        let body_len = (4 + 1 + 8 + payload.len()) as u32;
+        hdr.extend_from_slice(&body_len.to_be_bytes());
+        hdr.extend_from_slice(&id.0.to_be_bytes());
+        hdr.push(kind);
+        hdr.extend_from_slice(&rpc_id.to_be_bytes());
+        let peer = self.peer_for(dst);
+        {
+            let mut p = peer.borrow_mut();
+            p.pending.push_back(MutIoBuf::from_vec(hdr).freeze());
+            for seg in payload {
+                p.pending.push_back(seg);
+            }
+        }
+        Self::flush_peer_on_conn_core(&peer);
+    }
+
     fn send_raw(self: &Rc<Self>, dst: Ipv4Addr, id: EbbId, kind: u8, rpc_id: u64, payload: &[u8]) {
         let mut msg = Vec::with_capacity(17 + payload.len());
         let body_len = (4 + 1 + 8 + payload.len()) as u32;
@@ -578,7 +681,7 @@ impl Messenger {
                     h(
                         src,
                         body,
-                        Box::new(move |resp| c.fill(i, batch::STATUS_OK, resp)),
+                        Responder::sink(move |resp| c.fill(i, batch::STATUS_OK, resp)),
                     );
                 }
                 None => collector.fill(i, batch::STATUS_UNSERVED, Vec::new()),

@@ -670,13 +670,15 @@ pub fn export_raw(
     serve: impl Fn(&Chain<IoBuf>) -> Vec<u8> + 'static,
 ) {
     messenger.register_call(id, move |_src, payload, respond| {
-        respond(serve(&payload));
+        respond.send(serve(&payload));
     });
 }
 
 /// Makes this machine the **owner** of distributed Ebb `ebb`: inbound
 /// function-shipped requests resolve the local (real) representative
 /// through the translation table and apply
+/// [`DistributedEbb::handle_remote_chain`] (when the rep answers with
+/// a zero-copy chain — transfer-stream snapshot pages) or else
 /// [`DistributedEbb::handle_remote_async`] — handlers that fan out
 /// (replication) acknowledge only when their own shipped calls
 /// resolve; plain handlers answer synchronously through the default.
@@ -684,7 +686,10 @@ pub fn export_raw(
 pub fn export<T: DistributedEbb>(messenger: &Rc<Messenger>, ebb: EbbRef<T>) {
     let id = ebb.id();
     messenger.register_call(id, move |_src, payload, respond| {
-        ebb.with(|rep| rep.handle_remote_async(&payload, respond));
+        ebb.with(|rep| match rep.handle_remote_chain(&payload) {
+            Some(chain) => respond.send_chain(chain),
+            None => rep.handle_remote_async(&payload, respond.into_fn()),
+        });
     });
 }
 
@@ -717,6 +722,48 @@ pub fn publish_replicated<T: DistributedEbb>(
     map.put(ebb.id(), &global_map::encode_owners(owners), done);
 }
 
+/// Un-promotion: compare-and-swap the ownership record for `id` back
+/// to the ring-designated replica order `owners` (primary first). A
+/// re-synced ring-home machine calls this to undo the rotation a
+/// retry-in-place promotion applied while it was dead, converging
+/// ownership to placement.
+///
+/// The CAS is version-guarded — the record's version is its **lease
+/// epoch**, bumped by every promotion and every un-promotion — so a
+/// concurrent promotion (observing the same epoch) serializes against
+/// it at the naming service: exactly one wins, and the loser backs off
+/// by invalidating its cache rather than clobbering. `done(true)`
+/// means the record now carries ring order (won the CAS, or already
+/// converged); `done(false)` means it lost cleanly or the record is
+/// missing.
+pub fn unpromote(
+    map: &Rc<GlobalIdMap>,
+    id: EbbId,
+    owners: Vec<Ipv4Addr>,
+    done: impl FnOnce(bool) + 'static,
+) {
+    // Read through (not from) the cache: the CAS must target the
+    // record's current lease epoch, not a stale cached one.
+    map.invalidate(id);
+    let map2 = Rc::clone(map);
+    map.get_versioned(id, move |cur| {
+        let Some((epoch, data)) = cur else {
+            done(false);
+            return;
+        };
+        if global_map::decode_owners(&data).as_deref() == Some(&owners[..]) {
+            done(true);
+            return;
+        }
+        // put_if already maintains the cache: the new record on a win,
+        // an invalidation on a loss — losing leaves the concurrent
+        // winner's record alone.
+        map2.put_if(id, epoch, &global_map::encode_owners(&owners), move |won| {
+            done(won.is_some());
+        });
+    });
+}
+
 /// Typed serialization helpers for function-shipped payloads — the
 /// shared framing vocabulary of the remote layer. Re-exported from
 /// `ebbrt_core::iobuf::wire` so applications defining distributed Ebbs
@@ -737,6 +784,9 @@ mod tests {
     struct SendCell<T>(T);
     // SAFETY: single-threaded simulation.
     unsafe impl<T> Send for SendCell<T> {}
+
+    /// A versioned naming record captured from an async `get_versioned`.
+    type RecordCell = Rc<Cell<Option<(u64, Vec<u8>)>>>;
 
     fn on_core0<T: 'static>(m: &Rc<SimMachine>, v: T, f: impl FnOnce(T) + 'static) {
         let cell = SendCell((v, f));
@@ -1352,5 +1402,112 @@ mod tests {
         assert_eq!(got.get(), Some(Ok(102)));
         assert_eq!(c.client_transport.retries.get(), retries_before);
         assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unpromote_cas_loses_cleanly_to_a_concurrent_promotion() {
+        let c = cluster();
+        let gid = EbbId((1 << 20) + 77);
+        let ring_order = vec![OWNER_IP, STANDBY_IP];
+        let promoted = vec![STANDBY_IP, OWNER_IP];
+
+        // The record as a retry-in-place promotion left it: rotated,
+        // standby first. First put → lease epoch 1.
+        let sm = Rc::clone(&c.standby_map);
+        let p = promoted.clone();
+        on_core0(&c.standby, sm, move |sm| {
+            sm.put(gid, &global_map::encode_owners(&p), |ok| assert!(ok));
+        });
+        c.w.run_to_idle();
+
+        // Warm the owner↔naming connection so the raced GET below
+        // pays no TCP handshake (which would reorder it after the
+        // standby's CAS).
+        let om = Rc::clone(&c.owner_map);
+        on_core0(&c.owner, om, move |om| {
+            om.get_versioned(gid, |_| {});
+        });
+        c.w.run_to_idle();
+
+        // The ring-home machine un-promotes while the standby bumps
+        // the lease again (a concurrent promotion against the same
+        // epoch). The standby's CAS is timed to land at the naming
+        // service *between* the un-promote's epoch read and its CAS —
+        // the interleaving where exactly one writer must win.
+        let unpromote_won: Rc<Cell<Option<bool>>> = Rc::new(Cell::new(None));
+        let promo_won: Rc<Cell<Option<Option<u64>>>> = Rc::new(Cell::new(None));
+        let om = Rc::clone(&c.owner_map);
+        let u2 = Rc::clone(&unpromote_won);
+        let ring = ring_order.clone();
+        on_core0(&c.owner, (om, u2), move |(om, u2)| {
+            unpromote(&om, gid, ring, move |won| u2.set(Some(won)));
+        });
+        let sm = Rc::clone(&c.standby_map);
+        let p2 = Rc::clone(&promo_won);
+        let promoted2 = promoted.clone();
+        on_core0(&c.standby, (sm, p2), move |(sm, p2)| {
+            // Depart just after the un-promote's GET, well before its
+            // put_if (which waits a full round-trip for the GET reply).
+            ebbrt_sim::world::charge(500);
+            sm.put_if(gid, 1, &global_map::encode_owners(&promoted2), move |won| {
+                p2.set(Some(won))
+            });
+        });
+        c.w.run_to_idle();
+
+        assert_eq!(
+            promo_won.get(),
+            Some(Some(2)),
+            "the concurrent promotion won the epoch-1 CAS"
+        );
+        assert_eq!(
+            unpromote_won.get(),
+            Some(false),
+            "the un-promote lost cleanly"
+        );
+
+        // Losing must not clobber: the record still carries the
+        // winner's owners at epoch 2 (the loser only invalidated its
+        // cache, so this read goes back to the naming service).
+        let record: RecordCell = Rc::new(Cell::new(None));
+        let om = Rc::clone(&c.owner_map);
+        let r2 = Rc::clone(&record);
+        on_core0(&c.owner, (om, r2), move |(om, r2)| {
+            om.get_versioned(gid, move |r| r2.set(r));
+        });
+        c.w.run_to_idle();
+        let (epoch, data) = record.take().expect("record resolves");
+        assert_eq!(epoch, 2, "lease epoch bumped once, by the winner");
+        assert_eq!(
+            global_map::decode_owners(&data).as_deref(),
+            Some(&promoted[..]),
+            "winner's record intact"
+        );
+
+        // With the race over, the un-promote converges: it re-reads
+        // epoch 2 and wins, returning ownership to ring order.
+        let om = Rc::clone(&c.owner_map);
+        let u3 = Rc::clone(&unpromote_won);
+        let ring = ring_order.clone();
+        on_core0(&c.owner, (om, u3), move |(om, u3)| {
+            unpromote(&om, gid, ring, move |won| u3.set(Some(won)));
+        });
+        c.w.run_to_idle();
+        assert_eq!(unpromote_won.get(), Some(true), "quiet retry converges");
+        let record: RecordCell = Rc::new(Cell::new(None));
+        let om = Rc::clone(&c.owner_map);
+        let r3 = Rc::clone(&record);
+        on_core0(&c.owner, (om, r3), move |(om, r3)| {
+            om.invalidate(gid);
+            om.get_versioned(gid, move |r| r3.set(r));
+        });
+        c.w.run_to_idle();
+        let (epoch, data) = record.take().expect("record resolves");
+        assert_eq!(epoch, 3);
+        assert_eq!(
+            global_map::decode_owners(&data).as_deref(),
+            Some(&ring_order[..]),
+            "ownership converged back to ring placement"
+        );
     }
 }

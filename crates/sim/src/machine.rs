@@ -237,6 +237,28 @@ mod tests {
     }
 
     #[test]
+    fn cross_machine_spawn_wakes_an_idle_target() {
+        // Regression: machines share core ids (every machine has a
+        // CoreId(0)), so a spawn from machine A's core 0 onto machine
+        // B's core 0 must not be classified as an owner-core spawn —
+        // that path queues without waking, and an otherwise-idle B
+        // would never run the event.
+        let w = SimWorld::new();
+        let a = SimMachine::create(&w, "a", 1, CostProfile::ebbrt_vm(), [1; 6]);
+        let b = SimMachine::create(&w, "b", 1, CostProfile::ebbrt_vm(), [2; 6]);
+        let hits = SArc::new(AtomicUsize::new(0));
+        let h = SArc::clone(&hits);
+        let brt = SArc::clone(b.runtime());
+        a.spawn_on(CoreId(0), move || {
+            brt.spawn(CoreId(0), move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        w.run_to_idle();
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "idle machine b never woke");
+    }
+
+    #[test]
     fn timers_fire_at_virtual_deadline() {
         let w = SimWorld::new();
         let m = SimMachine::create(&w, "m0", 1, CostProfile::ebbrt_vm(), [1; 6]);
