@@ -54,10 +54,11 @@ use ebbrt_core::ebb::{
     RemoteShipper, RemoteTransportEbb, SystemEbb,
 };
 use ebbrt_core::iobuf::{wire, Chain, IoBuf, MutIoBuf};
+use ebbrt_core::qos::{self, CounterHandle};
 use ebbrt_core::rcu_hash::RcuHashMap;
-use ebbrt_core::runtime::Runtime;
-use ebbrt_net::netif::{local_netif, ConnHandler, TcpConn};
-use ebbrt_sim::world::charge;
+use ebbrt_core::runtime::{self, Runtime};
+use ebbrt_net::netif::{local_netif, try_local_netif, ConnHandler, TcpConn};
+use ebbrt_sim::world::{charge, charged_so_far};
 
 /// The memcached service port.
 pub const MEMCACHED_PORT: u16 = 11211;
@@ -80,6 +81,11 @@ pub const STATUS_KEY_NOT_FOUND: u16 = 0x0001;
 /// function-shipped call failed — owner unresolved, unreachable, or
 /// timed out). Remote failure surfaces as a response, never a hang.
 pub const STATUS_REMOTE_ERROR: u16 = 0x0084;
+/// Overload: the request sat queued past its class's service deadline
+/// and was shed — answered with this status (echoing the opaque)
+/// instead of served. Never silent: the client learns immediately and
+/// can retry elsewhere or back off.
+pub const STATUS_SERVER_BUSY: u16 = 0x0085;
 
 /// The protocol's maximum key length; keys up to this size are read
 /// into stack scratch on the parse path (no heap traffic). Longer keys
@@ -399,6 +405,26 @@ pub struct ServerConn {
     ///
     /// [`SendError::WindowFull`]: ebbrt_net::netif::SendError::WindowFull
     unsent: RefCell<Chain<IoBuf>>,
+    /// The connection's resolved shed policy (class deadline + per-
+    /// class counters), cached on first receive — `None` when the
+    /// machine has no QoS policy installed, in which case the serve
+    /// path is byte-for-byte the pre-QoS one.
+    shed: Cell<Option<ShedPolicy>>,
+    shed_resolved: Cell<bool>,
+}
+
+/// Per-connection overload-serving parameters, resolved once from the
+/// machine's installed [`ebbrt_net::netif::QosPolicy`] and the
+/// connection's class. `Copy` (three counter handles and a deadline)
+/// so it lives in a `Cell` on the hot path.
+#[derive(Clone, Copy)]
+struct ShedPolicy {
+    /// Service deadline from the class's [`ebbrt_core::qos::ClassConfig`];
+    /// `None` = count but never shed.
+    deadline_ns: Option<u64>,
+    served_h: CounterHandle,
+    shed_h: CounterHandle,
+    missed_h: CounterHandle,
 }
 
 impl ServerConn {
@@ -415,6 +441,8 @@ impl ServerConn {
             config,
             pending: RefCell::new(Chain::new()),
             unsent: RefCell::new(Chain::new()),
+            shed: Cell::new(None),
+            shed_resolved: Cell::new(false),
         }
     }
 
@@ -428,14 +456,100 @@ impl ServerConn {
         self.unsent.borrow().len()
     }
 
+    /// Resolves (once) the connection's class and its serving policy
+    /// from the machine's installed QoS policy.
+    fn shed_policy(&self, conn: &TcpConn) -> Option<ShedPolicy> {
+        if !self.shed_resolved.get() {
+            self.shed_resolved.set(true);
+            let resolved = try_local_netif()
+                .and_then(|n| n.qos_policy())
+                .map(|policy| {
+                    let cfg = policy.config();
+                    let i = conn.class().index(cfg.classes.len());
+                    let c = &cfg.classes[i];
+                    ShedPolicy {
+                        deadline_ns: c.deadline_ns,
+                        served_h: qos::register(&qos::names::served(&c.name)),
+                        shed_h: qos::register(&qos::names::shed(&c.name)),
+                        missed_h: qos::register(&qos::names::deadline_missed(&c.name)),
+                    }
+                });
+            self.shed.set(resolved);
+        }
+        self.shed.get()
+    }
+
     fn process(&self, conn: &TcpConn, data: Chain<IoBuf>) {
         // Batch every response of this event-loop pass into one chain:
         // a pipelined burst of requests pays the send path once.
         let mut responses: Chain<IoBuf> = Chain::new();
-        drain_requests(&self.pending, data, |h, body| {
-            self.handle_request(h, body, &mut responses)
-        });
+        let shed = self.shed_policy(conn);
+        match shed {
+            Some(sp) if sp.deadline_ns.is_some() => {
+                self.process_with_deadline(conn, data, sp, &mut responses)
+            }
+            _ => {
+                drain_requests(&self.pending, data, |h, body| {
+                    self.handle_request(h, body, &mut responses);
+                    if let Some(sp) = shed {
+                        qos::bump(sp.served_h);
+                    }
+                });
+            }
+        }
         self.send_batch(conn, responses);
+    }
+
+    /// The overload-aware serve path for a class with a service
+    /// deadline: every parsed request carries its enqueue tick (the
+    /// virtual instant it finished framing, including CPU charged so
+    /// far this pass), and service checks the deadline *before* doing
+    /// the work — a request that would already be stale when served is
+    /// answered [`STATUS_SERVER_BUSY`] instead, for the cost of a
+    /// header. When the core is falling behind (events queued behind
+    /// this one — [`ebbrt_core::event::EventManager::backlog_depth`]),
+    /// service goes LIFO: the freshest requests still meet their
+    /// deadline and the stale tail sheds, instead of FIFO dragging
+    /// every request just past its deadline and shedding *all* of
+    /// them. Clients correlate by opaque, so per-pass response order
+    /// is protocol-legal.
+    fn process_with_deadline(
+        &self,
+        _conn: &TcpConn,
+        data: Chain<IoBuf>,
+        sp: ShedPolicy,
+        responses: &mut Chain<IoBuf>,
+    ) {
+        let deadline = sp.deadline_ns.expect("checked by caller");
+        let base = runtime::with_current(|rt| rt.now_ns());
+        let mut reqs: Vec<(Header, Chain<IoBuf>, u64)> = Vec::new();
+        drain_requests(&self.pending, data, |h, body| {
+            reqs.push((*h, body, base + charged_so_far()));
+        });
+        let behind = runtime::with_current(|rt| rt.local_event_manager().backlog_depth()) > 0;
+        if behind {
+            reqs.reverse();
+        }
+        for (h, body, tick) in reqs {
+            let now = base + charged_so_far();
+            if now.saturating_sub(tick) > deadline {
+                qos::bump(sp.missed_h);
+                qos::bump(sp.shed_h);
+                let rh = Header {
+                    magic: MAGIC_RESPONSE,
+                    opcode: h.opcode,
+                    key_len: 0,
+                    extras_len: 0,
+                    status: STATUS_SERVER_BUSY,
+                    total_body: 0,
+                    opaque: h.opaque,
+                };
+                push_header(responses, &rh, 0);
+            } else {
+                self.handle_request(&h, body, responses);
+                qos::bump(sp.served_h);
+            }
+        }
     }
 
     /// Sends one event pass's batched responses: directly when the
@@ -1601,10 +1715,22 @@ impl ShardedServerConn {
     }
 
     fn process(&self, conn: &TcpConn, data: Chain<IoBuf>) {
+        // The sharded path routes rather than sheds (a range may answer
+        // asynchronously from another machine), but still feeds the
+        // class's served counter: every request drained here gets an
+        // answer — locally, by a shipped completion, or as an error —
+        // never silence. The counter lets a harness balance the books
+        // at quiesce against client-observed completions.
+        let sp = self.local.shed_policy(conn);
         let mut responses: Chain<IoBuf> = Chain::new();
+        let mut drained = 0u64;
         drain_requests(&self.local.pending, data, |h, body| {
+            drained += 1;
             self.route(conn, h, body, &mut responses)
         });
+        if let Some(sp) = sp {
+            qos::add(sp.served_h, drained);
+        }
         self.local.send_batch(conn, responses);
     }
 
@@ -2465,6 +2591,110 @@ mod tests {
             0,
             "the server must free the connection (and its pinned backlog)"
         );
+    }
+
+    #[test]
+    fn deadline_shedder_engages_before_the_backlog_rst_cap() {
+        // A deep pipelined burst against a class with a tight service
+        // deadline: the shedder must answer the stale tail with
+        // STATUS_SERVER_BUSY — requests, not connections, absorb the
+        // overload — while the stalled-reader RST cap (a different
+        // failure: replies the peer never reads) stays untouched. The
+        // two defenses are counted distinctly: shed requests in the
+        // class's `qos.<class>.shed` counter, torn-down connections in
+        // `Store::backlog_drops`.
+        use ebbrt_core::qos::{ClassConfig, QosConfig};
+        use ebbrt_net::netif::QosMatch;
+        let w = SimWorld::new();
+        let sw = Switch::new(&w);
+        let server = SimMachine::create(&w, "server", 1, CostProfile::ebbrt_vm(), [0xAA; 6]);
+        let client = SimMachine::create(&w, "client", 1, CostProfile::ebbrt_vm(), [0xBB; 6]);
+        sw.attach(server.nic(), LinkParams::default());
+        sw.attach(client.nic(), LinkParams::default());
+        let mask = Ipv4Addr::new(255, 255, 255, 0);
+        let s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), mask);
+        let _c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), mask);
+        // Tight deadline: a burst's worth of per-request CPU charge
+        // blows it after a handful of requests.
+        let policy = s_if.install_qos(
+            QosConfig::new(10_000_000_000)
+                .class(ClassConfig::new("tenant").ls_weight(1).deadline_ns(2_000)),
+        );
+        let tenant = policy.config().class_id("tenant").unwrap();
+        policy.add_rule(QosMatch::LocalPort(MEMCACHED_PORT), tenant);
+        w.run_to_idle();
+
+        let store = Store::new(std::sync::Arc::clone(server.runtime().rcu()));
+        let value = vec![0x22; 100];
+        store.insert_raw(b"k".to_vec(), IoBuf::copy_from(&value));
+        let store_ref = store.register(server.runtime());
+        server.spawn_on(CoreId(0), move || {
+            serve_with(
+                store_ref,
+                ServerConfig {
+                    max_unsent_bytes: 64 * 1024,
+                },
+            )
+        });
+        w.run_to_idle();
+
+        const REQS: u32 = 200;
+        let mut tx = Vec::new();
+        for i in 0..REQS {
+            tx.extend(encode_get(b"k", i));
+        }
+        let rx = Rc::new(RefCell::new(Vec::new()));
+        let handler = RawClient {
+            rx: Rc::clone(&rx),
+            tx_on_connect: RefCell::new(tx),
+        };
+        spawn_with(&client, CoreId(0), handler, move |handler| {
+            local_netif().connect(Ipv4Addr::new(10, 0, 0, 1), MEMCACHED_PORT, Rc::new(handler));
+        });
+        w.run_to_idle();
+
+        // Every request got an answer — served or shed, never silence.
+        let rx = rx.borrow();
+        let (mut ok, mut busy, mut off) = (0u32, 0u32, 0usize);
+        while off + Header::SIZE <= rx.len() {
+            let mut hdr = [0u8; Header::SIZE];
+            hdr.copy_from_slice(&rx[off..off + Header::SIZE]);
+            let h = Header::decode(&hdr);
+            match h.status {
+                STATUS_OK => ok += 1,
+                STATUS_SERVER_BUSY => busy += 1,
+                s => panic!("unexpected status {s:#06x}"),
+            }
+            off += Header::SIZE + h.total_body as usize;
+        }
+        assert_eq!(off, rx.len(), "response stream must frame exactly");
+        assert_eq!(ok + busy, REQS, "no request may go unanswered");
+        assert!(busy > 0, "deadline pressure must shed");
+        assert!(ok > 0, "fresh requests must still be served");
+
+        // Counted distinctly — and the connection-level cap never
+        // engaged: the peer reads its replies, so shedding requests is
+        // the right (and only) defense here.
+        let snap = ebbrt_core::qos::snapshot(server.runtime());
+        assert_eq!(
+            snap.get(&ebbrt_core::qos::names::shed("tenant")),
+            busy as u64
+        );
+        assert_eq!(
+            snap.get(&ebbrt_core::qos::names::served("tenant")),
+            ok as u64
+        );
+        assert_eq!(
+            snap.get(&ebbrt_core::qos::names::deadline_missed("tenant")),
+            busy as u64
+        );
+        use std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(
+            store.backlog_drops.load(Relaxed),
+            0,
+            "the RST cap is for stalled readers, not deadline pressure"
+        );
+        assert_eq!(s_if.conn_count(), 1, "the connection must survive shedding");
     }
 
     #[test]

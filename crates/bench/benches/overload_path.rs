@@ -1,0 +1,31 @@
+//! Overload-control gate: per-class fair scheduling must isolate a
+//! well-behaved tenant from an 8× hotter misbehaving one.
+//!
+//! Runs [`ebbrt_bench::overload`] twice — once with the HFSC-style
+//! fair scheduler, once with the same paced link in FIFO mode (the
+//! no-QoS control) — prints the comparison, and fails the process
+//! (and CI) unless the well-behaved tenant's p99 stays under the fixed
+//! virtual-time ceiling with zero request failures while the control
+//! run violates it. The figure of merit is virtual time from the
+//! deterministic cost model, so the gate cannot flake on a loaded
+//! runner. The steady phase also re-asserts that admitted traffic is
+//! zero-copy and pool-hot under overload.
+
+use ebbrt_bench::overload;
+use ebbrt_core::qos::QosMode;
+
+fn main() {
+    println!("Overload control: well-behaved vs 8x hot tenant, fair vs fifo");
+    println!("{}", overload::table_header());
+    let fair = overload::run(QosMode::Fair);
+    println!("{}", overload::format_report(&fair));
+    let fifo = overload::run(QosMode::Fifo);
+    println!("{}", overload::format_report(&fifo));
+    overload::assert_fair_isolates(&fair, &fifo);
+    println!(
+        "gate: fair p99 {} ns <= {} ns ceiling < fifo p99 {} ns, zero failures",
+        fair.gold_p99_ns,
+        overload::GOLD_P99_CEILING_NS,
+        fifo.gold_p99_ns,
+    );
+}

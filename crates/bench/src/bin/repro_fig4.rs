@@ -325,4 +325,43 @@ fn main() {
     )
     .expect("write csv");
     println!("wrote {}", path.display());
+
+    // Overload point: one server core shared by a well-behaved tenant
+    // and an 8× hotter one, with the per-class fair scheduler vs the
+    // same paced link in FIFO (the no-QoS control). The gate that fair
+    // scheduling holds the well-behaved p99 under its ceiling lives in
+    // the `overload_path` bench; this records the two rows.
+    println!();
+    println!("Overload control: well-behaved vs 8x hot tenant, fair vs fifo");
+    println!("{}", ebbrt_bench::overload::table_header());
+    let mut overload_rows = Vec::new();
+    for mode in [
+        ebbrt_core::qos::QosMode::Fair,
+        ebbrt_core::qos::QosMode::Fifo,
+    ] {
+        let r = ebbrt_bench::overload::run(mode);
+        println!("{}", ebbrt_bench::overload::format_report(&r));
+        overload_rows.push(format!(
+            "{},{},{:.2},{:.2},{},{},{},{}",
+            match r.mode {
+                ebbrt_core::qos::QosMode::Fair => "fair",
+                ebbrt_core::qos::QosMode::Fifo => "fifo",
+            },
+            r.gold_responses,
+            r.gold_mean_ns / 1000.0,
+            r.gold_p99_ns as f64 / 1000.0,
+            r.gold_failures,
+            r.hot_responses,
+            r.steady_bytes_copied,
+            r.steady_bufs_allocated,
+        ));
+    }
+    let path = ebbrt_bench::write_csv(
+        "fig4_overload.csv",
+        "mode,gold_requests,gold_mean_us,gold_p99_us,gold_failures,hot_requests,\
+         steady_bytes_copied,steady_bufs_allocated",
+        &overload_rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
 }

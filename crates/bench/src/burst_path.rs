@@ -188,12 +188,11 @@ pub fn run(burst_frames: usize) -> BurstReport {
 
     let virtual_ns = handler.end_virtual.get() - handler.start_virtual.get();
     let max_burst_seen = s_if
-        .stats
-        .frames_per_burst
+        .frames_per_burst()
         .iter()
         .enumerate()
         .rev()
-        .find(|(_, c)| c.get() > 0)
+        .find(|(_, c)| **c > 0)
         .map_or(0, |(i, _)| BURST_BUCKET_LO[i]);
     BurstReport {
         burst_frames,
@@ -201,11 +200,10 @@ pub fn run(burst_frames: usize) -> BurstReport {
         virtual_ns,
         pps: STEADY_GETS as f64 / (virtual_ns as f64 / 1e9),
         wall_ns: handler.wall_ns.get(),
-        rx_bursts: s_if.stats.rx_bursts.get(),
+        rx_bursts: s_if.rx_bursts(),
         rx_frames: s_if.stats.rx_frames.get(),
         max_burst_seen,
-        coalesced_callbacks: s_if.stats.coalesced_callbacks.get()
-            + c_if.stats.coalesced_callbacks.get(),
+        coalesced_callbacks: s_if.coalesced_callbacks() + c_if.coalesced_callbacks(),
     }
 }
 

@@ -163,6 +163,14 @@ pub struct ChaosReport {
     pub local_copied: u64,
     /// Fresh buffer allocations there during the same window.
     pub local_allocated: u64,
+    /// Requests the cluster's serving classes counted as served, from
+    /// the per-core counter registry, read at quiesce.
+    pub qos_served: u64,
+    /// Requests answered busy by the deadline shedder (none are
+    /// expected in a chaos run — overload is a different failure than
+    /// a dead machine — but the ledger includes them so the balance
+    /// below is the general one).
+    pub qos_shed: u64,
 }
 
 /// Phase tags.
@@ -620,6 +628,28 @@ pub fn run(cfg: &ChaosConfig) -> ChaosReport {
     );
     client.finish_local_phase();
 
+    // Quiesce-time accounting: every request the client fired was
+    // drained by exactly one serving connection and answered — served
+    // or shed, never silently dropped. The counter registry's
+    // cross-core snapshot, summed over the cluster, must balance the
+    // client's own request count to the unit.
+    let (mut qos_served, mut qos_shed) = (0u64, 0u64);
+    for m in &cluster.borrow().shards {
+        let snap = ebbrt_core::qos::snapshot(m.runtime());
+        for (name, total) in snap.iter() {
+            if name.starts_with("qos.") && name.ends_with(".served") {
+                qos_served += total;
+            } else if name.starts_with("qos.") && name.ends_with(".shed") {
+                qos_shed += total;
+            }
+        }
+    }
+    assert_eq!(
+        qos_served + qos_shed,
+        u64::from(client.requests.get()),
+        "the served/shed ledger must balance the client's requests at quiesce"
+    );
+
     let lat = client.lat_ns.borrow();
     let delta = (*client.local_delta.borrow()).expect("local phase measured");
     let c = cluster.borrow();
@@ -646,6 +676,8 @@ pub fn run(cfg: &ChaosConfig) -> ChaosReport {
         remote_get_mean_us: mean_us(&lat[TAG_REMOTE as usize]),
         local_copied: delta.bytes_copied,
         local_allocated: delta.bufs_allocated,
+        qos_served,
+        qos_shed,
     }
 }
 
@@ -788,7 +820,8 @@ pub fn format_report(r: &ChaosReport) -> String {
         "chaos x{} shards R={}: {} reqs, {} kills, {} resyncs, {} adds{}, \
          {} failed, {} mismatches, {} promotions, {} retries, \
          {} presumed-dead fanouts, traffic {:.1} us, local GET {:.1} us / \
-         remote GET {:.1} us, local phase {} copied / {} allocated",
+         remote GET {:.1} us, local phase {} copied / {} allocated, \
+         ledger {} served + {} shed",
         r.shards,
         r.replicas,
         r.requests,
@@ -806,6 +839,8 @@ pub fn format_report(r: &ChaosReport) -> String {
         r.remote_get_mean_us,
         r.local_copied,
         r.local_allocated,
+        r.qos_served,
+        r.qos_shed,
     )
 }
 

@@ -31,6 +31,7 @@ use ebbrt_apps::spawn_with;
 use ebbrt_core::cpu::CoreId;
 use ebbrt_core::ebb::{EbbId, EbbRef, HashRing};
 use ebbrt_core::iobuf::{stats, Chain, IoBuf};
+use ebbrt_core::qos::{ClassConfig, QosConfig};
 use ebbrt_core::runtime::Runtime;
 use ebbrt_hosted::global_map::{self, GlobalIdMap, GlobalIdMapServer};
 use ebbrt_hosted::messenger::Messenger;
@@ -118,7 +119,23 @@ fn build_base(nshards: usize, shard_cores: usize) -> ClusterBase {
             mac,
         );
         shard_ports.push(sw.attach(m.nic(), LinkParams::default()));
-        shard_ifs.push(NetIf::attach(&m, shard_ip(i), mask));
+        let ifc = NetIf::attach(&m, shard_ip(i), mask);
+        // Every serving machine runs the per-class tx scheduler: data
+        // traffic rides the default class; the "control" class (a
+        // guaranteed slice + the dominant share) protects the
+        // messenger — naming lookups, function-shipped calls,
+        // replication fan-out — from data-plane queueing. The
+        // messenger adds its own port rules at start, finding this
+        // policy installed. The class counters also give chaos
+        // harnesses the served/shed ledger they balance at quiesce.
+        ifc.install_qos(
+            QosConfig::new(10_000_000_000).class(
+                ClassConfig::new("control")
+                    .rt_bps(1_000_000_000)
+                    .ls_weight(4),
+            ),
+        );
+        shard_ifs.push(ifc);
         shards.push(m);
     }
     let client = SimMachine::create(&w, "client", 1, CostProfile::ebbrt_vm(), [0x30; 6]);

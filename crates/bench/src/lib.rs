@@ -9,6 +9,7 @@
 pub mod burst_path;
 pub mod chaos;
 pub mod dist_memcached;
+pub mod overload;
 pub mod rss_sweep;
 
 /// Writes a CSV under `target/repro/`, creating the directory.

@@ -87,6 +87,15 @@ pub enum SystemEbb {
     /// as one batched reply. Also a messenger wire id. Installed by the
     /// hosted layer's `remote` module alongside [`SystemEbb::Remote`].
     RemoteBatch = 8,
+    /// The named per-core counter registry
+    /// (`qos::CounterRegistryEbb`). Lazily registered: its root is
+    /// `Default`, so the first `qos::register`/`qos::add` on a machine
+    /// faults everything in.
+    Counters = 9,
+    /// The per-core transmit scheduler reps of the QoS subsystem
+    /// (per-class fair scheduling on the tx path). Installed by
+    /// `NetIf::install_qos` — machine-local, never a wire id.
+    Qos = 10,
 }
 
 impl SystemEbb {
@@ -234,6 +243,25 @@ impl EbbManager {
         let roots = self.roots.lock();
         let entry = roots.get(&id.0)?;
         Arc::downcast::<T::Root>(Arc::clone(&entry.root)).ok()
+    }
+
+    /// Returns the root for `id`, registering a `Default` one first if
+    /// absent — the root half of the [`Self::with_rep_lazy`] path,
+    /// exposed so setup code holding only a runtime handle (no entered
+    /// core) can reach a lazily registered instance's shared state
+    /// (e.g. counter-name registration before any rep exists).
+    pub fn root_or_default<T: MulticoreEbb>(&self, id: EbbId) -> Arc<T::Root>
+    where
+        T::Root: Default,
+    {
+        let mut roots = self.roots.lock();
+        let entry = roots.entry(id.0).or_insert_with(|| RootEntry {
+            root: Arc::new(T::Root::default()),
+            type_id: TypeId::of::<T>(),
+            type_name: std::any::type_name::<T>(),
+        });
+        Arc::downcast::<T::Root>(Arc::clone(&entry.root))
+            .unwrap_or_else(|_| panic!("root type mismatch for {id:?}"))
     }
 
     /// Loads the rep pointer for (core, id), or null. Dense ids take
@@ -1297,6 +1325,8 @@ mod tests {
             SystemEbb::Messenger,
             SystemEbb::Remote,
             SystemEbb::RemoteBatch,
+            SystemEbb::Counters,
+            SystemEbb::Qos,
         ] {
             assert!(w.id().0 < FIRST_DYNAMIC_ID, "{w:?} must be well-known");
         }
@@ -1311,6 +1341,8 @@ mod tests {
         assert!(SystemEbb::is_wire_id(SystemEbb::GlobalMap.id()));
         assert!(SystemEbb::is_wire_id(SystemEbb::RemoteBatch.id()));
         assert!(!SystemEbb::is_wire_id(SystemEbb::EventManager.id()));
+        assert!(!SystemEbb::is_wire_id(SystemEbb::Counters.id()));
+        assert!(!SystemEbb::is_wire_id(SystemEbb::Qos.id()));
         assert!(!SystemEbb::is_wire_id(EbbId(FIRST_DYNAMIC_ID)));
     }
 

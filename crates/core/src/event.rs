@@ -454,6 +454,16 @@ impl EventManager {
         self.owned.with(|o| o.idle_once.push(Box::new(f)));
     }
 
+    /// Depth of this core's event backlog: synthetic events queued
+    /// locally and from other cores, plus pending interrupt
+    /// deliveries — not counting the event currently executing. The
+    /// overload-control signal: a core whose backlog stays non-zero
+    /// across passes is falling behind its arrival rate; deadline
+    /// shedders consult this when choosing LIFO service order.
+    pub fn backlog_depth(&self) -> usize {
+        self.owned.with(|o| o.local.len()) + self.shared.remote.len() + self.shared.interrupts.len()
+    }
+
     /// Whether any idle handlers are installed (a polling core must spin
     /// rather than halt) or one-shot idle callbacks are still queued.
     pub fn has_idle_handlers(&self) -> bool {
@@ -945,6 +955,19 @@ mod tests {
         em.drain();
         assert_eq!(*log.borrow(), vec![0, 1, 2]);
         assert_eq!(em.drain(), 0);
+    }
+
+    #[test]
+    fn backlog_depth_tracks_queued_events_across_sources() {
+        let (em, _) = em();
+        let _b = cpu::bind(CoreId(0));
+        assert_eq!(em.backlog_depth(), 0);
+        em.spawn_local(|| ());
+        em.spawn_local(|| ());
+        em.spawn_remote(|| ());
+        assert_eq!(em.backlog_depth(), 3);
+        em.drain();
+        assert_eq!(em.backlog_depth(), 0);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`rcu`] — read-copy-update keyed to event-loop quiescence, plus the
 //!   RCU hash map ([`rcu_hash`]) used for connection and key-value
 //!   state (§3.6).
+//! * [`qos`] — overload control: the named per-core counter registry
+//!   and the HFSC-style per-class fair scheduler the network stack
+//!   paces its transmit path with.
 //! * [`timer`] — the hashed hierarchical timer wheel behind
 //!   [`event::EventManager`]'s timers: O(1) arm/cancel/re-arm,
 //!   allocation-free in steady state, with immediate reclamation of
@@ -41,6 +44,7 @@ pub mod event;
 pub mod future;
 pub mod iobuf;
 pub mod native;
+pub mod qos;
 pub mod rcu;
 pub mod rcu_hash;
 pub mod runtime;

@@ -29,7 +29,7 @@ use ebbrt_core::ebb::{EbbId, EbbRef, MulticoreEbb, RemoteError, SystemEbb, FIRST
 use ebbrt_core::event::TimerToken;
 use ebbrt_core::iobuf::{Buf, Chain, IoBuf, MutIoBuf};
 use ebbrt_core::runtime;
-use ebbrt_net::netif::{ConnHandler, NetIf, TcpConn};
+use ebbrt_net::netif::{ConnHandler, NetIf, QosMatch, TcpConn};
 use ebbrt_net::types::Ipv4Addr;
 
 /// The well-known messenger port.
@@ -252,6 +252,16 @@ impl Messenger {
                     m.serve_batch(src, rpc_id, payload);
                 }
             });
+        }
+        // Under an installed QoS policy with a "control" class, the
+        // messenger's inter-machine frames ride that class — RPCs and
+        // replica traffic must not starve behind a tenant's data
+        // backlog on the classed transmit scheduler.
+        if let Some(policy) = netif.qos_policy() {
+            if let Some(control) = policy.config().class_id("control") {
+                policy.add_rule(QosMatch::LocalPort(MESSENGER_PORT), control);
+                policy.add_rule(QosMatch::RemotePort(MESSENGER_PORT), control);
+            }
         }
         let me = Rc::clone(&m);
         netif.listen(MESSENGER_PORT, move |conn| {

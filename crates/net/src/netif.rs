@@ -25,8 +25,9 @@ use ebbrt_core::clock::Ns;
 use ebbrt_core::cpu::{self, CoreId};
 use ebbrt_core::ebb::{EbbRef, MulticoreEbb, SystemEbb};
 use ebbrt_core::iobuf::{Chain, IoBuf, MutIoBuf};
+use ebbrt_core::qos::{self, ClassId, CounterHandle, FairScheduler, QosConfig, MAX_CLASSES};
 use ebbrt_core::rcu_hash::RcuHashMap;
-use ebbrt_core::runtime;
+use ebbrt_core::runtime::{self, Runtime};
 use ebbrt_sim::nic::Frame;
 use ebbrt_sim::world::charge;
 use ebbrt_sim::SimMachine;
@@ -148,6 +149,15 @@ impl TcpConn {
         self.id
     }
 
+    /// The connection's traffic class (assigned at accept/connect;
+    /// [`ebbrt_core::qos::ClassId::DEFAULT`] when no policy is
+    /// installed or the connection is gone). Applications read this to
+    /// pick per-class serve policy — e.g. the memcached shedder's
+    /// per-class deadlines.
+    pub fn class(&self) -> ClassId {
+        ClassId(self.with_netif(|n| n.with_pcb(self.id, |p| p.class).unwrap_or(0)))
+    }
+
     fn with_netif<R>(&self, f: impl FnOnce(&Rc<NetIf>) -> R) -> R {
         let n = self.netif.upgrade().expect("NetIf dropped");
         f(&n)
@@ -183,16 +193,21 @@ struct ArpRetry {
 type AcceptFn = Rc<dyn Fn(&TcpConn) -> Rc<dyn ConnHandler>>;
 type UdpHandlerFn = Rc<dyn Fn(Ipv4Addr, u16, Chain<IoBuf>)>;
 
-/// Number of [`NetStats::frames_per_burst`] histogram buckets:
+/// Number of frames-per-burst histogram buckets:
 /// 1, 2–3, 4–7, 8–15, 16–31, 32–63, 64+.
 pub const BURST_BUCKETS: usize = 7;
 
-/// Lower bound (inclusive) of each [`NetStats::frames_per_burst`]
-/// bucket, for printing.
+/// Lower bound (inclusive) of each frames-per-burst bucket, for
+/// printing.
 pub const BURST_BUCKET_LO: [usize; BURST_BUCKETS] = [1, 2, 4, 8, 16, 32, 64];
 
-/// Interface statistics (single-threaded cells).
-#[derive(Default)]
+/// Interface statistics (single-threaded cells). The burst-shape
+/// counters — once plain cells here — live on the machine's
+/// [`qos::CounterRegistryEbb`] now (per-core cells, summed at
+/// quiescence), so the stack and the applications count through one
+/// mechanism; read them back through [`NetIf::rx_bursts`],
+/// [`NetIf::frames_per_burst`] and [`NetIf::coalesced_callbacks`] or
+/// any [`qos::snapshot`].
 pub struct NetStats {
     /// Frames received / transmitted.
     pub rx_frames: Cell<u64>,
@@ -214,29 +229,44 @@ pub struct NetStats {
     /// its queued waiters and tore down any connection still in
     /// `SynSent` behind it).
     pub arp_failures: Cell<u64>,
-    /// Receive bursts handed up by the driver (one [`NetIf::rx_burst`]
-    /// call each; the per-packet shim counts as a burst of one).
-    pub rx_bursts: Cell<u64>,
-    /// Histogram of burst sizes, power-of-two buckets
-    /// ([`BURST_BUCKET_LO`]): how much vector amortization the traffic
-    /// actually offers.
-    pub frames_per_burst: [Cell<u64>; BURST_BUCKETS],
-    /// `on_receive` deliveries that coalesced the payload of two or
-    /// more TCP segments of one pass into a single zero-copy chain.
-    pub coalesced_callbacks: Cell<u64>,
+    /// Receive bursts handed up by the driver ("net.rx_bursts").
+    rx_bursts_h: CounterHandle,
+    /// Burst-size histogram, power-of-two buckets
+    /// (`net.frames_per_burst.{lo}`, [`BURST_BUCKET_LO`]).
+    frames_per_burst_h: [CounterHandle; BURST_BUCKETS],
+    /// Coalesced `on_receive` deliveries ("net.coalesced_callbacks").
+    coalesced_h: CounterHandle,
 }
 
 impl NetStats {
-    /// Records one receive burst of `n` frames.
+    fn new(rt: &Runtime) -> NetStats {
+        NetStats {
+            rx_frames: Cell::new(0),
+            tx_frames: Cell::new(0),
+            rx_tcp: Cell::new(0),
+            tx_tcp: Cell::new(0),
+            conns_established: Cell::new(0),
+            conns_closed: Cell::new(0),
+            retransmits: Cell::new(0),
+            rx_drops: Cell::new(0),
+            arp_failures: Cell::new(0),
+            rx_bursts_h: qos::register_in(rt, "net.rx_bursts"),
+            frames_per_burst_h: std::array::from_fn(|i| {
+                qos::register_in(rt, &format!("net.frames_per_burst.{}", BURST_BUCKET_LO[i]))
+            }),
+            coalesced_h: qos::register_in(rt, "net.coalesced_callbacks"),
+        }
+    }
+
+    /// Records one receive burst of `n` frames (on the calling core's
+    /// registry rep — `rx_burst` runs on the RSS core).
     fn note_burst(&self, n: usize) {
-        self.rx_bursts.set(self.rx_bursts.get() + 1);
-        let bucket = if n == 0 {
+        qos::bump(self.rx_bursts_h);
+        if n == 0 {
             return;
-        } else {
-            (usize::BITS - 1 - n.leading_zeros()).min(BURST_BUCKETS as u32 - 1) as usize
-        };
-        let c = &self.frames_per_burst[bucket];
-        c.set(c.get() + 1);
+        }
+        let bucket = (usize::BITS - 1 - n.leading_zeros()).min(BURST_BUCKETS as u32 - 1) as usize;
+        qos::bump(self.frames_per_burst_h[bucket]);
     }
 }
 
@@ -266,6 +296,12 @@ pub struct NetIf {
     mss: usize,
     /// Statistics.
     pub stats: NetStats,
+    /// The installed QoS policy (classification + admission), if any.
+    qos: RefCell<Option<Rc<QosPolicy>>>,
+    /// Fast-path flag: frames route through the per-core scheduler
+    /// only once a policy is installed (one `Cell` load per transmit
+    /// otherwise).
+    qos_on: Cell<bool>,
 }
 
 /// The per-core representative of the machine's **network manager
@@ -325,6 +361,259 @@ pub fn local_netif() -> Rc<NetIf> {
     netif_ref().with(|rep| rep.netif())
 }
 
+/// As [`local_netif`], returning `None` when the calling thread has
+/// not entered a runtime or the current machine has no attached
+/// stack — the form for code that degrades gracefully without a
+/// network (direct-drive tests, harness threads).
+pub fn try_local_netif() -> Option<Rc<NetIf>> {
+    if !runtime::is_entered() {
+        return None;
+    }
+    runtime::with_current_on(|rt, core| {
+        if rt.ebbs().has_rep(SystemEbb::NetStats.id(), core) {
+            rt.ebbs()
+                .with_rep_on::<NetIfEbb, _>(core, SystemEbb::NetStats.id(), |rep| {
+                    rep.netif.upgrade()
+                })
+        } else {
+            None
+        }
+    })
+}
+
+// --- Overload control: classification, admission, tx scheduling ----------
+
+/// One classifier predicate: which connections a [`QosRule`] captures.
+#[derive(Clone, Copy, Debug)]
+pub enum QosMatch {
+    /// Inbound connections accepted on this listening port.
+    LocalPort(u16),
+    /// Outbound connections to this remote port.
+    RemotePort(u16),
+    /// Either direction, by peer address (the tenant-by-IP rule the
+    /// overload bench uses to tell its clients apart).
+    Peer(Ipv4Addr),
+}
+
+impl QosMatch {
+    fn matches_accept(&self, local_port: u16, peer: Ipv4Addr) -> bool {
+        match *self {
+            QosMatch::LocalPort(p) => p == local_port,
+            QosMatch::RemotePort(_) => false,
+            QosMatch::Peer(ip) => ip == peer,
+        }
+    }
+
+    fn matches_connect(&self, remote_port: u16, peer: Ipv4Addr) -> bool {
+        match *self {
+            QosMatch::LocalPort(_) => false,
+            QosMatch::RemotePort(p) => p == remote_port,
+            QosMatch::Peer(ip) => ip == peer,
+        }
+    }
+}
+
+/// A classifier rule: connections matching `m` belong to `class`.
+#[derive(Clone, Copy, Debug)]
+pub struct QosRule {
+    /// The predicate.
+    pub m: QosMatch,
+    /// The class matched connections are assigned.
+    pub class: ClassId,
+}
+
+/// The machine's installed QoS policy: the [`QosConfig`], the
+/// classifier rules, the per-class admission budgets, and the
+/// admission counters. Shared by every core of the machine (all cores
+/// of a simulated machine run on the one world thread, so plain cells
+/// suffice — the same contract as the rest of [`NetIf`]).
+pub struct QosPolicy {
+    config: QosConfig,
+    rules: RefCell<Vec<QosRule>>,
+    /// Currently admitted (live) connections per class.
+    live: [Cell<usize>; MAX_CLASSES],
+    admitted_h: Vec<CounterHandle>,
+    rejected_h: Vec<CounterHandle>,
+}
+
+impl QosPolicy {
+    fn new(config: QosConfig, rt: &Runtime) -> QosPolicy {
+        let admitted_h = config
+            .classes
+            .iter()
+            .map(|c| qos::register_in(rt, &qos::names::admitted(&c.name)))
+            .collect();
+        let rejected_h = config
+            .classes
+            .iter()
+            .map(|c| qos::register_in(rt, &qos::names::rejected(&c.name)))
+            .collect();
+        QosPolicy {
+            config,
+            rules: RefCell::new(Vec::new()),
+            live: Default::default(),
+            admitted_h,
+            rejected_h,
+        }
+    }
+
+    /// The installed configuration.
+    pub fn config(&self) -> &QosConfig {
+        &self.config
+    }
+
+    /// Adds a classifier rule. First match wins, except that a
+    /// [`QosMatch::Peer`] rule always beats a port rule (most
+    /// specific first).
+    pub fn add_rule(&self, m: QosMatch, class: ClassId) {
+        assert!(
+            (class.0 as usize) < self.config.classes.len(),
+            "rule names unconfigured class {class:?}"
+        );
+        self.rules.borrow_mut().push(QosRule { m, class });
+    }
+
+    /// Classifies an inbound connection at accept time.
+    pub fn classify_accept(&self, local_port: u16, peer: Ipv4Addr) -> ClassId {
+        let rules = self.rules.borrow();
+        rules
+            .iter()
+            .find(|r| matches!(r.m, QosMatch::Peer(_)) && r.m.matches_accept(local_port, peer))
+            .or_else(|| rules.iter().find(|r| r.m.matches_accept(local_port, peer)))
+            .map(|r| r.class)
+            .unwrap_or(ClassId::DEFAULT)
+    }
+
+    /// Classifies an outbound connection at connect time.
+    pub fn classify_connect(&self, remote_port: u16, peer: Ipv4Addr) -> ClassId {
+        let rules = self.rules.borrow();
+        rules
+            .iter()
+            .find(|r| matches!(r.m, QosMatch::Peer(_)) && r.m.matches_connect(remote_port, peer))
+            .or_else(|| {
+                rules
+                    .iter()
+                    .find(|r| r.m.matches_connect(remote_port, peer))
+            })
+            .map(|r| r.class)
+            .unwrap_or(ClassId::DEFAULT)
+    }
+
+    /// Takes one unit of `class`'s admission budget. `false` — with
+    /// the rejection counted — means the class is saturated and the
+    /// SYN must be answered with an RST (reject-fast: the peer learns
+    /// *now*, instead of timing out against a silently dropped SYN).
+    pub fn try_admit(&self, class: ClassId) -> bool {
+        let i = class.index(self.config.classes.len());
+        let live = &self.live[i];
+        if let Some(budget) = self.config.classes[i].conn_budget {
+            if live.get() >= budget {
+                qos::bump(self.rejected_h[i]);
+                return false;
+            }
+        }
+        live.set(live.get() + 1);
+        qos::bump(self.admitted_h[i]);
+        true
+    }
+
+    /// Returns an admitted connection's budget unit (at cleanup).
+    pub fn release(&self, class: ClassId) {
+        let i = class.index(self.config.classes.len());
+        let live = &self.live[i];
+        debug_assert!(live.get() > 0, "release without admit for {class:?}");
+        live.set(live.get().saturating_sub(1));
+    }
+
+    /// Currently admitted connections of `class`.
+    pub fn live(&self, class: ClassId) -> usize {
+        self.live[class.index(self.config.classes.len())].get()
+    }
+}
+
+/// The per-core representative of the machine's **transmit scheduler
+/// Ebb** ([`SystemEbb::Qos`]): each core owns a [`FairScheduler`] over
+/// its share of the paced link, so classed frames queue and dequeue
+/// without any cross-core coordination — the per-core-rep pattern
+/// applied to packet scheduling. Installed by [`NetIf::install_qos`];
+/// absent (and costing nothing) until then.
+pub struct QosEbb {
+    netif: Weak<NetIf>,
+    sched: RefCell<FairScheduler<Chain<IoBuf>>>,
+    /// The core's persistent pacing timer: armed when the wire is busy
+    /// with frames still queued, re-armed O(1) thereafter.
+    timer: Cell<Option<ebbrt_core::event::TimerToken>>,
+}
+
+impl MulticoreEbb for QosEbb {
+    type Root = ();
+
+    fn create_rep(_: &Arc<()>, core: CoreId) -> Self {
+        unreachable!("QosEbb reps are installed by NetIf::install_qos, not faulted ({core})")
+    }
+}
+
+/// The well-known [`EbbRef`] of the current machine's tx scheduler.
+fn qos_ref() -> EbbRef<QosEbb> {
+    EbbRef::well_known(SystemEbb::Qos)
+}
+
+impl QosEbb {
+    /// Queues a classed frame and drains whatever the discipline and
+    /// the paced wire allow right now.
+    fn enqueue(&self, class: ClassId, frame: Chain<IoBuf>) {
+        let Some(netif) = self.netif.upgrade() else {
+            return;
+        };
+        let now = netif.machine.runtime().now_ns();
+        self.sched.borrow_mut().push(class, frame.len(), frame, now);
+        self.drain(&netif);
+    }
+
+    /// Dequeues every frame the scheduler grants while the wire is
+    /// free; if a backlog remains (wire busy), arms the pacing timer
+    /// for the instant the wire frees up.
+    fn drain(&self, netif: &Rc<NetIf>) {
+        loop {
+            let now = netif.machine.runtime().now_ns();
+            let granted = self.sched.borrow_mut().pop(now);
+            match granted {
+                Some((_class, frame)) => netif.transmit_now(frame),
+                None => break,
+            }
+        }
+        let now = netif.machine.runtime().now_ns();
+        let Some(ready_at) = self.sched.borrow().next_ready(now) else {
+            return;
+        };
+        let delay = ready_at.saturating_sub(now).max(1);
+        let timer = self.timer.get();
+        runtime::with_current(|rt| {
+            let tok = rt
+                .local_event_manager()
+                .arm_persistent_timer(timer, delay, move || {
+                    // Re-resolve through the translation table: the
+                    // closure is boxed once per core, not per frame.
+                    qos_ref().with(|rep| {
+                        if let Some(n) = rep.netif.upgrade() {
+                            rep.drain(&n);
+                        }
+                    });
+                });
+            debug_assert!(
+                timer.is_none() || timer == Some(tok),
+                "persistent pacing timer token went stale (off-core use?)"
+            );
+            self.timer.set(Some(tok));
+        });
+    }
+
+    /// Frames queued on this core (diagnostic).
+    pub fn backlog(&self) -> usize {
+        self.sched.borrow().len()
+    }
+}
+
 impl NetIf {
     /// Creates the stack for `machine` with a static IP configuration,
     /// attaches the virtio driver on every core, and registers the
@@ -333,6 +622,9 @@ impl NetIf {
     /// [`local_netif`].
     pub fn attach(machine: &Rc<SimMachine>, ip: Ipv4Addr, mask: Ipv4Addr) -> Rc<NetIf> {
         let mss = machine.nic().mtu() - wire::IPV4_HLEN - wire::TCP_HLEN;
+        // Freeze the device MTU: the MSS above (and the buffer pool's
+        // size classes) are derived from it once, here.
+        machine.nic().mark_stack_attached();
         let netif = Rc::new(NetIf {
             machine: Rc::clone(machine),
             mss,
@@ -349,7 +641,9 @@ impl NetIf {
             ip_id: Cell::new(1),
             iss: Cell::new(0x1000),
             last_tx: Cell::new(u64::MAX / 2),
-            stats: NetStats::default(),
+            stats: NetStats::new(machine.runtime()),
+            qos: RefCell::new(None),
+            qos_on: Cell::new(false),
         });
         // Home the stack in the machine's translation table: one rep
         // per core under the well-known network-manager id. Reps are
@@ -390,6 +684,54 @@ impl NetIf {
         self.mss
     }
 
+    /// Installs the machine's overload-control policy: a per-core
+    /// [`FairScheduler`] rep on every core (under the well-known
+    /// [`SystemEbb::Qos`] id) pacing the transmit path, plus the
+    /// classifier/admission state. Classify connections with
+    /// [`QosPolicy::add_rule`] on the returned policy. One-shot: the
+    /// policy is the machine's for the interface's lifetime.
+    pub fn install_qos(self: &Rc<Self>, config: QosConfig) -> Rc<QosPolicy> {
+        assert!(
+            self.qos.borrow().is_none(),
+            "QoS policy already installed on this interface"
+        );
+        let rt = self.machine.runtime();
+        let policy = Rc::new(QosPolicy::new(config, rt));
+        let netif = Rc::downgrade(self);
+        let cfg = policy.config.clone();
+        runtime::install_on_all_cores(rt, SystemEbb::Qos.id(), move |_core| QosEbb {
+            netif: netif.clone(),
+            sched: RefCell::new(FairScheduler::new(&cfg)),
+            timer: Cell::new(None),
+        });
+        *self.qos.borrow_mut() = Some(Rc::clone(&policy));
+        self.qos_on.set(true);
+        policy
+    }
+
+    /// The installed QoS policy, if any.
+    pub fn qos_policy(&self) -> Option<Rc<QosPolicy>> {
+        self.qos.borrow().clone()
+    }
+
+    /// Receive bursts handed up by the driver, summed across cores
+    /// (from the machine's counter registry; quiescent-read contract).
+    pub fn rx_bursts(&self) -> u64 {
+        qos::read_total(self.machine.runtime(), self.stats.rx_bursts_h)
+    }
+
+    /// The burst-size histogram ([`BURST_BUCKET_LO`] buckets), summed
+    /// across cores.
+    pub fn frames_per_burst(&self) -> [u64; BURST_BUCKETS] {
+        let rt = self.machine.runtime();
+        std::array::from_fn(|i| qos::read_total(rt, self.stats.frames_per_burst_h[i]))
+    }
+
+    /// Coalesced `on_receive` deliveries, summed across cores.
+    pub fn coalesced_callbacks(&self) -> u64 {
+        qos::read_total(self.machine.runtime(), self.stats.coalesced_h)
+    }
+
     // --- TCP application API ---------------------------------------------
 
     /// Starts listening on `port`; `accept` is invoked (on the new
@@ -420,6 +762,12 @@ impl NetIf {
         self.iss.set(iss.wrapping_add(0x3_1337));
         let mut pcb = Pcb::new(tuple, TcpState::SynSent, iss, core);
         pcb.rcv_wnd = crate::tcp::DEFAULT_RCV_WND;
+        // Outbound connections are classed (their tx is scheduled) but
+        // never admission-controlled: budgets protect the server from
+        // peers, not from its own opens.
+        if let Some(policy) = self.qos.borrow().as_ref() {
+            pcb.class = policy.classify_connect(port, remote).0;
+        }
         let id = self.insert_conn(pcb, handler);
         // Resolve the next hop, then SYN (the Figure 2 path: on a cache
         // hit this continues synchronously). A failed resolution tears
@@ -642,7 +990,9 @@ impl NetIf {
                     ethertype: wire::ETHERTYPE_ARP,
                 },
             );
-            self.transmit(Chain::single(buf.freeze()));
+            // Link-layer control bypasses the tx scheduler: a next-hop
+            // resolution must never queue behind a data backlog.
+            self.transmit_now(Chain::single(buf.freeze()));
         }
     }
 
@@ -755,10 +1105,27 @@ impl NetIf {
         let accept = self.listeners.borrow().get(&tuple.local.1).cloned();
         match (is_syn, accept) {
             (true, Some(accept)) => {
+                // Admission control: classify the SYN and take a unit
+                // of the class's connection budget *before* any state
+                // is built. A saturated class is rejected fast — one
+                // RST, no PCB, no handler — so overload costs the
+                // server a classifier lookup, not a connection.
+                let mut class = ClassId::DEFAULT;
+                let mut admitted = false;
+                if let Some(policy) = self.qos.borrow().clone() {
+                    class = policy.classify_accept(tuple.local.1, tuple.remote.0);
+                    if !policy.try_admit(class) {
+                        self.send_rst(eth, ip, hdr);
+                        return;
+                    }
+                    admitted = true;
+                }
                 let core = cpu::current(); // the RSS core: the conn's home
                 let iss = self.iss.get();
                 self.iss.set(iss.wrapping_add(0x3_1337));
                 let mut pcb = Pcb::new(tuple, TcpState::SynReceived, iss, core);
+                pcb.class = class.0;
+                pcb.admitted = admitted;
                 pcb.remote_mac = eth.src;
                 pcb.rcv_nxt = hdr.seq.wrapping_add(1);
                 pcb.snd_wnd = hdr.window as u32;
@@ -885,9 +1252,7 @@ impl NetIf {
         }
         if !delivery.is_empty() {
             if chunks > 1 {
-                self.stats
-                    .coalesced_callbacks
-                    .set(self.stats.coalesced_callbacks.get() + 1);
+                qos::bump(self.stats.coalesced_h);
             }
             handler.on_receive(&conn, delivery);
         }
@@ -1154,7 +1519,7 @@ impl NetIf {
             }
         }
         self.stats.tx_tcp.set(self.stats.tx_tcp.get() + 1);
-        self.transmit(frame);
+        self.transmit(frame, ClassId(p.class));
     }
 
     /// Sends a bare ACK if one is owed (called at the end of segment
@@ -1361,7 +1726,7 @@ impl NetIf {
         );
         let mut frame = Chain::single(hdr.freeze());
         frame.append_chain(payload);
-        self.transmit(frame);
+        self.transmit(frame, ClassId::DEFAULT);
     }
 
     /// Transmits an ARP request and schedules bounded retries (the
@@ -1438,13 +1803,27 @@ impl NetIf {
                 ethertype: wire::ETHERTYPE_ARP,
             },
         );
-        self.transmit(Chain::single(buf.freeze()));
+        // Control plane: bypasses the tx scheduler (see rx_arp).
+        self.transmit_now(Chain::single(buf.freeze()));
+    }
+
+    /// Classed egress: routes the frame through the calling core's
+    /// [`QosEbb`] scheduler when a policy is installed (the scheduler
+    /// decides *when* it reaches the wire), else straight to the NIC.
+    /// Descriptor moves only — the scheduler queues the same chain the
+    /// stack built, no byte copies.
+    fn transmit(&self, frame: Chain<IoBuf>, class: ClassId) {
+        if self.qos_on.get() {
+            qos_ref().with(|rep| rep.enqueue(class, frame));
+        } else {
+            self.transmit_now(frame);
+        }
     }
 
     /// Final egress: charge the profile's transmit cost (with virtio
     /// kick suppression while the ring is hot) and hand the frame to
     /// the NIC.
-    fn transmit(&self, frame: Chain<IoBuf>) {
+    fn transmit_now(&self, frame: Chain<IoBuf>) {
         self.stats.tx_frames.set(self.stats.tx_frames.get() + 1);
         let profile = self.machine.profile();
         let now = self.machine.runtime().now_ns();
@@ -1479,7 +1858,14 @@ impl NetIf {
             // Free the connection's persistent timer entries (runs on
             // the affinity core, where they were created).
             let (rto, delack) = (p.rto_timer, p.delack_timer);
+            let (class, admitted) = (p.class, p.admitted);
             drop(p);
+            // Return the admission-budget unit the SYN took.
+            if admitted {
+                if let Some(policy) = self.qos.borrow().as_ref() {
+                    policy.release(ClassId(class));
+                }
+            }
             if rto.is_some() || delack.is_some() {
                 runtime::with_current(|rt| {
                     let em = rt.local_event_manager();

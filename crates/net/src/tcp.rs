@@ -164,6 +164,15 @@ pub struct Pcb {
     pub retransmits: u64,
     /// True once the application asked to close (FIN queued or sent).
     pub close_requested: bool,
+    /// Traffic class ([`ebbrt_core::qos::ClassId`] index), assigned by
+    /// the classifier at accept/connect time. Everything the
+    /// connection transmits is scheduled under this class; the
+    /// application reads it back to pick per-class serve policy.
+    pub class: u8,
+    /// Whether this connection holds a unit of its class's admission
+    /// budget (inbound connections admitted under an installed QoS
+    /// policy); released at cleanup.
+    pub admitted: bool,
 }
 
 impl Pcb {
@@ -190,6 +199,8 @@ impl Pcb {
             rto_backoff: 1,
             retransmits: 0,
             close_requested: false,
+            class: 0,
+            admitted: false,
         }
     }
 

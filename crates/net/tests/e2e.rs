@@ -275,6 +275,20 @@ fn dhcp_configures_client() {
 }
 
 #[test]
+#[should_panic(expected = "set_mtu after NetIf::attach has no effect")]
+fn set_mtu_after_attach_panics_instead_of_silently_not_applying() {
+    // The foot-gun: the stack derives its MSS from the device MTU at
+    // attach time, so a later set_mtu changed nothing — silently. It
+    // must refuse loudly instead.
+    let w = SimWorld::new();
+    let sw = Switch::new(&w);
+    let server = SimMachine::create(&w, "server", 1, CostProfile::ebbrt_vm(), [0xAA; 6]);
+    sw.attach(server.nic(), LinkParams::default());
+    let _s_if = NetIf::attach(&server, Ipv4Addr::new(10, 0, 0, 1), MASK);
+    server.nic().set_mtu(9000);
+}
+
+#[test]
 fn jumbo_mtu_raises_mss_and_roundtrips() {
     // Jumbo-configured NICs: the stack derives its MSS from the
     // device MTU at attach, so a large transfer uses ~6× fewer

@@ -149,6 +149,9 @@ pub struct SimNic {
     /// Device MTU: the largest IP packet the device carries. Jumbo
     /// configurations (9000) raise the guest stack's MSS accordingly.
     mtu: Cell<usize>,
+    /// Set once a guest network stack derives state (MSS, pool size
+    /// classes) from this device's MTU; freezes [`Self::set_mtu`].
+    stack_attached: Cell<bool>,
     /// Installed by the switch at attach time; carries frames onto the
     /// wire.
     tx_handler: RefCell<Option<TxHandler>>,
@@ -176,6 +179,7 @@ impl SimNic {
                 })
                 .collect(),
             mtu: Cell::new(DEFAULT_MTU),
+            stack_attached: Cell::new(false),
             tx_handler: RefCell::new(None),
             tx_frames: Cell::new(0),
             tx_bytes: Cell::new(0),
@@ -202,9 +206,28 @@ impl SimNic {
     /// Reconfigures the device MTU (jumbo frames). Must happen before
     /// the guest stack attaches — the stack derives its MSS from this
     /// at attach time, as a real driver negotiates it at probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a guest stack has already attached: its MSS and
+    /// buffer-pool size classes are derived from the MTU at attach
+    /// time, so a later change would silently not take effect — the
+    /// classic foot-gun this refuses to load.
     pub fn set_mtu(&self, mtu: usize) {
         assert!(mtu >= 576, "MTU below the IPv4 minimum");
+        assert!(
+            !self.stack_attached.get(),
+            "set_mtu after NetIf::attach has no effect: the stack derived its MSS \
+             from the old MTU ({}); set the MTU before attaching",
+            self.mtu.get()
+        );
         self.mtu.set(mtu);
+    }
+
+    /// Marks the device as owned by an attached guest stack (called by
+    /// `NetIf::attach`), freezing the MTU.
+    pub fn mark_stack_attached(&self) {
+        self.stack_attached.set(true);
     }
 
     // --- Guest (driver) side --------------------------------------------
