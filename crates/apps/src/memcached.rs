@@ -319,11 +319,10 @@ impl Store {
 /// receive chain). The one framing state machine shared by the plain
 /// and sharded servers.
 fn drain_requests(
-    pending_cell: &RefCell<Chain<IoBuf>>,
+    pending: &mut Chain<IoBuf>,
     data: Chain<IoBuf>,
     mut each: impl FnMut(&Header, Chain<IoBuf>),
 ) {
-    let mut pending = pending_cell.borrow_mut();
     pending.append_chain(data);
     pending.compact_if_amplified(PENDING_COMPACT_SEGS, SET_COMPACT_FACTOR);
     loop {
@@ -393,9 +392,27 @@ impl Default for ServerConfig {
 pub struct ServerConn {
     store: Arc<Store>,
     config: ServerConfig,
+    /// Rarely-populated per-connection I/O state, boxed lazily so an
+    /// idle established connection pays one null pointer for it. Only
+    /// a request split across receive events leaves a `pending` tail,
+    /// and only a reply exceeding the peer's window parks in `unsent`;
+    /// the box is freed again once both drain empty, so a well-behaved
+    /// connection between requests holds nothing here.
+    cold: RefCell<Option<Box<ConnCold>>>,
+    /// The connection's resolved shed policy (class deadline + per-
+    /// class counters), cached on first receive — `None` when the
+    /// machine has no QoS policy installed, in which case the serve
+    /// path is byte-for-byte the pre-QoS one.
+    shed: Cell<Option<ShedPolicy>>,
+    shed_resolved: Cell<bool>,
+}
+
+/// The lazily-boxed cold half of a [`ServerConn`] (see the `cold`
+/// field): request-reassembly tail plus parked-response backlog.
+struct ConnCold {
     /// Bytes not yet forming a complete request (descriptor chain over
     /// the driver buffers; nothing is copied into it).
-    pending: RefCell<Chain<IoBuf>>,
+    pending: Chain<IoBuf>,
     /// Response bytes awaiting send window. The stack refuses rather
     /// than buffers ([`SendError::WindowFull`]), so replies that
     /// exceed the advertised window — a GET of a value larger than
@@ -404,13 +421,16 @@ pub struct ServerConn {
     /// [`ServerConfig::max_unsent_bytes`].
     ///
     /// [`SendError::WindowFull`]: ebbrt_net::netif::SendError::WindowFull
-    unsent: RefCell<Chain<IoBuf>>,
-    /// The connection's resolved shed policy (class deadline + per-
-    /// class counters), cached on first receive — `None` when the
-    /// machine has no QoS policy installed, in which case the serve
-    /// path is byte-for-byte the pre-QoS one.
-    shed: Cell<Option<ShedPolicy>>,
-    shed_resolved: Cell<bool>,
+    unsent: Chain<IoBuf>,
+}
+
+impl ConnCold {
+    fn new() -> Box<ConnCold> {
+        Box::new(ConnCold {
+            pending: Chain::new(),
+            unsent: Chain::new(),
+        })
+    }
 }
 
 /// Per-connection overload-serving parameters, resolved once from the
@@ -439,8 +459,7 @@ impl ServerConn {
         ServerConn {
             store,
             config,
-            pending: RefCell::new(Chain::new()),
-            unsent: RefCell::new(Chain::new()),
+            cold: RefCell::new(None),
             shed: Cell::new(None),
             shed_resolved: Cell::new(false),
         }
@@ -448,12 +467,39 @@ impl ServerConn {
 
     /// Bytes buffered awaiting a complete request (diagnostic).
     pub fn pending_len(&self) -> usize {
-        self.pending.borrow().len()
+        self.cold.borrow().as_ref().map_or(0, |c| c.pending.len())
     }
 
     /// Response bytes parked awaiting send window (diagnostic).
     pub fn unsent_len(&self) -> usize {
-        self.unsent.borrow().len()
+        self.cold.borrow().as_ref().map_or(0, |c| c.unsent.len())
+    }
+
+    /// Whether the cold box is currently allocated (diagnostic: an
+    /// idle connection must answer `false`, or bytes-per-idle-conn
+    /// accounting is off by `size_of::<ConnCold>()`).
+    pub fn cold_resident(&self) -> bool {
+        self.cold.borrow().is_some()
+    }
+
+    /// Frames requests out of `data` — prepended with any buffered
+    /// partial tail — handing each to `each`. The cold box is touched
+    /// only at the edges (tail taken before framing, leftover stashed
+    /// after), so no `RefCell` borrow is held across the callback and
+    /// the fast path — complete requests, nothing buffered — never
+    /// allocates it.
+    fn drain(&self, data: Chain<IoBuf>, each: impl FnMut(&Header, Chain<IoBuf>)) {
+        let mut pending = match self.cold.borrow_mut().as_mut() {
+            Some(c) => std::mem::take(&mut c.pending),
+            None => Chain::new(),
+        };
+        drain_requests(&mut pending, data, each);
+        let mut cold = self.cold.borrow_mut();
+        if !pending.is_empty() {
+            cold.get_or_insert_with(ConnCold::new).pending = pending;
+        } else if cold.as_ref().is_some_and(|c| c.unsent.is_empty()) {
+            *cold = None;
+        }
     }
 
     /// Resolves (once) the connection's class and its serving policy
@@ -489,7 +535,7 @@ impl ServerConn {
                 self.process_with_deadline(conn, data, sp, &mut responses)
             }
             _ => {
-                drain_requests(&self.pending, data, |h, body| {
+                self.drain(data, |h, body| {
                     self.handle_request(h, body, &mut responses);
                     if let Some(sp) = shed {
                         qos::bump(sp.served_h);
@@ -523,7 +569,7 @@ impl ServerConn {
         let deadline = sp.deadline_ns.expect("checked by caller");
         let base = runtime::with_current(|rt| rt.now_ns());
         let mut reqs: Vec<(Header, Chain<IoBuf>, u64)> = Vec::new();
-        drain_requests(&self.pending, data, |h, body| {
+        self.drain(data, |h, body| {
             reqs.push((*h, body, base + charged_so_far()));
         });
         let behind = runtime::with_current(|rt| rt.local_event_manager().backlog_depth()) > 0;
@@ -563,14 +609,18 @@ impl ServerConn {
             // received the request — carrying the ACK too. Fast path:
             // nothing parked and the whole batch fits the window, so
             // send it directly (no unsent round-trip, no re-walk).
-            if self.unsent.borrow().is_empty() && responses.len() <= conn.send_window() {
+            if self.unsent_len() == 0 && responses.len() <= conn.send_window() {
                 let _ = conn.send(responses);
                 return;
             }
             // Overflow: park the batch (descriptor moves only) and
             // drain as much as the window allows; the rest goes out
             // from `on_window_open` when acknowledgments open space.
-            self.unsent.borrow_mut().append_chain(responses);
+            self.cold
+                .borrow_mut()
+                .get_or_insert_with(ConnCold::new)
+                .unsent
+                .append_chain(responses);
             self.flush(conn);
             // Cap check *after* flushing, so only bytes the peer could
             // not accept count. A healthy reader making window
@@ -579,14 +629,14 @@ impl ServerConn {
             // rate; a stalled reader (zero window) that keeps
             // requesting grows the backlog without bound and is torn
             // down at the soft cap.
-            let parked = self.unsent.borrow().len();
+            let parked = self.unsent_len();
             let stalled = conn.send_window() == 0;
             if parked > self.config.max_unsent_bytes
                 && (stalled || parked > 4 * self.config.max_unsent_bytes)
             {
                 use std::sync::atomic::Ordering;
                 self.store.backlog_drops.fetch_add(1, Ordering::Relaxed);
-                *self.unsent.borrow_mut() = Chain::new();
+                *self.cold.borrow_mut() = None;
                 conn.abort();
             }
         }
@@ -596,17 +646,24 @@ impl ServerConn {
     /// allows (descriptor moves only).
     fn flush(&self, conn: &TcpConn) {
         loop {
-            let mut unsent = self.unsent.borrow_mut();
-            if unsent.is_empty() {
-                return;
-            }
-            let window = conn.send_window();
-            if window == 0 {
-                return;
-            }
-            let take = unsent.len().min(window);
-            let chunk = unsent.split_to(take);
-            drop(unsent);
+            let chunk = {
+                let mut cold = self.cold.borrow_mut();
+                let Some(c) = cold.as_mut() else { return };
+                if c.unsent.is_empty() {
+                    // Fully drained: free the box once nothing cold
+                    // remains, restoring the idle-conn byte budget.
+                    if c.pending.is_empty() {
+                        *cold = None;
+                    }
+                    return;
+                }
+                let window = conn.send_window();
+                if window == 0 {
+                    return;
+                }
+                let take = c.unsent.len().min(window);
+                c.unsent.split_to(take)
+            };
             if conn.send(chunk).is_err() {
                 // NotConnected (the peer vanished): responses are
                 // undeliverable, stop trying. WindowFull cannot happen
@@ -738,12 +795,14 @@ pub fn serve(store: StoreRef) {
 /// As [`serve`] with explicit tunables.
 pub fn serve_with(store: StoreRef, config: ServerConfig) {
     let netif = local_netif();
-    netif.listen(MEMCACHED_PORT, move |_conn| {
-        // Accept runs on the connection's affinity core: resolve the
-        // store's rep there (faulting it in on first use).
-        let store = store.with(|s| Arc::clone(s.store()));
-        Rc::new(ServerConn::with_config(store, config)) as Rc<dyn ConnHandler>
-    });
+    netif
+        .listen(MEMCACHED_PORT, move |_conn| {
+            // Accept runs on the connection's affinity core: resolve the
+            // store's rep there (faulting it in on first use).
+            let store = store.with(|s| Arc::clone(s.store()));
+            Rc::new(ServerConn::with_config(store, config)) as Rc<dyn ConnHandler>
+        })
+        .expect("memcached port already bound on this machine");
 }
 
 // --- Multi-machine sharded memcached (distributed Ebbs) ------------------
@@ -1724,7 +1783,7 @@ impl ShardedServerConn {
         let sp = self.local.shed_policy(conn);
         let mut responses: Chain<IoBuf> = Chain::new();
         let mut drained = 0u64;
-        drain_requests(&self.local.pending, data, |h, body| {
+        self.local.drain(data, |h, body| {
             drained += 1;
             self.route(conn, h, body, &mut responses)
         });
@@ -1973,9 +2032,11 @@ impl ConnHandler for ShardedServerConn {
 /// `MessengerTransport::install`).
 pub fn serve_sharded(cfg: ShardConfig, store: Arc<Store>) {
     let netif = local_netif();
-    netif.listen(MEMCACHED_PORT, move |_conn| {
-        ShardedServerConn::new(cfg.clone(), Arc::clone(&store)) as Rc<dyn ConnHandler>
-    });
+    netif
+        .listen(MEMCACHED_PORT, move |_conn| {
+            ShardedServerConn::new(cfg.clone(), Arc::clone(&store)) as Rc<dyn ConnHandler>
+        })
+        .expect("memcached port already bound on this machine");
 }
 
 /// Bounded source re-elections before a re-sync gives up on finding a
@@ -2750,6 +2811,54 @@ mod tests {
         let _rest = &req[10..];
         // (Completing the request needs a live conn; covered by the
         // network roundtrip tests above.)
+    }
+
+    #[test]
+    fn cold_box_is_lazily_allocated_and_freed() {
+        // The cold box (reassembly tail + parked replies) must exist
+        // only while it holds something: never on the complete-request
+        // fast path, resident while a partial request is buffered, and
+        // freed again once the request completes.
+        let domain = std::sync::Arc::new(ebbrt_core::rcu::RcuDomain::new(1));
+        let _guard = domain.read_guard(CoreId(0));
+        let store = Store::new(std::sync::Arc::clone(&domain));
+        let sc = ServerConn::new(Arc::clone(&store));
+        let _g = ebbrt_core::cpu::bind(CoreId(0));
+        assert!(!sc.cold_resident(), "fresh conn must hold no cold state");
+
+        // Complete request in one pass: framing finishes (and with it
+        // every cold-box decision) before the dangling conn panics on
+        // the send — the box must never have been allocated.
+        let req = encode_set(b"k", b"v", 7);
+        let chain = Chain::single(IoBuf::copy_from(&req));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sc.process(&TcpConn::dangling(), chain);
+        }));
+        assert!(result.is_err(), "dangling conn send should panic");
+        assert!(
+            !sc.cold_resident(),
+            "fast path must not allocate the cold box"
+        );
+        assert_eq!(store.sets.load(std::sync::atomic::Ordering::Relaxed), 1);
+
+        // Partial request: the tail parks in the cold box...
+        let req2 = encode_set(b"k2", b"v2", 8);
+        let part = Chain::single(IoBuf::copy_from(&req2[..10]));
+        sc.process(&TcpConn::dangling(), part);
+        assert!(sc.cold_resident(), "buffered tail must live in the box");
+        assert_eq!(sc.pending_len(), 10);
+
+        // ...and completing the request frees it again.
+        let rest = Chain::single(IoBuf::copy_from(&req2[10..]));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sc.process(&TcpConn::dangling(), rest);
+        }));
+        assert!(result.is_err(), "dangling conn send should panic");
+        assert!(
+            !sc.cold_resident(),
+            "an idle conn must shed the cold box once both chains drain"
+        );
+        assert_eq!(store.sets.load(std::sync::atomic::Ordering::Relaxed), 2);
     }
 
     fn drive_set(value: &[u8], chunk: usize) -> (Arc<Store>, u64) {

@@ -196,9 +196,11 @@ fn setup_pipe(
     // Both sides resolve their stack through the well-known network
     // manager id from inside their machines' events.
     server.spawn_on(CoreId(0), move || {
-        ebbrt_net::netif::local_netif().listen(NETPIPE_PORT, move |_conn| {
-            PipeEnd::new(message_bytes, 0, false) as Rc<dyn ConnHandler>
-        });
+        ebbrt_net::netif::local_netif()
+            .listen(NETPIPE_PORT, move |_conn| {
+                PipeEnd::new(message_bytes, 0, false) as Rc<dyn ConnHandler>
+            })
+            .expect("netpipe port already bound");
     });
     w.run_to_idle();
     let client_end = PipeEnd::with_warmup(message_bytes, target_rounds, warmup_rounds, true);

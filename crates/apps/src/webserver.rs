@@ -151,14 +151,16 @@ impl ConnHandler for HttpServerConn {
 pub fn serve(demand_paging: bool) {
     let response = MutIoBuf::from_vec(static_response()).freeze();
     let requests = Rc::new(Cell::new(0u64));
-    local_netif().listen(HTTP_PORT, move |_conn| {
-        Rc::new(HttpServerConn {
-            pending: RefCell::new(Chain::new()),
-            response: response.clone(),
-            requests: Rc::clone(&requests),
-            demand_paging,
-        }) as Rc<dyn ConnHandler>
-    });
+    local_netif()
+        .listen(HTTP_PORT, move |_conn| {
+            Rc::new(HttpServerConn {
+                pending: RefCell::new(Chain::new()),
+                response: response.clone(),
+                requests: Rc::clone(&requests),
+                demand_paging,
+            }) as Rc<dyn ConnHandler>
+        })
+        .expect("http port already bound on this machine");
 }
 
 /// wrk-style closed-loop client connection: one outstanding GET, next

@@ -364,4 +364,43 @@ fn main() {
     )
     .expect("write csv");
     println!("wrote {}", path.display());
+
+    // Connection-scale point: the slab-PCB demux under an idle herd.
+    // Each row establishes that many connections, leaves all but a
+    // fixed probe set idle, and measures the probes' sparse GET p99
+    // through the same slab every idle connection occupies. The gate
+    // that the curve stays flat to 10^6 conns lives in the
+    // `conn_scale` bench; this records the figure's lower points.
+    println!();
+    println!("Connection scale: sparse GET p99 with an idle established herd");
+    println!("{}", ebbrt_bench::conn_scale::table_header());
+    let conn_points: &[usize] = if cfg!(debug_assertions) {
+        &[1_000, 16_000]
+    } else {
+        &[1_000, 16_000, 64_000]
+    };
+    let mut scale_rows = Vec::new();
+    for &conns in conn_points {
+        let r = ebbrt_bench::conn_scale::run(conns, None);
+        println!("{}", ebbrt_bench::conn_scale::format_report(&r));
+        scale_rows.push(format!(
+            "{},{},{:.1},{},{},{},{},{}",
+            r.conns,
+            r.sampled,
+            r.mean_ns,
+            r.p99_ns,
+            r.failures,
+            r.accounted_bytes_per_idle_conn,
+            r.steady_bytes_copied,
+            r.steady_bufs_allocated,
+        ));
+    }
+    let path = ebbrt_bench::write_csv(
+        "fig4_conn_scale.csv",
+        "conns,sampled,mean_ns,p99_ns,failures,accounted_bytes_per_conn,\
+         steady_bytes_copied,steady_bufs_allocated",
+        &scale_rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
 }

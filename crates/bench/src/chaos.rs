@@ -650,6 +650,36 @@ pub fn run(cfg: &ChaosConfig) -> ChaosReport {
         "the served/shed ledger must balance the client's requests at quiesce"
     );
 
+    // The syncache ledger must balance too, on every machine: each
+    // inbound handshake the segment produced (including those raced by
+    // kills and partitions) settled as promoted, evicted, or aborted,
+    // and no half-open connection outlived the quiesce window.
+    {
+        let shards = cluster.borrow().shards.clone();
+        let lives: Rc<Vec<Cell<Option<usize>>>> =
+            Rc::new((0..shards.len()).map(|_| Cell::new(None)).collect());
+        for (i, m) in shards.iter().enumerate() {
+            let lives = Rc::clone(&lives);
+            spawn_with(m, CoreId(0), lives, move |lives| {
+                lives[i].set(Some(local_netif().embryonic_total()));
+            });
+        }
+        world.run_for(1_000_000);
+        for (i, m) in shards.iter().enumerate() {
+            let live = lives[i].get().expect("embryonic probe ran") as u64;
+            assert_eq!(live, 0, "machine {i} holds a half-open conn at quiesce");
+            let snap = ebbrt_core::qos::snapshot(m.runtime());
+            assert_eq!(
+                snap.get("net.embryonic_created"),
+                snap.get("net.embryonic_promoted")
+                    + snap.get("net.embryonic_evicted")
+                    + snap.get("net.embryonic_aborted")
+                    + live,
+                "machine {i}'s embryonic ledger must balance at quiesce"
+            );
+        }
+    }
+
     let lat = client.lat_ns.borrow();
     let delta = (*client.local_delta.borrow()).expect("local phase measured");
     let c = cluster.borrow();

@@ -8,6 +8,7 @@
 
 pub mod burst_path;
 pub mod chaos;
+pub mod conn_scale;
 pub mod dist_memcached;
 pub mod overload;
 pub mod rss_sweep;

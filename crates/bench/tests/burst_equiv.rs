@@ -120,7 +120,8 @@ fn run_scenario(burst: usize, sc: &Scenario) -> Observation {
         let rx = Rc::clone(rx);
         s_if.listen(7000 + i as u16, move |_c| {
             Rc::new(RecordEcho { rx: Rc::clone(&rx) }) as Rc<dyn ConnHandler>
-        });
+        })
+        .unwrap();
     }
 
     let client_rx: Vec<Rc<RefCell<Vec<u8>>>> =

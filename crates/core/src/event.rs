@@ -552,6 +552,13 @@ impl EventManager {
         self.owned.with(|o| o.timers.stats())
     }
 
+    /// Per-entry slab cost of this core's timer wheel (hot SoA entry
+    /// plus cold handler slot) — the figure per-connection memory
+    /// accounting charges for each parked persistent timer.
+    pub fn timer_entry_bytes() -> usize {
+        TimerWheel::<TimerFn>::entry_bytes()
+    }
+
     /// A lower bound on the next timer firing time: exact for a due
     /// timer or one within the wheel's finest level, otherwise the
     /// start of the slot holding the earliest timer (the halt/park

@@ -92,6 +92,15 @@ pub struct ClassConfig {
     /// queued request older than this when service would begin is
     /// answered with an error instead of served. `None` = never shed.
     pub deadline_ns: Option<u64>,
+    /// Syncache budget: maximum *embryonic* (handshake not yet
+    /// complete) inbound connections of this class. At the cap a new
+    /// SYN either evicts the class's oldest stale embryonic entry or
+    /// is shed with an RST — established connections are never
+    /// touched, so a SYN flood cannot displace live service.
+    /// `None` = unbounded. Sits *below* `conn_budget` in the shed
+    /// ladder: admission bounds total live conns, this bounds the
+    /// handshake backlog within that.
+    pub syn_budget: Option<usize>,
 }
 
 impl ClassConfig {
@@ -103,6 +112,7 @@ impl ClassConfig {
             ls_weight: 1,
             conn_budget: None,
             deadline_ns: None,
+            syn_budget: None,
         }
     }
 
@@ -127,6 +137,12 @@ impl ClassConfig {
     /// Sets the shedding deadline.
     pub fn deadline_ns(mut self, ns: u64) -> Self {
         self.deadline_ns = Some(ns);
+        self
+    }
+
+    /// Sets the syncache (embryonic-connection) budget.
+    pub fn syn_budget(mut self, conns: usize) -> Self {
+        self.syn_budget = Some(conns);
         self
     }
 }
@@ -254,6 +270,28 @@ impl CounterRegistryEbb {
         c.set(c.get() + n);
     }
 
+    /// Subtracts `n` from this core's cell for `h` (wrapping).
+    ///
+    /// Gauge support: a handle used as a gauge (live counts, queue
+    /// depths) increments on one core and may decrement on another,
+    /// so an individual core's cell can dip "below zero" — it wraps,
+    /// and the modular cross-core sum in [`read_total`] recovers the
+    /// exact value as long as the true total is non-negative.
+    pub fn sub(&self, h: CounterHandle, n: u64) {
+        let cells = self.cells.borrow();
+        if let Some(c) = cells.get(h.0) {
+            c.set(c.get().wrapping_sub(n));
+            return;
+        }
+        drop(cells);
+        let mut cells = self.cells.borrow_mut();
+        if cells.len() <= h.0 {
+            cells.resize_with(h.0 + 1, || Cell::new(0));
+        }
+        let c = &cells[h.0];
+        c.set(c.get().wrapping_sub(n));
+    }
+
     /// This core's value for `h`.
     pub fn get(&self, h: CounterHandle) -> u64 {
         self.cells.borrow().get(h.0).map(Cell::get).unwrap_or(0)
@@ -294,6 +332,30 @@ pub fn bump(h: CounterHandle) {
     add(h, 1);
 }
 
+/// Subtracts `n` from `h` on the calling core (gauge decrement; see
+/// [`CounterRegistryEbb::sub`] for the wrapping contract).
+pub fn sub(h: CounterHandle, n: u64) {
+    runtime::with_context(|rt, core| {
+        rt.ebbs()
+            .with_rep_lazy::<CounterRegistryEbb, _>(core, SystemEbb::Counters.id(), |rep| {
+                rep.sub(h, n)
+            })
+    });
+}
+
+/// As [`add`] against an explicit runtime — the form for setup code
+/// (e.g. `NetIf::attach`) that has a machine handle but is not inside
+/// one of its events. Enters core 0 for the touch; totals are
+/// unaffected by which core carries the value.
+pub fn add_in(rt: &Arc<Runtime>, h: CounterHandle, n: u64) {
+    let core = CoreId(0);
+    let _guard = runtime::enter(Arc::clone(rt), core);
+    rt.ebbs()
+        .with_rep_lazy::<CounterRegistryEbb, _>(core, SystemEbb::Counters.id(), |rep| {
+            rep.add(h, n)
+        });
+}
+
 /// Sums `h` across every core of `rt`.
 ///
 /// # Caller contract
@@ -302,10 +364,13 @@ pub fn bump(h: CounterHandle) {
 /// at a point where no core is concurrently bumping (always true on
 /// the simulation backend, where one thread drives every core).
 pub fn read_total(rt: &Runtime, h: CounterHandle) -> u64 {
-    let mut total = 0;
+    let mut total = 0u64;
     rt.ebbs()
         .for_each_rep::<CounterRegistryEbb>(SystemEbb::Counters.id(), |_core, rep| {
-            total += rep.get(h);
+            // Wrapping: a gauge's per-core cell may have wrapped
+            // negative (incremented here, decremented there); the
+            // modular sum is still exact.
+            total = total.wrapping_add(rep.get(h));
         });
     total
 }
@@ -360,7 +425,7 @@ pub fn snapshot(rt: &Runtime) -> CounterSnapshot {
     rt.ebbs()
         .for_each_rep::<CounterRegistryEbb>(SystemEbb::Counters.id(), |_core, rep| {
             for (i, t) in totals.iter_mut().enumerate() {
-                *t += rep.get(CounterHandle(i));
+                *t = t.wrapping_add(rep.get(CounterHandle(i)));
             }
         });
     CounterSnapshot { names, totals }

@@ -264,34 +264,36 @@ impl Messenger {
             }
         }
         let me = Rc::clone(&m);
-        netif.listen(MESSENGER_PORT, move |conn| {
-            let addr = conn.tuple().map(|t| t.remote.0);
-            let peer = Rc::new(RefCell::new(PeerConn {
-                conn: conn.clone(),
-                addr: Cell::new(addr),
-                established: true,
-                pending: VecDeque::new(),
-                rx: Vec::new(),
-            }));
-            // Learn the peer so responses reuse this connection — but
-            // never displace an existing entry: if this machine already
-            // holds a (typically outbound) connection to that address
-            // with RPCs in flight on it, overwriting would misattribute
-            // that connection's lifecycle (and its waiters) to this one.
-            if let Some(a) = addr {
-                me.peers
-                    .borrow_mut()
-                    .entry(a)
-                    .or_insert_with(|| Rc::clone(&peer));
-            }
-            // The handler holds a strong reference: a live connection
-            // keeps its messenger alive (the resulting reference cycle
-            // lasts for the simulation's lifetime, which is fine).
-            Rc::new(MessengerConn {
-                messenger: Rc::clone(&me),
-                peer,
-            }) as Rc<dyn ConnHandler>
-        });
+        netif
+            .listen(MESSENGER_PORT, move |conn| {
+                let addr = conn.tuple().map(|t| t.remote.0);
+                let peer = Rc::new(RefCell::new(PeerConn {
+                    conn: conn.clone(),
+                    addr: Cell::new(addr),
+                    established: true,
+                    pending: VecDeque::new(),
+                    rx: Vec::new(),
+                }));
+                // Learn the peer so responses reuse this connection — but
+                // never displace an existing entry: if this machine already
+                // holds a (typically outbound) connection to that address
+                // with RPCs in flight on it, overwriting would misattribute
+                // that connection's lifecycle (and its waiters) to this one.
+                if let Some(a) = addr {
+                    me.peers
+                        .borrow_mut()
+                        .entry(a)
+                        .or_insert_with(|| Rc::clone(&peer));
+                }
+                // The handler holds a strong reference: a live connection
+                // keeps its messenger alive (the resulting reference cycle
+                // lasts for the simulation's lifetime, which is fine).
+                Rc::new(MessengerConn {
+                    messenger: Rc::clone(&me),
+                    peer,
+                }) as Rc<dyn ConnHandler>
+            })
+            .expect("messenger port already bound on this machine");
         m
     }
 

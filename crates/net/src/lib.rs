@@ -33,6 +33,7 @@
 //! transmit — runs synchronously.
 
 pub mod arp;
+pub mod conn_slab;
 pub mod dhcp;
 pub mod driver;
 pub mod netif;

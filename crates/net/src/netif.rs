@@ -17,7 +17,7 @@
 //!   [`ConnHandler::on_window_open`] when acknowledgments open space.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::{Rc, Weak};
 use std::sync::Arc;
 
@@ -33,6 +33,7 @@ use ebbrt_sim::world::charge;
 use ebbrt_sim::SimMachine;
 
 use crate::arp::ArpCache;
+use crate::conn_slab::ConnSlab;
 use crate::tcp::{FourTuple, Pcb, TcpState};
 use crate::types::{Ipv4Addr, Mac, MAC_BROADCAST};
 use crate::wire::{self, tcp_flags, EthHeader, Ipv4Header, TcpHeader};
@@ -54,6 +55,14 @@ pub const ARP_MAX_TRIES: u32 = 3;
 
 /// First ephemeral port used by [`NetIf::connect`].
 const EPHEMERAL_BASE: u16 = 33000;
+
+/// Minimum age before a budgeted syncache may evict an embryonic
+/// connection in favor of a new SYN. A legitimate handshake completes
+/// within a couple of round trips (microseconds under the simulator's
+/// cost model), so an embryonic entry this old is overwhelmingly a
+/// flood SYN that will never ACK. Younger entries are presumed live
+/// and the *new* SYN is shed instead.
+pub const SYN_FRESH_NS: Ns = 50_000_000;
 
 /// Callbacks through which a TCP application receives events. Handlers
 /// run on the connection's affinity core, directly on the interrupt
@@ -79,6 +88,23 @@ pub enum SendError {
     /// The connection is not in a data-transfer state.
     NotConnected,
 }
+
+/// Errors from [`NetIf::listen`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum ListenError {
+    /// The port already has a listener; the existing one is untouched.
+    PortInUse(u16),
+}
+
+impl std::fmt::Display for ListenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListenError::PortInUse(p) => write!(f, "port {p} already has a listener"),
+        }
+    }
+}
+
+impl std::error::Error for ListenError {}
 
 /// A handle to a TCP connection. Cloneable; all methods must be called
 /// on the connection's affinity core.
@@ -169,6 +195,17 @@ struct ConnRec {
     handler: Rc<dyn ConnHandler>,
 }
 
+/// Placeholder handler installed between PCB insertion and the
+/// listener's `accept` returning the real one. `accept` runs
+/// synchronously on the same core, so no segment can be delivered in
+/// that window — these callbacks are unreachable in practice and
+/// harmless no-ops if ever reached.
+struct PendingHandler;
+
+impl ConnHandler for PendingHandler {
+    fn on_receive(&self, _conn: &TcpConn, _data: Chain<IoBuf>) {}
+}
+
 /// One classified TCP segment of a burst: parsed header plus the
 /// payload chain (headers already advanced past).
 struct TcpSeg {
@@ -236,6 +273,27 @@ pub struct NetStats {
     frames_per_burst_h: [CounterHandle; BURST_BUCKETS],
     /// Coalesced `on_receive` deliveries ("net.coalesced_callbacks").
     coalesced_h: CounterHandle,
+    /// Live PCB slab entries ("net.pcb_slab_live", a gauge:
+    /// incremented on insert, decremented on cleanup).
+    pcb_slab_live_h: CounterHandle,
+    /// PCB slab high-water mark ("net.pcb_slab_high_water", monotone;
+    /// carried as cross-core deltas so the quiescent sum reads the
+    /// peak).
+    pcb_slab_high_water_h: CounterHandle,
+    /// Accounted idle-connection footprint in bytes
+    /// ("net.bytes_per_idle_conn", set once at attach from
+    /// [`NetIf::bytes_per_idle_conn`]).
+    bytes_per_idle_conn_h: CounterHandle,
+    /// New SYNs shed by the budgeted syncache ("net.syn_shed").
+    syn_shed_h: CounterHandle,
+    /// Embryonic connections created / promoted to Established /
+    /// evicted by the syncache / aborted before the handshake
+    /// completed. The ledger balances at quiescence:
+    /// `created == promoted + evicted + aborted + live`.
+    embryonic_created_h: CounterHandle,
+    embryonic_promoted_h: CounterHandle,
+    embryonic_evicted_h: CounterHandle,
+    embryonic_aborted_h: CounterHandle,
 }
 
 impl NetStats {
@@ -255,6 +313,14 @@ impl NetStats {
                 qos::register_in(rt, &format!("net.frames_per_burst.{}", BURST_BUCKET_LO[i]))
             }),
             coalesced_h: qos::register_in(rt, "net.coalesced_callbacks"),
+            pcb_slab_live_h: qos::register_in(rt, "net.pcb_slab_live"),
+            pcb_slab_high_water_h: qos::register_in(rt, "net.pcb_slab_high_water"),
+            bytes_per_idle_conn_h: qos::register_in(rt, "net.bytes_per_idle_conn"),
+            syn_shed_h: qos::register_in(rt, "net.syn_shed"),
+            embryonic_created_h: qos::register_in(rt, "net.embryonic_created"),
+            embryonic_promoted_h: qos::register_in(rt, "net.embryonic_promoted"),
+            embryonic_evicted_h: qos::register_in(rt, "net.embryonic_evicted"),
+            embryonic_aborted_h: qos::register_in(rt, "net.embryonic_aborted"),
         }
     }
 
@@ -277,13 +343,37 @@ pub struct NetIf {
     mask: Cell<Ipv4Addr>,
     /// ARP cache (learning + resolution).
     pub arp: ArpCache,
-    /// RCU connection demux: 4-tuple → connection id.
+    /// RCU connection demux: 4-tuple → PCB slab token. The token's
+    /// low 32 bits are the slab index, so demux reaches a PCB with
+    /// one bounds-checked vector index — the old second-level
+    /// `HashMap<u64, ConnRec>` hash is gone from the segment path.
     conn_ids: RcuHashMap<FourTuple, u64>,
-    pcbs: RefCell<HashMap<u64, ConnRec>>,
+    /// Generation-tagged PCB slab (the `conn_ids` values are its
+    /// tokens; stale tokens captured by timers miss harmlessly).
+    conns: RefCell<ConnSlab<ConnRec>>,
+    /// In-flight ARP resolutions. Borrow discipline: every access is a
+    /// transient borrow released before any callback or transmit —
+    /// `arp_retry_fire` *removes* its entry up front and re-inserts
+    /// after output, so a re-entrant `send_arp_request` for the same
+    /// address (from a handler the retry unblocks) sees a consistent
+    /// table instead of a held borrow.
     arp_retries: RefCell<HashMap<Ipv4Addr, ArpRetry>>,
     listeners: RefCell<HashMap<u16, AcceptFn>>,
+    /// UDP demux. Borrow discipline: `rx_udp` clones the handler `Rc`
+    /// out of a transient borrow before invoking it, so a handler may
+    /// re-enter `udp_bind` (or trigger nested delivery) freely.
     udp_bindings: RefCell<HashMap<u16, UdpHandlerFn>>,
-    next_conn: Cell<u64>,
+    /// Budgeted syncache: per-class FIFO of embryonic (inbound,
+    /// handshake incomplete) connections as `(token, created_ns)`.
+    /// Entries go stale in place when a connection promotes or dies —
+    /// eviction scans pop and skip them lazily; `embryonic_live` holds
+    /// the true per-class count.
+    embryonic_q: RefCell<[VecDeque<(u64, Ns)>; MAX_CLASSES]>,
+    embryonic_live: [Cell<usize>; MAX_CLASSES],
+    /// Embryonic cap for the default class when no QoS policy is
+    /// installed ([`NetIf::set_syn_backlog`]); with a policy, each
+    /// class's `syn_budget` governs.
+    syn_backlog: Cell<Option<usize>>,
     next_eph: Cell<u16>,
     ip_id: Cell<u16>,
     iss: Cell<u32>,
@@ -632,11 +722,13 @@ impl NetIf {
             mask: Cell::new(mask),
             arp: ArpCache::new(),
             conn_ids: RcuHashMap::new(Arc::clone(machine.runtime().rcu())),
-            pcbs: RefCell::new(HashMap::new()),
+            conns: RefCell::new(ConnSlab::new()),
             arp_retries: RefCell::new(HashMap::new()),
             listeners: RefCell::new(HashMap::new()),
             udp_bindings: RefCell::new(HashMap::new()),
-            next_conn: Cell::new(1),
+            embryonic_q: RefCell::new(Default::default()),
+            embryonic_live: Default::default(),
+            syn_backlog: Cell::new(None),
             next_eph: Cell::new(EPHEMERAL_BASE),
             ip_id: Cell::new(1),
             iss: Cell::new(0x1000),
@@ -654,6 +746,13 @@ impl NetIf {
                 netif: Rc::downgrade(&netif),
             }
         });
+        // Publish the accounted idle-connection footprint once: the
+        // figure is a compile-time property of the stack's layout.
+        qos::add_in(
+            machine.runtime(),
+            netif.stats.bytes_per_idle_conn_h,
+            Self::bytes_per_idle_conn() as u64,
+        );
         crate::driver::attach(&netif);
         netif
     }
@@ -736,10 +835,20 @@ impl NetIf {
 
     /// Starts listening on `port`; `accept` is invoked (on the new
     /// connection's affinity core) for each inbound connection and
-    /// returns its handler.
-    pub fn listen(&self, port: u16, accept: impl Fn(&TcpConn) -> Rc<dyn ConnHandler> + 'static) {
-        let prev = self.listeners.borrow_mut().insert(port, Rc::new(accept));
-        assert!(prev.is_none(), "port {port} already has a listener");
+    /// returns its handler. A port with a prior listener is refused
+    /// (`Err(PortInUse)`) with the existing listener untouched.
+    pub fn listen(
+        &self,
+        port: u16,
+        accept: impl Fn(&TcpConn) -> Rc<dyn ConnHandler> + 'static,
+    ) -> Result<(), ListenError> {
+        match self.listeners.borrow_mut().entry(port) {
+            std::collections::hash_map::Entry::Occupied(_) => Err(ListenError::PortInUse(port)),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Rc::new(accept));
+                Ok(())
+            }
+        }
     }
 
     /// Opens a connection to `remote`. Must be called from an event on
@@ -830,7 +939,7 @@ impl NetIf {
     }
 
     fn connect_failed(self: &Rc<Self>, id: u64) {
-        let (pcb_rc, handler) = match self.pcbs.borrow().get(&id) {
+        let (pcb_rc, handler) = match self.conns.borrow().get(id) {
             Some(rec) => (Rc::clone(&rec.pcb), Rc::clone(&rec.handler)),
             None => return,
         };
@@ -1120,26 +1229,52 @@ impl NetIf {
                     }
                     admitted = true;
                 }
+                // Syncache budget: below admission in the shed ladder.
+                // Over the class's embryonic cap, either evict the
+                // class's own oldest stale half-open connection or —
+                // when every embryonic entry is still fresh — shed
+                // this SYN instead. Either way the pressure stays
+                // inside the flooding class: established connections
+                // and other classes' embryos are untouchable.
+                if !self.syncache_make_room(class) {
+                    qos::bump(self.stats.syn_shed_h);
+                    if admitted {
+                        if let Some(policy) = self.qos.borrow().as_ref() {
+                            policy.release(class);
+                        }
+                    }
+                    self.send_rst(eth, ip, hdr);
+                    return;
+                }
                 let core = cpu::current(); // the RSS core: the conn's home
                 let iss = self.iss.get();
                 self.iss.set(iss.wrapping_add(0x3_1337));
                 let mut pcb = Pcb::new(tuple, TcpState::SynReceived, iss, core);
                 pcb.class = class.0;
                 pcb.admitted = admitted;
+                pcb.embryonic = true;
                 pcb.remote_mac = eth.src;
                 pcb.rcv_nxt = hdr.seq.wrapping_add(1);
                 pcb.snd_wnd = hdr.window as u32;
                 self.arp.insert(ip.src, eth.src);
-                // The handler is produced now; on_connected fires when
-                // the handshake completes.
-                let id = self.next_conn.get();
+                // Insert with a placeholder handler first — the slab
+                // mints the token — then let `accept` build the real
+                // handler against a *live* connection handle and swap
+                // it in. (The old code predicted the next id before
+                // inserting, which a slab with slot reuse can't do.)
+                let id = self.insert_conn(pcb, Rc::new(PendingHandler));
+                self.note_embryonic_created(class, id);
                 let conn = TcpConn {
                     netif: Rc::downgrade(self),
                     id,
                 };
                 let handler = accept(&conn);
-                let id2 = self.insert_conn(pcb, handler);
-                debug_assert_eq!(id, id2);
+                if let Some(rec) = self.conns.borrow_mut().get_mut(id) {
+                    rec.handler = handler;
+                } else {
+                    // `accept` tore the connection down; nothing to run.
+                    return;
+                }
                 self.with_conn(id, |n, pcb, _| {
                     let mut p = pcb.borrow_mut();
                     let iss = p.snd_una;
@@ -1156,6 +1291,108 @@ impl NetIf {
         }
     }
 
+    // --- Budgeted syncache ---------------------------------------------------
+
+    /// The embryonic cap for `class`: per-class `syn_budget` under an
+    /// installed policy, else [`NetIf::set_syn_backlog`]'s cap for the
+    /// default class.
+    fn syn_budget_for(&self, class: ClassId) -> Option<usize> {
+        if let Some(policy) = self.qos.borrow().as_ref() {
+            let i = class.index(policy.config.classes.len());
+            return policy.config.classes[i].syn_budget;
+        }
+        self.syn_backlog.get()
+    }
+
+    /// Makes room in `class`'s embryonic budget for one new SYN.
+    /// Returns `false` if the SYN must be shed (budget full of fresh
+    /// embryos). May evict the class's oldest stale embryonic
+    /// connection (counted on `embryonic_evicted`).
+    fn syncache_make_room(self: &Rc<Self>, class: ClassId) -> bool {
+        let Some(cap) = self.syn_budget_for(class) else {
+            return true;
+        };
+        let ci = class.0 as usize % MAX_CLASSES;
+        if self.embryonic_live[ci].get() < cap {
+            return true;
+        }
+        // At the cap: find the class's oldest *still embryonic* entry,
+        // discarding stale queue entries (promoted or already dead).
+        let now = self.machine.runtime().now_ns();
+        let oldest = loop {
+            let front = self.embryonic_q.borrow_mut()[ci].pop_front();
+            match front {
+                None => break None,
+                Some((tok, created)) => {
+                    let still = self
+                        .conns
+                        .borrow()
+                        .get(tok)
+                        .map(|rec| rec.pcb.borrow().embryonic)
+                        .unwrap_or(false);
+                    if still {
+                        break Some((tok, created));
+                    }
+                }
+            }
+        };
+        match oldest {
+            Some((tok, created)) if now.saturating_sub(created) >= SYN_FRESH_NS => {
+                // Old enough that a live peer would have ACKed long
+                // ago: evict it in favor of the new SYN.
+                qos::bump(self.stats.embryonic_evicted_h);
+                // Clear the flag first so cleanup doesn't double-count
+                // this death as an abort, and read the victim's
+                // affinity core: its timer entries live there, so the
+                // teardown must run there (the new SYN may have
+                // RSS-hashed to a different core).
+                let core = match self.conns.borrow().get(tok) {
+                    Some(rec) => {
+                        let mut p = rec.pcb.borrow_mut();
+                        p.embryonic = false;
+                        p.core
+                    }
+                    None => unreachable!("liveness checked under the same event"),
+                };
+                self.embryonic_live[ci].set(self.embryonic_live[ci].get() - 1);
+                self.run_on_core(core, move |n| n.tcp_abort(tok));
+                true
+            }
+            Some(entry) => {
+                // Every embryo is fresh (a legitimate thundering herd):
+                // keep them, shed the newcomer.
+                self.embryonic_q.borrow_mut()[ci].push_front(entry);
+                false
+            }
+            None => {
+                // Count says full but the queue found nothing — cannot
+                // happen while the ledger balances; fail open.
+                debug_assert!(false, "embryonic count/queue out of sync");
+                true
+            }
+        }
+    }
+
+    /// Records a new embryonic connection in its class's syncache.
+    fn note_embryonic_created(&self, class: ClassId, id: u64) {
+        let ci = class.0 as usize % MAX_CLASSES;
+        let now = self.machine.runtime().now_ns();
+        self.embryonic_q.borrow_mut()[ci].push_back((id, now));
+        self.embryonic_live[ci].set(self.embryonic_live[ci].get() + 1);
+        qos::bump(self.stats.embryonic_created_h);
+    }
+
+    /// Settles an embryonic connection's ledger entry: decrements the
+    /// class's live count and bumps `reason` (promoted or aborted).
+    /// The queue entry is left to be lazily skipped.
+    fn note_embryonic_gone(&self, class: u8, reason: CounterHandle) {
+        let ci = class as usize % MAX_CLASSES;
+        let live = &self.embryonic_live[ci];
+        debug_assert!(live.get() > 0, "embryonic ledger underflow");
+        live.set(live.get().saturating_sub(1));
+        qos::bump(reason);
+    }
+
     /// Processes one connection's run of segments under a single PCB
     /// borrow, then fires each application callback at most once for
     /// the whole run: `on_connected`, one coalesced `on_receive`,
@@ -1166,7 +1403,7 @@ impl NetIf {
     /// delivery and at most one bare ACK instead of N and N/2), which
     /// the equivalence proptest pins down.
     fn process_run(self: &Rc<Self>, id: u64, segs: Vec<TcpSeg>) {
-        let (pcb_rc, handler) = match self.pcbs.borrow().get(&id) {
+        let (pcb_rc, handler) = match self.conns.borrow().get(id) {
             Some(rec) => (Rc::clone(&rec.pcb), Rc::clone(&rec.handler)),
             None => return,
         };
@@ -1181,6 +1418,7 @@ impl NetIf {
         let mut window_opened = false;
         let mut peer_closed = false;
         let mut reset = false;
+        let mut promoted_class: Option<u8> = None;
         let mut delivery: Chain<IoBuf> = Chain::new();
         let mut chunks = 0usize;
         {
@@ -1219,6 +1457,13 @@ impl NetIf {
                             p.process_ack(hdr.ack, hdr.window);
                             p.state = TcpState::Established;
                             established = true;
+                            if p.embryonic {
+                                // Promotion: the connection leaves the
+                                // syncache ledger (counted below, after
+                                // the borrow releases).
+                                p.embryonic = false;
+                                promoted_class = Some(p.class);
+                            }
                             // Piggybacked data falls through.
                             self.established_seg(
                                 &mut p,
@@ -1243,6 +1488,9 @@ impl NetIf {
                     ),
                 }
             }
+        }
+        if let Some(class) = promoted_class {
+            self.note_embryonic_gone(class, self.stats.embryonic_promoted_h);
         }
         if established {
             self.stats
@@ -1362,7 +1610,7 @@ impl NetIf {
     // --- TCP egress ---------------------------------------------------------
 
     fn tcp_send(self: &Rc<Self>, id: u64, data: Chain<IoBuf>) -> Result<(), SendError> {
-        let pcb_rc = match self.pcbs.borrow().get(&id) {
+        let pcb_rc = match self.conns.borrow().get(id) {
             Some(rec) => Rc::clone(&rec.pcb),
             None => return Err(SendError::NotConnected),
         };
@@ -1399,7 +1647,7 @@ impl NetIf {
     }
 
     fn tcp_close(self: &Rc<Self>, id: u64) {
-        let pcb_rc = match self.pcbs.borrow().get(&id) {
+        let pcb_rc = match self.conns.borrow().get(id) {
             Some(rec) => Rc::clone(&rec.pcb),
             None => return,
         };
@@ -1440,7 +1688,7 @@ impl NetIf {
     /// Hard-kills a connection: one RST out, state to Closed, records
     /// and timers freed. See [`TcpConn::abort`].
     fn tcp_abort(self: &Rc<Self>, id: u64) {
-        let pcb_rc = match self.pcbs.borrow().get(&id) {
+        let pcb_rc = match self.conns.borrow().get(id) {
             Some(rec) => Rc::clone(&rec.pcb),
             None => return,
         };
@@ -1560,7 +1808,7 @@ impl NetIf {
                             move || {
                                 if let Some(n) = me.upgrade() {
                                     if let Some(rec) =
-                                        n.pcbs.borrow().get(&id).map(|r| Rc::clone(&r.pcb))
+                                        n.conns.borrow().get(id).map(|r| Rc::clone(&r.pcb))
                                     {
                                         rec.borrow_mut().delack_armed = false;
                                         n.flush_ack(&rec);
@@ -1610,7 +1858,7 @@ impl NetIf {
     // allocation.
 
     fn arm_rto(self: &Rc<Self>, id: u64) {
-        let pcb_rc = match self.pcbs.borrow().get(&id) {
+        let pcb_rc = match self.conns.borrow().get(id) {
             Some(rec) => Rc::clone(&rec.pcb),
             None => return,
         };
@@ -1666,7 +1914,7 @@ impl NetIf {
     }
 
     fn rto_fire(self: &Rc<Self>, id: u64) {
-        let pcb_rc = match self.pcbs.borrow().get(&id) {
+        let pcb_rc = match self.conns.borrow().get(id) {
             Some(rec) => Rc::clone(&rec.pcb),
             None => return,
         };
@@ -1675,12 +1923,33 @@ impl NetIf {
         if p.unacked.is_empty() {
             return;
         }
+        // Handshake retries are bounded: once the backoff ladder is
+        // exhausted (1+2+4+8+16 RTOs ≈ 6 s of silence), an unanswered
+        // SYN or SYN-ACK gives up — a budgeted syncache must not nurse
+        // half-open connections forever. Established connections are
+        // exempt: they retransmit indefinitely and ride out partitions
+        // (the chaos suite depends on it).
+        if p.rto_backoff >= 32 {
+            match p.state {
+                TcpState::SynSent => {
+                    drop(p);
+                    self.connect_failed(id);
+                    return;
+                }
+                TcpState::SynReceived => {
+                    drop(p);
+                    self.tcp_abort(id);
+                    return;
+                }
+                _ => {}
+            }
+        }
         // Go-back-N: retransmit the oldest unacked segment.
         let (seq, flags, payload) = {
             let seg = &p.unacked[0];
             (seg.seq, seg.flags, seg.payload.clone())
         };
-        p.retransmits += 1;
+        p.note_retransmit();
         self.stats.retransmits.set(self.stats.retransmits.get() + 1);
         let len = payload.len() as u32;
         self.tcp_output(&mut p, flags, seq, payload, len);
@@ -1836,22 +2105,26 @@ impl NetIf {
     // --- Bookkeeping ----------------------------------------------------------
 
     fn insert_conn(&self, pcb: Pcb, handler: Rc<dyn ConnHandler>) -> u64 {
-        let id = self.next_conn.get();
-        self.next_conn.set(id + 1);
         let tuple = pcb.tuple;
-        self.pcbs.borrow_mut().insert(
-            id,
-            ConnRec {
+        let (id, hw_delta) = {
+            let mut conns = self.conns.borrow_mut();
+            let before_hw = conns.high_water();
+            let id = conns.insert(ConnRec {
                 pcb: Rc::new(RefCell::new(pcb)),
                 handler,
-            },
-        );
+            });
+            (id, conns.high_water() - before_hw)
+        };
+        qos::bump(self.stats.pcb_slab_live_h);
+        if hw_delta > 0 {
+            qos::add(self.stats.pcb_slab_high_water_h, hw_delta as u64);
+        }
         self.conn_ids.insert(tuple, id);
         id
     }
 
     fn cleanup(&self, id: u64) {
-        let rec = self.pcbs.borrow_mut().remove(&id);
+        let rec = self.conns.borrow_mut().remove(id);
         if let Some(rec) = rec {
             let p = rec.pcb.borrow();
             let tuple = p.tuple;
@@ -1859,7 +2132,14 @@ impl NetIf {
             // the affinity core, where they were created).
             let (rto, delack) = (p.rto_timer, p.delack_timer);
             let (class, admitted) = (p.class, p.admitted);
+            let embryonic = p.embryonic;
             drop(p);
+            qos::sub(self.stats.pcb_slab_live_h, 1);
+            if embryonic {
+                // Died before the handshake completed (RST, eviction is
+                // counted separately before the flag clears, close).
+                self.note_embryonic_gone(class, self.stats.embryonic_aborted_h);
+            }
             // Return the admission-budget unit the SYN took.
             if admitted {
                 if let Some(policy) = self.qos.borrow().as_ref() {
@@ -1885,7 +2165,7 @@ impl NetIf {
     }
 
     fn with_pcb<R>(&self, id: u64, f: impl FnOnce(&mut Pcb) -> R) -> Option<R> {
-        let pcb = self.pcbs.borrow().get(&id).map(|r| Rc::clone(&r.pcb))?;
+        let pcb = self.conns.borrow().get(id).map(|r| Rc::clone(&r.pcb))?;
         let mut p = pcb.borrow_mut();
         Some(f(&mut p))
     }
@@ -1895,7 +2175,7 @@ impl NetIf {
         id: u64,
         f: impl FnOnce(&Rc<Self>, &Rc<RefCell<Pcb>>, &Rc<dyn ConnHandler>),
     ) {
-        let rec = match self.pcbs.borrow().get(&id) {
+        let rec = match self.conns.borrow().get(id) {
             Some(rec) => (Rc::clone(&rec.pcb), Rc::clone(&rec.handler)),
             None => return,
         };
@@ -1929,6 +2209,48 @@ impl NetIf {
 
     /// Number of live connections (diagnostic).
     pub fn conn_count(&self) -> usize {
-        self.pcbs.borrow().len()
+        self.conns.borrow().live()
+    }
+
+    /// Highest simultaneous connection count the slab has held.
+    pub fn conn_high_water(&self) -> usize {
+        self.conns.borrow().high_water()
+    }
+
+    /// Caps the embryonic backlog of the *default* class when no QoS
+    /// policy is installed (with one, per-class
+    /// [`ebbrt_core::qos::ClassConfig::syn_budget`] governs instead).
+    pub fn set_syn_backlog(&self, cap: usize) {
+        self.syn_backlog.set(Some(cap));
+    }
+
+    /// Live embryonic (inbound, handshake incomplete) connections of
+    /// `class`.
+    pub fn embryonic_live(&self, class: ClassId) -> usize {
+        self.embryonic_live[class.0 as usize % MAX_CLASSES].get()
+    }
+
+    /// Total live embryonic connections across classes — the `live`
+    /// term of the syncache ledger
+    /// (`created == promoted + evicted + aborted + live` at
+    /// quiescence; the chaos harness asserts it).
+    pub fn embryonic_total(&self) -> usize {
+        self.embryonic_live.iter().map(Cell::get).sum()
+    }
+
+    /// The accounted per-connection footprint of an idle established
+    /// connection: slab slot, PCB box (`Rc<RefCell<Pcb>>` payload and
+    /// refcounts), and the connection's two parked persistent timer
+    /// entries. Rarely-used state (reassembly, retransmit ledger)
+    /// lives in [`crate::tcp::PcbCold`] and is charged only to
+    /// connections that actually use it; the RCU demux entry is the
+    /// map's own per-key cost, measured end to end by the
+    /// `conn_scale` bench rather than accounted here.
+    pub fn bytes_per_idle_conn() -> usize {
+        let slab_slot = ConnSlab::<ConnRec>::slot_bytes();
+        // Rc box: strong + weak counts + the RefCell<Pcb> payload.
+        let pcb_box = 2 * std::mem::size_of::<usize>() + std::mem::size_of::<RefCell<Pcb>>();
+        let timers = 2 * ebbrt_core::event::EventManager::timer_entry_bytes();
+        slab_slot + pcb_box + timers
     }
 }

@@ -116,6 +116,21 @@ pub struct AckResult {
 /// it.
 pub const DEFAULT_RCV_WND: u16 = u16::MAX;
 
+/// Cold per-connection state: fields an idle (or well-behaved)
+/// established connection never touches. Boxed lazily on first use so
+/// the common case — in-order traffic, no loss — pays one `Option`
+/// word in [`Pcb`] instead of carrying the reassembly map and loss
+/// diagnostics inline. See the "Connection scale" section of
+/// `docs/ARCHITECTURE.md` for the per-connection byte budget this
+/// split is part of.
+#[derive(Default)]
+pub struct PcbCold {
+    /// Out-of-order segments awaiting the gap to fill, keyed by seq.
+    pub ooo: BTreeMap<u32, Chain<IoBuf>>,
+    /// Total retransmitted segments (diagnostic).
+    pub retransmits: u64,
+}
+
 /// The protocol control block.
 pub struct Pcb {
     /// Connection identity.
@@ -138,8 +153,10 @@ pub struct Pcb {
     pub core: CoreId,
     /// Retransmission queue.
     pub unacked: VecDeque<UnackedSeg>,
-    /// Out-of-order segments awaiting the gap to fill, keyed by seq.
-    pub ooo: BTreeMap<u32, Chain<IoBuf>>,
+    /// Lazily-allocated cold state (reassembly, loss diagnostics).
+    /// `None` until the connection first sees out-of-order data or a
+    /// retransmit.
+    cold: Option<Box<PcbCold>>,
     /// An ACK is owed to the peer.
     pub ack_pending: bool,
     /// Data segments received since the last ACK we sent (delayed-ACK
@@ -160,8 +177,6 @@ pub struct Pcb {
     pub rto_armed: bool,
     /// Exponential backoff multiplier for the RTO.
     pub rto_backoff: u32,
-    /// Total retransmitted segments (diagnostic).
-    pub retransmits: u64,
     /// True once the application asked to close (FIN queued or sent).
     pub close_requested: bool,
     /// Traffic class ([`ebbrt_core::qos::ClassId`] index), assigned by
@@ -173,6 +188,11 @@ pub struct Pcb {
     /// budget (inbound connections admitted under an installed QoS
     /// policy); released at cleanup.
     pub admitted: bool,
+    /// True for an inbound connection whose handshake has not yet
+    /// completed — it occupies a unit of its class's syncache budget
+    /// and is evictable under SYN pressure. Cleared on promotion to
+    /// Established (or by the evictor before teardown).
+    pub embryonic: bool,
 }
 
 impl Pcb {
@@ -189,7 +209,7 @@ impl Pcb {
             remote_mac: [0; 6],
             core,
             unacked: VecDeque::new(),
-            ooo: BTreeMap::new(),
+            cold: None,
             ack_pending: false,
             segs_since_ack: 0,
             delack_timer: None,
@@ -197,11 +217,37 @@ impl Pcb {
             rto_timer: None,
             rto_armed: false,
             rto_backoff: 1,
-            retransmits: 0,
             close_requested: false,
             class: 0,
             admitted: false,
+            embryonic: false,
         }
+    }
+
+    /// Whether the cold box has been allocated (diagnostic; idle
+    /// well-behaved connections keep this `false` for life).
+    pub fn has_cold(&self) -> bool {
+        self.cold.is_some()
+    }
+
+    /// Whether reassembly has stashed out-of-order segments.
+    pub fn ooo_is_empty(&self) -> bool {
+        self.cold.as_ref().is_none_or(|c| c.ooo.is_empty())
+    }
+
+    /// Total retransmitted segments.
+    pub fn retransmits(&self) -> u64 {
+        self.cold.as_ref().map_or(0, |c| c.retransmits)
+    }
+
+    /// Bumps the retransmit diagnostic (allocates the cold box on
+    /// first loss — a retransmitting connection is not idle).
+    pub fn note_retransmit(&mut self) {
+        self.cold_mut().retransmits += 1;
+    }
+
+    fn cold_mut(&mut self) -> &mut PcbCold {
+        self.cold.get_or_insert_with(Default::default)
     }
 
     /// How many payload bytes the application may send right now
@@ -281,26 +327,31 @@ impl Pcb {
         if seg_seq == self.rcv_nxt {
             self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
             deliver.push(payload);
-            // Drain any out-of-order segments that now fit.
-            while let Some((&s, _)) = self.ooo.iter().next() {
-                if seq::gt(s, self.rcv_nxt) {
-                    break;
-                }
-                let mut chain = self.ooo.remove(&s).expect("peeked key");
-                if seq::lt(s, self.rcv_nxt) {
-                    let dup = self.rcv_nxt.wrapping_sub(s) as usize;
-                    if dup >= chain.len() {
-                        continue;
+            // Drain any out-of-order segments that now fit. The cold
+            // box only exists if this connection ever went out of
+            // order; the in-order fast path never touches it.
+            if let Some(cold) = self.cold.as_mut() {
+                while let Some((&s, _)) = cold.ooo.iter().next() {
+                    if seq::gt(s, self.rcv_nxt) {
+                        break;
                     }
-                    chain.advance(dup);
+                    let mut chain = cold.ooo.remove(&s).expect("peeked key");
+                    if seq::lt(s, self.rcv_nxt) {
+                        let dup = self.rcv_nxt.wrapping_sub(s) as usize;
+                        if dup >= chain.len() {
+                            continue;
+                        }
+                        chain.advance(dup);
+                    }
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(chain.len() as u32);
+                    deliver.push(chain);
                 }
-                self.rcv_nxt = self.rcv_nxt.wrapping_add(chain.len() as u32);
-                deliver.push(chain);
             }
         } else {
             // Future data: stash (bounded by the advertised window, so a
-            // well-behaved peer cannot flood this).
-            self.ooo.entry(seg_seq).or_insert(payload);
+            // well-behaved peer cannot flood this). First out-of-order
+            // segment allocates the cold box.
+            self.cold_mut().ooo.entry(seg_seq).or_insert(payload);
         }
         self.ack_pending = true;
         deliver
@@ -419,7 +470,7 @@ mod tests {
         assert_eq!(out[0].copy_to_vec(), b"hello");
         assert_eq!(out[1].copy_to_vec(), b"world");
         assert_eq!(p.rcv_nxt, 5010);
-        assert!(p.ooo.is_empty());
+        assert!(p.ooo_is_empty());
     }
 
     #[test]

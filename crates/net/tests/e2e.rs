@@ -76,7 +76,8 @@ fn on_core0<T: 'static>(m: &Rc<SimMachine>, v: T, f: impl FnOnce(T) + 'static) {
 #[test]
 fn tcp_connect_send_echo_close() {
     let (w, _sw, (_server, s_if), (client, c_if)) = two_machines();
-    s_if.listen(7, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>);
+    s_if.listen(7, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>)
+        .unwrap();
 
     let got = Rc::new(RefCell::new(Vec::new()));
     let connected = Rc::new(Cell::new(false));
@@ -131,7 +132,8 @@ fn tcp_connect_send_echo_close() {
 #[test]
 fn large_transfer_is_segmented_and_reassembled() {
     let (w, _sw, (_server, s_if), (client, c_if)) = two_machines();
-    s_if.listen(7, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>);
+    s_if.listen(7, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>)
+        .unwrap();
 
     let got = Rc::new(RefCell::new(Vec::new()));
     let connected = Rc::new(Cell::new(false));
@@ -189,7 +191,8 @@ fn large_transfer_is_segmented_and_reassembled() {
 #[test]
 fn window_full_is_refused_not_buffered() {
     let (w, _sw, (_server, s_if), (client, c_if)) = two_machines();
-    s_if.listen(9, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>);
+    s_if.listen(9, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>)
+        .unwrap();
     let result = Rc::new(RefCell::new(None));
     let r2 = Rc::clone(&result);
 
@@ -307,7 +310,8 @@ fn jumbo_mtu_raises_mss_and_roundtrips() {
     assert_eq!(s_if.mss(), 9000 - 40);
     assert_eq!(c_if.mss(), 9000 - 40);
 
-    s_if.listen(7, |_c| Rc::new(Echo) as Rc<dyn ConnHandler>);
+    s_if.listen(7, |_c| Rc::new(Echo) as Rc<dyn ConnHandler>)
+        .unwrap();
     struct SendOnConnect {
         payload: Vec<u8>,
         got: Rc<RefCell<Vec<u8>>>,
@@ -424,7 +428,8 @@ fn rss_steers_connections_to_distinct_cores() {
         Rc::new(CoreRecorder {
             cores: Rc::clone(&cores2),
         }) as Rc<dyn ConnHandler>
-    });
+    })
+    .unwrap();
 
     // Open many connections from different client cores.
     struct Quiet;
@@ -462,7 +467,8 @@ fn retransmission_recovers_from_loss() {
     let c_if = NetIf::attach(&client, Ipv4Addr::new(10, 0, 0, 2), MASK);
     w.run_to_idle();
 
-    s_if.listen(7, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>);
+    s_if.listen(7, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>)
+        .unwrap();
     let got = Rc::new(RefCell::new(Vec::new()));
     let connected = Rc::new(Cell::new(false));
     let closed = Rc::new(Cell::new(false));

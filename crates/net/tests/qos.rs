@@ -112,7 +112,8 @@ fn admission_budget_rejects_fast_and_releases_on_close() {
     );
     let bulk = policy.config().class_id("bulk").unwrap();
     policy.add_rule(QosMatch::LocalPort(PORT), bulk);
-    s_if.listen(PORT, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>);
+    s_if.listen(PORT, |_conn| Rc::new(Echo) as Rc<dyn ConnHandler>)
+        .unwrap();
 
     // First connection: admitted, classed "bulk".
     let a = open_conn(&client, &c_if);
@@ -170,7 +171,8 @@ fn echo_works_through_the_classed_scheduler_and_reports_class() {
     s_if.listen(PORT, move |conn| {
         *sc.borrow_mut() = Some(conn.clone());
         Rc::new(Echo) as Rc<dyn ConnHandler>
-    });
+    })
+    .unwrap();
 
     let a = open_conn(&client, &c_if);
     w.run_to_idle();
